@@ -1,0 +1,194 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation in one run and prints them as aligned text tables (or markdown
+// with -md), in the order of Section 6:
+//
+//	Fig 2a  one-stream ping-pong bandwidth vs granularity (+ NetPIPE)
+//	Fig 2b  two-stream bandwidth, synced and no-sync
+//	Fig 3   computation/communication overlap (+ Roofline, No Overlap)
+//	Fig 4a  HiCMA time-to-solution vs tile size (16 nodes)
+//	Fig 4b  HiCMA end-to-end latency vs tile size (± multithreading)
+//	Fig 5a  HiCMA strong scaling, 1..32 nodes
+//	Fig 5b  strong-scaling latency
+//	Table 2 best tile size per node count
+//
+// -scale shrinks the HiCMA problem; -quick uses a cheap measurement
+// protocol. With the defaults (scale 1, paper protocols) a full regeneration
+// takes several hours of CPU; -scale 0.5 -quick finishes in minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"amtlci/internal/bench"
+	"amtlci/internal/core/stack"
+	"amtlci/internal/fabric"
+	"amtlci/internal/netpipe"
+	"amtlci/internal/stats"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "HiCMA problem scale factor in (0,1]")
+	fig5Scale := flag.Float64("fig5-scale", 0, "separate scale for the strong-scaling sweep (0 = same as -scale); the 6x9x2-run Fig 5 grid is by far the most expensive experiment")
+	quick := flag.Bool("quick", false, "cheap measurement protocol everywhere")
+	md := flag.Bool("md", false, "emit markdown tables")
+	runsMicro := flag.Int("micro-runs", 18, "microbenchmark executions per point (discard 3)")
+	runsHicma := flag.Int("hicma-runs", 5, "HiCMA executions per configuration")
+	listConfig := flag.Bool("list-config", false, "print the simulated platform configuration (Table 1 analogue) and exit")
+	flag.Parse()
+
+	if *listConfig {
+		printConfig(os.Stdout)
+		return
+	}
+
+	micro := stats.Methodology{Runs: *runsMicro, Discard: 3}
+	hicma := stats.Methodology{Runs: *runsHicma, Discard: 0}
+	if *quick {
+		micro = stats.Methodology{Runs: 2, Discard: 1}
+		hicma = stats.Methodology{Runs: 1, Discard: 0}
+	}
+	emit := func(t *bench.Table) {
+		if *md {
+			t.Markdown(os.Stdout)
+		} else {
+			t.Write(os.Stdout)
+		}
+	}
+	start := time.Now()
+
+	// ---- Figure 2a ----
+	fig2a := bench.NewTable("Fig 2a: one-stream ping-pong bandwidth (Gbit/s)",
+		"granularity", "LCI", "Open MPI", "NetPIPE")
+	for _, size := range bench.PingPongSizes() {
+		var v []float64
+		for _, b := range []stack.Backend{stack.LCI, stack.MPI} {
+			o := bench.DefaultPingPongOpts(b, size)
+			o.Runs = micro
+			v = append(v, bench.PingPong(o).Gbps)
+		}
+		np := netpipe.Bandwidth(netpipe.DefaultConfig(), size)
+		fig2a.AddFloats(bench.Bytes(size), "%.1f", v[0], v[1], np)
+	}
+	emit(fig2a)
+
+	// ---- Figure 2b ----
+	fig2b := bench.NewTable("Fig 2b: two-stream ping-pong bandwidth (Gbit/s)",
+		"granularity", "LCI", "Open MPI", "LCI (no sync)", "Open MPI (no sync)")
+	for _, size := range bench.PingPongSizes() {
+		var v []float64
+		for _, sync := range []bool{true, false} {
+			for _, b := range []stack.Backend{stack.LCI, stack.MPI} {
+				o := bench.DefaultPingPongOpts(b, size)
+				o.Streams = 2
+				o.Sync = sync
+				o.Runs = micro
+				v = append(v, bench.PingPong(o).Gbps)
+			}
+		}
+		fig2b.AddFloats(bench.Bytes(size), "%.1f", v[0], v[1], v[2], v[3])
+	}
+	emit(fig2b)
+
+	// ---- Figure 3 ----
+	fig3 := bench.NewTable("Fig 3: overlap with GEMM-like intensity (GFLOP/s)",
+		"granularity", "LCI", "Open MPI", "Roofline", "No Overlap")
+	for _, size := range bench.OverlapSizes() {
+		var v []float64
+		var roof, noov float64
+		for _, b := range []stack.Backend{stack.LCI, stack.MPI} {
+			o := bench.DefaultOverlapOpts(b, size)
+			o.Runs = micro
+			r := bench.Overlap(o)
+			v = append(v, r.GFLOPS)
+			roof, noov = r.Roofline, r.NoOverlap
+		}
+		fig3.AddFloats(bench.Bytes(size), "%.0f", v[0], v[1], roof, noov)
+	}
+	emit(fig3)
+
+	// ---- Figures 4a/4b ----
+	n, tiles := bench.ScaledProblem(*scale, bench.PaperTileSizes)
+	fmt.Printf("HiCMA problem: N=%d (scale %.2f)\n\n", n, *scale)
+	fig4a := bench.NewTable("Fig 4a: TLR Cholesky time-to-solution, 16 nodes (s)",
+		"tile", "LCI", "Open MPI")
+	fig4b := bench.NewTable("Fig 4b: end-to-end latency, 16 nodes (ms)",
+		"tile", "LCI", "Open MPI", "LCI (MT)", "Open MPI (MT)")
+	type key struct {
+		b  stack.Backend
+		mt bool
+	}
+	ttsAtTile := map[int]map[key]float64{}
+	for _, t := range tiles {
+		res := map[key]bench.HiCMAResult{}
+		for _, b := range []stack.Backend{stack.LCI, stack.MPI} {
+			for _, mt := range []bool{false, true} {
+				o := bench.DefaultHiCMAOpts(b, t, 16)
+				o.N = n
+				o.MT = mt
+				o.Runs = hicma
+				res[key{b, mt}] = bench.HiCMA(o)
+			}
+		}
+		ttsAtTile[t] = map[key]float64{}
+		for k, r := range res {
+			ttsAtTile[t][k] = r.TimeToSolution
+		}
+		fig4a.AddFloats(fmt.Sprint(t), "%.2f",
+			res[key{stack.LCI, false}].TimeToSolution, res[key{stack.MPI, false}].TimeToSolution)
+		fig4b.AddFloats(fmt.Sprint(t), "%.2f",
+			res[key{stack.LCI, false}].E2ELatencyMS, res[key{stack.MPI, false}].E2ELatencyMS,
+			res[key{stack.LCI, true}].E2ELatencyMS, res[key{stack.MPI, true}].E2ELatencyMS)
+	}
+	emit(fig4a)
+	emit(fig4b)
+
+	// ---- Figures 5a/5b and Table 2 ----
+	n5, tiles5 := n, tiles
+	if *fig5Scale > 0 {
+		n5, tiles5 = bench.ScaledProblem(*fig5Scale, bench.PaperTileSizes)
+		fmt.Printf("strong-scaling problem: N=%d (scale %.2f)\n\n", n5, *fig5Scale)
+	}
+	points := bench.StrongScaling(n5, bench.PaperNodeCounts, tiles5, hicma)
+	fig5a := bench.NewTable("Fig 5a: strong scaling (s)", "nodes", "LCI", "Open MPI", "Open MPI (best)")
+	fig5b := bench.NewTable("Fig 5b: strong-scaling latency (ms)", "nodes", "LCI", "Open MPI", "Open MPI (best)")
+	tbl2 := bench.NewTable("Table 2: tile size with lowest time-to-solution", "nodes", "Open MPI", "LCI")
+	for _, p := range points {
+		fig5a.AddFloats(fmt.Sprint(p.Nodes), "%.2f",
+			p.LCI.TimeToSolution, p.MPIAtLCI.TimeToSolution, p.MPIBest.TimeToSolution)
+		fig5b.AddFloats(fmt.Sprint(p.Nodes), "%.2f",
+			p.LCI.E2ELatencyMS, p.MPIAtLCI.E2ELatencyMS, p.MPIBest.E2ELatencyMS)
+		tbl2.AddRow(fmt.Sprint(p.Nodes), fmt.Sprint(p.MPIBestTile), fmt.Sprint(p.LCITile))
+	}
+	emit(fig5a)
+	emit(fig5b)
+	emit(tbl2)
+
+	// ---- headline summary (§6.4.3, §7) ----
+	for _, p := range points {
+		if p.Nodes != 16 {
+			continue
+		}
+		speedup := p.MPIBest.TimeToSolution/p.LCI.TimeToSolution - 1
+		latCut := 1 - p.LCI.E2ELatencyMS/p.MPIAtLCI.E2ELatencyMS
+		fmt.Printf("headline @16 nodes: LCI best %.2fs (nb=%d) vs MPI best %.2fs (nb=%d): %.1f%% faster; e2e latency %.1f%% lower at LCI's tile\n",
+			p.LCI.TimeToSolution, p.LCITile, p.MPIBest.TimeToSolution, p.MPIBestTile,
+			speedup*100, latCut*100)
+	}
+	fmt.Printf("\ntotal wall time: %v\n", time.Since(start).Round(time.Second))
+}
+
+// printConfig emits the simulated platform parameters, the analogue of the
+// paper's Table 1.
+func printConfig(w io.Writer) {
+	fc := fabric.DefaultConfig()
+	fmt.Fprintln(w, "Simulated platform configuration (Table 1 analogue)")
+	fmt.Fprintf(w, "  Network     : %g Gbit/s per direction, %v latency, ctl-bypass <= %s\n",
+		fc.BandwidthGbps, fc.Latency, bench.Bytes(fc.CtlBypass))
+	fmt.Fprintf(w, "  Cores/node  : 128 (127 workers with MPI, 126 with LCI, §6.1.2)\n")
+	fmt.Fprintf(w, "  MPI model   : eager <= 8 KiB, rendezvous with registration costs, Testsome polling\n")
+	fmt.Fprintf(w, "  LCI model   : immediate <= 64 B, buffered <= 12 KiB, direct RDMA; dedicated progress thread\n")
+}

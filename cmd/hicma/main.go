@@ -1,0 +1,114 @@
+// Command hicma regenerates the HiCMA TLR Cholesky experiments of Section
+// 6.4: tile scaling (Figures 4a/4b), communication multithreading (§6.4.3),
+// strong scaling (Figures 5a/5b), and the best-tile table (Table 2).
+//
+// Usage:
+//
+//	hicma -sweep tile  [-nodes N] [-mt] [-latency]      Fig 4a/4b
+//	hicma -sweep nodes                                   Fig 5a/5b + Table 2
+//	hicma -nb NB -nodes N [-mt]                          one configuration
+//
+// Common flags: -scale F shrinks the N=360,000 problem, -runs N sets the
+// measurement protocol (mean of 5 in the paper), -syncclocks enables the
+// §6.1.3 clock-synchronization epoch over skewed rank clocks.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"amtlci/internal/bench"
+	"amtlci/internal/core/stack"
+	"amtlci/internal/stats"
+)
+
+func main() {
+	sweep := flag.String("sweep", "", `"tile" (Fig 4), "nodes" (Fig 5 + Table 2), or empty for one run`)
+	nodes := flag.Int("nodes", 16, "node count for single runs and the tile sweep")
+	nb := flag.Int("nb", 2400, "tile size for single runs")
+	mt := flag.Bool("mt", false, "enable communication multithreading for ACTIVATE messages")
+	latency := flag.Bool("latency", false, "report end-to-end latency columns (Fig 4b/5b)")
+	scale := flag.Float64("scale", 1.0, "problem-size scale factor in (0,1]; 1 = the paper's N=360,000")
+	runs := flag.Int("runs", 5, "executions per configuration (paper: mean of five)")
+	syncClocks := flag.Bool("syncclocks", false, "synchronize skewed rank clocks before measuring (§6.1.3)")
+	flag.Parse()
+
+	meth := stats.Methodology{Runs: *runs, Discard: 0}
+	n, tiles := bench.ScaledProblem(*scale, bench.PaperTileSizes)
+	fmt.Printf("problem: N=%d (scale %.2f), tiles %v\n\n", n, *scale, tiles)
+
+	mk := func(b stack.Backend, nb, nodes int, mt bool) bench.HiCMAResult {
+		o := bench.DefaultHiCMAOpts(b, nb, nodes)
+		o.N = n
+		o.MT = mt
+		o.Runs = meth
+		o.SyncClocks = *syncClocks
+		return bench.HiCMA(o)
+	}
+
+	switch *sweep {
+	case "tile":
+		title := fmt.Sprintf("TLR Cholesky tile scaling, %d nodes (Fig 4a: seconds)", *nodes)
+		cols := []string{"tile", "LCI", "Open MPI"}
+		if *mt {
+			cols = append(cols, "LCI (MT)", "Open MPI (MT)")
+		}
+		tts := bench.NewTable(title, cols...)
+		var lat *bench.Table
+		if *latency {
+			lat = bench.NewTable(fmt.Sprintf("End-to-end latency, %d nodes (Fig 4b: ms)", *nodes), cols...)
+		}
+		for _, t := range tiles {
+			lci := mk(stack.LCI, t, *nodes, false)
+			mpi := mk(stack.MPI, t, *nodes, false)
+			row := []string{fmt.Sprint(t), f2(lci.TimeToSolution), f2(mpi.TimeToSolution)}
+			latRow := []string{fmt.Sprint(t), f2(lci.E2ELatencyMS), f2(mpi.E2ELatencyMS)}
+			if *mt {
+				lciMT := mk(stack.LCI, t, *nodes, true)
+				mpiMT := mk(stack.MPI, t, *nodes, true)
+				row = append(row, f2(lciMT.TimeToSolution), f2(mpiMT.TimeToSolution))
+				latRow = append(latRow, f2(lciMT.E2ELatencyMS), f2(mpiMT.E2ELatencyMS))
+			}
+			tts.AddRow(row...)
+			if lat != nil {
+				lat.AddRow(latRow...)
+			}
+		}
+		tts.Write(os.Stdout)
+		if lat != nil {
+			lat.Write(os.Stdout)
+		}
+
+	case "nodes":
+		points := bench.StrongScaling(n, bench.PaperNodeCounts, tiles, meth)
+		tts := bench.NewTable("TLR Cholesky strong scaling (Fig 5a: seconds)",
+			"nodes", "LCI", "Open MPI", "Open MPI (best)")
+		lat := bench.NewTable("Strong-scaling end-to-end latency (Fig 5b: ms)",
+			"nodes", "LCI", "Open MPI", "Open MPI (best)")
+		tbl2 := bench.NewTable("Tile size with lowest time-to-solution (Table 2)",
+			"nodes", "Open MPI", "LCI")
+		for _, p := range points {
+			tts.AddRow(fmt.Sprint(p.Nodes), f2(p.LCI.TimeToSolution),
+				f2(p.MPIAtLCI.TimeToSolution), f2(p.MPIBest.TimeToSolution))
+			lat.AddRow(fmt.Sprint(p.Nodes), f2(p.LCI.E2ELatencyMS),
+				f2(p.MPIAtLCI.E2ELatencyMS), f2(p.MPIBest.E2ELatencyMS))
+			tbl2.AddRow(fmt.Sprint(p.Nodes), fmt.Sprint(p.MPIBestTile), fmt.Sprint(p.LCITile))
+		}
+		tts.Write(os.Stdout)
+		lat.Write(os.Stdout)
+		tbl2.Write(os.Stdout)
+
+	default:
+		lci := mk(stack.LCI, *nb, *nodes, *mt)
+		mpi := mk(stack.MPI, *nb, *nodes, *mt)
+		fmt.Printf("nb=%d nodes=%d mt=%v\n", *nb, *nodes, *mt)
+		fmt.Printf("  LCI:      %.3f s, e2e %.2f ms, hop %.2f ms (%d tasks, avg rank %.2f)\n",
+			lci.TimeToSolution, lci.E2ELatencyMS, lci.HopLatencyMS, lci.Tasks, lci.AvgRank)
+		fmt.Printf("  Open MPI: %.3f s, e2e %.2f ms, hop %.2f ms\n",
+			mpi.TimeToSolution, mpi.E2ELatencyMS, mpi.HopLatencyMS)
+		fmt.Printf("  speedup:  %.3f\n", mpi.TimeToSolution/lci.TimeToSolution)
+	}
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }

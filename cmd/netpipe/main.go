@@ -1,0 +1,27 @@
+// Command netpipe runs the NetPIPE-style raw-fabric ping-pong baseline used
+// in Figure 2a: half-round-trip bandwidth per block size, plus the
+// small-message latency.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"amtlci/internal/bench"
+	"amtlci/internal/netpipe"
+)
+
+func main() {
+	reps := flag.Int("reps", 16, "round trips per block size")
+	flag.Parse()
+
+	cfg := netpipe.DefaultConfig()
+	cfg.Reps = *reps
+	fmt.Printf("small-message half-RTT: %.2f µs\n\n", netpipe.Latency(cfg))
+	tbl := bench.NewTable("NetPIPE bandwidth — Gbit/s", "block", "bandwidth")
+	for size := int64(64); size <= 8<<20; size *= 2 {
+		tbl.AddRow(bench.Bytes(size), fmt.Sprintf("%.2f", netpipe.Bandwidth(cfg, size)))
+	}
+	tbl.Write(os.Stdout)
+}

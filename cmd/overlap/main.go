@@ -1,0 +1,54 @@
+// Command overlap regenerates the computation/communication overlap figure
+// (Figure 3): delivered GFLOP/s for GEMM-like-intensity tasks versus task
+// granularity, for both backends, with the analytic Roofline and No-Overlap
+// bounds.
+//
+// Usage:
+//
+//	overlap [-total BYTES] [-base-iters N] [-gflops G] [-runs N] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"amtlci/internal/bench"
+	"amtlci/internal/core/stack"
+	"amtlci/internal/stats"
+)
+
+func main() {
+	total := flag.Int64("total", 256<<20, "bytes per iteration (window = total/fragment)")
+	baseIters := flag.Int("base-iters", 2, "iterations at 8 MiB; smaller sizes run proportionally more")
+	gflops := flag.Float64("gflops", 40, "per-core FMA rate in GFLOP/s")
+	runs := flag.Int("runs", 18, "executions per point (first 3 discarded)")
+	quick := flag.Bool("quick", false, "fast protocol: 2 runs, discard 1")
+	flag.Parse()
+
+	meth := stats.Methodology{Runs: *runs, Discard: 3}
+	if *quick {
+		meth = stats.Methodology{Runs: 2, Discard: 1}
+	}
+
+	tbl := bench.NewTable("Overlap with GEMM-like intensity (Fig 3) — GFLOP/s",
+		"granularity", "LCI", "Open MPI", "Roofline", "No Overlap")
+	for _, size := range bench.OverlapSizes() {
+		var vals []float64
+		var roof, noov float64
+		for _, b := range []stack.Backend{stack.LCI, stack.MPI} {
+			o := bench.DefaultOverlapOpts(b, size)
+			o.TotalPerIter = *total
+			o.BaseIters = *baseIters
+			o.CoreGFLOPS = *gflops
+			o.Runs = meth
+			r := bench.Overlap(o)
+			vals = append(vals, r.GFLOPS)
+			roof, noov = r.Roofline, r.NoOverlap
+		}
+		tbl.AddRow(bench.Bytes(size),
+			fmt.Sprintf("%.0f", vals[0]), fmt.Sprintf("%.0f", vals[1]),
+			fmt.Sprintf("%.0f", roof), fmt.Sprintf("%.0f", noov))
+	}
+	tbl.Write(os.Stdout)
+}

@@ -1,0 +1,62 @@
+// Command pingpong regenerates the PaRSEC ping-pong bandwidth figures
+// (Figures 2a and 2b of the paper): bandwidth versus task granularity for
+// the LCI and Open MPI backends, with the NetPIPE baseline.
+//
+// Usage:
+//
+//	pingpong [-streams N] [-nosync] [-total BYTES] [-iters N] [-runs N] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"amtlci/internal/bench"
+	"amtlci/internal/core/stack"
+	"amtlci/internal/netpipe"
+	"amtlci/internal/stats"
+)
+
+func main() {
+	streams := flag.Int("streams", 1, "independent ping-pong streams (1 = Fig 2a, 2 = Fig 2b)")
+	nosync := flag.Bool("nosync", false, "remove the inter-iteration SYNC task (Fig 2b variant)")
+	total := flag.Int64("total", 256<<20, "bytes per iteration per stream (window size = total/fragment)")
+	iters := flag.Int("iters", 6, "ping-pong iterations per execution")
+	runs := flag.Int("runs", 18, "executions per point (first 3 discarded, as in §6.1.3)")
+	quick := flag.Bool("quick", false, "fast protocol: 2 runs, discard 1")
+	flag.Parse()
+
+	meth := stats.Methodology{Runs: *runs, Discard: 3}
+	if *quick {
+		meth = stats.Methodology{Runs: 2, Discard: 1}
+	}
+
+	variant := "one stream (Fig 2a)"
+	if *streams > 1 {
+		variant = "two streams (Fig 2b)"
+		if *nosync {
+			variant += ", no sync"
+		}
+	}
+	tbl := bench.NewTable(
+		fmt.Sprintf("PaRSEC ping-pong bandwidth, %s — Gbit/s", variant),
+		"granularity", "window", "LCI", "Open MPI", "NetPIPE")
+
+	for _, size := range bench.PingPongSizes() {
+		var vals []float64
+		for _, b := range []stack.Backend{stack.LCI, stack.MPI} {
+			o := bench.DefaultPingPongOpts(b, size)
+			o.Streams = *streams
+			o.Sync = !*nosync
+			o.TotalPerIter = *total
+			o.Iters = *iters
+			o.Runs = meth
+			vals = append(vals, bench.PingPong(o).Gbps)
+		}
+		np := netpipe.Bandwidth(netpipe.DefaultConfig(), size)
+		tbl.AddRow(bench.Bytes(size), fmt.Sprint(*total/size),
+			fmt.Sprintf("%.1f", vals[0]), fmt.Sprintf("%.1f", vals[1]), fmt.Sprintf("%.1f", np))
+	}
+	tbl.Write(os.Stdout)
+}

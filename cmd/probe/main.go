@@ -1,0 +1,46 @@
+// Command probe checks the cost-model calibration against the paper's
+// reported anchor numbers (§6.2): it prints the four Figure 2a anchors and
+// the measured values, flagging any that drift more than 25%. Run it after
+// touching any Config in internal/mpi, internal/lci, internal/fabric, or
+// internal/parsec.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"amtlci/internal/bench"
+	"amtlci/internal/core/stack"
+	"amtlci/internal/stats"
+)
+
+func main() {
+	type anchor struct {
+		b    stack.Backend
+		size int64
+		want float64
+	}
+	anchors := []anchor{
+		{stack.MPI, 131072, 62.5},
+		{stack.MPI, 92681, 45.2},
+		{stack.LCI, 46340, 64.1},
+		{stack.LCI, 32768, 43.5},
+	}
+	bad := false
+	for _, a := range anchors {
+		o := bench.DefaultPingPongOpts(a.b, a.size)
+		o.Runs = stats.Quick
+		o.Iters = 6
+		got := bench.PingPong(o).Gbps
+		status := "ok"
+		if got < a.want*0.75 || got > a.want*1.25 {
+			status = "DRIFTED"
+			bad = true
+		}
+		fmt.Printf("%-8v @%9s: got %6.1f Gbit/s, paper %6.1f  [%s]\n",
+			a.b, bench.Bytes(a.size), got, a.want, status)
+	}
+	if bad {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,3 @@
+module amtlci
+
+go 1.24

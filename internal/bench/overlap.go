@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"amtlci/internal/core/stack"
+	"amtlci/internal/parsec"
+	"amtlci/internal/sim"
+	"amtlci/internal/stats"
+)
+
+// OverlapOpts parameterizes the §6.3 computation/communication overlap
+// benchmark: the ping-pong graph without SYNC, where each task executes
+// sqrt(M/8) fused multiply-adds per 8-byte element (GEMM-like intensity),
+// and the iteration count is scaled so the total flop count is constant
+// across granularities.
+type OverlapOpts struct {
+	Backend      stack.Backend
+	FragSize     int64
+	TotalPerIter int64
+	Streams      int
+	// BaseIters is the iteration count at the largest fragment size
+	// (8 MiB); smaller fragments run proportionally more iterations.
+	BaseIters int
+	// CoreGFLOPS is each worker core's FMA rate for this kernel.
+	CoreGFLOPS float64
+	Runs       stats.Methodology
+	Workers    int
+	Seed       uint64
+}
+
+// DefaultOverlapOpts mirrors the paper's configuration.
+func DefaultOverlapOpts(b stack.Backend, fragSize int64) OverlapOpts {
+	return OverlapOpts{
+		Backend:      b,
+		FragSize:     fragSize,
+		TotalPerIter: 256 << 20,
+		Streams:      1,
+		BaseIters:    2,
+		CoreGFLOPS:   40,
+		Runs:         stats.Microbenchmark,
+		Seed:         2,
+	}
+}
+
+// taskFlops returns the flop count of one task on an M-byte fragment:
+// sqrt(M/8) FMA (2 flops each) per 8-byte element.
+func taskFlops(m int64) float64 {
+	elems := float64(m / 8)
+	return 2 * elems * math.Sqrt(elems)
+}
+
+// iters returns the iteration count preserving total flops relative to
+// BaseIters at 8 MiB: per-iteration flops scale with sqrt(M), so iterations
+// scale with sqrt(8MiB/M).
+func (o OverlapOpts) iters() int {
+	n := float64(o.BaseIters) * math.Sqrt(float64(8<<20)/float64(o.FragSize))
+	if n < 2 {
+		return 2
+	}
+	return int(math.Round(n))
+}
+
+// totalFlops is the whole execution's flop count.
+func (o OverlapOpts) totalFlops() float64 {
+	window := float64(o.TotalPerIter / o.FragSize)
+	return float64(o.iters()) * float64(o.Streams) * window * taskFlops(o.FragSize)
+}
+
+// OverlapResult is one point of Figure 3, in GFLOP/s, with the two analytic
+// bounds.
+type OverlapResult struct {
+	FragSize  int64
+	GFLOPS    float64
+	Roofline  float64
+	NoOverlap float64
+}
+
+// Overlap measures delivered GFLOP/s for one configuration and computes the
+// Roofline (communication fully overlapped) and No-Overlap (communication
+// fully serialized) models of Figure 3.
+func Overlap(o OverlapOpts) OverlapResult {
+	if o.Workers == 0 {
+		o.Workers = WorkersFor(o.Backend, 2)
+	}
+	gf := o.Runs.Collect(func(run int) float64 { return overlapRun(o, uint64(run)) })
+	roof, noov := o.models()
+	return OverlapResult{FragSize: o.FragSize, GFLOPS: gf, Roofline: roof, NoOverlap: noov}
+}
+
+func overlapRun(o OverlapOpts, run uint64) float64 {
+	so := stack.DefaultOptions(o.Backend, 2)
+	so.Seed = o.Seed + run*0x9E37
+	s := stack.Build(so)
+	cfg := parsec.DefaultConfig(o.Workers)
+	cfg.Seed = o.Seed + run
+	cfg.FetchCap = 64
+	pp := PingPongOpts{
+		Backend: o.Backend, FragSize: o.FragSize, TotalPerIter: o.TotalPerIter,
+		Streams: o.Streams, Iters: o.iters(), Sync: false,
+	}
+	pool := pingpongPool(pp, func(m int64) sim.Duration {
+		return sim.FromSeconds(taskFlops(m) / (o.CoreGFLOPS * 1e9))
+	})
+	rt := parsec.New(s.Eng, s.Engines, pool, cfg)
+	d, err := rt.Run()
+	if err != nil {
+		panic(fmt.Sprintf("bench: overlap %v", err))
+	}
+	return o.totalFlops() / d.Seconds() / 1e9
+}
+
+// models returns the Roofline and No-Overlap GFLOP/s bounds. Compute time
+// uses both nodes' workers; communication time is the total cross-wire
+// volume at link bandwidth. When tasks are large, concurrency is limited by
+// the number of fragments per node, as the paper notes for 8 MiB fragments.
+func (o OverlapOpts) models() (roofline, noOverlap float64) {
+	window := float64(o.TotalPerIter / o.FragSize)
+	flops := o.totalFlops()
+	concurrency := float64(2 * o.Workers)
+	if perNode := window * float64(o.Streams) / 2; perNode*2 < concurrency {
+		concurrency = perNode * 2
+	}
+	computeSec := flops / (o.CoreGFLOPS * 1e9 * concurrency)
+	// Every fragment crosses the network once per iteration after the
+	// first, in each stream.
+	bytes := float64(o.iters()-1) * float64(o.Streams) * window * float64(o.FragSize)
+	// Without the SYNC task, iterations pipeline deeply and the alternating
+	// directions keep both 100 Gbit/s rails busy.
+	commSec := bytes * 8 / (200e9)
+	roofline = flops / math.Max(computeSec, commSec) / 1e9
+	noOverlap = flops / (computeSec + commSec) / 1e9
+	return roofline, noOverlap
+}
+
+// OverlapSizes is the granularity sweep of Figure 3: 16 KiB to 8 MiB.
+func OverlapSizes() []int64 {
+	var out []int64
+	for s := int64(16 << 10); s <= 8<<20; s *= 2 {
+		out = append(out, s)
+	}
+	return out
+}

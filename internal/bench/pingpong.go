@@ -1,0 +1,167 @@
+// Package bench contains the experiment harnesses that regenerate every
+// table and figure of the paper's evaluation (Section 6): the PaRSEC
+// ping-pong bandwidth microbenchmark (Figures 2a/2b), the
+// computation/communication overlap benchmark (Figure 3), and the HiCMA TLR
+// Cholesky experiments (Figures 4a/4b/5a/5b and Table 2), plus the analytic
+// Roofline / No-Overlap models and the NetPIPE baseline hook-up.
+package bench
+
+import (
+	"fmt"
+
+	"amtlci/internal/core/stack"
+	"amtlci/internal/parsec"
+	"amtlci/internal/sim"
+	"amtlci/internal/stats"
+)
+
+// WorkersFor returns the paper's worker-thread count for a 128-core node
+// (§6.1.2): all 128 cores on a single node; on multiple nodes one core goes
+// to the communication thread, and the LCI backend dedicates another to the
+// progress thread.
+func WorkersFor(b stack.Backend, ranks int) int {
+	if ranks == 1 {
+		return 128
+	}
+	if b == stack.LCI {
+		return 126
+	}
+	return 127
+}
+
+// PingPongOpts parameterizes the §6.2 bandwidth benchmark.
+type PingPongOpts struct {
+	Backend stack.Backend
+	// FragSize is the fragment granularity N; the window size is
+	// TotalPerIter/FragSize so each iteration moves a constant volume
+	// (256 MiB in the paper).
+	FragSize     int64
+	TotalPerIter int64
+	// Streams is the number of independent ping-pong streams (1 for Fig 2a,
+	// 2 for Fig 2b); stream c starts on rank c%2.
+	Streams int
+	// Iters is the number of ping-pong iterations per execution.
+	Iters int
+	// Sync inserts the SYNC(t) serialization task between iterations
+	// (Fig 2b's "no sync" variant disables it).
+	Sync bool
+	// Runs is the measurement protocol (18 runs discard 3 in the paper).
+	Runs stats.Methodology
+	// Workers per rank; zero selects the paper's value.
+	Workers int
+	Seed    uint64
+}
+
+// DefaultPingPongOpts mirrors the paper's setup for one fragment size.
+func DefaultPingPongOpts(b stack.Backend, fragSize int64) PingPongOpts {
+	return PingPongOpts{
+		Backend:      b,
+		FragSize:     fragSize,
+		TotalPerIter: 256 << 20,
+		Streams:      1,
+		Iters:        4,
+		Sync:         true,
+		Runs:         stats.Microbenchmark,
+		Seed:         1,
+	}
+}
+
+// pingpongPool builds the §6.2 task graph: PINGPONG(t, f, c) operates on
+// fragment f of stream c at iteration t, executing on rank (t+c)%2 so the
+// data crosses the network every iteration; SYNC(t) serializes iterations
+// through a control flow.
+func pingpongPool(o PingPongOpts, computeCost func(int64) sim.Duration) *parsec.GraphPool {
+	window := int(o.TotalPerIter / o.FragSize)
+	if window < 1 {
+		window = 1
+	}
+	g := parsec.NewGraphPool("pingpong", 2, false)
+	ppID := func(t, c, f int) int64 {
+		return 2 * int64((t*o.Streams+c)*window+f)
+	}
+	syncID := func(t int) int64 { return 2*int64(t)*int64(o.Streams*window) + 1 }
+
+	cost := sim.Duration(0)
+	if computeCost != nil {
+		cost = computeCost(o.FragSize)
+	}
+	for t := 0; t < o.Iters; t++ {
+		for c := 0; c < o.Streams; c++ {
+			rank := (t + c) % 2
+			for f := 0; f < window; f++ {
+				// Flow 0: the fragment; flow 1: control to SYNC.
+				id := g.AddTask(ppID(t, c, f), rank, cost, int64(o.Iters-t), o.FragSize, 0)
+				if t > 0 {
+					g.Link(parsec.TaskID{Index: ppID(t-1, c, f)}, 0, id)
+					if o.Sync {
+						g.Link(parsec.TaskID{Index: syncID(t - 1)}, 0, id)
+					}
+				}
+			}
+		}
+		if o.Sync && t < o.Iters-1 {
+			// SYNC(t) gathers a control dep from every PINGPONG(t,·,·).
+			sid := g.AddTask(syncID(t), 0, 0, 1<<30, 0)
+			for c := 0; c < o.Streams; c++ {
+				for f := 0; f < window; f++ {
+					g.Link(parsec.TaskID{Index: ppID(t, c, f)}, 1, sid)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// PingPongResult is one point of Figure 2.
+type PingPongResult struct {
+	FragSize int64
+	Gbps     float64
+}
+
+// PingPong measures aggregate ping-pong bandwidth in Gbit/s for one
+// configuration, averaged per the methodology.
+func PingPong(o PingPongOpts) PingPongResult {
+	if o.Workers == 0 {
+		o.Workers = WorkersFor(o.Backend, 2)
+	}
+	gbps := o.Runs.Collect(func(run int) float64 {
+		return pingpongRun(o, uint64(run))
+	})
+	return PingPongResult{FragSize: o.FragSize, Gbps: gbps}
+}
+
+func pingpongRun(o PingPongOpts, run uint64) float64 {
+	so := stack.DefaultOptions(o.Backend, 2)
+	so.Seed = o.Seed + run*0x9E37
+	s := stack.Build(so)
+	cfg := parsec.DefaultConfig(o.Workers)
+	cfg.Seed = o.Seed + run
+	// Deep fetch pipelines within an iteration, but honor the SYNC
+	// serialization between iterations (§4.1 deferral, strict reading).
+	cfg.FetchCap = 512
+	cfg.FetchLazy = o.Sync
+	rt := parsec.New(s.Eng, s.Engines, pingpongPool(o, nil), cfg)
+	d, err := rt.Run()
+	if err != nil {
+		panic(fmt.Sprintf("bench: pingpong %v", err))
+	}
+	// Fragments cross the wire at every iteration after the first.
+	window := o.TotalPerIter / o.FragSize
+	if window < 1 {
+		window = 1
+	}
+	bytes := float64(o.Iters-1) * float64(o.Streams) * float64(window) * float64(o.FragSize)
+	return bytes * 8 / d.Seconds() / 1e9
+}
+
+// PingPongSizes is the granularity sweep of Figure 2: 8 KiB to 8 MiB.
+func PingPongSizes() []int64 {
+	var out []int64
+	for s := int64(8 << 10); s <= 8<<20; s *= 2 {
+		out = append(out, s)
+	}
+	return out
+}
+
+// PingpongPoolForDebug exposes the benchmark graph for calibration tools.
+func PingpongPoolForDebug(o PingPongOpts) *parsec.GraphPool { return pingpongPool(o, nil) }

@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows for experiment output in the layout of the paper's
+// figures: one row per x-axis point, one column per series.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends one formatted row; the cell count must match the headers.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("bench: row has %d cells, want %d", len(cells), len(t.Columns)))
+	}
+	t.rows = append(t.rows, cells)
+}
+
+// AddFloats appends a row with a leading label and formatted numbers.
+func (t *Table) AddFloats(label string, format string, vals ...float64) {
+	cells := []string{label}
+	for _, v := range vals {
+		cells = append(cells, fmt.Sprintf(format, v))
+	}
+	t.AddRow(cells...)
+}
+
+// Write renders the table as aligned text plus a trailing blank line.
+func (t *Table) Write(w io.Writer) {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.Join(parts, "  "))
+	}
+	line(t.Columns)
+	for _, row := range t.rows {
+		line(row)
+	}
+	fmt.Fprintln(w)
+}
+
+// Markdown renders the table as a GitHub-flavored markdown table.
+func (t *Table) Markdown(w io.Writer) {
+	fmt.Fprintf(w, "### %s\n\n", t.Title)
+	fmt.Fprintf(w, "| %s |\n", strings.Join(t.Columns, " | "))
+	seps := make([]string, len(t.Columns))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(seps, " | "))
+	for _, row := range t.rows {
+		fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | "))
+	}
+	fmt.Fprintln(w)
+}
+
+// Bytes formats a byte size with the binary units the paper uses.
+func Bytes(n int64) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%d MiB", n>>20)
+	case n >= 1<<10:
+		if n%(1<<10) == 0 {
+			return fmt.Sprintf("%d KiB", n>>10)
+		}
+		return fmt.Sprintf("%.2f KiB", float64(n)/1024)
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

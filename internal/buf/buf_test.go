@@ -1,0 +1,96 @@
+package buf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFromBytesAndVirtual(t *testing.T) {
+	b := FromBytes([]byte{1, 2, 3})
+	if b.Size != 3 || b.IsVirtual() {
+		t.Fatalf("FromBytes: %+v", b)
+	}
+	v := Virtual(100)
+	if v.Size != 100 || !v.IsVirtual() {
+		t.Fatalf("Virtual: %+v", v)
+	}
+}
+
+func TestVirtualNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for negative virtual size")
+		}
+	}()
+	Virtual(-1)
+}
+
+func TestSliceRealAndVirtual(t *testing.T) {
+	b := FromBytes([]byte{0, 1, 2, 3, 4, 5})
+	s := b.Slice(2, 3)
+	if s.Size != 3 || s.Bytes[0] != 2 || s.Bytes[2] != 4 {
+		t.Fatalf("real slice: %+v", s)
+	}
+	v := Virtual(10).Slice(4, 6)
+	if v.Size != 6 || !v.IsVirtual() {
+		t.Fatalf("virtual slice: %+v", v)
+	}
+}
+
+func TestSliceOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for out-of-range slice")
+		}
+	}()
+	Virtual(5).Slice(3, 3)
+}
+
+func TestCopySemantics(t *testing.T) {
+	// real -> real copies bytes.
+	dst := make([]byte, 4)
+	if n := Copy(FromBytes(dst), FromBytes([]byte{7, 8, 9, 10})); n != 4 || dst[3] != 10 {
+		t.Fatalf("real copy: n=%d dst=%v", n, dst)
+	}
+	// virtual -> real zero-fills (loud in numeric checks).
+	dst2 := []byte{1, 2, 3}
+	if n := Copy(FromBytes(dst2), Virtual(3)); n != 3 || dst2[0] != 0 || dst2[2] != 0 {
+		t.Fatalf("virtual->real copy: n=%d dst=%v", n, dst2)
+	}
+	// any -> virtual transfers size only.
+	if n := Copy(Virtual(8), FromBytes([]byte{1, 2})); n != 2 {
+		t.Fatalf("->virtual copy: n=%d", n)
+	}
+	// truncation at the shorter end.
+	short := make([]byte, 2)
+	if n := Copy(FromBytes(short), FromBytes([]byte{5, 6, 7})); n != 2 || short[1] != 6 {
+		t.Fatalf("truncating copy: n=%d dst=%v", n, short)
+	}
+	if Copy(Buf{}, Buf{}) != 0 {
+		t.Fatal("empty copy must be 0")
+	}
+}
+
+func TestCopyNeverOverruns(t *testing.T) {
+	f := func(dst, src []byte) bool {
+		d := append([]byte(nil), dst...)
+		n := Copy(FromBytes(d), FromBytes(src))
+		if n != int64(min(len(dst), len(src))) {
+			return false
+		}
+		for i := 0; i < int(n); i++ {
+			if d[i] != src[i] {
+				return false
+			}
+		}
+		for i := int(n); i < len(d); i++ {
+			if d[i] != dst[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,415 @@
+// Package cholesky implements a distributed dense tile Cholesky
+// factorization as a parsec.Taskpool — the DPLASMA DPOTRF algorithm the
+// paper's HiCMA build depends on (§6.1.2). Tiles are distributed 2-D
+// block-cyclically; the task graph is the classic right-looking
+// factorization:
+//
+//	POTRF(k):    L[k][k]   = chol(A[k][k])
+//	TRSM(k,m):   A[m][k]   = A[m][k] * L[k][k]^-T          (m > k)
+//	SYRK(k,m):   A[m][m]  -= A[m][k] * A[m][k]^T           (m > k)
+//	GEMM(k,m,n): A[m][n]  -= A[m][k] * A[n][k]^T           (k < n < m)
+//
+// Dependences are computed, not stored, so the pool scales to millions of
+// tasks. A virtual mode drives performance experiments with a flop-based
+// cost model; a real mode runs the actual kernels on small matrices and can
+// be verified against a direct factorization.
+package cholesky
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"amtlci/internal/linalg"
+	"amtlci/internal/parsec"
+	"amtlci/internal/sim"
+)
+
+// Task classes.
+const (
+	ClassPOTRF int32 = iota
+	ClassTRSM
+	ClassSYRK
+	ClassGEMM
+)
+
+// Grid is a PxQ process grid with 2-D block-cyclic tile placement.
+type Grid struct{ P, Q int }
+
+// SquarishGrid factors ranks into the most square PxQ grid.
+func SquarishGrid(ranks int) Grid {
+	p := int(math.Sqrt(float64(ranks)))
+	for ranks%p != 0 {
+		p--
+	}
+	return Grid{P: p, Q: ranks / p}
+}
+
+// RankOf places tile (m, n).
+func (g Grid) RankOf(m, n int) int { return (m%g.P)*g.Q + n%g.Q }
+
+// Pool is the dense Cholesky taskpool.
+type Pool struct {
+	T    int // tiles per dimension
+	NB   int // tile dimension
+	grid Grid
+
+	// GFLOPS is the per-core double-precision rate used by the cost model.
+	GFLOPS float64
+
+	real bool
+	// Original tiles for the real mode, indexed [m][n] (lower only); each
+	// tile is read exactly once, by the first task that touches it, which
+	// owner-computes placement guarantees is local.
+	orig map[[2]int]*linalg.Matrix
+
+	// Result collects the final factor tiles in real mode.
+	Result map[[2]int]*linalg.Matrix
+}
+
+// NewVirtual builds a performance-mode pool: T x T tiles of dimension nb
+// over the given rank count, with kernel durations from the flop model.
+func NewVirtual(t, nb, ranks int, gflops float64) *Pool {
+	if t <= 0 || nb <= 0 || ranks <= 0 || gflops <= 0 {
+		panic("cholesky: invalid pool parameters")
+	}
+	return &Pool{T: t, NB: nb, grid: SquarishGrid(ranks), GFLOPS: gflops}
+}
+
+// NewReal builds a correctness-mode pool factoring the dense SPD matrix
+// given entry-wise by src (dimension T*nb).
+func NewReal(t, nb, ranks int, gflops float64, src func(i, j int) float64) *Pool {
+	p := NewVirtual(t, nb, ranks, gflops)
+	p.real = true
+	p.orig = make(map[[2]int]*linalg.Matrix)
+	p.Result = make(map[[2]int]*linalg.Matrix)
+	for m := 0; m < t; m++ {
+		for n := 0; n <= m; n++ {
+			tile := linalg.NewMatrix(nb, nb)
+			for i := 0; i < nb; i++ {
+				for j := 0; j < nb; j++ {
+					tile.Set(i, j, src(m*nb+i, n*nb+j))
+				}
+			}
+			p.orig[[2]int{m, n}] = tile
+		}
+	}
+	return p
+}
+
+// ID packing: POTRF index k; TRSM/SYRK index k*T+m; GEMM index (k*T+m)*T+n.
+
+func (p *Pool) potrf(k int) parsec.TaskID {
+	return parsec.TaskID{Class: ClassPOTRF, Index: int64(k)}
+}
+func (p *Pool) trsm(k, m int) parsec.TaskID {
+	return parsec.TaskID{Class: ClassTRSM, Index: int64(k)*int64(p.T) + int64(m)}
+}
+func (p *Pool) syrk(k, m int) parsec.TaskID {
+	return parsec.TaskID{Class: ClassSYRK, Index: int64(k)*int64(p.T) + int64(m)}
+}
+func (p *Pool) gemm(k, m, n int) parsec.TaskID {
+	return parsec.TaskID{Class: ClassGEMM, Index: (int64(k)*int64(p.T)+int64(m))*int64(p.T) + int64(n)}
+}
+
+func (p *Pool) unpack2(t parsec.TaskID) (k, m int) {
+	return int(t.Index / int64(p.T)), int(t.Index % int64(p.T))
+}
+func (p *Pool) unpack3(t parsec.TaskID) (k, m, n int) {
+	n = int(t.Index % int64(p.T))
+	rest := t.Index / int64(p.T)
+	return int(rest / int64(p.T)), int(rest % int64(p.T)), n
+}
+
+// Name implements Taskpool.
+func (p *Pool) Name() string { return fmt.Sprintf("dpotrf[T=%d,nb=%d]", p.T, p.NB) }
+
+// Classes implements Taskpool.
+func (p *Pool) Classes() []parsec.TaskClass {
+	return []parsec.TaskClass{{Name: "POTRF"}, {Name: "TRSM"}, {Name: "SYRK"}, {Name: "GEMM"}}
+}
+
+// RankOf implements Taskpool: tasks run where their output tile lives.
+func (p *Pool) RankOf(t parsec.TaskID) int {
+	switch t.Class {
+	case ClassPOTRF:
+		k := int(t.Index)
+		return p.grid.RankOf(k, k)
+	case ClassTRSM:
+		k, m := p.unpack2(t)
+		return p.grid.RankOf(m, k)
+	case ClassSYRK:
+		_, m := p.unpack2(t)
+		return p.grid.RankOf(m, m)
+	case ClassGEMM:
+		_, m, n := p.unpack3(t)
+		return p.grid.RankOf(m, n)
+	}
+	panic("cholesky: bad class")
+}
+
+// flops returns the kernel flop count.
+func (p *Pool) flops(t parsec.TaskID) float64 {
+	nb := float64(p.NB)
+	switch t.Class {
+	case ClassPOTRF:
+		return nb * nb * nb / 3
+	case ClassTRSM:
+		return nb * nb * nb
+	case ClassSYRK:
+		return nb * nb * nb
+	case ClassGEMM:
+		return 2 * nb * nb * nb
+	}
+	panic("cholesky: bad class")
+}
+
+// Cost implements Taskpool.
+func (p *Pool) Cost(t parsec.TaskID) sim.Duration {
+	return sim.FromSeconds(p.flops(t) / (p.GFLOPS * 1e9))
+}
+
+// Priority implements Taskpool: panel tasks and early iterations first —
+// the factorization's critical path runs through POTRF(k) and the panel
+// TRSMs, so they outrank trailing updates.
+func (p *Pool) Priority(t parsec.TaskID) int64 {
+	var k int
+	var boost int64
+	switch t.Class {
+	case ClassPOTRF:
+		k, boost = int(t.Index), 3
+	case ClassTRSM:
+		k, _ = p.unpack2(t)
+		boost = 2
+	case ClassSYRK:
+		k, _ = p.unpack2(t)
+		boost = 1
+	case ClassGEMM:
+		k, _, _ = p.unpack3(t)
+	}
+	return int64(p.T-k)*4 + boost
+}
+
+// Inputs implements Taskpool.
+func (p *Pool) Inputs(t parsec.TaskID, out []parsec.Dep) []parsec.Dep {
+	switch t.Class {
+	case ClassPOTRF:
+		k := int(t.Index)
+		if k > 0 {
+			out = append(out, parsec.Dep{Task: p.syrk(k-1, k)})
+		}
+	case ClassTRSM:
+		k, m := p.unpack2(t)
+		out = append(out, parsec.Dep{Task: p.potrf(k)})
+		if k > 0 {
+			out = append(out, parsec.Dep{Task: p.gemm(k-1, m, k)})
+		}
+	case ClassSYRK:
+		k, m := p.unpack2(t)
+		out = append(out, parsec.Dep{Task: p.trsm(k, m)})
+		if k > 0 {
+			out = append(out, parsec.Dep{Task: p.syrk(k-1, m)})
+		}
+	case ClassGEMM:
+		k, m, n := p.unpack3(t)
+		out = append(out, parsec.Dep{Task: p.trsm(k, m)})
+		out = append(out, parsec.Dep{Task: p.trsm(k, n)})
+		if k > 0 {
+			out = append(out, parsec.Dep{Task: p.gemm(k-1, m, n)})
+		}
+	}
+	return out
+}
+
+// Successors implements Taskpool.
+func (p *Pool) Successors(t parsec.TaskID, flow int32, out []parsec.Dep) []parsec.Dep {
+	switch t.Class {
+	case ClassPOTRF:
+		k := int(t.Index)
+		for m := k + 1; m < p.T; m++ {
+			out = append(out, parsec.Dep{Task: p.trsm(k, m)})
+		}
+	case ClassTRSM:
+		k, m := p.unpack2(t)
+		out = append(out, parsec.Dep{Task: p.syrk(k, m)})
+		for n := k + 1; n < m; n++ {
+			out = append(out, parsec.Dep{Task: p.gemm(k, m, n)})
+		}
+		for m2 := m + 1; m2 < p.T; m2++ {
+			out = append(out, parsec.Dep{Task: p.gemm(k, m2, m)})
+		}
+	case ClassSYRK:
+		k, m := p.unpack2(t)
+		if k+1 == m {
+			out = append(out, parsec.Dep{Task: p.potrf(m)})
+		} else {
+			out = append(out, parsec.Dep{Task: p.syrk(k+1, m)})
+		}
+	case ClassGEMM:
+		k, m, n := p.unpack3(t)
+		if k+1 == n {
+			out = append(out, parsec.Dep{Task: p.trsm(n, m)})
+		} else {
+			out = append(out, parsec.Dep{Task: p.gemm(k+1, m, n)})
+		}
+	}
+	return out
+}
+
+// Roots implements Taskpool: the only dependence-free task is POTRF(0).
+func (p *Pool) Roots(rank int, emit func(parsec.TaskID)) {
+	if p.RankOf(p.potrf(0)) == rank {
+		emit(p.potrf(0))
+	}
+}
+
+// LocalTasks implements Taskpool by counting the writers of every locally
+// owned tile: tile (m,m) receives 1 POTRF and m SYRKs; tile (m,n), m>n,
+// receives 1 TRSM and n GEMMs.
+func (p *Pool) LocalTasks(rank int) int64 {
+	var total int64
+	for m := 0; m < p.T; m++ {
+		for n := 0; n <= m; n++ {
+			if p.grid.RankOf(m, n) != rank {
+				continue
+			}
+			if m == n {
+				total += 1 + int64(m)
+			} else {
+				total += 1 + int64(n)
+			}
+		}
+	}
+	return total
+}
+
+// TotalTasks returns the task count of the whole factorization.
+func (p *Pool) TotalTasks() int64 {
+	t := int64(p.T)
+	return t + t*(t-1) + t*(t-1)*(t-2)/6 // POTRF + TRSM/SYRK pairs + GEMM
+}
+
+// tileBytes is the dense tile payload size.
+func (p *Pool) tileBytes() int64 { return int64(p.NB) * int64(p.NB) * 8 }
+
+// MakeCopy implements Taskpool.
+func (p *Pool) MakeCopy(t parsec.TaskID, flow int32, size int64) parsec.DataRef {
+	if p.real {
+		return parsec.RealData(make([]byte, size))
+	}
+	return parsec.VirtualData(size)
+}
+
+// Execute implements Taskpool.
+func (p *Pool) Execute(t parsec.TaskID, inputs []parsec.DataRef) []parsec.DataRef {
+	if !p.real {
+		return []parsec.DataRef{parsec.VirtualData(p.tileBytes())}
+	}
+	return []parsec.DataRef{p.executeReal(t, inputs)}
+}
+
+func (p *Pool) executeReal(t parsec.TaskID, in []parsec.DataRef) parsec.DataRef {
+	nb := p.NB
+	switch t.Class {
+	case ClassPOTRF:
+		k := int(t.Index)
+		var a *linalg.Matrix
+		if k == 0 {
+			a = p.takeOrig(k, k)
+		} else {
+			a = tileFromBytes(in[0].Buf.Bytes, nb)
+		}
+		if err := linalg.POTRF(a); err != nil {
+			panic(fmt.Sprintf("cholesky: POTRF(%d): %v", k, err))
+		}
+		p.Result[[2]int{k, k}] = a
+		return parsec.RealData(tileToBytes(a))
+	case ClassTRSM:
+		k, m := p.unpack2(t)
+		l := tileFromBytes(in[0].Buf.Bytes, nb)
+		var a *linalg.Matrix
+		if k == 0 {
+			a = p.takeOrig(m, k)
+		} else {
+			a = tileFromBytes(in[1].Buf.Bytes, nb)
+		}
+		linalg.TRSMRightLowerT(a, l)
+		p.Result[[2]int{m, k}] = a
+		return parsec.RealData(tileToBytes(a))
+	case ClassSYRK:
+		k, m := p.unpack2(t)
+		a := tileFromBytes(in[0].Buf.Bytes, nb)
+		var c *linalg.Matrix
+		if k == 0 {
+			c = p.takeOrig(m, m)
+		} else {
+			c = tileFromBytes(in[1].Buf.Bytes, nb)
+		}
+		linalg.SYRK(c, a, -1)
+		return parsec.RealData(tileToBytes(c))
+	case ClassGEMM:
+		k, m, n := p.unpack3(t)
+		a := tileFromBytes(in[0].Buf.Bytes, nb)
+		b := tileFromBytes(in[1].Buf.Bytes, nb)
+		var c *linalg.Matrix
+		if k == 0 {
+			c = p.takeOrig(m, n)
+		} else {
+			c = tileFromBytes(in[2].Buf.Bytes, nb)
+		}
+		linalg.GEMM(c, a, b, -1, false, true)
+		return parsec.RealData(tileToBytes(c))
+	}
+	panic("cholesky: bad class")
+}
+
+func (p *Pool) takeOrig(m, n int) *linalg.Matrix {
+	tile, ok := p.orig[[2]int{m, n}]
+	if !ok {
+		panic(fmt.Sprintf("cholesky: original tile (%d,%d) consumed twice or missing", m, n))
+	}
+	delete(p.orig, [2]int{m, n})
+	return tile
+}
+
+// tileToBytes serializes a square tile as little-endian float64s.
+func tileToBytes(m *linalg.Matrix) []byte {
+	out := make([]byte, 8*len(m.Data))
+	for i, v := range m.Data {
+		binary.LittleEndian.PutUint64(out[i*8:], math.Float64bits(v))
+	}
+	return out
+}
+
+// tileFromBytes deserializes an nb x nb tile.
+func tileFromBytes(b []byte, nb int) *linalg.Matrix {
+	if len(b) != nb*nb*8 {
+		panic(fmt.Sprintf("cholesky: tile payload %d bytes, want %d", len(b), nb*nb*8))
+	}
+	m := linalg.NewMatrix(nb, nb)
+	for i := range m.Data {
+		m.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return m
+}
+
+// AssembleFactor reconstructs the full lower-triangular factor from Result
+// (real mode, after a successful run).
+func (p *Pool) AssembleFactor() *linalg.Matrix {
+	n := p.T * p.NB
+	l := linalg.NewMatrix(n, n)
+	for m := 0; m < p.T; m++ {
+		for c := 0; c <= m; c++ {
+			tile, ok := p.Result[[2]int{m, c}]
+			if !ok {
+				panic(fmt.Sprintf("cholesky: missing result tile (%d,%d)", m, c))
+			}
+			for i := 0; i < p.NB; i++ {
+				for j := 0; j < p.NB; j++ {
+					l.Set(m*p.NB+i, c*p.NB+j, tile.At(i, j))
+				}
+			}
+		}
+	}
+	return l
+}

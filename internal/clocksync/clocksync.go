@@ -1,0 +1,153 @@
+// Package clocksync implements the clock-synchronization step of the
+// paper's measurement methodology (§6.1.3): cross-node communication
+// latencies can only be measured against synchronized clocks, so offsets of
+// every rank's skewed local clock relative to a reference rank are estimated
+// with ping-pong exchanges (adapted from Hunold and Carpen-Amarie [18]) and
+// re-estimated at every execution epoch to bound drift.
+//
+// The estimator is the classic minimum-RTT midpoint: for a ping leaving the
+// reference at local time t1, reflected by the peer at its local time t2,
+// and returning at reference local time t3, the peer's offset is
+// approximately t2 - (t1+t3)/2; among many rounds, the round with the
+// smallest RTT gives the estimate least polluted by queueing.
+package clocksync
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"amtlci/internal/core"
+	"amtlci/internal/parsec"
+	"amtlci/internal/sim"
+)
+
+// Active-message tags registered by the protocol (disjoint from the
+// runtime's tags).
+const (
+	tagPing core.Tag = 100
+	tagPong core.Tag = 101
+)
+
+// Result holds the estimates of one synchronization epoch.
+type Result struct {
+	// Offsets[r] estimates rank r's clock offset relative to rank 0; use
+	// them as the tracer's corrections. Offsets[0] is zero.
+	Offsets []sim.Duration
+	// MinRTT[r] is the smallest observed round-trip time to rank r.
+	MinRTT []sim.Duration
+	// Rounds is the number of exchanges used per rank.
+	Rounds int
+}
+
+// proto drives the sequential ping-pong schedule from rank 0.
+type proto struct {
+	eng     *sim.Engine
+	engines []core.Engine
+	clocks  []parsec.Clock
+	rounds  int
+	res     *Result
+
+	peer  int
+	round int
+	t1    sim.Time // reference local clock at ping send
+	best  sim.Duration
+	bestO sim.Duration
+}
+
+// Register installs the protocol's active-message handlers on every engine.
+// Call once per engine set, before Run. clocks supplies each rank's local
+// clock (the same clocks later installed on the runtime).
+func Register(eng *sim.Engine, engines []core.Engine, clocks []parsec.Clock, rounds int) *proto {
+	if rounds <= 0 {
+		panic("clocksync: rounds must be positive")
+	}
+	if len(engines) != len(clocks) {
+		panic("clocksync: engines and clocks length mismatch")
+	}
+	p := &proto{eng: eng, engines: engines, clocks: clocks, rounds: rounds}
+	for r, ce := range engines {
+		r := r
+		ce := ce
+		ce.TagReg(tagPing, func(_ core.Engine, _ core.Tag, data []byte, src int) {
+			// Reflect with our local reading.
+			t2 := p.clocks[r].Read(p.eng.Now())
+			reply := make([]byte, 8)
+			binary.LittleEndian.PutUint64(reply, uint64(t2))
+			ce.SendAM(tagPong, src, reply)
+		}, 64)
+		ce.TagReg(tagPong, func(_ core.Engine, _ core.Tag, data []byte, src int) {
+			p.onPong(sim.Time(binary.LittleEndian.Uint64(data)), src)
+		}, 64)
+	}
+	return p
+}
+
+// Run performs one synchronization epoch: sequential min-RTT ping-pong from
+// rank 0 to every other rank. It drives the shared engine until the epoch
+// completes and returns the estimates.
+func (p *proto) Run() *Result {
+	n := len(p.engines)
+	p.res = &Result{
+		Offsets: make([]sim.Duration, n),
+		MinRTT:  make([]sim.Duration, n),
+		Rounds:  p.rounds,
+	}
+	if n == 1 {
+		return p.res
+	}
+	p.peer = 1
+	p.round = 0
+	p.best = 1 << 62
+	p.ping()
+	p.eng.Run()
+	if p.peer < n {
+		panic(fmt.Sprintf("clocksync: epoch stalled at peer %d round %d", p.peer, p.round))
+	}
+	return p.res
+}
+
+func (p *proto) ping() {
+	p.t1 = p.clocks[0].Read(p.eng.Now())
+	p.engines[0].SendAM(tagPing, p.peer, []byte{0})
+}
+
+func (p *proto) onPong(t2 sim.Time, src int) {
+	if src != p.peer {
+		panic(fmt.Sprintf("clocksync: pong from %d while syncing %d", src, p.peer))
+	}
+	t3 := p.clocks[0].Read(p.eng.Now())
+	rtt := t3.Sub(p.t1)
+	if rtt < p.best {
+		p.best = rtt
+		mid := p.t1.Add(rtt / 2)
+		p.bestO = t2.Sub(mid)
+	}
+	p.round++
+	if p.round < p.rounds {
+		p.ping()
+		return
+	}
+	p.res.Offsets[p.peer] = p.bestO
+	p.res.MinRTT[p.peer] = p.best
+	p.peer++
+	p.round = 0
+	p.best = 1 << 62
+	if p.peer < len(p.engines) {
+		p.ping()
+	}
+}
+
+// MakeClocks builds n deterministic skewed clocks: random offsets up to
+// maxOffset and relative drifts up to maxDrift, seeded by seed. Rank 0 is
+// the unskewed reference.
+func MakeClocks(n int, maxOffset sim.Duration, maxDrift float64, seed uint64) []parsec.Clock {
+	rng := sim.NewRNG(seed)
+	clocks := make([]parsec.Clock, n)
+	for i := 1; i < n; i++ {
+		clocks[i] = parsec.Clock{
+			Offset: sim.Duration((rng.Float64()*2 - 1) * float64(maxOffset)),
+			Drift:  (rng.Float64()*2 - 1) * maxDrift,
+		}
+	}
+	return clocks
+}

@@ -1,0 +1,107 @@
+package clocksync
+
+import (
+	"testing"
+
+	"amtlci/internal/core/stack"
+	"amtlci/internal/parsec"
+	"amtlci/internal/sim"
+)
+
+func TestOffsetsEstimatedWithinRTT(t *testing.T) {
+	for _, b := range stack.Backends {
+		b := b
+		t.Run(b.String(), func(t *testing.T) {
+			const ranks = 4
+			o := stack.DefaultOptions(b, ranks)
+			o.Fabric.Jitter = 0
+			s := stack.Build(o)
+			clocks := MakeClocks(ranks, 10*sim.Millisecond, 0, 42)
+			p := Register(s.Eng, s.Engines, clocks, 8)
+			res := p.Run()
+			for r := 1; r < ranks; r++ {
+				err := res.Offsets[r] - clocks[r].Offset
+				if err < 0 {
+					err = -err
+				}
+				if err > res.MinRTT[r] {
+					t.Fatalf("rank %d: offset error %v exceeds RTT %v", r, err, res.MinRTT[r])
+				}
+				if res.MinRTT[r] <= 0 {
+					t.Fatalf("rank %d: nonsensical RTT %v", r, res.MinRTT[r])
+				}
+			}
+			if res.Offsets[0] != 0 {
+				t.Fatal("reference rank must have zero offset")
+			}
+		})
+	}
+}
+
+func TestOffsetsAccurateToMicroseconds(t *testing.T) {
+	const ranks = 3
+	o := stack.DefaultOptions(stack.LCI, ranks)
+	o.Fabric.Jitter = 0
+	s := stack.Build(o)
+	clocks := MakeClocks(ranks, 50*sim.Millisecond, 0, 7)
+	res := Register(s.Eng, s.Engines, clocks, 10).Run()
+	for r := 1; r < ranks; r++ {
+		err := res.Offsets[r] - clocks[r].Offset
+		if err < 0 {
+			err = -err
+		}
+		// With symmetric paths and no jitter the midpoint estimator should
+		// land within a few microseconds.
+		if err > 10*sim.Microsecond {
+			t.Fatalf("rank %d: offset error %v too large", r, err)
+		}
+	}
+}
+
+func TestSingleRankTrivial(t *testing.T) {
+	s := stack.New(stack.LCI, 1)
+	res := Register(s.Eng, s.Engines, []parsec.Clock{{}}, 4).Run()
+	if len(res.Offsets) != 1 || res.Offsets[0] != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestCorrectionsFixTracerLatencies(t *testing.T) {
+	// End-to-end: skewed clocks + estimated corrections give plausible
+	// latencies in a real runtime execution (the §6.1.3 methodology).
+	const ranks = 2
+	o := stack.DefaultOptions(stack.LCI, ranks)
+	o.Fabric.Jitter = 0
+	s := stack.Build(o)
+	clocks := MakeClocks(ranks, 20*sim.Millisecond, 0, 99)
+	res := Register(s.Eng, s.Engines, clocks, 8).Run()
+
+	g := parsec.NewGraphPool("sync-lat", ranks, false)
+	p := g.AddTask(0, 0, sim.Microsecond, 0, 128<<10)
+	c := g.AddTask(1, 1, sim.Microsecond, 0)
+	g.Link(p, 0, c)
+	cfg := parsec.DefaultConfig(2)
+	cfg.Jitter = 0
+	rt := parsec.New(s.Eng, s.Engines, g, cfg)
+	rt.SetClocks(clocks, res.Offsets)
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	e2e := rt.Tracer().EndToEnd().Mean() // microseconds
+	if e2e < 1 || e2e > 200 {
+		t.Fatalf("corrected e2e latency %.2fµs implausible (skew 20ms)", e2e)
+	}
+}
+
+func TestMakeClocksDeterministic(t *testing.T) {
+	a := MakeClocks(5, sim.Millisecond, 1e-6, 3)
+	b := MakeClocks(5, sim.Millisecond, 1e-6, 3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("MakeClocks not deterministic")
+		}
+	}
+	if a[0] != (parsec.Clock{}) {
+		t.Fatal("rank 0 must be the unskewed reference")
+	}
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"amtlci/internal/buf"
+)
+
+func TestRegistryLifecycle(t *testing.T) {
+	g := NewRegistry(3)
+	b := buf.Virtual(128)
+	h := g.MemReg(b)
+	if h.Rank != 3 {
+		t.Fatalf("handle rank = %d", h.Rank)
+	}
+	if got := g.Lookup(h); got.Size != 128 {
+		t.Fatalf("lookup size = %d", got.Size)
+	}
+	g.MemDereg(h)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("lookup after dereg did not panic")
+		}
+	}()
+	g.Lookup(h)
+}
+
+func TestRegistryRejectsForeignHandles(t *testing.T) {
+	g := NewRegistry(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("foreign lookup did not panic")
+		}
+	}()
+	g.Lookup(MemHandle{Rank: 1, ID: 5})
+}
+
+func TestRegistryHandlesAreUnique(t *testing.T) {
+	g := NewRegistry(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		h := g.MemReg(buf.Virtual(1))
+		if seen[h.ID] {
+			t.Fatal("duplicate handle ID")
+		}
+		seen[h.ID] = true
+	}
+}
+
+func TestPutHeaderRoundTrip(t *testing.T) {
+	f := func(rank int32, id uint64, rdispl, size int64, dataTag, rtag int32, cbData []byte) bool {
+		h := PutHeader{
+			RReg:    MemHandle{Rank: rank, ID: id},
+			RDispl:  rdispl,
+			Size:    size,
+			DataTag: dataTag,
+			RTag:    Tag(rtag),
+			RCBData: cbData,
+		}
+		got := UnmarshalPutHeader(h.Marshal())
+		return got.RReg == h.RReg && got.RDispl == h.RDispl && got.Size == h.Size &&
+			got.DataTag == h.DataTag && got.RTag == h.RTag && bytes.Equal(got.RCBData, h.RCBData)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutHeaderEmptyCallbackData(t *testing.T) {
+	h := PutHeader{Size: 42}
+	got := UnmarshalPutHeader(h.Marshal())
+	if got.Size != 42 || len(got.RCBData) != 0 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestTagTable(t *testing.T) {
+	tt := NewTagTable()
+	called := false
+	tt.Register(5, func(Engine, Tag, []byte, int) { called = true }, 100)
+	cb, maxLen := tt.Lookup(5)
+	if maxLen != 100 {
+		t.Fatalf("maxLen = %d", maxLen)
+	}
+	cb(nil, 5, nil, 0)
+	if !called {
+		t.Fatal("callback not invoked")
+	}
+	if tt.Len() != 1 || tt.Tags()[0] != 5 {
+		t.Fatalf("Len/Tags wrong: %d %v", tt.Len(), tt.Tags())
+	}
+}
+
+func TestTagTableDuplicatePanics(t *testing.T) {
+	tt := NewTagTable()
+	tt.Register(1, func(Engine, Tag, []byte, int) {}, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	tt.Register(1, func(Engine, Tag, []byte, int) {}, 0)
+}
+
+func TestTagTableUnknownLookupPanics(t *testing.T) {
+	tt := NewTagTable()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown lookup did not panic")
+		}
+	}()
+	tt.Lookup(99)
+}

@@ -1,0 +1,494 @@
+// Package lcice is the LCI backend of the PaRSEC communication engine,
+// implementing Section 5.3 of the paper:
+//
+//   - a dedicated progress thread calls LCI progress: it drains hardware
+//     completion queues, matches direct traffic, answers rendezvous
+//     handshakes, and runs LCI-level completion handlers. Active-message
+//     callbacks therefore never block wire progress (§5.3.1);
+//   - active messages go through a tag→callback hash table; receive buffers
+//     are allocated dynamically by LCI at the destination, with no posted
+//     receives and no message matching (§5.3.2);
+//   - the put is a specialized handshake (bypassing the AM hash-table
+//     lookup) followed by an LCI Direct transfer; sufficiently small data
+//     rides inside the handshake itself, skipping the data transfer
+//     entirely (§5.3.3);
+//   - when the progress thread cannot post a matching Direct receive
+//     (LCI back-pressure, ErrRetry), the post is delegated to the
+//     communication thread rather than retried in the handler (§5.3.3);
+//   - completions are consumed by the communication thread from two FIFO
+//     queues — up to five active-message completions, then all bulk-data
+//     completions, looping until both drain (§5.3.4).
+package lcice
+
+import (
+	"amtlci/internal/buf"
+	"amtlci/internal/core"
+	"amtlci/internal/lci"
+	"amtlci/internal/sim"
+)
+
+// Tag-space layout on the LCI endpoint: user AM tags map to themselves,
+// the put handshake uses hsTag, and Direct data transfers draw from
+// dataTagBase upward (Direct matching is a separate protocol path, but
+// keeping the ranges disjoint makes traces readable).
+const (
+	hsTag       = -2
+	dataTagBase = 1 << 24
+	// inlineDataTag marks a handshake whose data arrived inside it.
+	inlineDataTag = -1
+)
+
+// Config holds the backend's structural parameters.
+type Config struct {
+	// CommWake and ProgWake model the wake-up granularity of the
+	// communication and progress threads.
+	CommWake sim.Duration
+	ProgWake sim.Duration
+	// DispatchCost is the per-completion dispatch cost on the communication
+	// thread (pop from FIFO, argument setup).
+	DispatchCost sim.Duration
+	// AMBatch bounds how many active-message completions are processed
+	// before the bulk queue gets a turn (five in the paper, §5.3.4).
+	AMBatch int
+	// EagerPutMax is the largest put payload carried inside the handshake
+	// (§5.3.3). It must leave room for the header within the LCI Buffered
+	// limit.
+	EagerPutMax int64
+	// InlineProgress runs LCI progress on the communication thread instead
+	// of a dedicated progress thread — an ablation that removes the
+	// paper's key structural change (§5.3.1).
+	InlineProgress bool
+
+	// NativePut uses the LCI one-sided Putd extension (the paper's §7
+	// future work) instead of the handshake-emulated put: one wire
+	// transfer, no rendezvous round, no target-side matching.
+	NativePut bool
+
+	// ProgressThreads spreads LCI progress over several dedicated threads
+	// (another §7 future-work item: "examining the benefits of using
+	// multiple communication or progress threads"). Values below 2 keep
+	// the paper's single progress thread.
+	ProgressThreads int
+}
+
+// DefaultConfig returns the paper's configuration.
+func DefaultConfig() Config {
+	return Config{
+		CommWake:       150 * sim.Nanosecond,
+		ProgWake:       80 * sim.Nanosecond,
+		DispatchCost:   90 * sim.Nanosecond,
+		AMBatch:        5,
+		EagerPutMax:    8 << 10,
+		InlineProgress: false,
+	}
+}
+
+// handle is a callback handle pushed to the shared FIFO queues (§5.3.2:
+// "allocated from a memory pool and filled with information specific to the
+// active message").
+type handle struct {
+	run func()
+}
+
+// Engine is the per-rank LCI communication engine.
+type Engine struct {
+	eng *sim.Engine
+	rt  *lci.Runtime
+	ep  *lci.Endpoint
+	cfg Config
+
+	comm *sim.Proc
+	prog *sim.Proc
+
+	tags *core.TagTable
+	reg  *core.Registry
+
+	amQ   []handle
+	bulkQ []handle
+	// deferred holds operations that hit ErrRetry and retry on the
+	// communication thread (§5.3.3).
+	deferred []func() error
+
+	drainScheduled bool
+	progScheduled  bool
+	nextDataTag    int32
+	stats          core.Stats
+}
+
+var _ core.Engine = (*Engine)(nil)
+
+// New builds the engine for rank over the LCI runtime rt.
+func New(eng *sim.Engine, rt *lci.Runtime, rank int, cfg Config) *Engine {
+	if cfg.AMBatch <= 0 {
+		panic("lcice: AMBatch must be positive")
+	}
+	e := &Engine{
+		eng:  eng,
+		rt:   rt,
+		ep:   rt.Endpoint(rank),
+		cfg:  cfg,
+		comm: sim.NewProc(eng),
+		tags: core.NewTagTable(),
+		reg:  core.NewRegistry(rank),
+	}
+	e.comm.WakeLatency = cfg.CommWake
+	if cfg.InlineProgress {
+		e.prog = e.comm
+	} else {
+		e.prog = sim.NewProc(eng)
+		e.prog.WakeLatency = cfg.ProgWake
+	}
+	e.ep.SetWake(e.scheduleProgress)
+	e.ep.SetMsgComp(lci.Handler(e.onMsg))
+	e.ep.SetRMAComp(lci.Handler(e.onRMA))
+	return e
+}
+
+// onRMA handles a one-sided put completion at the target (progress thread):
+// the metadata carries the remote-completion tag and callback data.
+func (e *Engine) onRMA(r lci.Request) {
+	h := core.UnmarshalPutHeader(r.Data.Bytes)
+	e.deliverRemoteCompletion(h.RTag, append([]byte(nil), h.RCBData...), r.Rank)
+}
+
+// Rank returns this engine's rank.
+func (e *Engine) Rank() int { return e.ep.ID() }
+
+// Size returns the job size.
+func (e *Engine) Size() int { return e.rt.Size() }
+
+// CommProc returns the communication thread.
+func (e *Engine) CommProc() *sim.Proc { return e.comm }
+
+// ProgProc returns the progress thread (the communication thread when
+// InlineProgress is set).
+func (e *Engine) ProgProc() *sim.Proc { return e.prog }
+
+// Stats returns activity counters.
+func (e *Engine) Stats() core.Stats { return e.stats }
+
+// MemReg registers b for remote puts.
+func (e *Engine) MemReg(b buf.Buf) core.MemHandle {
+	if e.cfg.NativePut {
+		return e.memRegNative(b)
+	}
+	return e.reg.MemReg(b)
+}
+
+// MemDereg releases a registration.
+func (e *Engine) MemDereg(h core.MemHandle) {
+	if e.cfg.NativePut {
+		e.memDeregNative(h)
+		return
+	}
+	e.reg.MemDereg(h)
+}
+
+// Lookup resolves a local registration.
+func (e *Engine) Lookup(h core.MemHandle) buf.Buf { return e.reg.Lookup(h) }
+
+// TagReg inserts the callback into the hash table (§5.3.2); nothing is
+// posted — LCI allocates receive buffers dynamically.
+func (e *Engine) TagReg(tag core.Tag, cb core.AMCallback, maxLen int64) {
+	e.tags.Register(tag, cb, maxLen)
+}
+
+// MemReg registers b for remote puts. With NativePut the registration is
+// also exposed to the LCI one-sided layer under the same ID, so a remote
+// rank can write it directly.
+func (e *Engine) memRegNative(b buf.Buf) core.MemHandle {
+	h := e.reg.MemReg(b)
+	e.ep.RegisterRMA(lci.RMAKey{ID: h.ID}, b)
+	return h
+}
+
+func (e *Engine) memDeregNative(h core.MemHandle) {
+	e.reg.MemDereg(h)
+	e.ep.DeregisterRMA(lci.RMAKey{ID: h.ID})
+}
+
+// Submit runs fn on the communication thread after charging cost.
+func (e *Engine) Submit(cost sim.Duration, fn func()) { e.comm.Submit(cost, fn) }
+
+// SendAM sends an active message using the Immediate or Buffered protocol
+// depending on length (§5.3.2), from the communication thread.
+func (e *Engine) SendAM(tag core.Tag, remote int, data []byte) {
+	b := buf.FromBytes(data)
+	e.Submit(e.rt.Config().SendCost(b.Size), func() {
+		e.sendEagerWithRetry(remote, int(tag), b)
+		e.stats.AMsSent++
+	})
+}
+
+// SendAMMT sends an active message directly from a worker thread. LCI is
+// designed for concurrent callers, so the only extra cost is an atomic
+// packet reservation — no global lock (§6.4.3).
+func (e *Engine) SendAMMT(worker *sim.Proc, tag core.Tag, remote int, data []byte, done func()) {
+	b := buf.FromBytes(data)
+	cfg := e.rt.Config()
+	worker.Submit(cfg.SendCost(b.Size)+cfg.MTSendCost, func() {
+		e.sendEagerWithRetry(remote, int(tag), b)
+		e.stats.AMsSent++
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// sendEagerWithRetry issues an Immediate/Buffered send, deferring to the
+// communication thread's retry queue on back-pressure.
+func (e *Engine) sendEagerWithRetry(remote, tag int, b buf.Buf) {
+	err := e.eagerSend(remote, tag, b)
+	if err == lci.ErrRetry {
+		e.stats.Deferred++
+		e.pushDeferred(func() error { return e.eagerSend(remote, tag, b) })
+	}
+}
+
+func (e *Engine) eagerSend(remote, tag int, b buf.Buf) error {
+	if b.Size <= e.rt.Config().ImmediateMax {
+		return e.ep.Sends(remote, tag, b)
+	}
+	return e.ep.Sendm(remote, tag, b)
+}
+
+// Put starts the one-sided transfer: the §5.3.3 handshake emulation by
+// default, or the true one-sided Putd when NativePut is set. Must run on
+// the communication thread.
+func (e *Engine) Put(a core.PutArgs) {
+	e.stats.PutsStarted++
+	e.stats.PutBytes += uint64(a.Size)
+	local := e.reg.Lookup(a.LReg).Slice(a.LDispl, a.Size)
+	cfg := e.rt.Config()
+
+	if e.cfg.NativePut {
+		meta := core.PutHeader{RTag: a.RTag, RCBData: a.RCBData}.Marshal()
+		comp := lci.Handler(func(lci.Request) {
+			e.stats.PutsDone++
+			e.pushBulk(handle{run: func() {
+				if a.LocalCB != nil {
+					a.LocalCB()
+				}
+			}})
+		})
+		e.Submit(cfg.PostCost, func() {
+			send := func() error {
+				return e.ep.Putd(a.Remote, lci.RMAKey{ID: a.RReg.ID}, a.RDispl,
+					local, meta, comp, nil)
+			}
+			if err := send(); err == lci.ErrRetry {
+				e.stats.Deferred++
+				e.pushDeferred(send)
+			}
+		})
+		return
+	}
+
+	if a.Size <= e.cfg.EagerPutMax {
+		// Eager-data optimization: the data rides inside the handshake and
+		// the local completion fires as soon as the send is posted.
+		hdr := core.PutHeader{
+			RReg: a.RReg, RDispl: a.RDispl, Size: a.Size,
+			DataTag: inlineDataTag, RTag: a.RTag, RCBData: a.RCBData,
+		}.Marshal()
+		hb := buf.FromBytes(hdr)
+		e.Submit(cfg.SendCost(hb.Size+a.Size), func() {
+			send := func() error { return e.ep.Sendmx(a.Remote, hsTag, hb, local) }
+			if err := send(); err == lci.ErrRetry {
+				e.stats.Deferred++
+				e.pushDeferred(func() error {
+					if err := send(); err != nil {
+						return err
+					}
+					e.finishEagerPut(a.LocalCB)
+					return nil
+				})
+				return
+			}
+			e.finishEagerPut(a.LocalCB)
+		})
+		return
+	}
+
+	e.nextDataTag++
+	dataTag := dataTagBase + int(e.nextDataTag)
+	hdr := core.PutHeader{
+		RReg: a.RReg, RDispl: a.RDispl, Size: a.Size,
+		DataTag: int32(dataTag), RTag: a.RTag, RCBData: a.RCBData,
+	}.Marshal()
+	hb := buf.FromBytes(hdr)
+	e.Submit(cfg.SendCost(hb.Size), func() {
+		if err := e.ep.Sendm(a.Remote, hsTag, hb); err == lci.ErrRetry {
+			e.stats.Deferred++
+			e.pushDeferred(func() error { return e.ep.Sendm(a.Remote, hsTag, hb) })
+		}
+	})
+	// Completion handler runs on the progress thread; it only pushes the
+	// callback handle to the bulk FIFO (§5.3.3).
+	comp := lci.Handler(func(lci.Request) {
+		e.stats.PutsDone++
+		e.pushBulk(handle{run: func() {
+			if a.LocalCB != nil {
+				a.LocalCB()
+			}
+		}})
+	})
+	e.Submit(cfg.PostCost, func() {
+		send := func() error { return e.ep.Sendd(a.Remote, dataTag, local, comp, nil) }
+		if err := send(); err == lci.ErrRetry {
+			e.stats.Deferred++
+			e.pushDeferred(send)
+		}
+	})
+}
+
+func (e *Engine) finishEagerPut(localCB func()) {
+	e.stats.PutsDone++
+	if localCB != nil {
+		e.comm.Submit(0, func() {
+			if localCB != nil {
+				localCB()
+			}
+		})
+	}
+}
+
+// onMsg is the LCI message handler, invoked on the progress thread for every
+// dynamically-buffered arrival: user active messages and put handshakes.
+func (e *Engine) onMsg(r lci.Request) {
+	if r.Tag != hsTag {
+		// User AM: allocate a callback handle and push it to the AM FIFO
+		// (§5.3.2). The hash-table lookup happens here, on the progress
+		// thread, so the communication thread only dispatches.
+		tag := core.Tag(r.Tag)
+		cb, _ := e.tags.Lookup(tag)
+		data := r.Data.Bytes
+		src := r.Rank
+		e.stats.AMsDelivered++
+		e.pushAM(handle{run: func() { cb(e, tag, data, src) }})
+		return
+	}
+
+	// Put handshake: specialized path bypassing the AM hash table (§5.3.3).
+	h := core.UnmarshalPutHeader(r.Data.Bytes)
+	target := e.reg.Lookup(h.RReg).Slice(h.RDispl, h.Size)
+	src := r.Rank
+	rcb := append([]byte(nil), h.RCBData...)
+
+	if h.DataTag == inlineDataTag {
+		// Data arrived inside the handshake.
+		buf.Copy(target, r.Extra)
+		e.deliverRemoteCompletion(h.RTag, rcb, src)
+		return
+	}
+
+	post := func() error {
+		return e.ep.Recvd(src, int(h.DataTag), target, lci.Handler(func(lci.Request) {
+			e.deliverRemoteCompletion(h.RTag, rcb, src)
+		}), nil)
+	}
+	if err := post(); err == lci.ErrRetry {
+		// §5.3.3: the progress thread must not spin or recurse into
+		// progress; delegate the post to the communication thread.
+		e.stats.Deferred++
+		e.pushDeferred(post)
+	}
+}
+
+// deliverRemoteCompletion pushes the remote-completion callback handle to
+// the bulk FIFO for the communication thread.
+func (e *Engine) deliverRemoteCompletion(rtag core.Tag, rcbData []byte, src int) {
+	cb, _ := e.tags.Lookup(rtag)
+	e.pushBulk(handle{run: func() { cb(e, rtag, rcbData, src) }})
+}
+
+func (e *Engine) pushAM(h handle) {
+	e.amQ = append(e.amQ, h)
+	e.scheduleDrain()
+}
+
+func (e *Engine) pushBulk(h handle) {
+	e.bulkQ = append(e.bulkQ, h)
+	e.scheduleDrain()
+}
+
+func (e *Engine) pushDeferred(fn func() error) {
+	e.deferred = append(e.deferred, fn)
+	e.scheduleDrain()
+}
+
+// scheduleProgress arranges an LCI progress pass on the progress thread.
+// With ProgressThreads > 1 the pass cost is divided across the extra
+// threads — a first-order model of parallel completion-queue polling, the
+// paper's §7 future-work item.
+func (e *Engine) scheduleProgress() {
+	if e.progScheduled {
+		return
+	}
+	e.progScheduled = true
+	cost := e.ep.ProgressCost()
+	if e.cfg.ProgressThreads > 1 {
+		cost /= sim.Duration(e.cfg.ProgressThreads)
+	}
+	e.prog.Submit(cost, e.runProgress)
+}
+
+func (e *Engine) runProgress() {
+	e.progScheduled = false
+	e.ep.Progress()
+	if e.ep.StagedWork() {
+		e.scheduleProgress()
+	}
+}
+
+// scheduleDrain arranges a communication-thread drain pass.
+func (e *Engine) scheduleDrain() {
+	if e.drainScheduled {
+		return
+	}
+	e.drainScheduled = true
+	e.comm.Submit(0, e.drain)
+}
+
+// drain implements the §5.3.4 fairness loop: up to AMBatch active-message
+// completions, then all bulk completions, repeating until both queues are
+// empty. Retry-deferred operations are attempted between rounds.
+func (e *Engine) drain() {
+	e.drainScheduled = false
+
+	n := len(e.amQ)
+	if n > e.cfg.AMBatch {
+		n = e.cfg.AMBatch
+	}
+	for _, h := range e.amQ[:n] {
+		h := h
+		e.comm.Submit(e.cfg.DispatchCost, h.run)
+	}
+	e.amQ = append(e.amQ[:0], e.amQ[n:]...)
+
+	for _, h := range e.bulkQ {
+		h := h
+		e.comm.Submit(e.cfg.DispatchCost, h.run)
+	}
+	e.bulkQ = e.bulkQ[:0]
+
+	// Retry deferred operations; those that still fail stay queued. Snapshot
+	// first: a retried operation may itself defer follow-up work.
+	pend := e.deferred
+	e.deferred = nil
+	for _, fn := range pend {
+		if err := fn(); err == lci.ErrRetry {
+			e.deferred = append(e.deferred, fn)
+		}
+	}
+
+	if len(e.amQ) > 0 || len(e.bulkQ) > 0 {
+		// Loop: queue another pass behind the dispatched callbacks.
+		e.scheduleDrain()
+	} else if len(e.deferred) > 0 {
+		// Nothing dispatchable but retries remain: try again shortly rather
+		// than spinning (resources free when completions arrive, which
+		// wakes us anyway; this is a safety net).
+		e.eng.After(sim.Microsecond, e.scheduleDrain)
+	}
+}

@@ -1,0 +1,126 @@
+package lcice
+
+import (
+	"testing"
+
+	"amtlci/internal/buf"
+	"amtlci/internal/core"
+	"amtlci/internal/fabric"
+	"amtlci/internal/lci"
+	"amtlci/internal/sim"
+)
+
+func harness(n int, cfg Config) (*sim.Engine, []*Engine) {
+	eng := sim.NewEngine()
+	fc := fabric.DefaultConfig()
+	fc.Jitter = 0
+	fab := fabric.New(eng, n, fc)
+	rt := lci.NewRuntime(eng, fab, lci.DefaultConfig())
+	engines := make([]*Engine, n)
+	for i := range engines {
+		engines[i] = New(eng, rt, i, cfg)
+	}
+	return eng, engines
+}
+
+func TestAMBatchFairness(t *testing.T) {
+	// §5.3.4: the communication thread processes at most AMBatch (five)
+	// active-message completions before giving the bulk queue a turn. Flood
+	// both queues and verify bulk work interleaves rather than starving.
+	eng, engines := harness(2, DefaultConfig())
+	e := engines[1]
+	var order []string
+	for i := 0; i < 12; i++ {
+		e.pushAM(handle{run: func() { order = append(order, "am") }})
+	}
+	for i := 0; i < 3; i++ {
+		e.pushBulk(handle{run: func() { order = append(order, "bulk") }})
+	}
+	eng.Run()
+	if len(order) != 15 {
+		t.Fatalf("processed %d items", len(order))
+	}
+	// The first 5 must be AMs, then the bulk queue drains before the next
+	// AM batch.
+	for i := 0; i < 5; i++ {
+		if order[i] != "am" {
+			t.Fatalf("order %v: first batch not AMs", order)
+		}
+	}
+	bulkIdx := -1
+	for i, v := range order {
+		if v == "bulk" {
+			bulkIdx = i
+			break
+		}
+	}
+	if bulkIdx != 5 {
+		t.Fatalf("order %v: bulk did not run after the first AM batch", order)
+	}
+}
+
+func TestDeferredOperationsRetry(t *testing.T) {
+	// An operation hitting ErrRetry lands on the communication thread's
+	// deferred queue and retries until it succeeds (§5.3.3 delegation).
+	eng, engines := harness(2, DefaultConfig())
+	e := engines[0]
+	tries := 0
+	e.pushDeferred(func() error {
+		tries++
+		if tries < 3 {
+			return lci.ErrRetry
+		}
+		return nil
+	})
+	eng.Run()
+	if tries != 3 {
+		t.Fatalf("deferred op tried %d times, want 3", tries)
+	}
+}
+
+func TestInlineProgressSharesCommThread(t *testing.T) {
+	eng, engines := harness(2, func() Config {
+		c := DefaultConfig()
+		c.InlineProgress = true
+		return c
+	}())
+	e := engines[0]
+	if e.ProgProc() != e.CommProc() {
+		t.Fatal("inline progress must reuse the communication thread")
+	}
+	_ = eng
+}
+
+func TestDedicatedProgressThreadSeparate(t *testing.T) {
+	_, engines := harness(2, DefaultConfig())
+	if engines[0].ProgProc() == engines[0].CommProc() {
+		t.Fatal("default configuration must dedicate a progress thread")
+	}
+}
+
+func TestEagerPutDataRidesHandshake(t *testing.T) {
+	// §5.3.3: payloads at or below EagerPutMax travel inside the handshake:
+	// exactly one wire message per put (plus none for data), and the local
+	// callback fires without waiting for a round trip.
+	eng, engines := harness(2, DefaultConfig())
+	src, dst := engines[0], engines[1]
+	const doneTag core.Tag = 7
+	got := 0
+	for _, e := range engines {
+		e.TagReg(doneTag, func(core.Engine, core.Tag, []byte, int) { got++ }, 64)
+	}
+	payload := []byte{1, 2, 3, 4}
+	target := make([]byte, 4)
+	lreg := src.MemReg(buf.FromBytes(payload))
+	rreg := dst.MemReg(buf.FromBytes(target))
+	src.Submit(0, func() {
+		src.Put(core.PutArgs{LReg: lreg, RReg: rreg, Size: 4, Remote: 1, RTag: doneTag})
+	})
+	eng.Run()
+	if got != 1 || target[3] != 4 {
+		t.Fatalf("eager put failed: got=%d target=%v", got, target)
+	}
+	if src.Stats().PutsDone != 1 {
+		t.Fatalf("stats %+v", src.Stats())
+	}
+}

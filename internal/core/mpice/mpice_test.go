@@ -1,0 +1,159 @@
+package mpice
+
+import (
+	"testing"
+
+	"amtlci/internal/buf"
+	"amtlci/internal/core"
+	"amtlci/internal/fabric"
+	"amtlci/internal/mpi"
+	"amtlci/internal/sim"
+)
+
+func harness(n int, cfg Config) (*sim.Engine, []*Engine) {
+	eng := sim.NewEngine()
+	fc := fabric.DefaultConfig()
+	fc.Jitter = 0
+	fab := fabric.New(eng, n, fc)
+	mcfg := mpi.DefaultConfig()
+	mcfg.AllowOvertaking = true
+	w := mpi.NewWorld(eng, fab, mcfg)
+	engines := make([]*Engine, n)
+	for i := range engines {
+		engines[i] = New(eng, w, i, cfg)
+	}
+	return eng, engines
+}
+
+func regDone(engines []*Engine, tag core.Tag, count *int) {
+	for _, e := range engines {
+		e.TagReg(tag, func(core.Engine, core.Tag, []byte, int) { *count++ }, 64)
+	}
+}
+
+func TestTransferCapDefersSendsFIFO(t *testing.T) {
+	// §4.2.2: beyond MaxTransfers concurrent transfers, sends are deferred
+	// and started in FIFO order as slots free.
+	cfg := DefaultConfig()
+	cfg.MaxTransfers = 4
+	eng, engines := harness(2, cfg)
+	src, dst := engines[0], engines[1]
+	const doneTag core.Tag = 9
+	done := 0
+	regDone(engines, doneTag, &done)
+	const n = 24
+	var lr, rr []core.MemHandle
+	for i := 0; i < n; i++ {
+		lr = append(lr, src.MemReg(buf.Virtual(128<<10)))
+		rr = append(rr, dst.MemReg(buf.Virtual(128<<10)))
+	}
+	src.Submit(0, func() {
+		for i := 0; i < n; i++ {
+			i := i
+			src.Put(core.PutArgs{LReg: lr[i], RReg: rr[i], Size: 128 << 10, Remote: 1, RTag: doneTag})
+		}
+	})
+	eng.Run()
+	if done != n {
+		t.Fatalf("completed %d puts, want %d", done, n)
+	}
+	if src.Stats().Deferred == 0 {
+		t.Fatal("no sends deferred despite cap 4")
+	}
+}
+
+func TestPersistentReceiveCountHonored(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PersistentPerTag = 2
+	_, engines := harness(2, cfg)
+	e := engines[0]
+	before := len(e.amSlots)
+	e.TagReg(42, func(core.Engine, core.Tag, []byte, int) {}, 64)
+	if got := len(e.amSlots) - before; got != 2 {
+		t.Fatalf("registered %d persistent receives, want 2", got)
+	}
+}
+
+func TestAMOverflowBeyondPersistentReceives(t *testing.T) {
+	// More concurrent AMs than persistent receives: the overflow waits in
+	// the unexpected queue and is still delivered after re-arms.
+	cfg := DefaultConfig()
+	cfg.PersistentPerTag = 1
+	eng, engines := harness(2, cfg)
+	const tag core.Tag = 11
+	got := 0
+	regDone(engines, tag, &got)
+	for i := 0; i < 20; i++ {
+		engines[0].SendAM(tag, 1, []byte{byte(i)})
+	}
+	eng.Run()
+	if got != 20 {
+		t.Fatalf("delivered %d AMs, want 20", got)
+	}
+}
+
+func TestGlobalArrayCompaction(t *testing.T) {
+	// After a burst completes, the transfer array must shrink back so later
+	// Testsome costs reflect only live requests.
+	eng, engines := harness(2, DefaultConfig())
+	src, dst := engines[0], engines[1]
+	const doneTag core.Tag = 13
+	done := 0
+	regDone(engines, doneTag, &done)
+	for i := 0; i < 10; i++ {
+		l := src.MemReg(buf.Virtual(64 << 10))
+		r := dst.MemReg(buf.Virtual(64 << 10))
+		src.Submit(0, func() {
+			src.Put(core.PutArgs{LReg: l, RReg: r, Size: 64 << 10, Remote: 1, RTag: doneTag})
+		})
+	}
+	eng.Run()
+	if done != 10 {
+		t.Fatalf("done = %d", done)
+	}
+	if n := len(src.xfer); n != 0 {
+		t.Fatalf("transfer array holds %d entries after drain", n)
+	}
+	if n := len(dst.xfer); n != 0 {
+		t.Fatalf("target transfer array holds %d entries after drain", n)
+	}
+}
+
+func TestRMAModeSkipsHandshakeTraffic(t *testing.T) {
+	// The RMA put needs no handshake AM and no CTS: total messages for one
+	// put drop versus the two-sided emulation.
+	msgs := func(useRMA bool) uint64 {
+		cfg := DefaultConfig()
+		cfg.UseRMA = useRMA
+		eng := sim.NewEngine()
+		fc := fabric.DefaultConfig()
+		fc.Jitter = 0
+		fab := fabric.New(eng, 2, fc)
+		w := mpi.NewWorld(eng, fab, mpi.DefaultConfig())
+		var engines []*Engine
+		for i := 0; i < 2; i++ {
+			engines = append(engines, New(eng, w, i, cfg))
+		}
+		const doneTag core.Tag = 15
+		done := 0
+		for _, e := range engines {
+			e.TagReg(doneTag, func(core.Engine, core.Tag, []byte, int) { done++ }, 64)
+		}
+		src, dst := engines[0], engines[1]
+		l := src.MemReg(buf.Virtual(1 << 20))
+		r := dst.MemReg(buf.Virtual(1 << 20))
+		src.Submit(0, func() {
+			src.Put(core.PutArgs{LReg: l, RReg: r, Size: 1 << 20, Remote: 1, RTag: doneTag})
+		})
+		eng.Run()
+		if done != 1 {
+			t.Fatalf("useRMA=%v: done=%d", useRMA, done)
+		}
+		return fab.Stats(0).MsgsSent + fab.Stats(1).MsgsSent
+	}
+	twoSided := msgs(false)
+	rma := msgs(true)
+	if rma >= twoSided {
+		t.Fatalf("RMA used %d messages, two-sided %d; expected fewer", rma, twoSided)
+	}
+}

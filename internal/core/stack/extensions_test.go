@@ -1,0 +1,142 @@
+package stack
+
+import (
+	"testing"
+
+	"amtlci/internal/buf"
+	"amtlci/internal/core"
+	"amtlci/internal/sim"
+)
+
+// The extension variants (the paper's §7 / §4.2.2 future work) must satisfy
+// the same put semantics as the shipping backends.
+
+func buildVariant(t *testing.T, b Backend, mod func(*Options)) *Stack {
+	t.Helper()
+	o := DefaultOptions(b, 2)
+	o.Fabric.Jitter = 0
+	if mod != nil {
+		mod(&o)
+	}
+	return Build(o)
+}
+
+// variantPut runs one real-bytes put and returns (localDone, remoteDone,
+// completion time).
+func variantPut(t *testing.T, s *Stack, size int64) sim.Duration {
+	t.Helper()
+	const doneTag core.Tag = 50
+	payload := make([]byte, size)
+	for i := range payload {
+		payload[i] = byte(i*13 + 7)
+	}
+	target := make([]byte, size)
+	src, dst := s.Engines[0], s.Engines[1]
+	lreg := src.MemReg(buf.FromBytes(payload))
+	rreg := dst.MemReg(buf.FromBytes(target))
+	localDone := false
+	var remoteAt sim.Time
+	for r := 0; r < 2; r++ {
+		r := r
+		s.Engines[r].TagReg(doneTag, func(_ core.Engine, _ core.Tag, data []byte, from int) {
+			if r != 1 || string(data) != "ncb" || from != 0 {
+				t.Errorf("bad remote completion at rank %d: %q from %d", r, data, from)
+			}
+			remoteAt = s.Eng.Now()
+		}, 64)
+	}
+	src.Submit(0, func() {
+		src.Put(core.PutArgs{
+			LReg: lreg, RReg: rreg, Size: size, Remote: 1,
+			LocalCB: func() { localDone = true },
+			RTag:    doneTag, RCBData: []byte("ncb"),
+		})
+	})
+	s.Eng.Run()
+	if !localDone || remoteAt == 0 {
+		t.Fatalf("put incomplete: local=%v remoteAt=%v", localDone, remoteAt)
+	}
+	for i := range payload {
+		if target[i] != payload[i] {
+			t.Fatalf("payload mismatch at %d", i)
+		}
+	}
+	return sim.Duration(remoteAt)
+}
+
+func TestNativePutConformance(t *testing.T) {
+	for _, size := range []int64{1, 4 << 10, 256 << 10, 2 << 20} {
+		s := buildVariant(t, LCI, func(o *Options) { o.LCICE.NativePut = true })
+		variantPut(t, s, size)
+		if st := s.Engines[0].Stats(); st.PutsDone != 1 {
+			t.Fatalf("size %d: stats %+v", size, st)
+		}
+	}
+}
+
+func TestMPIRMAConformance(t *testing.T) {
+	for _, size := range []int64{1, 4 << 10, 256 << 10, 2 << 20} {
+		s := buildVariant(t, MPI, func(o *Options) { o.MPICE.UseRMA = true })
+		variantPut(t, s, size)
+		if st := s.Engines[0].Stats(); st.PutsDone != 1 {
+			t.Fatalf("size %d: stats %+v", size, st)
+		}
+	}
+}
+
+func TestNativePutFasterThanHandshakeEmulation(t *testing.T) {
+	// The one-sided path saves the GET side's rendezvous round: remote
+	// completion should come no later than with the emulated put.
+	const size = 512 << 10
+	emulated := variantPut(t, buildVariant(t, LCI, nil), size)
+	native := variantPut(t, buildVariant(t, LCI, func(o *Options) { o.LCICE.NativePut = true }), size)
+	if native > emulated {
+		t.Fatalf("native put %v slower than emulated %v", native, emulated)
+	}
+}
+
+func TestMPIRMAPaysAttachCosts(t *testing.T) {
+	// The §4.2.2 caveat: dynamic-window attach/detach is expensive. The RMA
+	// variant must charge visibly more communication-thread time for a
+	// registration-heavy workload than the two-sided emulation.
+	run := func(useRMA bool) sim.Duration {
+		s := buildVariant(t, MPI, func(o *Options) { o.MPICE.UseRMA = useRMA })
+		dst := s.Engines[1]
+		for i := 0; i < 64; i++ {
+			h := dst.MemReg(buf.Virtual(1 << 20))
+			dst.MemDereg(h)
+		}
+		s.Eng.Run()
+		return s.Engines[1].CommProc().BusyTime()
+	}
+	twoSided := run(false)
+	rma := run(true)
+	if rma <= twoSided {
+		t.Fatalf("RMA attach/detach cost invisible: rma=%v two-sided=%v", rma, twoSided)
+	}
+}
+
+func TestProgressThreadsReduceProgressLatency(t *testing.T) {
+	// More progress threads must not hurt, and under bursty arrivals they
+	// shorten the progress backlog.
+	latency := func(threads int) sim.Duration {
+		s := buildVariant(t, LCI, func(o *Options) { o.LCICE.ProgressThreads = threads })
+		const tag core.Tag = 60
+		var last sim.Time
+		for r := 0; r < 2; r++ {
+			s.Engines[r].TagReg(tag, func(core.Engine, core.Tag, []byte, int) {
+				last = s.Eng.Now()
+			}, 4096)
+		}
+		for i := 0; i < 400; i++ {
+			s.Engines[0].SendAM(tag, 1, make([]byte, 2048))
+		}
+		s.Eng.Run()
+		return sim.Duration(last)
+	}
+	one := latency(1)
+	four := latency(4)
+	if four > one {
+		t.Fatalf("4 progress threads (%v) slower than 1 (%v)", four, one)
+	}
+}

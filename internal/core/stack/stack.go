@@ -1,0 +1,121 @@
+// Package stack assembles a complete simulated communication deployment —
+// engine, fabric, message-passing library, and one communication engine per
+// rank — for either backend. Every experiment, example, and test in this
+// repository starts from a Stack.
+package stack
+
+import (
+	"fmt"
+
+	"amtlci/internal/core"
+	"amtlci/internal/core/lcice"
+	"amtlci/internal/core/mpice"
+	"amtlci/internal/fabric"
+	"amtlci/internal/lci"
+	"amtlci/internal/mpi"
+	"amtlci/internal/sim"
+)
+
+// Backend selects the communication-engine implementation.
+type Backend int
+
+const (
+	// MPI is the baseline backend of Section 4.2.
+	MPI Backend = iota
+	// LCI is the paper's contribution, Section 5.3.
+	LCI
+)
+
+// String names the backend as the paper's figures do.
+func (b Backend) String() string {
+	switch b {
+	case MPI:
+		return "Open MPI"
+	case LCI:
+		return "LCI"
+	default:
+		return fmt.Sprintf("Backend(%d)", int(b))
+	}
+}
+
+// Backends lists both, in the order the paper's legends use.
+var Backends = []Backend{LCI, MPI}
+
+// Options configures a deployment. Zero-valued sub-configs are replaced by
+// the package defaults.
+type Options struct {
+	Ranks   int
+	Backend Backend
+	Seed    uint64 // overrides the fabric noise seed when nonzero
+
+	Fabric fabric.Config
+	MPI    mpi.Config
+	MPICE  mpice.Config
+	LCI    lci.Config
+	LCICE  lcice.Config
+}
+
+// DefaultOptions returns the paper-calibrated configuration for n ranks.
+func DefaultOptions(b Backend, n int) Options {
+	mpiCfg := mpi.DefaultConfig()
+	// PaRSEC requests relaxed ordering when available (§4.2.2).
+	mpiCfg.AllowOvertaking = true
+	return Options{
+		Ranks:   n,
+		Backend: b,
+		Fabric:  fabric.DefaultConfig(),
+		MPI:     mpiCfg,
+		MPICE:   mpice.DefaultConfig(),
+		LCI:     lci.DefaultConfig(),
+		LCICE:   lcice.DefaultConfig(),
+	}
+}
+
+// Stack is one assembled deployment.
+type Stack struct {
+	Eng     *sim.Engine
+	Fab     *fabric.Fabric
+	Backend Backend
+	Engines []core.Engine
+
+	// Library handles, populated for the matching backend only (for
+	// counter inspection in tests and experiments).
+	MPIWorld   *mpi.World
+	LCIRuntime *lci.Runtime
+}
+
+// Build assembles a deployment from o.
+func Build(o Options) *Stack {
+	if o.Ranks <= 0 {
+		panic("stack: Ranks must be positive")
+	}
+	eng := sim.NewEngine()
+	fc := o.Fabric
+	if fc.BandwidthGbps == 0 {
+		fc = fabric.DefaultConfig()
+	}
+	if o.Seed != 0 {
+		fc.Seed = o.Seed
+	}
+	fab := fabric.New(eng, o.Ranks, fc)
+	s := &Stack{Eng: eng, Fab: fab, Backend: o.Backend}
+	s.Engines = make([]core.Engine, o.Ranks)
+	switch o.Backend {
+	case MPI:
+		s.MPIWorld = mpi.NewWorld(eng, fab, o.MPI)
+		for r := 0; r < o.Ranks; r++ {
+			s.Engines[r] = mpice.New(eng, s.MPIWorld, r, o.MPICE)
+		}
+	case LCI:
+		s.LCIRuntime = lci.NewRuntime(eng, fab, o.LCI)
+		for r := 0; r < o.Ranks; r++ {
+			s.Engines[r] = lcice.New(eng, s.LCIRuntime, r, o.LCICE)
+		}
+	default:
+		panic(fmt.Sprintf("stack: unknown backend %d", o.Backend))
+	}
+	return s
+}
+
+// New is shorthand for Build(DefaultOptions(b, n)).
+func New(b Backend, n int) *Stack { return Build(DefaultOptions(b, n)) }

@@ -1,0 +1,313 @@
+package stack
+
+import (
+	"fmt"
+	"testing"
+
+	"amtlci/internal/buf"
+	"amtlci/internal/core"
+	"amtlci/internal/sim"
+)
+
+// forEachBackend runs a subtest against both communication engines: the
+// engine API is backend-independent (Listing 1), so all semantics tests
+// must pass identically.
+func forEachBackend(t *testing.T, f func(t *testing.T, s *Stack)) {
+	t.Helper()
+	for _, b := range Backends {
+		b := b
+		t.Run(b.String(), func(t *testing.T) {
+			o := DefaultOptions(b, 2)
+			o.Fabric.Jitter = 0
+			f(t, Build(o))
+		})
+	}
+}
+
+func TestAMRoundTrip(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, s *Stack) {
+		const tag core.Tag = 10
+		type rec struct {
+			data string
+			src  int
+		}
+		var got []rec
+		for r := 0; r < 2; r++ {
+			s.Engines[r].TagReg(tag, func(_ core.Engine, _ core.Tag, data []byte, src int) {
+				got = append(got, rec{string(data), src})
+			}, 4096)
+		}
+		s.Engines[0].SendAM(tag, 1, []byte("activate!"))
+		s.Eng.Run()
+		if len(got) != 1 || got[0].data != "activate!" || got[0].src != 0 {
+			t.Fatalf("got = %+v", got)
+		}
+		if s.Engines[0].Stats().AMsSent != 1 {
+			t.Fatalf("sender stats = %+v", s.Engines[0].Stats())
+		}
+	})
+}
+
+func TestAMBurstAllDelivered(t *testing.T) {
+	// More simultaneous AMs than the MPI backend has persistent receives
+	// (5/tag): the overflow must queue and still be delivered.
+	forEachBackend(t, func(t *testing.T, s *Stack) {
+		const tag core.Tag = 11
+		const n = 40
+		seen := map[byte]bool{}
+		for r := 0; r < 2; r++ {
+			s.Engines[r].TagReg(tag, func(_ core.Engine, _ core.Tag, data []byte, src int) {
+				seen[data[0]] = true
+			}, 64)
+		}
+		for i := 0; i < n; i++ {
+			s.Engines[0].SendAM(tag, 1, []byte{byte(i)})
+		}
+		s.Eng.Run()
+		if len(seen) != n {
+			t.Fatalf("delivered %d distinct AMs, want %d", len(seen), n)
+		}
+	})
+}
+
+func putOnce(t *testing.T, s *Stack, size int64) (localDone, remoteDone bool) {
+	t.Helper()
+	const doneTag core.Tag = 20
+	src, dst := s.Engines[0], s.Engines[1]
+
+	payload := make([]byte, size)
+	for i := range payload {
+		payload[i] = byte(i % 251)
+	}
+	target := make([]byte, size)
+
+	lreg := src.MemReg(buf.FromBytes(payload))
+	rreg := dst.MemReg(buf.FromBytes(target))
+
+	for r := 0; r < 2; r++ {
+		r := r
+		s.Engines[r].TagReg(doneTag, func(_ core.Engine, _ core.Tag, data []byte, from int) {
+			if r != 1 || string(data) != "cbdata" || from != 0 {
+				t.Errorf("remote completion at rank %d data %q from %d", r, data, from)
+			}
+			remoteDone = true
+		}, 64)
+	}
+
+	src.Submit(0, func() {
+		src.Put(core.PutArgs{
+			LReg: lreg, RReg: rreg, Size: size, Remote: 1,
+			LocalCB: func() { localDone = true },
+			RTag:    doneTag, RCBData: []byte("cbdata"),
+		})
+	})
+	s.Eng.Run()
+
+	for i := range payload {
+		if target[i] != payload[i] {
+			t.Fatalf("payload mismatch at %d (size %d)", i, size)
+		}
+	}
+	return localDone, remoteDone
+}
+
+func TestPutSmallAndLarge(t *testing.T) {
+	for _, size := range []int64{1, 512, 4 << 10, 64 << 10, 1 << 20} {
+		size := size
+		t.Run(fmt.Sprintf("size=%d", size), func(t *testing.T) {
+			forEachBackend(t, func(t *testing.T, s *Stack) {
+				localDone, remoteDone := putOnce(t, s, size)
+				if !localDone || !remoteDone {
+					t.Fatalf("local=%v remote=%v", localDone, remoteDone)
+				}
+				st := s.Engines[0].Stats()
+				if st.PutsStarted != 1 || st.PutsDone != 1 || st.PutBytes != uint64(size) {
+					t.Fatalf("origin stats = %+v", st)
+				}
+			})
+		})
+	}
+}
+
+func TestPutWithDisplacements(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, s *Stack) {
+		const doneTag core.Tag = 21
+		srcData := []byte{0, 0, 0, 1, 2, 3, 4, 0}
+		dstData := make([]byte, 16)
+		lreg := s.Engines[0].MemReg(buf.FromBytes(srcData))
+		rreg := s.Engines[1].MemReg(buf.FromBytes(dstData))
+		for r := 0; r < 2; r++ {
+			s.Engines[r].TagReg(doneTag, func(core.Engine, core.Tag, []byte, int) {}, 16)
+		}
+		s.Engines[0].Submit(0, func() {
+			s.Engines[0].Put(core.PutArgs{
+				LReg: lreg, LDispl: 3, RReg: rreg, RDispl: 10, Size: 4,
+				Remote: 1, RTag: doneTag,
+			})
+		})
+		s.Eng.Run()
+		want := []byte{1, 2, 3, 4}
+		for i := range want {
+			if dstData[10+i] != want[i] {
+				t.Fatalf("dst = %v", dstData)
+			}
+		}
+		for i := 0; i < 10; i++ {
+			if dstData[i] != 0 {
+				t.Fatalf("displacement leak: dst = %v", dstData)
+			}
+		}
+	})
+}
+
+func TestManyConcurrentPutsOverflowTransferCap(t *testing.T) {
+	// 100 concurrent puts exceed the MPI backend's 30-transfer array; the
+	// deferral machinery must still complete them all, in both backends.
+	forEachBackend(t, func(t *testing.T, s *Stack) {
+		const doneTag core.Tag = 22
+		const n = 100
+		const size = 256 << 10
+		remote := 0
+		local := 0
+		for r := 0; r < 2; r++ {
+			s.Engines[r].TagReg(doneTag, func(core.Engine, core.Tag, []byte, int) { remote++ }, 16)
+		}
+		src, dst := s.Engines[0], s.Engines[1]
+		var lregs, rregs []core.MemHandle
+		for i := 0; i < n; i++ {
+			lregs = append(lregs, src.MemReg(buf.Virtual(size)))
+			rregs = append(rregs, dst.MemReg(buf.Virtual(size)))
+		}
+		src.Submit(0, func() {
+			for i := 0; i < n; i++ {
+				i := i
+				src.Put(core.PutArgs{
+					LReg: lregs[i], RReg: rregs[i], Size: size, Remote: 1,
+					LocalCB: func() { local++ },
+					RTag:    doneTag,
+				})
+			}
+		})
+		s.Eng.Run()
+		if local != n || remote != n {
+			t.Fatalf("local=%d remote=%d, want %d", local, remote, n)
+		}
+		if s.Backend == MPI && src.Stats().Deferred == 0 {
+			t.Error("MPI backend should have deferred sends beyond the 30-transfer cap")
+		}
+	})
+}
+
+func TestSendAMMTFromWorkers(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, s *Stack) {
+		const tag core.Tag = 23
+		const workers = 8
+		received := 0
+		for r := 0; r < 2; r++ {
+			s.Engines[r].TagReg(tag, func(core.Engine, core.Tag, []byte, int) { received++ }, 64)
+		}
+		returned := 0
+		for i := 0; i < workers; i++ {
+			w := sim.NewProc(s.Eng)
+			s.Engines[0].SendAMMT(w, tag, 1, []byte{byte(i)}, func() { returned++ })
+		}
+		s.Eng.Run()
+		if received != workers || returned != workers {
+			t.Fatalf("received=%d returned=%d, want %d", received, returned, workers)
+		}
+	})
+}
+
+func TestCommThreadCallbackBlocksMPIProgressMoreThanLCI(t *testing.T) {
+	// The structural claim of the paper: a long AM callback on the
+	// communication thread delays an independent put far more with the MPI
+	// backend (progress shares the thread) than with LCI (dedicated
+	// progress thread).
+	// A 200µs callback occupies the TARGET's communication thread when the
+	// put handshake arrives. With MPI, rendezvous matching happens inside
+	// Testsome on that same thread, so the data cannot land until the
+	// callback finishes; with LCI, the progress thread posts the matching
+	// receive and the bytes arrive on schedule. We observe the actual
+	// arrival of the last payload byte.
+	const size = 1 << 20
+	arrival := func(b Backend) sim.Duration {
+		o := DefaultOptions(b, 2)
+		o.Fabric.Jitter = 0
+		s := Build(o)
+		const slowTag, doneTag core.Tag = 30, 31
+		payload := make([]byte, size)
+		for i := range payload {
+			payload[i] = 0xAB
+		}
+		target := make([]byte, size)
+		for r := 0; r < 2; r++ {
+			e := s.Engines[r]
+			e.TagReg(slowTag, func(eng core.Engine, _ core.Tag, _ []byte, _ int) {
+				// Unpacking a large aggregated ACTIVATE (§4.3 example).
+				eng.Submit(200*sim.Microsecond, func() {})
+			}, 64)
+			e.TagReg(doneTag, func(core.Engine, core.Tag, []byte, int) {}, 64)
+		}
+		src, dst := s.Engines[0], s.Engines[1]
+		lreg := src.MemReg(buf.FromBytes(payload))
+		rreg := dst.MemReg(buf.FromBytes(target))
+		// Slow AM reaches rank 1 just before the put's handshake.
+		src.SendAM(slowTag, 1, []byte{1})
+		src.Submit(0, func() {
+			src.Put(core.PutArgs{LReg: lreg, RReg: rreg, Size: size, Remote: 1, RTag: doneTag})
+		})
+		var landedAt sim.Time
+		var watch func()
+		watch = func() {
+			if target[size-1] == 0xAB {
+				landedAt = s.Eng.Now()
+				return
+			}
+			s.Eng.After(sim.Microsecond, watch)
+		}
+		s.Eng.After(0, watch)
+		s.Eng.Run()
+		if landedAt == 0 {
+			panic("put data never landed")
+		}
+		return sim.Duration(landedAt)
+	}
+	mpiLat := arrival(MPI)
+	lciLat := arrival(LCI)
+	if lciLat >= mpiLat {
+		t.Fatalf("LCI arrival %v not before MPI arrival %v under callback load", lciLat, mpiLat)
+	}
+	if mpiLat < 150*sim.Microsecond {
+		t.Fatalf("MPI arrival %v should absorb most of the 200µs callback", mpiLat)
+	}
+	if lciLat > 120*sim.Microsecond {
+		t.Fatalf("LCI arrival %v should dodge the 200µs callback", lciLat)
+	}
+}
+
+func TestStacksAreDeterministic(t *testing.T) {
+	run := func() sim.Time {
+		o := DefaultOptions(LCI, 2)
+		s := Build(o)
+		const tag core.Tag = 40
+		for r := 0; r < 2; r++ {
+			s.Engines[r].TagReg(tag, func(core.Engine, core.Tag, []byte, int) {}, 64)
+		}
+		for i := 0; i < 50; i++ {
+			s.Engines[0].SendAM(tag, 1, []byte{byte(i)})
+		}
+		return s.Eng.Run()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("two identical runs ended at %v and %v", a, b)
+	}
+}
+
+func TestBackendString(t *testing.T) {
+	if MPI.String() != "Open MPI" || LCI.String() != "LCI" {
+		t.Fatal("backend names must match the paper's figure legends")
+	}
+	if Backend(9).String() == "" {
+		t.Fatal("unknown backend must still format")
+	}
+}

@@ -1,0 +1,245 @@
+// Package fabric models the cluster interconnect of the paper's experimental
+// platform (SDSC Expanse: Mellanox ConnectX-6 NICs, 2x50 Gb/s HDR InfiniBand,
+// Table 1) as a deterministic discrete-event network.
+//
+// The model is LogGP-like. Every rank owns a full-duplex port with one
+// transmit and one receive engine; a message from src to dst is
+//
+//	tx engine busy:  MessageGap + size/Bandwidth   (egress serialization)
+//	wire:            Latency                        (propagation + switching)
+//	rx engine busy:  RxOverhead + size/Bandwidth    (ingress serialization)
+//
+// after which the destination rank's registered handler runs. Egress and
+// ingress serialize independently, so a single stream achieves full link
+// bandwidth (the engines pipeline) while many-to-one traffic contends at the
+// receiver, as on real hardware. CPU-side software costs (posting descriptors,
+// matching, callbacks) are deliberately NOT charged here; they belong to the
+// communication libraries built on top (internal/mpi, internal/lci), because
+// the difference between those software stacks is exactly what the paper
+// measures.
+package fabric
+
+import (
+	"fmt"
+
+	"amtlci/internal/sim"
+)
+
+// Config holds the hardware parameters of the interconnect.
+type Config struct {
+	// Latency is the one-way wire latency (propagation plus switch hops).
+	Latency sim.Duration
+	// BandwidthGbps is the per-direction bandwidth of one port in Gbit/s.
+	// Expanse nodes have 2x50 Gb/s HDR links, i.e. 100 Gbit/s per direction.
+	BandwidthGbps float64
+	// MessageGap is the per-message occupancy of the transmit engine beyond
+	// serialization; 1/MessageGap bounds the achievable message rate.
+	MessageGap sim.Duration
+	// RxOverhead is the per-message occupancy of the receive engine beyond
+	// serialization (descriptor completion, PCIe writeback).
+	RxOverhead sim.Duration
+	// LoopbackLatency is the delivery latency for self-sends, which bypass
+	// the NIC engines entirely.
+	LoopbackLatency sim.Duration
+	// CtlBypass is the largest message that travels on the control lane:
+	// real NICs service many queue pairs round-robin, so a small control
+	// message (CTS, handshake, GET DATA) interleaves between the packets of
+	// queued bulk transfers instead of waiting behind them. Messages at or
+	// below this size bypass the FIFO engines; their (negligible) bandwidth
+	// is not charged.
+	CtlBypass int64
+	// Jitter is the relative sigma of log-normal noise applied to the wire
+	// latency of each message. Zero disables noise.
+	Jitter float64
+	// Seed seeds the fabric's deterministic noise stream.
+	Seed uint64
+}
+
+// DefaultConfig returns parameters calibrated against Table 1 and the
+// NetPIPE baseline of Figure 2a: ~100 Gbit/s peak one-direction bandwidth,
+// ~200 Gbit/s bidirectional, microsecond-scale small-message latency.
+func DefaultConfig() Config {
+	return Config{
+		Latency:         1100 * sim.Nanosecond,
+		BandwidthGbps:   100,
+		MessageGap:      60 * sim.Nanosecond,
+		RxOverhead:      100 * sim.Nanosecond,
+		LoopbackLatency: 200 * sim.Nanosecond,
+		CtlBypass:       4 << 10,
+		Jitter:          0.01,
+		Seed:            0x1C992023, // deterministic default
+	}
+}
+
+// Message is a unit of transfer. Payload may be nil for modeled-size-only
+// traffic (large virtual workloads); when non-nil its length must equal Size.
+// Meta carries the header of the library that sent the message and is opaque
+// to the fabric.
+type Message struct {
+	Src, Dst int
+	Size     int64
+	Payload  []byte
+	Meta     any
+	Sent     sim.Time // stamped by Send
+
+	// OnTx, if non-nil, runs when the source NIC has finished reading the
+	// message out of memory (egress serialization complete). This is the
+	// point at which a zero-copy sender may reuse its buffer — the local
+	// completion semantics of a rendezvous send.
+	OnTx func()
+}
+
+// Handler receives delivered messages at a rank.
+type Handler func(*Message)
+
+// DebugSend, when non-nil, observes every Send (calibration tooling).
+var DebugSend func(*Message)
+
+// PortStats counts traffic through one rank's port.
+type PortStats struct {
+	MsgsSent      uint64
+	MsgsReceived  uint64
+	BytesSent     uint64
+	BytesReceived uint64
+}
+
+type port struct {
+	tx, rx  *sim.Proc
+	handler Handler
+	stats   PortStats
+}
+
+// Fabric connects a fixed set of ranks. All methods must be called from the
+// owning engine's goroutine.
+type Fabric struct {
+	eng   *sim.Engine
+	cfg   Config
+	ports []*port
+	rng   *sim.RNG
+}
+
+// New builds a fabric with n ranks on eng. It panics for n <= 0 or a
+// non-positive bandwidth.
+func New(eng *sim.Engine, n int, cfg Config) *Fabric {
+	if n <= 0 {
+		panic("fabric: need at least one rank")
+	}
+	if cfg.BandwidthGbps <= 0 {
+		panic("fabric: bandwidth must be positive")
+	}
+	f := &Fabric{eng: eng, cfg: cfg, rng: sim.NewRNG(cfg.Seed)}
+	f.ports = make([]*port, n)
+	for i := range f.ports {
+		f.ports[i] = &port{tx: sim.NewProc(eng), rx: sim.NewProc(eng)}
+	}
+	return f
+}
+
+// Ranks returns the number of ranks.
+func (f *Fabric) Ranks() int { return len(f.ports) }
+
+// Config returns the fabric's configuration.
+func (f *Fabric) Config() Config { return f.cfg }
+
+// Engine returns the simulation engine.
+func (f *Fabric) Engine() *sim.Engine { return f.eng }
+
+// SetHandler installs the delivery handler for rank. Messages arriving at a
+// rank without a handler panic: dropped traffic always indicates a bug in a
+// communication library.
+func (f *Fabric) SetHandler(rank int, h Handler) { f.ports[rank].handler = h }
+
+// SerializeTime returns the wire serialization time for size bytes in one
+// direction at the configured bandwidth.
+func (f *Fabric) SerializeTime(size int64) sim.Duration {
+	if size <= 0 {
+		return 0
+	}
+	// ps/byte = 8 bits / (Gbps * 1e9 bit/s) * 1e12 ps/s = 8000/Gbps.
+	return sim.Duration(float64(size) * 8000.0 / f.cfg.BandwidthGbps)
+}
+
+// Stats returns traffic counters for rank.
+func (f *Fabric) Stats(rank int) PortStats { return f.ports[rank].stats }
+
+// TxBusy returns the cumulative occupancy of rank's transmit engine.
+func (f *Fabric) TxBusy(rank int) sim.Duration { return f.ports[rank].tx.BusyTime() }
+
+// RxBusy returns the cumulative occupancy of rank's receive engine.
+func (f *Fabric) RxBusy(rank int) sim.Duration { return f.ports[rank].rx.BusyTime() }
+
+// Send injects m from src toward m.Dst. The caller is responsible for
+// charging its own CPU-side posting cost; Send itself only occupies NIC and
+// wire resources. Payload slices are handed over by reference: the sender
+// must not mutate a payload after Send, matching zero-copy RDMA semantics.
+func (f *Fabric) Send(m *Message) {
+	if m.Src < 0 || m.Src >= len(f.ports) || m.Dst < 0 || m.Dst >= len(f.ports) {
+		panic(fmt.Sprintf("fabric: bad ranks src=%d dst=%d", m.Src, m.Dst))
+	}
+	if m.Payload != nil && int64(len(m.Payload)) != m.Size {
+		panic(fmt.Sprintf("fabric: payload length %d != size %d", len(m.Payload), m.Size))
+	}
+	if m.Size < 0 {
+		panic("fabric: negative message size")
+	}
+	m.Sent = f.eng.Now()
+	if DebugSend != nil {
+		DebugSend(m)
+	}
+	src := f.ports[m.Src]
+	src.stats.MsgsSent++
+	src.stats.BytesSent += uint64(m.Size)
+
+	if m.Src == m.Dst {
+		f.eng.After(f.cfg.LoopbackLatency, func() {
+			if m.OnTx != nil {
+				m.OnTx()
+			}
+			f.deliver(m)
+		})
+		return
+	}
+
+	wire := f.rng.Jitter(f.cfg.Latency, f.cfg.Jitter)
+	ser := f.SerializeTime(m.Size)
+
+	// Control lane: small messages interleave between bulk packets instead
+	// of queueing behind whole transfers (round-robin queue-pair service).
+	if m.Size <= f.cfg.CtlBypass {
+		f.eng.After(f.cfg.MessageGap+ser, func() {
+			if m.OnTx != nil {
+				m.OnTx()
+			}
+			f.eng.After(wire+f.cfg.RxOverhead, func() { f.deliver(m) })
+		})
+		return
+	}
+
+	// Bulk lane, cut-through timing (LogGP): the wire pipelines at packet
+	// granularity, so serialization is paid once. The receive engine
+	// delivers after its per-message overhead, then stays occupied for the
+	// ingress serialization time so that converging senders contend for the
+	// port's bandwidth without delaying their own already-arrived bytes.
+	src.tx.Submit(f.cfg.MessageGap+ser, func() {
+		if m.OnTx != nil {
+			m.OnTx()
+		}
+		f.eng.After(wire, func() {
+			dst := f.ports[m.Dst]
+			dst.rx.Submit(f.cfg.RxOverhead, func() { f.deliver(m) })
+			if ser > 0 {
+				dst.rx.Submit(ser, nil)
+			}
+		})
+	})
+}
+
+func (f *Fabric) deliver(m *Message) {
+	p := f.ports[m.Dst]
+	p.stats.MsgsReceived++
+	p.stats.BytesReceived += uint64(m.Size)
+	if p.handler == nil {
+		panic(fmt.Sprintf("fabric: rank %d has no handler for message from %d", m.Dst, m.Src))
+	}
+	p.handler(m)
+}

@@ -1,0 +1,185 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// QR computes the thin Householder QR factorization of an m x n matrix with
+// m >= n: A = Q R with Q m x n having orthonormal columns and R n x n upper
+// triangular.
+func QR(a *Matrix) (q, r *Matrix) {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		panic(fmt.Sprintf("linalg: QR needs rows >= cols, got %dx%d", m, n))
+	}
+	work := a.Clone()
+	vs := make([][]float64, n) // Householder vectors
+	for k := 0; k < n; k++ {
+		// Build the Householder vector for column k.
+		var norm float64
+		for i := k; i < m; i++ {
+			norm += work.At(i, k) * work.At(i, k)
+		}
+		norm = math.Sqrt(norm)
+		v := make([]float64, m-k)
+		alpha := work.At(k, k)
+		if alpha >= 0 {
+			norm = -norm
+		}
+		if norm == 0 {
+			// Zero column: identity reflector.
+			vs[k] = v
+			continue
+		}
+		v[0] = alpha - norm
+		for i := k + 1; i < m; i++ {
+			v[i-k] = work.At(i, k)
+		}
+		var vv float64
+		for _, x := range v {
+			vv += x * x
+		}
+		if vv == 0 {
+			vs[k] = v
+			continue
+		}
+		// Apply I - 2 v v^T / (v^T v) to the trailing block.
+		for j := k; j < n; j++ {
+			var dot float64
+			for i := k; i < m; i++ {
+				dot += v[i-k] * work.At(i, j)
+			}
+			f := 2 * dot / vv
+			for i := k; i < m; i++ {
+				work.Set(i, j, work.At(i, j)-f*v[i-k])
+			}
+		}
+		vs[k] = v
+	}
+	r = NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			r.Set(i, j, work.At(i, j))
+		}
+	}
+	// Accumulate Q = H_0 ... H_{n-1} applied to the first n columns of I.
+	q = NewMatrix(m, n)
+	for j := 0; j < n; j++ {
+		q.Set(j, j, 1)
+	}
+	for k := n - 1; k >= 0; k-- {
+		v := vs[k]
+		var vv float64
+		for _, x := range v {
+			vv += x * x
+		}
+		if vv == 0 {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			var dot float64
+			for i := k; i < m; i++ {
+				dot += v[i-k] * q.At(i, j)
+			}
+			f := 2 * dot / vv
+			for i := k; i < m; i++ {
+				q.Set(i, j, q.At(i, j)-f*v[i-k])
+			}
+		}
+	}
+	return q, r
+}
+
+// SVD computes the singular value decomposition A = U diag(S) V^T of an
+// m x n matrix using the one-sided Jacobi method. U is m x n with
+// orthonormal columns (where S > 0), V is n x n orthogonal, and S is
+// returned in non-increasing order.
+func SVD(a *Matrix) (u *Matrix, s []float64, v *Matrix) {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		// Work on the transpose and swap the factors.
+		ut, st, vt := SVD(a.Transpose())
+		return vt, st, ut
+	}
+	u = a.Clone()
+	v = NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		v.Set(i, i, 1)
+	}
+	const maxSweeps = 60
+	eps := 1e-14 * a.FrobNorm()
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		rotated := false
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				var app, aqq, apq float64
+				for i := 0; i < m; i++ {
+					up, uq := u.At(i, p), u.At(i, q)
+					app += up * up
+					aqq += uq * uq
+					apq += up * uq
+				}
+				if math.Abs(apq) <= eps*math.Sqrt(app*aqq)+1e-300 {
+					continue
+				}
+				rotated = true
+				tau := (aqq - app) / (2 * apq)
+				var t float64
+				if tau >= 0 {
+					t = 1 / (tau + math.Sqrt(1+tau*tau))
+				} else {
+					t = -1 / (-tau + math.Sqrt(1+tau*tau))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				sn := c * t
+				for i := 0; i < m; i++ {
+					up, uq := u.At(i, p), u.At(i, q)
+					u.Set(i, p, c*up-sn*uq)
+					u.Set(i, q, sn*up+c*uq)
+				}
+				for i := 0; i < n; i++ {
+					vp, vq := v.At(i, p), v.At(i, q)
+					v.Set(i, p, c*vp-sn*vq)
+					v.Set(i, q, sn*vp+c*vq)
+				}
+			}
+		}
+		if !rotated {
+			break
+		}
+	}
+	// Singular values are the column norms of the rotated U.
+	s = make([]float64, n)
+	for j := 0; j < n; j++ {
+		var norm float64
+		for i := 0; i < m; i++ {
+			norm += u.At(i, j) * u.At(i, j)
+		}
+		s[j] = math.Sqrt(norm)
+		if s[j] > 0 {
+			for i := 0; i < m; i++ {
+				u.Set(i, j, u.At(i, j)/s[j])
+			}
+		}
+	}
+	// Sort descending by singular value (stable selection).
+	for i := 0; i < n-1; i++ {
+		best := i
+		for j := i + 1; j < n; j++ {
+			if s[j] > s[best] {
+				best = j
+			}
+		}
+		if best != i {
+			s[i], s[best] = s[best], s[i]
+			for r := 0; r < m; r++ {
+				u.Data[r*n+i], u.Data[r*n+best] = u.Data[r*n+best], u.Data[r*n+i]
+			}
+			for r := 0; r < n; r++ {
+				v.Data[r*n+i], v.Data[r*n+best] = v.Data[r*n+best], v.Data[r*n+i]
+			}
+		}
+	}
+	return u, s, v
+}

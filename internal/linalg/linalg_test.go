@@ -1,0 +1,269 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"amtlci/internal/sim"
+)
+
+// randMatrix builds a deterministic pseudo-random matrix.
+func randMatrix(r, c int, seed uint64) *Matrix {
+	rng := sim.NewRNG(seed)
+	m := NewMatrix(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.Float64()*2 - 1
+	}
+	return m
+}
+
+// spdMatrix builds a well-conditioned symmetric positive-definite matrix.
+func spdMatrix(n int, seed uint64) *Matrix {
+	a := randMatrix(n, n, seed)
+	s := NewMatrix(n, n)
+	SYRK(s, a, 1)
+	for i := 0; i < n; i++ {
+		s.Set(i, i, s.At(i, i)+float64(n))
+	}
+	return s
+}
+
+func TestGEMMAgainstHandComputed(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	c := NewMatrix(2, 2)
+	GEMM(c, a, b, 1, false, false)
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	if !Equalish(c, want, 1e-12) {
+		t.Fatalf("C = %+v", c)
+	}
+}
+
+func TestGEMMTransposeVariants(t *testing.T) {
+	a := randMatrix(4, 3, 1)
+	b := randMatrix(4, 3, 2)
+	// C1 = A^T * B via flags; C2 via explicit transpose.
+	c1 := NewMatrix(3, 3)
+	GEMM(c1, a, b, 1, true, false)
+	c2 := Mul(a.Transpose(), b)
+	if !Equalish(c1, c2, 1e-12) {
+		t.Fatal("transA mismatch")
+	}
+	c3 := NewMatrix(4, 4)
+	GEMM(c3, a, b, 1, false, true)
+	c4 := Mul(a, b.Transpose())
+	if !Equalish(c3, c4, 1e-12) {
+		t.Fatal("transB mismatch")
+	}
+}
+
+func TestGEMMAccumulatesWithAlpha(t *testing.T) {
+	a := randMatrix(3, 3, 3)
+	b := randMatrix(3, 3, 4)
+	c := randMatrix(3, 3, 5)
+	orig := c.Clone()
+	GEMM(c, a, b, -2, false, false)
+	prod := Mul(a, b)
+	for i := range c.Data {
+		want := orig.Data[i] - 2*prod.Data[i]
+		if math.Abs(c.Data[i]-want) > 1e-12 {
+			t.Fatalf("alpha accumulate wrong at %d", i)
+		}
+	}
+}
+
+func TestSYRKMatchesGEMM(t *testing.T) {
+	a := randMatrix(5, 3, 6)
+	c1 := NewMatrix(5, 5)
+	SYRK(c1, a, -1)
+	c2 := NewMatrix(5, 5)
+	GEMM(c2, a, a, -1, false, true)
+	if !Equalish(c1, c2, 1e-12) {
+		t.Fatal("SYRK != A A^T")
+	}
+}
+
+func TestPOTRFReconstructs(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 16, 40} {
+		a := spdMatrix(n, uint64(n))
+		l := a.Clone()
+		if err := POTRF(l); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		recon := NewMatrix(n, n)
+		GEMM(recon, l, l, 1, false, true)
+		if !Equalish(recon, a, 1e-8*float64(n)) {
+			t.Fatalf("n=%d: L L^T != A (err %g)", n, Sub(recon, a).FrobNorm())
+		}
+		// Upper triangle zeroed.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if l.At(i, j) != 0 {
+					t.Fatal("upper triangle not zeroed")
+				}
+			}
+		}
+	}
+}
+
+func TestPOTRFRejectsIndefinite(t *testing.T) {
+	a := FromRows([][]float64{{1, 0}, {0, -1}})
+	if err := POTRF(a); err == nil {
+		t.Fatal("POTRF accepted an indefinite matrix")
+	}
+}
+
+func TestTRSMRightLowerT(t *testing.T) {
+	n := 6
+	spd := spdMatrix(n, 9)
+	l := spd.Clone()
+	if err := POTRF(l); err != nil {
+		t.Fatal(err)
+	}
+	b := randMatrix(4, n, 10)
+	x := b.Clone()
+	TRSMRightLowerT(x, l)
+	// Check X * L^T == B.
+	recon := NewMatrix(4, n)
+	GEMM(recon, x, l, 1, false, true)
+	if !Equalish(recon, b, 1e-9) {
+		t.Fatalf("X L^T != B, err %g", Sub(recon, b).FrobNorm())
+	}
+}
+
+func TestTRSMLeftLower(t *testing.T) {
+	n := 6
+	spd := spdMatrix(n, 11)
+	l := spd.Clone()
+	if err := POTRF(l); err != nil {
+		t.Fatal(err)
+	}
+	b := randMatrix(n, 3, 12)
+	x := b.Clone()
+	TRSMLeftLower(x, l)
+	recon := Mul(l, x)
+	if !Equalish(recon, b, 1e-9) {
+		t.Fatalf("L X != B, err %g", Sub(recon, b).FrobNorm())
+	}
+}
+
+func TestQRProperties(t *testing.T) {
+	for _, dims := range [][2]int{{4, 4}, {8, 3}, {20, 7}, {5, 1}} {
+		m, n := dims[0], dims[1]
+		a := randMatrix(m, n, uint64(m*100+n))
+		q, r := QR(a)
+		// A == Q R.
+		recon := Mul(q, r)
+		if !Equalish(recon, a, 1e-10) {
+			t.Fatalf("%dx%d: QR != A (err %g)", m, n, Sub(recon, a).FrobNorm())
+		}
+		// Q^T Q == I.
+		qtq := NewMatrix(n, n)
+		GEMM(qtq, q, q, 1, true, false)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if math.Abs(qtq.At(i, j)-want) > 1e-10 {
+					t.Fatalf("%dx%d: Q not orthonormal", m, n)
+				}
+			}
+		}
+		// R upper triangular.
+		for i := 0; i < n; i++ {
+			for j := 0; j < i; j++ {
+				if r.At(i, j) != 0 {
+					t.Fatal("R not upper triangular")
+				}
+			}
+		}
+	}
+}
+
+func TestSVDProperties(t *testing.T) {
+	for _, dims := range [][2]int{{5, 5}, {8, 4}, {4, 8}, {12, 3}} {
+		m, n := dims[0], dims[1]
+		a := randMatrix(m, n, uint64(m*13+n))
+		u, s, v := SVD(a)
+		// Reconstruct.
+		k := len(s)
+		us := u.Clone()
+		for i := 0; i < us.Rows; i++ {
+			for j := 0; j < k; j++ {
+				us.Set(i, j, us.At(i, j)*s[j])
+			}
+		}
+		recon := NewMatrix(m, n)
+		GEMM(recon, us, v, 1, false, true)
+		if !Equalish(recon, a, 1e-9) {
+			t.Fatalf("%dx%d: U S V^T != A (err %g)", m, n, Sub(recon, a).FrobNorm())
+		}
+		// Singular values non-negative, sorted descending.
+		for i := 1; i < k; i++ {
+			if s[i] > s[i-1]+1e-12 || s[i] < 0 {
+				t.Fatalf("%dx%d: singular values not sorted: %v", m, n, s)
+			}
+		}
+	}
+}
+
+func TestSVDLowRankMatrixRecovery(t *testing.T) {
+	// A rank-2 matrix must show exactly 2 significant singular values.
+	u := randMatrix(10, 2, 77)
+	v := randMatrix(8, 2, 78)
+	a := NewMatrix(10, 8)
+	GEMM(a, u, v, 1, false, true)
+	_, s, _ := SVD(a)
+	if s[0] < 1e-8 || s[1] < 1e-8 {
+		t.Fatal("lost the true rank")
+	}
+	for i := 2; i < len(s); i++ {
+		if s[i] > 1e-9*s[0] {
+			t.Fatalf("rank-2 matrix has s[%d]=%g", i, s[i])
+		}
+	}
+}
+
+func TestSVDPropertyRandomShapes(t *testing.T) {
+	f := func(seed uint16) bool {
+		m := int(seed%6) + 2
+		n := int(seed/6%6) + 2
+		a := randMatrix(m, n, uint64(seed)+1000)
+		u, s, v := SVD(a)
+		us := u.Clone()
+		for i := 0; i < us.Rows; i++ {
+			for j := 0; j < len(s); j++ {
+				us.Set(i, j, us.At(i, j)*s[j])
+			}
+		}
+		recon := NewMatrix(m, n)
+		GEMM(recon, us, v, 1, false, true)
+		return Equalish(recon, a, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatrixHelpers(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, 5)
+	if m.At(1, 2) != 5 {
+		t.Fatal("Set/At broken")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) == 9 {
+		t.Fatal("Clone aliases")
+	}
+	tr := m.Transpose()
+	if tr.Rows != 3 || tr.Cols != 2 || tr.At(2, 1) != 5 {
+		t.Fatal("Transpose broken")
+	}
+	if n := FromRows([][]float64{{3, 4}}).FrobNorm(); math.Abs(n-5) > 1e-12 {
+		t.Fatalf("FrobNorm = %v", n)
+	}
+}

@@ -1,0 +1,235 @@
+// Package linalg provides the dense linear-algebra kernels that back the
+// repository's Cholesky factorizations: GEMM, SYRK, TRSM, POTRF, Householder
+// QR, and a one-sided Jacobi SVD. They are straightforward, well-tested
+// reference implementations — the performance experiments run on the
+// simulator's cost model, so these kernels only need to be correct, not
+// fast, and they keep the repository free of external BLAS dependencies.
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major float64 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols
+}
+
+// NewMatrix returns a zeroed r x c matrix.
+func NewMatrix(r, c int) *Matrix {
+	if r < 0 || c < 0 {
+		panic("linalg: negative dimension")
+	}
+	return &Matrix{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// FromRows builds a matrix from row slices (all the same length).
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic("linalg: ragged rows")
+		}
+		copy(m.Data[i*m.Cols:(i+1)*m.Cols], r)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone deep-copies the matrix.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Transpose returns a new transposed matrix.
+func (m *Matrix) Transpose() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Data[j*t.Cols+i] = m.Data[i*m.Cols+j]
+		}
+	}
+	return t
+}
+
+// Equalish reports whether two matrices match within tol element-wise.
+func Equalish(a, b *Matrix, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// FrobNorm returns the Frobenius norm.
+func (m *Matrix) FrobNorm() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Sub returns a - b.
+func Sub(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("linalg: Sub shape mismatch %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	c := NewMatrix(a.Rows, a.Cols)
+	for i := range c.Data {
+		c.Data[i] = a.Data[i] - b.Data[i]
+	}
+	return c
+}
+
+// Mul returns a * b.
+func Mul(a, b *Matrix) *Matrix {
+	c := NewMatrix(a.Rows, b.Cols)
+	GEMM(c, a, b, 1, false, false)
+	return c
+}
+
+// GEMM computes C += alpha * op(A) * op(B), where op transposes when the
+// corresponding flag is set. Dimensions must conform; it panics otherwise.
+func GEMM(c, a, b *Matrix, alpha float64, transA, transB bool) {
+	am, ak := a.Rows, a.Cols
+	if transA {
+		am, ak = ak, am
+	}
+	bk, bn := b.Rows, b.Cols
+	if transB {
+		bk, bn = bn, bk
+	}
+	if ak != bk || c.Rows != am || c.Cols != bn {
+		panic(fmt.Sprintf("linalg: GEMM shape mismatch (%dx%d)(%dx%d)->(%dx%d)",
+			am, ak, bk, bn, c.Rows, c.Cols))
+	}
+	at := func(i, k int) float64 {
+		if transA {
+			return a.Data[k*a.Cols+i]
+		}
+		return a.Data[i*a.Cols+k]
+	}
+	bt := func(k, j int) float64 {
+		if transB {
+			return b.Data[j*b.Cols+k]
+		}
+		return b.Data[k*b.Cols+j]
+	}
+	for i := 0; i < am; i++ {
+		for j := 0; j < bn; j++ {
+			var s float64
+			for k := 0; k < ak; k++ {
+				s += at(i, k) * bt(k, j)
+			}
+			c.Data[i*c.Cols+j] += alpha * s
+		}
+	}
+}
+
+// SYRK computes C += alpha * A * A^T, updating the full symmetric matrix.
+func SYRK(c, a *Matrix, alpha float64) {
+	if c.Rows != a.Rows || c.Cols != a.Rows {
+		panic("linalg: SYRK shape mismatch")
+	}
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j <= i; j++ {
+			var s float64
+			for k := 0; k < a.Cols; k++ {
+				s += a.Data[i*a.Cols+k] * a.Data[j*a.Cols+k]
+			}
+			c.Data[i*c.Cols+j] += alpha * s
+			if i != j {
+				c.Data[j*c.Cols+i] += alpha * s
+			}
+		}
+	}
+}
+
+// POTRF overwrites the lower triangle of a with its Cholesky factor L
+// (a = L L^T) and zeroes the strict upper triangle. It returns an error if a
+// is not (numerically) positive definite.
+func POTRF(a *Matrix) error {
+	if a.Rows != a.Cols {
+		panic("linalg: POTRF needs a square matrix")
+	}
+	n := a.Rows
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			d -= a.At(j, k) * a.At(j, k)
+		}
+		if d <= 0 {
+			return fmt.Errorf("linalg: POTRF pivot %d is %g, matrix not positive definite", j, d)
+		}
+		d = math.Sqrt(d)
+		a.Set(j, j, d)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= a.At(i, k) * a.At(j, k)
+			}
+			a.Set(i, j, s/d)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			a.Set(i, j, 0)
+		}
+	}
+	return nil
+}
+
+// TRSMRightLowerT solves B := B * L^{-T} in place, where L is lower
+// triangular: the dense Cholesky panel update A[m][k] = A[m][k] * L_kk^{-T}.
+func TRSMRightLowerT(b, l *Matrix) {
+	if l.Rows != l.Cols || b.Cols != l.Rows {
+		panic("linalg: TRSMRightLowerT shape mismatch")
+	}
+	n := l.Rows
+	for i := 0; i < b.Rows; i++ {
+		row := b.Data[i*b.Cols : (i+1)*b.Cols]
+		// Solve x * L^T = row  <=>  L x^T = row^T (forward substitution).
+		for j := 0; j < n; j++ {
+			s := row[j]
+			for k := 0; k < j; k++ {
+				s -= row[k] * l.At(j, k)
+			}
+			row[j] = s / l.At(j, j)
+		}
+	}
+}
+
+// TRSMLeftLower solves X := L^{-1} * B in place (B overwritten), where L is
+// lower triangular: the TLR TRSM applied to a low-rank factor.
+func TRSMLeftLower(b, l *Matrix) {
+	if l.Rows != l.Cols || b.Rows != l.Rows {
+		panic("linalg: TRSMLeftLower shape mismatch")
+	}
+	n := l.Rows
+	for j := 0; j < b.Cols; j++ {
+		for i := 0; i < n; i++ {
+			s := b.At(i, j)
+			for k := 0; k < i; k++ {
+				s -= l.At(i, k) * b.At(k, j)
+			}
+			b.Set(i, j, s/l.At(i, i))
+		}
+	}
+}

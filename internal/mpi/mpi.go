@@ -1,0 +1,276 @@
+// Package mpi implements the message-passing library that serves as the
+// paper's baseline communication layer (Section 4.2 builds the PaRSEC MPI
+// backend on it). It is a faithful functional subset of MPI point-to-point
+// semantics on top of the simulated fabric:
+//
+//   - nonblocking two-sided communication (Isend/Irecv) with tag and
+//     ANY_SOURCE matching, an unexpected-message queue, and eager versus
+//     rendezvous (RTS/CTS) protocols selected by message size;
+//   - persistent receive requests (RecvInit/Start), which the PaRSEC MPI
+//     backend uses for active messages (five per registered tag);
+//   - Testsome over a request array, with a CPU cost model that grows with
+//     the array length — the polling overhead the paper identifies as an MPI
+//     scaling bottleneck;
+//   - the progress-runs-inside-calls behavior of real MPI implementations:
+//     arrived wire traffic is only matched, copied, and completed when some
+//     MPI call executes progress. A communication thread stuck in a long
+//     callback therefore delays rendezvous handshakes, exactly as in §4.3;
+//   - the mpi_assert_allow_overtaking Info key (§4.2.2): strict per-pair
+//     ordering enforcement costs a little extra per message and can be
+//     switched off;
+//   - a global lock modeling MPI_THREAD_MULTIPLE contention (§4.3, [24]):
+//     calls from worker threads serialize through it.
+//
+// CPU cost accounting convention: the library mutates state immediately and
+// exposes cost estimators (SendCost, PostCost, ProgressAndTestCost). Callers
+// (the communication-engine backends) charge those costs on their thread
+// Procs and invoke the state transitions from the charged item's completion,
+// so all visible effects occur at correctly accounted virtual times.
+package mpi
+
+import (
+	"amtlci/internal/buf"
+	"amtlci/internal/fabric"
+	"amtlci/internal/sim"
+)
+
+// AnySource matches a receive against senders of any rank.
+const AnySource = -1
+
+// Config holds the software cost model and protocol parameters.
+type Config struct {
+	// EagerThreshold is the largest payload sent eagerly (copied through
+	// library buffers); larger messages use the RTS/CTS rendezvous.
+	EagerThreshold int64
+	// PostCost is the CPU cost of posting one Isend/Irecv/Start.
+	PostCost sim.Duration
+	// TestBase and TestPerReq model MPI_Testsome: base call overhead plus a
+	// per-inspected-request scan cost.
+	TestBase   sim.Duration
+	TestPerReq sim.Duration
+	// MatchCost is the per-arrival cost of matching one staged wire message
+	// against the posted-receive list during progress; ScanPerEntry adds a
+	// linear term in the current posted + unexpected queue lengths, the
+	// classic MPI matching penalty under bursty many-message load.
+	MatchCost    sim.Duration
+	ScanPerEntry sim.Duration
+	// OrderCost is an extra per-arrival matching cost paid when strict MPI
+	// message ordering is enforced (AllowOvertaking disables it).
+	OrderCost sim.Duration
+	// CopyPsPerByte is the memory-copy cost in picoseconds per byte; eager
+	// messages are copied once on each side.
+	CopyPsPerByte int64
+	// HeaderBytes is the wire framing added to every payload-bearing
+	// message; CtrlBytes is the size of RTS/CTS control messages.
+	HeaderBytes int64
+	CtrlBytes   int64
+	// RndvCost is the per-message software cost of the rendezvous path on
+	// each side: registration-cache lookup and RNDV protocol processing.
+	// RndvPerMiB adds the size-dependent part — page pinning for memory
+	// registration. PaRSEC's fetch buffers are allocated dynamically per
+	// transfer, so registrations rarely hit the cache (§6.1.2 notes the UCX
+	// registration-cache trouble this causes: the authors had to cap
+	// UCX_IB_RCACHE_MAX_REGIONS to avoid crashes).
+	RndvCost   sim.Duration
+	RndvPerMiB sim.Duration
+	// WinAttach is the fixed cost of one dynamic-window attach (RMA
+	// extension; see rma.go); DetachCost prices the detach.
+	WinAttach  sim.Duration
+	DetachCost sim.Duration
+	// LockHold is how long one multithreaded call occupies the library's
+	// global lock.
+	LockHold sim.Duration
+	// AllowOvertaking corresponds to the mpi_assert_allow_overtaking Info
+	// key; PaRSEC sets it because it does not need MPI ordering.
+	AllowOvertaking bool
+}
+
+// DefaultConfig returns a cost model calibrated against Open MPI/UCX-class
+// software overheads (Table 1 stack) — a few hundred nanoseconds per posted
+// operation and microsecond-scale polling when the request array is long.
+func DefaultConfig() Config {
+	return Config{
+		EagerThreshold: 8 << 10,
+		PostCost:       600 * sim.Nanosecond,
+		TestBase:       450 * sim.Nanosecond,
+		TestPerReq:     60 * sim.Nanosecond,
+		MatchCost:      800 * sim.Nanosecond,
+		ScanPerEntry:   40 * sim.Nanosecond,
+		OrderCost:      60 * sim.Nanosecond,
+		CopyPsPerByte:  50, // ~20 GB/s memcpy
+		HeaderBytes:    64,
+		CtrlBytes:      64,
+		RndvCost:       5 * sim.Microsecond,
+		RndvPerMiB:     30 * sim.Microsecond,
+		WinAttach:      12 * sim.Microsecond,
+		DetachCost:     4 * sim.Microsecond,
+		LockHold:       350 * sim.Nanosecond,
+	}
+}
+
+// copyCost returns the one-sided memcpy cost for n bytes.
+func (c Config) copyCost(n int64) sim.Duration {
+	if n <= 0 {
+		return 0
+	}
+	return sim.Duration(n * c.CopyPsPerByte)
+}
+
+// SendCost is the caller-side CPU cost of initiating a send of n bytes:
+// posting plus, for eager messages, the library-buffer copy, or, for
+// rendezvous messages, the registration/protocol cost.
+func (c Config) SendCost(n int64) sim.Duration {
+	if n <= c.EagerThreshold {
+		return c.PostCost + c.copyCost(n)
+	}
+	return c.PostCost + c.rndvCost(n)
+}
+
+// RecvCost is the caller-side CPU cost of posting a receive of n bytes.
+func (c Config) RecvCost(n int64) sim.Duration {
+	if n <= c.EagerThreshold {
+		return c.PostCost
+	}
+	return c.PostCost + c.rndvCost(n)
+}
+
+func (c Config) rndvCost(n int64) sim.Duration {
+	return c.RndvCost + sim.Duration(float64(c.RndvPerMiB)*float64(n)/(1<<20))
+}
+
+// TestCost is the CPU cost of scanning nreq requests in Testsome,
+// excluding progress work (see Rank.ProgressCost).
+func (c Config) TestCost(nreq int) sim.Duration {
+	return c.TestBase + sim.Duration(nreq)*c.TestPerReq
+}
+
+// World is the set of communicating ranks (MPI_COMM_WORLD).
+type World struct {
+	eng   *sim.Engine
+	fab   *fabric.Fabric
+	cfg   Config
+	ranks []*Rank
+}
+
+// NewWorld attaches one Rank per fabric port and installs delivery handlers.
+func NewWorld(eng *sim.Engine, fab *fabric.Fabric, cfg Config) *World {
+	w := &World{eng: eng, fab: fab, cfg: cfg}
+	w.ranks = make([]*Rank, fab.Ranks())
+	for i := range w.ranks {
+		r := &Rank{w: w, me: i, lock: sim.NewProc(eng)}
+		w.ranks[i] = r
+		fab.SetHandler(i, r.onArrival)
+	}
+	return w
+}
+
+// Rank returns the per-rank MPI context.
+func (w *World) Rank(i int) *Rank { return w.ranks[i] }
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return len(w.ranks) }
+
+// Config returns the world's cost model.
+func (w *World) Config() Config { return w.cfg }
+
+// Rank is one process's view of the library. All methods must run on the
+// owning simulation engine's goroutine.
+type Rank struct {
+	w    *World
+	me   int
+	lock *sim.Proc // MPI_THREAD_MULTIPLE global lock
+
+	staged     []*wire    // arrived, awaiting progress
+	posted     []*Request // active receive requests, post order
+	unexpected []*wire    // progressed but unmatched arrivals
+	rmaMem     map[uint64]buf.Buf
+
+	wake func()
+
+	// Counters for experiments and tests.
+	Sent, Received uint64
+	UnexpectedHits uint64
+}
+
+// ID returns this rank's index.
+func (r *Rank) ID() int { return r.me }
+
+// SetWake installs a callback invoked whenever new library-level work
+// appears (a wire arrival or a local send completion). Backends use it to
+// schedule a progress pass instead of busy-polling.
+func (r *Rank) SetWake(fn func()) { r.wake = fn }
+
+func (r *Rank) notify() {
+	if r.wake != nil {
+		r.wake()
+	}
+}
+
+type wireKind int8
+
+const (
+	wireEager wireKind = iota
+	wireRTS
+	wireCTS
+	wireData
+	wireSendDone // local pseudo-arrival: rendezvous send buffer released
+)
+
+// wire is the header attached to every fabric message.
+type wire struct {
+	kind    wireKind
+	src     int
+	tag     int
+	size    int64 // payload size (not counting framing)
+	payload buf.Buf
+	sreq    *Request // rendezvous: originating send request
+	rreq    *Request // rendezvous: matched receive request
+
+	// RMA extension fields (rma.go).
+	rmaID  uint64
+	rmaOff int64
+	rmaOp  *rmaOp
+}
+
+type reqKind int8
+
+const (
+	reqSend reqKind = iota
+	reqRecv
+)
+
+// Status describes a completed receive.
+type Status struct {
+	Source int
+	Tag    int
+	Size   int64
+}
+
+// Request is a communication request handle, analogous to MPI_Request.
+type Request struct {
+	r          *Rank
+	kind       reqKind
+	persistent bool
+	active     bool
+	done       bool
+
+	// Matching fields. For receives, src may be AnySource.
+	src, tag int
+	b        buf.Buf
+
+	// Send-side fields.
+	dst  int
+	size int64
+
+	// Rendezvous receive: set once an RTS has been matched.
+	awaitingData bool
+
+	Status Status
+}
+
+// Active reports whether the request has been started and not yet collected.
+func (q *Request) Active() bool { return q.active }
+
+// Done reports whether the operation has completed (it may still need to be
+// collected by Testsome).
+func (q *Request) Done() bool { return q.done }

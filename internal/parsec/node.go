@@ -1,0 +1,556 @@
+package parsec
+
+import (
+	"fmt"
+	"sort"
+
+	"amtlci/internal/core"
+	"amtlci/internal/sim"
+)
+
+// node is one rank's runtime instance: scheduler state, worker cores, the
+// dataflow store, and the protocol handlers that run on the communication
+// thread.
+type node struct {
+	rt   *Runtime
+	rank int
+	ce   core.Engine
+	cfg  Config
+
+	workers []*sim.Proc
+	idle    []int // indices of idle workers, LIFO
+
+	ready prioQueue
+	tasks map[TaskID]*taskState
+	store map[flowKey]*flowData
+
+	executed int64
+	total    int64
+	rng      *sim.RNG
+	clock    Clock
+
+	// Fetch management (§4.1 deferral, §4.3 duty 3).
+	activeFetches int
+	fetchQ        prioQueue
+
+	// ACTIVATE aggregation (§4.3 duty 1), funneled mode only.
+	pendingAct  map[int][]activation
+	flushQueued map[int]bool
+
+	stats Stats
+
+	inputScratch []Dep
+	succScratch  []Dep
+	lastOutputs  []DataRef
+}
+
+type taskState struct {
+	remaining int32
+	// lazyFlows holds announced-but-unfetched input flows (FetchLazy mode);
+	// their fetches launch when remaining == len(lazyFlows).
+	lazyFlows []flowKey
+}
+
+type flowData struct {
+	state        flowState
+	ref          DataRef
+	size         int64
+	lreg         regHandle
+	registered   bool
+	expectedGets int
+	servedGets   int
+	pendingGets  []getReq
+	waiters      []TaskID
+	localRefs    int
+	// Tracing/forwarding metadata, valid away from the root.
+	meta activation
+}
+
+func newNode(rt *Runtime, rank int, ce core.Engine, cfg Config) *node {
+	n := &node{
+		rt:          rt,
+		rank:        rank,
+		ce:          ce,
+		cfg:         cfg,
+		tasks:       make(map[TaskID]*taskState),
+		store:       make(map[flowKey]*flowData),
+		rng:         sim.NewRNG(cfg.Seed ^ (uint64(rank)+1)*0x9E3779B97F4A7C15),
+		pendingAct:  make(map[int][]activation),
+		flushQueued: make(map[int]bool),
+	}
+	n.workers = make([]*sim.Proc, cfg.Workers)
+	for i := range n.workers {
+		n.workers[i] = sim.NewProc(rt.eng)
+		n.idle = append(n.idle, i)
+	}
+	ce.TagReg(tagActivate, n.onActivate, int64(cfg.AMCap))
+	ce.TagReg(tagGetData, n.onGetData, 256)
+	ce.TagReg(tagPutDone, n.onPutDone, 256)
+	return n
+}
+
+// start enumerates root tasks and releases them.
+func (n *node) start() {
+	n.total = n.rt.tp.LocalTasks(n.rank)
+	n.rt.tp.Roots(n.rank, func(t TaskID) {
+		n.stateOf(t) // remaining == 0 for roots
+		n.makeReady(t)
+	})
+}
+
+func (n *node) stateOf(t TaskID) *taskState {
+	st, ok := n.tasks[t]
+	if !ok {
+		n.inputScratch = n.rt.tp.Inputs(t, n.inputScratch[:0])
+		st = &taskState{remaining: int32(len(n.inputScratch))}
+		n.tasks[t] = st
+	}
+	return st
+}
+
+// satisfy decrements t's dependence counter, releasing it at zero.
+func (n *node) satisfy(t TaskID) {
+	st := n.stateOf(t)
+	st.remaining--
+	if st.remaining < 0 {
+		panic(fmt.Sprintf("parsec: task %v over-satisfied at rank %d", t, n.rank))
+	}
+	if st.remaining == 0 {
+		n.makeReady(t)
+		return
+	}
+	if n.cfg.FetchLazy && len(st.lazyFlows) > 0 && int(st.remaining) == len(st.lazyFlows) {
+		n.launchLazy(st)
+	}
+}
+
+// launchLazy requests every deferred flow of one task; shared flows may
+// already be fetching on behalf of another consumer.
+func (n *node) launchLazy(st *taskState) {
+	keys := st.lazyFlows
+	st.lazyFlows = nil
+	for _, key := range keys {
+		fd := n.store[key]
+		if fd == nil || fd.state != flowAnnounced {
+			continue
+		}
+		n.requestFetch(key, fd, 1<<62)
+	}
+}
+
+func (n *node) makeReady(t TaskID) {
+	n.ready.Push(n.rt.tp.Priority(t), t, nil)
+	n.dispatch()
+}
+
+// dispatch pairs ready tasks with idle workers.
+func (n *node) dispatch() {
+	for len(n.idle) > 0 && n.ready.Len() > 0 {
+		w := n.idle[len(n.idle)-1]
+		n.idle = n.idle[:len(n.idle)-1]
+		it := n.ready.Pop()
+		n.runTask(it.task, w)
+	}
+}
+
+// runTask executes t on worker w: scheduling overhead, the (jittered) kernel
+// cost, and completion bookkeeping are charged to the worker core.
+func (n *node) runTask(t TaskID, w int) {
+	cost := n.cfg.SchedCost + n.rng.Jitter(n.rt.tp.Cost(t), n.cfg.Jitter) + n.cfg.CompleteCost
+	proc := n.workers[w]
+	if n.rt.obs != nil {
+		n.rt.obs.TaskStart(n.rank, w, t, n.rt.eng.Now())
+	}
+	proc.Submit(cost, func() {
+		n.execute(t, w)
+		n.complete(t, w)
+		if n.rt.obs != nil {
+			n.rt.obs.TaskEnd(n.rank, w, t, n.rt.eng.Now())
+		}
+		// The worker picks up the next ready task or goes idle.
+		if n.ready.Len() > 0 {
+			it := n.ready.Pop()
+			n.runTask(it.task, w)
+		} else {
+			n.idle = append(n.idle, w)
+		}
+	})
+}
+
+// execute gathers inputs and invokes the application's kernel (real
+// numerics in small-scale mode, no-op in virtual mode).
+func (n *node) execute(t TaskID, w int) {
+	n.inputScratch = n.rt.tp.Inputs(t, n.inputScratch[:0])
+	inputs := make([]DataRef, len(n.inputScratch))
+	for i, dep := range n.inputScratch {
+		key := flowKey{dep.Task, dep.Flow}
+		fd, ok := n.store[key]
+		if !ok || fd.state != flowReady {
+			panic(fmt.Sprintf("parsec: rank %d task %v input %v not ready", n.rank, t, dep))
+		}
+		inputs[i] = fd.ref
+		fd.localRefs--
+		n.maybeClean(key, fd)
+	}
+	n.lastOutputs = n.rt.tp.Execute(t, inputs)
+}
+
+// complete releases t's descendants: local consumers directly, remote ones
+// through the ACTIVATE protocol (Figure 1).
+func (n *node) complete(t TaskID, w int) {
+	n.executed++
+	n.stats.TasksRun++
+	// The task's dependence state is dead from here on (every input was
+	// satisfied exactly once, pre-execution); dropping it keeps memory flat
+	// on multi-million-task runs.
+	delete(n.tasks, t)
+	outputs := n.lastOutputs
+	n.lastOutputs = nil
+
+	for f := 0; f < len(outputs); f++ {
+		flow := int32(f)
+		key := flowKey{t, flow}
+		size := outputs[f].Buf.Size
+		n.succScratch = n.rt.tp.Successors(t, flow, n.succScratch[:0])
+
+		fd := &flowData{state: flowReady, ref: outputs[f], size: size}
+		now := int64(n.clock.Read(n.rt.eng.Now()))
+		fd.meta = activation{task: t, flow: flow, size: size,
+			root: int32(n.rank), rootSend: now, hopRank: int32(n.rank), hopSend: now}
+		n.store[key] = fd
+
+		// Partition consumers into local tasks and remote ranks.
+		var remote []int32
+		seen := map[int32]bool{}
+		for _, dep := range n.succScratch {
+			r := n.rt.tp.RankOf(dep.Task)
+			if r == n.rank {
+				fd.localRefs++
+				n.satisfy(dep.Task)
+				continue
+			}
+			if !seen[int32(r)] {
+				seen[int32(r)] = true
+				remote = append(remote, int32(r))
+			}
+		}
+		if len(remote) == 0 {
+			n.maybeClean(key, fd)
+			continue
+		}
+		sort.Slice(remote, func(i, j int) bool { return remote[i] < remote[j] })
+
+		// Multicast: direct sends below the fan-out threshold, binomial
+		// tree above it. The tree is rooted at this rank.
+		tree := append([]int32{int32(n.rank)}, remote...)
+		var children [][]int32
+		if len(remote) >= n.cfg.TreeFanout {
+			children = treeSplit(tree)
+		} else {
+			for _, r := range remote {
+				children = append(children, []int32{r})
+			}
+		}
+		if size == 0 {
+			fd.expectedGets = 0 // control flow: children never fetch
+		} else {
+			fd.expectedGets = len(children)
+		}
+
+		for _, sub := range children {
+			act := fd.meta
+			act.subtree = sub[1:]
+			n.sendActivate(int(sub[0]), act, w)
+		}
+	}
+}
+
+// sendActivate routes one activation entry: funneled through the
+// communication thread with aggregation, or sent directly by the worker in
+// multithreaded mode.
+func (n *node) sendActivate(dest int, act activation, w int) {
+	if n.cfg.MTActivate {
+		payload := encodeActivates([]activation{act})
+		n.stats.ActivatesSent++
+		n.stats.Activations++
+		if n.rt.obs != nil {
+			n.rt.obs.ActivateSent(n.rank, dest, 1, n.rt.eng.Now())
+		}
+		n.ce.SendAMMT(n.workers[w], tagActivate, dest, payload, nil)
+		return
+	}
+	n.ce.Submit(n.cfg.AggregationCost, func() {
+		n.pendingAct[dest] = append(n.pendingAct[dest], act)
+		if !n.flushQueued[dest] {
+			n.flushQueued[dest] = true
+			// The flush runs when the communication thread next gets to it;
+			// everything queued for dest in the meantime aggregates into
+			// one ACTIVATE message (§4.3 duty 1).
+			n.ce.Submit(0, func() { n.flushActivates(dest) })
+		}
+	})
+}
+
+func (n *node) flushActivates(dest int) {
+	n.flushQueued[dest] = false
+	entries := n.pendingAct[dest]
+	if len(entries) == 0 {
+		return
+	}
+	delete(n.pendingAct, dest)
+	// Respect the AM payload cap: chunk if needed.
+	for len(entries) > 0 {
+		bytes := 2
+		cut := 0
+		for cut < len(entries) {
+			l := entries[cut].encodedLen()
+			if bytes+l > n.cfg.AMCap && cut > 0 {
+				break
+			}
+			bytes += l
+			cut++
+		}
+		chunk := entries[:cut]
+		entries = entries[cut:]
+		n.stats.ActivatesSent++
+		n.stats.Activations += int64(len(chunk))
+		if n.rt.obs != nil {
+			n.rt.obs.ActivateSent(n.rank, dest, len(chunk), n.rt.eng.Now())
+		}
+		n.ce.SendAM(tagActivate, dest, encodeActivates(chunk))
+	}
+}
+
+// onActivate handles an ACTIVATE message on the communication thread: per
+// §4.3, it "must unpack each aggregated activation, iterate over all local
+// descendants of the task in question, determine which data are needed from
+// the predecessor, and send GET DATA messages as necessary" — while this
+// runs, the thread can do nothing else.
+func (n *node) onActivate(_ core.Engine, _ core.Tag, data []byte, src int) {
+	entries := decodeActivates(data)
+	for _, act := range entries {
+		act := act
+		// Unpacking one activation means iterating over every local
+		// descendant of the completed task (§4.3), so the processing cost
+		// grows with the descendant count.
+		desc := 0
+		n.succScratch = n.rt.tp.Successors(act.task, act.flow, n.succScratch[:0])
+		for _, dep := range n.succScratch {
+			if n.rt.tp.RankOf(dep.Task) == n.rank {
+				desc++
+			}
+		}
+		cost := n.cfg.ActivateCost + sim.Duration(desc)*n.cfg.ActivateDesc
+		n.ce.Submit(cost, func() { n.processActivation(act) })
+	}
+}
+
+func (n *node) processActivation(act activation) {
+	key := flowKey{act.task, act.flow}
+	if _, dup := n.store[key]; dup {
+		panic(fmt.Sprintf("parsec: duplicate activation for %v at rank %d", key, n.rank))
+	}
+	fd := &flowData{state: flowAnnounced, size: act.size, meta: act}
+	n.store[key] = fd
+
+	// Local descendants wait for the data.
+	n.succScratch = n.rt.tp.Successors(act.task, act.flow, n.succScratch[:0])
+	maxPrio := int64(-1 << 62)
+	for _, dep := range n.succScratch {
+		if n.rt.tp.RankOf(dep.Task) != n.rank {
+			continue
+		}
+		fd.waiters = append(fd.waiters, dep.Task)
+		fd.localRefs++
+		if p := n.rt.tp.Priority(dep.Task); p > maxPrio {
+			maxPrio = p
+		}
+	}
+
+	// Forward the activation down the multicast tree immediately; the
+	// children's GET DATA requests queue here until our copy lands.
+	if len(act.subtree) > 0 {
+		tree := append([]int32{int32(n.rank)}, act.subtree...)
+		children := treeSplit(tree)
+		fd.expectedGets = len(children)
+		now := int64(n.clock.Read(n.rt.eng.Now()))
+		for _, sub := range children {
+			fwd := act
+			fwd.hopRank = int32(n.rank)
+			fwd.hopSend = now
+			fwd.subtree = sub[1:]
+			n.ce.SendAM(tagActivate, int(sub[0]), encodeActivates([]activation{fwd}))
+			n.stats.ActivatesSent++
+			n.stats.Activations++
+		}
+	}
+
+	if len(fd.waiters) == 0 && len(act.subtree) == 0 {
+		panic(fmt.Sprintf("parsec: activation for %v at rank %d has no consumers", key, n.rank))
+	}
+
+	// Control dependences (PaRSEC CTL flows) carry no data: the activation
+	// itself satisfies the consumers, with no GET DATA and no put.
+	if act.size == 0 {
+		fd.state = flowReady
+		fd.expectedGets = 0
+		waiters := fd.waiters
+		fd.waiters = nil
+		for _, t := range waiters {
+			n.satisfy(t) // localRefs drop when the consumers execute
+		}
+		n.maybeClean(key, fd)
+		return
+	}
+
+	if n.cfg.FetchLazy && len(act.subtree) == 0 {
+		// Defer the fetch until a consumer is otherwise unblocked (§4.1's
+		// defer branch). Forwarding ranks always fetch immediately: their
+		// subtree is waiting.
+		allBlocked := true
+		for _, w := range fd.waiters {
+			st := n.stateOf(w)
+			st.lazyFlows = append(st.lazyFlows, key)
+			if int(st.remaining) == len(st.lazyFlows) {
+				allBlocked = false
+			}
+		}
+		if allBlocked {
+			n.stats.FetchDeferred++
+			return
+		}
+		for _, w := range fd.waiters {
+			st := n.stateOf(w)
+			// Remove the bookkeeping added above; the fetch starts now.
+			for i, k := range st.lazyFlows {
+				if k == key {
+					st.lazyFlows = append(st.lazyFlows[:i], st.lazyFlows[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+
+	// Fetch now or defer by priority pressure (§4.1).
+	n.requestFetch(key, fd, maxPrio)
+}
+
+// requestFetch starts a fetch subject to the concurrency cap.
+func (n *node) requestFetch(key flowKey, fd *flowData, prio int64) {
+	if fd.state != flowAnnounced {
+		return
+	}
+	if n.activeFetches < n.cfg.FetchCap {
+		n.startFetch(key, fd)
+	} else {
+		fd.state = flowQueued
+		n.stats.FetchDeferred++
+		n.fetchQ.Push(prio, key.task, func() { n.startFetch(key, fd) })
+	}
+}
+
+// startFetch sends GET DATA to the tree parent (the data source for this
+// rank) with our registered landing buffer.
+func (n *node) startFetch(key flowKey, fd *flowData) {
+	if n.rt.obs != nil {
+		n.rt.obs.FetchStart(n.rank, key.task, key.flow, fd.size, n.rt.eng.Now())
+	}
+	n.activeFetches++
+	fd.state = flowFetching
+	fd.ref = n.rt.tp.MakeCopy(key.task, key.flow, fd.size)
+	fd.lreg = n.ce.MemReg(fd.ref.Buf)
+	fd.registered = true
+	g := getData{task: key.task, flow: key.flow, rreg: fd.lreg}
+	n.stats.GetsSent++
+	n.ce.SendAM(tagGetData, int(fd.meta.hopRank), g.encode())
+}
+
+// onGetData serves a data request at a rank that holds (or will hold) the
+// flow: the owner, or a multicast forwarder.
+func (n *node) onGetData(_ core.Engine, _ core.Tag, data []byte, src int) {
+	g := decodeGetData(data)
+	key := flowKey{g.task, g.flow}
+	fd, ok := n.store[key]
+	if !ok {
+		panic(fmt.Sprintf("parsec: GET DATA for unknown flow %v at rank %d", key, n.rank))
+	}
+	req := getReq{requester: src, rreg: g.rreg}
+	if fd.state != flowReady {
+		// Forwarder whose own copy is still in flight: queue the request.
+		fd.pendingGets = append(fd.pendingGets, req)
+		return
+	}
+	n.ce.Submit(n.cfg.GetDataCost, func() { n.servePut(key, fd, req) })
+}
+
+// servePut starts the put that answers one GET DATA.
+func (n *node) servePut(key flowKey, fd *flowData, req getReq) {
+	if !fd.registered {
+		fd.lreg = n.ce.MemReg(fd.ref.Buf)
+		fd.registered = true
+	}
+	meta := putMeta{
+		task: key.task, flow: key.flow,
+		root: fd.meta.root, rootSend: fd.meta.rootSend,
+		hopRank: int32(n.rank), hopSend: int64(n.clock.Read(n.rt.eng.Now())),
+	}
+	n.ce.Put(core.PutArgs{
+		LReg: fd.lreg, RReg: req.rreg, Size: fd.size, Remote: req.requester,
+		LocalCB: func() {
+			fd.servedGets++
+			n.maybeClean(key, fd)
+		},
+		RTag: tagPutDone, RCBData: meta.encode(),
+	})
+}
+
+// onPutDone runs at the requester when the data has landed: release local
+// waiters, serve queued children, and admit the next deferred fetch.
+func (n *node) onPutDone(_ core.Engine, _ core.Tag, data []byte, src int) {
+	m := decodePutMeta(data)
+	key := flowKey{m.task, m.flow}
+	fd, ok := n.store[key]
+	if !ok || fd.state != flowFetching {
+		panic(fmt.Sprintf("parsec: unexpected put completion for %v at rank %d", key, n.rank))
+	}
+	n.ce.Submit(n.cfg.DeliverCost, func() {
+		fd.state = flowReady
+		n.stats.BytesFetched += fd.size
+		if n.rt.obs != nil {
+			n.rt.obs.DataArrived(n.rank, key.task, key.flow, fd.size, n.rt.eng.Now())
+		}
+		n.rt.tracer.Sample(int(m.root), m.rootSend, int(m.hopRank), m.hopSend,
+			n.rank, n.clock.Read(n.rt.eng.Now()))
+
+		for _, t := range fd.waiters {
+			n.satisfy(t)
+		}
+		fd.waiters = nil
+
+		pending := fd.pendingGets
+		fd.pendingGets = nil
+		for _, req := range pending {
+			req := req
+			n.ce.Submit(n.cfg.GetDataCost, func() { n.servePut(key, fd, req) })
+		}
+
+		n.activeFetches--
+		if n.fetchQ.Len() > 0 && n.activeFetches < n.cfg.FetchCap {
+			n.fetchQ.Pop().fire()
+		}
+		n.maybeClean(key, fd)
+	})
+}
+
+// maybeClean retires a flow copy once every local consumer has executed and
+// every child has been served (Figure 1's "Cleanup if all done").
+func (n *node) maybeClean(key flowKey, fd *flowData) {
+	if fd.state != flowReady || fd.localRefs > 0 || fd.servedGets < fd.expectedGets {
+		return
+	}
+	if fd.registered {
+		n.ce.MemDereg(fd.lreg)
+		fd.registered = false
+	}
+	delete(n.store, key)
+}

@@ -1,0 +1,501 @@
+package parsec_test
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"amtlci/internal/core/stack"
+	"amtlci/internal/parsec"
+	"amtlci/internal/sim"
+)
+
+// build assembles a runtime over a fresh stack.
+func build(t *testing.T, b stack.Backend, ranks, workers int, tp parsec.Taskpool, mod func(*parsec.Config)) (*stack.Stack, *parsec.Runtime) {
+	t.Helper()
+	o := stack.DefaultOptions(b, ranks)
+	o.Fabric.Jitter = 0
+	s := stack.Build(o)
+	cfg := parsec.DefaultConfig(workers)
+	cfg.Jitter = 0
+	if mod != nil {
+		mod(&cfg)
+	}
+	return s, parsec.New(s.Eng, s.Engines, tp, cfg)
+}
+
+func forBackends(t *testing.T, f func(t *testing.T, b stack.Backend)) {
+	for _, b := range stack.Backends {
+		b := b
+		t.Run(b.String(), func(t *testing.T) { f(t, b) })
+	}
+}
+
+func TestSingleLocalChain(t *testing.T) {
+	forBackends(t, func(t *testing.T, b stack.Backend) {
+		g := parsec.NewGraphPool("chain", 1, false)
+		a := g.AddTask(0, 0, 10*sim.Microsecond, 0, 128)
+		bb := g.AddTask(1, 0, 10*sim.Microsecond, 0, 128)
+		c := g.AddTask(2, 0, 10*sim.Microsecond, 0)
+		g.Link(a, 0, bb)
+		g.Link(bb, 0, c)
+		var order []parsec.TaskID
+		g.ExecuteFn = func(tk parsec.TaskID, _, _ []parsec.DataRef) { order = append(order, tk) }
+		_, rt := build(t, b, 1, 2, g, nil)
+		d, err := rt.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(order) != 3 || order[0] != a || order[1] != bb || order[2] != c {
+			t.Fatalf("order = %v", order)
+		}
+		if d < 30*sim.Microsecond {
+			t.Fatalf("makespan %v below serial compute time", d)
+		}
+	})
+}
+
+func TestRemoteDependencyMovesRealBytes(t *testing.T) {
+	forBackends(t, func(t *testing.T, b stack.Backend) {
+		g := parsec.NewGraphPool("remote", 2, true)
+		const size = 96 << 10 // rendezvous-sized
+		prod := g.AddTask(0, 0, sim.Microsecond, 0, size)
+		cons := g.AddTask(1, 1, sim.Microsecond, 0)
+		g.Link(prod, 0, cons)
+		var got byte
+		g.ExecuteFn = func(tk parsec.TaskID, in, out []parsec.DataRef) {
+			switch tk {
+			case prod:
+				for i := range out[0].Buf.Bytes {
+					out[0].Buf.Bytes[i] = 0x5C
+				}
+			case cons:
+				got = in[0].Buf.Bytes[size-1]
+			}
+		}
+		_, rt := build(t, b, 2, 2, g, nil)
+		if _, err := rt.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if got != 0x5C {
+			t.Fatalf("consumer saw byte %#x, want 0x5C", got)
+		}
+		if rt.Stats(1).BytesFetched != size {
+			t.Fatalf("BytesFetched = %d", rt.Stats(1).BytesFetched)
+		}
+		if rt.Tracer().EndToEnd().N() != 1 {
+			t.Fatalf("tracer samples = %d, want 1", rt.Tracer().EndToEnd().N())
+		}
+	})
+}
+
+func TestSmallRemotePayloadUsesEagerPath(t *testing.T) {
+	// Payloads at or below the eager thresholds must still arrive intact.
+	forBackends(t, func(t *testing.T, b stack.Backend) {
+		g := parsec.NewGraphPool("eager", 2, true)
+		prod := g.AddTask(0, 0, sim.Microsecond, 0, 64)
+		cons := g.AddTask(1, 1, sim.Microsecond, 0)
+		g.Link(prod, 0, cons)
+		ok := false
+		g.ExecuteFn = func(tk parsec.TaskID, in, out []parsec.DataRef) {
+			if tk == prod {
+				out[0].Buf.Bytes[63] = 0x77
+			} else {
+				ok = in[0].Buf.Bytes[63] == 0x77
+			}
+		}
+		_, rt := build(t, b, 2, 1, g, nil)
+		if _, err := rt.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatal("eager payload corrupted or missing")
+		}
+	})
+}
+
+func TestDiamondMixedLocalRemote(t *testing.T) {
+	forBackends(t, func(t *testing.T, b stack.Backend) {
+		// A on rank0 feeds B (rank0, local) and C (rank1, remote); D on
+		// rank1 needs B and C.
+		g := parsec.NewGraphPool("diamond", 2, false)
+		a := g.AddTask(0, 0, sim.Microsecond, 0, 4096)
+		bb := g.AddTask(1, 0, sim.Microsecond, 0, 4096)
+		c := g.AddTask(2, 1, sim.Microsecond, 0, 4096)
+		d := g.AddTask(3, 1, sim.Microsecond, 0)
+		g.Link(a, 0, bb)
+		g.Link(a, 0, c)
+		g.Link(bb, 0, d)
+		g.Link(c, 0, d)
+		ran := map[int64]bool{}
+		g.ExecuteFn = func(tk parsec.TaskID, _, _ []parsec.DataRef) { ran[tk.Index] = true }
+		_, rt := build(t, b, 2, 2, g, nil)
+		if _, err := rt.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if len(ran) != 4 {
+			t.Fatalf("ran %d tasks, want 4", len(ran))
+		}
+	})
+}
+
+func TestBroadcastUsesMulticastTree(t *testing.T) {
+	forBackends(t, func(t *testing.T, b stack.Backend) {
+		const ranks = 9
+		g := parsec.NewGraphPool("bcast", ranks, false)
+		prod := g.AddTask(0, 0, sim.Microsecond, 0, 32<<10)
+		for r := 1; r < ranks; r++ {
+			c := g.AddTask(int64(r), r, sim.Microsecond, 0)
+			g.Link(prod, 0, c)
+		}
+		_, rt := build(t, b, ranks, 1, g, nil)
+		if _, err := rt.Run(); err != nil {
+			t.Fatal(err)
+		}
+		// Every remote rank fetched the flow once.
+		if n := rt.Tracer().EndToEnd().N(); n != ranks-1 {
+			t.Fatalf("e2e samples = %d, want %d", n, ranks-1)
+		}
+		// With a binomial tree, the root serves ceil(log2(9))=4 children,
+		// not 8: its GET DATA count stays below the consumer count.
+		rootGets := rt.Stats(0).GetsSent
+		if rootGets != 0 {
+			t.Fatalf("root sent %d GET DATA, want 0", rootGets)
+		}
+		var forwarded int64
+		for r := 1; r < ranks; r++ {
+			forwarded += rt.Stats(r).ActivatesSent
+		}
+		if forwarded == 0 {
+			t.Fatal("no rank forwarded activations; tree multicast not exercised")
+		}
+	})
+}
+
+func TestPriorityOrderOnSingleWorker(t *testing.T) {
+	g := parsec.NewGraphPool("prio", 1, false)
+	root := g.AddTask(0, 0, sim.Microsecond, 0, 8)
+	low := g.AddTask(1, 0, sim.Microsecond, 1)
+	high := g.AddTask(2, 0, sim.Microsecond, 99)
+	g.Link(root, 0, low)
+	g.Link(root, 0, high)
+	var order []int64
+	g.ExecuteFn = func(tk parsec.TaskID, _, _ []parsec.DataRef) { order = append(order, tk.Index) }
+	_, rt := build(t, stack.LCI, 1, 1, g, nil)
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if order[1] != 2 || order[2] != 1 {
+		t.Fatalf("priority order violated: %v", order)
+	}
+}
+
+func TestFetchCapDefersLowPriorityFetches(t *testing.T) {
+	forBackends(t, func(t *testing.T, b stack.Backend) {
+		g := parsec.NewGraphPool("defer", 2, false)
+		const n = 12
+		for i := int64(0); i < n; i++ {
+			p := g.AddTask(i, 0, sim.Microsecond, 0, 256<<10)
+			c := g.AddTask(100+i, 1, sim.Microsecond, i)
+			g.Link(p, 0, c)
+		}
+		_, rt := build(t, b, 2, 4, g, func(c *parsec.Config) { c.FetchCap = 2 })
+		if _, err := rt.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if rt.Stats(1).FetchDeferred == 0 {
+			t.Fatal("no fetches deferred despite FetchCap=2")
+		}
+		if rt.Stats(1).TasksRun != n {
+			t.Fatalf("rank1 ran %d tasks, want %d", rt.Stats(1).TasksRun, n)
+		}
+	})
+}
+
+func TestActivateAggregationFunneledVsMT(t *testing.T) {
+	mkpool := func() *parsec.GraphPool {
+		g := parsec.NewGraphPool("agg", 2, false)
+		// Many producers on rank 0 all feeding consumers on rank 1: their
+		// ACTIVATEs aggregate when funneled through the comm thread.
+		for i := int64(0); i < 64; i++ {
+			p := g.AddTask(i, 0, 100*sim.Nanosecond, 0, 1024)
+			c := g.AddTask(1000+i, 1, 100*sim.Nanosecond, 0)
+			g.Link(p, 0, c)
+		}
+		return g
+	}
+	_, funneled := build(t, stack.LCI, 2, 8, mkpool(), nil)
+	if _, err := funneled.Run(); err != nil {
+		t.Fatal(err)
+	}
+	fs := funneled.Stats(0)
+	if fs.ActivatesSent >= fs.Activations {
+		t.Fatalf("funneled mode did not aggregate: %d messages for %d activations",
+			fs.ActivatesSent, fs.Activations)
+	}
+	_, mt := build(t, stack.LCI, 2, 8, mkpool(), func(c *parsec.Config) { c.MTActivate = true })
+	if _, err := mt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ms := mt.Stats(0)
+	if ms.ActivatesSent != ms.Activations {
+		t.Fatalf("MT mode should not aggregate: %d messages for %d activations",
+			ms.ActivatesSent, ms.Activations)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	// A consumer whose producer lives on a rank that never runs it: we
+	// simulate a broken pool by linking to a task that never becomes ready.
+	g := parsec.NewGraphPool("dead", 1, false)
+	a := g.AddTask(0, 0, sim.Microsecond, 0, 8)
+	bb := g.AddTask(1, 0, sim.Microsecond, 0, 8)
+	c := g.AddTask(2, 0, sim.Microsecond, 0, 8)
+	g.Link(a, 0, bb)
+	g.Link(bb, 0, c) // fine so far
+	g.Link(c, 0, bb) // cycle: b needs c, c needs b
+	_, rt := build(t, stack.LCI, 1, 2, g, nil)
+	_, err := rt.Run()
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("err = %v, want deadlock", err)
+	}
+}
+
+func TestDeterministicMakespan(t *testing.T) {
+	run := func(b stack.Backend) sim.Duration {
+		g := parsec.NewGraphPool("det", 4, false)
+		idx := int64(0)
+		var prev []parsec.TaskID
+		for layer := 0; layer < 6; layer++ {
+			var cur []parsec.TaskID
+			for i := 0; i < 8; i++ {
+				tk := g.AddTask(idx, (layer+i)%4, 5*sim.Microsecond, int64(i), 64<<10)
+				idx++
+				for _, p := range prev {
+					g.Link(p, 0, tk)
+				}
+				cur = append(cur, tk)
+			}
+			prev = cur
+		}
+		_, rt := build(t, b, 4, 4, g, nil)
+		d, err := rt.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	for _, b := range stack.Backends {
+		if a, bd := run(b), run(b); a != bd {
+			t.Fatalf("%v: nondeterministic makespan %v vs %v", b, a, bd)
+		}
+	}
+}
+
+func TestWorkerScalingReducesMakespan(t *testing.T) {
+	mk := func(workers int) sim.Duration {
+		g := parsec.NewGraphPool("scale", 1, false)
+		for i := int64(0); i < 64; i++ {
+			g.AddTask(i, 0, 100*sim.Microsecond, 0)
+		}
+		_, rt := build(t, stack.LCI, 1, workers, g, nil)
+		d, err := rt.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	one, eight := mk(1), mk(8)
+	if eight >= one/4 {
+		t.Fatalf("8 workers (%v) not meaningfully faster than 1 (%v)", eight, one)
+	}
+}
+
+func TestSkewedClocksWithCorrections(t *testing.T) {
+	g := parsec.NewGraphPool("clock", 2, false)
+	p := g.AddTask(0, 0, sim.Microsecond, 0, 128<<10)
+	c := g.AddTask(1, 1, sim.Microsecond, 0)
+	g.Link(p, 0, c)
+	s, rt := build(t, stack.LCI, 2, 1, g, nil)
+	_ = s
+	offsets := []sim.Duration{0, 5 * sim.Millisecond}
+	clocks := []parsec.Clock{{Offset: offsets[0]}, {Offset: offsets[1]}}
+	rt.SetClocks(clocks, offsets) // perfect corrections
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	e2e := rt.Tracer().EndToEnd().Mean()
+	if e2e < 0 || e2e > 1000 {
+		t.Fatalf("corrected e2e latency = %vµs, implausible", e2e)
+	}
+}
+
+func TestSkewedClocksWithoutCorrectionsDistortLatency(t *testing.T) {
+	g := parsec.NewGraphPool("clock2", 2, false)
+	p := g.AddTask(0, 0, sim.Microsecond, 0, 128<<10)
+	c := g.AddTask(1, 1, sim.Microsecond, 0)
+	g.Link(p, 0, c)
+	_, rt := build(t, stack.LCI, 2, 1, g, nil)
+	clocks := []parsec.Clock{{}, {Offset: 5 * sim.Millisecond}}
+	rt.SetClocks(clocks, make([]sim.Duration, 2)) // no corrections
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e2e := rt.Tracer().EndToEnd().Mean(); e2e < 4000 {
+		t.Fatalf("uncorrected skew should distort latency, got %vµs", e2e)
+	}
+}
+
+func TestControlFlowCarriesNoData(t *testing.T) {
+	forBackends(t, func(t *testing.T, b stack.Backend) {
+		// A SYNC-style task: remote consumers depend on a zero-size flow.
+		g := parsec.NewGraphPool("ctl", 2, false)
+		sync := g.AddTask(0, 0, sim.Microsecond, 0, 0) // zero-size flow
+		c1 := g.AddTask(1, 1, sim.Microsecond, 0)
+		c2 := g.AddTask(2, 1, sim.Microsecond, 0)
+		g.Link(sync, 0, c1)
+		g.Link(sync, 0, c2)
+		_, rt := build(t, b, 2, 2, g, nil)
+		if _, err := rt.Run(); err != nil {
+			t.Fatal(err)
+		}
+		// No GET DATA, no bytes fetched: pure control.
+		if rt.Stats(1).GetsSent != 0 || rt.Stats(1).BytesFetched != 0 {
+			t.Fatalf("control dep moved data: %+v", rt.Stats(1))
+		}
+		if rt.Stats(0).ActivatesSent == 0 {
+			t.Fatal("no activation sent for control flow")
+		}
+	})
+}
+
+func TestControlFlowThroughMulticastTree(t *testing.T) {
+	const ranks = 8
+	g := parsec.NewGraphPool("ctl-tree", ranks, false)
+	sync := g.AddTask(0, 0, sim.Microsecond, 0, 0)
+	for r := 1; r < ranks; r++ {
+		c := g.AddTask(int64(r), r, sim.Microsecond, 0)
+		g.Link(sync, 0, c)
+	}
+	_, rt := build(t, stack.LCI, ranks, 1, g, nil)
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r < ranks; r++ {
+		if rt.Stats(r).GetsSent != 0 {
+			t.Fatalf("rank %d fetched data for a control flow", r)
+		}
+	}
+}
+
+func TestRandomDAGsCompleteOnBothBackends(t *testing.T) {
+	// Property: any randomly generated layered DAG with mixed control and
+	// data flows completes without deadlock on both backends, every task
+	// runs exactly once, and the two backends fetch identical byte counts
+	// (the protocol moves the same data, only timing differs).
+	buildRandom := func(seed uint64, ranks int) *parsec.GraphPool {
+		rng := sim.NewRNG(seed)
+		g := parsec.NewGraphPool("random", ranks, false)
+		var prev []parsec.TaskID
+		idx := int64(0)
+		layers := 2 + rng.Intn(4)
+		for l := 0; l < layers; l++ {
+			width := 1 + rng.Intn(6)
+			var cur []parsec.TaskID
+			for i := 0; i < width; i++ {
+				var size int64
+				switch rng.Intn(3) {
+				case 0:
+					size = 0 // control flow
+				case 1:
+					size = int64(1 + rng.Intn(4<<10)) // eager
+				default:
+					size = int64(32<<10 + rng.Intn(256<<10)) // rendezvous
+				}
+				tk := g.AddTask(idx, rng.Intn(ranks),
+					sim.Duration(rng.Intn(20))*sim.Microsecond, int64(rng.Intn(8)), size)
+				idx++
+				// Link to a random subset of the previous layer.
+				for _, p := range prev {
+					if rng.Intn(3) != 0 {
+						g.Link(p, 0, tk)
+					}
+				}
+				cur = append(cur, tk)
+			}
+			prev = cur
+		}
+		return g
+	}
+
+	f := func(seed uint16) bool {
+		ranks := 2 + int(seed)%3
+		var fetched [2]int64
+		for i, b := range stack.Backends {
+			g := buildRandom(uint64(seed)+7, ranks)
+			_, rt := build(t, b, ranks, 2, g, nil)
+			if _, err := rt.Run(); err != nil {
+				t.Logf("seed %d backend %v: %v", seed, b, err)
+				return false
+			}
+			var ran int64
+			for r := 0; r < ranks; r++ {
+				ran += rt.Stats(r).TasksRun
+				fetched[i] += rt.Stats(r).BytesFetched
+			}
+			var want int64
+			for r := 0; r < ranks; r++ {
+				want += g.LocalTasks(r)
+			}
+			if ran != want {
+				t.Logf("seed %d backend %v: ran %d want %d", seed, b, ran, want)
+				return false
+			}
+		}
+		if fetched[0] != fetched[1] {
+			t.Logf("seed %d: LCI fetched %d, MPI fetched %d", seed, fetched[0], fetched[1])
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type countingObserver struct {
+	parsec.NopObserver
+	starts, ends, fetches, arrivals, activates int
+}
+
+func (o *countingObserver) TaskStart(int, int, parsec.TaskID, sim.Time) { o.starts++ }
+func (o *countingObserver) TaskEnd(int, int, parsec.TaskID, sim.Time)   { o.ends++ }
+func (o *countingObserver) FetchStart(int, parsec.TaskID, int32, int64, sim.Time) {
+	o.fetches++
+}
+func (o *countingObserver) DataArrived(int, parsec.TaskID, int32, int64, sim.Time) {
+	o.arrivals++
+}
+func (o *countingObserver) ActivateSent(int, int, int, sim.Time) { o.activates++ }
+
+func TestObserverSeesEveryEvent(t *testing.T) {
+	g := parsec.NewGraphPool("obs", 2, false)
+	p := g.AddTask(0, 0, sim.Microsecond, 0, 64<<10)
+	c := g.AddTask(1, 1, sim.Microsecond, 0)
+	g.Link(p, 0, c)
+	_, rt := build(t, stack.LCI, 2, 1, g, nil)
+	obs := &countingObserver{}
+	rt.SetObserver(obs)
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if obs.starts != 2 || obs.ends != 2 {
+		t.Fatalf("task events: %d starts, %d ends", obs.starts, obs.ends)
+	}
+	if obs.fetches != 1 || obs.arrivals != 1 {
+		t.Fatalf("comm events: %d fetches, %d arrivals", obs.fetches, obs.arrivals)
+	}
+	if obs.activates == 0 {
+		t.Fatal("no ACTIVATE events observed")
+	}
+}

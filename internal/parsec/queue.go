@@ -1,0 +1,49 @@
+package parsec
+
+import "container/heap"
+
+// prioItem is an entry in a max-priority queue with FIFO tie-breaking.
+type prioItem struct {
+	priority int64
+	seq      uint64
+	task     TaskID
+	fire     func() // used by the fetch queue; nil in the ready queue
+}
+
+type prioHeap []prioItem
+
+func (h prioHeap) Len() int { return len(h) }
+func (h prioHeap) Less(i, j int) bool {
+	if h[i].priority != h[j].priority {
+		return h[i].priority > h[j].priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h prioHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *prioHeap) Push(x any)   { *h = append(*h, x.(prioItem)) }
+func (h *prioHeap) Pop() (out any) {
+	old := *h
+	n := len(old)
+	out = old[n-1]
+	old[n-1] = prioItem{}
+	*h = old[:n-1]
+	return out
+}
+
+// prioQueue is a max-priority queue (highest priority pops first; FIFO among
+// equals). The runtime uses one for ready tasks and one for deferred fetches.
+type prioQueue struct {
+	h   prioHeap
+	seq uint64
+}
+
+func (q *prioQueue) Len() int { return len(q.h) }
+
+func (q *prioQueue) Push(priority int64, task TaskID, fire func()) {
+	q.seq++
+	heap.Push(&q.h, prioItem{priority: priority, seq: q.seq, task: task, fire: fire})
+}
+
+func (q *prioQueue) Pop() prioItem {
+	return heap.Pop(&q.h).(prioItem)
+}

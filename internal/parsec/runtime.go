@@ -1,0 +1,91 @@
+package parsec
+
+import (
+	"fmt"
+	"strings"
+
+	"amtlci/internal/core"
+	"amtlci/internal/sim"
+)
+
+// Runtime drives a distributed taskpool execution over a set of
+// communication engines (one per rank) on a shared simulation engine.
+type Runtime struct {
+	eng    *sim.Engine
+	tp     Taskpool
+	cfg    Config
+	nodes  []*node
+	tracer *Tracer
+	obs    Observer
+}
+
+// New builds a runtime. engines must all live on eng and have ranks 0..n-1
+// in order; it panics otherwise.
+func New(eng *sim.Engine, engines []core.Engine, tp Taskpool, cfg Config) *Runtime {
+	if cfg.Workers <= 0 {
+		panic("parsec: need at least one worker per rank")
+	}
+	if cfg.FetchCap <= 0 {
+		panic("parsec: FetchCap must be positive")
+	}
+	rt := &Runtime{eng: eng, tp: tp, cfg: cfg, tracer: NewTracer(len(engines))}
+	for i, ce := range engines {
+		if ce.Rank() != i {
+			panic(fmt.Sprintf("parsec: engine %d reports rank %d", i, ce.Rank()))
+		}
+		rt.nodes = append(rt.nodes, newNode(rt, i, ce, cfg))
+	}
+	return rt
+}
+
+// Tracer returns the latency tracer.
+func (rt *Runtime) Tracer() *Tracer { return rt.tracer }
+
+// SetClocks installs per-rank skewed clocks and the offset estimates the
+// tracer should correct with (from internal/clocksync). With perfect clocks
+// this is unnecessary.
+func (rt *Runtime) SetClocks(clocks []Clock, corrections []sim.Duration) {
+	for i, n := range rt.nodes {
+		n.clock = clocks[i]
+	}
+	rt.tracer.SetCorrections(corrections)
+}
+
+// Stats returns rank r's runtime counters (valid after Run).
+func (rt *Runtime) Stats(r int) Stats { return rt.nodes[r].stats }
+
+// Run releases the root tasks and executes the graph to completion,
+// returning the virtual makespan. It fails loudly on deadlock: if the event
+// queue drains while tasks remain, something violated the taskpool contract.
+func (rt *Runtime) Run() (sim.Duration, error) {
+	start := rt.eng.Now()
+	for _, n := range rt.nodes {
+		n.start()
+	}
+	end := rt.eng.Run()
+
+	var stuck []string
+	for _, n := range rt.nodes {
+		n.stats.WorkerBusy = 0
+		for _, w := range n.workers {
+			n.stats.WorkerBusy += w.BusyTime()
+		}
+		n.stats.CommBusy = n.ce.CommProc().BusyTime()
+		if n.executed != n.total {
+			stuck = append(stuck, fmt.Sprintf("rank %d: %d/%d tasks", n.rank, n.executed, n.total))
+		}
+	}
+	if len(stuck) > 0 {
+		return 0, fmt.Errorf("parsec: deadlock, %s", strings.Join(stuck, "; "))
+	}
+	return end.Sub(start), nil
+}
+
+// TotalTasks sums LocalTasks over all ranks.
+func (rt *Runtime) TotalTasks() int64 {
+	var total int64
+	for i := range rt.nodes {
+		total += rt.tp.LocalTasks(i)
+	}
+	return total
+}

@@ -1,0 +1,189 @@
+package parsec
+
+import (
+	"encoding/binary"
+
+	"amtlci/internal/core"
+)
+
+// Active-message tags registered by the runtime on every engine.
+const (
+	tagActivate core.Tag = 1 // task completed; activates remote descendants
+	tagGetData  core.Tag = 2 // request the data of a completed task's flow
+	tagPutDone  core.Tag = 3 // put remote-completion notifications
+)
+
+type regHandle = core.MemHandle
+
+// activation is one entry of an (aggregated) ACTIVATE message: a completed
+// task's output flow plus multicast-tree routing and tracing metadata.
+type activation struct {
+	task     TaskID
+	flow     int32
+	size     int64
+	root     int32 // rank that produced the data
+	rootSend int64 // root's clock when the root ACTIVATE was sent (ps)
+	hopRank  int32 // rank that sent this ACTIVATE (tree parent; data source)
+	hopSend  int64 // hop sender's clock at send time (ps)
+	subtree  []int32
+}
+
+const activationFixedBytes = 4 + 8 + 4 + 8 + 4 + 8 + 4 + 8 + 2
+
+func (a activation) encodedLen() int { return activationFixedBytes + 4*len(a.subtree) }
+
+func appendActivation(b []byte, a activation) []byte {
+	b = le32(b, a.task.Class)
+	b = le64(b, a.task.Index)
+	b = le32(b, a.flow)
+	b = le64(b, a.size)
+	b = le32(b, a.root)
+	b = le64(b, a.rootSend)
+	b = le32(b, a.hopRank)
+	b = le64(b, a.hopSend)
+	b = le16(b, uint16(len(a.subtree)))
+	for _, r := range a.subtree {
+		b = le32(b, r)
+	}
+	return b
+}
+
+func decodeActivation(b []byte) (activation, []byte) {
+	var a activation
+	a.task.Class, b = rd32(b)
+	a.task.Index, b = rd64(b)
+	a.flow, b = rd32(b)
+	a.size, b = rd64(b)
+	a.root, b = rd32(b)
+	a.rootSend, b = rd64(b)
+	a.hopRank, b = rd32(b)
+	a.hopSend, b = rd64(b)
+	var n uint16
+	n, b = rd16(b)
+	if n > 0 {
+		a.subtree = make([]int32, n)
+		for i := range a.subtree {
+			a.subtree[i], b = rd32(b)
+		}
+	}
+	return a, b
+}
+
+// encodeActivates packs entries into one AM payload, prefixed with a count.
+func encodeActivates(entries []activation) []byte {
+	n := 2
+	for _, a := range entries {
+		n += a.encodedLen()
+	}
+	b := make([]byte, 0, n)
+	b = le16(b, uint16(len(entries)))
+	for _, a := range entries {
+		b = appendActivation(b, a)
+	}
+	return b
+}
+
+func decodeActivates(b []byte) []activation {
+	var n uint16
+	n, b = rd16(b)
+	out := make([]activation, n)
+	for i := range out {
+		out[i], b = decodeActivation(b)
+	}
+	return out
+}
+
+// getData is the GET DATA request payload.
+type getData struct {
+	task TaskID
+	flow int32
+	rreg regHandle
+}
+
+func (g getData) encode() []byte {
+	b := make([]byte, 0, 4+8+4+4+8)
+	b = le32(b, g.task.Class)
+	b = le64(b, g.task.Index)
+	b = le32(b, g.flow)
+	b = le32(b, g.rreg.Rank)
+	b = append(b, 0, 0, 0, 0, 0, 0, 0, 0)
+	binary.LittleEndian.PutUint64(b[len(b)-8:], g.rreg.ID)
+	return b
+}
+
+func decodeGetData(b []byte) getData {
+	var g getData
+	g.task.Class, b = rd32(b)
+	g.task.Index, b = rd64(b)
+	g.flow, b = rd32(b)
+	g.rreg.Rank, b = rd32(b)
+	g.rreg.ID = binary.LittleEndian.Uint64(b)
+	return g
+}
+
+// putMeta rides as the put's remote-completion callback data: it tells the
+// requester which flow arrived and carries the tracing clocks.
+type putMeta struct {
+	task     TaskID
+	flow     int32
+	root     int32
+	rootSend int64
+	hopRank  int32
+	hopSend  int64
+}
+
+func (p putMeta) encode() []byte {
+	b := make([]byte, 0, 4+8+4+4+8+4+8)
+	b = le32(b, p.task.Class)
+	b = le64(b, p.task.Index)
+	b = le32(b, p.flow)
+	b = le32(b, p.root)
+	b = le64(b, p.rootSend)
+	b = le32(b, p.hopRank)
+	b = le64(b, p.hopSend)
+	return b
+}
+
+func decodePutMeta(b []byte) putMeta {
+	var p putMeta
+	p.task.Class, b = rd32(b)
+	p.task.Index, b = rd64(b)
+	p.flow, b = rd32(b)
+	p.root, b = rd32(b)
+	p.rootSend, b = rd64(b)
+	p.hopRank, b = rd32(b)
+	p.hopSend, b = rd64(b)
+	return p
+}
+
+// Little-endian append/read helpers.
+func le16(b []byte, v uint16) []byte {
+	return append(b, byte(v), byte(v>>8))
+}
+func le32(b []byte, v int32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+func le64(b []byte, v int64) []byte {
+	u := uint64(v)
+	return append(b, byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
+		byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
+}
+func rd16(b []byte) (uint16, []byte) { return binary.LittleEndian.Uint16(b), b[2:] }
+func rd32(b []byte) (int32, []byte)  { return int32(binary.LittleEndian.Uint32(b)), b[4:] }
+func rd64(b []byte) (int64, []byte)  { return int64(binary.LittleEndian.Uint64(b)), b[8:] }
+
+// treeSplit computes the binomial multicast children of the first rank in
+// ranks: it returns, for each child, the child-rooted slice of the subtree
+// (child first). PaRSEC propagates broadcasts down such trees so that no
+// single rank serves every consumer.
+func treeSplit(ranks []int32) [][]int32 {
+	var children [][]int32
+	// Binomial: repeatedly hand off the upper half of the remaining list.
+	lo, hi := 0, len(ranks)
+	for hi-lo > 1 {
+		mid := lo + (hi-lo+1)/2
+		children = append(children, ranks[mid:hi])
+		hi = mid
+	}
+	return children
+}

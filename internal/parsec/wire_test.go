@@ -1,0 +1,168 @@
+package parsec
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestActivationRoundTrip(t *testing.T) {
+	f := func(class int32, index int64, flow int32, size int64, root int32,
+		rootSend, hopSend int64, hopRank int32, subtree []int32) bool {
+		if len(subtree) > 1000 {
+			subtree = subtree[:1000]
+		}
+		a := activation{
+			task: TaskID{Class: class, Index: index}, flow: flow, size: size,
+			root: root, rootSend: rootSend, hopRank: hopRank, hopSend: hopSend,
+			subtree: subtree,
+		}
+		got, rest := decodeActivation(appendActivation(nil, a))
+		if len(rest) != 0 {
+			return false
+		}
+		if got.task != a.task || got.flow != a.flow || got.size != a.size ||
+			got.root != a.root || got.rootSend != a.rootSend ||
+			got.hopRank != a.hopRank || got.hopSend != a.hopSend {
+			return false
+		}
+		if len(got.subtree) != len(a.subtree) {
+			return false
+		}
+		for i := range a.subtree {
+			if got.subtree[i] != a.subtree[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAggregatedActivationsRoundTrip(t *testing.T) {
+	var entries []activation
+	for i := 0; i < 37; i++ {
+		entries = append(entries, activation{
+			task: TaskID{Class: int32(i % 4), Index: int64(i * 1000)},
+			flow: int32(i % 3), size: int64(i * 4096),
+			root: int32(i % 16), rootSend: int64(i) * 777,
+			hopRank: int32(i % 8), hopSend: int64(i) * 333,
+		})
+	}
+	got := decodeActivates(encodeActivates(entries))
+	if len(got) != len(entries) {
+		t.Fatalf("decoded %d entries, want %d", len(got), len(entries))
+	}
+	for i := range entries {
+		if got[i].task != entries[i].task || got[i].size != entries[i].size {
+			t.Fatalf("entry %d mismatch", i)
+		}
+	}
+}
+
+func TestGetDataRoundTrip(t *testing.T) {
+	g := getData{task: TaskID{Class: 2, Index: 123456789}, flow: 1,
+		rreg: regHandle{Rank: 7, ID: 0xDEADBEEF}}
+	got := decodeGetData(g.encode())
+	if got != g {
+		t.Fatalf("got %+v, want %+v", got, g)
+	}
+}
+
+func TestPutMetaRoundTrip(t *testing.T) {
+	f := func(class int32, index int64, flow, root int32, rootSend int64,
+		hopRank int32, hopSend int64) bool {
+		m := putMeta{task: TaskID{Class: class, Index: index}, flow: flow,
+			root: root, rootSend: rootSend, hopRank: hopRank, hopSend: hopSend}
+		return decodePutMeta(m.encode()) == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreeSplitPartitionsExactly(t *testing.T) {
+	// Property: the children's subtrees partition ranks[1:] (no loss, no
+	// duplication), and tree depth is logarithmic.
+	f := func(n uint8) bool {
+		size := int(n%64) + 1
+		ranks := make([]int32, size)
+		for i := range ranks {
+			ranks[i] = int32(i * 3)
+		}
+		children := treeSplit(ranks)
+		seen := map[int32]bool{}
+		for _, sub := range children {
+			if len(sub) == 0 {
+				return false
+			}
+			for _, r := range sub {
+				if seen[r] || r == ranks[0] {
+					return false
+				}
+				seen[r] = true
+			}
+		}
+		if len(seen) != size-1 {
+			return false
+		}
+		// Binomial root degree is ceil(log2(size)).
+		deg := 0
+		for s := size; s > 1; s = (s + 1) / 2 {
+			deg++
+		}
+		return len(children) == deg
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreeSplitDepthLogarithmic(t *testing.T) {
+	// Follow the deepest chain: with 1024 ranks the tree depth must be 10.
+	var depth func(ranks []int32) int
+	depth = func(ranks []int32) int {
+		if len(ranks) <= 1 {
+			return 0
+		}
+		best := 0
+		for _, sub := range treeSplit(ranks) {
+			if d := depth(sub); d > best {
+				best = d
+			}
+		}
+		return best + 1
+	}
+	ranks := make([]int32, 1024)
+	for i := range ranks {
+		ranks[i] = int32(i)
+	}
+	if d := depth(ranks); d != 10 {
+		t.Fatalf("depth = %d, want 10", d)
+	}
+}
+
+func TestTrivialTrees(t *testing.T) {
+	if c := treeSplit([]int32{5}); len(c) != 0 {
+		t.Fatalf("singleton tree has children: %v", c)
+	}
+	c := treeSplit([]int32{1, 2})
+	if len(c) != 1 || len(c[0]) != 1 || c[0][0] != 2 {
+		t.Fatalf("pair tree: %v", c)
+	}
+}
+
+func TestPrioQueueOrdering(t *testing.T) {
+	var q prioQueue
+	q.Push(1, TaskID{Index: 1}, nil)
+	q.Push(9, TaskID{Index: 2}, nil)
+	q.Push(5, TaskID{Index: 3}, nil)
+	q.Push(9, TaskID{Index: 4}, nil) // FIFO among equals
+	want := []int64{2, 4, 3, 1}
+	for i, w := range want {
+		if got := q.Pop().task.Index; got != w {
+			t.Fatalf("pop %d = %d, want %d", i, got, w)
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineRunsEventsInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(30, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 1) })
+	e.At(20, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Errorf("Now() = %v, want 30", e.Now())
+	}
+}
+
+func TestEngineTieBreaksBySchedulingOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("tie order = %v, want ascending", got)
+		}
+	}
+}
+
+func TestEngineEventsScheduledDuringRun(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	e.At(10, func() {
+		fired = append(fired, e.Now())
+		e.After(5, func() { fired = append(fired, e.Now()) })
+	})
+	e.Run()
+	if len(fired) != 2 || fired[0] != 10 || fired[1] != 15 {
+		t.Fatalf("fired = %v, want [10 15]", fired)
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	ev := e.At(10, func() { ran = true })
+	if !ev.Pending() {
+		t.Fatal("event should be pending")
+	}
+	e.Cancel(ev)
+	if ev.Pending() {
+		t.Fatal("event should not be pending after cancel")
+	}
+	e.Run()
+	if ran {
+		t.Fatal("canceled event ran")
+	}
+	e.Cancel(ev) // double-cancel is a no-op
+}
+
+func TestEngineCancelMiddleOfHeap(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	var evs []*Event
+	for i := 0; i < 20; i++ {
+		i := i
+		evs = append(evs, e.At(Time(i*10), func() { got = append(got, i) }))
+	}
+	for i := 3; i < 20; i += 4 {
+		e.Cancel(evs[i])
+	}
+	e.Run()
+	for _, v := range got {
+		if v >= 3 && (v-3)%4 == 0 {
+			t.Fatalf("canceled event %d ran", v)
+		}
+	}
+	if len(got) != 15 {
+		t.Fatalf("got %d events, want 15", len(got))
+	}
+}
+
+func TestEngineSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(50, func() {})
+	})
+	e.Run()
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.At(Time(i), func() {
+			count++
+			if count == 5 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if e.Pending() != 5 {
+		t.Fatalf("pending = %d, want 5", e.Pending())
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for i := 1; i <= 5; i++ {
+		tt := Time(i * 10)
+		e.At(tt, func() { fired = append(fired, tt) })
+	}
+	e.RunUntil(25)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events, want 2", len(fired))
+	}
+	if e.Now() != 25 {
+		t.Fatalf("Now() = %v, want 25", e.Now())
+	}
+	e.Run()
+	if len(fired) != 5 {
+		t.Fatalf("fired %d events total, want 5", len(fired))
+	}
+}
+
+func TestHeapOrderProperty(t *testing.T) {
+	// Property: for any set of (time, id) pairs, the engine fires them in
+	// nondecreasing time order with scheduling order as tie-break.
+	f := func(times []uint16) bool {
+		e := NewEngine()
+		type rec struct {
+			when Time
+			seq  int
+		}
+		var got []rec
+		for i, tm := range times {
+			when := Time(tm)
+			seq := i
+			e.At(when, func() { got = append(got, rec{when, seq}) })
+		}
+		e.Run()
+		for i := 1; i < len(got); i++ {
+			if got[i].when < got[i-1].when {
+				return false
+			}
+			if got[i].when == got[i-1].when && got[i].seq < got[i-1].seq {
+				return false
+			}
+		}
+		return len(got) == len(times)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{500, "500ps"},
+		{5 * Nanosecond, "5ns"},
+		{3 * Microsecond, "3µs"},
+		{42 * Millisecond, "42ms"},
+		{2 * Second, "2s"},
+		{-5 * Nanosecond, "-5ns"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestFromSecondsRoundTrip(t *testing.T) {
+	if d := FromSeconds(1.5); d != 1500*Millisecond {
+		t.Errorf("FromSeconds(1.5) = %v", d)
+	}
+	if d := FromMicroseconds(2); d != 2*Microsecond {
+		t.Errorf("FromMicroseconds(2) = %v", d)
+	}
+	if d := FromNanoseconds(7); d != 7*Nanosecond {
+		t.Errorf("FromNanoseconds(7) = %v", d)
+	}
+	if got := (2 * Second).Seconds(); got != 2.0 {
+		t.Errorf("Seconds() = %v", got)
+	}
+	// Saturation instead of overflow wrap.
+	if d := FromSeconds(1e20); d <= 0 {
+		t.Errorf("FromSeconds(1e20) = %v, want saturated positive", d)
+	}
+}

@@ -1,0 +1,90 @@
+package sim
+
+// Proc models a serial execution resource in virtual time: a CPU core, a
+// pinned communication thread, or a NIC engine. Work items submitted to a
+// Proc execute one at a time, in FIFO order; each item occupies the resource
+// for its declared cost and its completion function runs when the cost has
+// been paid.
+//
+// A Proc optionally charges a wake latency when it transitions from idle to
+// busy. This models the granularity at which a polling thread notices new
+// work (or, for a "floating" communication thread that shares a core with
+// workers, the wait to be scheduled back in).
+type Proc struct {
+	eng *Engine
+
+	// WakeLatency is added to the first item of every busy period.
+	WakeLatency Duration
+
+	busy      bool
+	queue     []procItem
+	busySince Time
+	busyTotal Duration
+	executed  uint64
+}
+
+type procItem struct {
+	cost Duration
+	fn   func()
+}
+
+// NewProc returns an idle processor bound to eng.
+func NewProc(eng *Engine) *Proc { return &Proc{eng: eng} }
+
+// Engine returns the engine the processor is bound to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Busy reports whether the processor is currently occupied.
+func (p *Proc) Busy() bool { return p.busy }
+
+// QueueLen returns the number of items waiting behind the current one.
+func (p *Proc) QueueLen() int { return len(p.queue) }
+
+// BusyTime returns the total virtual time this processor has spent executing
+// work. When called mid-item it includes the elapsed part of that item.
+func (p *Proc) BusyTime() Duration {
+	t := p.busyTotal
+	if p.busy {
+		t += p.eng.Now().Sub(p.busySince)
+	}
+	return t
+}
+
+// Executed returns the number of completed work items.
+func (p *Proc) Executed() uint64 { return p.executed }
+
+// Submit enqueues a work item costing cost; fn (which may be nil) runs when
+// the item completes. Negative costs panic.
+func (p *Proc) Submit(cost Duration, fn func()) {
+	if cost < 0 {
+		panic("sim: negative work cost")
+	}
+	if p.busy {
+		p.queue = append(p.queue, procItem{cost, fn})
+		return
+	}
+	p.busy = true
+	p.busySince = p.eng.Now()
+	p.start(procItem{cost + p.WakeLatency, fn})
+}
+
+func (p *Proc) start(it procItem) {
+	p.eng.After(it.cost, func() {
+		p.executed++
+		// Run the completion before dispatching the next item so that work
+		// it submits lands behind already-queued items, exactly as a real
+		// thread returning from one handler and picking up the next.
+		if it.fn != nil {
+			it.fn()
+		}
+		if len(p.queue) > 0 {
+			next := p.queue[0]
+			copy(p.queue, p.queue[1:])
+			p.queue = p.queue[:len(p.queue)-1]
+			p.start(next)
+			return
+		}
+		p.busy = false
+		p.busyTotal += p.eng.Now().Sub(p.busySince)
+	})
+}

@@ -1,0 +1,188 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestProcSerializesWork(t *testing.T) {
+	e := NewEngine()
+	p := NewProc(e)
+	var ends []Time
+	p.Submit(10, func() { ends = append(ends, e.Now()) })
+	p.Submit(20, func() { ends = append(ends, e.Now()) })
+	p.Submit(5, func() { ends = append(ends, e.Now()) })
+	e.Run()
+	want := []Time{10, 30, 35}
+	for i := range want {
+		if ends[i] != want[i] {
+			t.Fatalf("ends = %v, want %v", ends, want)
+		}
+	}
+	if p.Busy() {
+		t.Error("proc still busy after drain")
+	}
+	if p.BusyTime() != 35 {
+		t.Errorf("BusyTime = %v, want 35", p.BusyTime())
+	}
+	if p.Executed() != 3 {
+		t.Errorf("Executed = %d, want 3", p.Executed())
+	}
+}
+
+func TestProcWakeLatencyChargedPerBusyPeriod(t *testing.T) {
+	e := NewEngine()
+	p := NewProc(e)
+	p.WakeLatency = 100
+	var ends []Time
+	p.Submit(10, func() { ends = append(ends, e.Now()) }) // wake + 10 = 110
+	p.Submit(10, func() { ends = append(ends, e.Now()) }) // back-to-back: 120
+	e.Run()
+	if ends[0] != 110 || ends[1] != 120 {
+		t.Fatalf("ends = %v, want [110 120]", ends)
+	}
+	// New busy period pays the wake latency again.
+	e.After(880, func() { // now = 1000, proc idle
+		p.Submit(10, func() { ends = append(ends, e.Now()) })
+	})
+	e.Run()
+	if ends[2] != 1110 {
+		t.Fatalf("third end = %v, want 1110", ends[2])
+	}
+}
+
+func TestProcWorkSubmittedByCompletionRunsAfterQueued(t *testing.T) {
+	e := NewEngine()
+	p := NewProc(e)
+	var order []string
+	p.Submit(1, func() {
+		order = append(order, "a")
+		p.Submit(1, func() { order = append(order, "a-child") })
+	})
+	p.Submit(1, func() { order = append(order, "b") })
+	e.Run()
+	want := []string{"a", "b", "a-child"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestProcZeroCostAndNilFn(t *testing.T) {
+	e := NewEngine()
+	p := NewProc(e)
+	ran := false
+	p.Submit(0, nil)
+	p.Submit(0, func() { ran = true })
+	e.Run()
+	if !ran {
+		t.Fatal("zero-cost item did not run")
+	}
+}
+
+func TestProcNegativeCostPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative cost did not panic")
+		}
+	}()
+	e := NewEngine()
+	NewProc(e).Submit(-1, nil)
+}
+
+func TestProcBusyTimeEqualsSumOfCosts(t *testing.T) {
+	// Property: with zero wake latency, total busy time equals the sum of
+	// submitted costs regardless of arrival pattern.
+	f := func(costs []uint16, gaps []uint16) bool {
+		e := NewEngine()
+		p := NewProc(e)
+		var total Duration
+		now := Time(0)
+		for i, c := range costs {
+			d := Duration(c)
+			total += d
+			gap := Duration(0)
+			if i < len(gaps) {
+				gap = Duration(gaps[i])
+			}
+			now = now.Add(gap)
+			e.At(now, func() { p.Submit(d, nil) })
+		}
+		e.Run()
+		return p.BusyTime() == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if NewRNG(1).Uint64() == NewRNG(2).Uint64() {
+		t.Fatal("different seeds collided on first draw")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestRNGJitterStaysClose(t *testing.T) {
+	r := NewRNG(99)
+	base := Duration(1_000_000)
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		j := r.Jitter(base, 0.03)
+		sum += float64(j)
+		if j < base/2 || j > base*2 {
+			t.Fatalf("3%% jitter produced wild value %v", j)
+		}
+	}
+	mean := sum / n / float64(base)
+	if mean < 0.99 || mean > 1.01 {
+		t.Fatalf("jitter mean ratio = %v, want ~1", mean)
+	}
+	if r.Jitter(base, 0) != base {
+		t.Fatal("sigma=0 must be identity")
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	r := NewRNG(5)
+	s := r.Split()
+	if r.Uint64() == s.Uint64() {
+		t.Fatal("split stream equals parent stream")
+	}
+}
+
+func TestRNGNormMoments(t *testing.T) {
+	r := NewRNG(123)
+	var sum, sumsq float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		v := r.Norm()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if mean < -0.05 || mean > 0.05 {
+		t.Errorf("norm mean = %v, want ~0", mean)
+	}
+	if variance < 0.9 || variance > 1.1 {
+		t.Errorf("norm variance = %v, want ~1", variance)
+	}
+}

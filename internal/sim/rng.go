@@ -1,0 +1,62 @@
+package sim
+
+import "math"
+
+// RNG is a small, allocation-free, splittable pseudo-random generator
+// (SplitMix64) used for deterministic execution-time jitter. Experiments
+// need repeatable noise: the paper's methodology (run 18 times, discard 3,
+// average 15) is only meaningful if successive runs differ, and comparisons
+// between backends are only meaningful if the noise stream is reproducible.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Split derives an independent generator; the parent advances.
+func (r *RNG) Split() *RNG { return &RNG{state: r.Uint64() ^ 0x9e3779b97f4a7c15} }
+
+// Uint64 returns the next raw 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Norm returns a standard normal variate (Box-Muller; one value per call).
+func (r *RNG) Norm() float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// Jitter scales d by a log-normal factor with the given relative standard
+// deviation (e.g. 0.03 for ~3% noise). sigma <= 0 returns d unchanged.
+// The factor's distribution has median 1, so jitter never biases means by
+// more than the (second-order) log-normal mean shift.
+func (r *RNG) Jitter(d Duration, sigma float64) Duration {
+	if sigma <= 0 || d == 0 {
+		return d
+	}
+	f := math.Exp(r.Norm() * sigma)
+	return Duration(float64(d) * f)
+}

@@ -1,0 +1,239 @@
+// Package tlr implements tile low-rank (TLR) linear algebra: the compressed
+// tile format HiCMA operates on (Section 6.4). Off-diagonal tiles of a
+// covariance-type matrix are stored as a product U V^T with rank r << nb;
+// the TLR Cholesky kernels operate directly on the compressed format, with
+// QR+SVD recompression bounding rank growth.
+package tlr
+
+import (
+	"fmt"
+	"math"
+
+	"amtlci/internal/linalg"
+)
+
+// LowRank is a tile approximated as U * V^T with U, V of shape nb x r.
+type LowRank struct {
+	U, V *linalg.Matrix
+}
+
+// Rank returns the tile's current rank.
+func (lr *LowRank) Rank() int { return lr.U.Cols }
+
+// Rows returns the tile's dimension.
+func (lr *LowRank) Rows() int { return lr.U.Rows }
+
+// Bytes returns the packed U x V storage footprint (the message size a TLR
+// runtime transfers for this tile).
+func (lr *LowRank) Bytes() int64 { return PackedBytes(lr.Rows(), lr.Rank()) }
+
+// PackedBytes returns the byte size of a packed rank-r tile of dimension nb.
+func PackedBytes(nb, r int) int64 { return 2 * int64(nb) * int64(r) * 8 }
+
+// Dense reconstructs the tile as a dense matrix.
+func (lr *LowRank) Dense() *linalg.Matrix {
+	d := linalg.NewMatrix(lr.U.Rows, lr.V.Rows)
+	linalg.GEMM(d, lr.U, lr.V, 1, false, true)
+	return d
+}
+
+// Clone deep-copies the tile.
+func (lr *LowRank) Clone() *LowRank {
+	return &LowRank{U: lr.U.Clone(), V: lr.V.Clone()}
+}
+
+// Compress approximates a dense tile with a low-rank product truncated at
+// absolute accuracy eps (singular values at or below eps are dropped) and
+// capped at maxRank. Rank never falls below 1. The threshold is absolute
+// because HiCMA factors covariance matrices scaled to unit diagonal with a
+// fixed accuracy (10^-8 in the paper); an absolute cut is what lets ranks
+// of far-from-diagonal tiles "drop to 1" (§6.4.1).
+func Compress(a *linalg.Matrix, eps float64, maxRank int) *LowRank {
+	u, s, v := linalg.SVD(a)
+	k := 1
+	for k < len(s) && k < maxRank && s[k] > eps {
+		k++
+	}
+	return truncate(u, s, v, k)
+}
+
+// truncate keeps the leading k singular triplets, folding the singular
+// values into U.
+func truncate(u *linalg.Matrix, s []float64, v *linalg.Matrix, k int) *LowRank {
+	uu := linalg.NewMatrix(u.Rows, k)
+	vv := linalg.NewMatrix(v.Rows, k)
+	for i := 0; i < u.Rows; i++ {
+		for j := 0; j < k; j++ {
+			uu.Set(i, j, u.At(i, j)*s[j])
+		}
+	}
+	for i := 0; i < v.Rows; i++ {
+		for j := 0; j < k; j++ {
+			vv.Set(i, j, v.At(i, j))
+		}
+	}
+	return &LowRank{U: uu, V: vv}
+}
+
+// TRSM applies the TLR triangular solve A := A * L^{-T} in place: because
+// A = U V^T, only the V factor is solved (V := L^{-1} V), an O(nb^2 r)
+// operation instead of the dense O(nb^3).
+func TRSM(a *LowRank, l *linalg.Matrix) {
+	linalg.TRSMLeftLower(a.V, l)
+}
+
+// SYRKDense applies D += alpha * A A^T for a low-rank A to a dense tile:
+// D += alpha * U (V^T V) U^T, costing O(nb r^2 + nb^2 r).
+func SYRKDense(d *linalg.Matrix, a *LowRank, alpha float64) {
+	r := a.Rank()
+	w := linalg.NewMatrix(r, r)
+	linalg.GEMM(w, a.V, a.V, 1, true, false) // V^T V
+	uw := linalg.NewMatrix(a.U.Rows, r)
+	linalg.GEMM(uw, a.U, w, 1, false, false)
+	linalg.GEMM(d, uw, a.U, alpha, false, true)
+}
+
+// AddLRProduct updates C += alpha * A * B^T where all three tiles are
+// low-rank, then recompresses C to accuracy eps and rank cap maxRank. This
+// is the TLR GEMM, the dominant kernel of HiCMA's Cholesky: the naive
+// concatenation [U_c, alpha*U_a (V_a^T V_b)] [V_c, U_b]^T would grow the
+// rank by rank(A), so a QR+SVD recompression follows.
+func AddLRProduct(c *LowRank, a, b *LowRank, alpha, eps float64, maxRank int) {
+	ra, rc := a.Rank(), c.Rank()
+	nb := c.U.Rows
+
+	// W = V_a^T V_b  (ra x rb), then P = alpha * U_a W (nb x rb).
+	w := linalg.NewMatrix(ra, b.Rank())
+	linalg.GEMM(w, a.V, b.V, 1, true, false)
+	p := linalg.NewMatrix(nb, b.Rank())
+	linalg.GEMM(p, a.U, w, alpha, false, false)
+
+	// Concatenate factors: U' = [U_c | P], V' = [V_c | U_b].
+	uNew := hcat(c.U, p)
+	vNew := hcat(c.V, b.U)
+	_ = rc
+
+	recompress(c, uNew, vNew, eps, maxRank)
+}
+
+// recompress replaces c with the eps-truncated representation of
+// uNew * vNew^T using the QR-SVD scheme.
+func recompress(c *LowRank, uNew, vNew *linalg.Matrix, eps float64, maxRank int) {
+	if uNew.Cols > uNew.Rows {
+		// The concatenated rank exceeds the tile dimension: the "low-rank"
+		// detour is pointless, so recompress through the dense form (also
+		// the cheaper path in this regime).
+		dense := linalg.NewMatrix(uNew.Rows, vNew.Rows)
+		linalg.GEMM(dense, uNew, vNew, 1, false, true)
+		nc := Compress(dense, eps, maxRank)
+		c.U, c.V = nc.U, nc.V
+		return
+	}
+	q1, r1 := linalg.QR(uNew)
+	q2, r2 := linalg.QR(vNew)
+	// M = R1 * R2^T is small (r' x r').
+	m := linalg.NewMatrix(r1.Rows, r2.Rows)
+	linalg.GEMM(m, r1, r2, 1, false, true)
+	us, s, vs := linalg.SVD(m)
+	k := 1
+	for k < len(s) && k < maxRank && s[k] > eps {
+		k++
+	}
+	lr := truncate(us, s, vs, k)
+	u := linalg.NewMatrix(uNew.Rows, k)
+	linalg.GEMM(u, q1, lr.U, 1, false, false)
+	v := linalg.NewMatrix(vNew.Rows, k)
+	linalg.GEMM(v, q2, lr.V, 1, false, false)
+	c.U, c.V = u, v
+}
+
+func hcat(a, b *linalg.Matrix) *linalg.Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tlr: hcat rows %d vs %d", a.Rows, b.Rows))
+	}
+	out := linalg.NewMatrix(a.Rows, a.Cols+b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		copy(out.Data[i*out.Cols:], a.Data[i*a.Cols:(i+1)*a.Cols])
+		copy(out.Data[i*out.Cols+a.Cols:], b.Data[i*b.Cols:(i+1)*b.Cols])
+	}
+	return out
+}
+
+// Problem generates the st-2d-sqexp covariance matrices HiCMA factorizes in
+// geostatistical modeling (§6.4.1): points in the unit square with a
+// squared-exponential kernel plus a nugget for positive definiteness.
+// Points are ordered along a Morton (Z-order) curve, as in real HiCMA
+// problem generators, so that index-contiguous blocks are spatially compact
+// and off-diagonal tiles compress to low rank.
+type Problem struct {
+	N      int     // matrix dimension (number of spatial points)
+	Length float64 // correlation length
+	Nugget float64 // diagonal regularization
+
+	xs, ys []float64
+}
+
+// NewProblem builds a problem instance with precomputed point locations.
+func NewProblem(n int, length, nugget float64) *Problem {
+	p := &Problem{N: n, Length: length, Nugget: nugget}
+	side := int(math.Ceil(math.Sqrt(float64(n))))
+	// Enumerate grid cells in Morton order, skipping cells outside the
+	// side x side grid, until n points are placed.
+	pow2 := 1
+	for pow2 < side {
+		pow2 *= 2
+	}
+	p.xs = make([]float64, 0, n)
+	p.ys = make([]float64, 0, n)
+	for z := 0; len(p.xs) < n && z < pow2*pow2; z++ {
+		x, y := mortonDecode(uint32(z))
+		if int(x) >= side || int(y) >= side {
+			continue
+		}
+		p.xs = append(p.xs, float64(x)/float64(side))
+		p.ys = append(p.ys, float64(y)/float64(side))
+	}
+	if len(p.xs) < n {
+		panic("tlr: Morton enumeration under-filled the grid")
+	}
+	return p
+}
+
+// mortonDecode splits the interleaved bits of z into x and y coordinates.
+func mortonDecode(z uint32) (x, y uint32) {
+	compact := func(v uint32) uint32 {
+		v &= 0x55555555
+		v = (v | v>>1) & 0x33333333
+		v = (v | v>>2) & 0x0F0F0F0F
+		v = (v | v>>4) & 0x00FF00FF
+		v = (v | v>>8) & 0x0000FFFF
+		return v
+	}
+	return compact(z), compact(z >> 1)
+}
+
+// DefaultProblem mirrors the paper's st-2d-sqexp generator at dimension n.
+func DefaultProblem(n int) *Problem { return NewProblem(n, 0.1, 1e-4) }
+
+// Entry evaluates the covariance between points i and j.
+func (p *Problem) Entry(i, j int) float64 {
+	dx := p.xs[i] - p.xs[j]
+	dy := p.ys[i] - p.ys[j]
+	v := math.Exp(-(dx*dx + dy*dy) / (2 * p.Length * p.Length))
+	if i == j {
+		v += p.Nugget
+	}
+	return v
+}
+
+// Block materializes the dense sub-matrix with rows [r0, r0+nr) and columns
+// [c0, c0+nc).
+func (p *Problem) Block(r0, c0, nr, nc int) *linalg.Matrix {
+	m := linalg.NewMatrix(nr, nc)
+	for i := 0; i < nr; i++ {
+		for j := 0; j < nc; j++ {
+			m.Set(i, j, p.Entry(r0+i, c0+j))
+		}
+	}
+	return m
+}
