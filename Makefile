@@ -1,0 +1,17 @@
+# Tier-1 verification: everything a PR must keep green.
+.PHONY: verify build vet test test-race
+
+verify:
+	./scripts/verify.sh
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+test-race:
+	go test -race ./...

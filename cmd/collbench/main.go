@@ -1,0 +1,151 @@
+// Command collbench sweeps the collective-communication subsystem
+// (internal/coll): operation x algorithm x payload size x rank count x
+// backend, in virtual time. It is the calibration tool for the selector
+// crossovers in coll.DefaultTune — every concrete algorithm is measured
+// alongside the selector's pick, so a mistuned threshold is visible as an
+// "auto" row slower than the best concrete row.
+//
+// Usage:
+//
+//	collbench [-ranks 4,16,64] [-iters N] [-csv] [-check] [-quick]
+//
+// With -csv the sweep is emitted as one CSV table on stdout (deterministic
+// for a fixed seed); otherwise aligned text tables, one per operation and
+// rank count. -check exits nonzero if the selector picked a slower
+// algorithm anywhere in the sweep.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"amtlci/internal/bench"
+	"amtlci/internal/coll"
+	"amtlci/internal/core/stack"
+	"amtlci/internal/sim"
+)
+
+func parseRanks(s string) []int {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 2 {
+			fmt.Fprintf(os.Stderr, "collbench: bad rank count %q\n", f)
+			os.Exit(2)
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+func main() {
+	ranksFlag := flag.String("ranks", "4,16,64", "comma-separated rank counts")
+	iters := flag.Int("iters", 3, "back-to-back operations per measurement")
+	csv := flag.Bool("csv", false, "emit one CSV table on stdout")
+	check := flag.Bool("check", false, "exit nonzero if the selector picked a slower algorithm")
+	quick := flag.Bool("quick", false, "fast sweep: 2 rank counts, every other size, 1 iteration")
+	flag.Parse()
+
+	ranksList := parseRanks(*ranksFlag)
+	sizes := bench.CollSizes()
+	if *quick {
+		ranksList = []int{4, 16}
+		var sub []int64
+		for i, s := range sizes {
+			if i%2 == 0 {
+				sub = append(sub, s)
+			}
+		}
+		sizes = sub
+		*iters = 1
+	}
+
+	csvTbl := bench.NewTable("collectives sweep — mean completion time",
+		"backend", "op", "ranks", "bytes", "algorithm", "picked", "time_us")
+	misses, extremeMisses := 0, 0
+	smallest, largest := sizes[0], sizes[len(sizes)-1]
+
+	measure := func(b stack.Backend, k coll.Kind, n int, size int64) {
+		algos := coll.Algorithms(k)
+		times := make(map[coll.Algorithm]sim.Duration, len(algos))
+		var rows [][]string
+		addRow := func(name, picked string, d sim.Duration) {
+			rows = append(rows, []string{
+				b.String(), k.String(), fmt.Sprint(n), fmt.Sprint(size),
+				name, picked, fmt.Sprintf("%.3f", d.Seconds()*1e6),
+			})
+		}
+		for _, a := range algos {
+			o := bench.DefaultCollOpts(b, k, n, size)
+			o.Algo = a
+			o.Iters = *iters
+			res := bench.Collective(o)
+			times[a] = res.Time
+			addRow(a.String(), a.String(), res.Time)
+		}
+		o := bench.DefaultCollOpts(b, k, n, size)
+		o.Iters = *iters
+		auto := bench.Collective(o)
+		addRow("auto", auto.Picked.String(), auto.Time)
+
+		best := algos[0]
+		for _, a := range algos[1:] {
+			if times[a] < times[best] {
+				best = a
+			}
+		}
+		if auto.Picked != best {
+			misses++
+			// The selector must be right at the latency (smallest) and
+			// bandwidth (largest) extremes; mid-range crossover points
+			// within measurement noise of each other are informational.
+			extreme := k != coll.OpBarrier && (size == smallest || size == largest)
+			if extreme {
+				extremeMisses++
+			}
+			if *check {
+				severity := "note:"
+				if extreme {
+					severity = "MISS:"
+				}
+				fmt.Fprintf(os.Stderr,
+					"collbench: %s selector picked %v for %v/%s n=%d size=%d; %v is faster (%v vs %v)\n",
+					severity, auto.Picked, b, k, n, size, best, times[best], times[auto.Picked])
+			}
+		}
+		for _, r := range rows {
+			csvTbl.AddRow(r...)
+		}
+	}
+
+	for _, b := range []stack.Backend{stack.LCI, stack.MPI} {
+		for _, k := range bench.CollKinds() {
+			for _, n := range ranksList {
+				if k == coll.OpBarrier {
+					measure(b, k, n, 0)
+					continue
+				}
+				for _, size := range sizes {
+					measure(b, k, n, size)
+				}
+			}
+		}
+	}
+
+	if *csv {
+		csvTbl.CSV(os.Stdout)
+	} else {
+		csvTbl.Write(os.Stdout)
+	}
+	if *check {
+		fmt.Fprintf(os.Stderr,
+			"collbench: selector matched the fastest algorithm everywhere but %d points (%d at size extremes)\n",
+			misses, extremeMisses)
+		if extremeMisses > 0 {
+			os.Exit(1)
+		}
+	}
+}

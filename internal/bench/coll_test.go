@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"amtlci/internal/coll"
+	"amtlci/internal/core/stack"
+)
+
+func TestCollectiveDeterministicAndOrdered(t *testing.T) {
+	for _, b := range stack.Backends {
+		o := DefaultCollOpts(b, coll.OpAllreduce, 8, 64<<10)
+		r1 := Collective(o)
+		r2 := Collective(o)
+		if r1.Time != r2.Time {
+			t.Errorf("%v: repeated runs differ: %v vs %v", b, r1.Time, r2.Time)
+		}
+		if r1.Time <= 0 {
+			t.Errorf("%v: non-positive time %v", b, r1.Time)
+		}
+		if r1.Picked != o.Tune.Pick(coll.OpAllreduce, o.Size, o.Ranks) {
+			t.Errorf("%v: reported pick %v disagrees with the selector", b, r1.Picked)
+		}
+	}
+}
+
+func TestCollectiveScalesWithSize(t *testing.T) {
+	small := Collective(DefaultCollOpts(stack.LCI, coll.OpBcast, 4, 1<<10))
+	large := Collective(DefaultCollOpts(stack.LCI, coll.OpBcast, 4, 1<<20))
+	if large.Time <= small.Time {
+		t.Errorf("1 MiB bcast (%v) not slower than 1 KiB (%v)", large.Time, small.Time)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := NewTable("x", "a", "b")
+	tbl.AddRow("plain", `quo"te,comma`)
+	var sb strings.Builder
+	tbl.CSV(&sb)
+	want := "a,b\nplain,\"quo\"\"te,comma\"\n"
+	if sb.String() != want {
+		t.Errorf("CSV = %q, want %q", sb.String(), want)
+	}
+}

@@ -64,6 +64,30 @@ func (t *Table) Write(w io.Writer) {
 	fmt.Fprintln(w)
 }
 
+// CSV renders the table as comma-separated values: a header row of the
+// column names followed by the data rows. Cells containing commas, quotes,
+// or newlines are double-quoted per RFC 4180, so the output loads directly
+// into plotting scripts.
+func (t *Table) CSV(w io.Writer) {
+	esc := func(c string) string {
+		if strings.ContainsAny(c, ",\"\n") {
+			return `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+		}
+		return c
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = esc(c)
+		}
+		fmt.Fprintln(w, strings.Join(parts, ","))
+	}
+	line(t.Columns)
+	for _, row := range t.rows {
+		line(row)
+	}
+}
+
 // Markdown renders the table as a GitHub-flavored markdown table.
 func (t *Table) Markdown(w io.Writer) {
 	fmt.Fprintf(w, "### %s\n\n", t.Title)

@@ -1,0 +1,106 @@
+package coll
+
+import (
+	"fmt"
+
+	"amtlci/internal/buf"
+	"amtlci/internal/sim"
+)
+
+func (c *Communicator) runAllgather(seq uint32, dst, src buf.Buf, algo Algorithm, done func()) {
+	n := c.e.Size()
+	if n == 1 {
+		c.copyInto(dst, src, func() { c.finish(done) })
+		return
+	}
+	switch algo {
+	case Ring:
+		c.allgatherRing(seq, dst, src, done)
+	case Bruck:
+		c.allgatherBruck(seq, dst, src, done)
+	default:
+		panic(fmt.Sprintf("coll: allgather cannot run %v", algo))
+	}
+}
+
+// allgatherRing circulates blocks around the ring for n-1 steps; every
+// block lands directly at its final offset, and each rank both sends and
+// receives one block per step, keeping both link directions busy.
+func (c *Communicator) allgatherRing(seq uint32, dst, src buf.Buf, done func()) {
+	n, r := c.e.Size(), c.e.Rank()
+	blk := src.Size
+	next := (r + 1) % n
+	prev := (r - 1 + n) % n
+	mod := func(i int) int { return ((i % n) + n) % n }
+
+	step := 0
+	var doStep func()
+	doStep = func() {
+		if step == n-1 {
+			c.finish(done)
+			return
+		}
+		k := step
+		pending := 2
+		arrive := func() {
+			pending--
+			if pending == 0 {
+				step++
+				doStep()
+			}
+		}
+		sendIdx := mod(r - k)
+		recvIdx := mod(r - 1 - k)
+		c.sendTo(next, seq, uint32(k), dst.Slice(int64(sendIdx)*blk, blk), arrive)
+		c.postRecv(prev, seq, uint32(k), dst.Slice(int64(recvIdx)*blk, blk), nil, arrive)
+	}
+	c.copyInto(dst.Slice(int64(r)*blk, blk), src, doStep)
+}
+
+// allgatherBruck is the dissemination allgather: ceil(log2 n) rounds in
+// which rank r sends its first min(2^k, n-2^k) gathered blocks to rank
+// r-2^k and receives as many from r+2^k, followed by a local rotation that
+// moves block j to offset j*blk. Fewer, larger messages than the ring —
+// the latency-bound choice for small blocks.
+func (c *Communicator) allgatherBruck(seq uint32, dst, src buf.Buf, done func()) {
+	n, r := c.e.Size(), c.e.Rank()
+	blk := src.Size
+	tmp := allocLike(src, int64(n)*blk)
+
+	slot := uint32(0)
+	dist := 1
+	var doStep func()
+	doStep = func() {
+		if dist >= n {
+			// Rotate: tmp position p holds block (r+p) mod n.
+			c.e.Submit(sim.Duration(int64(n)*blk)*c.tune.CopyPerByte, func() {
+				if dst.Bytes != nil && tmp.Bytes != nil {
+					for p := 0; p < n; p++ {
+						at := int64((r+p)%n) * blk
+						copy(dst.Bytes[at:at+blk], tmp.Bytes[int64(p)*blk:int64(p+1)*blk])
+					}
+				}
+				c.finish(done)
+			})
+			return
+		}
+		cnt := dist
+		if n-dist < cnt {
+			cnt = n - dist
+		}
+		pending := 2
+		arrive := func() {
+			pending--
+			if pending == 0 {
+				dist <<= 1
+				slot++
+				doStep()
+			}
+		}
+		to := (r - dist + n) % n
+		from := (r + dist) % n
+		c.sendTo(to, seq, slot, tmp.Slice(0, int64(cnt)*blk), arrive)
+		c.postRecv(from, seq, slot, tmp.Slice(int64(dist)*blk, int64(cnt)*blk), nil, arrive)
+	}
+	c.copyInto(tmp.Slice(0, blk), src, doStep)
+}

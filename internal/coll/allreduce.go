@@ -1,0 +1,163 @@
+package coll
+
+import (
+	"fmt"
+	"math/bits"
+
+	"amtlci/internal/buf"
+)
+
+// chunkRange returns per-rank chunk i of a size-byte buffer split n ways
+// (the ring algorithms' unit of exchange).
+func chunkRange(size int64, n, i int) (off, ln int64) {
+	i = ((i % n) + n) % n
+	off = int64(i) * size / int64(n)
+	end := int64(i+1) * size / int64(n)
+	return off, end - off
+}
+
+func (c *Communicator) runAllreduce(seq uint32, dst, src buf.Buf, op Op, algo Algorithm, done func()) {
+	n := c.e.Size()
+	if n == 1 {
+		c.copyInto(dst, src, func() { c.finish(done) })
+		return
+	}
+	switch algo {
+	case Ring:
+		c.allreduceRing(seq, dst, src, op, done)
+	case RecursiveDoubling:
+		c.allreduceRD(seq, dst, src, op, done)
+	default:
+		panic(fmt.Sprintf("coll: allreduce cannot run %v", algo))
+	}
+}
+
+// allreduceRing is the bandwidth-optimal ring: n-1 reduce-scatter steps in
+// which each rank forwards a per-rank chunk to its successor and combines
+// the chunk arriving from its predecessor, then n-1 allgather steps that
+// circulate the fully reduced chunks. Each rank moves 2(n-1)/n of the
+// buffer in total, independent of n.
+func (c *Communicator) allreduceRing(seq uint32, dst, src buf.Buf, op Op, done func()) {
+	n, r := c.e.Size(), c.e.Rank()
+	size := src.Size
+	next := (r + 1) % n
+	prev := (r - 1 + n) % n
+	// Scratch for incoming reduce-scatter chunks; sized for the largest.
+	_, maxLn := chunkRange(size, n, n-1)
+	if _, ln0 := chunkRange(size, n, 0); ln0 > maxLn {
+		maxLn = ln0
+	}
+	tmp := allocLike(src, maxLn)
+
+	step := 0
+	var doStep func()
+	doStep = func() {
+		if step == 2*(n-1) {
+			c.finish(done)
+			return
+		}
+		k := step
+		pending := 2
+		arrive := func() {
+			pending--
+			if pending == 0 {
+				step++
+				doStep()
+			}
+		}
+		if k < n-1 {
+			// Reduce-scatter: send the chunk combined last step, fold the
+			// incoming one.
+			soff, sln := chunkRange(size, n, r-k)
+			roff, rln := chunkRange(size, n, r-k-1)
+			c.sendTo(next, seq, uint32(k), dst.Slice(soff, sln), arrive)
+			in := tmp.Slice(0, rln)
+			c.postRecv(prev, seq, uint32(k), in, nil, func() {
+				c.reduceInto(dst.Slice(roff, rln), in, op, arrive)
+			})
+		} else {
+			// Allgather: circulate the fully reduced chunks in place.
+			k2 := k - (n - 1)
+			soff, sln := chunkRange(size, n, r+1-k2)
+			roff, rln := chunkRange(size, n, r-k2)
+			c.sendTo(next, seq, uint32(k), dst.Slice(soff, sln), arrive)
+			c.postRecv(prev, seq, uint32(k), dst.Slice(roff, rln), nil, arrive)
+		}
+	}
+	c.copyInto(dst, src, doStep)
+}
+
+// allreduceRD is recursive doubling on full buffers — log2(n) rounds — with
+// the Rabenseifner fold for non-power-of-two rank counts: the first 2*rem
+// ranks pair up so that a power-of-two subset runs the exchange, and the
+// folded-out ranks receive the finished result afterwards. Best for small
+// payloads, where round count dominates.
+func (c *Communicator) allreduceRD(seq uint32, dst, src buf.Buf, op Op, done func()) {
+	n, r := c.e.Size(), c.e.Rank()
+	size := src.Size
+	p := 1 << (bits.Len(uint(n)) - 1) // largest power of two <= n
+	rem := n - p
+	nrounds := bits.Len(uint(p)) - 1
+	postSlot := uint32(1 + nrounds)
+
+	participate := func() {
+		newrank := r - rem
+		if r < 2*rem {
+			newrank = r / 2
+		}
+		tmp := allocLike(src, size)
+		round := 0
+		var doRound func()
+		doRound = func() {
+			mask := 1 << round
+			if mask >= p {
+				// Post: odd folded ranks return the result to their pair.
+				if r < 2*rem {
+					c.sendTo(r-1, seq, postSlot, dst, func() { c.finish(done) })
+				} else {
+					c.finish(done)
+				}
+				return
+			}
+			pn := newrank ^ mask
+			pr := pn + rem
+			if pn < rem {
+				pr = pn*2 + 1
+			}
+			// Exchange full buffers; combine only after the outgoing put
+			// has locally completed, so the buffer is reusable.
+			pending := 2
+			arrive := func() {
+				pending--
+				if pending == 0 {
+					c.reduceInto(dst, tmp, op, func() {
+						round++
+						doRound()
+					})
+				}
+			}
+			c.sendTo(pr, seq, uint32(1+round), dst, arrive)
+			c.postRecv(pr, seq, uint32(1+round), tmp, nil, arrive)
+		}
+		doRound()
+	}
+
+	c.copyInto(dst, src, func() {
+		if r < 2*rem && r%2 == 0 {
+			// Folded out: contribute to the odd neighbor, then wait for
+			// the finished result.
+			c.sendTo(r+1, seq, 0, dst, nil)
+			c.postRecv(r+1, seq, postSlot, dst, nil, func() { c.finish(done) })
+			return
+		}
+		if r < 2*rem {
+			// Odd half of a fold pair: absorb the neighbor first.
+			tmp := allocLike(src, size)
+			c.postRecv(r-1, seq, 0, tmp, nil, func() {
+				c.reduceInto(dst, tmp, op, participate)
+			})
+			return
+		}
+		participate()
+	})
+}

@@ -1,0 +1,92 @@
+package coll
+
+import (
+	"fmt"
+
+	"amtlci/internal/buf"
+)
+
+func (c *Communicator) runBarrier(seq uint32, algo Algorithm, done func()) {
+	n := c.e.Size()
+	if n == 1 {
+		c.finish(done)
+		return
+	}
+	switch algo {
+	case Dissemination:
+		c.barrierDissemination(seq, done)
+	case Tree:
+		c.barrierTree(seq, done)
+	default:
+		panic(fmt.Sprintf("coll: barrier cannot run %v", algo))
+	}
+}
+
+// token is the zero-byte payload barrier rounds exchange; it travels as a
+// pure control active message.
+var token = buf.Buf{}
+
+// barrierDissemination runs ceil(log2 n) rounds: in round k, rank r signals
+// r+2^k and waits for r-2^k. No rank is a bottleneck, and every rank exits
+// within one round of the last arrival — the scalable default.
+func (c *Communicator) barrierDissemination(seq uint32, done func()) {
+	n, r := c.e.Size(), c.e.Rank()
+	slot := uint32(0)
+	dist := 1
+	var doRound func()
+	doRound = func() {
+		if dist >= n {
+			c.finish(done)
+			return
+		}
+		pending := 2
+		arrive := func() {
+			pending--
+			if pending == 0 {
+				dist <<= 1
+				slot++
+				doRound()
+			}
+		}
+		c.sendTo((r+dist)%n, seq, slot, token, arrive)
+		c.postRecv((r-dist+n)%n, seq, slot, token, nil, arrive)
+	}
+	doRound()
+}
+
+// barrierTree gathers tokens up a binomial tree rooted at rank 0 and
+// broadcasts a release wave back down: 2(n-1) messages in total — fewer
+// than dissemination's n·ceil(log2 n), which wins at small rank counts.
+func (c *Communicator) barrierTree(seq uint32, done func()) {
+	n, r := c.e.Size(), c.e.Rank()
+	parent, children := binomialParentChildren(r, n)
+
+	release := func() {
+		for _, ch := range children {
+			c.sendTo(ch, seq, 1, token, nil)
+		}
+		c.finish(done)
+	}
+	afterGather := func() {
+		if parent < 0 {
+			release()
+			return
+		}
+		c.sendTo(parent, seq, 0, token, nil)
+		c.postRecv(parent, seq, 1, token, nil, release)
+	}
+
+	if len(children) == 0 {
+		afterGather()
+		return
+	}
+	left := len(children)
+	for _, ch := range children {
+		c.postRecv(ch, seq, 0, token, nil, func() {
+			left--
+			if left == 0 {
+				afterGather()
+			}
+		})
+	}
+}

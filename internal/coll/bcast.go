@@ -1,0 +1,92 @@
+package coll
+
+import (
+	"fmt"
+
+	"amtlci/internal/buf"
+)
+
+// binomialParentChildren returns rr's parent (-1 at the root) and children
+// in relative rank space for n ranks, children in decreasing-subtree order.
+// The shape matches the MPICH binomial schedule: a rank receives at its
+// lowest set bit and serves the bits below it.
+func binomialParentChildren(rr, n int) (parent int, children []int) {
+	parent = -1
+	mask := 1
+	for mask < n {
+		if rr&mask != 0 {
+			parent = rr - mask
+			break
+		}
+		mask <<= 1
+	}
+	for cm := mask >> 1; cm > 0; cm >>= 1 {
+		if rr+cm < n {
+			children = append(children, rr+cm)
+		}
+	}
+	return parent, children
+}
+
+// runBcast executes one broadcast. Both algorithms share the same engine:
+// a parent/children shape plus per-segment forwarding — a rank pushes
+// segment i to every child as soon as segment i has landed, so large
+// buffers pipeline down the tree or chain.
+func (c *Communicator) runBcast(seq uint32, b buf.Buf, root int, algo Algorithm, done func()) {
+	n, r := c.e.Size(), c.e.Rank()
+	if n == 1 {
+		c.finish(done)
+		return
+	}
+	rr := (r - root + n) % n
+	abs := func(rel int) int { return (rel + root) % n }
+
+	var parent int
+	var children []int
+	switch algo {
+	case Binomial:
+		parent, children = binomialParentChildren(rr, n)
+	case Chain:
+		if rr > 0 {
+			parent = rr - 1
+		} else {
+			parent = -1
+		}
+		if rr+1 < n {
+			children = []int{rr + 1}
+		}
+	default:
+		panic(fmt.Sprintf("coll: bcast cannot run %v", algo))
+	}
+
+	remaining := len(children)
+	if parent >= 0 {
+		remaining++
+	}
+	if remaining == 0 {
+		c.finish(done)
+		return
+	}
+	step := func() {
+		remaining--
+		if remaining == 0 {
+			c.finish(done)
+		}
+	}
+
+	sends := make([]*sendState, len(children))
+	for i, ch := range children {
+		sends[i] = c.openSend(abs(ch), seq, 0, b, step)
+	}
+	if parent < 0 {
+		for _, s := range sends {
+			s.sendAll()
+		}
+		return
+	}
+	c.postRecv(abs(parent), seq, 0, b, func(seg int) {
+		for _, s := range sends {
+			s.pushSeg(seg)
+		}
+	}, step)
+}

@@ -1,0 +1,433 @@
+// Package coll is an algorithm-selectable collective-communication subsystem
+// built directly on the backend-independent communication-engine API of
+// internal/core (TagReg / SendAM / Put), so every collective runs unmodified
+// on both the MPI (internal/core/mpice) and LCI (internal/core/lcice)
+// backends in virtual time.
+//
+// The paper's PaRSEC runtime only ever multicasts dataflows down a
+// hard-coded binomial tree inside the communication thread (§4.3); the
+// related work on HPX+LCI and on LCI itself identifies collective patterns —
+// broadcast, reduction, barrier — as the next scaling bottleneck once
+// point-to-point overhead is fixed. This package provides the five classic
+// collectives with at least two algorithms each:
+//
+//	Broadcast  — binomial tree, chain (pipelined)
+//	Reduce     — binomial tree, chain (pipelined)
+//	Allreduce  — ring (reduce-scatter + allgather), recursive doubling
+//	             with the Rabenseifner power-of-two pre/post fold
+//	Allgather  — ring, Bruck (dissemination)
+//	Barrier    — dissemination, binomial gather/release tree
+//
+// Algorithm choice is delegated to a size- and fanout-aware selector
+// (Tune.Pick) unless the caller forces one. Large payloads are segmented
+// (Tune.SegSize) and pipelined: a forwarding rank pushes segment i to its
+// children as soon as segment i has arrived (and, for reductions, been
+// combined), so bulk transfers overlap on the fabric's dual lanes.
+//
+// A Communicator is per-rank state over one core.Engine. Collectives follow
+// MPI semantics: every rank of the communicator must call the same sequence
+// of operations with matching arguments, and all ranks must share the same
+// tag base and Tune. Operations are asynchronous — completion is reported
+// through a callback on the rank's communication thread, as everything in
+// this repository runs in discrete-event virtual time.
+package coll
+
+import (
+	"fmt"
+
+	"amtlci/internal/buf"
+	"amtlci/internal/core"
+	"amtlci/internal/sim"
+)
+
+// Kind names a collective operation class for the selector.
+type Kind int
+
+const (
+	OpBcast Kind = iota
+	OpReduce
+	OpAllreduce
+	OpAllgather
+	OpBarrier
+)
+
+// String names the kind as collbench columns do.
+func (k Kind) String() string {
+	switch k {
+	case OpBcast:
+		return "bcast"
+	case OpReduce:
+		return "reduce"
+	case OpAllreduce:
+		return "allreduce"
+	case OpAllgather:
+		return "allgather"
+	case OpBarrier:
+		return "barrier"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Algorithm selects the schedule used by one collective call.
+type Algorithm int
+
+const (
+	// Auto delegates the choice to Tune.Pick.
+	Auto Algorithm = iota
+	// Binomial is the log-depth tree (Bcast, Reduce, Barrier gather phase).
+	Binomial
+	// Chain is the pipelined linear chain (Bcast, Reduce).
+	Chain
+	// Ring is the bandwidth-optimal ring (Allreduce, Allgather).
+	Ring
+	// RecursiveDoubling is the log-round full-buffer exchange with the
+	// Rabenseifner pre/post fold for non-power-of-two rank counts
+	// (Allreduce).
+	RecursiveDoubling
+	// Bruck is the dissemination allgather with a final local rotation.
+	Bruck
+	// Dissemination is the log-round barrier with no root bottleneck.
+	Dissemination
+	// Tree is the binomial gather + release barrier.
+	Tree
+)
+
+// String names the algorithm as collbench columns do.
+func (a Algorithm) String() string {
+	switch a {
+	case Auto:
+		return "auto"
+	case Binomial:
+		return "binomial"
+	case Chain:
+		return "chain"
+	case Ring:
+		return "ring"
+	case RecursiveDoubling:
+		return "rdbl"
+	case Bruck:
+		return "bruck"
+	case Dissemination:
+		return "dissem"
+	case Tree:
+		return "tree"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Algorithms lists the concrete schedules available for one operation, in
+// the order collbench sweeps them.
+func Algorithms(k Kind) []Algorithm {
+	switch k {
+	case OpBcast, OpReduce:
+		return []Algorithm{Binomial, Chain}
+	case OpAllreduce:
+		return []Algorithm{RecursiveDoubling, Ring}
+	case OpAllgather:
+		return []Algorithm{Bruck, Ring}
+	case OpBarrier:
+		return []Algorithm{Dissemination, Tree}
+	default:
+		panic(fmt.Sprintf("coll: unknown kind %d", int(k)))
+	}
+}
+
+// Op combines src into dst element-by-element (dst = dst ⊕ src). Reductions
+// assume the operator is commutative and associative, as MPI's built-ins
+// are. On virtual buffers only the combine cost is charged.
+type Op struct {
+	Name string
+	Fn   func(dst, src []byte)
+}
+
+// Sum is per-byte modular addition (commutative; exact in tests).
+var Sum = Op{Name: "sum", Fn: func(dst, src []byte) {
+	for i := range src {
+		dst[i] += src[i]
+	}
+}}
+
+// XOR is per-byte exclusive or.
+var XOR = Op{Name: "xor", Fn: func(dst, src []byte) {
+	for i := range src {
+		dst[i] ^= src[i]
+	}
+}}
+
+// Max is per-byte maximum.
+var Max = Op{Name: "max", Fn: func(dst, src []byte) {
+	for i := range src {
+		if src[i] > dst[i] {
+			dst[i] = src[i]
+		}
+	}
+}}
+
+// Tune holds the protocol constants and the selector crossovers. All ranks
+// of one communicator must share the same Tune, because sender and receiver
+// independently derive eager/rendezvous mode and segment counts from it.
+type Tune struct {
+	// EagerMax is the largest payload carried inside the control active
+	// message (one network traversal, no rendezvous). At or below the
+	// fabric's control-lane cutoff (4 KiB) eager transfers also bypass
+	// queued bulk traffic.
+	EagerMax int64
+	// SegSize is the put segmentation granularity for rendezvous
+	// transfers; pipelined algorithms forward at this granularity.
+	SegSize int64
+	// ReducePerByte is the communication-thread cost of combining one
+	// byte (read-modify-write at memory bandwidth).
+	ReducePerByte sim.Duration
+	// CopyPerByte is the communication-thread cost of a local copy byte.
+	CopyPerByte sim.Duration
+
+	// Selector crossovers, calibrated per backend against the
+	// cmd/collbench sweep (bench.CollTuneFor holds the measured values).
+	// The pipelined chain needs a deep enough segment pipeline to cover
+	// its linear startup; the ring variants win once per-rank chunks
+	// clear the eager and segmentation overheads.
+	BcastChainMin         int64 // chain when size >= this ...
+	BcastChainMinRanks    int   // ... and n >= this
+	ReduceChainMin        int64 // chain when size >= this ...
+	ReduceChainMinRanks   int   // ... and n >= this
+	AllreduceRingMin      int64 // ring when the per-rank chunk size/n >= this
+	AllgatherRingMin      int64 // ring when the block size >= this ...
+	AllgatherRingMaxRanks int   // ... and n <= this (Bruck scales better above)
+	BarrierTreeMaxRanks   int   // tree at or below this rank count
+}
+
+// DefaultTune returns the defaults calibrated for the LCI backend, the
+// paper's primary target (use bench.CollTuneFor for per-backend values).
+func DefaultTune() Tune {
+	return Tune{
+		EagerMax:              4 << 10,
+		SegSize:               128 << 10,
+		ReducePerByte:         60 * sim.Picosecond,
+		CopyPerByte:           30 * sim.Picosecond,
+		BcastChainMin:         1 << 20,
+		BcastChainMinRanks:    4,
+		ReduceChainMin:        1 << 20,
+		ReduceChainMinRanks:   4,
+		AllreduceRingMin:      64 << 10,
+		AllgatherRingMin:      256 << 10,
+		AllgatherRingMaxRanks: 1 << 20,
+		BarrierTreeMaxRanks:   2,
+	}
+}
+
+// Pick chooses the algorithm for one call: size is the payload (the full
+// buffer for Bcast/Reduce/Allreduce, one rank's block for Allgather, 0 for
+// Barrier) and n the communicator size.
+func (t Tune) Pick(k Kind, size int64, n int) Algorithm {
+	switch k {
+	case OpBcast:
+		if n > 2 && n >= t.BcastChainMinRanks && size >= t.BcastChainMin {
+			return Chain
+		}
+		return Binomial
+	case OpReduce:
+		if n > 2 && n >= t.ReduceChainMinRanks && size >= t.ReduceChainMin {
+			return Chain
+		}
+		return Binomial
+	case OpAllreduce:
+		if n > 2 && size/int64(n) >= t.AllreduceRingMin {
+			return Ring
+		}
+		return RecursiveDoubling
+	case OpAllgather:
+		if n > 2 && n <= t.AllgatherRingMaxRanks && size >= t.AllgatherRingMin {
+			return Ring
+		}
+		return Bruck
+	case OpBarrier:
+		if n <= t.BarrierTreeMaxRanks {
+			return Tree
+		}
+		return Dissemination
+	default:
+		panic(fmt.Sprintf("coll: unknown kind %d", int(k)))
+	}
+}
+
+// DefaultTagBase is the active-message tag range communicators claim unless
+// told otherwise; it is disjoint from the runtime's tags (1..3) and the
+// backends' internal ranges.
+const DefaultTagBase core.Tag = 0x434C00 // "CL"
+
+// Communicator is one rank's collective state over a communication engine.
+// Build one per rank with the same tag base and Tune on every engine of a
+// deployment.
+type Communicator struct {
+	e    core.Engine
+	tune Tune
+
+	tagCtl  core.Tag
+	tagData core.Tag
+
+	nextSeq uint32
+
+	sends      map[xkey]*sendState
+	recvs      map[xkey]*recvState
+	earlyCTS   map[xkey]core.MemHandle
+	earlyEager map[xkey][]byte
+}
+
+// New builds a communicator over e, registering two active-message tags at
+// base and base+1. It must be called once per (engine, base) pair, before
+// the simulation runs.
+func New(e core.Engine, base core.Tag, t Tune) *Communicator {
+	if t.EagerMax < 0 || t.SegSize <= 0 {
+		panic("coll: Tune needs EagerMax >= 0 and SegSize > 0")
+	}
+	c := &Communicator{
+		e:          e,
+		tune:       t,
+		tagCtl:     base,
+		tagData:    base + 1,
+		sends:      make(map[xkey]*sendState),
+		recvs:      make(map[xkey]*recvState),
+		earlyCTS:   make(map[xkey]core.MemHandle),
+		earlyEager: make(map[xkey][]byte),
+	}
+	e.TagReg(c.tagCtl, c.onCtl, ctlHeaderBytes+t.EagerMax)
+	e.TagReg(c.tagData, c.onData, segDoneBytes)
+	return c
+}
+
+// NewDefault is shorthand for New(e, DefaultTagBase, DefaultTune()).
+func NewDefault(e core.Engine) *Communicator {
+	return New(e, DefaultTagBase, DefaultTune())
+}
+
+// Rank returns this communicator's rank.
+func (c *Communicator) Rank() int { return c.e.Rank() }
+
+// Size returns the communicator size.
+func (c *Communicator) Size() int { return c.e.Size() }
+
+// Tune returns the communicator's tuning parameters.
+func (c *Communicator) Tune() Tune { return c.tune }
+
+// resolve maps Auto to the selector's pick and validates a forced choice.
+func (c *Communicator) resolve(k Kind, size int64, a Algorithm) Algorithm {
+	if a == Auto {
+		return c.tune.Pick(k, size, c.e.Size())
+	}
+	for _, ok := range Algorithms(k) {
+		if a == ok {
+			return a
+		}
+	}
+	panic(fmt.Sprintf("coll: algorithm %v not implemented for %v", a, k))
+}
+
+// Bcast broadcasts root's buffer b to every rank's b. done, if non-nil,
+// runs on the communication thread when this rank's participation is
+// complete (data delivered locally and all forwarding obligations met).
+func (c *Communicator) Bcast(b buf.Buf, root int, a Algorithm, done func()) {
+	c.checkRoot(root)
+	seq := c.claimSeq()
+	algo := c.resolve(OpBcast, b.Size, a)
+	c.e.Submit(0, func() { c.runBcast(seq, b, root, algo, done) })
+}
+
+// Reduce combines every rank's src with op into dst at root. Non-root ranks
+// may pass a zero dst. dst and src must not alias.
+func (c *Communicator) Reduce(dst, src buf.Buf, op Op, root int, a Algorithm, done func()) {
+	c.checkRoot(root)
+	if c.e.Rank() == root && dst.Size != src.Size {
+		panic(fmt.Sprintf("coll: reduce dst size %d != src size %d", dst.Size, src.Size))
+	}
+	seq := c.claimSeq()
+	algo := c.resolve(OpReduce, src.Size, a)
+	c.e.Submit(0, func() { c.runReduce(seq, dst, src, op, root, algo, done) })
+}
+
+// Allreduce combines every rank's src with op into every rank's dst.
+// dst and src must not alias.
+func (c *Communicator) Allreduce(dst, src buf.Buf, op Op, a Algorithm, done func()) {
+	if dst.Size != src.Size {
+		panic(fmt.Sprintf("coll: allreduce dst size %d != src size %d", dst.Size, src.Size))
+	}
+	seq := c.claimSeq()
+	algo := c.resolve(OpAllreduce, src.Size, a)
+	c.e.Submit(0, func() { c.runAllreduce(seq, dst, src, op, algo, done) })
+}
+
+// Allgather concatenates every rank's src block into every rank's dst in
+// rank order; dst must be Size() times the block size.
+func (c *Communicator) Allgather(dst, src buf.Buf, a Algorithm, done func()) {
+	if dst.Size != src.Size*int64(c.e.Size()) {
+		panic(fmt.Sprintf("coll: allgather dst size %d != %d ranks x block %d",
+			dst.Size, c.e.Size(), src.Size))
+	}
+	seq := c.claimSeq()
+	algo := c.resolve(OpAllgather, src.Size, a)
+	c.e.Submit(0, func() { c.runAllgather(seq, dst, src, algo, done) })
+}
+
+// Barrier completes on each rank only after every rank has entered it.
+func (c *Communicator) Barrier(a Algorithm, done func()) {
+	seq := c.claimSeq()
+	algo := c.resolve(OpBarrier, 0, a)
+	c.e.Submit(0, func() { c.runBarrier(seq, algo, done) })
+}
+
+func (c *Communicator) checkRoot(root int) {
+	if root < 0 || root >= c.e.Size() {
+		panic(fmt.Sprintf("coll: root %d out of range [0,%d)", root, c.e.Size()))
+	}
+}
+
+// claimSeq numbers one collective call. Every rank must issue the same
+// sequence of calls, so the per-rank counters stay in lockstep; the number
+// is what matches one rank's sends to its peers' receives.
+func (c *Communicator) claimSeq() uint32 {
+	s := c.nextSeq
+	c.nextSeq++
+	return s
+}
+
+// finish funnels an operation's completion callback.
+func (c *Communicator) finish(done func()) {
+	if done != nil {
+		done()
+	}
+}
+
+// reduceInto charges the combine cost and applies op (real buffers only).
+func (c *Communicator) reduceInto(dst, src buf.Buf, op Op, then func()) {
+	n := src.Size
+	if dst.Size < n {
+		n = dst.Size
+	}
+	c.e.Submit(sim.Duration(n)*c.tune.ReducePerByte, func() {
+		if dst.Bytes != nil && src.Bytes != nil {
+			op.Fn(dst.Bytes[:n], src.Bytes[:n])
+		}
+		then()
+	})
+}
+
+// copyInto charges the copy cost and copies (real buffers only).
+func (c *Communicator) copyInto(dst, src buf.Buf, then func()) {
+	n := src.Size
+	if dst.Size < n {
+		n = dst.Size
+	}
+	c.e.Submit(sim.Duration(n)*c.tune.CopyPerByte, func() {
+		buf.Copy(dst, src)
+		then()
+	})
+}
+
+// allocLike returns an n-byte scratch buffer matching ref's storage mode.
+func allocLike(ref buf.Buf, n int64) buf.Buf {
+	if ref.Bytes != nil {
+		return buf.FromBytes(make([]byte, n))
+	}
+	return buf.Virtual(n)
+}

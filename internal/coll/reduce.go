@@ -1,0 +1,94 @@
+package coll
+
+import (
+	"fmt"
+
+	"amtlci/internal/buf"
+)
+
+// runReduce executes one reduction. The schedule is the broadcast shape
+// reversed: a rank receives full-size partial sums from its (binomial or
+// chain) children, combines them segment by segment into an accumulator,
+// and pushes each segment to its parent once every child has contributed
+// to it — so reductions pipeline exactly like broadcasts do.
+func (c *Communicator) runReduce(seq uint32, dst, src buf.Buf, op Op, root int, algo Algorithm, done func()) {
+	n, r := c.e.Size(), c.e.Rank()
+	if n == 1 {
+		c.copyInto(dst, src, func() { c.finish(done) })
+		return
+	}
+	rr := (r - root + n) % n
+	abs := func(rel int) int { return (rel + root) % n }
+
+	var parent int
+	var children []int
+	switch algo {
+	case Binomial:
+		parent, children = binomialParentChildren(rr, n)
+	case Chain:
+		// Data flows from relative rank n-1 down to the root: each rank's
+		// source is rr+1 and its sink is rr-1.
+		if rr > 0 {
+			parent = rr - 1
+		} else {
+			parent = -1
+		}
+		if rr+1 < n {
+			children = []int{rr + 1}
+		}
+	default:
+		panic(fmt.Sprintf("coll: reduce cannot run %v", algo))
+	}
+
+	size := src.Size
+	nsegs := c.tune.nsegsFor(size)
+
+	// Leaves forward their contribution directly from src — no combine, no
+	// scratch copy.
+	if len(children) == 0 {
+		c.sendTo(abs(parent), seq, 0, src, func() { c.finish(done) })
+		return
+	}
+
+	// Interior ranks (and the root) accumulate into acc: dst at the root,
+	// scratch elsewhere. The initial src copy is submitted first, so it is
+	// charged before any segment combine can run on the serial thread.
+	acc := dst
+	if parent >= 0 {
+		acc = allocLike(src, size)
+	}
+	c.copyInto(acc, src, func() {})
+
+	var send *sendState
+	if parent >= 0 {
+		send = c.openSend(abs(parent), seq, 0, acc, func() { c.finish(done) })
+	}
+	segLeft := make([]int, nsegs)
+	for i := range segLeft {
+		segLeft[i] = len(children)
+	}
+	rootLeft := nsegs
+	ready := func(seg int) {
+		if send != nil {
+			send.pushSeg(seg)
+			return
+		}
+		rootLeft--
+		if rootLeft == 0 {
+			c.finish(done)
+		}
+	}
+
+	for _, ch := range children {
+		rb := allocLike(src, size)
+		c.postRecv(abs(ch), seq, 0, rb, func(seg int) {
+			off, ln := c.tune.segment(size, seg)
+			c.reduceInto(acc.Slice(off, ln), rb.Slice(off, ln), op, func() {
+				segLeft[seg]--
+				if segLeft[seg] == 0 {
+					ready(seg)
+				}
+			})
+		}, nil)
+	}
+}

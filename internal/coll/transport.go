@@ -1,0 +1,330 @@
+// The transport layer: matched point-to-point transfers between collective
+// schedules, built on the engine's active messages and one-sided put.
+//
+// Every transfer is named by (peer, sequence, slot): the sequence numbers
+// the collective call on the communicator and the slot numbers the transfer
+// within the algorithm's schedule, so both endpoints derive the same key
+// independently. Payloads at or below Tune.EagerMax travel inside the
+// control active message (one traversal, control lane). Larger payloads use
+// a receiver-driven rendezvous: the receiver registers its landing buffer
+// and sends a CTS carrying the handle; the sender answers with one put per
+// segment, whose remote-completion tag tells the receiver which segment
+// landed. Segments exist so pipelined algorithms can forward data that is
+// still arriving, and so several puts overlap on the fabric.
+//
+// Everything here runs on the engine's communication thread: operations
+// enter through Engine.Submit and callbacks are active-message handlers,
+// which the engines already serialize onto that thread.
+package coll
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"amtlci/internal/buf"
+	"amtlci/internal/core"
+)
+
+// xkey names one transfer from this rank's point of view.
+type xkey struct {
+	peer int32
+	seq  uint32
+	slot uint32
+}
+
+func key(peer int, seq, slot uint32) xkey {
+	return xkey{peer: int32(peer), seq: seq, slot: slot}
+}
+
+// Control-message kinds (first byte of a tagCtl payload).
+const (
+	kindEager = 1
+	kindCTS   = 2
+)
+
+// ctlHeaderBytes is the fixed prefix of a control message: kind, seq, slot,
+// then a kind-specific body (size for eager, handle for CTS).
+const ctlHeaderBytes = 1 + 4 + 4 + 12
+
+// segDoneBytes is the put remote-completion payload: seq, slot, segment.
+const segDoneBytes = 4 + 4 + 4
+
+// sendState is one posted (possibly still filling) outgoing transfer.
+type sendState struct {
+	c     *Communicator
+	k     xkey
+	b     buf.Buf
+	nsegs int
+
+	eager      bool
+	rreg       core.MemHandle // CTS handle, valid once ctsSeen
+	ctsSeen    bool
+	queued     []int // segments pushed before the CTS arrived
+	lreg       core.MemHandle
+	registered bool
+	localDone  int
+	done       func()
+}
+
+// recvState is one posted incoming transfer.
+type recvState struct {
+	c     *Communicator
+	k     xkey
+	b     buf.Buf
+	nsegs int
+
+	eager      bool
+	reg        core.MemHandle
+	registered bool
+	got        int
+	onSeg      func(seg int)
+	done       func()
+}
+
+// nsegsFor derives the segment count both endpoints agree on.
+func (t Tune) nsegsFor(size int64) int {
+	if size <= t.EagerMax {
+		return 1
+	}
+	return int((size + t.SegSize - 1) / t.SegSize)
+}
+
+// segment returns segment i's offset and length within a transfer of size.
+func (t Tune) segment(size int64, i int) (off, ln int64) {
+	if size <= t.EagerMax {
+		return 0, size
+	}
+	off = int64(i) * t.SegSize
+	ln = t.SegSize
+	if off+ln > size {
+		ln = size - off
+	}
+	return off, ln
+}
+
+// openSend posts an outgoing transfer of b to peer. Segments become eligible
+// to travel as the schedule calls pushSeg; done fires when the local buffer
+// is reusable (all segments locally complete).
+func (c *Communicator) openSend(peer int, seq, slot uint32, b buf.Buf, done func()) *sendState {
+	k := key(peer, seq, slot)
+	if _, dup := c.sends[k]; dup {
+		panic(fmt.Sprintf("coll: duplicate send %+v at rank %d", k, c.e.Rank()))
+	}
+	s := &sendState{
+		c: c, k: k, b: b,
+		nsegs: c.tune.nsegsFor(b.Size),
+		eager: b.Size <= c.tune.EagerMax,
+		done:  done,
+	}
+	c.sends[k] = s
+	if !s.eager {
+		if h, ok := c.earlyCTS[k]; ok {
+			delete(c.earlyCTS, k)
+			s.rreg = h
+			s.ctsSeen = true
+		}
+	}
+	return s
+}
+
+// pushSeg marks segment i of the send final and eligible to travel.
+// Pipelined schedules call it as data becomes ready; sendAll pushes
+// everything at once.
+func (s *sendState) pushSeg(i int) {
+	if s.eager {
+		s.sendEager()
+		return
+	}
+	if !s.ctsSeen {
+		s.queued = append(s.queued, i)
+		return
+	}
+	s.putSeg(i)
+}
+
+// sendAll pushes every segment of the transfer.
+func (s *sendState) sendAll() {
+	for i := 0; i < s.nsegs; i++ {
+		s.pushSeg(i)
+	}
+}
+
+func (s *sendState) sendEager() {
+	c := s.c
+	msg := make([]byte, ctlHeaderBytes, ctlHeaderBytes+s.b.Size)
+	msg[0] = kindEager
+	binary.LittleEndian.PutUint32(msg[1:5], s.k.seq)
+	binary.LittleEndian.PutUint32(msg[5:9], s.k.slot)
+	binary.LittleEndian.PutUint64(msg[9:17], uint64(s.b.Size))
+	if s.b.Bytes != nil {
+		msg = append(msg, s.b.Bytes...)
+	} else {
+		// Virtual payload: materialize zeros so the wire cost is charged
+		// for the real length (eager payloads are small by construction).
+		msg = append(msg, make([]byte, s.b.Size)...)
+	}
+	c.e.SendAM(c.tagCtl, int(s.k.peer), msg)
+	delete(c.sends, s.k)
+	c.e.Submit(0, func() {
+		if s.done != nil {
+			s.done()
+		}
+	})
+}
+
+func (s *sendState) putSeg(i int) {
+	c := s.c
+	if !s.registered {
+		s.lreg = c.e.MemReg(s.b)
+		s.registered = true
+	}
+	off, ln := c.tune.segment(s.b.Size, i)
+	rcb := make([]byte, segDoneBytes)
+	binary.LittleEndian.PutUint32(rcb[0:4], s.k.seq)
+	binary.LittleEndian.PutUint32(rcb[4:8], s.k.slot)
+	binary.LittleEndian.PutUint32(rcb[8:12], uint32(i))
+	c.e.Put(core.PutArgs{
+		LReg: s.lreg, LDispl: off,
+		RReg: s.rreg, RDispl: off,
+		Size: ln, Remote: int(s.k.peer),
+		LocalCB: func() {
+			s.localDone++
+			if s.localDone == s.nsegs {
+				c.e.MemDereg(s.lreg)
+				s.registered = false
+				delete(c.sends, s.k)
+				if s.done != nil {
+					s.done()
+				}
+			}
+		},
+		RTag: c.tagData, RCBData: rcb,
+	})
+}
+
+// postRecv posts an incoming transfer from peer into b. onSeg, if non-nil,
+// fires once per landed segment (pipelining hook); done fires when the
+// whole transfer has landed.
+func (c *Communicator) postRecv(peer int, seq, slot uint32, b buf.Buf, onSeg func(int), done func()) {
+	k := key(peer, seq, slot)
+	if _, dup := c.recvs[k]; dup {
+		panic(fmt.Sprintf("coll: duplicate recv %+v at rank %d", k, c.e.Rank()))
+	}
+	r := &recvState{
+		c: c, k: k, b: b,
+		nsegs: c.tune.nsegsFor(b.Size),
+		eager: b.Size <= c.tune.EagerMax,
+		onSeg: onSeg,
+		done:  done,
+	}
+	if r.eager {
+		if data, ok := c.earlyEager[k]; ok {
+			delete(c.earlyEager, k)
+			c.deliverEager(r, data)
+			return
+		}
+		c.recvs[k] = r
+		return
+	}
+	c.recvs[k] = r
+	r.reg = c.e.MemReg(b)
+	r.registered = true
+	msg := make([]byte, ctlHeaderBytes)
+	msg[0] = kindCTS
+	binary.LittleEndian.PutUint32(msg[1:5], seq)
+	binary.LittleEndian.PutUint32(msg[5:9], slot)
+	binary.LittleEndian.PutUint32(msg[9:13], uint32(r.reg.Rank))
+	binary.LittleEndian.PutUint64(msg[13:21], r.reg.ID)
+	c.e.SendAM(c.tagCtl, peer, msg)
+}
+
+// onCtl handles control active messages: eager payloads and CTS handles.
+func (c *Communicator) onCtl(_ core.Engine, _ core.Tag, data []byte, src int) {
+	if len(data) < ctlHeaderBytes {
+		panic(fmt.Sprintf("coll: short control message (%d bytes) at rank %d", len(data), c.e.Rank()))
+	}
+	seq := binary.LittleEndian.Uint32(data[1:5])
+	slot := binary.LittleEndian.Uint32(data[5:9])
+	k := key(src, seq, slot)
+	switch data[0] {
+	case kindEager:
+		size := int64(binary.LittleEndian.Uint64(data[9:17]))
+		payload := data[ctlHeaderBytes : ctlHeaderBytes+size]
+		r, ok := c.recvs[k]
+		if !ok {
+			// Unexpected: the receiver has not posted yet. AM payloads are
+			// only valid during the callback, so stash a copy.
+			c.earlyEager[k] = append([]byte(nil), payload...)
+			return
+		}
+		delete(c.recvs, k)
+		c.deliverEager(r, payload)
+	case kindCTS:
+		h := core.MemHandle{
+			Rank: int32(binary.LittleEndian.Uint32(data[9:13])),
+			ID:   binary.LittleEndian.Uint64(data[13:21]),
+		}
+		s, ok := c.sends[k]
+		if !ok {
+			c.earlyCTS[k] = h
+			return
+		}
+		s.rreg = h
+		s.ctsSeen = true
+		queued := s.queued
+		s.queued = nil
+		for _, i := range queued {
+			s.putSeg(i)
+		}
+	default:
+		panic(fmt.Sprintf("coll: unknown control kind %d at rank %d", data[0], c.e.Rank()))
+	}
+}
+
+func (c *Communicator) deliverEager(r *recvState, payload []byte) {
+	if r.b.Size != int64(len(payload)) {
+		panic(fmt.Sprintf("coll: eager size mismatch for %+v at rank %d: posted %d, got %d",
+			r.k, c.e.Rank(), r.b.Size, len(payload)))
+	}
+	if r.b.Bytes != nil {
+		copy(r.b.Bytes, payload)
+	}
+	if r.onSeg != nil {
+		r.onSeg(0)
+	}
+	if r.done != nil {
+		r.done()
+	}
+}
+
+// onData handles a put remote-completion: one rendezvous segment landed.
+func (c *Communicator) onData(_ core.Engine, _ core.Tag, data []byte, src int) {
+	seq := binary.LittleEndian.Uint32(data[0:4])
+	slot := binary.LittleEndian.Uint32(data[4:8])
+	seg := int(binary.LittleEndian.Uint32(data[8:12]))
+	k := key(src, seq, slot)
+	r, ok := c.recvs[k]
+	if !ok {
+		// Puts only flow after our CTS, so the receive must exist.
+		panic(fmt.Sprintf("coll: segment for unposted recv %+v at rank %d", k, c.e.Rank()))
+	}
+	r.got++
+	if r.onSeg != nil {
+		r.onSeg(seg)
+	}
+	if r.got == r.nsegs {
+		delete(c.recvs, k)
+		if r.registered {
+			c.e.MemDereg(r.reg)
+			r.registered = false
+		}
+		if r.done != nil {
+			r.done()
+		}
+	}
+}
+
+// sendTo opens a send and pushes everything: the common non-pipelined case.
+func (c *Communicator) sendTo(peer int, seq, slot uint32, b buf.Buf, done func()) {
+	c.openSend(peer, seq, slot, b, done).sendAll()
+}

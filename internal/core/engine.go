@@ -194,10 +194,18 @@ func (h PutHeader) Marshal() []byte {
 	return out
 }
 
-// UnmarshalPutHeader decodes a header produced by Marshal. It panics on a
-// malformed buffer: headers only ever come from this package.
-func UnmarshalPutHeader(b []byte) PutHeader {
+// putHeaderFixedBytes is the encoded size of a PutHeader before RCBData.
+const putHeaderFixedBytes = 4 + 8 + 8 + 8 + 4 + 4 + 4
+
+// UnmarshalPutHeader decodes a header produced by Marshal. A truncated or
+// otherwise malformed buffer yields an error, never a panic — callers decide
+// whether that is a protocol bug.
+func UnmarshalPutHeader(b []byte) (PutHeader, error) {
 	var h PutHeader
+	if len(b) < putHeaderFixedBytes {
+		return h, fmt.Errorf("core: put header truncated: %d bytes, need %d",
+			len(b), putHeaderFixedBytes)
+	}
 	h.RReg.Rank = int32(binary.LittleEndian.Uint32(b[0:4]))
 	h.RReg.ID = binary.LittleEndian.Uint64(b[4:12])
 	h.RDispl = int64(binary.LittleEndian.Uint64(b[12:20]))
@@ -205,8 +213,12 @@ func UnmarshalPutHeader(b []byte) PutHeader {
 	h.DataTag = int32(binary.LittleEndian.Uint32(b[28:32]))
 	h.RTag = Tag(binary.LittleEndian.Uint32(b[32:36]))
 	n := int(int32(binary.LittleEndian.Uint32(b[36:40])))
-	h.RCBData = b[40 : 40+n]
-	return h
+	if n < 0 || putHeaderFixedBytes+n > len(b) {
+		return h, fmt.Errorf("core: put header callback data length %d exceeds %d remaining bytes",
+			n, len(b)-putHeaderFixedBytes)
+	}
+	h.RCBData = b[putHeaderFixedBytes : putHeaderFixedBytes+n]
+	return h, nil
 }
 
 // TagTable is the tag→callback map shared by both backends (a hash table in

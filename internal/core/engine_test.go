@@ -59,8 +59,8 @@ func TestPutHeaderRoundTrip(t *testing.T) {
 			RTag:    Tag(rtag),
 			RCBData: cbData,
 		}
-		got := UnmarshalPutHeader(h.Marshal())
-		return got.RReg == h.RReg && got.RDispl == h.RDispl && got.Size == h.Size &&
+		got, err := UnmarshalPutHeader(h.Marshal())
+		return err == nil && got.RReg == h.RReg && got.RDispl == h.RDispl && got.Size == h.Size &&
 			got.DataTag == h.DataTag && got.RTag == h.RTag && bytes.Equal(got.RCBData, h.RCBData)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
@@ -70,10 +70,70 @@ func TestPutHeaderRoundTrip(t *testing.T) {
 
 func TestPutHeaderEmptyCallbackData(t *testing.T) {
 	h := PutHeader{Size: 42}
-	got := UnmarshalPutHeader(h.Marshal())
+	got, err := UnmarshalPutHeader(h.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got.Size != 42 || len(got.RCBData) != 0 {
 		t.Fatalf("got %+v", got)
 	}
+}
+
+// TestPutHeaderTruncatedInputErrors checks that every prefix of a valid
+// encoding — and arbitrary garbage — yields an error, never a panic.
+func TestPutHeaderTruncatedInputErrors(t *testing.T) {
+	full := PutHeader{
+		RReg:    MemHandle{Rank: 3, ID: 77},
+		RDispl:  1 << 20,
+		Size:    4096,
+		DataTag: 12,
+		RTag:    9,
+		RCBData: []byte("callback-data"),
+	}.Marshal()
+	for n := 0; n < len(full); n++ {
+		if _, err := UnmarshalPutHeader(full[:n]); err == nil {
+			t.Errorf("prefix of %d bytes decoded without error", n)
+		}
+	}
+	if _, err := UnmarshalPutHeader(nil); err == nil {
+		t.Error("nil input decoded without error")
+	}
+	// A header whose declared callback length overruns the buffer.
+	bad := append([]byte(nil), full...)
+	bad[36] = 0xff
+	bad[37] = 0x00
+	if _, err := UnmarshalPutHeader(bad); err == nil {
+		t.Error("overlong callback length decoded without error")
+	}
+	// A negative declared callback length.
+	neg := append([]byte(nil), full...)
+	neg[39] = 0x80
+	if _, err := UnmarshalPutHeader(neg); err == nil {
+		t.Error("negative callback length decoded without error")
+	}
+}
+
+// FuzzUnmarshalPutHeader asserts the decoder never panics on arbitrary
+// input, and that whatever round-trips, round-trips exactly.
+func FuzzUnmarshalPutHeader(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(PutHeader{Size: 1}.Marshal())
+	f.Add(PutHeader{RCBData: []byte{1, 2, 3}}.Marshal())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := UnmarshalPutHeader(data)
+		if err != nil {
+			return
+		}
+		again, err := UnmarshalPutHeader(h.Marshal())
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if again.RReg != h.RReg || again.RDispl != h.RDispl || again.Size != h.Size ||
+			again.DataTag != h.DataTag || again.RTag != h.RTag ||
+			!bytes.Equal(again.RCBData, h.RCBData) {
+			t.Fatalf("round trip changed header: %+v vs %+v", h, again)
+		}
+	})
 }
 
 func TestTagTable(t *testing.T) {

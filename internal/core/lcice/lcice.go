@@ -147,7 +147,10 @@ func New(eng *sim.Engine, rt *lci.Runtime, rank int, cfg Config) *Engine {
 // onRMA handles a one-sided put completion at the target (progress thread):
 // the metadata carries the remote-completion tag and callback data.
 func (e *Engine) onRMA(r lci.Request) {
-	h := core.UnmarshalPutHeader(r.Data.Bytes)
+	h, err := core.UnmarshalPutHeader(r.Data.Bytes)
+	if err != nil {
+		panic(err) // RMA metadata only ever comes from a peer engine
+	}
 	e.deliverRemoteCompletion(h.RTag, append([]byte(nil), h.RCBData...), r.Rank)
 }
 
@@ -370,7 +373,10 @@ func (e *Engine) onMsg(r lci.Request) {
 	}
 
 	// Put handshake: specialized path bypassing the AM hash table (§5.3.3).
-	h := core.UnmarshalPutHeader(r.Data.Bytes)
+	h, err := core.UnmarshalPutHeader(r.Data.Bytes)
+	if err != nil {
+		panic(err) // handshakes only ever come from a peer engine
+	}
 	target := e.reg.Lookup(h.RReg).Slice(h.RDispl, h.Size)
 	src := r.Rank
 	rcb := append([]byte(nil), h.RCBData...)

@@ -309,7 +309,10 @@ func (e *Engine) putRMA(a core.PutArgs, local buf.Buf) {
 // matching receive, into the global array if there is room and onto a
 // dynamically allocated request otherwise (§4.2.2).
 func (e *Engine) onHandshake(_ core.Engine, _ core.Tag, data []byte, src int) {
-	h := core.UnmarshalPutHeader(data)
+	h, err := core.UnmarshalPutHeader(data)
+	if err != nil {
+		panic(err) // handshakes only ever come from a peer engine
+	}
 	target := e.reg.Lookup(h.RReg).Slice(h.RDispl, h.Size)
 	rcb := append([]byte(nil), h.RCBData...)
 	e.Submit(e.w.Config().RecvCost(h.Size), func() {

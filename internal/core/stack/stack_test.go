@@ -48,6 +48,23 @@ func TestAMRoundTrip(t *testing.T) {
 	})
 }
 
+// TestDuplicateTagRegPanicsOnBothBackends pins down the satellite fix: the
+// shared TagTable rejects duplicate registration, and both engines surface
+// that identically — a silent last-wins would corrupt collective matching.
+func TestDuplicateTagRegPanicsOnBothBackends(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, s *Stack) {
+		const tag core.Tag = 12
+		cb := func(core.Engine, core.Tag, []byte, int) {}
+		s.Engines[0].TagReg(tag, cb, 64)
+		defer func() {
+			if recover() == nil {
+				t.Fatal("duplicate TagReg did not panic")
+			}
+		}()
+		s.Engines[0].TagReg(tag, cb, 64)
+	})
+}
+
 func TestAMBurstAllDelivered(t *testing.T) {
 	// More simultaneous AMs than the MPI backend has persistent receives
 	// (5/tag): the overflow must queue and still be delivered.

@@ -172,6 +172,56 @@ func TestBroadcastUsesMulticastTree(t *testing.T) {
 	})
 }
 
+// TestMulticastDeliversToAllRanksExactlyOnce drives the binomial multicast
+// tree across odd, even, power-of-two and non-power-of-two rank counts from
+// 1 to 64 on both backends: one producer on rank 0 feeds a consumer on every
+// other rank, and each consumer must run exactly once with intact data.
+func TestMulticastDeliversToAllRanksExactlyOnce(t *testing.T) {
+	counts := []int{1, 2, 3, 4, 5, 7, 8, 12, 16, 17, 31, 32, 33, 63, 64}
+	forBackends(t, func(t *testing.T, b stack.Backend) {
+		for _, ranks := range counts {
+			const size = 1 << 10
+			g := parsec.NewGraphPool("mcast", ranks, true)
+			prod := g.AddTask(0, 0, sim.Microsecond, 0, size)
+			for r := 1; r < ranks; r++ {
+				c := g.AddTask(int64(r), r, sim.Microsecond, 0)
+				g.Link(prod, 0, c)
+			}
+			runs := make(map[int64]int)
+			intact := make(map[int64]bool)
+			g.ExecuteFn = func(tk parsec.TaskID, in, out []parsec.DataRef) {
+				runs[tk.Index]++
+				if tk == prod {
+					for i := range out[0].Buf.Bytes {
+						out[0].Buf.Bytes[i] = byte(i)
+					}
+					return
+				}
+				ok := len(in[0].Buf.Bytes) == size
+				if ok {
+					ok = in[0].Buf.Bytes[size-1] == byte((size-1)%256)
+				}
+				intact[tk.Index] = ok
+			}
+			_, rt := build(t, b, ranks, 1, g, nil)
+			if _, err := rt.Run(); err != nil {
+				t.Fatalf("n=%d: %v", ranks, err)
+			}
+			for r := 0; r < ranks; r++ {
+				if runs[int64(r)] != 1 {
+					t.Fatalf("n=%d: task %d ran %d times, want exactly once", ranks, r, runs[int64(r)])
+				}
+				if r > 0 && !intact[int64(r)] {
+					t.Fatalf("n=%d: rank %d received corrupted data", ranks, r)
+				}
+			}
+			if n := rt.Tracer().EndToEnd().N(); int(n) != ranks-1 {
+				t.Fatalf("n=%d: e2e samples = %d, want %d (one delivery per consumer)", ranks, n, ranks-1)
+			}
+		}
+	})
+}
+
 func TestPriorityOrderOnSingleWorker(t *testing.T) {
 	g := parsec.NewGraphPool("prio", 1, false)
 	root := g.AddTask(0, 0, sim.Microsecond, 0, 8)

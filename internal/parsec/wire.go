@@ -3,6 +3,7 @@ package parsec
 import (
 	"encoding/binary"
 
+	"amtlci/internal/coll"
 	"amtlci/internal/core"
 )
 
@@ -175,15 +176,6 @@ func rd64(b []byte) (int64, []byte)  { return int64(binary.LittleEndian.Uint64(b
 // treeSplit computes the binomial multicast children of the first rank in
 // ranks: it returns, for each child, the child-rooted slice of the subtree
 // (child first). PaRSEC propagates broadcasts down such trees so that no
-// single rank serves every consumer.
-func treeSplit(ranks []int32) [][]int32 {
-	var children [][]int32
-	// Binomial: repeatedly hand off the upper half of the remaining list.
-	lo, hi := 0, len(ranks)
-	for hi-lo > 1 {
-		mid := lo + (hi-lo+1)/2
-		children = append(children, ranks[mid:hi])
-		hi = mid
-	}
-	return children
-}
+// single rank serves every consumer. Tree construction is delegated to the
+// collectives subsystem, which owns the broadcast schedules.
+func treeSplit(ranks []int32) [][]int32 { return coll.TreeSplit(ranks) }
