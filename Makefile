@@ -1,8 +1,22 @@
 # Tier-1 verification: everything a PR must keep green.
-.PHONY: verify build vet test test-race
+.PHONY: verify build vet test test-race chaos fuzz-smoke
 
 verify:
 	./scripts/verify.sh
+
+# Chaos demonstration: fault sweep on both backends plus the severed-link
+# abort. verify.sh runs the -quick subset under a time budget.
+chaos:
+	go run ./cmd/chaos
+	go run ./cmd/chaos -sever
+
+# Short, fixed-budget fuzz passes over the wire-format decoders (Go allows
+# one -fuzz pattern per invocation).
+fuzz-smoke:
+	go test -run='^$$' -fuzz=FuzzUnmarshalPutHeader -fuzztime=2s ./internal/core
+	go test -run='^$$' -fuzz=FuzzDecodeActivates -fuzztime=2s ./internal/parsec
+	go test -run='^$$' -fuzz=FuzzDecodeGetData -fuzztime=2s ./internal/parsec
+	go test -run='^$$' -fuzz=FuzzDecodePutMeta -fuzztime=2s ./internal/parsec
 
 build:
 	go build ./...

@@ -1,0 +1,180 @@
+// Package chaos runs the repository's real task graphs — dense tiled
+// Cholesky (internal/cholesky) and the TLR HiCMA factorization
+// (internal/hicma) — over a fault-injected fabric with the reliability layer
+// (internal/rel) interposed, and verifies the numerical result afterwards.
+//
+// This is the proof obligation of the fault-injection work: under seeded
+// drop/duplicate/corrupt/reorder faults the runtime must still drive the DAG
+// to a bit-verified factorization on both communication backends, and a
+// severed link must surface rel.PeerUnreachable through the engine's error
+// path as a clean graph abort — never a hang, never a panic. Everything is
+// deterministic: one Opts value (including the fault seed) reproduces one
+// execution exactly.
+package chaos
+
+import (
+	"fmt"
+	"math"
+
+	"amtlci/internal/cholesky"
+	"amtlci/internal/core/stack"
+	"amtlci/internal/fabric"
+	"amtlci/internal/hicma"
+	"amtlci/internal/linalg"
+	"amtlci/internal/parsec"
+	"amtlci/internal/rel"
+	"amtlci/internal/sim"
+	"amtlci/internal/tlr"
+)
+
+// Workload selects the task graph to run.
+type Workload int
+
+const (
+	// Cholesky is the dense tiled factorization (8×8 tiles of 4, n=32).
+	Cholesky Workload = iota
+	// HiCMA is the tile-low-rank factorization (n=96, nb=16).
+	HiCMA
+)
+
+// Workloads lists both graphs.
+var Workloads = []Workload{Cholesky, HiCMA}
+
+// String names the workload for tables and subtests.
+func (w Workload) String() string {
+	switch w {
+	case Cholesky:
+		return "cholesky"
+	case HiCMA:
+		return "hicma"
+	default:
+		return fmt.Sprintf("Workload(%d)", int(w))
+	}
+}
+
+// Opts configures one chaos execution.
+type Opts struct {
+	Backend  stack.Backend
+	Workload Workload
+	Ranks    int // default 4
+	Workers  int // per-rank worker cores, default 2
+
+	// Faults, when non-nil, is installed on the fabric. Rel, when non-nil,
+	// interposes the reliability layer. Both nil reproduces the fault-free
+	// baseline the slowdown bound is measured against.
+	Faults *fabric.FaultConfig
+	Rel    *rel.Config
+}
+
+// Result reports one execution.
+type Result struct {
+	// Makespan is the virtual time from release to completion (zero when
+	// the graph aborted).
+	Makespan sim.Duration
+	// Err is the graph abort, nil when the DAG ran to completion.
+	Err error
+	// RelErr is the numerical relative error of the assembled factor
+	// against the reference problem (valid when Err is nil).
+	RelErr float64
+	// Verified reports RelErr within the workload's tolerance.
+	Verified bool
+	// Faults and Rel are the fabric's and reliability layer's counters
+	// (zero-valued when the corresponding option was off).
+	Faults fabric.FaultStats
+	Rel    rel.Stats
+}
+
+// tolerance is the verification threshold per workload: exact arithmetic for
+// the dense factorization, the compression accuracy for TLR.
+func tolerance(w Workload) float64 {
+	if w == HiCMA {
+		return 1e-6
+	}
+	return 1e-10
+}
+
+// Run executes one configuration to quiescence and verifies the numerics.
+func Run(o Opts) Result {
+	if o.Ranks <= 0 {
+		o.Ranks = 4
+	}
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+
+	so := stack.DefaultOptions(o.Backend, o.Ranks)
+	so.Fabric.Jitter = 0
+	so.Faults = o.Faults
+	so.Rel = o.Rel
+	s := stack.Build(so)
+
+	var (
+		tp     parsec.Taskpool
+		verify func() float64
+	)
+	switch o.Workload {
+	case Cholesky:
+		const tiles, nb = 8, 4
+		n := tiles * nb
+		prob := tlr.NewProblem(n, 0.3, 1e-2)
+		p := cholesky.NewReal(tiles, nb, o.Ranks, 30, prob.Entry)
+		tp = p
+		verify = func() float64 {
+			l := p.AssembleFactor()
+			recon := linalg.NewMatrix(n, n)
+			linalg.GEMM(recon, l, l, 1, false, true)
+			a := prob.Block(0, 0, n, n)
+			return linalg.Sub(recon, a).FrobNorm() / a.FrobNorm()
+		}
+	case HiCMA:
+		const n, nb = 96, 16
+		prob := tlr.NewProblem(n, 0.4, 1e-2)
+		par := hicma.DefaultParams(n, nb)
+		par.Acc = 1e-10
+		par.MaxRank = nb
+		p := hicma.NewReal(par, o.Ranks, prob)
+		tp = p
+		verify = func() float64 {
+			l := p.AssembleFactor()
+			recon := linalg.NewMatrix(n, n)
+			linalg.GEMM(recon, l, l, 1, false, true)
+			a := prob.Block(0, 0, n, n)
+			// Only the lower triangle is meaningful.
+			var num, den float64
+			for i := 0; i < n; i++ {
+				for j := 0; j <= i; j++ {
+					d := recon.At(i, j) - a.At(i, j)
+					num += d * d
+					den += a.At(i, j) * a.At(i, j)
+				}
+			}
+			return math.Sqrt(num / den)
+		}
+	default:
+		panic(fmt.Sprintf("chaos: unknown workload %d", int(o.Workload)))
+	}
+
+	cfg := parsec.DefaultConfig(o.Workers)
+	cfg.Jitter = 0
+	rt := parsec.New(s.Eng, s.Engines, tp, cfg)
+
+	var res Result
+	res.Makespan, res.Err = rt.Run()
+	if o.Faults != nil {
+		res.Faults = s.Fab.FaultStats()
+	}
+	if s.Rel != nil {
+		res.Rel = s.Rel.Stats()
+	}
+	if res.Err != nil {
+		res.Makespan = 0
+		return res
+	}
+	res.RelErr = verify()
+	res.Verified = res.RelErr <= tolerance(o.Workload)
+	if !res.Verified {
+		res.Err = fmt.Errorf("chaos: %v factor error %g exceeds %g",
+			o.Workload, res.RelErr, tolerance(o.Workload))
+	}
+	return res
+}

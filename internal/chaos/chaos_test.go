@@ -1,0 +1,172 @@
+package chaos
+
+import (
+	"errors"
+	"testing"
+
+	"amtlci/internal/core/stack"
+	"amtlci/internal/fabric"
+	"amtlci/internal/rel"
+)
+
+// faultCfg is the swept chaos point: rate each of drop, duplicate, corrupt,
+// and reorder, from a fixed seed so failures reproduce.
+func faultCfg(rate float64, seed uint64) *fabric.FaultConfig {
+	return &fabric.FaultConfig{
+		Drop: rate, Duplicate: rate, Corrupt: rate, Reorder: rate, Seed: seed,
+	}
+}
+
+func relCfg() *rel.Config {
+	c := rel.DefaultConfig()
+	return &c
+}
+
+// TestGraphsCompleteUnderSweptFaults is the tentpole acceptance: both task
+// graphs on both backends run to a numerically verified factorization with
+// drop/duplicate/corrupt/reorder each swept up to 2%.
+func TestGraphsCompleteUnderSweptFaults(t *testing.T) {
+	rates := []float64{0.005, 0.02}
+	if testing.Short() {
+		rates = []float64{0.02}
+	}
+	var agg fabric.FaultStats
+	var retransmits uint64
+	for _, backend := range stack.Backends {
+		for _, w := range Workloads {
+			for _, rate := range rates {
+				t.Run(sub(backend, w, rate), func(t *testing.T) {
+					const seed = 0xC7A05
+					res := Run(Opts{
+						Backend: backend, Workload: w,
+						Faults: faultCfg(rate, seed), Rel: relCfg(),
+					})
+					if res.Err != nil {
+						t.Fatalf("seed %#x: graph aborted: %v", seed, res.Err)
+					}
+					if !res.Verified {
+						t.Fatalf("seed %#x: factor error %g", seed, res.RelErr)
+					}
+					f := res.Faults
+					if rate >= 0.02 && f.Dropped+f.Duplicated+f.Corrupted+f.Reordered == 0 {
+						t.Fatalf("seed %#x: fault injection idle: %+v", seed, f)
+					}
+					// A lost ACK needs no retransmit (the next cumulative ACK
+					// covers it), so per-run drops do not imply per-run
+					// retransmits — recovery is asserted on the aggregate.
+					agg.Dropped += f.Dropped
+					agg.Duplicated += f.Duplicated
+					agg.Corrupted += f.Corrupted
+					agg.Reordered += f.Reordered
+					retransmits += res.Rel.Retransmits
+				})
+			}
+		}
+	}
+	// Across the sweep every fault class must have fired, and recovery must
+	// have actually happened — otherwise the chaos harness proves nothing.
+	if agg.Dropped == 0 || agg.Duplicated == 0 || agg.Corrupted == 0 || agg.Reordered == 0 {
+		t.Fatalf("sweep left a fault class unexercised: %+v", agg)
+	}
+	if retransmits == 0 {
+		t.Fatal("sweep finished without a single retransmission")
+	}
+}
+
+func sub(b stack.Backend, w Workload, rate float64) string {
+	return b.String() + "/" + w.String() + "/" + ratePct(rate)
+}
+
+func ratePct(rate float64) string {
+	switch rate {
+	case 0.005:
+		return "0.5pct"
+	case 0.02:
+		return "2pct"
+	default:
+		return "rate"
+	}
+}
+
+// TestSeveredLinkAbortsCleanly severs one link permanently: the sender must
+// exhaust its retry budget, declare the peer unreachable, and the runtime
+// must abort the graph with that error — no hang, no panic.
+func TestSeveredLinkAbortsCleanly(t *testing.T) {
+	for _, backend := range stack.Backends {
+		t.Run(backend.String(), func(t *testing.T) {
+			fc := &fabric.FaultConfig{
+				Seed:  7,
+				Links: []fabric.LinkFault{{Src: 0, Dst: 1, Sever: true}},
+			}
+			res := Run(Opts{
+				Backend: backend, Workload: Cholesky,
+				Faults: fc, Rel: relCfg(),
+			})
+			if res.Err == nil {
+				t.Fatal("severed link but the graph claims success")
+			}
+			var pu *rel.PeerUnreachable
+			if !errors.As(res.Err, &pu) {
+				t.Fatalf("abort error does not carry PeerUnreachable: %v", res.Err)
+			}
+			if pu.From != 0 || pu.To != 1 {
+				t.Fatalf("unreachable pair (%d,%d), want (0,1)", pu.From, pu.To)
+			}
+			if res.Rel.Unreachable == 0 {
+				t.Fatalf("rel stats show no unreachable peer: %+v", res.Rel)
+			}
+		})
+	}
+}
+
+// TestDeterministicReplay: identical Opts (same seed) must reproduce the
+// execution exactly, counters included.
+func TestDeterministicReplay(t *testing.T) {
+	o := Opts{
+		Backend: stack.LCI, Workload: Cholesky,
+		Faults: faultCfg(0.02, 99), Rel: relCfg(),
+	}
+	a, b := Run(o), Run(o)
+	if a.Err != nil || b.Err != nil {
+		t.Fatalf("aborts: %v / %v", a.Err, b.Err)
+	}
+	if a.Makespan != b.Makespan || a.Faults != b.Faults || a.Rel != b.Rel {
+		t.Fatalf("replay diverged:\n a %+v\n b %+v", a, b)
+	}
+}
+
+// TestBoundedSlowdownUnderFaults: 2% fault rates may cost retransmissions
+// and ACK traffic, but not an unbounded makespan blow-up.
+func TestBoundedSlowdownUnderFaults(t *testing.T) {
+	for _, backend := range stack.Backends {
+		t.Run(backend.String(), func(t *testing.T) {
+			base := Run(Opts{Backend: backend, Workload: Cholesky})
+			if base.Err != nil || !base.Verified {
+				t.Fatalf("fault-free baseline broken: %+v", base)
+			}
+			faulty := Run(Opts{
+				Backend: backend, Workload: Cholesky,
+				Faults: faultCfg(0.02, 5), Rel: relCfg(),
+			})
+			if faulty.Err != nil || !faulty.Verified {
+				t.Fatalf("faulty run broken: %+v", faulty)
+			}
+			if limit := 5 * base.Makespan; faulty.Makespan > limit {
+				t.Fatalf("slowdown unbounded: %v faulty vs %v clean",
+					faulty.Makespan, base.Makespan)
+			}
+		})
+	}
+}
+
+// TestReliabilityLayerAloneIsBenign: rel over a clean fabric must not change
+// correctness and must not retransmit.
+func TestReliabilityLayerAloneIsBenign(t *testing.T) {
+	res := Run(Opts{Backend: stack.LCI, Workload: HiCMA, Rel: relCfg()})
+	if res.Err != nil || !res.Verified {
+		t.Fatalf("rel over a clean fabric broke the run: %+v", res)
+	}
+	if res.Rel.Retransmits != 0 || res.Rel.DupDropped != 0 {
+		t.Fatalf("spurious recovery on a clean fabric: %+v", res.Rel)
+	}
+}

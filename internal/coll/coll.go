@@ -273,6 +273,11 @@ type Communicator struct {
 	recvs      map[xkey]*recvState
 	earlyCTS   map[xkey]core.MemHandle
 	earlyEager map[xkey][]byte
+
+	// active holds the completion callback of every outstanding operation,
+	// keyed by sequence number, so a transport failure can unwind them all.
+	active map[uint32]func()
+	failed error
 }
 
 // New builds a communicator over e, registering two active-message tags at
@@ -291,15 +296,57 @@ func New(e core.Engine, base core.Tag, t Tune) *Communicator {
 		recvs:      make(map[xkey]*recvState),
 		earlyCTS:   make(map[xkey]core.MemHandle),
 		earlyEager: make(map[xkey][]byte),
+		active:     make(map[uint32]func()),
 	}
 	e.TagReg(c.tagCtl, c.onCtl, ctlHeaderBytes+t.EagerMax)
 	e.TagReg(c.tagData, c.onData, segDoneBytes)
+	// An engine failure (peer unreachable, malformed wire traffic) aborts
+	// every outstanding collective: the schedules would otherwise wait
+	// forever for messages that will never arrive.
+	e.OnError(c.fail)
 	return c
 }
 
 // NewDefault is shorthand for New(e, DefaultTagBase, DefaultTune()).
 func NewDefault(e core.Engine) *Communicator {
 	return New(e, DefaultTagBase, DefaultTune())
+}
+
+// Err returns the first transport failure this communicator observed, or
+// nil. After a failure every operation's done callback still fires (so
+// waiting callers unwind), but buffer contents are unspecified.
+func (c *Communicator) Err() error { return c.failed }
+
+// fail records the first failure, drops all transfer state (no further wire
+// activity), and completes every outstanding operation's callback.
+func (c *Communicator) fail(err error) {
+	if c.failed != nil {
+		return
+	}
+	c.failed = err
+	c.sends = make(map[xkey]*sendState)
+	c.recvs = make(map[xkey]*recvState)
+	c.earlyCTS = make(map[xkey]core.MemHandle)
+	c.earlyEager = make(map[xkey][]byte)
+	for _, fire := range c.active {
+		fire() // removes itself from c.active
+	}
+}
+
+// track registers done under seq and returns an idempotent wrapper: it fires
+// at most once, whether completion comes from the schedule or from fail.
+func (c *Communicator) track(seq uint32, done func()) func() {
+	fire := func() {
+		if _, ok := c.active[seq]; !ok {
+			return
+		}
+		delete(c.active, seq)
+		if done != nil {
+			done()
+		}
+	}
+	c.active[seq] = fire
+	return fire
 }
 
 // Rank returns this communicator's rank.
@@ -331,7 +378,14 @@ func (c *Communicator) Bcast(b buf.Buf, root int, a Algorithm, done func()) {
 	c.checkRoot(root)
 	seq := c.claimSeq()
 	algo := c.resolve(OpBcast, b.Size, a)
-	c.e.Submit(0, func() { c.runBcast(seq, b, root, algo, done) })
+	fire := c.track(seq, done)
+	c.e.Submit(0, func() {
+		if c.failed != nil {
+			fire()
+			return
+		}
+		c.runBcast(seq, b, root, algo, fire)
+	})
 }
 
 // Reduce combines every rank's src with op into dst at root. Non-root ranks
@@ -343,7 +397,14 @@ func (c *Communicator) Reduce(dst, src buf.Buf, op Op, root int, a Algorithm, do
 	}
 	seq := c.claimSeq()
 	algo := c.resolve(OpReduce, src.Size, a)
-	c.e.Submit(0, func() { c.runReduce(seq, dst, src, op, root, algo, done) })
+	fire := c.track(seq, done)
+	c.e.Submit(0, func() {
+		if c.failed != nil {
+			fire()
+			return
+		}
+		c.runReduce(seq, dst, src, op, root, algo, fire)
+	})
 }
 
 // Allreduce combines every rank's src with op into every rank's dst.
@@ -354,7 +415,14 @@ func (c *Communicator) Allreduce(dst, src buf.Buf, op Op, a Algorithm, done func
 	}
 	seq := c.claimSeq()
 	algo := c.resolve(OpAllreduce, src.Size, a)
-	c.e.Submit(0, func() { c.runAllreduce(seq, dst, src, op, algo, done) })
+	fire := c.track(seq, done)
+	c.e.Submit(0, func() {
+		if c.failed != nil {
+			fire()
+			return
+		}
+		c.runAllreduce(seq, dst, src, op, algo, fire)
+	})
 }
 
 // Allgather concatenates every rank's src block into every rank's dst in
@@ -366,14 +434,28 @@ func (c *Communicator) Allgather(dst, src buf.Buf, a Algorithm, done func()) {
 	}
 	seq := c.claimSeq()
 	algo := c.resolve(OpAllgather, src.Size, a)
-	c.e.Submit(0, func() { c.runAllgather(seq, dst, src, algo, done) })
+	fire := c.track(seq, done)
+	c.e.Submit(0, func() {
+		if c.failed != nil {
+			fire()
+			return
+		}
+		c.runAllgather(seq, dst, src, algo, fire)
+	})
 }
 
 // Barrier completes on each rank only after every rank has entered it.
 func (c *Communicator) Barrier(a Algorithm, done func()) {
 	seq := c.claimSeq()
 	algo := c.resolve(OpBarrier, 0, a)
-	c.e.Submit(0, func() { c.runBarrier(seq, algo, done) })
+	fire := c.track(seq, done)
+	c.e.Submit(0, func() {
+		if c.failed != nil {
+			fire()
+			return
+		}
+		c.runBarrier(seq, algo, fire)
+	})
 }
 
 func (c *Communicator) checkRoot(root int) {

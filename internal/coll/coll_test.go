@@ -8,6 +8,8 @@ import (
 	"amtlci/internal/buf"
 	"amtlci/internal/coll"
 	"amtlci/internal/core/stack"
+	"amtlci/internal/fabric"
+	"amtlci/internal/rel"
 	"amtlci/internal/sim"
 )
 
@@ -37,13 +39,28 @@ func pattern(r int, size int64) []byte {
 	return b
 }
 
-func buildComms(b stack.Backend, n int) (*stack.Stack, []*coll.Communicator) {
-	s := stack.New(b, n)
-	comms := make([]*coll.Communicator, n)
-	for r := 0; r < n; r++ {
+func buildCommsOpts(o stack.Options) (*stack.Stack, []*coll.Communicator) {
+	s := stack.Build(o)
+	comms := make([]*coll.Communicator, o.Ranks)
+	for r := 0; r < o.Ranks; r++ {
 		comms[r] = coll.New(s.Engines[r], coll.DefaultTagBase, testTune())
 	}
 	return s, comms
+}
+
+func buildComms(b stack.Backend, n int) (*stack.Stack, []*coll.Communicator) {
+	return buildCommsOpts(stack.DefaultOptions(b, n))
+}
+
+// lossyOptions arms ~1% drop/duplicate/corrupt fault injection with the
+// reliability layer interposed, so the collectives see an exactly-once
+// in-order transport over a faulty wire.
+func lossyOptions(b stack.Backend, n int, seed uint64) stack.Options {
+	o := stack.DefaultOptions(b, n)
+	o.Faults = &fabric.FaultConfig{Drop: 0.01, Duplicate: 0.01, Corrupt: 0.01, Seed: seed}
+	rc := rel.DefaultConfig()
+	o.Rel = &rc
+	return o
 }
 
 // check is one verified collective call across all ranks: issue launches
@@ -55,155 +72,195 @@ type check struct {
 	verify func(t *testing.T)
 }
 
+// runCollectiveMatrix issues the full op × algorithm × root × size matrix on
+// an already-built deployment, runs the simulation to quiescence, and
+// verifies every result against the sequential reference.
+func runCollectiveMatrix(t *testing.T, s *stack.Stack, comms []*coll.Communicator) {
+	n := len(comms)
+	var checks []*check
+	mark := func(c *check, r int) func() {
+		return func() {
+			if c.done[r] {
+				t.Errorf("%s: rank %d completed twice", c.name, r)
+			}
+			c.done[r] = true
+		}
+	}
+	newCheck := func(name string) *check {
+		c := &check{name: name, done: make([]bool, n)}
+		checks = append(checks, c)
+		return c
+	}
+
+	roots := []int{0, n - 1}
+	if n > 8 {
+		roots = []int{n / 3}
+	}
+
+	// All operations are issued up front, in the same order on
+	// every rank; sequence numbers keep the concurrent
+	// collectives apart, which doubles as an interleaving
+	// stress test.
+	for _, algo := range coll.Algorithms(coll.OpBcast) {
+		for _, root := range roots {
+			for _, size := range testSizes {
+				c := newCheck(fmt.Sprintf("bcast/%v/root%d/%d", algo, root, size))
+				bufs := make([][]byte, n)
+				for r := 0; r < n; r++ {
+					if r == root {
+						bufs[r] = pattern(root, size)
+					} else {
+						bufs[r] = make([]byte, size)
+					}
+					comms[r].Bcast(buf.FromBytes(bufs[r]), root, algo, mark(c, r))
+				}
+				want := pattern(root, size)
+				c.verify = func(t *testing.T) {
+					for r := 0; r < n; r++ {
+						if !bytes.Equal(bufs[r], want) {
+							t.Errorf("%s: rank %d data mismatch", c.name, r)
+							return
+						}
+					}
+				}
+			}
+		}
+	}
+
+	for _, algo := range coll.Algorithms(coll.OpReduce) {
+		for _, root := range roots {
+			for _, size := range testSizes {
+				c := newCheck(fmt.Sprintf("reduce/%v/root%d/%d", algo, root, size))
+				dst := make([]byte, size)
+				for r := 0; r < n; r++ {
+					var d buf.Buf
+					if r == root {
+						d = buf.FromBytes(dst)
+					}
+					comms[r].Reduce(d, buf.FromBytes(pattern(r, size)),
+						coll.Sum, root, algo, mark(c, r))
+				}
+				want := make([]byte, size)
+				for r := 0; r < n; r++ {
+					for i, v := range pattern(r, size) {
+						want[i] += v
+					}
+				}
+				c.verify = func(t *testing.T) {
+					if !bytes.Equal(dst, want) {
+						t.Errorf("%s: root data mismatch", c.name)
+					}
+				}
+			}
+		}
+	}
+
+	for _, algo := range coll.Algorithms(coll.OpAllreduce) {
+		for _, size := range testSizes {
+			c := newCheck(fmt.Sprintf("allreduce/%v/%d", algo, size))
+			dsts := make([][]byte, n)
+			for r := 0; r < n; r++ {
+				dsts[r] = make([]byte, size)
+				comms[r].Allreduce(buf.FromBytes(dsts[r]),
+					buf.FromBytes(pattern(r, size)), coll.Sum, algo, mark(c, r))
+			}
+			want := make([]byte, size)
+			for r := 0; r < n; r++ {
+				for i, v := range pattern(r, size) {
+					want[i] += v
+				}
+			}
+			c.verify = func(t *testing.T) {
+				for r := 0; r < n; r++ {
+					if !bytes.Equal(dsts[r], want) {
+						t.Errorf("%s: rank %d data mismatch", c.name, r)
+						return
+					}
+				}
+			}
+		}
+	}
+
+	for _, algo := range coll.Algorithms(coll.OpAllgather) {
+		for _, size := range testSizes {
+			c := newCheck(fmt.Sprintf("allgather/%v/%d", algo, size))
+			dsts := make([][]byte, n)
+			for r := 0; r < n; r++ {
+				dsts[r] = make([]byte, size*int64(n))
+				comms[r].Allgather(buf.FromBytes(dsts[r]),
+					buf.FromBytes(pattern(r, size)), algo, mark(c, r))
+			}
+			want := make([]byte, 0, size*int64(n))
+			for r := 0; r < n; r++ {
+				want = append(want, pattern(r, size)...)
+			}
+			c.verify = func(t *testing.T) {
+				for r := 0; r < n; r++ {
+					if !bytes.Equal(dsts[r], want) {
+						t.Errorf("%s: rank %d data mismatch", c.name, r)
+						return
+					}
+				}
+			}
+		}
+	}
+
+	for _, algo := range coll.Algorithms(coll.OpBarrier) {
+		c := newCheck(fmt.Sprintf("barrier/%v", algo))
+		for r := 0; r < n; r++ {
+			comms[r].Barrier(algo, mark(c, r))
+		}
+		c.verify = func(*testing.T) {}
+	}
+
+	s.Eng.Run()
+	for _, c := range checks {
+		for r := 0; r < n; r++ {
+			if !c.done[r] {
+				t.Fatalf("%s: rank %d never completed", c.name, r)
+			}
+		}
+		c.verify(t)
+	}
+	for r := 0; r < n; r++ {
+		if err := comms[r].Err(); err != nil {
+			t.Fatalf("rank %d communicator failed: %v", r, err)
+		}
+	}
+}
+
 func TestCollectivesMatchSequentialReference(t *testing.T) {
 	for _, backend := range stack.Backends {
 		for _, n := range testRanks {
 			t.Run(fmt.Sprintf("%v/n%d", backend, n), func(t *testing.T) {
 				s, comms := buildComms(backend, n)
-				var checks []*check
-				mark := func(c *check, r int) func() {
-					return func() {
-						if c.done[r] {
-							t.Errorf("%s: rank %d completed twice", c.name, r)
-						}
-						c.done[r] = true
-					}
-				}
-				newCheck := func(name string) *check {
-					c := &check{name: name, done: make([]bool, n)}
-					checks = append(checks, c)
-					return c
-				}
+				runCollectiveMatrix(t, s, comms)
+			})
+		}
+	}
+}
 
-				roots := []int{0, n - 1}
-				if n > 8 {
-					roots = []int{n / 3}
+// TestCollectivesSurviveLossyFabric reruns the full matrix over a fabric
+// dropping, duplicating, and corrupting ~1% of messages each, with the
+// reliability layer restoring exactly-once in-order delivery. Results must
+// match the sequential reference bit for bit on both backends, and the
+// injected faults must actually have fired.
+func TestCollectivesSurviveLossyFabric(t *testing.T) {
+	lossyRanks := testRanks
+	if testing.Short() {
+		lossyRanks = []int{2, 4, 8}
+	}
+	for _, backend := range stack.Backends {
+		for _, n := range lossyRanks {
+			t.Run(fmt.Sprintf("%v/n%d", backend, n), func(t *testing.T) {
+				s, comms := buildCommsOpts(lossyOptions(backend, n, 0xC011))
+				runCollectiveMatrix(t, s, comms)
+				fs := s.Fab.FaultStats()
+				if fs.Dropped == 0 || fs.Duplicated == 0 || fs.Corrupted == 0 {
+					t.Fatalf("fault injection idle: %+v", fs)
 				}
-
-				// All operations are issued up front, in the same order on
-				// every rank; sequence numbers keep the concurrent
-				// collectives apart, which doubles as an interleaving
-				// stress test.
-				for _, algo := range coll.Algorithms(coll.OpBcast) {
-					for _, root := range roots {
-						for _, size := range testSizes {
-							c := newCheck(fmt.Sprintf("bcast/%v/root%d/%d", algo, root, size))
-							bufs := make([][]byte, n)
-							for r := 0; r < n; r++ {
-								if r == root {
-									bufs[r] = pattern(root, size)
-								} else {
-									bufs[r] = make([]byte, size)
-								}
-								comms[r].Bcast(buf.FromBytes(bufs[r]), root, algo, mark(c, r))
-							}
-							want := pattern(root, size)
-							c.verify = func(t *testing.T) {
-								for r := 0; r < n; r++ {
-									if !bytes.Equal(bufs[r], want) {
-										t.Errorf("%s: rank %d data mismatch", c.name, r)
-										return
-									}
-								}
-							}
-						}
-					}
-				}
-
-				for _, algo := range coll.Algorithms(coll.OpReduce) {
-					for _, root := range roots {
-						for _, size := range testSizes {
-							c := newCheck(fmt.Sprintf("reduce/%v/root%d/%d", algo, root, size))
-							dst := make([]byte, size)
-							for r := 0; r < n; r++ {
-								var d buf.Buf
-								if r == root {
-									d = buf.FromBytes(dst)
-								}
-								comms[r].Reduce(d, buf.FromBytes(pattern(r, size)),
-									coll.Sum, root, algo, mark(c, r))
-							}
-							want := make([]byte, size)
-							for r := 0; r < n; r++ {
-								for i, v := range pattern(r, size) {
-									want[i] += v
-								}
-							}
-							c.verify = func(t *testing.T) {
-								if !bytes.Equal(dst, want) {
-									t.Errorf("%s: root data mismatch", c.name)
-								}
-							}
-						}
-					}
-				}
-
-				for _, algo := range coll.Algorithms(coll.OpAllreduce) {
-					for _, size := range testSizes {
-						c := newCheck(fmt.Sprintf("allreduce/%v/%d", algo, size))
-						dsts := make([][]byte, n)
-						for r := 0; r < n; r++ {
-							dsts[r] = make([]byte, size)
-							comms[r].Allreduce(buf.FromBytes(dsts[r]),
-								buf.FromBytes(pattern(r, size)), coll.Sum, algo, mark(c, r))
-						}
-						want := make([]byte, size)
-						for r := 0; r < n; r++ {
-							for i, v := range pattern(r, size) {
-								want[i] += v
-							}
-						}
-						c.verify = func(t *testing.T) {
-							for r := 0; r < n; r++ {
-								if !bytes.Equal(dsts[r], want) {
-									t.Errorf("%s: rank %d data mismatch", c.name, r)
-									return
-								}
-							}
-						}
-					}
-				}
-
-				for _, algo := range coll.Algorithms(coll.OpAllgather) {
-					for _, size := range testSizes {
-						c := newCheck(fmt.Sprintf("allgather/%v/%d", algo, size))
-						dsts := make([][]byte, n)
-						for r := 0; r < n; r++ {
-							dsts[r] = make([]byte, size*int64(n))
-							comms[r].Allgather(buf.FromBytes(dsts[r]),
-								buf.FromBytes(pattern(r, size)), algo, mark(c, r))
-						}
-						want := make([]byte, 0, size*int64(n))
-						for r := 0; r < n; r++ {
-							want = append(want, pattern(r, size)...)
-						}
-						c.verify = func(t *testing.T) {
-							for r := 0; r < n; r++ {
-								if !bytes.Equal(dsts[r], want) {
-									t.Errorf("%s: rank %d data mismatch", c.name, r)
-									return
-								}
-							}
-						}
-					}
-				}
-
-				for _, algo := range coll.Algorithms(coll.OpBarrier) {
-					c := newCheck(fmt.Sprintf("barrier/%v", algo))
-					for r := 0; r < n; r++ {
-						comms[r].Barrier(algo, mark(c, r))
-					}
-					c.verify = func(*testing.T) {}
-				}
-
-				s.Eng.Run()
-				for _, c := range checks {
-					for r := 0; r < n; r++ {
-						if !c.done[r] {
-							t.Fatalf("%s: rank %d never completed", c.name, r)
-						}
-					}
-					c.verify(t)
+				if rs := s.Rel.Stats(); rs.Retransmits == 0 {
+					t.Fatalf("no retransmissions despite %d drops", fs.Dropped)
 				}
 			})
 		}

@@ -241,7 +241,8 @@ func (c *Communicator) postRecv(peer int, seq, slot uint32, b buf.Buf, onSeg fun
 // onCtl handles control active messages: eager payloads and CTS handles.
 func (c *Communicator) onCtl(_ core.Engine, _ core.Tag, data []byte, src int) {
 	if len(data) < ctlHeaderBytes {
-		panic(fmt.Sprintf("coll: short control message (%d bytes) at rank %d", len(data), c.e.Rank()))
+		c.fail(fmt.Errorf("coll: short control message (%d bytes) at rank %d", len(data), c.e.Rank()))
+		return
 	}
 	seq := binary.LittleEndian.Uint32(data[1:5])
 	slot := binary.LittleEndian.Uint32(data[5:9])
@@ -249,6 +250,11 @@ func (c *Communicator) onCtl(_ core.Engine, _ core.Tag, data []byte, src int) {
 	switch data[0] {
 	case kindEager:
 		size := int64(binary.LittleEndian.Uint64(data[9:17]))
+		if size < 0 || ctlHeaderBytes+size > int64(len(data)) {
+			c.fail(fmt.Errorf("coll: eager length %d exceeds %d-byte message at rank %d",
+				size, len(data), c.e.Rank()))
+			return
+		}
 		payload := data[ctlHeaderBytes : ctlHeaderBytes+size]
 		r, ok := c.recvs[k]
 		if !ok {
@@ -277,14 +283,15 @@ func (c *Communicator) onCtl(_ core.Engine, _ core.Tag, data []byte, src int) {
 			s.putSeg(i)
 		}
 	default:
-		panic(fmt.Sprintf("coll: unknown control kind %d at rank %d", data[0], c.e.Rank()))
+		c.fail(fmt.Errorf("coll: unknown control kind %d at rank %d", data[0], c.e.Rank()))
 	}
 }
 
 func (c *Communicator) deliverEager(r *recvState, payload []byte) {
 	if r.b.Size != int64(len(payload)) {
-		panic(fmt.Sprintf("coll: eager size mismatch for %+v at rank %d: posted %d, got %d",
+		c.fail(fmt.Errorf("coll: eager size mismatch for %+v at rank %d: posted %d, got %d",
 			r.k, c.e.Rank(), r.b.Size, len(payload)))
+		return
 	}
 	if r.b.Bytes != nil {
 		copy(r.b.Bytes, payload)
@@ -299,14 +306,21 @@ func (c *Communicator) deliverEager(r *recvState, payload []byte) {
 
 // onData handles a put remote-completion: one rendezvous segment landed.
 func (c *Communicator) onData(_ core.Engine, _ core.Tag, data []byte, src int) {
+	if len(data) != segDoneBytes {
+		c.fail(fmt.Errorf("coll: segment completion is %d bytes at rank %d, want %d",
+			len(data), c.e.Rank(), segDoneBytes))
+		return
+	}
 	seq := binary.LittleEndian.Uint32(data[0:4])
 	slot := binary.LittleEndian.Uint32(data[4:8])
 	seg := int(binary.LittleEndian.Uint32(data[8:12]))
 	k := key(src, seq, slot)
 	r, ok := c.recvs[k]
 	if !ok {
-		// Puts only flow after our CTS, so the receive must exist.
-		panic(fmt.Sprintf("coll: segment for unposted recv %+v at rank %d", k, c.e.Rank()))
+		// Puts only flow after our CTS, so the receive must exist — unless a
+		// failure already dropped the transfer state.
+		c.fail(fmt.Errorf("coll: segment for unposted recv %+v at rank %d", k, c.e.Rank()))
+		return
 	}
 	r.got++
 	if r.onSeg != nil {

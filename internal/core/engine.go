@@ -110,6 +110,17 @@ type Engine interface {
 	// utilization measurements).
 	CommProc() *sim.Proc
 
+	// OnError registers fn to run (on the engine's goroutine) when the
+	// engine hits an unrecoverable communication failure: the transport
+	// declared a peer unreachable, or a malformed header arrived on the
+	// wire. Every subscriber sees the first failure exactly once; the
+	// engine stops issuing new traffic afterwards. With no subscriber the
+	// failure panics — silence would be a hang.
+	OnError(fn func(error))
+
+	// Err returns the first unrecoverable failure, or nil.
+	Err() error
+
 	// Stats returns activity counters.
 	Stats() Stats
 }

@@ -21,6 +21,8 @@
 package lcice
 
 import (
+	"fmt"
+
 	"amtlci/internal/buf"
 	"amtlci/internal/core"
 	"amtlci/internal/lci"
@@ -106,13 +108,23 @@ type Engine struct {
 	amQ   []handle
 	bulkQ []handle
 	// deferred holds operations that hit ErrRetry and retry on the
-	// communication thread (§5.3.3).
-	deferred []func() error
+	// communication thread (§5.3.3), in issue order.
+	deferred []deferredOp
 
 	drainScheduled bool
 	progScheduled  bool
 	nextDataTag    int32
 	stats          core.Stats
+
+	errFns []func(error)
+	failed error
+}
+
+// deferredOp is one back-pressured operation awaiting retry; peer records
+// the destination so a dead peer's operations can be purged.
+type deferredOp struct {
+	peer int
+	fn   func() error
 }
 
 var _ core.Engine = (*Engine)(nil)
@@ -141,6 +153,9 @@ func New(eng *sim.Engine, rt *lci.Runtime, rank int, cfg Config) *Engine {
 	e.ep.SetWake(e.scheduleProgress)
 	e.ep.SetMsgComp(lci.Handler(e.onMsg))
 	e.ep.SetRMAComp(lci.Handler(e.onRMA))
+	e.ep.SetErrHandler(func(peer int, err error) {
+		e.fail(peer, fmt.Errorf("lcice rank %d: %w", rank, err))
+	})
 	return e
 }
 
@@ -149,7 +164,10 @@ func New(eng *sim.Engine, rt *lci.Runtime, rank int, cfg Config) *Engine {
 func (e *Engine) onRMA(r lci.Request) {
 	h, err := core.UnmarshalPutHeader(r.Data.Bytes)
 	if err != nil {
-		panic(err) // RMA metadata only ever comes from a peer engine
+		// RMA metadata only ever comes from a peer engine, so a malformed
+		// header means that peer is broken — abort, don't crash the rank.
+		e.fail(r.Rank, fmt.Errorf("lcice rank %d: bad put metadata from %d: %w", e.Rank(), r.Rank, err))
+		return
 	}
 	e.deliverRemoteCompletion(h.RTag, append([]byte(nil), h.RCBData...), r.Rank)
 }
@@ -169,6 +187,68 @@ func (e *Engine) ProgProc() *sim.Proc { return e.prog }
 
 // Stats returns activity counters.
 func (e *Engine) Stats() core.Stats { return e.stats }
+
+// OnError registers an unrecoverable-failure subscriber.
+func (e *Engine) OnError(fn func(error)) { e.errFns = append(e.errFns, fn) }
+
+// Err returns the first unrecoverable failure, or nil.
+func (e *Engine) Err() error { return e.failed }
+
+// fail records the first unrecoverable failure and notifies subscribers.
+// Deferred operations headed for the dead peer are purged — they can never
+// succeed and would otherwise keep the retry queue (and the safety-net
+// timer) alive forever. peer < 0 means the failure is not attributable to
+// one peer.
+func (e *Engine) fail(peer int, err error) {
+	if e.failed != nil {
+		return
+	}
+	e.failed = err
+	if peer >= 0 {
+		kept := e.deferred[:0]
+		for _, op := range e.deferred {
+			if op.peer == peer {
+				continue
+			}
+			kept = append(kept, op)
+		}
+		for i := len(kept); i < len(e.deferred); i++ {
+			e.deferred[i] = deferredOp{}
+		}
+		e.deferred = kept
+	}
+	if len(e.errFns) == 0 {
+		panic(err)
+	}
+	for _, fn := range e.errFns {
+		fn(err)
+	}
+}
+
+// attempt issues op toward peer, honoring back-pressure and the deferred
+// queue's FIFO discipline: once one operation has been deferred, every
+// later operation queues behind it instead of stealing the resources its
+// retry is waiting for (the starvation the §5.3.3 delegation would
+// otherwise allow). Safe because in-flight LCI operations complete without
+// new engine submissions, so the queue head always eventually succeeds.
+func (e *Engine) attempt(peer int, op func() error) {
+	if e.failed != nil {
+		return
+	}
+	if len(e.deferred) > 0 {
+		e.stats.Deferred++
+		e.pushDeferred(peer, op)
+		return
+	}
+	if err := op(); err != nil {
+		if err == lci.ErrRetry {
+			e.stats.Deferred++
+			e.pushDeferred(peer, op)
+			return
+		}
+		e.fail(peer, fmt.Errorf("lcice rank %d: send to %d: %w", e.Rank(), peer, err))
+	}
+}
 
 // MemReg registers b for remote puts.
 func (e *Engine) MemReg(b buf.Buf) core.MemHandle {
@@ -241,11 +321,7 @@ func (e *Engine) SendAMMT(worker *sim.Proc, tag core.Tag, remote int, data []byt
 // sendEagerWithRetry issues an Immediate/Buffered send, deferring to the
 // communication thread's retry queue on back-pressure.
 func (e *Engine) sendEagerWithRetry(remote, tag int, b buf.Buf) {
-	err := e.eagerSend(remote, tag, b)
-	if err == lci.ErrRetry {
-		e.stats.Deferred++
-		e.pushDeferred(func() error { return e.eagerSend(remote, tag, b) })
-	}
+	e.attempt(remote, func() error { return e.eagerSend(remote, tag, b) })
 }
 
 func (e *Engine) eagerSend(remote, tag int, b buf.Buf) error {
@@ -259,6 +335,9 @@ func (e *Engine) eagerSend(remote, tag int, b buf.Buf) error {
 // default, or the true one-sided Putd when NativePut is set. Must run on
 // the communication thread.
 func (e *Engine) Put(a core.PutArgs) {
+	if e.failed != nil {
+		return
+	}
 	e.stats.PutsStarted++
 	e.stats.PutBytes += uint64(a.Size)
 	local := e.reg.Lookup(a.LReg).Slice(a.LDispl, a.Size)
@@ -275,14 +354,10 @@ func (e *Engine) Put(a core.PutArgs) {
 			}})
 		})
 		e.Submit(cfg.PostCost, func() {
-			send := func() error {
+			e.attempt(a.Remote, func() error {
 				return e.ep.Putd(a.Remote, lci.RMAKey{ID: a.RReg.ID}, a.RDispl,
 					local, meta, comp, nil)
-			}
-			if err := send(); err == lci.ErrRetry {
-				e.stats.Deferred++
-				e.pushDeferred(send)
-			}
+			})
 		})
 		return
 	}
@@ -296,19 +371,13 @@ func (e *Engine) Put(a core.PutArgs) {
 		}.Marshal()
 		hb := buf.FromBytes(hdr)
 		e.Submit(cfg.SendCost(hb.Size+a.Size), func() {
-			send := func() error { return e.ep.Sendmx(a.Remote, hsTag, hb, local) }
-			if err := send(); err == lci.ErrRetry {
-				e.stats.Deferred++
-				e.pushDeferred(func() error {
-					if err := send(); err != nil {
-						return err
-					}
-					e.finishEagerPut(a.LocalCB)
-					return nil
-				})
-				return
-			}
-			e.finishEagerPut(a.LocalCB)
+			e.attempt(a.Remote, func() error {
+				if err := e.ep.Sendmx(a.Remote, hsTag, hb, local); err != nil {
+					return err
+				}
+				e.finishEagerPut(a.LocalCB)
+				return nil
+			})
 		})
 		return
 	}
@@ -321,10 +390,7 @@ func (e *Engine) Put(a core.PutArgs) {
 	}.Marshal()
 	hb := buf.FromBytes(hdr)
 	e.Submit(cfg.SendCost(hb.Size), func() {
-		if err := e.ep.Sendm(a.Remote, hsTag, hb); err == lci.ErrRetry {
-			e.stats.Deferred++
-			e.pushDeferred(func() error { return e.ep.Sendm(a.Remote, hsTag, hb) })
-		}
+		e.attempt(a.Remote, func() error { return e.ep.Sendm(a.Remote, hsTag, hb) })
 	})
 	// Completion handler runs on the progress thread; it only pushes the
 	// callback handle to the bulk FIFO (§5.3.3).
@@ -337,11 +403,7 @@ func (e *Engine) Put(a core.PutArgs) {
 		}})
 	})
 	e.Submit(cfg.PostCost, func() {
-		send := func() error { return e.ep.Sendd(a.Remote, dataTag, local, comp, nil) }
-		if err := send(); err == lci.ErrRetry {
-			e.stats.Deferred++
-			e.pushDeferred(send)
-		}
+		e.attempt(a.Remote, func() error { return e.ep.Sendd(a.Remote, dataTag, local, comp, nil) })
 	})
 }
 
@@ -375,7 +437,8 @@ func (e *Engine) onMsg(r lci.Request) {
 	// Put handshake: specialized path bypassing the AM hash table (§5.3.3).
 	h, err := core.UnmarshalPutHeader(r.Data.Bytes)
 	if err != nil {
-		panic(err) // handshakes only ever come from a peer engine
+		e.fail(r.Rank, fmt.Errorf("lcice rank %d: bad put handshake from %d: %w", e.Rank(), r.Rank, err))
+		return
 	}
 	target := e.reg.Lookup(h.RReg).Slice(h.RDispl, h.Size)
 	src := r.Rank
@@ -388,17 +451,14 @@ func (e *Engine) onMsg(r lci.Request) {
 		return
 	}
 
-	post := func() error {
+	// §5.3.3: on back-pressure the progress thread must not spin or recurse
+	// into progress; attempt delegates the post to the communication
+	// thread's retry queue (and keeps it FIFO with earlier deferrals).
+	e.attempt(src, func() error {
 		return e.ep.Recvd(src, int(h.DataTag), target, lci.Handler(func(lci.Request) {
 			e.deliverRemoteCompletion(h.RTag, rcb, src)
 		}), nil)
-	}
-	if err := post(); err == lci.ErrRetry {
-		// §5.3.3: the progress thread must not spin or recurse into
-		// progress; delegate the post to the communication thread.
-		e.stats.Deferred++
-		e.pushDeferred(post)
-	}
+	})
 }
 
 // deliverRemoteCompletion pushes the remote-completion callback handle to
@@ -418,8 +478,8 @@ func (e *Engine) pushBulk(h handle) {
 	e.scheduleDrain()
 }
 
-func (e *Engine) pushDeferred(fn func() error) {
-	e.deferred = append(e.deferred, fn)
+func (e *Engine) pushDeferred(peer int, fn func() error) {
+	e.deferred = append(e.deferred, deferredOp{peer: peer, fn: fn})
 	e.scheduleDrain()
 }
 
@@ -478,14 +538,28 @@ func (e *Engine) drain() {
 	}
 	e.bulkQ = e.bulkQ[:0]
 
-	// Retry deferred operations; those that still fail stay queued. Snapshot
-	// first: a retried operation may itself defer follow-up work.
+	// Retry deferred operations in arrival order. Snapshot first: a retried
+	// operation may itself defer follow-up work (pushDeferred during fn),
+	// and that new work must land BEHIND the still-unsatisfied retries —
+	// rebuilding the queue as [failed retries, then new deferrals] keeps it
+	// FIFO by first-deferral time. A non-back-pressure error aborts.
 	pend := e.deferred
 	e.deferred = nil
-	for _, fn := range pend {
-		if err := fn(); err == lci.ErrRetry {
-			e.deferred = append(e.deferred, fn)
+	var kept []deferredOp
+	for _, op := range pend {
+		if e.failed != nil {
+			break
 		}
+		if err := op.fn(); err != nil {
+			if err == lci.ErrRetry {
+				kept = append(kept, op)
+			} else {
+				e.fail(op.peer, fmt.Errorf("lcice rank %d: deferred send to %d: %w", e.Rank(), op.peer, err))
+			}
+		}
+	}
+	if e.failed == nil {
+		e.deferred = append(kept, e.deferred...)
 	}
 
 	if len(e.amQ) > 0 || len(e.bulkQ) > 0 {

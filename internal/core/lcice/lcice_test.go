@@ -1,6 +1,7 @@
 package lcice
 
 import (
+	"bytes"
 	"testing"
 
 	"amtlci/internal/buf"
@@ -11,11 +12,19 @@ import (
 )
 
 func harness(n int, cfg Config) (*sim.Engine, []*Engine) {
+	return harnessLCI(n, cfg, lci.DefaultConfig())
+}
+
+// harnessLCI is harness with an explicit LCI library configuration.
+func harnessLCI(n int, cfg Config, lcfg lci.Config) (*sim.Engine, []*Engine) {
 	eng := sim.NewEngine()
 	fc := fabric.DefaultConfig()
 	fc.Jitter = 0
-	fab := fabric.New(eng, n, fc)
-	rt := lci.NewRuntime(eng, fab, lci.DefaultConfig())
+	fab, err := fabric.New(eng, n, fc)
+	if err != nil {
+		panic(err)
+	}
+	rt := lci.NewRuntime(eng, fab, lcfg)
 	engines := make([]*Engine, n)
 	for i := range engines {
 		engines[i] = New(eng, rt, i, cfg)
@@ -65,7 +74,7 @@ func TestDeferredOperationsRetry(t *testing.T) {
 	eng, engines := harness(2, DefaultConfig())
 	e := engines[0]
 	tries := 0
-	e.pushDeferred(func() error {
+	e.pushDeferred(1, func() error {
 		tries++
 		if tries < 3 {
 			return lci.ErrRetry
@@ -122,5 +131,59 @@ func TestEagerPutDataRidesHandshake(t *testing.T) {
 	}
 	if src.Stats().PutsDone != 1 {
 		t.Fatalf("stats %+v", src.Stats())
+	}
+}
+
+// TestDeferredPutsStayFIFOUnderStarvation cuts the LCI Direct pool to a
+// single slot so that every rendezvous put beyond the first hits ErrRetry
+// and lands on the communication thread's deferred queue. Sustained
+// starvation must drain that queue in FIFO order — no put dropped, none
+// reordered, and no freshly issued operation overtaking an older deferral.
+func TestDeferredPutsStayFIFOUnderStarvation(t *testing.T) {
+	lcfg := lci.DefaultConfig()
+	lcfg.MaxDirect = 1
+	eng, engines := harnessLCI(2, DefaultConfig(), lcfg)
+	src, dst := engines[0], engines[1]
+	const nputs = 8
+	const size = int64(9000) // > EagerPutMax: forces the rendezvous path
+	const doneTag core.Tag = 9
+	var order []int
+	for _, e := range engines {
+		e.TagReg(doneTag, func(_ core.Engine, _ core.Tag, data []byte, _ int) {
+			order = append(order, int(data[0]))
+		}, 8)
+	}
+	targets := make([][]byte, nputs)
+	payloads := make([][]byte, nputs)
+	for i := 0; i < nputs; i++ {
+		payloads[i] = make([]byte, size)
+		for j := range payloads[i] {
+			payloads[i][j] = byte(i*37 + j)
+		}
+		targets[i] = make([]byte, size)
+		lreg := src.MemReg(buf.FromBytes(payloads[i]))
+		rreg := dst.MemReg(buf.FromBytes(targets[i]))
+		i := i
+		src.Submit(0, func() {
+			src.Put(core.PutArgs{LReg: lreg, RReg: rreg, Size: size, Remote: 1,
+				RTag: doneTag, RCBData: []byte{byte(i)}})
+		})
+	}
+	eng.Run()
+	if len(order) != nputs {
+		t.Fatalf("%d of %d puts completed: %v", len(order), nputs, order)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("completion order %v is not FIFO", order)
+		}
+	}
+	for i := range targets {
+		if !bytes.Equal(targets[i], payloads[i]) {
+			t.Fatalf("put %d payload corrupted", i)
+		}
+	}
+	if src.Stats().Deferred == 0 && dst.Stats().Deferred == 0 {
+		t.Fatal("Direct-pool starvation never deferred an operation")
 	}
 }

@@ -133,6 +133,9 @@ type Engine struct {
 	progressScheduled bool
 	nextDataTag       int32
 	stats             core.Stats
+
+	errFns []func(error)
+	failed error
 }
 
 var _ core.Engine = (*Engine)(nil)
@@ -154,6 +157,9 @@ func New(eng *sim.Engine, w *mpi.World, rank int, cfg Config) *Engine {
 	}
 	e.comm.WakeLatency = cfg.WakeLatency
 	e.rank.SetWake(e.schedule)
+	e.rank.SetErrHandler(func(peer int, err error) {
+		e.fail(peer, fmt.Errorf("mpice rank %d: %w", rank, err))
+	})
 	// The engine registers its put handshake like any other active message
 	// (§4.2.2: "The origin process of the put sends an active message...").
 	e.TagReg(handshakeTag, e.onHandshake, 0)
@@ -171,6 +177,42 @@ func (e *Engine) CommProc() *sim.Proc { return e.comm }
 
 // Stats returns activity counters.
 func (e *Engine) Stats() core.Stats { return e.stats }
+
+// OnError registers an unrecoverable-failure subscriber.
+func (e *Engine) OnError(fn func(error)) { e.errFns = append(e.errFns, fn) }
+
+// Err returns the first unrecoverable failure, or nil.
+func (e *Engine) Err() error { return e.failed }
+
+// fail records the first unrecoverable failure and notifies subscribers.
+// Deferred sends headed for the dead peer are purged so the refill loop does
+// not keep feeding traffic into a black hole; peer < 0 means the failure is
+// not attributable to one peer.
+func (e *Engine) fail(peer int, err error) {
+	if e.failed != nil {
+		return
+	}
+	e.failed = err
+	if peer >= 0 {
+		kept := e.pending[:0]
+		for _, op := range e.pending {
+			if op.kind == pendingSend && op.dst == peer {
+				continue
+			}
+			kept = append(kept, op)
+		}
+		for i := len(kept); i < len(e.pending); i++ {
+			e.pending[i] = pendingOp{}
+		}
+		e.pending = kept
+	}
+	if len(e.errFns) == 0 {
+		panic(err)
+	}
+	for _, fn := range e.errFns {
+		fn(err)
+	}
+}
 
 // MemReg registers b for remote puts. In RMA mode the buffer is also
 // attached to the rank's dynamic window, paying the attach cost on the
@@ -217,6 +259,9 @@ func (e *Engine) TagReg(tag core.Tag, cb core.AMCallback, maxLen int64) {
 func (e *Engine) SendAM(tag core.Tag, remote int, data []byte) {
 	b := buf.FromBytes(data)
 	e.Submit(e.w.Config().SendCost(b.Size), func() {
+		if e.failed != nil {
+			return
+		}
 		e.rank.Send(b, remote, int(tag))
 		e.stats.AMsSent++
 	})
@@ -244,6 +289,9 @@ func (e *Engine) Submit(cost sim.Duration, fn func()) { e.comm.Submit(cost, fn) 
 // Put starts the emulated one-sided transfer (§4.2.2). Must run on the
 // communication thread.
 func (e *Engine) Put(a core.PutArgs) {
+	if e.failed != nil {
+		return
+	}
 	e.stats.PutsStarted++
 	e.stats.PutBytes += uint64(a.Size)
 	local := e.reg.Lookup(a.LReg).Slice(a.LDispl, a.Size)
@@ -311,7 +359,10 @@ func (e *Engine) putRMA(a core.PutArgs, local buf.Buf) {
 func (e *Engine) onHandshake(_ core.Engine, _ core.Tag, data []byte, src int) {
 	h, err := core.UnmarshalPutHeader(data)
 	if err != nil {
-		panic(err) // handshakes only ever come from a peer engine
+		// Handshakes only ever come from a peer engine, so a malformed one
+		// means that peer is broken — abort the graph, don't crash the rank.
+		e.fail(src, fmt.Errorf("mpice rank %d: bad put handshake from %d: %w", e.Rank(), src, err))
+		return
 	}
 	target := e.reg.Lookup(h.RReg).Slice(h.RDispl, h.Size)
 	rcb := append([]byte(nil), h.RCBData...)

@@ -14,7 +14,10 @@ func harness(n int, cfg Config) (*sim.Engine, []*Engine) {
 	eng := sim.NewEngine()
 	fc := fabric.DefaultConfig()
 	fc.Jitter = 0
-	fab := fabric.New(eng, n, fc)
+	fab, err := fabric.New(eng, n, fc)
+	if err != nil {
+		panic(err)
+	}
 	mcfg := mpi.DefaultConfig()
 	mcfg.AllowOvertaking = true
 	w := mpi.NewWorld(eng, fab, mcfg)
@@ -128,7 +131,10 @@ func TestRMAModeSkipsHandshakeTraffic(t *testing.T) {
 		eng := sim.NewEngine()
 		fc := fabric.DefaultConfig()
 		fc.Jitter = 0
-		fab := fabric.New(eng, 2, fc)
+		fab, err := fabric.New(eng, 2, fc)
+		if err != nil {
+			panic(err)
+		}
 		w := mpi.NewWorld(eng, fab, mpi.DefaultConfig())
 		var engines []*Engine
 		for i := 0; i < 2; i++ {

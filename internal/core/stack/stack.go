@@ -13,6 +13,7 @@ import (
 	"amtlci/internal/fabric"
 	"amtlci/internal/lci"
 	"amtlci/internal/mpi"
+	"amtlci/internal/rel"
 	"amtlci/internal/sim"
 )
 
@@ -53,6 +54,15 @@ type Options struct {
 	MPICE  mpice.Config
 	LCI    lci.Config
 	LCICE  lcice.Config
+
+	// Faults, when non-nil, arms deterministic fault injection on the
+	// fabric (chaos testing). Pair it with Rel — the communication
+	// libraries assume a lossless wire.
+	Faults *fabric.FaultConfig
+	// Rel, when non-nil, interposes the reliable-delivery layer
+	// (internal/rel) between the fabric and the communication library.
+	// Zero-cost when absent: the libraries bind straight to the fabric.
+	Rel *rel.Config
 }
 
 // DefaultOptions returns the paper-calibrated configuration for n ranks.
@@ -78,13 +88,21 @@ type Stack struct {
 	Backend Backend
 	Engines []core.Engine
 
+	// Net is what the communication library is bound to: the raw fabric,
+	// or Rel when the reliability layer is interposed.
+	Net fabric.Network
+	// Rel is the reliability layer, nil unless Options.Rel was set.
+	Rel *rel.Stack
+
 	// Library handles, populated for the matching backend only (for
 	// counter inspection in tests and experiments).
 	MPIWorld   *mpi.World
 	LCIRuntime *lci.Runtime
 }
 
-// Build assembles a deployment from o.
+// Build assembles a deployment from o. Invalid options panic: every caller
+// is a test, bench, or command-line tool for which a stack that cannot be
+// built is a programming error.
 func Build(o Options) *Stack {
 	if o.Ranks <= 0 {
 		panic("stack: Ranks must be positive")
@@ -97,17 +115,35 @@ func Build(o Options) *Stack {
 	if o.Seed != 0 {
 		fc.Seed = o.Seed
 	}
-	fab := fabric.New(eng, o.Ranks, fc)
+	fab, err := fabric.New(eng, o.Ranks, fc)
+	if err != nil {
+		panic(err)
+	}
+	if o.Faults != nil {
+		if err := fab.InstallFaults(*o.Faults); err != nil {
+			panic(err)
+		}
+	}
 	s := &Stack{Eng: eng, Fab: fab, Backend: o.Backend}
+	var net fabric.Network = fab
+	if o.Rel != nil {
+		rl, err := rel.New(fab, *o.Rel)
+		if err != nil {
+			panic(err)
+		}
+		s.Rel = rl
+		net = rl
+	}
+	s.Net = net
 	s.Engines = make([]core.Engine, o.Ranks)
 	switch o.Backend {
 	case MPI:
-		s.MPIWorld = mpi.NewWorld(eng, fab, o.MPI)
+		s.MPIWorld = mpi.NewWorld(eng, net, o.MPI)
 		for r := 0; r < o.Ranks; r++ {
 			s.Engines[r] = mpice.New(eng, s.MPIWorld, r, o.MPICE)
 		}
 	case LCI:
-		s.LCIRuntime = lci.NewRuntime(eng, fab, o.LCI)
+		s.LCIRuntime = lci.NewRuntime(eng, net, o.LCI)
 		for r := 0; r < o.Ranks; r++ {
 			s.Engines[r] = lcice.New(eng, s.LCIRuntime, r, o.LCICE)
 		}

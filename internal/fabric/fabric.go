@@ -55,6 +55,29 @@ type Config struct {
 	Seed uint64
 }
 
+// Validate reports the first nonsensical hardware parameter, or nil. Zero
+// latencies and gaps are legal (an idealized fabric); negative durations,
+// non-positive bandwidth and out-of-range jitter are not.
+func (c Config) Validate() error {
+	switch {
+	case c.BandwidthGbps <= 0:
+		return fmt.Errorf("fabric: bandwidth must be positive, got %g Gbit/s", c.BandwidthGbps)
+	case c.Latency < 0:
+		return fmt.Errorf("fabric: negative wire latency %v", c.Latency)
+	case c.MessageGap < 0:
+		return fmt.Errorf("fabric: negative message gap %v", c.MessageGap)
+	case c.RxOverhead < 0:
+		return fmt.Errorf("fabric: negative rx overhead %v", c.RxOverhead)
+	case c.LoopbackLatency < 0:
+		return fmt.Errorf("fabric: negative loopback latency %v", c.LoopbackLatency)
+	case c.CtlBypass < 0:
+		return fmt.Errorf("fabric: negative control-lane cutoff %d", c.CtlBypass)
+	case c.Jitter < 0 || c.Jitter >= 1:
+		return fmt.Errorf("fabric: jitter %g outside [0,1)", c.Jitter)
+	}
+	return nil
+}
+
 // DefaultConfig returns parameters calibrated against Table 1 and the
 // NetPIPE baseline of Figure 2a: ~100 Gbit/s peak one-direction bandwidth,
 // ~200 Gbit/s bidirectional, microsecond-scale small-message latency.
@@ -82,6 +105,12 @@ type Message struct {
 	Meta     any
 	Sent     sim.Time // stamped by Send
 
+	// Corrupted marks a message damaged in flight by fault injection (the
+	// wire-level CRC the model elides would have failed). A reliability
+	// layer must discard it; when the payload is real, one byte of a
+	// private copy has been flipped.
+	Corrupted bool
+
 	// OnTx, if non-nil, runs when the source NIC has finished reading the
 	// message out of memory (egress serialization complete). This is the
 	// point at which a zero-copy sender may reuse its buffer — the local
@@ -91,6 +120,21 @@ type Message struct {
 
 // Handler receives delivered messages at a rank.
 type Handler func(*Message)
+
+// Network is the transport surface the communication libraries bind to: the
+// raw Fabric, or a reliability layer (internal/rel) wrapped around it.
+type Network interface {
+	Ranks() int
+	SetHandler(rank int, h Handler)
+	Send(m *Message)
+}
+
+// ErrNotifier is implemented by transports that can declare a peer dead (the
+// raw lossless Fabric never does). fn runs on the owning engine's goroutine
+// when rank's traffic toward peer exhausts its retry budget.
+type ErrNotifier interface {
+	SetErrHandler(rank int, fn func(peer int, err error))
+}
 
 // DebugSend, when non-nil, observes every Send (calibration tooling).
 var DebugSend func(*Message)
@@ -116,23 +160,24 @@ type Fabric struct {
 	cfg   Config
 	ports []*port
 	rng   *sim.RNG
+	inj   *injector
 }
 
-// New builds a fabric with n ranks on eng. It panics for n <= 0 or a
-// non-positive bandwidth.
-func New(eng *sim.Engine, n int, cfg Config) *Fabric {
+// New builds a fabric with n ranks on eng. It returns a descriptive error
+// for n <= 0 or an invalid Config.
+func New(eng *sim.Engine, n int, cfg Config) (*Fabric, error) {
 	if n <= 0 {
-		panic("fabric: need at least one rank")
+		return nil, fmt.Errorf("fabric: need at least one rank, got %d", n)
 	}
-	if cfg.BandwidthGbps <= 0 {
-		panic("fabric: bandwidth must be positive")
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	f := &Fabric{eng: eng, cfg: cfg, rng: sim.NewRNG(cfg.Seed)}
 	f.ports = make([]*port, n)
 	for i := range f.ports {
 		f.ports[i] = &port{tx: sim.NewProc(eng), rx: sim.NewProc(eng)}
 	}
-	return f
+	return f, nil
 }
 
 // Ranks returns the number of ranks.
@@ -203,6 +248,42 @@ func (f *Fabric) Send(m *Message) {
 	wire := f.rng.Jitter(f.cfg.Latency, f.cfg.Jitter)
 	ser := f.SerializeTime(m.Size)
 
+	// Fault injection. A dropped message still charges the transmit engine
+	// and fires OnTx — the NIC did its work; the wire lost the packet.
+	copies := 1
+	var dupGap sim.Duration
+	if f.inj != nil {
+		ft := f.inj.judge(m.Src, m.Dst, f.eng.Now())
+		if ft.bwFactor < 1 {
+			ser = sim.Duration(float64(ser) / ft.bwFactor)
+		}
+		wire += ft.extra
+		if ft.reorder {
+			f.inj.stats.Reordered++
+		}
+		if ft.corrupt {
+			f.inj.stats.Corrupted++
+			m.Corrupted = true
+			if m.Payload != nil {
+				p := append([]byte(nil), m.Payload...)
+				p[ft.corruptAt%len(p)] ^= 0xA5
+				m.Payload = p
+			}
+		}
+		switch {
+		case ft.drop:
+			copies = 0
+			f.inj.stats.Dropped++
+			if ft.sever {
+				f.inj.stats.Severed++
+			}
+		case ft.dup:
+			copies = 2
+			dupGap = f.inj.dupDelay
+			f.inj.stats.Duplicated++
+		}
+	}
+
 	// Control lane: small messages interleave between bulk packets instead
 	// of queueing behind whole transfers (round-robin queue-pair service).
 	if m.Size <= f.cfg.CtlBypass {
@@ -210,7 +291,9 @@ func (f *Fabric) Send(m *Message) {
 			if m.OnTx != nil {
 				m.OnTx()
 			}
-			f.eng.After(wire+f.cfg.RxOverhead, func() { f.deliver(m) })
+			for c := 0; c < copies; c++ {
+				f.eng.After(wire+f.cfg.RxOverhead+sim.Duration(c)*dupGap, func() { f.deliver(m) })
+			}
 		})
 		return
 	}
@@ -224,13 +307,15 @@ func (f *Fabric) Send(m *Message) {
 		if m.OnTx != nil {
 			m.OnTx()
 		}
-		f.eng.After(wire, func() {
-			dst := f.ports[m.Dst]
-			dst.rx.Submit(f.cfg.RxOverhead, func() { f.deliver(m) })
-			if ser > 0 {
-				dst.rx.Submit(ser, nil)
-			}
-		})
+		for c := 0; c < copies; c++ {
+			f.eng.After(wire+sim.Duration(c)*dupGap, func() {
+				dst := f.ports[m.Dst]
+				dst.rx.Submit(f.cfg.RxOverhead, func() { f.deliver(m) })
+				if ser > 0 {
+					dst.rx.Submit(ser, nil)
+				}
+			})
+		}
 	})
 }
 

@@ -13,9 +13,17 @@ func quietConfig() Config {
 	return c
 }
 
+func mustNew(eng *sim.Engine, n int, cfg Config) *Fabric {
+	f, err := New(eng, n, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
 func TestSerializeTime(t *testing.T) {
 	eng := sim.NewEngine()
-	f := New(eng, 2, quietConfig())
+	f := mustNew(eng, 2, quietConfig())
 	// 100 Gbit/s = 80 ps/byte.
 	if got := f.SerializeTime(1); got != 80 {
 		t.Errorf("SerializeTime(1) = %v ps, want 80", int64(got))
@@ -31,7 +39,7 @@ func TestSerializeTime(t *testing.T) {
 func TestSingleMessageEndToEnd(t *testing.T) {
 	eng := sim.NewEngine()
 	cfg := quietConfig()
-	f := New(eng, 2, cfg)
+	f := mustNew(eng, 2, cfg)
 	var arrived sim.Time
 	f.SetHandler(1, func(m *Message) { arrived = eng.Now() })
 	f.SetHandler(0, func(m *Message) {})
@@ -47,7 +55,7 @@ func TestSingleMessageEndToEnd(t *testing.T) {
 
 func TestPayloadDelivery(t *testing.T) {
 	eng := sim.NewEngine()
-	f := New(eng, 2, quietConfig())
+	f := mustNew(eng, 2, quietConfig())
 	payload := []byte{1, 2, 3, 4}
 	var got []byte
 	f.SetHandler(1, func(m *Message) { got = m.Payload })
@@ -65,7 +73,7 @@ func TestPayloadSizeMismatchPanics(t *testing.T) {
 		}
 	}()
 	eng := sim.NewEngine()
-	f := New(eng, 2, quietConfig())
+	f := mustNew(eng, 2, quietConfig())
 	f.Send(&Message{Src: 0, Dst: 1, Size: 8, Payload: []byte{1}})
 }
 
@@ -74,7 +82,7 @@ func TestStreamAchievesLinkBandwidth(t *testing.T) {
 	// bandwidth: tx and rx serialization pipeline rather than add.
 	eng := sim.NewEngine()
 	cfg := quietConfig()
-	f := New(eng, 2, cfg)
+	f := mustNew(eng, 2, cfg)
 	const msgSize = 1 << 20
 	const count = 64
 	var last sim.Time
@@ -97,7 +105,7 @@ func TestFullDuplexDirectionsIndependent(t *testing.T) {
 	// Simultaneous opposite streams should each get full bandwidth.
 	eng := sim.NewEngine()
 	cfg := quietConfig()
-	f := New(eng, 2, cfg)
+	f := mustNew(eng, 2, cfg)
 	const msgSize = 1 << 20
 	const count = 32
 	var done [2]sim.Time
@@ -121,7 +129,7 @@ func TestIngressContention(t *testing.T) {
 	// delivered bandwidth stays ~BandwidthGbps, not 2x.
 	eng := sim.NewEngine()
 	cfg := quietConfig()
-	f := New(eng, 3, cfg)
+	f := mustNew(eng, 3, cfg)
 	const msgSize = 1 << 20
 	const count = 32
 	var last sim.Time
@@ -140,7 +148,7 @@ func TestIngressContention(t *testing.T) {
 func TestSelfSendLoopback(t *testing.T) {
 	eng := sim.NewEngine()
 	cfg := quietConfig()
-	f := New(eng, 1, cfg)
+	f := mustNew(eng, 1, cfg)
 	var at sim.Time
 	f.SetHandler(0, func(m *Message) { at = eng.Now() })
 	f.Send(&Message{Src: 0, Dst: 0, Size: 1 << 30}) // size must not matter
@@ -155,7 +163,7 @@ func TestBulkLaneOrderPreservedPerPair(t *testing.T) {
 	// interleave (multi-queue-pair hardware has no cross-lane ordering).
 	eng := sim.NewEngine()
 	cfg := quietConfig()
-	f := New(eng, 2, cfg)
+	f := mustNew(eng, 2, cfg)
 	var got []int
 	f.SetHandler(1, func(m *Message) { got = append(got, m.Meta.(int)) })
 	for i := 0; i < 50; i++ {
@@ -174,7 +182,7 @@ func TestControlLaneBypassesBulkQueue(t *testing.T) {
 	// must not wait for them (the CTS-starvation scenario).
 	eng := sim.NewEngine()
 	cfg := quietConfig()
-	f := New(eng, 2, cfg)
+	f := mustNew(eng, 2, cfg)
 	var ctlAt sim.Time
 	f.SetHandler(1, func(m *Message) {
 		if m.Meta == "ctl" {
@@ -199,7 +207,7 @@ func TestStatsConservation(t *testing.T) {
 	// and per-rank counters are consistent.
 	f := func(pairs []uint16) bool {
 		eng := sim.NewEngine()
-		fb := New(eng, 4, quietConfig())
+		fb := mustNew(eng, 4, quietConfig())
 		for r := 0; r < 4; r++ {
 			fb.SetHandler(r, func(m *Message) {})
 		}
@@ -227,7 +235,7 @@ func TestStatsConservation(t *testing.T) {
 
 func TestMissingHandlerPanics(t *testing.T) {
 	eng := sim.NewEngine()
-	f := New(eng, 2, quietConfig())
+	f := mustNew(eng, 2, quietConfig())
 	f.Send(&Message{Src: 0, Dst: 1, Size: 1})
 	defer func() {
 		if recover() == nil {
@@ -240,7 +248,7 @@ func TestMissingHandlerPanics(t *testing.T) {
 func TestSmallMessageLatencyDominatedByWire(t *testing.T) {
 	eng := sim.NewEngine()
 	cfg := quietConfig()
-	f := New(eng, 2, cfg)
+	f := mustNew(eng, 2, cfg)
 	var at sim.Time
 	f.SetHandler(1, func(m *Message) { at = eng.Now() })
 	f.Send(&Message{Src: 0, Dst: 1, Size: 8})
@@ -255,7 +263,7 @@ func TestJitterIsDeterministicAcrossFabrics(t *testing.T) {
 	run := func() []sim.Time {
 		eng := sim.NewEngine()
 		cfg := DefaultConfig() // jitter enabled
-		f := New(eng, 2, cfg)
+		f := mustNew(eng, 2, cfg)
 		var times []sim.Time
 		f.SetHandler(1, func(m *Message) { times = append(times, eng.Now()) })
 		for i := 0; i < 20; i++ {
@@ -275,7 +283,7 @@ func TestJitterIsDeterministicAcrossFabrics(t *testing.T) {
 func TestOnTxFiresAtSerializationEnd(t *testing.T) {
 	eng := sim.NewEngine()
 	cfg := quietConfig()
-	f := New(eng, 2, cfg)
+	f := mustNew(eng, 2, cfg)
 	var txAt, rxAt sim.Time
 	f.SetHandler(1, func(m *Message) { rxAt = eng.Now() })
 	f.Send(&Message{Src: 0, Dst: 1, Size: 1 << 20, OnTx: func() { txAt = eng.Now() }})

@@ -1,0 +1,227 @@
+package fabric
+
+import (
+	"fmt"
+
+	"amtlci/internal/sim"
+)
+
+// FaultConfig arms deterministic fault injection on a fabric. Probabilities
+// apply independently per message to every non-loopback link; Links adds
+// scripted per-link degradation on top. All randomness derives from Seed via
+// one RNG per (src,dst) pair, so a fault schedule is exactly reproducible —
+// and independent of which other links carry traffic.
+type FaultConfig struct {
+	// Drop, Duplicate, Corrupt and Reorder are per-message probabilities in
+	// [0,1]. A dropped message still occupies the transmit engine and fires
+	// OnTx (the NIC read it out of memory; the wire lost it). A duplicated
+	// message is delivered twice, the copies separated by DupDelay. A
+	// corrupted message arrives with Corrupted set (and, when it carries a
+	// real payload, one byte flipped in a private copy). A reordered message
+	// has ReorderDelay added to its wire latency so later traffic on other
+	// lanes overtakes it.
+	Drop, Duplicate, Corrupt, Reorder float64
+	// ReorderDelay is the extra wire latency of a reordered message.
+	// Zero defaults to 4x the fabric's base latency.
+	ReorderDelay sim.Duration
+	// DupDelay separates the two deliveries of a duplicated message.
+	// Zero defaults to the fabric's base latency.
+	DupDelay sim.Duration
+	// Seed seeds the per-link fault streams. Zero is a valid seed.
+	Seed uint64
+	// Links scripts additional degradation over virtual-time windows.
+	Links []LinkFault
+}
+
+// LinkFault degrades one link (or a wildcard set of links) during a
+// virtual-time window: a flap, a bandwidth cut, a latency spike, or a full
+// sever. Probabilities add to the global FaultConfig rates while the window
+// is open.
+type LinkFault struct {
+	// Src and Dst select the link; -1 matches any rank.
+	Src, Dst int
+	// From and Until bound the window. Until == 0 means the fault never
+	// lifts.
+	From, Until sim.Time
+	// Sever drops every message on the link during the window.
+	Sever bool
+	// Extra per-message probabilities while the window is open.
+	Drop, Duplicate, Corrupt, Reorder float64
+	// BandwidthFactor scales the link's effective bandwidth: 0.25 quarters
+	// it (serialization takes 4x as long). Zero means unchanged.
+	BandwidthFactor float64
+	// ExtraLatency is added to the wire latency of every message in the
+	// window (a latency spike).
+	ExtraLatency sim.Duration
+}
+
+func (l *LinkFault) matches(src, dst int, now sim.Time) bool {
+	if l.Src >= 0 && l.Src != src {
+		return false
+	}
+	if l.Dst >= 0 && l.Dst != dst {
+		return false
+	}
+	if now < l.From {
+		return false
+	}
+	return l.Until == 0 || now < l.Until
+}
+
+// Validate reports the first nonsensical parameter, or nil.
+func (c *FaultConfig) Validate() error {
+	check := func(name string, p float64) error {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("fabric: fault probability %s=%g outside [0,1]", name, p)
+		}
+		return nil
+	}
+	for _, pr := range []struct {
+		name string
+		p    float64
+	}{{"drop", c.Drop}, {"duplicate", c.Duplicate}, {"corrupt", c.Corrupt}, {"reorder", c.Reorder}} {
+		if err := check(pr.name, pr.p); err != nil {
+			return err
+		}
+	}
+	if c.ReorderDelay < 0 || c.DupDelay < 0 {
+		return fmt.Errorf("fabric: negative fault delay (reorder=%v dup=%v)", c.ReorderDelay, c.DupDelay)
+	}
+	for i := range c.Links {
+		l := &c.Links[i]
+		if l.Src < -1 || l.Dst < -1 {
+			return fmt.Errorf("fabric: link fault %d: bad ranks src=%d dst=%d (-1 is the wildcard)", i, l.Src, l.Dst)
+		}
+		if l.Until != 0 && l.Until < l.From {
+			return fmt.Errorf("fabric: link fault %d: window ends (%v) before it starts (%v)", i, l.Until, l.From)
+		}
+		for _, pr := range []struct {
+			name string
+			p    float64
+		}{{"drop", l.Drop}, {"duplicate", l.Duplicate}, {"corrupt", l.Corrupt}, {"reorder", l.Reorder}} {
+			if err := check(fmt.Sprintf("links[%d].%s", i, pr.name), pr.p); err != nil {
+				return err
+			}
+		}
+		if l.BandwidthFactor < 0 || l.BandwidthFactor > 1 {
+			return fmt.Errorf("fabric: link fault %d: bandwidth factor %g outside (0,1]", i, l.BandwidthFactor)
+		}
+		if l.ExtraLatency < 0 {
+			return fmt.Errorf("fabric: link fault %d: negative extra latency %v", i, l.ExtraLatency)
+		}
+	}
+	return nil
+}
+
+// FaultStats counts injected faults across the whole fabric.
+type FaultStats struct {
+	Dropped    uint64 // messages lost (including severed)
+	Severed    uint64 // messages lost to a Sever window specifically
+	Duplicated uint64 // messages delivered twice
+	Corrupted  uint64 // messages delivered with Corrupted set
+	Reordered  uint64 // messages delayed past later traffic
+}
+
+// injector implements the fault schedule. One RNG per directed link keeps
+// every link's fault stream independent of traffic elsewhere.
+type injector struct {
+	cfg          FaultConfig
+	n            int
+	rngs         map[int]*sim.RNG
+	reorderDelay sim.Duration
+	dupDelay     sim.Duration
+	stats        FaultStats
+}
+
+func newInjector(cfg FaultConfig, n int, base Config) *injector {
+	in := &injector{cfg: cfg, n: n, rngs: make(map[int]*sim.RNG)}
+	in.reorderDelay = cfg.ReorderDelay
+	if in.reorderDelay == 0 {
+		in.reorderDelay = 4 * base.Latency
+	}
+	in.dupDelay = cfg.DupDelay
+	if in.dupDelay == 0 {
+		in.dupDelay = base.Latency
+	}
+	return in
+}
+
+func (in *injector) linkRNG(src, dst int) *sim.RNG {
+	key := src*in.n + dst
+	r := in.rngs[key]
+	if r == nil {
+		r = sim.NewRNG(in.cfg.Seed ^ (uint64(key)+1)*0x9E3779B97F4A7C15)
+		in.rngs[key] = r
+	}
+	return r
+}
+
+// fate is the injector's verdict on one message.
+type fate struct {
+	drop, sever  bool
+	dup, corrupt bool
+	reorder      bool
+	extra        sim.Duration
+	bwFactor     float64
+	corruptAt    int
+}
+
+func (in *injector) judge(src, dst int, now sim.Time) fate {
+	rng := in.linkRNG(src, dst)
+	ft := fate{bwFactor: 1}
+	drop, dup, corrupt, reorder := in.cfg.Drop, in.cfg.Duplicate, in.cfg.Corrupt, in.cfg.Reorder
+	for i := range in.cfg.Links {
+		l := &in.cfg.Links[i]
+		if !l.matches(src, dst, now) {
+			continue
+		}
+		if l.Sever {
+			ft.drop, ft.sever = true, true
+		}
+		drop += l.Drop
+		dup += l.Duplicate
+		corrupt += l.Corrupt
+		reorder += l.Reorder
+		if l.BandwidthFactor > 0 {
+			ft.bwFactor *= l.BandwidthFactor
+		}
+		ft.extra += l.ExtraLatency
+	}
+	// Always draw all four variates, in a fixed order, so a link's fault
+	// stream stays aligned no matter which fault classes are enabled or
+	// which windows are open.
+	if rng.Float64() < drop {
+		ft.drop = true
+	}
+	if rng.Float64() < dup {
+		ft.dup = true
+	}
+	if rng.Float64() < corrupt {
+		ft.corrupt = true
+		ft.corruptAt = rng.Intn(1 << 20)
+	}
+	if rng.Float64() < reorder {
+		ft.reorder = true
+		ft.extra += in.reorderDelay
+	}
+	return ft
+}
+
+// InstallFaults arms fault injection; it replaces any previous schedule.
+// Loopback (self-send) traffic is never faulted: it models in-process
+// shared-memory delivery, not the wire.
+func (f *Fabric) InstallFaults(cfg FaultConfig) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	f.inj = newInjector(cfg, len(f.ports), f.cfg)
+	return nil
+}
+
+// FaultStats returns fault-injection counters (zero when injection is off).
+func (f *Fabric) FaultStats() FaultStats {
+	if f.inj == nil {
+		return FaultStats{}
+	}
+	return f.inj.stats
+}

@@ -11,19 +11,28 @@ import (
 // Runtime is an LCI deployment over a fabric: one Endpoint per rank.
 type Runtime struct {
 	eng *sim.Engine
-	fab *fabric.Fabric
+	fab fabric.Network
 	cfg Config
 	eps []*Endpoint
 }
 
-// NewRuntime attaches one Endpoint per fabric port.
-func NewRuntime(eng *sim.Engine, fab *fabric.Fabric, cfg Config) *Runtime {
+// NewRuntime attaches one Endpoint per fabric port. fab may be the raw
+// fabric or a reliability layer; when it can report peer failures
+// (fabric.ErrNotifier), those are forwarded to each endpoint's error
+// handler.
+func NewRuntime(eng *sim.Engine, fab fabric.Network, cfg Config) *Runtime {
 	rt := &Runtime{eng: eng, fab: fab, cfg: cfg}
 	rt.eps = make([]*Endpoint, fab.Ranks())
 	for i := range rt.eps {
 		ep := &Endpoint{rt: rt, me: i}
 		rt.eps[i] = ep
 		fab.SetHandler(i, ep.onArrival)
+	}
+	if en, ok := fab.(fabric.ErrNotifier); ok {
+		for i := range rt.eps {
+			ep := rt.eps[i]
+			en.SetErrHandler(i, ep.deliverErr)
+		}
 	}
 	return rt
 }
@@ -102,7 +111,8 @@ type Endpoint struct {
 	rmaMem  map[RMAKey]buf.Buf
 	rmaComp Comp
 
-	wake func()
+	wake  func()
+	errFn func(peer int, err error)
 
 	// Counters for tests and experiments.
 	Sent, Received uint64
@@ -123,6 +133,18 @@ func (ep *Endpoint) notify() {
 	if ep.wake != nil {
 		ep.wake()
 	}
+}
+
+// SetErrHandler installs the callback run when the transport declares a peer
+// unreachable. Without one, the failure panics: an unnoticed dead peer
+// otherwise turns into a silent hang.
+func (ep *Endpoint) SetErrHandler(fn func(peer int, err error)) { ep.errFn = fn }
+
+func (ep *Endpoint) deliverErr(peer int, err error) {
+	if ep.errFn == nil {
+		panic(err)
+	}
+	ep.errFn(peer, err)
 }
 
 func (ep *Endpoint) onArrival(m *fabric.Message) { ep.stage(m.Meta.(*packet)) }

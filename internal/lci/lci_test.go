@@ -13,7 +13,10 @@ func harness(n int) (*sim.Engine, *Runtime) {
 	eng := sim.NewEngine()
 	fc := fabric.DefaultConfig()
 	fc.Jitter = 0
-	fab := fabric.New(eng, n, fc)
+	fab, err := fabric.New(eng, n, fc)
+	if err != nil {
+		panic(err)
+	}
 	return eng, NewRuntime(eng, fab, DefaultConfig())
 }
 

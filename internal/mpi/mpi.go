@@ -147,19 +147,28 @@ func (c Config) TestCost(nreq int) sim.Duration {
 // World is the set of communicating ranks (MPI_COMM_WORLD).
 type World struct {
 	eng   *sim.Engine
-	fab   *fabric.Fabric
+	fab   fabric.Network
 	cfg   Config
 	ranks []*Rank
 }
 
 // NewWorld attaches one Rank per fabric port and installs delivery handlers.
-func NewWorld(eng *sim.Engine, fab *fabric.Fabric, cfg Config) *World {
+// fab may be the raw fabric or a reliability layer; when it can report peer
+// failures (fabric.ErrNotifier), those are forwarded to each rank's error
+// handler.
+func NewWorld(eng *sim.Engine, fab fabric.Network, cfg Config) *World {
 	w := &World{eng: eng, fab: fab, cfg: cfg}
 	w.ranks = make([]*Rank, fab.Ranks())
 	for i := range w.ranks {
 		r := &Rank{w: w, me: i, lock: sim.NewProc(eng)}
 		w.ranks[i] = r
 		fab.SetHandler(i, r.onArrival)
+	}
+	if en, ok := fab.(fabric.ErrNotifier); ok {
+		for i := range w.ranks {
+			r := w.ranks[i]
+			en.SetErrHandler(i, r.deliverErr)
+		}
 	}
 	return w
 }
@@ -185,7 +194,8 @@ type Rank struct {
 	unexpected []*wire    // progressed but unmatched arrivals
 	rmaMem     map[uint64]buf.Buf
 
-	wake func()
+	wake  func()
+	errFn func(peer int, err error)
 
 	// Counters for experiments and tests.
 	Sent, Received uint64
@@ -204,6 +214,18 @@ func (r *Rank) notify() {
 	if r.wake != nil {
 		r.wake()
 	}
+}
+
+// SetErrHandler installs the callback run when the transport declares a peer
+// unreachable. Without one, the failure panics: an unnoticed dead peer
+// otherwise turns into a silent hang.
+func (r *Rank) SetErrHandler(fn func(peer int, err error)) { r.errFn = fn }
+
+func (r *Rank) deliverErr(peer int, err error) {
+	if r.errFn == nil {
+		panic(err)
+	}
+	r.errFn(peer, err)
 }
 
 type wireKind int8

@@ -34,7 +34,10 @@ func Bandwidth(cfg Config, size int64) float64 {
 		panic("netpipe: Reps must be positive")
 	}
 	eng := sim.NewEngine()
-	fab := fabric.New(eng, 2, cfg.Fabric)
+	fab, err := fabric.New(eng, 2, cfg.Fabric)
+	if err != nil {
+		panic(err)
+	}
 	cpu := [2]*sim.Proc{sim.NewProc(eng), sim.NewProc(eng)}
 
 	remaining := cfg.Reps
@@ -72,7 +75,10 @@ func Bandwidth(cfg Config, size int64) float64 {
 // microseconds.
 func Latency(cfg Config) float64 {
 	eng := sim.NewEngine()
-	fab := fabric.New(eng, 2, cfg.Fabric)
+	fab, err := fabric.New(eng, 2, cfg.Fabric)
+	if err != nil {
+		panic(err)
+	}
 	const reps = 32
 	remaining := reps
 	var finish sim.Time

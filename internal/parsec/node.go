@@ -321,13 +321,24 @@ func (n *node) flushActivates(dest int) {
 	}
 }
 
+// wireFail aborts the task graph on a wire-protocol violation. Under fault
+// injection a malformed or stray message is a transport failure, not a local
+// programming error, so it reports through the runtime instead of panicking.
+func (n *node) wireFail(format string, args ...interface{}) {
+	n.rt.fail(fmt.Errorf(format, args...))
+}
+
 // onActivate handles an ACTIVATE message on the communication thread: per
 // §4.3, it "must unpack each aggregated activation, iterate over all local
 // descendants of the task in question, determine which data are needed from
 // the predecessor, and send GET DATA messages as necessary" — while this
 // runs, the thread can do nothing else.
 func (n *node) onActivate(_ core.Engine, _ core.Tag, data []byte, src int) {
-	entries := decodeActivates(data)
+	entries, err := decodeActivates(data)
+	if err != nil {
+		n.wireFail("parsec: rank %d: bad ACTIVATE from %d: %w", n.rank, src, err)
+		return
+	}
 	for _, act := range entries {
 		act := act
 		// Unpacking one activation means iterating over every local
@@ -348,7 +359,8 @@ func (n *node) onActivate(_ core.Engine, _ core.Tag, data []byte, src int) {
 func (n *node) processActivation(act activation) {
 	key := flowKey{act.task, act.flow}
 	if _, dup := n.store[key]; dup {
-		panic(fmt.Sprintf("parsec: duplicate activation for %v at rank %d", key, n.rank))
+		n.wireFail("parsec: duplicate activation for %v at rank %d", key, n.rank)
+		return
 	}
 	fd := &flowData{state: flowAnnounced, size: act.size, meta: act}
 	n.store[key] = fd
@@ -386,7 +398,8 @@ func (n *node) processActivation(act activation) {
 	}
 
 	if len(fd.waiters) == 0 && len(act.subtree) == 0 {
-		panic(fmt.Sprintf("parsec: activation for %v at rank %d has no consumers", key, n.rank))
+		n.wireFail("parsec: activation for %v at rank %d has no consumers", key, n.rank)
+		return
 	}
 
 	// Control dependences (PaRSEC CTL flows) carry no data: the activation
@@ -468,11 +481,16 @@ func (n *node) startFetch(key flowKey, fd *flowData) {
 // onGetData serves a data request at a rank that holds (or will hold) the
 // flow: the owner, or a multicast forwarder.
 func (n *node) onGetData(_ core.Engine, _ core.Tag, data []byte, src int) {
-	g := decodeGetData(data)
+	g, err := decodeGetData(data)
+	if err != nil {
+		n.wireFail("parsec: rank %d: bad GET DATA from %d: %w", n.rank, src, err)
+		return
+	}
 	key := flowKey{g.task, g.flow}
 	fd, ok := n.store[key]
 	if !ok {
-		panic(fmt.Sprintf("parsec: GET DATA for unknown flow %v at rank %d", key, n.rank))
+		n.wireFail("parsec: GET DATA for unknown flow %v at rank %d", key, n.rank)
+		return
 	}
 	req := getReq{requester: src, rreg: g.rreg}
 	if fd.state != flowReady {
@@ -507,11 +525,16 @@ func (n *node) servePut(key flowKey, fd *flowData, req getReq) {
 // onPutDone runs at the requester when the data has landed: release local
 // waiters, serve queued children, and admit the next deferred fetch.
 func (n *node) onPutDone(_ core.Engine, _ core.Tag, data []byte, src int) {
-	m := decodePutMeta(data)
+	m, err := decodePutMeta(data)
+	if err != nil {
+		n.wireFail("parsec: rank %d: bad put completion from %d: %w", n.rank, src, err)
+		return
+	}
 	key := flowKey{m.task, m.flow}
 	fd, ok := n.store[key]
 	if !ok || fd.state != flowFetching {
-		panic(fmt.Sprintf("parsec: unexpected put completion for %v at rank %d", key, n.rank))
+		n.wireFail("parsec: unexpected put completion for %v at rank %d", key, n.rank)
+		return
 	}
 	n.ce.Submit(n.cfg.DeliverCost, func() {
 		fd.state = flowReady

@@ -17,6 +17,7 @@ type Runtime struct {
 	nodes  []*node
 	tracer *Tracer
 	obs    Observer
+	failed error
 }
 
 // New builds a runtime. engines must all live on eng and have ranks 0..n-1
@@ -34,9 +35,26 @@ func New(eng *sim.Engine, engines []core.Engine, tp Taskpool, cfg Config) *Runti
 			panic(fmt.Sprintf("parsec: engine %d reports rank %d", i, ce.Rank()))
 		}
 		rt.nodes = append(rt.nodes, newNode(rt, i, ce, cfg))
+		// A communication-engine failure (peer declared unreachable, bad
+		// header on the wire) aborts the whole graph: with a task missing,
+		// running the DAG to completion is impossible.
+		ce.OnError(rt.fail)
 	}
 	return rt
 }
+
+// fail records the first unrecoverable failure and stops the simulation so
+// Run can report it instead of spinning until the retry budgets drain.
+func (rt *Runtime) fail(err error) {
+	if rt.failed != nil {
+		return
+	}
+	rt.failed = err
+	rt.eng.Stop()
+}
+
+// Err returns the first unrecoverable failure, or nil.
+func (rt *Runtime) Err() error { return rt.failed }
 
 // Tracer returns the latency tracer.
 func (rt *Runtime) Tracer() *Tracer { return rt.tracer }
@@ -74,6 +92,9 @@ func (rt *Runtime) Run() (sim.Duration, error) {
 		if n.executed != n.total {
 			stuck = append(stuck, fmt.Sprintf("rank %d: %d/%d tasks", n.rank, n.executed, n.total))
 		}
+	}
+	if rt.failed != nil {
+		return 0, fmt.Errorf("parsec: task graph aborted: %w", rt.failed)
 	}
 	if len(stuck) > 0 {
 		return 0, fmt.Errorf("parsec: deadlock, %s", strings.Join(stuck, "; "))

@@ -2,6 +2,7 @@ package parsec
 
 import (
 	"encoding/binary"
+	"fmt"
 
 	"amtlci/internal/coll"
 	"amtlci/internal/core"
@@ -49,8 +50,12 @@ func appendActivation(b []byte, a activation) []byte {
 	return b
 }
 
-func decodeActivation(b []byte) (activation, []byte) {
+func decodeActivation(b []byte) (activation, []byte, error) {
 	var a activation
+	if len(b) < activationFixedBytes {
+		return a, nil, fmt.Errorf("parsec: activation truncated: %d bytes, need %d",
+			len(b), activationFixedBytes)
+	}
 	a.task.Class, b = rd32(b)
 	a.task.Index, b = rd64(b)
 	a.flow, b = rd32(b)
@@ -61,13 +66,17 @@ func decodeActivation(b []byte) (activation, []byte) {
 	a.hopSend, b = rd64(b)
 	var n uint16
 	n, b = rd16(b)
+	if int(n)*4 > len(b) {
+		return a, nil, fmt.Errorf("parsec: activation subtree truncated: %d ranks, %d bytes remain",
+			n, len(b))
+	}
 	if n > 0 {
 		a.subtree = make([]int32, n)
 		for i := range a.subtree {
 			a.subtree[i], b = rd32(b)
 		}
 	}
-	return a, b
+	return a, b, nil
 }
 
 // encodeActivates packs entries into one AM payload, prefixed with a count.
@@ -84,14 +93,26 @@ func encodeActivates(entries []activation) []byte {
 	return b
 }
 
-func decodeActivates(b []byte) []activation {
+func decodeActivates(b []byte) ([]activation, error) {
+	if len(b) < 2 {
+		return nil, fmt.Errorf("parsec: ACTIVATE payload truncated: %d bytes", len(b))
+	}
 	var n uint16
 	n, b = rd16(b)
-	out := make([]activation, n)
-	for i := range out {
-		out[i], b = decodeActivation(b)
+	if int(n)*activationFixedBytes > len(b) {
+		return nil, fmt.Errorf("parsec: ACTIVATE count %d exceeds %d payload bytes", n, len(b))
 	}
-	return out
+	out := make([]activation, n)
+	var err error
+	for i := range out {
+		if out[i], b, err = decodeActivation(b); err != nil {
+			return nil, err
+		}
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("parsec: ACTIVATE payload has %d trailing bytes", len(b))
+	}
+	return out, nil
 }
 
 // getData is the GET DATA request payload.
@@ -101,8 +122,10 @@ type getData struct {
 	rreg regHandle
 }
 
+const getDataBytes = 4 + 8 + 4 + 4 + 8
+
 func (g getData) encode() []byte {
-	b := make([]byte, 0, 4+8+4+4+8)
+	b := make([]byte, 0, getDataBytes)
 	b = le32(b, g.task.Class)
 	b = le64(b, g.task.Index)
 	b = le32(b, g.flow)
@@ -112,14 +135,17 @@ func (g getData) encode() []byte {
 	return b
 }
 
-func decodeGetData(b []byte) getData {
+func decodeGetData(b []byte) (getData, error) {
 	var g getData
+	if len(b) != getDataBytes {
+		return g, fmt.Errorf("parsec: GET DATA payload is %d bytes, want %d", len(b), getDataBytes)
+	}
 	g.task.Class, b = rd32(b)
 	g.task.Index, b = rd64(b)
 	g.flow, b = rd32(b)
 	g.rreg.Rank, b = rd32(b)
 	g.rreg.ID = binary.LittleEndian.Uint64(b)
-	return g
+	return g, nil
 }
 
 // putMeta rides as the put's remote-completion callback data: it tells the
@@ -133,8 +159,10 @@ type putMeta struct {
 	hopSend  int64
 }
 
+const putMetaBytes = 4 + 8 + 4 + 4 + 8 + 4 + 8
+
 func (p putMeta) encode() []byte {
-	b := make([]byte, 0, 4+8+4+4+8+4+8)
+	b := make([]byte, 0, putMetaBytes)
 	b = le32(b, p.task.Class)
 	b = le64(b, p.task.Index)
 	b = le32(b, p.flow)
@@ -145,8 +173,11 @@ func (p putMeta) encode() []byte {
 	return b
 }
 
-func decodePutMeta(b []byte) putMeta {
+func decodePutMeta(b []byte) (putMeta, error) {
 	var p putMeta
+	if len(b) != putMetaBytes {
+		return p, fmt.Errorf("parsec: put completion payload is %d bytes, want %d", len(b), putMetaBytes)
+	}
 	p.task.Class, b = rd32(b)
 	p.task.Index, b = rd64(b)
 	p.flow, b = rd32(b)
@@ -154,7 +185,7 @@ func decodePutMeta(b []byte) putMeta {
 	p.rootSend, b = rd64(b)
 	p.hopRank, b = rd32(b)
 	p.hopSend, b = rd64(b)
-	return p
+	return p, nil
 }
 
 // Little-endian append/read helpers.

@@ -1,6 +1,7 @@
 package parsec
 
 import (
+	"bytes"
 	"testing"
 	"testing/quick"
 )
@@ -16,8 +17,8 @@ func TestActivationRoundTrip(t *testing.T) {
 			root: root, rootSend: rootSend, hopRank: hopRank, hopSend: hopSend,
 			subtree: subtree,
 		}
-		got, rest := decodeActivation(appendActivation(nil, a))
-		if len(rest) != 0 {
+		got, rest, err := decodeActivation(appendActivation(nil, a))
+		if err != nil || len(rest) != 0 {
 			return false
 		}
 		if got.task != a.task || got.flow != a.flow || got.size != a.size ||
@@ -50,7 +51,10 @@ func TestAggregatedActivationsRoundTrip(t *testing.T) {
 			hopRank: int32(i % 8), hopSend: int64(i) * 333,
 		})
 	}
-	got := decodeActivates(encodeActivates(entries))
+	got, err := decodeActivates(encodeActivates(entries))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(got) != len(entries) {
 		t.Fatalf("decoded %d entries, want %d", len(got), len(entries))
 	}
@@ -64,7 +68,10 @@ func TestAggregatedActivationsRoundTrip(t *testing.T) {
 func TestGetDataRoundTrip(t *testing.T) {
 	g := getData{task: TaskID{Class: 2, Index: 123456789}, flow: 1,
 		rreg: regHandle{Rank: 7, ID: 0xDEADBEEF}}
-	got := decodeGetData(g.encode())
+	got, err := decodeGetData(g.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got != g {
 		t.Fatalf("got %+v, want %+v", got, g)
 	}
@@ -75,11 +82,103 @@ func TestPutMetaRoundTrip(t *testing.T) {
 		hopRank int32, hopSend int64) bool {
 		m := putMeta{task: TaskID{Class: class, Index: index}, flow: flow,
 			root: root, rootSend: rootSend, hopRank: hopRank, hopSend: hopSend}
-		return decodePutMeta(m.encode()) == m
+		got, err := decodePutMeta(m.encode())
+		return err == nil && got == m
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+func TestDecodeRejectsMalformedPayloads(t *testing.T) {
+	act := encodeActivates([]activation{{
+		task: TaskID{Class: 1, Index: 2}, flow: 1, size: 64,
+		subtree: []int32{3, 4, 5},
+	}})
+	g := getData{task: TaskID{Class: 2, Index: 9}, flow: 1,
+		rreg: regHandle{Rank: 3, ID: 17}}.encode()
+	m := putMeta{task: TaskID{Class: 4, Index: 5}, flow: 2, root: 1}.encode()
+
+	cases := []struct {
+		name string
+		err  func([]byte) error
+		good []byte
+	}{
+		{"activates", func(b []byte) error { _, err := decodeActivates(b); return err }, act},
+		{"getData", func(b []byte) error { _, err := decodeGetData(b); return err }, g},
+		{"putMeta", func(b []byte) error { _, err := decodePutMeta(b); return err }, m},
+	}
+	for _, tc := range cases {
+		if err := tc.err(tc.good); err != nil {
+			t.Fatalf("%s: well-formed payload rejected: %v", tc.name, err)
+		}
+		// Every strict prefix must be rejected, as must one trailing byte —
+		// never a panic, never silent acceptance.
+		for cut := 0; cut < len(tc.good); cut++ {
+			if err := tc.err(tc.good[:cut]); err == nil {
+				t.Fatalf("%s: truncation to %d bytes accepted", tc.name, cut)
+			}
+		}
+		if err := tc.err(append(append([]byte(nil), tc.good...), 0)); err == nil {
+			t.Fatalf("%s: trailing byte accepted", tc.name)
+		}
+	}
+
+	// An ACTIVATE whose count promises more entries than the payload holds.
+	if _, err := decodeActivates([]byte{0xFF, 0xFF, 1, 2, 3}); err == nil {
+		t.Fatal("oversized ACTIVATE count accepted")
+	}
+}
+
+func FuzzDecodeActivates(f *testing.F) {
+	f.Add(encodeActivates(nil))
+	f.Add(encodeActivates([]activation{{
+		task: TaskID{Class: 1, Index: 2}, flow: 1, size: 4096,
+		root: 3, rootSend: 777, hopRank: 2, hopSend: 333, subtree: []int32{4, 5},
+	}}))
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		entries, err := decodeActivates(b)
+		if err != nil {
+			return
+		}
+		// Accepted payloads must re-encode byte-for-byte: the format is a
+		// bijection, so anything else means a field was mis-parsed.
+		if re := encodeActivates(entries); !bytes.Equal(re, b) {
+			t.Fatalf("re-encode mismatch:\n in  %x\n out %x", b, re)
+		}
+	})
+}
+
+func FuzzDecodeGetData(f *testing.F) {
+	f.Add(getData{task: TaskID{Class: 2, Index: 9}, flow: 1,
+		rreg: regHandle{Rank: 3, ID: 17}}.encode())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		g, err := decodeGetData(b)
+		if err != nil {
+			return
+		}
+		if re := g.encode(); !bytes.Equal(re, b) {
+			t.Fatalf("re-encode mismatch:\n in  %x\n out %x", b, re)
+		}
+	})
+}
+
+func FuzzDecodePutMeta(f *testing.F) {
+	f.Add(putMeta{task: TaskID{Class: 4, Index: 5}, flow: 2, root: 1,
+		rootSend: 99, hopRank: 3, hopSend: 101}.encode())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := decodePutMeta(b)
+		if err != nil {
+			return
+		}
+		if re := m.encode(); !bytes.Equal(re, b) {
+			t.Fatalf("re-encode mismatch:\n in  %x\n out %x", b, re)
+		}
+	})
 }
 
 func TestTreeSplitPartitionsExactly(t *testing.T) {

@@ -7,3 +7,15 @@ set -eux
 go build ./...
 go vet ./...
 go test -race ./...
+
+# Chaos smoke behind a time budget: a quick fault-sweep point per backend
+# plus the severed-link abort demonstration (full sweep: `make chaos`).
+timeout 120 go run ./cmd/chaos -quick
+timeout 120 go run ./cmd/chaos -sever
+
+# Fixed-budget fuzz smoke over the wire-format decoders (one -fuzz pattern
+# per invocation; longer runs: `make fuzz-smoke`).
+timeout 120 go test -run='^$' -fuzz=FuzzUnmarshalPutHeader -fuzztime=2s ./internal/core
+timeout 120 go test -run='^$' -fuzz=FuzzDecodeActivates -fuzztime=2s ./internal/parsec
+timeout 120 go test -run='^$' -fuzz=FuzzDecodeGetData -fuzztime=2s ./internal/parsec
+timeout 120 go test -run='^$' -fuzz=FuzzDecodePutMeta -fuzztime=2s ./internal/parsec
