@@ -16,7 +16,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
+	"amtlci/internal/bench"
 	"amtlci/internal/chaos"
 	"amtlci/internal/core/stack"
 	"amtlci/internal/fabric"
@@ -28,6 +30,7 @@ func main() {
 	rate := flag.Float64("rate", -1, "single fault rate in percent for drop/dup/corrupt/reorder (-1 sweeps 0.5,1,2)")
 	quick := flag.Bool("quick", false, "one 2% point per backend on the Cholesky graph")
 	sever := flag.Bool("sever", false, "sever link 0->1 and demonstrate the clean PeerUnreachable abort")
+	metricsDir := flag.String("metrics", "", "dump per-run metric summaries as CSV into this directory (e.g. results)")
 	flag.Parse()
 
 	if *sever {
@@ -79,12 +82,43 @@ func main() {
 					b, w, r*100, res.Makespan, slow,
 					res.Faults.Dropped, res.Faults.Duplicated, res.Faults.Corrupted,
 					res.Rel.Retransmits, verdict)
+				if *metricsDir != "" {
+					if err := dumpMetrics(*metricsDir, b, w, r, res); err != nil {
+						fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+						bad = true
+					}
+				}
 			}
 		}
 	}
 	if bad {
 		os.Exit(1)
 	}
+}
+
+// dumpMetrics writes the run's full instrument registry as one CSV per
+// (backend, workload, rate) point.
+func dumpMetrics(dir string, b stack.Backend, w chaos.Workload, rate float64, res chaos.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	be := "mpi"
+	if b == stack.LCI {
+		be = "lci"
+	}
+	name := fmt.Sprintf("chaos-metrics-%s-%v-%.1fpct.csv", be, w, rate*100)
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	title := fmt.Sprintf("chaos metrics: %v %v %.1f%% faults", b, w, rate*100)
+	bench.MetricsTable(res.Metrics, title).CSV(f)
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("  metrics -> %s\n", path)
+	return nil
 }
 
 // runSever demonstrates the failure path: a permanently severed link must

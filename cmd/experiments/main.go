@@ -21,12 +21,15 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"time"
 
 	"amtlci/internal/bench"
 	"amtlci/internal/core/stack"
 	"amtlci/internal/fabric"
+	"amtlci/internal/hicma"
 	"amtlci/internal/netpipe"
+	"amtlci/internal/parsec"
 	"amtlci/internal/stats"
 )
 
@@ -38,10 +41,18 @@ func main() {
 	runsMicro := flag.Int("micro-runs", 18, "microbenchmark executions per point (discard 3)")
 	runsHicma := flag.Int("hicma-runs", 5, "HiCMA executions per configuration")
 	listConfig := flag.Bool("list-config", false, "print the simulated platform configuration (Table 1 analogue) and exit")
+	metricsDir := flag.String("metrics", "", "run one instrumented HiCMA point per backend and dump its metric registry as CSV into this directory, then exit")
 	flag.Parse()
 
 	if *listConfig {
 		printConfig(os.Stdout)
+		return
+	}
+	if *metricsDir != "" {
+		if err := dumpMetrics(*metricsDir); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -179,6 +190,43 @@ func main() {
 			speedup*100, latCut*100)
 	}
 	fmt.Printf("\ntotal wall time: %v\n", time.Since(start).Round(time.Second))
+}
+
+// dumpMetrics runs one small instrumented HiCMA execution per backend (4
+// nodes, virtual tiles) and writes every layer's end-of-run instrument state
+// as CSV — the always-on counters the sweeps above aggregate away.
+func dumpMetrics(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, b := range stack.Backends {
+		be := "mpi"
+		if b == stack.LCI {
+			be = "lci"
+		}
+		pool := hicma.NewVirtual(hicma.DefaultParams(9600, 1200), 4)
+		s := stack.New(b, 4)
+		cfg := parsec.DefaultConfig(16)
+		cfg.Metrics = s.Metrics
+		rt := parsec.New(s.Eng, s.Engines, pool, cfg)
+		elapsed, err := rt.Run()
+		if err != nil {
+			return fmt.Errorf("%v instrumented run: %w", b, err)
+		}
+		path := filepath.Join(dir, fmt.Sprintf("experiments-metrics-%s.csv", be))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		title := fmt.Sprintf("HiCMA N=9600 nb=1200, 4 nodes, %v backend", b)
+		bench.MetricsTable(s.Metrics, title).CSV(f)
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("%v backend: %v virtual time, %d instruments -> %s\n",
+			b, elapsed, s.Metrics.Len(), path)
+	}
+	return nil
 }
 
 // printConfig emits the simulated platform parameters, the analogue of the

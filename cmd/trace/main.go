@@ -1,8 +1,10 @@
 // Command trace executes a HiCMA TLR Cholesky on the simulated cluster and
 // writes a Chrome trace (chrome://tracing, Perfetto) of every task
-// execution, GET DATA request, data arrival, and ACTIVATE message. It is
-// the runtime's visual debugger: worker occupancy, communication stalls,
-// and the panel wavefront are all visible at a glance.
+// execution, GET DATA request, data arrival, and ACTIVATE message, plus
+// counter tracks sampled from the runtime-wide metrics registry (comm-thread
+// busy fraction, queue depths, traffic rates). It is the runtime's visual
+// debugger: worker occupancy, communication stalls, and the panel wavefront
+// are all visible at a glance.
 //
 //	go run ./cmd/trace -o trace.json -n 36000 -nb 1200 -nodes 4
 //	# then load trace.json in chrome://tracing or ui.perfetto.dev
@@ -17,6 +19,7 @@ import (
 
 	"amtlci/internal/core/stack"
 	"amtlci/internal/hicma"
+	"amtlci/internal/metrics"
 	"amtlci/internal/parsec"
 	"amtlci/internal/sim"
 )
@@ -38,6 +41,10 @@ type recorder struct {
 	events []traceEvent
 	starts map[[3]int64]sim.Time // (rank, worker, packed task) -> start
 	names  []string              // class names
+
+	// Anomaly counters, reported once at exit instead of dropped silently.
+	unknownClass int // TaskEnd with a class index outside the name table
+	unmatchedEnd int // TaskEnd with no recorded TaskStart
 }
 
 func key(rank, worker int, t parsec.TaskID) [3]int64 {
@@ -52,12 +59,15 @@ func (r *recorder) TaskEnd(rank, worker int, t parsec.TaskID, at sim.Time) {
 	k := key(rank, worker, t)
 	start, ok := r.starts[k]
 	if !ok {
+		r.unmatchedEnd++
 		return
 	}
 	delete(r.starts, k)
 	name := fmt.Sprintf("c%d[%d]", t.Class, t.Index)
 	if int(t.Class) < len(r.names) {
 		name = fmt.Sprintf("%s[%d]", r.names[t.Class], t.Index)
+	} else {
+		r.unknownClass++
 	}
 	r.events = append(r.events, traceEvent{
 		Name: name, Phase: "X",
@@ -87,6 +97,37 @@ func (r *recorder) ActivateSent(rank, dest, entries int, at sim.Time) {
 	})
 }
 
+// counterEvents converts sampled metric tracks into Perfetto counter ("C")
+// events. Runs of identical values are collapsed to their endpoints, so
+// flat tracks cost almost nothing in the output.
+func counterEvents(tracks []metrics.Track) []traceEvent {
+	var out []traceEvent
+	for _, tr := range tracks {
+		name := tr.Desc.Layer + "/" + tr.Desc.Name
+		if tr.Rate {
+			name += " (1/s)"
+		}
+		pid := tr.Desc.Rank
+		if pid == metrics.StackRank {
+			pid = 0
+			name += " [stack]"
+		}
+		prev := 0.0
+		for i, smp := range tr.Samples {
+			last := i == len(tr.Samples)-1
+			if i > 0 && smp.V == prev && !last {
+				continue
+			}
+			prev = smp.V
+			out = append(out, traceEvent{
+				Name: name, Phase: "C", TS: float64(smp.At) / 1e6, PID: pid,
+				Args: map[string]any{"value": smp.V},
+			})
+		}
+	}
+	return out
+}
+
 func main() {
 	out := flag.String("o", "trace.json", "output file")
 	n := flag.Int("n", 36000, "matrix dimension")
@@ -94,15 +135,20 @@ func main() {
 	nodes := flag.Int("nodes", 4, "simulated nodes")
 	workers := flag.Int("workers", 16, "workers per node (small keeps traces readable)")
 	backend := flag.String("backend", "lci", `"lci" or "mpi"`)
+	sample := flag.Float64("sample", 100, "metrics sampling period in virtual microseconds (0 disables counter tracks)")
 	flag.Parse()
 
-	be := stack.LCI
-	if *backend == "mpi" {
-		be = stack.MPI
+	be, err := stack.ParseBackend(*backend)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
 	}
 	pool := hicma.NewVirtual(hicma.DefaultParams(*n, *nb), *nodes)
 	s := stack.New(be, *nodes)
-	rt := parsec.New(s.Eng, s.Engines, pool, parsec.DefaultConfig(*workers))
+	pcfg := parsec.DefaultConfig(*workers)
+	pcfg.Metrics = s.Metrics
+	rt := parsec.New(s.Eng, s.Engines, pool, pcfg)
 
 	rec := &recorder{starts: make(map[[3]int64]sim.Time)}
 	for _, c := range pool.Classes() {
@@ -110,9 +156,24 @@ func main() {
 	}
 	rt.SetObserver(rec)
 
+	var smp *metrics.Sampler
+	if *sample > 0 {
+		smp = metrics.NewSampler(s.Eng, s.Metrics, sim.Duration(*sample*float64(sim.Microsecond)))
+		smp.Start()
+	}
+
 	elapsed, err := rt.Run()
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	events := rec.events
+	counters := 0
+	if smp != nil {
+		smp.Flush()
+		ce := counterEvents(smp.Tracks())
+		counters = len(ce)
+		events = append(events, ce...)
 	}
 
 	f, err := os.Create(*out)
@@ -120,13 +181,18 @@ func main() {
 		log.Fatal(err)
 	}
 	enc := json.NewEncoder(f)
-	if err := enc.Encode(rec.events); err != nil {
+	if err := enc.Encode(events); err != nil {
 		log.Fatal(err)
 	}
 	if err := f.Close(); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("%v backend: %v virtual time, %d events -> %s\n",
-		be, elapsed, len(rec.events), *out)
+	fmt.Printf("%v backend: %v virtual time, %d events (%d counter samples) -> %s\n",
+		be, elapsed, len(events), counters, *out)
+	if rec.unknownClass > 0 || rec.unmatchedEnd > 0 {
+		fmt.Fprintf(os.Stderr,
+			"trace: warning: %d task(s) with class index outside the %d-entry name table, %d TaskEnd(s) without a matching TaskStart\n",
+			rec.unknownClass, len(rec.names), rec.unmatchedEnd)
+	}
 	fmt.Println("open in chrome://tracing or https://ui.perfetto.dev")
 }

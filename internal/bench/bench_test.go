@@ -235,16 +235,27 @@ func TestTableRendering(t *testing.T) {
 }
 
 func TestBytesFormatting(t *testing.T) {
-	cases := map[int64]string{
-		64:        "64 B",
-		8 << 10:   "8 KiB",
-		92681:     "90.51 KiB",
-		1 << 20:   "1 MiB",
-		256 << 20: "256 MiB",
+	cases := []struct {
+		n    int64
+		want string
+	}{
+		{0, "0 B"},
+		{64, "64 B"},
+		{1023, "1023 B"},
+		{1 << 10, "1 KiB"},
+		{8 << 10, "8 KiB"},
+		{92681, "90.51 KiB"},
+		{1<<20 - 1, "1024.00 KiB"},
+		{1 << 20, "1 MiB"},
+		{1<<20 + 1<<19, "1.50 MiB"}, // fractional MiB stays in MiB, not 1536 KiB
+		{1<<20 + 1, "1.00 MiB"},
+		{3 << 20, "3 MiB"},
+		{256 << 20, "256 MiB"},
+		{1 << 30, "1024 MiB"},
 	}
-	for n, want := range cases {
-		if got := Bytes(n); got != want {
-			t.Errorf("Bytes(%d) = %q, want %q", n, got, want)
+	for _, c := range cases {
+		if got := Bytes(c.n); got != c.want {
+			t.Errorf("Bytes(%d) = %q, want %q", c.n, got, c.want)
 		}
 	}
 }

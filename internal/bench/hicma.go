@@ -103,6 +103,7 @@ func hicmaRun(o HiCMAOpts, run uint64) (float64, *parsec.Runtime, *hicma.Pool) {
 	cfg.Seed = o.Seed + run
 	cfg.FetchCap = o.FetchCap
 	cfg.MTActivate = o.MT
+	cfg.Metrics = s.Metrics
 	rt := parsec.New(s.Eng, s.Engines, pool, cfg)
 
 	if o.SyncClocks {

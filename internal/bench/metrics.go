@@ -1,0 +1,40 @@
+package bench
+
+import (
+	"fmt"
+	"strconv"
+
+	"amtlci/internal/metrics"
+)
+
+// MetricsTable renders every instrument in reg as one table row, sorted by
+// layer, name, rank. The layout is deliberately flat — one row per
+// instrument with kind-specific columns left empty — so the CSV form loads
+// straight into plotting scripts without reshaping.
+func MetricsTable(reg *metrics.Registry, title string) *Table {
+	t := NewTable(title, "layer", "name", "rank", "kind", "value", "max", "mean", "p50", "p99")
+	for _, s := range reg.Snapshots() {
+		rank := strconv.Itoa(s.Desc.Rank)
+		if s.Desc.Rank == metrics.StackRank {
+			rank = "stack"
+		}
+		num := func(v float64) string {
+			if v == 0 {
+				return "0"
+			}
+			return fmt.Sprintf("%g", v)
+		}
+		max, mean, p50, p99 := "", "", "", ""
+		switch s.Kind {
+		case metrics.KindGauge:
+			max = num(s.Max)
+		case metrics.KindHistogram:
+			mean = num(s.Mean)
+			p50 = num(s.P50)
+			p99 = num(s.P99)
+		}
+		t.AddRow(s.Desc.Layer, s.Desc.Name, rank, s.Kind.String(),
+			num(s.Value), max, mean, p50, p99)
+	}
+	return t
+}

@@ -96,6 +96,7 @@ func overlapRun(o OverlapOpts, run uint64) float64 {
 	cfg := parsec.DefaultConfig(o.Workers)
 	cfg.Seed = o.Seed + run
 	cfg.FetchCap = 64
+	cfg.Metrics = s.Metrics
 	pp := PingPongOpts{
 		Backend: o.Backend, FragSize: o.FragSize, TotalPerIter: o.TotalPerIter,
 		Streams: o.Streams, Iters: o.iters(), Sync: false,

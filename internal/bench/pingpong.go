@@ -140,6 +140,7 @@ func pingpongRun(o PingPongOpts, run uint64) float64 {
 	// serialization between iterations (§4.1 deferral, strict reading).
 	cfg.FetchCap = 512
 	cfg.FetchLazy = o.Sync
+	cfg.Metrics = s.Metrics
 	rt := parsec.New(s.Eng, s.Engines, pingpongPool(o, nil), cfg)
 	d, err := rt.Run()
 	if err != nil {

@@ -103,11 +103,16 @@ func (t *Table) Markdown(w io.Writer) {
 	fmt.Fprintln(w)
 }
 
-// Bytes formats a byte size with the binary units the paper uses.
+// Bytes formats a byte size with the binary units the paper uses. Sizes of
+// a mebibyte and up always print in MiB (fractionally when unaligned), so
+// 1.5 MiB never masquerades as 1536 KiB.
 func Bytes(n int64) string {
 	switch {
-	case n >= 1<<20 && n%(1<<20) == 0:
-		return fmt.Sprintf("%d MiB", n>>20)
+	case n >= 1<<20:
+		if n%(1<<20) == 0 {
+			return fmt.Sprintf("%d MiB", n>>20)
+		}
+		return fmt.Sprintf("%.2f MiB", float64(n)/(1<<20))
 	case n >= 1<<10:
 		if n%(1<<10) == 0 {
 			return fmt.Sprintf("%d KiB", n>>10)

@@ -21,6 +21,7 @@ import (
 	"amtlci/internal/fabric"
 	"amtlci/internal/hicma"
 	"amtlci/internal/linalg"
+	"amtlci/internal/metrics"
 	"amtlci/internal/parsec"
 	"amtlci/internal/rel"
 	"amtlci/internal/sim"
@@ -82,6 +83,9 @@ type Result struct {
 	// (zero-valued when the corresponding option was off).
 	Faults fabric.FaultStats
 	Rel    rel.Stats
+	// Metrics is the deployment's shared instrument registry, for
+	// end-of-run dumps (cmd/chaos -metrics).
+	Metrics *metrics.Registry
 }
 
 // tolerance is the verification threshold per workload: exact arithmetic for
@@ -156,9 +160,11 @@ func Run(o Opts) Result {
 
 	cfg := parsec.DefaultConfig(o.Workers)
 	cfg.Jitter = 0
+	cfg.Metrics = s.Metrics
 	rt := parsec.New(s.Eng, s.Engines, tp, cfg)
 
 	var res Result
+	res.Metrics = s.Metrics
 	res.Makespan, res.Err = rt.Run()
 	if o.Faults != nil {
 		res.Faults = s.Fab.FaultStats()

@@ -26,6 +26,7 @@ import (
 	"amtlci/internal/buf"
 	"amtlci/internal/core"
 	"amtlci/internal/lci"
+	"amtlci/internal/metrics"
 	"amtlci/internal/sim"
 )
 
@@ -71,6 +72,12 @@ type Config struct {
 	// multiple communication or progress threads"). Values below 2 keep
 	// the paper's single progress thread.
 	ProgressThreads int
+
+	// Metrics is the registry the engine registers its instruments in
+	// (core.Stats counters, comm/progress-thread utilization, deferred and
+	// FIFO queue depths). Nil gets a private registry; stack.Build shares
+	// one across every layer.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns the paper's configuration.
@@ -114,7 +121,11 @@ type Engine struct {
 	drainScheduled bool
 	progScheduled  bool
 	nextDataTag    int32
-	stats          core.Stats
+
+	// core.Stats counters (metrics registry, layer "lcice").
+	amsSent, amsDelivered    *metrics.Counter
+	putsStarted, putsDone    *metrics.Counter
+	putBytes, deferredEvents *metrics.Counter
 
 	errFns []func(error)
 	failed error
@@ -134,6 +145,10 @@ func New(eng *sim.Engine, rt *lci.Runtime, rank int, cfg Config) *Engine {
 	if cfg.AMBatch <= 0 {
 		panic("lcice: AMBatch must be positive")
 	}
+	mreg := cfg.Metrics
+	if mreg == nil {
+		mreg = metrics.New()
+	}
 	e := &Engine{
 		eng:  eng,
 		rt:   rt,
@@ -142,6 +157,13 @@ func New(eng *sim.Engine, rt *lci.Runtime, rank int, cfg Config) *Engine {
 		comm: sim.NewProc(eng),
 		tags: core.NewTagTable(),
 		reg:  core.NewRegistry(rank),
+
+		amsSent:        mreg.Counter("lcice", "ams_sent", rank),
+		amsDelivered:   mreg.Counter("lcice", "ams_delivered", rank),
+		putsStarted:    mreg.Counter("lcice", "puts_started", rank),
+		putsDone:       mreg.Counter("lcice", "puts_done", rank),
+		putBytes:       mreg.Counter("lcice", "put_bytes", rank),
+		deferredEvents: mreg.Counter("lcice", "deferred", rank),
 	}
 	e.comm.WakeLatency = cfg.CommWake
 	if cfg.InlineProgress {
@@ -150,6 +172,11 @@ func New(eng *sim.Engine, rt *lci.Runtime, rank int, cfg Config) *Engine {
 		e.prog = sim.NewProc(eng)
 		e.prog.WakeLatency = cfg.ProgWake
 	}
+	mreg.Probe("lcice", "comm_busy", rank, true, func() float64 { return e.comm.BusyTime().Seconds() })
+	mreg.Probe("lcice", "prog_busy", rank, true, func() float64 { return e.prog.BusyTime().Seconds() })
+	mreg.Probe("lcice", "deferred_queue_depth", rank, false, func() float64 { return float64(len(e.deferred)) })
+	mreg.Probe("lcice", "am_queue_depth", rank, false, func() float64 { return float64(len(e.amQ)) })
+	mreg.Probe("lcice", "bulk_queue_depth", rank, false, func() float64 { return float64(len(e.bulkQ)) })
 	e.ep.SetWake(e.scheduleProgress)
 	e.ep.SetMsgComp(lci.Handler(e.onMsg))
 	e.ep.SetRMAComp(lci.Handler(e.onRMA))
@@ -185,8 +212,17 @@ func (e *Engine) CommProc() *sim.Proc { return e.comm }
 // InlineProgress is set).
 func (e *Engine) ProgProc() *sim.Proc { return e.prog }
 
-// Stats returns activity counters.
-func (e *Engine) Stats() core.Stats { return e.stats }
+// Stats returns activity counters, rebuilt from the metrics registry.
+func (e *Engine) Stats() core.Stats {
+	return core.Stats{
+		AMsSent:      e.amsSent.Value(),
+		AMsDelivered: e.amsDelivered.Value(),
+		PutsStarted:  e.putsStarted.Value(),
+		PutsDone:     e.putsDone.Value(),
+		PutBytes:     e.putBytes.Value(),
+		Deferred:     e.deferredEvents.Value(),
+	}
+}
 
 // OnError registers an unrecoverable-failure subscriber.
 func (e *Engine) OnError(fn func(error)) { e.errFns = append(e.errFns, fn) }
@@ -236,13 +272,13 @@ func (e *Engine) attempt(peer int, op func() error) {
 		return
 	}
 	if len(e.deferred) > 0 {
-		e.stats.Deferred++
+		e.deferredEvents.Inc()
 		e.pushDeferred(peer, op)
 		return
 	}
 	if err := op(); err != nil {
 		if err == lci.ErrRetry {
-			e.stats.Deferred++
+			e.deferredEvents.Inc()
 			e.pushDeferred(peer, op)
 			return
 		}
@@ -299,7 +335,7 @@ func (e *Engine) SendAM(tag core.Tag, remote int, data []byte) {
 	b := buf.FromBytes(data)
 	e.Submit(e.rt.Config().SendCost(b.Size), func() {
 		e.sendEagerWithRetry(remote, int(tag), b)
-		e.stats.AMsSent++
+		e.amsSent.Inc()
 	})
 }
 
@@ -311,7 +347,7 @@ func (e *Engine) SendAMMT(worker *sim.Proc, tag core.Tag, remote int, data []byt
 	cfg := e.rt.Config()
 	worker.Submit(cfg.SendCost(b.Size)+cfg.MTSendCost, func() {
 		e.sendEagerWithRetry(remote, int(tag), b)
-		e.stats.AMsSent++
+		e.amsSent.Inc()
 		if done != nil {
 			done()
 		}
@@ -338,15 +374,15 @@ func (e *Engine) Put(a core.PutArgs) {
 	if e.failed != nil {
 		return
 	}
-	e.stats.PutsStarted++
-	e.stats.PutBytes += uint64(a.Size)
+	e.putsStarted.Inc()
+	e.putBytes.Add(uint64(a.Size))
 	local := e.reg.Lookup(a.LReg).Slice(a.LDispl, a.Size)
 	cfg := e.rt.Config()
 
 	if e.cfg.NativePut {
 		meta := core.PutHeader{RTag: a.RTag, RCBData: a.RCBData}.Marshal()
 		comp := lci.Handler(func(lci.Request) {
-			e.stats.PutsDone++
+			e.putsDone.Inc()
 			e.pushBulk(handle{run: func() {
 				if a.LocalCB != nil {
 					a.LocalCB()
@@ -395,7 +431,7 @@ func (e *Engine) Put(a core.PutArgs) {
 	// Completion handler runs on the progress thread; it only pushes the
 	// callback handle to the bulk FIFO (§5.3.3).
 	comp := lci.Handler(func(lci.Request) {
-		e.stats.PutsDone++
+		e.putsDone.Inc()
 		e.pushBulk(handle{run: func() {
 			if a.LocalCB != nil {
 				a.LocalCB()
@@ -408,7 +444,7 @@ func (e *Engine) Put(a core.PutArgs) {
 }
 
 func (e *Engine) finishEagerPut(localCB func()) {
-	e.stats.PutsDone++
+	e.putsDone.Inc()
 	if localCB != nil {
 		e.comm.Submit(0, func() {
 			if localCB != nil {
@@ -429,7 +465,7 @@ func (e *Engine) onMsg(r lci.Request) {
 		cb, _ := e.tags.Lookup(tag)
 		data := r.Data.Bytes
 		src := r.Rank
-		e.stats.AMsDelivered++
+		e.amsDelivered.Inc()
 		e.pushAM(handle{run: func() { cb(e, tag, data, src) }})
 		return
 	}

@@ -22,6 +22,7 @@ import (
 
 	"amtlci/internal/buf"
 	"amtlci/internal/core"
+	"amtlci/internal/metrics"
 	"amtlci/internal/mpi"
 	"amtlci/internal/sim"
 )
@@ -59,6 +60,12 @@ type Config struct {
 	// message (standard MPI RMA cannot express it), and every registration
 	// pays the dynamic-window attach/detach costs of [25].
 	UseRMA bool
+
+	// Metrics is the registry the engine registers its instruments in
+	// (core.Stats counters, comm-thread utilization, deferred-queue and
+	// transfer-array depth, progress passes). Nil gets a private registry;
+	// stack.Build shares one across every layer.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns the paper's configuration: 5 persistent receives per
@@ -132,7 +139,12 @@ type Engine struct {
 
 	progressScheduled bool
 	nextDataTag       int32
-	stats             core.Stats
+
+	// core.Stats counters (metrics registry, layer "mpice").
+	amsSent, amsDelivered    *metrics.Counter
+	putsStarted, putsDone    *metrics.Counter
+	putBytes, deferredEvents *metrics.Counter
+	progressPasses           *metrics.Counter
 
 	errFns []func(error)
 	failed error
@@ -146,6 +158,10 @@ func New(eng *sim.Engine, w *mpi.World, rank int, cfg Config) *Engine {
 	if cfg.PersistentPerTag <= 0 || cfg.MaxTransfers <= 0 {
 		panic("mpice: PersistentPerTag and MaxTransfers must be positive")
 	}
+	mreg := cfg.Metrics
+	if mreg == nil {
+		mreg = metrics.New()
+	}
 	e := &Engine{
 		eng:  eng,
 		w:    w,
@@ -154,7 +170,18 @@ func New(eng *sim.Engine, w *mpi.World, rank int, cfg Config) *Engine {
 		comm: sim.NewProc(eng),
 		tags: core.NewTagTable(),
 		reg:  core.NewRegistry(rank),
+
+		amsSent:        mreg.Counter("mpice", "ams_sent", rank),
+		amsDelivered:   mreg.Counter("mpice", "ams_delivered", rank),
+		putsStarted:    mreg.Counter("mpice", "puts_started", rank),
+		putsDone:       mreg.Counter("mpice", "puts_done", rank),
+		putBytes:       mreg.Counter("mpice", "put_bytes", rank),
+		deferredEvents: mreg.Counter("mpice", "deferred", rank),
+		progressPasses: mreg.Counter("mpice", "progress_passes", rank),
 	}
+	mreg.Probe("mpice", "comm_busy", rank, true, func() float64 { return e.comm.BusyTime().Seconds() })
+	mreg.Probe("mpice", "deferred_queue_depth", rank, false, func() float64 { return float64(len(e.pending)) })
+	mreg.Probe("mpice", "xfer_depth", rank, false, func() float64 { return float64(len(e.xfer)) })
 	e.comm.WakeLatency = cfg.WakeLatency
 	e.rank.SetWake(e.schedule)
 	e.rank.SetErrHandler(func(peer int, err error) {
@@ -175,8 +202,17 @@ func (e *Engine) Size() int { return e.w.Size() }
 // CommProc returns the communication thread.
 func (e *Engine) CommProc() *sim.Proc { return e.comm }
 
-// Stats returns activity counters.
-func (e *Engine) Stats() core.Stats { return e.stats }
+// Stats returns activity counters, rebuilt from the metrics registry.
+func (e *Engine) Stats() core.Stats {
+	return core.Stats{
+		AMsSent:      e.amsSent.Value(),
+		AMsDelivered: e.amsDelivered.Value(),
+		PutsStarted:  e.putsStarted.Value(),
+		PutsDone:     e.putsDone.Value(),
+		PutBytes:     e.putBytes.Value(),
+		Deferred:     e.deferredEvents.Value(),
+	}
+}
 
 // OnError registers an unrecoverable-failure subscriber.
 func (e *Engine) OnError(fn func(error)) { e.errFns = append(e.errFns, fn) }
@@ -263,7 +299,7 @@ func (e *Engine) SendAM(tag core.Tag, remote int, data []byte) {
 			return
 		}
 		e.rank.Send(b, remote, int(tag))
-		e.stats.AMsSent++
+		e.amsSent.Inc()
 	})
 }
 
@@ -275,7 +311,7 @@ func (e *Engine) SendAMMT(worker *sim.Proc, tag core.Tag, remote int, data []byt
 	b := buf.FromBytes(data)
 	e.rank.LockedSubmit(e.w.Config().SendCost(b.Size), func() {
 		e.rank.Send(b, remote, int(tag))
-		e.stats.AMsSent++
+		e.amsSent.Inc()
 		if done != nil {
 			worker.Submit(0, done)
 		}
@@ -292,8 +328,8 @@ func (e *Engine) Put(a core.PutArgs) {
 	if e.failed != nil {
 		return
 	}
-	e.stats.PutsStarted++
-	e.stats.PutBytes += uint64(a.Size)
+	e.putsStarted.Inc()
+	e.putBytes.Add(uint64(a.Size))
 	local := e.reg.Lookup(a.LReg).Slice(a.LDispl, a.Size)
 
 	if e.cfg.UseRMA {
@@ -314,7 +350,7 @@ func (e *Engine) Put(a core.PutArgs) {
 		e.postDataSend(local, a.Remote, dataTag, a.LocalCB, a.Size)
 	} else {
 		// §4.2.2: insufficient space in the global array defers the send.
-		e.stats.Deferred++
+		e.deferredEvents.Inc()
 		e.pending = append(e.pending, pendingOp{
 			kind: pendingSend, data: local, dst: a.Remote, dataTag: dataTag,
 			localCB: a.LocalCB, size: a.Size,
@@ -343,7 +379,7 @@ func (e *Engine) putRMA(a core.PutArgs, local buf.Buf) {
 		e.rank.RmaPut(a.Remote, a.RReg.ID, a.RDispl, local, func() {
 			// Flush returned (runs during a progress pass on the
 			// communication thread): notify both sides.
-			e.stats.PutsDone++
+			e.putsDone.Inc()
 			e.SendAM(a.RTag, a.Remote, rcb)
 			if a.LocalCB != nil {
 				e.comm.Submit(e.cfg.DispatchCost, a.LocalCB)
@@ -373,7 +409,7 @@ func (e *Engine) onHandshake(_ core.Engine, _ core.Tag, data []byte, src int) {
 			e.xfer = append(e.xfer, slot)
 		} else {
 			// Posted but unpolled until promoted (§4.2.2).
-			e.stats.Deferred++
+			e.deferredEvents.Inc()
 			e.pending = append(e.pending, pendingOp{kind: pendingPromote, slot: slot})
 		}
 		e.schedule()
@@ -396,6 +432,7 @@ func (e *Engine) schedule() {
 
 func (e *Engine) runPass() {
 	e.progressScheduled = false
+	e.progressPasses.Inc()
 
 	// Assemble the global array: persistent AM requests first, then data
 	// transfers ("of length 5 x Nam + 30", §4.2.3).
@@ -434,7 +471,7 @@ func (e *Engine) dispatchAM(s *amSlot) {
 	size := s.req.Status.Size
 	src := s.req.Status.Source
 	payload := s.b[:size]
-	e.stats.AMsDelivered++
+	e.amsDelivered.Inc()
 	// The callback and the persistent-receive re-arm both execute on the
 	// communication thread; while they run, no Testsome happens — the
 	// §4.3 head-of-line blocking.
@@ -450,7 +487,7 @@ func (e *Engine) dispatchAM(s *amSlot) {
 func (e *Engine) completeXfer(s *xferSlot) {
 	s.done = true // mark for compaction
 	if s.isSend {
-		e.stats.PutsDone++
+		e.putsDone.Inc()
 		if s.localCB != nil {
 			e.comm.Submit(e.cfg.DispatchCost, s.localCB)
 		}

@@ -1,0 +1,99 @@
+package stack
+
+import (
+	"testing"
+
+	"amtlci/internal/fabric"
+	"amtlci/internal/metrics"
+	"amtlci/internal/sim"
+)
+
+// A partially-specified fabric config must be merged with the defaults
+// field-wise, not replaced wholesale: setting only the latency used to
+// silently revert bandwidth, gaps, and noise to the defaults AND discard
+// the latency itself.
+func TestFabricConfigMergesFieldWise(t *testing.T) {
+	o := DefaultOptions(LCI, 2)
+	o.Fabric = fabric.Config{Latency: 5 * sim.Microsecond}
+	s := Build(o)
+	got := s.Fab.Config()
+	def := fabric.DefaultConfig()
+	if got.Latency != 5*sim.Microsecond {
+		t.Errorf("Latency = %v, want 5µs (custom value dropped)", got.Latency)
+	}
+	if got.BandwidthGbps != def.BandwidthGbps {
+		t.Errorf("BandwidthGbps = %g, want default %g", got.BandwidthGbps, def.BandwidthGbps)
+	}
+	if got.MessageGap != def.MessageGap || got.CtlBypass != def.CtlBypass {
+		t.Errorf("gaps not defaulted: gap=%v ctl=%d", got.MessageGap, got.CtlBypass)
+	}
+}
+
+// A complete config (bandwidth set) passes through untouched, so explicit
+// zeros — e.g. Jitter = 0 for a noiseless chaos run — are respected.
+func TestFabricConfigCompletePassesThrough(t *testing.T) {
+	o := DefaultOptions(MPI, 2)
+	o.Fabric.Jitter = 0
+	s := Build(o)
+	if got := s.Fab.Config().Jitter; got != 0 {
+		t.Errorf("Jitter = %g, want explicit 0 preserved", got)
+	}
+}
+
+func TestParseBackend(t *testing.T) {
+	good := map[string]Backend{
+		"lci": LCI, "LCI": LCI,
+		"mpi": MPI, "MPI": MPI, "openmpi": MPI, "Open-MPI": MPI,
+	}
+	for in, want := range good {
+		b, err := ParseBackend(in)
+		if err != nil || b != want {
+			t.Errorf("ParseBackend(%q) = %v, %v; want %v, nil", in, b, err, want)
+		}
+	}
+	for _, in := range []string{"", "lc", "mpii", "ucx"} {
+		if _, err := ParseBackend(in); err == nil {
+			t.Errorf("ParseBackend(%q) accepted a typo", in)
+		}
+	}
+}
+
+// Build must thread one registry through every layer; with no explicit
+// registry it still creates and exposes a shared one.
+func TestSharedMetricsRegistry(t *testing.T) {
+	for _, b := range Backends {
+		reg := metrics.New()
+		o := DefaultOptions(b, 2)
+		o.Metrics = reg
+		s := Build(o)
+		if s.Metrics != reg {
+			t.Fatalf("%v: Stack.Metrics is not the supplied registry", b)
+		}
+		if s.Fab.Metrics() != reg {
+			t.Fatalf("%v: fabric did not inherit the shared registry", b)
+		}
+		// Every layer of the chosen backend registered instruments.
+		for _, layer := range []string{"fabric"} {
+			found := false
+			for _, snap := range reg.Snapshots() {
+				if snap.Desc.Layer == layer {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("%v: no instruments registered for layer %q", b, layer)
+			}
+		}
+		switch b {
+		case MPI:
+			if s.MPIWorld.Metrics() != reg {
+				t.Errorf("mpi world has a private registry")
+			}
+		case LCI:
+			if s.LCIRuntime.Metrics() != reg {
+				t.Errorf("lci runtime has a private registry")
+			}
+		}
+	}
+}

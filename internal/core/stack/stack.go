@@ -6,12 +6,14 @@ package stack
 
 import (
 	"fmt"
+	"strings"
 
 	"amtlci/internal/core"
 	"amtlci/internal/core/lcice"
 	"amtlci/internal/core/mpice"
 	"amtlci/internal/fabric"
 	"amtlci/internal/lci"
+	"amtlci/internal/metrics"
 	"amtlci/internal/mpi"
 	"amtlci/internal/rel"
 	"amtlci/internal/sim"
@@ -42,6 +44,20 @@ func (b Backend) String() string {
 // Backends lists both, in the order the paper's legends use.
 var Backends = []Backend{LCI, MPI}
 
+// ParseBackend maps a command-line flag value to a Backend. Accepted
+// spellings are case-insensitive: "mpi", "openmpi" or "open-mpi" for the
+// baseline, "lci" for the paper's engine. Anything else is an error, so a
+// typo cannot silently select a backend.
+func ParseBackend(s string) (Backend, error) {
+	switch strings.ToLower(s) {
+	case "mpi", "openmpi", "open-mpi":
+		return MPI, nil
+	case "lci":
+		return LCI, nil
+	}
+	return 0, fmt.Errorf("stack: unknown backend %q (want \"mpi\" or \"lci\")", s)
+}
+
 // Options configures a deployment. Zero-valued sub-configs are replaced by
 // the package defaults.
 type Options struct {
@@ -63,6 +79,12 @@ type Options struct {
 	// (internal/rel) between the fabric and the communication library.
 	// Zero-cost when absent: the libraries bind straight to the fabric.
 	Rel *rel.Config
+
+	// Metrics, when non-nil, is the registry every layer registers its
+	// instruments in; Build creates a fresh one otherwise. Either way the
+	// shared registry is exposed as Stack.Metrics. Per-layer Metrics fields
+	// left nil inherit it; a non-nil per-layer field wins.
+	Metrics *metrics.Registry
 }
 
 // DefaultOptions returns the paper-calibrated configuration for n ranks.
@@ -98,6 +120,9 @@ type Stack struct {
 	// counter inspection in tests and experiments).
 	MPIWorld   *mpi.World
 	LCIRuntime *lci.Runtime
+
+	// Metrics is the registry shared by every layer of this deployment.
+	Metrics *metrics.Registry
 }
 
 // Build assembles a deployment from o. Invalid options panic: every caller
@@ -108,12 +133,28 @@ func Build(o Options) *Stack {
 		panic("stack: Ranks must be positive")
 	}
 	eng := sim.NewEngine()
-	fc := o.Fabric
-	if fc.BandwidthGbps == 0 {
-		fc = fabric.DefaultConfig()
+	reg := o.Metrics
+	if reg == nil {
+		reg = metrics.New()
 	}
+	fc := mergeFabricDefaults(o.Fabric)
 	if o.Seed != 0 {
 		fc.Seed = o.Seed
+	}
+	if fc.Metrics == nil {
+		fc.Metrics = reg
+	}
+	if o.MPI.Metrics == nil {
+		o.MPI.Metrics = reg
+	}
+	if o.MPICE.Metrics == nil {
+		o.MPICE.Metrics = reg
+	}
+	if o.LCI.Metrics == nil {
+		o.LCI.Metrics = reg
+	}
+	if o.LCICE.Metrics == nil {
+		o.LCICE.Metrics = reg
 	}
 	fab, err := fabric.New(eng, o.Ranks, fc)
 	if err != nil {
@@ -124,10 +165,14 @@ func Build(o Options) *Stack {
 			panic(err)
 		}
 	}
-	s := &Stack{Eng: eng, Fab: fab, Backend: o.Backend}
+	s := &Stack{Eng: eng, Fab: fab, Backend: o.Backend, Metrics: reg}
 	var net fabric.Network = fab
 	if o.Rel != nil {
-		rl, err := rel.New(fab, *o.Rel)
+		rc := *o.Rel
+		if rc.Metrics == nil {
+			rc.Metrics = reg
+		}
+		rl, err := rel.New(fab, rc)
 		if err != nil {
 			panic(err)
 		}
@@ -151,6 +196,42 @@ func Build(o Options) *Stack {
 		panic(fmt.Sprintf("stack: unknown backend %d", o.Backend))
 	}
 	return s
+}
+
+// mergeFabricDefaults fills zero-valued fabric fields from the package
+// defaults when the config looks unset (no bandwidth given). A caller that
+// customizes only one knob — say Latency — keeps the default bandwidth,
+// gaps, and noise instead of having the whole config silently replaced. A
+// config with a bandwidth passes through untouched, so explicit zeros in a
+// complete config (e.g. Jitter = 0 for a noiseless run) are respected.
+func mergeFabricDefaults(fc fabric.Config) fabric.Config {
+	if fc.BandwidthGbps != 0 {
+		return fc
+	}
+	def := fabric.DefaultConfig()
+	fc.BandwidthGbps = def.BandwidthGbps
+	if fc.Latency == 0 {
+		fc.Latency = def.Latency
+	}
+	if fc.MessageGap == 0 {
+		fc.MessageGap = def.MessageGap
+	}
+	if fc.RxOverhead == 0 {
+		fc.RxOverhead = def.RxOverhead
+	}
+	if fc.LoopbackLatency == 0 {
+		fc.LoopbackLatency = def.LoopbackLatency
+	}
+	if fc.CtlBypass == 0 {
+		fc.CtlBypass = def.CtlBypass
+	}
+	if fc.Jitter == 0 {
+		fc.Jitter = def.Jitter
+	}
+	if fc.Seed == 0 {
+		fc.Seed = def.Seed
+	}
+	return fc
 }
 
 // New is shorthand for Build(DefaultOptions(b, n)).

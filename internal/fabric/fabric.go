@@ -22,6 +22,7 @@ package fabric
 import (
 	"fmt"
 
+	"amtlci/internal/metrics"
 	"amtlci/internal/sim"
 )
 
@@ -53,6 +54,12 @@ type Config struct {
 	Jitter float64
 	// Seed seeds the fabric's deterministic noise stream.
 	Seed uint64
+
+	// Metrics is the registry the fabric registers its instruments in
+	// (per-port traffic counters, queued bytes, engine utilization, fault
+	// counters). Nil gets a private registry, so standalone fabrics work
+	// unchanged; stack.Build shares one registry across every layer.
+	Metrics *metrics.Registry
 }
 
 // Validate reports the first nonsensical hardware parameter, or nil. Zero
@@ -150,7 +157,12 @@ type PortStats struct {
 type port struct {
 	tx, rx  *sim.Proc
 	handler Handler
-	stats   PortStats
+
+	msgsSent, msgsRecv   *metrics.Counter
+	bytesSent, bytesRecv *metrics.Counter
+	// txQueuedBytes tracks payload bytes accepted by Send but not yet read
+	// out of memory by the transmit engine (bulk lane back-pressure).
+	txQueuedBytes *metrics.Gauge
 }
 
 // Fabric connects a fixed set of ranks. All methods must be called from the
@@ -161,6 +173,7 @@ type Fabric struct {
 	ports []*port
 	rng   *sim.RNG
 	inj   *injector
+	reg   *metrics.Registry
 }
 
 // New builds a fabric with n ranks on eng. It returns a descriptive error
@@ -172,13 +185,32 @@ func New(eng *sim.Engine, n int, cfg Config) (*Fabric, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	f := &Fabric{eng: eng, cfg: cfg, rng: sim.NewRNG(cfg.Seed)}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.New()
+	}
+	f := &Fabric{eng: eng, cfg: cfg, rng: sim.NewRNG(cfg.Seed), reg: reg}
 	f.ports = make([]*port, n)
 	for i := range f.ports {
-		f.ports[i] = &port{tx: sim.NewProc(eng), rx: sim.NewProc(eng)}
+		p := &port{
+			tx:            sim.NewProc(eng),
+			rx:            sim.NewProc(eng),
+			msgsSent:      reg.Counter("fabric", "msgs_sent", i),
+			msgsRecv:      reg.Counter("fabric", "msgs_received", i),
+			bytesSent:     reg.Counter("fabric", "bytes_sent", i),
+			bytesRecv:     reg.Counter("fabric", "bytes_received", i),
+			txQueuedBytes: reg.Gauge("fabric", "tx_queued_bytes", i),
+		}
+		reg.Probe("fabric", "tx_busy", i, true, func() float64 { return p.tx.BusyTime().Seconds() })
+		reg.Probe("fabric", "rx_busy", i, true, func() float64 { return p.rx.BusyTime().Seconds() })
+		reg.Probe("fabric", "tx_queue_depth", i, false, func() float64 { return float64(p.tx.QueueLen()) })
+		f.ports[i] = p
 	}
 	return f, nil
 }
+
+// Metrics returns the registry the fabric's instruments live in.
+func (f *Fabric) Metrics() *metrics.Registry { return f.reg }
 
 // Ranks returns the number of ranks.
 func (f *Fabric) Ranks() int { return len(f.ports) }
@@ -204,8 +236,17 @@ func (f *Fabric) SerializeTime(size int64) sim.Duration {
 	return sim.Duration(float64(size) * 8000.0 / f.cfg.BandwidthGbps)
 }
 
-// Stats returns traffic counters for rank.
-func (f *Fabric) Stats(rank int) PortStats { return f.ports[rank].stats }
+// Stats returns traffic counters for rank, rebuilt from the metrics
+// registry (the registry is the single source of truth).
+func (f *Fabric) Stats(rank int) PortStats {
+	p := f.ports[rank]
+	return PortStats{
+		MsgsSent:      p.msgsSent.Value(),
+		MsgsReceived:  p.msgsRecv.Value(),
+		BytesSent:     p.bytesSent.Value(),
+		BytesReceived: p.bytesRecv.Value(),
+	}
+}
 
 // TxBusy returns the cumulative occupancy of rank's transmit engine.
 func (f *Fabric) TxBusy(rank int) sim.Duration { return f.ports[rank].tx.BusyTime() }
@@ -232,8 +273,8 @@ func (f *Fabric) Send(m *Message) {
 		DebugSend(m)
 	}
 	src := f.ports[m.Src]
-	src.stats.MsgsSent++
-	src.stats.BytesSent += uint64(m.Size)
+	src.msgsSent.Inc()
+	src.bytesSent.Add(uint64(m.Size))
 
 	if m.Src == m.Dst {
 		f.eng.After(f.cfg.LoopbackLatency, func() {
@@ -259,10 +300,10 @@ func (f *Fabric) Send(m *Message) {
 		}
 		wire += ft.extra
 		if ft.reorder {
-			f.inj.stats.Reordered++
+			f.inj.reordered.Inc()
 		}
 		if ft.corrupt {
-			f.inj.stats.Corrupted++
+			f.inj.corrupted.Inc()
 			m.Corrupted = true
 			if m.Payload != nil {
 				p := append([]byte(nil), m.Payload...)
@@ -273,14 +314,14 @@ func (f *Fabric) Send(m *Message) {
 		switch {
 		case ft.drop:
 			copies = 0
-			f.inj.stats.Dropped++
+			f.inj.dropped.Inc()
 			if ft.sever {
-				f.inj.stats.Severed++
+				f.inj.severed.Inc()
 			}
 		case ft.dup:
 			copies = 2
 			dupGap = f.inj.dupDelay
-			f.inj.stats.Duplicated++
+			f.inj.duplicated.Inc()
 		}
 	}
 
@@ -303,7 +344,9 @@ func (f *Fabric) Send(m *Message) {
 	// delivers after its per-message overhead, then stays occupied for the
 	// ingress serialization time so that converging senders contend for the
 	// port's bandwidth without delaying their own already-arrived bytes.
+	src.txQueuedBytes.Add(m.Size)
 	src.tx.Submit(f.cfg.MessageGap+ser, func() {
+		src.txQueuedBytes.Add(-m.Size)
 		if m.OnTx != nil {
 			m.OnTx()
 		}
@@ -321,8 +364,8 @@ func (f *Fabric) Send(m *Message) {
 
 func (f *Fabric) deliver(m *Message) {
 	p := f.ports[m.Dst]
-	p.stats.MsgsReceived++
-	p.stats.BytesReceived += uint64(m.Size)
+	p.msgsRecv.Inc()
+	p.bytesRecv.Add(uint64(m.Size))
 	if p.handler == nil {
 		panic(fmt.Sprintf("fabric: rank %d has no handler for message from %d", m.Dst, m.Src))
 	}

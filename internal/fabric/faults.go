@@ -3,6 +3,7 @@ package fabric
 import (
 	"fmt"
 
+	"amtlci/internal/metrics"
 	"amtlci/internal/sim"
 )
 
@@ -123,18 +124,28 @@ type FaultStats struct {
 }
 
 // injector implements the fault schedule. One RNG per directed link keeps
-// every link's fault stream independent of traffic elsewhere.
+// every link's fault stream independent of traffic elsewhere. Fault counters
+// live in the fabric's metrics registry under layer "fabric", rank
+// metrics.StackRank (faults describe the wire, not one port).
 type injector struct {
 	cfg          FaultConfig
 	n            int
 	rngs         map[int]*sim.RNG
 	reorderDelay sim.Duration
 	dupDelay     sim.Duration
-	stats        FaultStats
+
+	dropped, severed, duplicated, corrupted, reordered *metrics.Counter
 }
 
-func newInjector(cfg FaultConfig, n int, base Config) *injector {
-	in := &injector{cfg: cfg, n: n, rngs: make(map[int]*sim.RNG)}
+func newInjector(cfg FaultConfig, n int, base Config, reg *metrics.Registry) *injector {
+	in := &injector{
+		cfg: cfg, n: n, rngs: make(map[int]*sim.RNG),
+		dropped:    reg.Counter("fabric", "faults_dropped", metrics.StackRank),
+		severed:    reg.Counter("fabric", "faults_severed", metrics.StackRank),
+		duplicated: reg.Counter("fabric", "faults_duplicated", metrics.StackRank),
+		corrupted:  reg.Counter("fabric", "faults_corrupted", metrics.StackRank),
+		reordered:  reg.Counter("fabric", "faults_reordered", metrics.StackRank),
+	}
 	in.reorderDelay = cfg.ReorderDelay
 	if in.reorderDelay == 0 {
 		in.reorderDelay = 4 * base.Latency
@@ -214,14 +225,21 @@ func (f *Fabric) InstallFaults(cfg FaultConfig) error {
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
-	f.inj = newInjector(cfg, len(f.ports), f.cfg)
+	f.inj = newInjector(cfg, len(f.ports), f.cfg, f.reg)
 	return nil
 }
 
-// FaultStats returns fault-injection counters (zero when injection is off).
+// FaultStats returns fault-injection counters, rebuilt from the metrics
+// registry (zero when injection is off).
 func (f *Fabric) FaultStats() FaultStats {
 	if f.inj == nil {
 		return FaultStats{}
 	}
-	return f.inj.stats
+	return FaultStats{
+		Dropped:    f.inj.dropped.Value(),
+		Severed:    f.inj.severed.Value(),
+		Duplicated: f.inj.duplicated.Value(),
+		Corrupted:  f.inj.corrupted.Value(),
+		Reordered:  f.inj.reordered.Value(),
+	}
 }

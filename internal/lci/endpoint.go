@@ -5,6 +5,7 @@ import (
 
 	"amtlci/internal/buf"
 	"amtlci/internal/fabric"
+	"amtlci/internal/metrics"
 	"amtlci/internal/sim"
 )
 
@@ -14,6 +15,7 @@ type Runtime struct {
 	fab fabric.Network
 	cfg Config
 	eps []*Endpoint
+	reg *metrics.Registry
 }
 
 // NewRuntime attaches one Endpoint per fabric port. fab may be the raw
@@ -21,10 +23,23 @@ type Runtime struct {
 // (fabric.ErrNotifier), those are forwarded to each endpoint's error
 // handler.
 func NewRuntime(eng *sim.Engine, fab fabric.Network, cfg Config) *Runtime {
-	rt := &Runtime{eng: eng, fab: fab, cfg: cfg}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.New()
+	}
+	rt := &Runtime{eng: eng, fab: fab, cfg: cfg, reg: reg}
 	rt.eps = make([]*Endpoint, fab.Ranks())
 	for i := range rt.eps {
-		ep := &Endpoint{rt: rt, me: i}
+		ep := &Endpoint{
+			rt: rt, me: i,
+			sent:          reg.Counter("lci", "sent", i),
+			received:      reg.Counter("lci", "received", i),
+			retries:       reg.Counter("lci", "retries", i),
+			progressCalls: reg.Counter("lci", "progress_calls", i),
+			packets:       reg.Gauge("lci", "packets_in_flight", i),
+			direct:        reg.Gauge("lci", "direct_in_flight", i),
+		}
+		reg.Probe("lci", "cq_depth", i, false, func() float64 { return float64(len(ep.staged)) })
 		rt.eps[i] = ep
 		fab.SetHandler(i, ep.onArrival)
 	}
@@ -45,6 +60,9 @@ func (rt *Runtime) Size() int { return len(rt.eps) }
 
 // Config returns the runtime's parameters.
 func (rt *Runtime) Config() Config { return rt.cfg }
+
+// Metrics returns the registry the runtime's instruments live in.
+func (rt *Runtime) Metrics() *metrics.Registry { return rt.reg }
 
 type lciKind int8
 
@@ -99,9 +117,11 @@ type Endpoint struct {
 	postedRecv []*directOp
 	pendingRTS []*packet // RTSes with no matching posted receive yet
 
-	// Resource accounting for back-pressure.
-	packetsInFlight int
-	directInFlight  int
+	// Resource accounting for back-pressure: packet-pool occupancy and
+	// posted Direct operations, kept as gauges so occupancy and high-water
+	// marks are observable (metrics registry, layer "lci").
+	packets *metrics.Gauge
+	direct  *metrics.Gauge
 
 	// msgComp receives completions for Immediate/Buffered arrivals; buffers
 	// are allocated dynamically, no receive needs to be posted (§5.2).
@@ -114,10 +134,19 @@ type Endpoint struct {
 	wake  func()
 	errFn func(peer int, err error)
 
-	// Counters for tests and experiments.
-	Sent, Received uint64
-	Retries        uint64
+	// Counters for tests and experiments (metrics registry, layer "lci").
+	sent, received, retries *metrics.Counter
+	progressCalls           *metrics.Counter
 }
+
+// Sent counts messages this endpoint has sent (all protocols).
+func (ep *Endpoint) Sent() uint64 { return ep.sent.Value() }
+
+// Received counts payload deliveries at this endpoint.
+func (ep *Endpoint) Received() uint64 { return ep.received.Value() }
+
+// Retries counts ErrRetry back-pressure rejections.
+func (ep *Endpoint) Retries() uint64 { return ep.retries.Value() }
 
 // ID returns the endpoint's rank.
 func (ep *Endpoint) ID() int { return ep.me }
@@ -187,12 +216,12 @@ func (ep *Endpoint) Sendmx(dst, tag int, header, extra buf.Buf) error {
 		panic(fmt.Sprintf("lci: Sendmx payload %d exceeds buffered max %d",
 			header.Size+extra.Size, ep.rt.cfg.BufferedMax))
 	}
-	if ep.packetsInFlight >= ep.rt.cfg.SendPackets {
-		ep.Retries++
+	if ep.packets.Value() >= int64(ep.rt.cfg.SendPackets) {
+		ep.retries.Inc()
 		return ErrRetry
 	}
-	ep.packetsInFlight++
-	ep.Sent++
+	ep.packets.Add(1)
+	ep.sent.Inc()
 	ep.rt.fab.Send(&fabric.Message{
 		Src: ep.me, Dst: dst, Size: header.Size + extra.Size + ep.rt.cfg.HeaderBytes,
 		Meta: &packet{kind: kindMsg, src: ep.me, tag: tag, size: header.Size + extra.Size,
@@ -212,12 +241,12 @@ func snapshot(b buf.Buf) buf.Buf {
 }
 
 func (ep *Endpoint) eagerSend(dst, tag int, b buf.Buf) error {
-	if ep.packetsInFlight >= ep.rt.cfg.SendPackets {
-		ep.Retries++
+	if ep.packets.Value() >= int64(ep.rt.cfg.SendPackets) {
+		ep.retries.Inc()
 		return ErrRetry
 	}
-	ep.packetsInFlight++
-	ep.Sent++
+	ep.packets.Add(1)
+	ep.sent.Inc()
 	ep.rt.fab.Send(&fabric.Message{
 		Src: ep.me, Dst: dst, Size: b.Size + ep.rt.cfg.HeaderBytes,
 		Meta: &packet{kind: kindMsg, src: ep.me, tag: tag, size: b.Size, payload: snapshot(b)},
@@ -230,12 +259,12 @@ func (ep *Endpoint) eagerSend(dst, tag int, b buf.Buf) error {
 // completion when the source buffer may be reused. The caller charges
 // Config.PostCost.
 func (ep *Endpoint) Sendd(dst, tag int, b buf.Buf, comp Comp, userCtx any) error {
-	if ep.directInFlight >= ep.rt.cfg.MaxDirect {
-		ep.Retries++
+	if ep.direct.Value() >= int64(ep.rt.cfg.MaxDirect) {
+		ep.retries.Inc()
 		return ErrRetry
 	}
-	ep.directInFlight++
-	ep.Sent++
+	ep.direct.Add(1)
+	ep.sent.Inc()
 	op := &directOp{ep: ep, tag: tag, peer: dst, b: b, comp: comp, userCtx: userCtx}
 	ep.rt.fab.Send(&fabric.Message{
 		Src: ep.me, Dst: dst, Size: ep.rt.cfg.CtrlBytes,
@@ -250,11 +279,11 @@ func (ep *Endpoint) Sendd(dst, tag int, b buf.Buf, comp Comp, userCtx any) error
 // operations outstanding it returns ErrRetry, which the PaRSEC LCI backend
 // handles by delegating the retry to the communication thread (§5.3.3).
 func (ep *Endpoint) Recvd(src, tag int, b buf.Buf, comp Comp, userCtx any) error {
-	if ep.directInFlight >= ep.rt.cfg.MaxDirect {
-		ep.Retries++
+	if ep.direct.Value() >= int64(ep.rt.cfg.MaxDirect) {
+		ep.retries.Inc()
 		return ErrRetry
 	}
-	ep.directInFlight++
+	ep.direct.Add(1)
 	op := &directOp{ep: ep, tag: tag, peer: src, b: b, comp: comp, userCtx: userCtx}
 	// Match an already-arrived RTS first.
 	for i, p := range ep.pendingRTS {
@@ -309,12 +338,13 @@ func (ep *Endpoint) StagedWork() bool { return len(ep.staged) > 0 }
 // progress thread to exactly this call (§5.3.1). Callers charge
 // ProgressCost (sampled immediately before).
 func (ep *Endpoint) Progress() {
+	ep.progressCalls.Inc()
 	staged := ep.staged
 	ep.staged = nil
 	for _, p := range staged {
 		switch p.kind {
 		case kindMsg:
-			ep.Received++
+			ep.received.Inc()
 			deliver(ep.msgComp, Request{Rank: p.src, Tag: p.tag, Data: p.payload, Extra: p.extra})
 		case kindRTS:
 			if op := ep.findPostedRecv(p); op != nil {
@@ -331,8 +361,8 @@ func (ep *Endpoint) Progress() {
 			})
 		case kindData:
 			op := p.rctx
-			ep.Received++
-			ep.directInFlight--
+			ep.received.Inc()
+			ep.direct.Add(-1)
 			buf.Copy(op.b, p.payload)
 			deliver(op.comp, Request{Rank: p.src, Tag: p.tag, Data: op.b, UserCtx: op.userCtx})
 		case kindPut:
@@ -340,15 +370,15 @@ func (ep *Endpoint) Progress() {
 			if !ok {
 				panic(fmt.Sprintf("lci: one-sided put to unknown RMA key %v at rank %d", p.rmaKey, ep.me))
 			}
-			ep.Received++
+			ep.received.Inc()
 			buf.Copy(target.Slice(p.rmaOff, p.size), p.payload)
 			deliver(ep.rmaComp, Request{Rank: p.src, Data: buf.FromBytes(p.rmaMeta)})
 		case kindSendDone:
 			op := p.sctx
-			ep.directInFlight--
+			ep.direct.Add(-1)
 			deliver(op.comp, Request{Rank: op.peer, Tag: op.tag, Data: op.b, UserCtx: op.userCtx})
 		case kindPktDone:
-			ep.packetsInFlight--
+			ep.packets.Add(-1)
 		}
 	}
 }

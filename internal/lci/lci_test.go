@@ -167,8 +167,8 @@ func TestRecvdBackPressureErrRetry(t *testing.T) {
 	if err := ep.Recvd(AnyRank, 999999, buf.Virtual(8), nil, nil); err != ErrRetry {
 		t.Fatalf("err = %v, want ErrRetry", err)
 	}
-	if ep.Retries != 1 {
-		t.Fatalf("Retries = %d, want 1", ep.Retries)
+	if ep.Retries() != 1 {
+		t.Fatalf("Retries = %d, want 1", ep.Retries())
 	}
 	_ = eng
 }

@@ -54,12 +54,12 @@ func (ep *Endpoint) SetRMAComp(c Comp) { ep.rmaComp = c }
 // Putd participates in the Direct resource pool (ErrRetry back-pressure).
 // The caller charges Config.PostCost.
 func (ep *Endpoint) Putd(dst int, key RMAKey, off int64, b buf.Buf, meta []byte, comp Comp, userCtx any) error {
-	if ep.directInFlight >= ep.rt.cfg.MaxDirect {
-		ep.Retries++
+	if ep.direct.Value() >= int64(ep.rt.cfg.MaxDirect) {
+		ep.retries.Inc()
 		return ErrRetry
 	}
-	ep.directInFlight++
-	ep.Sent++
+	ep.direct.Add(1)
+	ep.sent.Inc()
 	op := &directOp{ep: ep, peer: dst, b: b, comp: comp, userCtx: userCtx}
 	metaCopy := append([]byte(nil), meta...)
 	ep.rt.fab.Send(&fabric.Message{

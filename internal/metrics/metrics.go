@@ -1,0 +1,310 @@
+// Package metrics is the runtime-wide observability registry: counters,
+// gauges, log2-bucketed histograms, and probes, keyed by (layer, name, rank)
+// and cheap enough to be always-on. Every layer of the stack — fabric, mpi,
+// lci, the two communication engines, rel, parsec — registers its instruments
+// here instead of keeping private ad-hoc counter fields, so one registry per
+// deployment describes the whole run.
+//
+// Instruments live against virtual time: a Sampler (sampler.go) turns the
+// registry into per-metric time series suitable for Perfetto counter tracks,
+// and bench.MetricsTable renders an end-of-run summary as a CSV table.
+//
+// Concurrency: a Registry is bound to one simulation engine and follows the
+// same single-goroutine discipline as everything else built on internal/sim.
+// Instruments are plain fields with no atomics — an increment is one add on
+// the hot path, which is what makes always-on affordable.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+)
+
+// Kind discriminates instrument types in snapshots.
+type Kind uint8
+
+const (
+	// KindCounter is a monotonically increasing count of events.
+	KindCounter Kind = iota
+	// KindGauge is an instantaneous level with a high-water mark.
+	KindGauge
+	// KindHistogram is a log2-bucketed distribution of observed values.
+	KindHistogram
+	// KindProbe is a callback sampled on demand (queue depths, busy time).
+	KindProbe
+)
+
+// String names the kind for tables.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	case KindProbe:
+		return "probe"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// StackRank is the rank value for instruments that describe the whole
+// deployment rather than one rank (fault injection, rel's shared stack).
+const StackRank = -1
+
+// Counter is a monotonically increasing event count.
+type Counter struct{ n uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n++ }
+
+// Add adds d.
+func (c *Counter) Add(d uint64) { c.n += d }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Gauge is an instantaneous level (queue depth, in-flight window) with a
+// high-water mark.
+type Gauge struct{ v, max int64 }
+
+// Add moves the level by d (negative to decrease).
+func (g *Gauge) Add(d int64) {
+	g.v += d
+	if g.v > g.max {
+		g.max = g.v
+	}
+}
+
+// Set replaces the level.
+func (g *Gauge) Set(v int64) {
+	g.v = v
+	if v > g.max {
+		g.max = v
+	}
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v }
+
+// Max returns the high-water mark.
+func (g *Gauge) Max() int64 { return g.max }
+
+// Histogram buckets observations by log2 magnitude: bucket i counts values v
+// with bits.Len64(v) == i, i.e. v in [2^(i-1), 2^i). Fixed 65 buckets cover
+// the whole uint64 range with no configuration and O(1) observation.
+type Histogram struct {
+	count   uint64
+	sum     float64
+	buckets [65]uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	h.count++
+	h.sum += float64(v)
+	h.buckets[bits.Len64(v)]++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Mean returns the average observed value, or 0 with no observations.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Quantile returns an upper bound on the q-quantile (0 <= q <= 1): the upper
+// edge of the first bucket whose cumulative count reaches q. Resolution is a
+// factor of two, which is what a log2 histogram buys.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	need := uint64(math.Ceil(q * float64(h.count)))
+	if need == 0 {
+		need = 1
+	}
+	var cum uint64
+	for i, n := range h.buckets {
+		cum += n
+		if cum >= need {
+			if i == 0 {
+				return 0
+			}
+			return math.Ldexp(1, i) - 1 // upper edge: 2^i - 1
+		}
+	}
+	return math.Inf(1) // unreachable
+}
+
+// probe is a registered sampling callback.
+type probe struct {
+	fn func() float64
+	// cumulative marks monotone probes (e.g. cumulative busy seconds): the
+	// sampler differentiates consecutive readings into a rate, exactly as it
+	// does for counters. Level probes (queue depths) are plotted directly.
+	cumulative bool
+}
+
+// Desc identifies one instrument.
+type Desc struct {
+	Layer string // owning subsystem: "fabric", "lci", "mpice", ...
+	Name  string // metric name within the layer, e.g. "deferred_queue_depth"
+	Rank  int    // owning rank, or StackRank
+}
+
+// entry is one registered instrument.
+type entry struct {
+	desc Desc
+	kind Kind
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+	p    probe
+}
+
+// Registry holds every instrument of one deployment, in registration order.
+type Registry struct {
+	entries []*entry
+	index   map[Desc]*entry
+}
+
+// New returns an empty registry.
+func New() *Registry { return &Registry{index: make(map[Desc]*entry)} }
+
+func (r *Registry) get(layer, name string, rank int, kind Kind) *entry {
+	d := Desc{Layer: layer, Name: name, Rank: rank}
+	if e, ok := r.index[d]; ok {
+		if e.kind != kind {
+			panic(fmt.Sprintf("metrics: %s/%s rank %d registered as %v, requested as %v",
+				layer, name, rank, e.kind, kind))
+		}
+		return e
+	}
+	e := &entry{desc: d, kind: kind}
+	r.entries = append(r.entries, e)
+	r.index[d] = e
+	return e
+}
+
+// Counter returns the counter for (layer, name, rank), creating it on first
+// use. Requesting an existing name as a different kind panics: a metric name
+// collision is a programming error.
+func (r *Registry) Counter(layer, name string, rank int) *Counter {
+	e := r.get(layer, name, rank, KindCounter)
+	if e.c == nil {
+		e.c = &Counter{}
+	}
+	return e.c
+}
+
+// Gauge returns the gauge for (layer, name, rank), creating it on first use.
+func (r *Registry) Gauge(layer, name string, rank int) *Gauge {
+	e := r.get(layer, name, rank, KindGauge)
+	if e.g == nil {
+		e.g = &Gauge{}
+	}
+	return e.g
+}
+
+// Histogram returns the histogram for (layer, name, rank), creating it on
+// first use.
+func (r *Registry) Histogram(layer, name string, rank int) *Histogram {
+	e := r.get(layer, name, rank, KindHistogram)
+	if e.h == nil {
+		e.h = &Histogram{}
+	}
+	return e.h
+}
+
+// Probe registers fn as the sampling callback for (layer, name, rank). A
+// cumulative probe reports a monotone total (busy seconds, bytes moved) that
+// the sampler differentiates into a rate; a level probe reports an
+// instantaneous value (queue depth) plotted directly. Re-registering replaces
+// the callback.
+func (r *Registry) Probe(layer, name string, rank int, cumulative bool, fn func() float64) {
+	e := r.get(layer, name, rank, KindProbe)
+	e.p = probe{fn: fn, cumulative: cumulative}
+}
+
+// Len returns the number of registered instruments.
+func (r *Registry) Len() int { return len(r.entries) }
+
+// Snapshot is the current state of one instrument.
+type Snapshot struct {
+	Desc Desc
+	Kind Kind
+
+	// Value is the counter count, gauge level, or probe reading. For
+	// histograms it is the observation count.
+	Value float64
+	// Max is the gauge high-water mark (gauges only).
+	Max float64
+	// Sum, Mean, P50 and P99 summarize histograms (histograms only; P50/P99
+	// are log2-bucket upper bounds).
+	Sum, Mean, P50, P99 float64
+	// Cumulative marks probes whose Value is a monotone total.
+	Cumulative bool
+}
+
+// Snapshots returns the state of every instrument, sorted by layer, name,
+// rank, for stable tables.
+func (r *Registry) Snapshots() []Snapshot {
+	out := make([]Snapshot, 0, len(r.entries))
+	for _, e := range r.entries {
+		s := Snapshot{Desc: e.desc, Kind: e.kind}
+		switch e.kind {
+		case KindCounter:
+			s.Value = float64(e.c.Value())
+		case KindGauge:
+			s.Value = float64(e.g.Value())
+			s.Max = float64(e.g.Max())
+		case KindHistogram:
+			s.Value = float64(e.h.Count())
+			s.Sum = e.h.Sum()
+			s.Mean = e.h.Mean()
+			s.P50 = e.h.Quantile(0.50)
+			s.P99 = e.h.Quantile(0.99)
+		case KindProbe:
+			if e.p.fn != nil {
+				s.Value = e.p.fn()
+			}
+			s.Cumulative = e.p.cumulative
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Desc, out[j].Desc
+		if a.Layer != b.Layer {
+			return a.Layer < b.Layer
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.Rank < b.Rank
+	})
+	return out
+}
+
+// Total sums a counter metric across all ranks of a layer (including
+// StackRank entries). Missing metrics total zero.
+func (r *Registry) Total(layer, name string) uint64 {
+	var t uint64
+	for _, e := range r.entries {
+		if e.kind == KindCounter && e.desc.Layer == layer && e.desc.Name == name {
+			t += e.c.Value()
+		}
+	}
+	return t
+}

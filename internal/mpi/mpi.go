@@ -31,6 +31,7 @@ package mpi
 import (
 	"amtlci/internal/buf"
 	"amtlci/internal/fabric"
+	"amtlci/internal/metrics"
 	"amtlci/internal/sim"
 )
 
@@ -83,6 +84,12 @@ type Config struct {
 	// AllowOvertaking corresponds to the mpi_assert_allow_overtaking Info
 	// key; PaRSEC sets it because it does not need MPI ordering.
 	AllowOvertaking bool
+
+	// Metrics is the registry every rank registers its instruments in
+	// (send/receive counters, unexpected-queue depth, rendezvous sends in
+	// flight, lock-queue depth). Nil gets a private registry; stack.Build
+	// shares one across every layer.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns a cost model calibrated against Open MPI/UCX-class
@@ -150,6 +157,7 @@ type World struct {
 	fab   fabric.Network
 	cfg   Config
 	ranks []*Rank
+	reg   *metrics.Registry
 }
 
 // NewWorld attaches one Rank per fabric port and installs delivery handlers.
@@ -157,10 +165,23 @@ type World struct {
 // failures (fabric.ErrNotifier), those are forwarded to each rank's error
 // handler.
 func NewWorld(eng *sim.Engine, fab fabric.Network, cfg Config) *World {
-	w := &World{eng: eng, fab: fab, cfg: cfg}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.New()
+	}
+	w := &World{eng: eng, fab: fab, cfg: cfg, reg: reg}
 	w.ranks = make([]*Rank, fab.Ranks())
 	for i := range w.ranks {
-		r := &Rank{w: w, me: i, lock: sim.NewProc(eng)}
+		r := &Rank{
+			w: w, me: i, lock: sim.NewProc(eng),
+			sent:           reg.Counter("mpi", "sent", i),
+			received:       reg.Counter("mpi", "received", i),
+			unexpectedHits: reg.Counter("mpi", "unexpected_hits", i),
+			isendsInFlight: reg.Gauge("mpi", "isends_in_flight", i),
+		}
+		reg.Probe("mpi", "unexpected_depth", i, false, func() float64 { return float64(len(r.unexpected)) })
+		reg.Probe("mpi", "posted_depth", i, false, func() float64 { return float64(len(r.posted)) })
+		reg.Probe("mpi", "lock_queue_depth", i, false, func() float64 { return float64(r.lock.QueueLen()) })
 		w.ranks[i] = r
 		fab.SetHandler(i, r.onArrival)
 	}
@@ -182,6 +203,9 @@ func (w *World) Size() int { return len(w.ranks) }
 // Config returns the world's cost model.
 func (w *World) Config() Config { return w.cfg }
 
+// Metrics returns the registry the world's instruments live in.
+func (w *World) Metrics() *metrics.Registry { return w.reg }
+
 // Rank is one process's view of the library. All methods must run on the
 // owning simulation engine's goroutine.
 type Rank struct {
@@ -197,10 +221,22 @@ type Rank struct {
 	wake  func()
 	errFn func(peer int, err error)
 
-	// Counters for experiments and tests.
-	Sent, Received uint64
-	UnexpectedHits uint64
+	// Counters for experiments and tests (metrics registry, layer "mpi").
+	sent, received, unexpectedHits *metrics.Counter
+	// isendsInFlight tracks rendezvous sends posted but not yet locally
+	// complete (eager sends complete at post time and never appear here).
+	isendsInFlight *metrics.Gauge
 }
+
+// Sent counts messages posted by this rank.
+func (r *Rank) Sent() uint64 { return r.sent.Value() }
+
+// Received counts payload deliveries at this rank.
+func (r *Rank) Received() uint64 { return r.received.Value() }
+
+// UnexpectedHits counts receives satisfied from the unexpected-message
+// queue rather than by a fresh arrival.
+func (r *Rank) UnexpectedHits() uint64 { return r.unexpectedHits.Value() }
 
 // ID returns this rank's index.
 func (r *Rank) ID() int { return r.me }

@@ -82,8 +82,8 @@ func TestUnexpectedEagerMessageMatchedByLaterRecv(t *testing.T) {
 	if !rq.Done() || rbuf[0] != 9 {
 		t.Fatalf("unexpected-path recv failed: done=%v buf=%v", rq.Done(), rbuf)
 	}
-	if w.Rank(1).UnexpectedHits != 1 {
-		t.Fatalf("UnexpectedHits = %d, want 1", w.Rank(1).UnexpectedHits)
+	if w.Rank(1).UnexpectedHits() != 1 {
+		t.Fatalf("UnexpectedHits = %d, want 1", w.Rank(1).UnexpectedHits())
 	}
 }
 
@@ -368,7 +368,7 @@ func TestMessageAndByteConservation(t *testing.T) {
 			}
 		}
 		for i := 0; i < 3; i++ {
-			recvEager += w.Rank(i).Received
+			recvEager += w.Rank(i).Received()
 		}
 		_ = sentEager
 		_ = recvEager

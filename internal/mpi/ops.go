@@ -24,7 +24,7 @@ func clonePayload(b buf.Buf) buf.Buf {
 // drained the source buffer. The caller charges Config.SendCost.
 func (r *Rank) Isend(b buf.Buf, dst, tag int) *Request {
 	q := &Request{r: r, kind: reqSend, active: true, dst: dst, tag: tag, size: b.Size, b: b}
-	r.Sent++
+	r.sent.Inc()
 	if b.Size <= r.w.cfg.EagerThreshold {
 		// Eager: a copy of the user buffer goes on the wire now, so the
 		// send is locally complete.
@@ -36,6 +36,7 @@ func (r *Rank) Isend(b buf.Buf, dst, tag int) *Request {
 		return q
 	}
 	// Rendezvous: advertise with an RTS; data moves when the target matches.
+	r.isendsInFlight.Add(1)
 	r.w.fab.Send(&fabric.Message{
 		Src: r.me, Dst: dst, Size: r.w.cfg.CtrlBytes,
 		Meta: &wire{kind: wireRTS, src: r.me, tag: tag, size: b.Size, sreq: q},
@@ -95,7 +96,7 @@ func (r *Rank) matchOrPost(q *Request) {
 			continue
 		}
 		r.unexpected = append(r.unexpected[:i], r.unexpected[i+1:]...)
-		r.UnexpectedHits++
+		r.unexpectedHits.Inc()
 		r.consume(q, u)
 		return
 	}
@@ -187,7 +188,7 @@ func (r *Rank) Progress() {
 				r.unexpected = append(r.unexpected, w)
 			}
 			if w.kind == wireEager {
-				r.Received++
+				r.received.Inc()
 			}
 		case wireCTS:
 			// We are the rendezvous origin: stream the payload.
@@ -207,9 +208,10 @@ func (r *Rank) Progress() {
 			q.Status = Status{Source: w.src, Tag: w.tag, Size: w.size}
 			q.done = true
 			q.awaitingData = false
-			r.Received++
+			r.received.Inc()
 		case wireSendDone:
 			w.sreq.done = true
+			r.isendsInFlight.Add(-1)
 		case wireRmaAck:
 			// Flush completion at the origin: run the put's continuation.
 			if w.rmaOp.done != nil {

@@ -87,7 +87,7 @@ func (r *Rank) handleRmaPut(w *wire) {
 		panic(fmt.Sprintf("mpi: RMA put to unattached region %d at rank %d", w.rmaID, r.me))
 	}
 	buf.Copy(target.Slice(w.rmaOff, w.size), w.payload)
-	r.Received++
+	r.received.Inc()
 	r.w.fab.Send(&fabric.Message{
 		Src: r.me, Dst: w.src, Size: r.w.cfg.CtrlBytes,
 		Meta: &wire{kind: wireRmaAck, src: r.me, rmaOp: w.rmaOp},

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"amtlci/internal/core"
+	"amtlci/internal/metrics"
 	"amtlci/internal/sim"
 )
 
@@ -37,7 +38,9 @@ type node struct {
 	pendingAct  map[int][]activation
 	flushQueued map[int]bool
 
-	stats Stats
+	// Runtime counters (metrics registry, layer "parsec", per rank).
+	tasksRun, activatesSent, activations  *metrics.Counter
+	getsSent, fetchDeferred, bytesFetched *metrics.Counter
 
 	inputScratch []Dep
 	succScratch  []Dep
@@ -83,6 +86,23 @@ func newNode(rt *Runtime, rank int, ce core.Engine, cfg Config) *node {
 		n.workers[i] = sim.NewProc(rt.eng)
 		n.idle = append(n.idle, i)
 	}
+	reg := rt.reg
+	n.tasksRun = reg.Counter("parsec", "tasks_run", rank)
+	n.activatesSent = reg.Counter("parsec", "activates_sent", rank)
+	n.activations = reg.Counter("parsec", "activations", rank)
+	n.getsSent = reg.Counter("parsec", "gets_sent", rank)
+	n.fetchDeferred = reg.Counter("parsec", "fetch_deferred", rank)
+	n.bytesFetched = reg.Counter("parsec", "bytes_fetched", rank)
+	reg.Probe("parsec", "ready_queue_depth", rank, false, func() float64 { return float64(n.ready.Len()) })
+	reg.Probe("parsec", "fetch_queue_depth", rank, false, func() float64 { return float64(n.fetchQ.Len()) })
+	reg.Probe("parsec", "active_fetches", rank, false, func() float64 { return float64(n.activeFetches) })
+	reg.Probe("parsec", "workers_busy", rank, true, func() float64 {
+		var busy sim.Duration
+		for _, w := range n.workers {
+			busy += w.BusyTime()
+		}
+		return busy.Seconds()
+	})
 	ce.TagReg(tagActivate, n.onActivate, int64(cfg.AMCap))
 	ce.TagReg(tagGetData, n.onGetData, 256)
 	ce.TagReg(tagPutDone, n.onPutDone, 256)
@@ -199,7 +219,7 @@ func (n *node) execute(t TaskID, w int) {
 // through the ACTIVATE protocol (Figure 1).
 func (n *node) complete(t TaskID, w int) {
 	n.executed++
-	n.stats.TasksRun++
+	n.tasksRun.Inc()
 	// The task's dependence state is dead from here on (every input was
 	// satisfied exactly once, pre-execution); dropping it keeps memory flat
 	// on multi-million-task runs.
@@ -271,8 +291,8 @@ func (n *node) complete(t TaskID, w int) {
 func (n *node) sendActivate(dest int, act activation, w int) {
 	if n.cfg.MTActivate {
 		payload := encodeActivates([]activation{act})
-		n.stats.ActivatesSent++
-		n.stats.Activations++
+		n.activatesSent.Inc()
+		n.activations.Inc()
 		if n.rt.obs != nil {
 			n.rt.obs.ActivateSent(n.rank, dest, 1, n.rt.eng.Now())
 		}
@@ -312,8 +332,8 @@ func (n *node) flushActivates(dest int) {
 		}
 		chunk := entries[:cut]
 		entries = entries[cut:]
-		n.stats.ActivatesSent++
-		n.stats.Activations += int64(len(chunk))
+		n.activatesSent.Inc()
+		n.activations.Add(uint64(len(chunk)))
 		if n.rt.obs != nil {
 			n.rt.obs.ActivateSent(n.rank, dest, len(chunk), n.rt.eng.Now())
 		}
@@ -392,8 +412,8 @@ func (n *node) processActivation(act activation) {
 			fwd.hopSend = now
 			fwd.subtree = sub[1:]
 			n.ce.SendAM(tagActivate, int(sub[0]), encodeActivates([]activation{fwd}))
-			n.stats.ActivatesSent++
-			n.stats.Activations++
+			n.activatesSent.Inc()
+			n.activations.Inc()
 		}
 	}
 
@@ -429,7 +449,7 @@ func (n *node) processActivation(act activation) {
 			}
 		}
 		if allBlocked {
-			n.stats.FetchDeferred++
+			n.fetchDeferred.Inc()
 			return
 		}
 		for _, w := range fd.waiters {
@@ -457,7 +477,7 @@ func (n *node) requestFetch(key flowKey, fd *flowData, prio int64) {
 		n.startFetch(key, fd)
 	} else {
 		fd.state = flowQueued
-		n.stats.FetchDeferred++
+		n.fetchDeferred.Inc()
 		n.fetchQ.Push(prio, key.task, func() { n.startFetch(key, fd) })
 	}
 }
@@ -474,7 +494,7 @@ func (n *node) startFetch(key flowKey, fd *flowData) {
 	fd.lreg = n.ce.MemReg(fd.ref.Buf)
 	fd.registered = true
 	g := getData{task: key.task, flow: key.flow, rreg: fd.lreg}
-	n.stats.GetsSent++
+	n.getsSent.Inc()
 	n.ce.SendAM(tagGetData, int(fd.meta.hopRank), g.encode())
 }
 
@@ -538,7 +558,7 @@ func (n *node) onPutDone(_ core.Engine, _ core.Tag, data []byte, src int) {
 	}
 	n.ce.Submit(n.cfg.DeliverCost, func() {
 		fd.state = flowReady
-		n.stats.BytesFetched += fd.size
+		n.bytesFetched.Add(uint64(fd.size))
 		if n.rt.obs != nil {
 			n.rt.obs.DataArrived(n.rank, key.task, key.flow, fd.size, n.rt.eng.Now())
 		}

@@ -17,6 +17,7 @@ package parsec
 import (
 	"fmt"
 
+	"amtlci/internal/metrics"
 	"amtlci/internal/sim"
 )
 
@@ -144,6 +145,12 @@ type Config struct {
 	GetDataCost     sim.Duration // per-GET DATA processing at the data owner
 	DeliverCost     sim.Duration // per-arrival release processing
 	AggregationCost sim.Duration // per-destination flush bookkeeping
+
+	// Metrics is the registry every rank registers its instruments in
+	// (task/protocol counters, ready- and fetch-queue depths, worker busy
+	// time). Nil gets a private registry; stack.Build shares one across
+	// every layer.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig mirrors the paper's runtime setup for w workers.

@@ -549,3 +549,154 @@ func TestObserverSeesEveryEvent(t *testing.T) {
 		t.Fatal("no ACTIVATE events observed")
 	}
 }
+
+// seqEvent is one observed callback, in arrival order.
+type seqEvent struct {
+	kind    string // "start", "end", "fetch", "arrive", "activate"
+	rank    int
+	worker  int
+	task    parsec.TaskID
+	flow    int32
+	entries int
+	at      sim.Time
+}
+
+type sequenceObserver struct {
+	parsec.NopObserver
+	events []seqEvent
+}
+
+func (o *sequenceObserver) TaskStart(rank, worker int, t parsec.TaskID, at sim.Time) {
+	o.events = append(o.events, seqEvent{kind: "start", rank: rank, worker: worker, task: t, at: at})
+}
+func (o *sequenceObserver) TaskEnd(rank, worker int, t parsec.TaskID, at sim.Time) {
+	o.events = append(o.events, seqEvent{kind: "end", rank: rank, worker: worker, task: t, at: at})
+}
+func (o *sequenceObserver) FetchStart(rank int, p parsec.TaskID, flow int32, _ int64, at sim.Time) {
+	o.events = append(o.events, seqEvent{kind: "fetch", rank: rank, task: p, flow: flow, at: at})
+}
+func (o *sequenceObserver) DataArrived(rank int, p parsec.TaskID, flow int32, _ int64, at sim.Time) {
+	o.events = append(o.events, seqEvent{kind: "arrive", rank: rank, task: p, flow: flow, at: at})
+}
+func (o *sequenceObserver) ActivateSent(rank, dest, entries int, at sim.Time) {
+	o.events = append(o.events, seqEvent{kind: "activate", rank: rank, entries: entries, at: at})
+}
+
+// TestObserverSequence pins down the callback contract on a two-rank graph:
+// every TaskStart pairs with exactly one later TaskEnd on the same
+// (rank, worker), every FetchStart precedes the DataArrived of the same
+// flow on the same rank, and the ActivateSent entry counts add up to the
+// runtime's own Activations counter — identically on both backends.
+func TestObserverSequence(t *testing.T) {
+	forBackends(t, func(t *testing.T, b stack.Backend) {
+		// Two producers on rank 0 feed one consumer each on rank 1, with
+		// rendezvous-sized flows so both GET DATA paths are exercised.
+		g := parsec.NewGraphPool("seq", 2, false)
+		p0 := g.AddTask(0, 0, 2*sim.Microsecond, 0, 64<<10)
+		p1 := g.AddTask(1, 0, 2*sim.Microsecond, 0, 64<<10)
+		c0 := g.AddTask(2, 1, sim.Microsecond, 0)
+		c1 := g.AddTask(3, 1, sim.Microsecond, 0)
+		g.Link(p0, 0, c0)
+		g.Link(p1, 0, c1)
+		_, rt := build(t, b, 2, 2, g, nil)
+		obs := &sequenceObserver{}
+		rt.SetObserver(obs)
+		if _, err := rt.Run(); err != nil {
+			t.Fatal(err)
+		}
+
+		// Virtual time never runs backwards across callbacks.
+		for i := 1; i < len(obs.events); i++ {
+			if obs.events[i].at < obs.events[i-1].at {
+				t.Fatalf("event %d at %v precedes event %d at %v",
+					i, obs.events[i].at, i-1, obs.events[i-1].at)
+			}
+		}
+
+		// TaskStart/TaskEnd pair per (rank, worker, task), start first.
+		type slot struct {
+			rank, worker int
+			task         parsec.TaskID
+		}
+		open := map[slot]sim.Time{}
+		pairs := 0
+		for _, e := range obs.events {
+			k := slot{e.rank, e.worker, e.task}
+			switch e.kind {
+			case "start":
+				if _, dup := open[k]; dup {
+					t.Fatalf("second TaskStart for %v before its TaskEnd", k)
+				}
+				open[k] = e.at
+			case "end":
+				start, ok := open[k]
+				if !ok {
+					t.Fatalf("TaskEnd for %v without TaskStart", k)
+				}
+				if e.at < start {
+					t.Fatalf("TaskEnd for %v at %v before its start %v", k, e.at, start)
+				}
+				delete(open, k)
+				pairs++
+			}
+		}
+		if len(open) != 0 {
+			t.Fatalf("%d TaskStart(s) never ended: %v", len(open), open)
+		}
+		if pairs != 4 {
+			t.Fatalf("task pairs = %d, want 4", pairs)
+		}
+
+		// FetchStart precedes DataArrived for the same (rank, producer, flow).
+		type fkey struct {
+			rank int
+			task parsec.TaskID
+			flow int32
+		}
+		fetched := map[fkey]sim.Time{}
+		arrivals := 0
+		for _, e := range obs.events {
+			k := fkey{e.rank, e.task, e.flow}
+			switch e.kind {
+			case "fetch":
+				fetched[k] = e.at
+			case "arrive":
+				sent, ok := fetched[k]
+				if !ok {
+					t.Fatalf("DataArrived for %v without FetchStart", k)
+				}
+				if e.at < sent {
+					t.Fatalf("DataArrived for %v at %v before its fetch %v", k, e.at, sent)
+				}
+				arrivals++
+			}
+		}
+		if len(fetched) != 2 || arrivals != 2 {
+			t.Fatalf("fetches = %d, arrivals = %d, want 2 and 2", len(fetched), arrivals)
+		}
+
+		// ActivateSent messages and entry totals match the runtime counters.
+		msgs, entries := 0, 0
+		for _, e := range obs.events {
+			if e.kind == "activate" {
+				if e.rank != 0 {
+					t.Fatalf("ACTIVATE observed from rank %d, want 0", e.rank)
+				}
+				msgs++
+				entries += e.entries
+			}
+		}
+		var statMsgs, statEntries int64
+		for r := 0; r < 2; r++ {
+			statMsgs += rt.Stats(r).ActivatesSent
+			statEntries += rt.Stats(r).Activations
+		}
+		if int64(msgs) != statMsgs || int64(entries) != statEntries {
+			t.Fatalf("observer saw %d msgs/%d entries, counters say %d/%d",
+				msgs, entries, statMsgs, statEntries)
+		}
+		if entries != 2 {
+			t.Fatalf("activation entries = %d, want 2 (one per remote flow)", entries)
+		}
+	})
+}

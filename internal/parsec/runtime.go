@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"amtlci/internal/core"
+	"amtlci/internal/metrics"
 	"amtlci/internal/sim"
 )
 
@@ -17,6 +18,7 @@ type Runtime struct {
 	nodes  []*node
 	tracer *Tracer
 	obs    Observer
+	reg    *metrics.Registry
 	failed error
 }
 
@@ -29,7 +31,11 @@ func New(eng *sim.Engine, engines []core.Engine, tp Taskpool, cfg Config) *Runti
 	if cfg.FetchCap <= 0 {
 		panic("parsec: FetchCap must be positive")
 	}
-	rt := &Runtime{eng: eng, tp: tp, cfg: cfg, tracer: NewTracer(len(engines))}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.New()
+	}
+	rt := &Runtime{eng: eng, tp: tp, cfg: cfg, tracer: NewTracer(len(engines)), reg: reg}
 	for i, ce := range engines {
 		if ce.Rank() != i {
 			panic(fmt.Sprintf("parsec: engine %d reports rank %d", i, ce.Rank()))
@@ -69,8 +75,28 @@ func (rt *Runtime) SetClocks(clocks []Clock, corrections []sim.Duration) {
 	rt.tracer.SetCorrections(corrections)
 }
 
-// Stats returns rank r's runtime counters (valid after Run).
-func (rt *Runtime) Stats(r int) Stats { return rt.nodes[r].stats }
+// Metrics returns the registry the runtime's instruments live in.
+func (rt *Runtime) Metrics() *metrics.Registry { return rt.reg }
+
+// Stats returns rank r's runtime counters, rebuilt from the metrics
+// registry; busy times come straight from the thread Procs.
+func (rt *Runtime) Stats(r int) Stats {
+	n := rt.nodes[r]
+	var workerBusy sim.Duration
+	for _, w := range n.workers {
+		workerBusy += w.BusyTime()
+	}
+	return Stats{
+		TasksRun:      int64(n.tasksRun.Value()),
+		ActivatesSent: int64(n.activatesSent.Value()),
+		Activations:   int64(n.activations.Value()),
+		GetsSent:      int64(n.getsSent.Value()),
+		FetchDeferred: int64(n.fetchDeferred.Value()),
+		BytesFetched:  int64(n.bytesFetched.Value()),
+		WorkerBusy:    workerBusy,
+		CommBusy:      n.ce.CommProc().BusyTime(),
+	}
+}
 
 // Run releases the root tasks and executes the graph to completion,
 // returning the virtual makespan. It fails loudly on deadlock: if the event
@@ -84,11 +110,6 @@ func (rt *Runtime) Run() (sim.Duration, error) {
 
 	var stuck []string
 	for _, n := range rt.nodes {
-		n.stats.WorkerBusy = 0
-		for _, w := range n.workers {
-			n.stats.WorkerBusy += w.BusyTime()
-		}
-		n.stats.CommBusy = n.ce.CommProc().BusyTime()
 		if n.executed != n.total {
 			stuck = append(stuck, fmt.Sprintf("rank %d: %d/%d tasks", n.rank, n.executed, n.total))
 		}

@@ -26,6 +26,7 @@ import (
 	"fmt"
 
 	"amtlci/internal/fabric"
+	"amtlci/internal/metrics"
 	"amtlci/internal/sim"
 )
 
@@ -51,6 +52,12 @@ type Config struct {
 	// MaxRetries is the retry budget: after this many retransmissions of
 	// one frame without an ACK the peer is declared unreachable.
 	MaxRetries int
+
+	// Metrics is the registry the layer registers its instruments in
+	// (protocol counters per rank, in-flight window depth, an RTO
+	// histogram). Nil gets a private registry; stack.Build shares one
+	// across every layer.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns timeouts sized for the simulated fabric: RTT is a
@@ -189,17 +196,35 @@ type endpoint struct {
 	errFn func(peer int, err error)
 	tx    map[int]*txPeer
 	rx    map[int]*rxPeer
+
+	// Protocol counters (metrics registry, layer "rel", per rank).
+	dataSent, dataDelivered *metrics.Counter
+	retransmits, acksSent   *metrics.Counter
+	dupDropped, corruptDrop *metrics.Counter
+	outOfOrder              *metrics.Counter
+}
+
+// inFlight is the total unacknowledged-frame window across all peers.
+func (ep *endpoint) inFlight() int {
+	n := 0
+	for _, tp := range ep.tx {
+		n += len(tp.q)
+	}
+	return n
 }
 
 // Stack is the reliable transport. It implements fabric.Network (so the
 // communication libraries bind to it exactly as they would to the raw
 // fabric) and fabric.ErrNotifier.
 type Stack struct {
-	fab   *fabric.Fabric
-	eng   *sim.Engine
-	cfg   Config
-	eps   []*endpoint
-	stats Stats
+	fab *fabric.Fabric
+	eng *sim.Engine
+	cfg Config
+	eps []*endpoint
+	reg *metrics.Registry
+
+	unreachable *metrics.Counter
+	rtoHist     *metrics.Histogram
 }
 
 // New interposes a reliability layer on fab. It takes over the fabric's
@@ -209,10 +234,28 @@ func New(fab *fabric.Fabric, cfg Config) (*Stack, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	s := &Stack{fab: fab, eng: fab.Engine(), cfg: cfg}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.New()
+	}
+	s := &Stack{
+		fab: fab, eng: fab.Engine(), cfg: cfg, reg: reg,
+		unreachable: reg.Counter("rel", "unreachable", metrics.StackRank),
+		rtoHist:     reg.Histogram("rel", "rto_ns", metrics.StackRank),
+	}
 	s.eps = make([]*endpoint, fab.Ranks())
 	for i := range s.eps {
-		ep := &endpoint{s: s, rank: i, tx: make(map[int]*txPeer), rx: make(map[int]*rxPeer)}
+		ep := &endpoint{
+			s: s, rank: i, tx: make(map[int]*txPeer), rx: make(map[int]*rxPeer),
+			dataSent:      reg.Counter("rel", "data_sent", i),
+			dataDelivered: reg.Counter("rel", "data_delivered", i),
+			retransmits:   reg.Counter("rel", "retransmits", i),
+			acksSent:      reg.Counter("rel", "acks_sent", i),
+			dupDropped:    reg.Counter("rel", "dup_dropped", i),
+			corruptDrop:   reg.Counter("rel", "corrupt_dropped", i),
+			outOfOrder:    reg.Counter("rel", "out_of_order", i),
+		}
+		reg.Probe("rel", "in_flight", i, false, func() float64 { return float64(ep.inFlight()) })
 		s.eps[i] = ep
 		fab.SetHandler(i, ep.onArrival)
 	}
@@ -222,8 +265,20 @@ func New(fab *fabric.Fabric, cfg Config) (*Stack, error) {
 // Ranks returns the number of ranks (fabric.Network).
 func (s *Stack) Ranks() int { return len(s.eps) }
 
-// Stats returns protocol counters.
-func (s *Stack) Stats() Stats { return s.stats }
+// Stats returns protocol counters summed across all ranks, rebuilt from the
+// metrics registry.
+func (s *Stack) Stats() Stats {
+	return Stats{
+		DataSent:       s.reg.Total("rel", "data_sent"),
+		DataDelivered:  s.reg.Total("rel", "data_delivered"),
+		Retransmits:    s.reg.Total("rel", "retransmits"),
+		AcksSent:       s.reg.Total("rel", "acks_sent"),
+		DupDropped:     s.reg.Total("rel", "dup_dropped"),
+		CorruptDropped: s.reg.Total("rel", "corrupt_dropped"),
+		OutOfOrder:     s.reg.Total("rel", "out_of_order"),
+		Unreachable:    s.unreachable.Value(),
+	}
+}
 
 // SetHandler installs the upper layer's delivery handler for rank
 // (fabric.Network).
@@ -258,7 +313,7 @@ func (s *Stack) Send(m *fabric.Message) {
 	fr.sum = fr.checksum(m.Src, m.Dst)
 	e := &txEntry{seq: fr.seq, fr: fr, userTx: m.OnTx, rto: s.cfg.RTO}
 	tp.q = append(tp.q, e)
-	s.stats.DataSent++
+	ep.dataSent.Inc()
 	ep.transmit(tp, e, true)
 }
 
@@ -315,11 +370,12 @@ func (ep *endpoint) timeout(tp *txPeer, e *txEntry) {
 		return
 	}
 	e.retries++
-	s.stats.Retransmits++
+	ep.retransmits.Inc()
 	e.rto = sim.Duration(float64(e.rto) * s.cfg.Backoff)
 	if e.rto > s.cfg.MaxRTO {
 		e.rto = s.cfg.MaxRTO
 	}
+	s.rtoHist.Observe(uint64(e.rto / sim.Nanosecond))
 	ep.transmit(tp, e, false)
 }
 
@@ -332,7 +388,7 @@ func (ep *endpoint) declareDead(tp *txPeer, e *txEntry) {
 		}
 	}
 	tp.q = nil
-	s.stats.Unreachable++
+	s.unreachable.Inc()
 	err := &PeerUnreachable{From: ep.rank, To: tp.peer, Attempts: e.retries + 1, LastSeq: e.seq}
 	if ep.errFn == nil {
 		panic(err.Error())
@@ -359,11 +415,10 @@ func (ep *endpoint) onArrival(m *fabric.Message) {
 }
 
 func (ep *endpoint) onFrame(m *fabric.Message, fr *frame) {
-	s := ep.s
 	if m.Corrupted || fr.sum != fr.checksum(m.Src, m.Dst) {
 		// Damaged in flight: discard without touching receive state; the
 		// sender's timeout redelivers an intact copy.
-		s.stats.CorruptDropped++
+		ep.corruptDrop.Inc()
 		return
 	}
 	rp := ep.rxPeerFor(m.Src)
@@ -371,10 +426,10 @@ func (ep *endpoint) onFrame(m *fabric.Message, fr *frame) {
 	case fr.seq < rp.next:
 		// Duplicate of something already delivered (injector copy, or a
 		// retransmission whose ACK was lost). Re-ACK so the sender stops.
-		s.stats.DupDropped++
+		ep.dupDropped.Inc()
 		ep.scheduleAck(rp, m.Src)
 	case fr.seq > rp.next:
-		s.stats.OutOfOrder++
+		ep.outOfOrder.Inc()
 		rp.ooo[fr.seq] = fr
 		ep.scheduleAck(rp, m.Src)
 	default:
@@ -394,7 +449,7 @@ func (ep *endpoint) onFrame(m *fabric.Message, fr *frame) {
 }
 
 func (ep *endpoint) deliverUp(src int, fr *frame) {
-	ep.s.stats.DataDelivered++
+	ep.dataDelivered.Inc()
 	ep.up(&fabric.Message{
 		Src:     src,
 		Dst:     ep.rank,
@@ -414,7 +469,7 @@ func (ep *endpoint) scheduleAck(rp *rxPeer, src int) {
 		return
 	}
 	rp.ackTimer = s.eng.After(s.cfg.AckDelay, func() {
-		s.stats.AcksSent++
+		ep.acksSent.Inc()
 		s.fab.Send(&fabric.Message{
 			Src:  ep.rank,
 			Dst:  src,

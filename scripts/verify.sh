@@ -6,6 +6,13 @@ set -eux
 
 go build ./...
 go vet ./...
+# staticcheck is optional tooling: run it when the host has it installed,
+# skip quietly (with a note) when it does not.
+if command -v staticcheck >/dev/null 2>&1; then
+    staticcheck ./...
+else
+    echo "staticcheck not installed; skipping"
+fi
 go test -race ./...
 
 # Chaos smoke behind a time budget: a quick fault-sweep point per backend
