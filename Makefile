@@ -1,5 +1,5 @@
 # Tier-1 verification: everything a PR must keep green.
-.PHONY: verify build vet test test-race chaos fuzz-smoke
+.PHONY: verify build vet test test-race chaos chaos-crash fuzz-smoke
 
 verify:
 	./scripts/verify.sh
@@ -10,6 +10,12 @@ chaos:
 	go run ./cmd/chaos
 	go run ./cmd/chaos -sever
 
+# Crash-recovery demonstration: crash rank 1 at 40% of the fault-free
+# makespan on both backends and both workloads, verify the recovered
+# factorization, replay it, and write results/chaos-crash-summary.csv.
+chaos-crash:
+	go run ./cmd/chaos -crash 1@40%
+
 # Short, fixed-budget fuzz passes over the wire-format decoders (Go allows
 # one -fuzz pattern per invocation).
 fuzz-smoke:
@@ -17,6 +23,8 @@ fuzz-smoke:
 	go test -run='^$$' -fuzz=FuzzDecodeActivates -fuzztime=2s ./internal/parsec
 	go test -run='^$$' -fuzz=FuzzDecodeGetData -fuzztime=2s ./internal/parsec
 	go test -run='^$$' -fuzz=FuzzDecodePutMeta -fuzztime=2s ./internal/parsec
+	go test -run='^$$' -fuzz=FuzzDecodeHeartbeat -fuzztime=2s ./internal/rel
+	go test -run='^$$' -fuzz=FuzzDecodeCheckpoint -fuzztime=2s ./internal/recover
 
 build:
 	go build ./...

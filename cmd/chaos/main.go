@@ -9,6 +9,7 @@
 //	go run ./cmd/chaos -quick           # one 2% point per backend
 //	go run ./cmd/chaos -seed 7 -rate 2  # a specific reproduction
 //	go run ./cmd/chaos -sever           # severed-link abort demonstration
+//	go run ./cmd/chaos -crash 1@40%     # crash rank 1 mid-run, recover, replay
 package main
 
 import (
@@ -17,12 +18,16 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
 
 	"amtlci/internal/bench"
 	"amtlci/internal/chaos"
 	"amtlci/internal/core/stack"
 	"amtlci/internal/fabric"
 	"amtlci/internal/rel"
+	"amtlci/internal/sim"
 )
 
 func main() {
@@ -30,11 +35,19 @@ func main() {
 	rate := flag.Float64("rate", -1, "single fault rate in percent for drop/dup/corrupt/reorder (-1 sweeps 0.5,1,2)")
 	quick := flag.Bool("quick", false, "one 2% point per backend on the Cholesky graph")
 	sever := flag.Bool("sever", false, "sever link 0->1 and demonstrate the clean PeerUnreachable abort")
+	crash := flag.String("crash", "", "crash-recovery demonstration: rank@time, e.g. 1@3ms or 1@40% (percent of the fault-free makespan)")
 	metricsDir := flag.String("metrics", "", "dump per-run metric summaries as CSV into this directory (e.g. results)")
 	flag.Parse()
 
+	// The seed is the replay handle for every mode, so it prints before any
+	// branch can exit — a failure without its seed cannot be reproduced.
+	fmt.Printf("seed %#x\n", *seed)
+
 	if *sever {
 		os.Exit(runSever(*seed))
+	}
+	if *crash != "" {
+		os.Exit(runCrash(*crash, *metricsDir))
 	}
 
 	rates := []float64{0.005, 0.01, 0.02}
@@ -47,7 +60,6 @@ func main() {
 		workloads = []chaos.Workload{chaos.Cholesky}
 	}
 
-	fmt.Printf("seed %#x\n", *seed)
 	fmt.Printf("%-8s %-9s %6s %10s %9s %6s %6s %6s %7s  %s\n",
 		"backend", "workload", "rate", "makespan", "slowdown",
 		"drop", "dup", "corr", "retrans", "verdict")
@@ -119,6 +131,121 @@ func dumpMetrics(dir string, b stack.Backend, w chaos.Workload, rate float64, re
 	}
 	fmt.Printf("  metrics -> %s\n", path)
 	return nil
+}
+
+// parseCrash splits "rank@time": the time is either an absolute virtual
+// duration ("3ms") or a percentage of the fault-free baseline makespan
+// ("40%"), resolved per (backend, workload) point.
+func parseCrash(s string) (rank int, at sim.Duration, pct float64, err error) {
+	rankStr, atStr, ok := strings.Cut(s, "@")
+	if !ok {
+		return 0, 0, 0, fmt.Errorf("crash spec %q: want rank@time", s)
+	}
+	rank, err = strconv.Atoi(rankStr)
+	if err != nil || rank < 0 {
+		return 0, 0, 0, fmt.Errorf("crash spec %q: bad rank", s)
+	}
+	if p, found := strings.CutSuffix(atStr, "%"); found {
+		pct, err = strconv.ParseFloat(p, 64)
+		if err != nil || pct <= 0 || pct >= 100 {
+			return 0, 0, 0, fmt.Errorf("crash spec %q: percentage must be in (0,100)", s)
+		}
+		return rank, 0, pct, nil
+	}
+	d, err := time.ParseDuration(atStr)
+	if err != nil || d <= 0 {
+		return 0, 0, 0, fmt.Errorf("crash spec %q: bad time: %v", s, err)
+	}
+	return rank, sim.Duration(d.Nanoseconds()) * sim.Nanosecond, 0, nil
+}
+
+// runCrash is the crash-recovery proof: for every (backend, workload) point
+// it measures the fault-free baseline, the recovery-armed overhead without a
+// crash, the recovered makespan with the scripted crash, and an exact replay
+// — then writes the whole table as a CSV artifact.
+func runCrash(spec, dir string) int {
+	rank, at, pct, err := parseCrash(spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+		return 1
+	}
+	if dir == "" {
+		dir = "results"
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+		return 1
+	}
+	path := filepath.Join(dir, "chaos-crash-summary.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+		return 1
+	}
+	defer f.Close()
+	fmt.Fprintln(f, "backend,workload,crash_rank,crash_at,baseline_makespan,armed_makespan,recovered_makespan,armed_overhead,recovered_slowdown,restarts,peer_deaths,ckpt_sent,ckpt_bytes,ckpt_stored,tasks_restored,stale_dropped,rel_err,verified,replay_identical")
+
+	fmt.Printf("%-8s %-9s %10s %10s %10s %10s %8s %5s %5s %6s %6s  %s\n",
+		"backend", "workload", "crash-at", "baseline", "armed", "recovered",
+		"slowdown", "rst", "death", "ckpt", "restor", "verdict")
+	bad := false
+	for _, b := range stack.Backends {
+		for _, w := range chaos.Workloads {
+			base := chaos.Run(chaos.Opts{Backend: b, Workload: w})
+			if base.Err != nil || !base.Verified {
+				fmt.Printf("%-8v %-9v fault-free baseline broken: %v\n", b, w, base.Err)
+				bad = true
+				continue
+			}
+			armed := chaos.Run(chaos.Opts{Backend: b, Workload: w, Recover: true})
+			if armed.Err != nil || !armed.Verified || armed.Restarts != 0 {
+				fmt.Printf("%-8v %-9v recovery-armed healthy run broken: %v (restarts %d)\n",
+					b, w, armed.Err, armed.Restarts)
+				bad = true
+				continue
+			}
+			crashAt := at
+			if pct > 0 {
+				crashAt = sim.Duration(float64(base.Makespan) * pct / 100)
+			}
+			cs := chaos.CrashSpec{Rank: rank, At: crashAt}
+			o := chaos.Opts{Backend: b, Workload: w, Crash: &cs, Recover: true}
+			res := chaos.Run(o)
+			replay := chaos.Run(o)
+
+			verdict := "verified"
+			switch {
+			case res.Err != nil:
+				verdict = "ABORT: " + res.Err.Error()
+				bad = true
+			case !res.Verified:
+				verdict = fmt.Sprintf("WRONG (rel err %g)", res.RelErr)
+				bad = true
+			case res.Restarts != 1:
+				verdict = fmt.Sprintf("restarts %d, want 1", res.Restarts)
+				bad = true
+			case replay.Makespan != res.Makespan:
+				verdict = fmt.Sprintf("REPLAY DIVERGED (%v vs %v)", replay.Makespan, res.Makespan)
+				bad = true
+			}
+			fmt.Printf("%-8v %-9v %10v %10v %10v %10v %7.2fx %5d %5d %6d %6d  %s\n",
+				b, w, crashAt, base.Makespan, armed.Makespan, res.Makespan,
+				float64(res.Makespan)/float64(base.Makespan),
+				res.Restarts, res.PeerDeaths, res.CkptSent, res.TasksRestored, verdict)
+			fmt.Fprintf(f, "%v,%v,%d,%v,%v,%v,%v,%.4f,%.4f,%d,%d,%d,%d,%d,%d,%d,%g,%t,%t\n",
+				b, w, rank, crashAt, base.Makespan, armed.Makespan, res.Makespan,
+				float64(armed.Makespan)/float64(base.Makespan),
+				float64(res.Makespan)/float64(base.Makespan),
+				res.Restarts, res.PeerDeaths, res.CkptSent, res.CkptBytes,
+				res.CkptStored, res.TasksRestored, res.StaleDropped,
+				res.RelErr, res.Verified, replay.Makespan == res.Makespan)
+		}
+	}
+	fmt.Printf("summary -> %s\n", path)
+	if bad {
+		return 1
+	}
+	return 0
 }
 
 // runSever demonstrates the failure path: a permanently severed link must

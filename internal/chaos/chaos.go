@@ -23,6 +23,7 @@ import (
 	"amtlci/internal/linalg"
 	"amtlci/internal/metrics"
 	"amtlci/internal/parsec"
+	recov "amtlci/internal/recover"
 	"amtlci/internal/rel"
 	"amtlci/internal/sim"
 	"amtlci/internal/tlr"
@@ -65,6 +66,22 @@ type Opts struct {
 	// baseline the slowdown bound is measured against.
 	Faults *fabric.FaultConfig
 	Rel    *rel.Config
+
+	// Crash, when non-nil, scripts one rank's fail-stop failure on the
+	// fabric. Without Recover the run aborts with a peer-death error.
+	Crash *CrashSpec
+	// Recover arms crash recovery: the reliability layer (forced on) runs
+	// the heartbeat failure detector, every rank buddy-checkpoints its
+	// completed tasks' outputs, and the parsec runtime re-executes the dead
+	// rank's work on its buddy.
+	Recover bool
+}
+
+// CrashSpec schedules one rank's fail-stop crash.
+type CrashSpec struct {
+	Rank int
+	// At is the virtual time of the crash, from job start.
+	At sim.Duration
 }
 
 // Result reports one execution.
@@ -83,6 +100,15 @@ type Result struct {
 	// (zero-valued when the corresponding option was off).
 	Faults fabric.FaultStats
 	Rel    rel.Stats
+	// Recovery counters, summed across ranks from the metrics registry
+	// (all zero when Opts.Recover was off).
+	Restarts      uint64 // completed recovery restarts
+	PeerDeaths    uint64 // lease-expiry verdicts raised by the detector
+	CkptSent      uint64 // checkpoint frames streamed to buddies
+	CkptBytes     uint64 // checkpoint bytes streamed to buddies
+	CkptStored    uint64 // checkpoint frames retained for a buddy
+	TasksRestored uint64 // done tasks rebuilt from checkpoints at restart
+	StaleDropped  uint64 // pre-crash messages dropped by the epoch guard
 	// Metrics is the deployment's shared instrument registry, for
 	// end-of-run dumps (cmd/chaos -metrics).
 	Metrics *metrics.Registry
@@ -110,6 +136,28 @@ func Run(o Opts) Result {
 	so.Fabric.Jitter = 0
 	so.Faults = o.Faults
 	so.Rel = o.Rel
+	if o.Crash != nil {
+		// Copy the fault config before appending: the caller's value (often
+		// shared across a sweep) must not grow a crash per run.
+		var fc fabric.FaultConfig
+		if o.Faults != nil {
+			fc = *o.Faults
+		}
+		fc.Crashes = append(append([]fabric.NodeCrash(nil), fc.Crashes...),
+			fabric.NodeCrash{Rank: o.Crash.Rank, At: sim.Time(o.Crash.At)})
+		so.Faults = &fc
+	}
+	if o.Recover {
+		// Recovery needs the failure detector, which lives in the
+		// reliability layer; force it on (over the caller's tuning if
+		// given) without mutating the caller's config.
+		rc := rel.DefaultConfig()
+		if o.Rel != nil {
+			rc = *o.Rel
+		}
+		rc.EnableHeartbeats()
+		so.Rel = &rc
+	}
 	s := stack.Build(so)
 
 	var (
@@ -162,11 +210,35 @@ func Run(o Opts) Result {
 	cfg.Jitter = 0
 	cfg.Metrics = s.Metrics
 	rt := parsec.New(s.Eng, s.Engines, tp, cfg)
+	if o.Recover {
+		mgrs := make([]*recov.Manager, len(s.Engines))
+		for i, ce := range s.Engines {
+			mgrs[i] = recov.NewManager(ce, s.Metrics)
+		}
+		rt.EnableRecovery(parsec.RecoveryConfig{
+			Managers:     mgrs,
+			RestartDelay: 100 * sim.Microsecond,
+		})
+		// The runtime learns of a crash the instant the fabric scripts it
+		// (handlers and workers go inert); the death *verdicts* still come
+		// from the survivors' failure detectors.
+		s.Fab.OnCrash(rt.KillRank)
+		// Heartbeats are the one event source that outlives the workload;
+		// stop them when every task has run, so the simulation can drain.
+		rt.OnQuiesce(s.Rel.StopHeartbeats)
+	}
 
 	var res Result
 	res.Metrics = s.Metrics
 	res.Makespan, res.Err = rt.Run()
-	if o.Faults != nil {
+	res.Restarts = s.Metrics.Total("parsec", "restarts")
+	res.PeerDeaths = s.Metrics.Total("rel", "peer_dead")
+	res.CkptSent = s.Metrics.Total("recover", "ckpt_sent")
+	res.CkptBytes = s.Metrics.Total("recover", "ckpt_bytes")
+	res.CkptStored = s.Metrics.Total("recover", "ckpt_stored")
+	res.TasksRestored = s.Metrics.Total("parsec", "tasks_restored")
+	res.StaleDropped = s.Metrics.Total("parsec", "stale_drops")
+	if so.Faults != nil {
 		res.Faults = s.Fab.FaultStats()
 	}
 	if s.Rel != nil {

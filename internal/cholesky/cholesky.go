@@ -363,13 +363,16 @@ func (p *Pool) executeReal(t parsec.TaskID, in []parsec.DataRef) parsec.DataRef 
 	panic("cholesky: bad class")
 }
 
+// takeOrig hands a kernel the original tile (m,n). The kernels factor in
+// place, so the caller gets a clone and the pristine tile stays in p.orig —
+// crash recovery may re-execute the k=0 tasks, and they must see the same
+// input both times.
 func (p *Pool) takeOrig(m, n int) *linalg.Matrix {
 	tile, ok := p.orig[[2]int{m, n}]
 	if !ok {
-		panic(fmt.Sprintf("cholesky: original tile (%d,%d) consumed twice or missing", m, n))
+		panic(fmt.Sprintf("cholesky: original tile (%d,%d) missing", m, n))
 	}
-	delete(p.orig, [2]int{m, n})
-	return tile
+	return tile.Clone()
 }
 
 // tileToBytes serializes a square tile as little-endian float64s.

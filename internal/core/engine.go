@@ -111,11 +111,16 @@ type Engine interface {
 	CommProc() *sim.Proc
 
 	// OnError registers fn to run (on the engine's goroutine) when the
-	// engine hits an unrecoverable communication failure: the transport
-	// declared a peer unreachable, or a malformed header arrived on the
-	// wire. Every subscriber sees the first failure exactly once; the
-	// engine stops issuing new traffic afterwards. With no subscriber the
-	// failure panics — silence would be a hang.
+	// engine hits a communication failure: the transport declared a peer
+	// unreachable or dead, or a malformed header arrived on the wire.
+	// Registration REPLACES: the engine keeps exactly one handler and the
+	// latest registration wins, so a recovery orchestrator can take over
+	// error routing from the plain abort a runtime installed earlier. A nil
+	// fn is ignored (the previous handler, if any, stays installed); with
+	// no handler registered at all a failure panics — silence would be a
+	// hang. For an unrecoverable failure the engine stops issuing new
+	// traffic afterwards; a failure that satisfies PeerDeath instead evicts
+	// the dead peer and keeps the engine running for the survivors.
 	OnError(fn func(error))
 
 	// Err returns the first unrecoverable failure, or nil.
@@ -123,6 +128,18 @@ type Engine interface {
 
 	// Stats returns activity counters.
 	Stats() Stats
+}
+
+// PeerDeath is implemented by transport errors that condemn a whole rank
+// (rel.PeerDead), as opposed to a single failed operation. An engine that
+// extracts a PeerDeath from its error chain (errors.As) evicts the dead peer
+// — dropping traffic toward it and purging in-flight state — but keeps
+// serving the surviving ranks, so a recovery layer above can re-map the dead
+// rank's work instead of aborting the job.
+type PeerDeath interface {
+	error
+	// DeadPeer returns the rank declared dead.
+	DeadPeer() int
 }
 
 // Registry implements the MemReg half of an engine; both backends embed it.

@@ -21,6 +21,7 @@
 package lcice
 
 import (
+	"errors"
 	"fmt"
 
 	"amtlci/internal/buf"
@@ -127,8 +128,12 @@ type Engine struct {
 	putsStarted, putsDone    *metrics.Counter
 	putBytes, deferredEvents *metrics.Counter
 
-	errFns []func(error)
+	errFn  func(error)
 	failed error
+	// deadPeers holds ranks evicted after a PeerDeath verdict: traffic
+	// toward them is dropped, arrivals from them ignored, while the engine
+	// keeps serving the survivors.
+	deadPeers map[int]bool
 }
 
 // deferredOp is one back-pressured operation awaiting retry; peer records
@@ -181,7 +186,13 @@ func New(eng *sim.Engine, rt *lci.Runtime, rank int, cfg Config) *Engine {
 	e.ep.SetMsgComp(lci.Handler(e.onMsg))
 	e.ep.SetRMAComp(lci.Handler(e.onRMA))
 	e.ep.SetErrHandler(func(peer int, err error) {
-		e.fail(peer, fmt.Errorf("lcice rank %d: %w", rank, err))
+		werr := fmt.Errorf("lcice rank %d: %w", rank, err)
+		var pd core.PeerDeath
+		if errors.As(err, &pd) {
+			e.evictPeer(pd.DeadPeer(), werr)
+			return
+		}
+		e.fail(peer, werr)
 	})
 	return e
 }
@@ -224,41 +235,72 @@ func (e *Engine) Stats() core.Stats {
 	}
 }
 
-// OnError registers an unrecoverable-failure subscriber.
-func (e *Engine) OnError(fn func(error)) { e.errFns = append(e.errFns, fn) }
+// OnError registers the failure handler; the latest registration replaces
+// any earlier one, and a nil fn leaves the current handler in place (see
+// core.Engine).
+func (e *Engine) OnError(fn func(error)) {
+	if fn != nil {
+		e.errFn = fn
+	}
+}
 
 // Err returns the first unrecoverable failure, or nil.
 func (e *Engine) Err() error { return e.failed }
 
-// fail records the first unrecoverable failure and notifies subscribers.
-// Deferred operations headed for the dead peer are purged — they can never
-// succeed and would otherwise keep the retry queue (and the safety-net
-// timer) alive forever. peer < 0 means the failure is not attributable to
-// one peer.
+// notify delivers a failure to the registered handler; with none installed
+// the failure panics — silence would be a hang.
+func (e *Engine) notify(err error) {
+	if e.errFn == nil {
+		panic(err)
+	}
+	e.errFn(err)
+}
+
+// fail records the first unrecoverable failure and notifies the handler.
+// Deferred operations headed for the offending peer are purged — they can
+// never succeed and would otherwise keep the retry queue (and the
+// safety-net timer) alive forever. peer < 0 means the failure is not
+// attributable to one peer.
 func (e *Engine) fail(peer int, err error) {
 	if e.failed != nil {
 		return
 	}
 	e.failed = err
 	if peer >= 0 {
-		kept := e.deferred[:0]
-		for _, op := range e.deferred {
-			if op.peer == peer {
-				continue
-			}
-			kept = append(kept, op)
+		e.purgeDeferred(peer)
+	}
+	e.notify(err)
+}
+
+// evictPeer handles a PeerDeath verdict: the dead rank's queued retries are
+// purged and all future traffic to or from it is dropped, but the engine
+// stays up for the survivors (so a recovery layer can re-map the dead
+// rank's work).
+func (e *Engine) evictPeer(peer int, err error) {
+	if e.failed != nil || e.deadPeers[peer] {
+		return
+	}
+	if e.deadPeers == nil {
+		e.deadPeers = make(map[int]bool)
+	}
+	e.deadPeers[peer] = true
+	e.purgeDeferred(peer)
+	e.notify(err)
+}
+
+// purgeDeferred drops every queued retry headed for peer.
+func (e *Engine) purgeDeferred(peer int) {
+	kept := e.deferred[:0]
+	for _, op := range e.deferred {
+		if op.peer == peer {
+			continue
 		}
-		for i := len(kept); i < len(e.deferred); i++ {
-			e.deferred[i] = deferredOp{}
-		}
-		e.deferred = kept
+		kept = append(kept, op)
 	}
-	if len(e.errFns) == 0 {
-		panic(err)
+	for i := len(kept); i < len(e.deferred); i++ {
+		e.deferred[i] = deferredOp{}
 	}
-	for _, fn := range e.errFns {
-		fn(err)
-	}
+	e.deferred = kept
 }
 
 // attempt issues op toward peer, honoring back-pressure and the deferred
@@ -268,7 +310,7 @@ func (e *Engine) fail(peer int, err error) {
 // otherwise allow). Safe because in-flight LCI operations complete without
 // new engine submissions, so the queue head always eventually succeeds.
 func (e *Engine) attempt(peer int, op func() error) {
-	if e.failed != nil {
+	if e.failed != nil || e.deadPeers[peer] {
 		return
 	}
 	if len(e.deferred) > 0 {
@@ -334,6 +376,9 @@ func (e *Engine) Submit(cost sim.Duration, fn func()) { e.comm.Submit(cost, fn) 
 func (e *Engine) SendAM(tag core.Tag, remote int, data []byte) {
 	b := buf.FromBytes(data)
 	e.Submit(e.rt.Config().SendCost(b.Size), func() {
+		if e.failed != nil || e.deadPeers[remote] {
+			return
+		}
 		e.sendEagerWithRetry(remote, int(tag), b)
 		e.amsSent.Inc()
 	})
@@ -346,8 +391,10 @@ func (e *Engine) SendAMMT(worker *sim.Proc, tag core.Tag, remote int, data []byt
 	b := buf.FromBytes(data)
 	cfg := e.rt.Config()
 	worker.Submit(cfg.SendCost(b.Size)+cfg.MTSendCost, func() {
-		e.sendEagerWithRetry(remote, int(tag), b)
-		e.amsSent.Inc()
+		if e.failed == nil && !e.deadPeers[remote] {
+			e.sendEagerWithRetry(remote, int(tag), b)
+			e.amsSent.Inc()
+		}
 		if done != nil {
 			done()
 		}
@@ -371,7 +418,7 @@ func (e *Engine) eagerSend(remote, tag int, b buf.Buf) error {
 // default, or the true one-sided Putd when NativePut is set. Must run on
 // the communication thread.
 func (e *Engine) Put(a core.PutArgs) {
-	if e.failed != nil {
+	if e.failed != nil || e.deadPeers[a.Remote] {
 		return
 	}
 	e.putsStarted.Inc()
@@ -471,6 +518,12 @@ func (e *Engine) onMsg(r lci.Request) {
 	}
 
 	// Put handshake: specialized path bypassing the AM hash table (§5.3.3).
+	// A handshake from an evicted peer is dropped — its data transfer will
+	// never arrive (the fabric silenced the rank), so posting the matching
+	// receive would dangle forever.
+	if e.deadPeers[r.Rank] {
+		return
+	}
 	h, err := core.UnmarshalPutHeader(r.Data.Bytes)
 	if err != nil {
 		e.fail(r.Rank, fmt.Errorf("lcice rank %d: bad put handshake from %d: %w", e.Rank(), r.Rank, err))

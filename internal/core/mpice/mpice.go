@@ -18,6 +18,7 @@
 package mpice
 
 import (
+	"errors"
 	"fmt"
 
 	"amtlci/internal/buf"
@@ -97,6 +98,7 @@ type xferSlot struct {
 	rtag    core.Tag
 	rcbData []byte
 	src     int
+	dst     int // send-side destination, for dead-peer eviction
 	size    int64
 }
 
@@ -146,8 +148,9 @@ type Engine struct {
 	putBytes, deferredEvents *metrics.Counter
 	progressPasses           *metrics.Counter
 
-	errFns []func(error)
-	failed error
+	errFn     func(error)
+	failed    error
+	deadPeers map[int]bool
 }
 
 var _ core.Engine = (*Engine)(nil)
@@ -185,7 +188,13 @@ func New(eng *sim.Engine, w *mpi.World, rank int, cfg Config) *Engine {
 	e.comm.WakeLatency = cfg.WakeLatency
 	e.rank.SetWake(e.schedule)
 	e.rank.SetErrHandler(func(peer int, err error) {
-		e.fail(peer, fmt.Errorf("mpice rank %d: %w", rank, err))
+		werr := fmt.Errorf("mpice rank %d: %w", rank, err)
+		var pd core.PeerDeath
+		if errors.As(err, &pd) {
+			e.evictPeer(pd.DeadPeer(), werr)
+			return
+		}
+		e.fail(peer, werr)
 	})
 	// The engine registers its put handshake like any other active message
 	// (§4.2.2: "The origin process of the put sends an active message...").
@@ -214,13 +223,27 @@ func (e *Engine) Stats() core.Stats {
 	}
 }
 
-// OnError registers an unrecoverable-failure subscriber.
-func (e *Engine) OnError(fn func(error)) { e.errFns = append(e.errFns, fn) }
+// OnError registers the failure handler; the latest registration wins and a
+// nil fn is ignored (core.Engine semantics).
+func (e *Engine) OnError(fn func(error)) {
+	if fn != nil {
+		e.errFn = fn
+	}
+}
 
 // Err returns the first unrecoverable failure, or nil.
 func (e *Engine) Err() error { return e.failed }
 
-// fail records the first unrecoverable failure and notifies subscribers.
+// notify hands err to the registered handler, or panics without one —
+// silence would be a hang.
+func (e *Engine) notify(err error) {
+	if e.errFn == nil {
+		panic(err)
+	}
+	e.errFn(err)
+}
+
+// fail records the first unrecoverable failure and notifies the handler.
 // Deferred sends headed for the dead peer are purged so the refill loop does
 // not keep feeding traffic into a black hole; peer < 0 means the failure is
 // not attributable to one peer.
@@ -230,24 +253,64 @@ func (e *Engine) fail(peer int, err error) {
 	}
 	e.failed = err
 	if peer >= 0 {
-		kept := e.pending[:0]
-		for _, op := range e.pending {
-			if op.kind == pendingSend && op.dst == peer {
-				continue
-			}
-			kept = append(kept, op)
+		e.purgePending(peer)
+	}
+	e.notify(err)
+}
+
+// evictPeer handles a whole-rank death verdict (core.PeerDeath): traffic
+// toward the dead peer is dropped from now on and every in-flight transfer
+// involving it is abandoned, but the engine keeps serving the survivors —
+// it does NOT enter the failed state. The registered handler still hears
+// about the death so a recovery layer can re-map the dead rank's work.
+func (e *Engine) evictPeer(peer int, err error) {
+	if e.failed != nil || e.deadPeers[peer] {
+		return
+	}
+	if e.deadPeers == nil {
+		e.deadPeers = make(map[int]bool)
+	}
+	e.deadPeers[peer] = true
+	e.purgePending(peer)
+	// Abandon global-array transfers involving the peer: a send's data would
+	// vanish on the wire; a receive's data will never arrive. Marking them
+	// done frees their slots at the next compaction, and their completion
+	// callbacks never run (that state belongs to the aborted exchange).
+	purged := false
+	for _, s := range e.xfer {
+		if s.done {
+			continue
 		}
-		for i := len(kept); i < len(e.pending); i++ {
-			e.pending[i] = pendingOp{}
+		if (s.isSend && s.dst == peer) || (!s.isSend && s.src == peer) {
+			s.done = true
+			purged = true
 		}
-		e.pending = kept
 	}
-	if len(e.errFns) == 0 {
-		panic(err)
+	if purged {
+		e.compact()
+		e.refill()
 	}
-	for _, fn := range e.errFns {
-		fn(err)
+	e.schedule()
+	e.notify(err)
+}
+
+// purgePending drops deferred operations involving peer: sends toward it
+// and promotions of receives posted from it.
+func (e *Engine) purgePending(peer int) {
+	kept := e.pending[:0]
+	for _, op := range e.pending {
+		switch {
+		case op.kind == pendingSend && op.dst == peer:
+			continue
+		case op.kind == pendingPromote && op.slot.src == peer:
+			continue
+		}
+		kept = append(kept, op)
 	}
+	for i := len(kept); i < len(e.pending); i++ {
+		e.pending[i] = pendingOp{}
+	}
+	e.pending = kept
 }
 
 // MemReg registers b for remote puts. In RMA mode the buffer is also
@@ -295,7 +358,7 @@ func (e *Engine) TagReg(tag core.Tag, cb core.AMCallback, maxLen int64) {
 func (e *Engine) SendAM(tag core.Tag, remote int, data []byte) {
 	b := buf.FromBytes(data)
 	e.Submit(e.w.Config().SendCost(b.Size), func() {
-		if e.failed != nil {
+		if e.failed != nil || e.deadPeers[remote] {
 			return
 		}
 		e.rank.Send(b, remote, int(tag))
@@ -310,6 +373,12 @@ func (e *Engine) SendAM(tag core.Tag, remote int, data []byte) {
 func (e *Engine) SendAMMT(worker *sim.Proc, tag core.Tag, remote int, data []byte, done func()) {
 	b := buf.FromBytes(data)
 	e.rank.LockedSubmit(e.w.Config().SendCost(b.Size), func() {
+		if e.failed != nil || e.deadPeers[remote] {
+			if done != nil {
+				worker.Submit(0, done)
+			}
+			return
+		}
 		e.rank.Send(b, remote, int(tag))
 		e.amsSent.Inc()
 		if done != nil {
@@ -325,7 +394,7 @@ func (e *Engine) Submit(cost sim.Duration, fn func()) { e.comm.Submit(cost, fn) 
 // Put starts the emulated one-sided transfer (§4.2.2). Must run on the
 // communication thread.
 func (e *Engine) Put(a core.PutArgs) {
-	if e.failed != nil {
+	if e.failed != nil || e.deadPeers[a.Remote] {
 		return
 	}
 	e.putsStarted.Inc()
@@ -362,9 +431,13 @@ func (e *Engine) Put(a core.PutArgs) {
 func (e *Engine) postDataSend(data buf.Buf, dst, dataTag int, localCB func(), size int64) {
 	// Reserve the array slot synchronously so concurrent refills cannot
 	// overshoot MaxTransfers; the Isend itself is charged to the thread.
-	slot := &xferSlot{isSend: true, localCB: localCB, size: size}
+	slot := &xferSlot{isSend: true, localCB: localCB, dst: dst, size: size}
 	e.xfer = append(e.xfer, slot)
 	e.Submit(e.w.Config().SendCost(size), func() {
+		if slot.done {
+			// Purged by a dead-peer eviction before the Isend was posted.
+			return
+		}
 		slot.req = e.rank.Isend(data, dst, dataTag)
 		e.schedule()
 	})
@@ -393,6 +466,11 @@ func (e *Engine) putRMA(a core.PutArgs, local buf.Buf) {
 // matching receive, into the global array if there is room and onto a
 // dynamically allocated request otherwise (§4.2.2).
 func (e *Engine) onHandshake(_ core.Engine, _ core.Tag, data []byte, src int) {
+	if e.deadPeers[src] {
+		// A handshake that was already in flight when its sender was
+		// declared dead; the data will never follow.
+		return
+	}
 	h, err := core.UnmarshalPutHeader(data)
 	if err != nil {
 		// Handshakes only ever come from a peer engine, so a malformed one
@@ -453,7 +531,9 @@ func (e *Engine) runPass() {
 		case *amSlot:
 			e.dispatchAM(s)
 		case *xferSlot:
-			e.completeXfer(s)
+			if !s.done { // eviction may have abandoned the slot mid-pass
+				e.completeXfer(s)
+			}
 		}
 	}
 	if len(idxs) > 0 {

@@ -1,0 +1,100 @@
+package stack
+
+import (
+	"errors"
+	"testing"
+
+	"amtlci/internal/core"
+	"amtlci/internal/fabric"
+	"amtlci/internal/rel"
+)
+
+// failingStack builds a two-rank deployment whose 0→1 link is severed, with
+// the reliability layer interposed: a single message from rank 0 to rank 1
+// exhausts the retry budget and surfaces rel.PeerUnreachable through rank
+// 0's engine error path. It is the cheapest deterministic way to make an
+// engine invoke its OnError handler.
+func failingStack(b Backend) *Stack {
+	o := DefaultOptions(b, 2)
+	o.Fabric.Jitter = 0
+	o.Faults = &fabric.FaultConfig{
+		Seed:  3,
+		Links: []fabric.LinkFault{{Src: 0, Dst: 1, Sever: true}},
+	}
+	rc := rel.DefaultConfig()
+	o.Rel = &rc
+	return Build(o)
+}
+
+func provoke(s *Stack) {
+	const tag core.Tag = 21
+	for r := 0; r < 2; r++ {
+		s.Engines[r].TagReg(tag, func(core.Engine, core.Tag, []byte, int) {}, 64)
+	}
+	s.Engines[0].SendAM(tag, 1, []byte("doomed"))
+	s.Eng.Run()
+}
+
+// TestOnErrorLatestRegistrationWins pins the replacement contract both
+// backends document: the engine keeps exactly one handler, so a recovery
+// orchestrator can take over error routing from an earlier plain-abort
+// registration — the replaced handler must never fire.
+func TestOnErrorLatestRegistrationWins(t *testing.T) {
+	forEachFailingBackend(t, func(t *testing.T, s *Stack) {
+		var firstCalls, secondCalls int
+		s.Engines[0].OnError(func(error) { firstCalls++ })
+		s.Engines[0].OnError(func(err error) {
+			secondCalls++
+			var pu *rel.PeerUnreachable
+			if !errors.As(err, &pu) {
+				t.Fatalf("handler got %v, want PeerUnreachable", err)
+			}
+		})
+		s.Engines[1].OnError(func(error) {})
+		provoke(s)
+		if firstCalls != 0 {
+			t.Fatalf("replaced handler fired %d times", firstCalls)
+		}
+		if secondCalls == 0 {
+			t.Fatal("replacement handler never fired")
+		}
+	})
+}
+
+// TestOnErrorNilIsIgnored: a nil registration must leave the installed
+// handler in place rather than arming a nil-call panic on the progress path.
+func TestOnErrorNilIsIgnored(t *testing.T) {
+	forEachFailingBackend(t, func(t *testing.T, s *Stack) {
+		var calls int
+		s.Engines[0].OnError(func(error) { calls++ })
+		s.Engines[0].OnError(nil)
+		s.Engines[1].OnError(func(error) {})
+		provoke(s)
+		if calls == 0 {
+			t.Fatal("handler uninstalled by a nil registration")
+		}
+	})
+}
+
+// TestOnErrorUnregisteredPanics: with no handler at all, a failure panics
+// loudly — silently swallowing it would turn an abort into a hang.
+func TestOnErrorUnregisteredPanics(t *testing.T) {
+	forEachFailingBackend(t, func(t *testing.T, s *Stack) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("failure with no OnError handler did not panic")
+			}
+		}()
+		provoke(s)
+	})
+}
+
+func forEachFailingBackend(t *testing.T, f func(t *testing.T, s *Stack)) {
+	t.Helper()
+	for _, b := range Backends {
+		b := b
+		t.Run(b.String(), func(t *testing.T) {
+			f(t, failingStack(b))
+		})
+	}
+}

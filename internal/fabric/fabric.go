@@ -174,6 +174,12 @@ type Fabric struct {
 	rng   *sim.RNG
 	inj   *injector
 	reg   *metrics.Registry
+
+	// Crash state (nil slices unless a NodeCrash schedule is installed, so
+	// the fault-free fast path stays branch-cheap).
+	crashed     []bool
+	crashEvents []*sim.Event
+	onCrash     []func(rank int)
 }
 
 // New builds a fabric with n ranks on eng. It returns a descriptive error
@@ -272,6 +278,14 @@ func (f *Fabric) Send(m *Message) {
 	if DebugSend != nil {
 		DebugSend(m)
 	}
+	// A crashed endpoint neither transmits nor receives: drop before the
+	// traffic counters and before any fault-stream RNG draw, so a crash
+	// leaves the surviving links' fault schedules untouched. Messages
+	// already in flight when the destination dies are caught in deliver.
+	if f.crashed != nil && (f.crashed[m.Src] || f.crashed[m.Dst]) {
+		f.inj.crashDropped.Inc()
+		return
+	}
 	src := f.ports[m.Src]
 	src.msgsSent.Inc()
 	src.bytesSent.Add(uint64(m.Size))
@@ -363,6 +377,10 @@ func (f *Fabric) Send(m *Message) {
 }
 
 func (f *Fabric) deliver(m *Message) {
+	if f.crashed != nil && f.crashed[m.Dst] {
+		f.inj.crashDropped.Inc()
+		return
+	}
 	p := f.ports[m.Dst]
 	p.msgsRecv.Inc()
 	p.bytesRecv.Add(uint64(m.Size))

@@ -32,6 +32,21 @@ type FaultConfig struct {
 	Seed uint64
 	// Links scripts additional degradation over virtual-time windows.
 	Links []LinkFault
+	// Crashes scripts whole-rank fail-stop failures: at At, the rank goes
+	// silent. Every message it sends afterwards vanishes at the NIC, and
+	// every message addressed to it — including traffic already in flight —
+	// is dropped at the destination port. Unlike a Sever, which cuts one
+	// directed link, a crash silences all of a rank's links at once.
+	Crashes []NodeCrash
+}
+
+// NodeCrash schedules one rank's fail-stop failure.
+type NodeCrash struct {
+	// Rank is the rank that dies.
+	Rank int
+	// At is the virtual time of the failure; it must be positive (a rank
+	// that is dead at t=0 should simply not be part of the job).
+	At sim.Time
 }
 
 // LinkFault degrades one link (or a wildcard set of links) during a
@@ -111,16 +126,31 @@ func (c *FaultConfig) Validate() error {
 			return fmt.Errorf("fabric: link fault %d: negative extra latency %v", i, l.ExtraLatency)
 		}
 	}
+	seen := make(map[int]bool, len(c.Crashes))
+	for i, cr := range c.Crashes {
+		if cr.Rank < 0 {
+			return fmt.Errorf("fabric: crash %d: negative rank %d", i, cr.Rank)
+		}
+		if cr.At <= 0 {
+			return fmt.Errorf("fabric: crash %d: time %v not positive", i, cr.At)
+		}
+		if seen[cr.Rank] {
+			return fmt.Errorf("fabric: crash %d: rank %d crashes twice", i, cr.Rank)
+		}
+		seen[cr.Rank] = true
+	}
 	return nil
 }
 
 // FaultStats counts injected faults across the whole fabric.
 type FaultStats struct {
-	Dropped    uint64 // messages lost (including severed)
-	Severed    uint64 // messages lost to a Sever window specifically
-	Duplicated uint64 // messages delivered twice
-	Corrupted  uint64 // messages delivered with Corrupted set
-	Reordered  uint64 // messages delayed past later traffic
+	Dropped      uint64 // messages lost (including severed)
+	Severed      uint64 // messages lost to a Sever window specifically
+	Duplicated   uint64 // messages delivered twice
+	Corrupted    uint64 // messages delivered with Corrupted set
+	Reordered    uint64 // messages delayed past later traffic
+	Crashes      uint64 // ranks that failed (NodeCrash events fired)
+	CrashDropped uint64 // messages lost to a crashed endpoint
 }
 
 // injector implements the fault schedule. One RNG per directed link keeps
@@ -135,6 +165,7 @@ type injector struct {
 	dupDelay     sim.Duration
 
 	dropped, severed, duplicated, corrupted, reordered *metrics.Counter
+	crashes, crashDropped                              *metrics.Counter
 }
 
 func newInjector(cfg FaultConfig, n int, base Config, reg *metrics.Registry) *injector {
@@ -145,6 +176,9 @@ func newInjector(cfg FaultConfig, n int, base Config, reg *metrics.Registry) *in
 		duplicated: reg.Counter("fabric", "faults_duplicated", metrics.StackRank),
 		corrupted:  reg.Counter("fabric", "faults_corrupted", metrics.StackRank),
 		reordered:  reg.Counter("fabric", "faults_reordered", metrics.StackRank),
+
+		crashes:      reg.Counter("fabric", "crashes", metrics.StackRank),
+		crashDropped: reg.Counter("fabric", "faults_crash_dropped", metrics.StackRank),
 	}
 	in.reorderDelay = cfg.ReorderDelay
 	if in.reorderDelay == 0 {
@@ -218,15 +252,59 @@ func (in *injector) judge(src, dst int, now sim.Time) fate {
 	return ft
 }
 
-// InstallFaults arms fault injection; it replaces any previous schedule.
-// Loopback (self-send) traffic is never faulted: it models in-process
-// shared-memory delivery, not the wire.
+// InstallFaults arms fault injection; it replaces any previous schedule,
+// including pending NodeCrash events. Loopback (self-send) traffic is never
+// faulted: it models in-process shared-memory delivery, not the wire.
 func (f *Fabric) InstallFaults(cfg FaultConfig) error {
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
+	for _, cr := range cfg.Crashes {
+		if cr.Rank >= len(f.ports) {
+			return fmt.Errorf("fabric: crash rank %d out of range (have %d ranks)", cr.Rank, len(f.ports))
+		}
+		if cr.At < f.eng.Now() {
+			return fmt.Errorf("fabric: crash of rank %d scheduled in the past (%v < %v)", cr.Rank, cr.At, f.eng.Now())
+		}
+	}
 	f.inj = newInjector(cfg, len(f.ports), f.cfg, f.reg)
+	for _, ev := range f.crashEvents {
+		f.eng.Cancel(ev)
+	}
+	f.crashEvents = f.crashEvents[:0]
+	if len(cfg.Crashes) > 0 && f.crashed == nil {
+		f.crashed = make([]bool, len(f.ports))
+	}
+	for _, cr := range cfg.Crashes {
+		rank := cr.Rank
+		f.crashEvents = append(f.crashEvents, f.eng.At(cr.At, func() { f.crash(rank) }))
+	}
 	return nil
+}
+
+// crash silences rank and notifies the OnCrash listeners in registration
+// order (fault injection first, then higher layers that freeze the dead
+// rank's local state).
+func (f *Fabric) crash(rank int) {
+	if f.crashed[rank] {
+		return
+	}
+	f.crashed[rank] = true
+	f.inj.crashes.Inc()
+	for _, fn := range f.onCrash {
+		fn(rank)
+	}
+}
+
+// OnCrash registers a listener that runs when a rank's scripted NodeCrash
+// fires, on the owning engine's goroutine. Layers above the fabric use it to
+// freeze the dead rank's local protocol state (a crashed node stops its own
+// timers too, not just its NIC).
+func (f *Fabric) OnCrash(fn func(rank int)) { f.onCrash = append(f.onCrash, fn) }
+
+// Crashed reports whether rank's scripted crash has fired.
+func (f *Fabric) Crashed(rank int) bool {
+	return f.crashed != nil && f.crashed[rank]
 }
 
 // FaultStats returns fault-injection counters, rebuilt from the metrics
@@ -236,10 +314,12 @@ func (f *Fabric) FaultStats() FaultStats {
 		return FaultStats{}
 	}
 	return FaultStats{
-		Dropped:    f.inj.dropped.Value(),
-		Severed:    f.inj.severed.Value(),
-		Duplicated: f.inj.duplicated.Value(),
-		Corrupted:  f.inj.corrupted.Value(),
-		Reordered:  f.inj.reordered.Value(),
+		Dropped:      f.inj.dropped.Value(),
+		Severed:      f.inj.severed.Value(),
+		Duplicated:   f.inj.duplicated.Value(),
+		Corrupted:    f.inj.corrupted.Value(),
+		Reordered:    f.inj.reordered.Value(),
+		Crashes:      f.inj.crashes.Value(),
+		CrashDropped: f.inj.crashDropped.Value(),
 	}
 }

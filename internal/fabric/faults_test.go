@@ -251,3 +251,89 @@ func TestLatencySpikeAndBandwidthCut(t *testing.T) {
 		t.Fatalf("bandwidth cut arrival %v not later than clean %v", cut, clean)
 	}
 }
+
+func TestNodeCrashSilencesRank(t *testing.T) {
+	eng := sim.NewEngine()
+	f := mustNew(eng, 3, quietConfig())
+	crashAt := sim.Time(0).Add(50 * sim.Microsecond)
+	if err := f.InstallFaults(FaultConfig{Crashes: []NodeCrash{{Rank: 1, At: crashAt}}}); err != nil {
+		t.Fatal(err)
+	}
+	var crashedRank = -1
+	f.OnCrash(func(r int) { crashedRank = r })
+	got := make([]int, 3)
+	for r := 0; r < 3; r++ {
+		r := r
+		f.SetHandler(r, func(m *Message) { got[r]++ })
+	}
+	// Before the crash everything flows; after it rank 1 neither sends nor
+	// receives, while the 0<->2 link is untouched.
+	send := func(src, dst int) { f.Send(&Message{Src: src, Dst: dst, Size: 64}) }
+	send(0, 1)
+	send(1, 0)
+	send(0, 2)
+	eng.At(crashAt.Add(sim.Microsecond), func() {
+		send(0, 1) // into the dead rank: dropped
+		send(1, 0) // out of the dead rank: dropped
+		send(2, 0) // survivors unaffected
+	})
+	eng.Run()
+	if crashedRank != 1 {
+		t.Fatalf("OnCrash saw rank %d, want 1", crashedRank)
+	}
+	if !f.Crashed(1) || f.Crashed(0) || f.Crashed(2) {
+		t.Fatalf("Crashed() = [%v %v %v], want only rank 1", f.Crashed(0), f.Crashed(1), f.Crashed(2))
+	}
+	if got[0] != 2 || got[1] != 1 || got[2] != 1 {
+		t.Fatalf("deliveries = %v, want [2 1 1]", got)
+	}
+	if s := f.FaultStats(); s.Crashes != 1 || s.CrashDropped != 2 {
+		t.Fatalf("stats = %+v, want 1 crash, 2 crash-dropped", s)
+	}
+}
+
+func TestNodeCrashDropsInFlight(t *testing.T) {
+	eng := sim.NewEngine()
+	f := mustNew(eng, 2, quietConfig())
+	// Crash the destination while a bulk message is on the wire: it left the
+	// sender's NIC before the failure but must not be delivered.
+	if err := f.InstallFaults(FaultConfig{Crashes: []NodeCrash{{Rank: 1, At: sim.Time(0).Add(2 * sim.Microsecond)}}}); err != nil {
+		t.Fatal(err)
+	}
+	delivered := 0
+	f.SetHandler(1, func(m *Message) { delivered++ })
+	f.SetHandler(0, func(m *Message) {})
+	tx := false
+	f.Send(&Message{Src: 0, Dst: 1, Size: 1 << 20, OnTx: func() { tx = true }})
+	eng.Run()
+	if !tx {
+		t.Fatal("OnTx must fire: the message left the source NIC before the crash")
+	}
+	if delivered != 0 {
+		t.Fatalf("delivered %d messages to a crashed rank, want 0", delivered)
+	}
+	if s := f.FaultStats(); s.CrashDropped != 1 {
+		t.Fatalf("stats = %+v, want 1 crash-dropped", s)
+	}
+}
+
+func TestNodeCrashValidation(t *testing.T) {
+	bad := []FaultConfig{
+		{Crashes: []NodeCrash{{Rank: -1, At: sim.Time(0).Add(sim.Microsecond)}}},
+		{Crashes: []NodeCrash{{Rank: 0, At: 0}}},
+		{Crashes: []NodeCrash{
+			{Rank: 0, At: sim.Time(0).Add(sim.Microsecond)},
+			{Rank: 0, At: sim.Time(0).Add(2 * sim.Microsecond)},
+		}},
+	}
+	for i, fc := range bad {
+		if err := fc.Validate(); err == nil {
+			t.Errorf("case %d: invalid crash config accepted", i)
+		}
+	}
+	eng := sim.NewEngine()
+	f := mustNew(eng, 2, quietConfig())
+	if err := f.InstallFaults(FaultConfig{Crashes: []NodeCrash{{Rank: 7, At: sim.Time(0).Add(sim.Microsecond)}}}); err == nil {
+		t.Error("out-of-range crash rank accepted")
+	}
+}

@@ -353,22 +353,24 @@ func (p *Pool) executeReal(t parsec.TaskID, in []parsec.DataRef) parsec.DataRef 
 	panic("hicma: bad class")
 }
 
+// takeDiag and takeLR hand kernels the original tiles. The kernels mutate
+// in place, so callers get clones and the pristine tiles stay in the pool —
+// crash recovery may re-execute the k=0 tasks, and they must see the same
+// input both times.
 func (p *Pool) takeDiag(k int) *linalg.Matrix {
 	d, ok := p.origDiag[k]
 	if !ok {
-		panic(fmt.Sprintf("hicma: diagonal tile %d consumed twice", k))
+		panic(fmt.Sprintf("hicma: diagonal tile %d missing", k))
 	}
-	delete(p.origDiag, k)
-	return d
+	return d.Clone()
 }
 
 func (p *Pool) takeLR(m, n int) *tlr.LowRank {
 	lr, ok := p.origLR[[2]int{m, n}]
 	if !ok {
-		panic(fmt.Sprintf("hicma: low-rank tile (%d,%d) consumed twice", m, n))
+		panic(fmt.Sprintf("hicma: low-rank tile (%d,%d) missing", m, n))
 	}
-	delete(p.origLR, [2]int{m, n})
-	return lr
+	return lr.Clone()
 }
 
 // AssembleFactor reconstructs the dense lower-triangular factor from the

@@ -36,6 +36,7 @@ const (
 // data (a forwarder whose own copy is still in flight).
 type getReq struct {
 	requester int
+	epoch     int32
 	hdr       putMeta
 	rreg      regHandle
 }

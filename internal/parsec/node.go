@@ -30,6 +30,15 @@ type node struct {
 	rng      *sim.RNG
 	clock    Clock
 
+	// Crash-recovery state. dead marks a rank that crashed (its handlers
+	// and workers go inert); paused holds dispatch while a restart is being
+	// orchestrated; epoch stamps outgoing protocol messages so traffic from
+	// before a restart is recognized and dropped (stale cross-epoch
+	// messages would otherwise corrupt the rebuilt dataflow state).
+	dead   bool
+	paused bool
+	epoch  int32
+
 	// Fetch management (§4.1 deferral, §4.3 duty 3).
 	activeFetches int
 	fetchQ        prioQueue
@@ -41,6 +50,7 @@ type node struct {
 	// Runtime counters (metrics registry, layer "parsec", per rank).
 	tasksRun, activatesSent, activations  *metrics.Counter
 	getsSent, fetchDeferred, bytesFetched *metrics.Counter
+	staleDrops, tasksRestored             *metrics.Counter
 
 	inputScratch []Dep
 	succScratch  []Dep
@@ -93,6 +103,8 @@ func newNode(rt *Runtime, rank int, ce core.Engine, cfg Config) *node {
 	n.getsSent = reg.Counter("parsec", "gets_sent", rank)
 	n.fetchDeferred = reg.Counter("parsec", "fetch_deferred", rank)
 	n.bytesFetched = reg.Counter("parsec", "bytes_fetched", rank)
+	n.staleDrops = reg.Counter("parsec", "stale_drops", rank)
+	n.tasksRestored = reg.Counter("parsec", "tasks_restored", rank)
 	reg.Probe("parsec", "ready_queue_depth", rank, false, func() float64 { return float64(n.ready.Len()) })
 	reg.Probe("parsec", "fetch_queue_depth", rank, false, func() float64 { return float64(n.fetchQ.Len()) })
 	reg.Probe("parsec", "active_fetches", rank, false, func() float64 { return float64(n.activeFetches) })
@@ -163,8 +175,15 @@ func (n *node) makeReady(t TaskID) {
 	n.dispatch()
 }
 
+// rankOf resolves a task's executing rank through the runtime's recovery
+// remap: after a crash, the dead rank's tasks answer to its buddy.
+func (n *node) rankOf(t TaskID) int { return n.rt.rankOf(t) }
+
 // dispatch pairs ready tasks with idle workers.
 func (n *node) dispatch() {
+	if n.dead || n.paused {
+		return
+	}
 	for len(n.idle) > 0 && n.ready.Len() > 0 {
 		w := n.idle[len(n.idle)-1]
 		n.idle = n.idle[:len(n.idle)-1]
@@ -181,7 +200,14 @@ func (n *node) runTask(t TaskID, w int) {
 	if n.rt.obs != nil {
 		n.rt.obs.TaskStart(n.rank, w, t, n.rt.eng.Now())
 	}
+	epoch := n.epoch
 	proc.Submit(cost, func() {
+		// A crash or restart between dispatch and execution voids the task:
+		// the worker slot was already handed back by the reset, so the stale
+		// closure must vanish without touching the idle list.
+		if n.dead || epoch != n.epoch {
+			return
+		}
 		n.execute(t, w)
 		n.complete(t, w)
 		if n.rt.obs != nil {
@@ -227,6 +253,11 @@ func (n *node) complete(t TaskID, w int) {
 	outputs := n.lastOutputs
 	n.lastOutputs = nil
 
+	// Buddy checkpointing: record the completed task's outputs before its
+	// successors are released, so a crash between the two re-executes the
+	// task rather than losing it.
+	n.rt.checkpointTask(n, t, outputs)
+
 	for f := 0; f < len(outputs); f++ {
 		flow := int32(f)
 		key := flowKey{t, flow}
@@ -236,14 +267,20 @@ func (n *node) complete(t TaskID, w int) {
 		fd := &flowData{state: flowReady, ref: outputs[f], size: size}
 		now := int64(n.clock.Read(n.rt.eng.Now()))
 		fd.meta = activation{task: t, flow: flow, size: size,
-			root: int32(n.rank), rootSend: now, hopRank: int32(n.rank), hopSend: now}
+			root: int32(n.rank), rootSend: now, hopRank: int32(n.rank), hopSend: now,
+			epoch: n.epoch}
 		n.store[key] = fd
 
-		// Partition consumers into local tasks and remote ranks.
+		// Partition consumers into local tasks and remote ranks. Consumers
+		// that already executed before a restart (the recovery done set) are
+		// skipped: satisfying them again would corrupt the rebuilt counters.
 		var remote []int32
 		seen := map[int32]bool{}
 		for _, dep := range n.succScratch {
-			r := n.rt.tp.RankOf(dep.Task)
+			if n.rt.isDone(dep.Task) {
+				continue
+			}
+			r := n.rankOf(dep.Task)
 			if r == n.rank {
 				fd.localRefs++
 				n.satisfy(dep.Task)
@@ -283,13 +320,15 @@ func (n *node) complete(t TaskID, w int) {
 			n.sendActivate(int(sub[0]), act, w)
 		}
 	}
+	n.rt.maybeQuiesce()
 }
 
 // sendActivate routes one activation entry: funneled through the
 // communication thread with aggregation, or sent directly by the worker in
-// multithreaded mode.
+// multithreaded mode. Recovery restores pass w < 0 — there is no worker
+// context, so the entry always takes the funneled path.
 func (n *node) sendActivate(dest int, act activation, w int) {
-	if n.cfg.MTActivate {
+	if n.cfg.MTActivate && w >= 0 {
 		payload := encodeActivates([]activation{act})
 		n.activatesSent.Inc()
 		n.activations.Inc()
@@ -312,6 +351,9 @@ func (n *node) sendActivate(dest int, act activation, w int) {
 }
 
 func (n *node) flushActivates(dest int) {
+	if n.dead {
+		return
+	}
 	n.flushQueued[dest] = false
 	entries := n.pendingAct[dest]
 	if len(entries) == 0 {
@@ -354,6 +396,9 @@ func (n *node) wireFail(format string, args ...interface{}) {
 // the predecessor, and send GET DATA messages as necessary" — while this
 // runs, the thread can do nothing else.
 func (n *node) onActivate(_ core.Engine, _ core.Tag, data []byte, src int) {
+	if n.dead {
+		return
+	}
 	entries, err := decodeActivates(data)
 	if err != nil {
 		n.wireFail("parsec: rank %d: bad ACTIVATE from %d: %w", n.rank, src, err)
@@ -361,13 +406,20 @@ func (n *node) onActivate(_ core.Engine, _ core.Tag, data []byte, src int) {
 	}
 	for _, act := range entries {
 		act := act
+		// Epoch check first: an activation sent before a crash restart
+		// describes dataflow state that no longer exists. Dropping it here
+		// (not a wire failure) is what makes the restart safe.
+		if act.epoch != n.epoch {
+			n.staleDrops.Inc()
+			continue
+		}
 		// Unpacking one activation means iterating over every local
 		// descendant of the completed task (§4.3), so the processing cost
 		// grows with the descendant count.
 		desc := 0
 		n.succScratch = n.rt.tp.Successors(act.task, act.flow, n.succScratch[:0])
 		for _, dep := range n.succScratch {
-			if n.rt.tp.RankOf(dep.Task) == n.rank {
+			if n.rankOf(dep.Task) == n.rank {
 				desc++
 			}
 		}
@@ -377,6 +429,12 @@ func (n *node) onActivate(_ core.Engine, _ core.Tag, data []byte, src int) {
 }
 
 func (n *node) processActivation(act activation) {
+	// Re-check under the current epoch: a restart may have happened between
+	// the AM callback and this deferred processing step.
+	if n.dead || act.epoch != n.epoch {
+		n.staleDrops.Inc()
+		return
+	}
 	key := flowKey{act.task, act.flow}
 	if _, dup := n.store[key]; dup {
 		n.wireFail("parsec: duplicate activation for %v at rank %d", key, n.rank)
@@ -385,11 +443,12 @@ func (n *node) processActivation(act activation) {
 	fd := &flowData{state: flowAnnounced, size: act.size, meta: act}
 	n.store[key] = fd
 
-	// Local descendants wait for the data.
+	// Local descendants wait for the data; consumers that already executed
+	// before a restart are skipped.
 	n.succScratch = n.rt.tp.Successors(act.task, act.flow, n.succScratch[:0])
 	maxPrio := int64(-1 << 62)
 	for _, dep := range n.succScratch {
-		if n.rt.tp.RankOf(dep.Task) != n.rank {
+		if n.rankOf(dep.Task) != n.rank || n.rt.isDone(dep.Task) {
 			continue
 		}
 		fd.waiters = append(fd.waiters, dep.Task)
@@ -493,7 +552,7 @@ func (n *node) startFetch(key flowKey, fd *flowData) {
 	fd.ref = n.rt.tp.MakeCopy(key.task, key.flow, fd.size)
 	fd.lreg = n.ce.MemReg(fd.ref.Buf)
 	fd.registered = true
-	g := getData{task: key.task, flow: key.flow, rreg: fd.lreg}
+	g := getData{task: key.task, flow: key.flow, epoch: n.epoch, rreg: fd.lreg}
 	n.getsSent.Inc()
 	n.ce.SendAM(tagGetData, int(fd.meta.hopRank), g.encode())
 }
@@ -501,9 +560,19 @@ func (n *node) startFetch(key flowKey, fd *flowData) {
 // onGetData serves a data request at a rank that holds (or will hold) the
 // flow: the owner, or a multicast forwarder.
 func (n *node) onGetData(_ core.Engine, _ core.Tag, data []byte, src int) {
+	if n.dead {
+		return
+	}
 	g, err := decodeGetData(data)
 	if err != nil {
 		n.wireFail("parsec: rank %d: bad GET DATA from %d: %w", n.rank, src, err)
+		return
+	}
+	// A request from before a restart points at a landing registration that
+	// no longer belongs to live dataflow state; drop it, the requester will
+	// re-request under the new epoch if it still needs the data.
+	if g.epoch != n.epoch {
+		n.staleDrops.Inc()
 		return
 	}
 	key := flowKey{g.task, g.flow}
@@ -512,7 +581,7 @@ func (n *node) onGetData(_ core.Engine, _ core.Tag, data []byte, src int) {
 		n.wireFail("parsec: GET DATA for unknown flow %v at rank %d", key, n.rank)
 		return
 	}
-	req := getReq{requester: src, rreg: g.rreg}
+	req := getReq{requester: src, epoch: g.epoch, rreg: g.rreg}
 	if fd.state != flowReady {
 		// Forwarder whose own copy is still in flight: queue the request.
 		fd.pendingGets = append(fd.pendingGets, req)
@@ -527,8 +596,11 @@ func (n *node) servePut(key flowKey, fd *flowData, req getReq) {
 		fd.lreg = n.ce.MemReg(fd.ref.Buf)
 		fd.registered = true
 	}
+	// The put completion is stamped with the REQUEST's epoch, not the
+	// server's: if a restart happened while the request was queued, the
+	// requester must recognize the landing data as stale and drop it.
 	meta := putMeta{
-		task: key.task, flow: key.flow,
+		task: key.task, flow: key.flow, epoch: req.epoch,
 		root: fd.meta.root, rootSend: fd.meta.rootSend,
 		hopRank: int32(n.rank), hopSend: int64(n.clock.Read(n.rt.eng.Now())),
 	}
@@ -545,9 +617,19 @@ func (n *node) servePut(key flowKey, fd *flowData, req getReq) {
 // onPutDone runs at the requester when the data has landed: release local
 // waiters, serve queued children, and admit the next deferred fetch.
 func (n *node) onPutDone(_ core.Engine, _ core.Tag, data []byte, src int) {
+	if n.dead {
+		return
+	}
 	m, err := decodePutMeta(data)
 	if err != nil {
 		n.wireFail("parsec: rank %d: bad put completion from %d: %w", n.rank, src, err)
+		return
+	}
+	// Epoch check BEFORE the store lookup: a put that raced a restart lands
+	// in a leaked registration and completes against wiped state — stale,
+	// not a protocol violation.
+	if m.epoch != n.epoch {
+		n.staleDrops.Inc()
 		return
 	}
 	key := flowKey{m.task, m.flow}
@@ -556,7 +638,12 @@ func (n *node) onPutDone(_ core.Engine, _ core.Tag, data []byte, src int) {
 		n.wireFail("parsec: unexpected put completion for %v at rank %d", key, n.rank)
 		return
 	}
+	epoch := n.epoch
 	n.ce.Submit(n.cfg.DeliverCost, func() {
+		if n.dead || epoch != n.epoch {
+			n.staleDrops.Inc()
+			return
+		}
 		fd.state = flowReady
 		n.bytesFetched.Add(uint64(fd.size))
 		if n.rt.obs != nil {

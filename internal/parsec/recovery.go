@@ -1,0 +1,390 @@
+package parsec
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"amtlci/internal/buf"
+	"amtlci/internal/core"
+	recov "amtlci/internal/recover"
+	"amtlci/internal/sim"
+)
+
+// Crash recovery. With EnableRecovery armed, the runtime survives the crash
+// of one rank instead of aborting:
+//
+//  1. every completed task checkpoints its outputs to the rank's buddy
+//     (internal/recover) before its successors are released;
+//  2. when the transport declares a rank dead (a core.PeerDeath verdict from
+//     the reliable layer's failure detector), each survivor's engine evicts
+//     the dead peer and reports here; the runtime pauses reporting ranks and
+//     waits until every survivor has converged on the verdict;
+//  3. the restart then re-maps the dead rank's tasks onto its buddy, wipes
+//     all live dataflow state, advances the epoch (so in-flight pre-crash
+//     traffic is recognized as stale and dropped), restores checkpointed
+//     outputs, re-issues activations for the work that was lost, and
+//     resumes.
+//
+// A task is "done" exactly when its post-remap owner holds a checkpoint for
+// it; everything else re-executes. Checkpoints lost in flight with the crash
+// therefore cost one re-execution, never correctness.
+
+// RecoveryConfig arms crash recovery.
+type RecoveryConfig struct {
+	// Managers holds one checkpoint manager per rank, built over the same
+	// engines the runtime runs on.
+	Managers []*recov.Manager
+	// RestartDelay separates the last survivor's death verdict from the
+	// restart, giving in-flight traffic time to drain (stale traffic is
+	// dropped by epoch anyway; the delay just reduces churn).
+	RestartDelay sim.Duration
+	// MaxRecoveries bounds how many rank deaths the runtime will absorb
+	// before aborting like an unprotected run; 0 means 1.
+	MaxRecoveries int
+}
+
+type recoveryState struct {
+	cfg RecoveryConfig
+	// verdicts[dead] is the set of survivor ranks whose transport has
+	// declared dead gone.
+	verdicts map[int]map[int]bool
+	// done marks tasks that will not re-execute after the latest restart.
+	done       map[TaskID]bool
+	recoveries int
+	scheduled  map[int]bool
+}
+
+// EnableRecovery arms crash recovery; call it after New and before Run. It
+// takes over the engines' error routing: peer-death verdicts feed the
+// recovery protocol, anything else still aborts the graph.
+func (rt *Runtime) EnableRecovery(rc RecoveryConfig) {
+	if len(rc.Managers) != len(rt.nodes) {
+		panic(fmt.Sprintf("parsec: %d checkpoint managers for %d ranks",
+			len(rc.Managers), len(rt.nodes)))
+	}
+	if rc.MaxRecoveries <= 0 {
+		rc.MaxRecoveries = 1
+	}
+	rt.rec = &recoveryState{
+		cfg:       rc,
+		verdicts:  make(map[int]map[int]bool),
+		scheduled: make(map[int]bool),
+	}
+	for i, n := range rt.nodes {
+		i := i
+		n.ce.OnError(func(err error) { rt.commError(i, err) })
+	}
+}
+
+// KillRank marks rank crashed: its handlers and workers go inert. Wire it to
+// the fabric's crash notification (fab.OnCrash) so the runtime's view of the
+// crash is exactly the fabric's.
+func (rt *Runtime) KillRank(rank int) {
+	n := rt.nodes[rank]
+	n.dead = true
+	n.paused = true
+}
+
+// OnQuiesce registers fn to run once, when every rank has executed all of
+// its tasks. A crash-recovery harness uses it to stop the heartbeat detector
+// — the one event source that would otherwise keep the simulation alive
+// forever after the workload completes.
+func (rt *Runtime) OnQuiesce(fn func()) { rt.quiesceFn = fn }
+
+func (rt *Runtime) maybeQuiesce() {
+	if rt.quiesceFn == nil || rt.quiesced {
+		return
+	}
+	for _, n := range rt.nodes {
+		if n.executed != n.total {
+			return
+		}
+	}
+	rt.quiesced = true
+	rt.quiesceFn()
+}
+
+// rankOf resolves t's executing rank through the recovery remap.
+func (rt *Runtime) rankOf(t TaskID) int {
+	r := rt.tp.RankOf(t)
+	if rt.remap != nil {
+		if nr, ok := rt.remap[r]; ok {
+			return nr
+		}
+	}
+	return r
+}
+
+// isDone reports whether t completed before the latest restart.
+func (rt *Runtime) isDone(t TaskID) bool { return rt.rec != nil && rt.rec.done[t] }
+
+// checkpointTask streams a completed task's outputs to the rank's buddy.
+// No-op (and zero-cost) when recovery is off.
+func (rt *Runtime) checkpointTask(n *node, t TaskID, outputs []DataRef) {
+	if rt.rec == nil || n.dead {
+		return
+	}
+	flows := make([]recov.FlowCkpt, len(outputs))
+	for i, o := range outputs {
+		flows[i] = recov.FlowCkpt{Flow: int32(i), Size: o.Buf.Size, Data: o.Buf.Bytes}
+	}
+	rt.rec.cfg.Managers[n.rank].Checkpoint(recov.Key{Class: t.Class, Index: t.Index}, flows)
+}
+
+// commError is the engines' error handler once recovery is armed.
+func (rt *Runtime) commError(observer int, err error) {
+	var pd core.PeerDeath
+	if errors.As(err, &pd) {
+		rt.peerDead(observer, pd.DeadPeer(), err)
+		return
+	}
+	rt.fail(err)
+}
+
+// peerDead collects one survivor's death verdict. The observer pauses (its
+// pre-crash dataflow state is about to be wiped); when every survivor has
+// reported, the restart is scheduled.
+func (rt *Runtime) peerDead(observer, dead int, err error) {
+	rec := rt.rec
+	if rt.failed != nil {
+		return
+	}
+	if rec.recoveries >= rec.cfg.MaxRecoveries {
+		rt.fail(err)
+		return
+	}
+	rt.KillRank(dead) // idempotent; normally already done via fab.OnCrash
+	if rec.verdicts[dead] == nil {
+		rec.verdicts[dead] = make(map[int]bool)
+	}
+	if rec.verdicts[dead][observer] {
+		return
+	}
+	rec.verdicts[dead][observer] = true
+	rt.nodes[observer].paused = true
+
+	survivors := 0
+	for _, n := range rt.nodes {
+		if !n.dead {
+			survivors++
+		}
+	}
+	if len(rec.verdicts[dead]) == survivors && !rec.scheduled[dead] {
+		rec.scheduled[dead] = true
+		rt.eng.After(rec.cfg.RestartDelay, func() { rt.restart(dead) })
+	}
+}
+
+// FlowCounter is an optional Taskpool extension: how many output flows a
+// task produces. Recovery's task enumeration walks successor edges per flow;
+// pools without the extension are assumed to produce exactly one.
+type FlowCounter interface {
+	Flows(t TaskID) int
+}
+
+func (rt *Runtime) flowsOf(t TaskID) int {
+	if fc, ok := rt.tp.(FlowCounter); ok {
+		return fc.Flows(t)
+	}
+	return 1
+}
+
+// enumerateTasks walks the whole task graph from the roots (every non-root
+// task is reachable along dependence edges, or it could never have run).
+func (rt *Runtime) enumerateTasks() []TaskID {
+	seen := make(map[TaskID]bool)
+	var queue, all []TaskID
+	push := func(t TaskID) {
+		if !seen[t] {
+			seen[t] = true
+			queue = append(queue, t)
+		}
+	}
+	for r := range rt.nodes {
+		rt.tp.Roots(r, push)
+	}
+	var succ []Dep
+	for len(queue) > 0 {
+		t := queue[0]
+		queue = queue[1:]
+		all = append(all, t)
+		for f := 0; f < rt.flowsOf(t); f++ {
+			succ = rt.tp.Successors(t, int32(f), succ[:0])
+			for _, d := range succ {
+				push(d.Task)
+			}
+		}
+	}
+	return all
+}
+
+// restart rebuilds the runtime around the dead rank's absence.
+func (rt *Runtime) restart(dead int) {
+	rec := rt.rec
+	if rt.failed != nil {
+		return
+	}
+	rec.recoveries++
+	rt.restarts.Inc()
+
+	// Re-map ownership: the dead rank's tasks move to its buddy, and
+	// survivors who were checkpointing TO the dead rank re-aim at the same
+	// place (falling back to local-only when that is themselves).
+	buddy := rec.cfg.Managers[dead].Buddy()
+	if rt.remap == nil {
+		rt.remap = make(map[int]int)
+	}
+	rt.remap[dead] = buddy
+	for r, m := range rec.cfg.Managers {
+		if r != dead && !rt.nodes[r].dead && m.Buddy() == dead {
+			m.SetBuddy(buddy)
+		}
+	}
+
+	// A task is done exactly when its post-remap owner holds a checkpoint:
+	// the owner's own completions are stored locally, and the dead rank's
+	// are the copies its buddy received.
+	all := rt.enumerateTasks()
+	rec.done = make(map[TaskID]bool)
+	for _, t := range all {
+		owner := rt.rankOf(t)
+		if rec.cfg.Managers[owner].Has(recov.Key{Class: t.Class, Index: t.Index}) {
+			rec.done[t] = true
+		}
+	}
+
+	// Wipe every rank's dataflow state and advance the epoch; all pre-crash
+	// traffic still in flight becomes recognizably stale.
+	for _, n := range rt.nodes {
+		n.resetForRecovery()
+	}
+
+	// Rebuild per-rank totals under the new ownership; done tasks count as
+	// executed and will never run again.
+	for _, t := range all {
+		n := rt.nodes[rt.rankOf(t)]
+		n.total++
+		if rec.done[t] {
+			n.executed++
+		}
+	}
+
+	// Restore every done task's outputs at its post-remap owner and re-issue
+	// the activations its completion would have sent, filtered down to the
+	// consumers that still need them.
+	for _, t := range all {
+		if !rec.done[t] {
+			continue
+		}
+		owner := rt.rankOf(t)
+		flows, ok := rec.cfg.Managers[owner].Lookup(recov.Key{Class: t.Class, Index: t.Index})
+		if !ok {
+			panic(fmt.Sprintf("parsec: done task %v has no checkpoint at rank %d", t, owner))
+		}
+		rt.nodes[owner].restoreTask(t, flows)
+	}
+
+	// Reseed the roots that still need to run.
+	for r := range rt.nodes {
+		rt.tp.Roots(r, func(t TaskID) {
+			if rec.done[t] {
+				return
+			}
+			n := rt.nodes[rt.rankOf(t)]
+			n.stateOf(t)
+			n.makeReady(t)
+		})
+	}
+
+	// Resume. If everything was already done the graph is complete and the
+	// quiescence hook (if any) fires right here.
+	for _, n := range rt.nodes {
+		if n.dead {
+			continue
+		}
+		n.paused = false
+		n.dispatch()
+	}
+	rt.maybeQuiesce()
+}
+
+// resetForRecovery wipes one rank's dataflow state for a restart. Old memory
+// registrations are deliberately leaked rather than deregistered: a put that
+// raced the crash may still land in one, and the registry panics on unknown
+// handles — the leaked registration absorbs the write and the stale
+// completion is dropped by epoch.
+func (n *node) resetForRecovery() {
+	n.epoch++
+	n.store = make(map[flowKey]*flowData)
+	n.tasks = make(map[TaskID]*taskState)
+	n.ready = prioQueue{}
+	n.fetchQ = prioQueue{}
+	n.activeFetches = 0
+	n.pendingAct = make(map[int][]activation)
+	n.flushQueued = make(map[int]bool)
+	n.lastOutputs = nil
+	n.executed, n.total = 0, 0
+	n.idle = n.idle[:0]
+	for i := range n.workers {
+		n.idle = append(n.idle, i)
+	}
+	n.paused = true
+}
+
+// restoreTask re-creates a done task's output flows from its checkpoint: the
+// payload becomes flowReady at this rank, local not-yet-done consumers are
+// satisfied directly, and each rank that still has consumers waiting gets a
+// fresh (tree-less) activation to fetch against.
+func (n *node) restoreTask(t TaskID, flows []recov.FlowCkpt) {
+	n.tasksRestored.Inc()
+	for _, f := range flows {
+		key := flowKey{t, f.Flow}
+		n.succScratch = n.rt.tp.Successors(t, f.Flow, n.succScratch[:0])
+		var locals []TaskID
+		var remote []int32
+		seen := map[int32]bool{}
+		for _, dep := range n.succScratch {
+			if n.rt.isDone(dep.Task) {
+				continue
+			}
+			r := n.rankOf(dep.Task)
+			if r == n.rank {
+				locals = append(locals, dep.Task)
+				continue
+			}
+			if !seen[int32(r)] {
+				seen[int32(r)] = true
+				remote = append(remote, int32(r))
+			}
+		}
+		if len(locals) == 0 && len(remote) == 0 {
+			continue // every consumer already ran; nothing needs this copy
+		}
+		sort.Slice(remote, func(i, j int) bool { return remote[i] < remote[j] })
+
+		ref := n.rt.tp.MakeCopy(t, f.Flow, f.Size)
+		if f.Data != nil {
+			buf.Copy(ref.Buf, buf.FromBytes(f.Data))
+		}
+		now := int64(n.clock.Read(n.rt.eng.Now()))
+		fd := &flowData{state: flowReady, ref: ref, size: f.Size}
+		fd.meta = activation{task: t, flow: f.Flow, size: f.Size,
+			root: int32(n.rank), rootSend: now, hopRank: int32(n.rank), hopSend: now,
+			epoch: n.epoch}
+		n.store[key] = fd
+
+		for _, lt := range locals {
+			fd.localRefs++
+			n.satisfy(lt)
+		}
+		if f.Size > 0 {
+			fd.expectedGets = len(remote)
+		}
+		for _, r := range remote {
+			act := fd.meta
+			act.subtree = nil
+			n.sendActivate(int(r), act, -1)
+		}
+	}
+}

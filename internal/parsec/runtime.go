@@ -20,6 +20,16 @@ type Runtime struct {
 	obs    Observer
 	reg    *metrics.Registry
 	failed error
+
+	// Crash-recovery state (recovery.go); nil until EnableRecovery.
+	rec *recoveryState
+	// remap redirects a dead rank's task ownership to its buddy.
+	remap map[int]int
+	// restarts counts completed recovery restarts (whole-runtime metric).
+	restarts *metrics.Counter
+
+	quiesceFn func()
+	quiesced  bool
 }
 
 // New builds a runtime. engines must all live on eng and have ranks 0..n-1
@@ -36,6 +46,7 @@ func New(eng *sim.Engine, engines []core.Engine, tp Taskpool, cfg Config) *Runti
 		reg = metrics.New()
 	}
 	rt := &Runtime{eng: eng, tp: tp, cfg: cfg, tracer: NewTracer(len(engines)), reg: reg}
+	rt.restarts = reg.Counter("parsec", "restarts", metrics.StackRank)
 	for i, ce := range engines {
 		if ce.Rank() != i {
 			panic(fmt.Sprintf("parsec: engine %d reports rank %d", i, ce.Rank()))

@@ -27,17 +27,34 @@ type activation struct {
 	rootSend int64 // root's clock when the root ACTIVATE was sent (ps)
 	hopRank  int32 // rank that sent this ACTIVATE (tree parent; data source)
 	hopSend  int64 // hop sender's clock at send time (ps)
+	epoch    int32 // recovery epoch the sender was in (stale entries drop)
 	subtree  []int32
 }
 
 const activationFixedBytes = 4 + 8 + 4 + 8 + 4 + 8 + 4 + 8 + 2
+
+// packFlow merges a flow index and the sender's recovery epoch into the one
+// 32-bit flow word each control message already carries. Control-message
+// sizes are part of the calibrated cost model (the Fig 2a anchors are pinned
+// byte-for-byte), so the recovery extension must not grow them; flows are
+// single-digit output indices and the epoch counts restarts, so 16 bits each
+// is roomy. The split is a bijection on the full 32-bit word, which the
+// decoder fuzzers rely on.
+func packFlow(flow, epoch int32) int32 {
+	if flow>>16 != 0 {
+		panic(fmt.Sprintf("parsec: flow %d overflows the packed wire word", flow))
+	}
+	return flow | epoch<<16
+}
+
+func unpackFlow(v int32) (flow, epoch int32) { return v & 0xFFFF, v >> 16 }
 
 func (a activation) encodedLen() int { return activationFixedBytes + 4*len(a.subtree) }
 
 func appendActivation(b []byte, a activation) []byte {
 	b = le32(b, a.task.Class)
 	b = le64(b, a.task.Index)
-	b = le32(b, a.flow)
+	b = le32(b, packFlow(a.flow, a.epoch))
 	b = le64(b, a.size)
 	b = le32(b, a.root)
 	b = le64(b, a.rootSend)
@@ -58,7 +75,9 @@ func decodeActivation(b []byte) (activation, []byte, error) {
 	}
 	a.task.Class, b = rd32(b)
 	a.task.Index, b = rd64(b)
-	a.flow, b = rd32(b)
+	var fw int32
+	fw, b = rd32(b)
+	a.flow, a.epoch = unpackFlow(fw)
 	a.size, b = rd64(b)
 	a.root, b = rd32(b)
 	a.rootSend, b = rd64(b)
@@ -117,9 +136,10 @@ func decodeActivates(b []byte) ([]activation, error) {
 
 // getData is the GET DATA request payload.
 type getData struct {
-	task TaskID
-	flow int32
-	rreg regHandle
+	task  TaskID
+	flow  int32
+	epoch int32
+	rreg  regHandle
 }
 
 const getDataBytes = 4 + 8 + 4 + 4 + 8
@@ -128,7 +148,7 @@ func (g getData) encode() []byte {
 	b := make([]byte, 0, getDataBytes)
 	b = le32(b, g.task.Class)
 	b = le64(b, g.task.Index)
-	b = le32(b, g.flow)
+	b = le32(b, packFlow(g.flow, g.epoch))
 	b = le32(b, g.rreg.Rank)
 	b = append(b, 0, 0, 0, 0, 0, 0, 0, 0)
 	binary.LittleEndian.PutUint64(b[len(b)-8:], g.rreg.ID)
@@ -142,7 +162,9 @@ func decodeGetData(b []byte) (getData, error) {
 	}
 	g.task.Class, b = rd32(b)
 	g.task.Index, b = rd64(b)
-	g.flow, b = rd32(b)
+	var fw int32
+	fw, b = rd32(b)
+	g.flow, g.epoch = unpackFlow(fw)
 	g.rreg.Rank, b = rd32(b)
 	g.rreg.ID = binary.LittleEndian.Uint64(b)
 	return g, nil
@@ -153,6 +175,7 @@ func decodeGetData(b []byte) (getData, error) {
 type putMeta struct {
 	task     TaskID
 	flow     int32
+	epoch    int32
 	root     int32
 	rootSend int64
 	hopRank  int32
@@ -165,7 +188,7 @@ func (p putMeta) encode() []byte {
 	b := make([]byte, 0, putMetaBytes)
 	b = le32(b, p.task.Class)
 	b = le64(b, p.task.Index)
-	b = le32(b, p.flow)
+	b = le32(b, packFlow(p.flow, p.epoch))
 	b = le32(b, p.root)
 	b = le64(b, p.rootSend)
 	b = le32(b, p.hopRank)
@@ -180,7 +203,9 @@ func decodePutMeta(b []byte) (putMeta, error) {
 	}
 	p.task.Class, b = rd32(b)
 	p.task.Index, b = rd64(b)
-	p.flow, b = rd32(b)
+	var fw int32
+	fw, b = rd32(b)
+	p.flow, p.epoch = unpackFlow(fw)
 	p.root, b = rd32(b)
 	p.rootSend, b = rd64(b)
 	p.hopRank, b = rd32(b)

@@ -8,14 +8,17 @@ import (
 
 func TestActivationRoundTrip(t *testing.T) {
 	f := func(class int32, index int64, flow int32, size int64, root int32,
-		rootSend, hopSend int64, hopRank int32, subtree []int32) bool {
+		rootSend, hopSend int64, hopRank, epoch int32, subtree []int32) bool {
 		if len(subtree) > 1000 {
 			subtree = subtree[:1000]
 		}
+		// flow and epoch share one packed 16+16-bit wire word.
+		flow &= 0xFFFF
+		epoch = int32(int16(epoch))
 		a := activation{
 			task: TaskID{Class: class, Index: index}, flow: flow, size: size,
 			root: root, rootSend: rootSend, hopRank: hopRank, hopSend: hopSend,
-			subtree: subtree,
+			epoch: epoch, subtree: subtree,
 		}
 		got, rest, err := decodeActivation(appendActivation(nil, a))
 		if err != nil || len(rest) != 0 {
@@ -23,7 +26,8 @@ func TestActivationRoundTrip(t *testing.T) {
 		}
 		if got.task != a.task || got.flow != a.flow || got.size != a.size ||
 			got.root != a.root || got.rootSend != a.rootSend ||
-			got.hopRank != a.hopRank || got.hopSend != a.hopSend {
+			got.hopRank != a.hopRank || got.hopSend != a.hopSend ||
+			got.epoch != a.epoch {
 			return false
 		}
 		if len(got.subtree) != len(a.subtree) {
@@ -66,7 +70,7 @@ func TestAggregatedActivationsRoundTrip(t *testing.T) {
 }
 
 func TestGetDataRoundTrip(t *testing.T) {
-	g := getData{task: TaskID{Class: 2, Index: 123456789}, flow: 1,
+	g := getData{task: TaskID{Class: 2, Index: 123456789}, flow: 1, epoch: 3,
 		rreg: regHandle{Rank: 7, ID: 0xDEADBEEF}}
 	got, err := decodeGetData(g.encode())
 	if err != nil {
@@ -78,10 +82,13 @@ func TestGetDataRoundTrip(t *testing.T) {
 }
 
 func TestPutMetaRoundTrip(t *testing.T) {
-	f := func(class int32, index int64, flow, root int32, rootSend int64,
+	f := func(class int32, index int64, flow, epoch, root int32, rootSend int64,
 		hopRank int32, hopSend int64) bool {
+		flow &= 0xFFFF
+		epoch = int32(int16(epoch))
 		m := putMeta{task: TaskID{Class: class, Index: index}, flow: flow,
-			root: root, rootSend: rootSend, hopRank: hopRank, hopSend: hopSend}
+			epoch: epoch, root: root, rootSend: rootSend, hopRank: hopRank,
+			hopSend: hopSend}
 		got, err := decodePutMeta(m.encode())
 		return err == nil && got == m
 	}

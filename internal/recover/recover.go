@@ -1,0 +1,238 @@
+// Package recover implements buddy checkpointing for crash recovery: every
+// rank streams the output tiles of its completed tasks to a buddy rank (the
+// next rank in a ring), so that when a rank dies, its buddy holds both a
+// completion marker and a copy of the data for every task the dead rank had
+// finished. The recovery orchestrator (internal/parsec) re-maps the dead
+// rank's work onto the buddy, restores the checkpointed outputs instead of
+// re-executing their producers, and re-executes only the tasks that had not
+// reached a checkpoint.
+//
+// Checkpoints travel as ordinary active messages over the rank's
+// communication engine, so they share the wire, the retry budget, and the
+// failure detector with the runtime's own traffic. The protocol is
+// fire-and-forget: a checkpoint lost in flight with the crash merely forces
+// re-execution of that one task — correctness never depends on a checkpoint
+// having arrived.
+package recover
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"amtlci/internal/core"
+	"amtlci/internal/metrics"
+)
+
+// TagCkpt is the active-message tag checkpoint frames travel on. It is
+// disjoint from the runtime's tags (parsec uses small positive tags, the
+// backends use 0x7FFF0000 and 1<<24 upward).
+const TagCkpt core.Tag = 0x7EC0
+
+// Key names one checkpointed task: the task-class id and the task's index
+// within the class (both as the runtime numbers them).
+type Key struct {
+	Class int32
+	Index int64
+}
+
+// FlowCkpt is one output flow of a checkpointed task. Data nil with Size 0
+// marks a purely-virtual flow (a dependency with no payload); otherwise Data
+// holds Size bytes of tile content.
+type FlowCkpt struct {
+	Flow int32
+	Size int64
+	Data []byte
+}
+
+// Stats summarizes one manager's activity.
+type Stats struct {
+	// Sent counts checkpoints shipped to the buddy; Bytes their payload.
+	Sent  uint64
+	Bytes uint64
+	// Stored counts checkpoints accepted on behalf of the backed-up peer.
+	Stored uint64
+	// Bad counts malformed checkpoint frames dropped on arrival.
+	Bad uint64
+}
+
+// Manager is the per-rank checkpoint store: it holds this rank's own
+// checkpoints (presence = the task completed here) plus the checkpoints
+// received from the peer this rank backs up.
+type Manager struct {
+	eng   core.Engine
+	buddy int
+
+	local  map[Key][]FlowCkpt
+	stored map[Key][]FlowCkpt
+
+	sent, bytes, stored_, bad *metrics.Counter
+}
+
+// maxCkptBytes bounds one checkpoint frame; tiles in this simulation are a
+// few KiB, so anything larger is a protocol bug.
+const maxCkptBytes = 1 << 20
+
+// NewManager builds the manager for e's rank and registers the checkpoint
+// tag on the engine. The default buddy is the next rank in the ring.
+func NewManager(e core.Engine, mreg *metrics.Registry) *Manager {
+	if mreg == nil {
+		mreg = metrics.New()
+	}
+	m := &Manager{
+		eng:    e,
+		buddy:  (e.Rank() + 1) % e.Size(),
+		local:  make(map[Key][]FlowCkpt),
+		stored: make(map[Key][]FlowCkpt),
+
+		sent:    mreg.Counter("recover", "ckpt_sent", e.Rank()),
+		bytes:   mreg.Counter("recover", "ckpt_bytes", e.Rank()),
+		stored_: mreg.Counter("recover", "ckpt_stored", e.Rank()),
+		bad:     mreg.Counter("recover", "ckpt_bad", e.Rank()),
+	}
+	e.TagReg(TagCkpt, m.onCkpt, maxCkptBytes)
+	return m
+}
+
+// Rank returns the owning rank.
+func (m *Manager) Rank() int { return m.eng.Rank() }
+
+// Buddy returns the rank this manager ships its checkpoints to.
+func (m *Manager) Buddy() int { return m.buddy }
+
+// SetBuddy redirects future checkpoints — the orchestrator calls it after a
+// restart so survivors do not keep shipping to a dead rank.
+func (m *Manager) SetBuddy(r int) { m.buddy = r }
+
+// Checkpoint records k's output flows locally and ships a copy to the buddy.
+// It must be called on the communication thread. The local store keeps the
+// decoded form of the wire frame (not the caller's slices), so the codec is
+// exercised on every checkpoint and callers may reuse their buffers.
+func (m *Manager) Checkpoint(k Key, flows []FlowCkpt) {
+	frame := encodeCkpt(k, flows)
+	dec, _, err := decodeWire(frame)
+	if err != nil {
+		panic(fmt.Sprintf("recover: self-encoded checkpoint undecodable: %v", err))
+	}
+	m.local[k] = dec
+	if m.buddy != m.eng.Rank() {
+		m.sent.Inc()
+		m.bytes.Add(uint64(len(frame)))
+		m.eng.SendAM(TagCkpt, m.buddy, frame)
+	}
+}
+
+// Has reports whether k completed here or is stored on behalf of the peer.
+func (m *Manager) Has(k Key) bool {
+	_, okL := m.local[k]
+	_, okS := m.stored[k]
+	return okL || okS
+}
+
+// Lookup returns k's checkpointed flows, local copies first.
+func (m *Manager) Lookup(k Key) ([]FlowCkpt, bool) {
+	if fs, ok := m.local[k]; ok {
+		return fs, true
+	}
+	fs, ok := m.stored[k]
+	return fs, ok
+}
+
+// Stats returns this manager's counters.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		Sent:   m.sent.Value(),
+		Bytes:  m.bytes.Value(),
+		Stored: m.stored_.Value(),
+		Bad:    m.bad.Value(),
+	}
+}
+
+// onCkpt accepts a checkpoint frame from the peer this rank backs up. The AM
+// payload is only valid during the callback, so decodeCkpt's copies are
+// load-bearing.
+func (m *Manager) onCkpt(_ core.Engine, _ core.Tag, data []byte, _ int) {
+	flows, k, err := decodeWire(data)
+	if err != nil {
+		m.bad.Inc()
+		return
+	}
+	m.stored_.Inc()
+	m.stored[k] = flows
+}
+
+// Wire format: magic "CK" (2) version (1) class (4) index (8) nflows (2),
+// then per flow: flow (4) size (8) dlen (4) data (dlen). dlen 0 with size 0
+// is a virtual flow; all integers little-endian.
+const (
+	ckptMagic0  = 'C'
+	ckptMagic1  = 'K'
+	ckptVersion = 1
+	ckptHdrLen  = 2 + 1 + 4 + 8 + 2
+	ckptFlowLen = 4 + 8 + 4
+)
+
+func encodeCkpt(k Key, flows []FlowCkpt) []byte {
+	n := ckptHdrLen
+	for _, f := range flows {
+		n += ckptFlowLen + len(f.Data)
+	}
+	b := make([]byte, 0, n)
+	b = append(b, ckptMagic0, ckptMagic1, ckptVersion)
+	b = binary.LittleEndian.AppendUint32(b, uint32(k.Class))
+	b = binary.LittleEndian.AppendUint64(b, uint64(k.Index))
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(flows)))
+	for _, f := range flows {
+		b = binary.LittleEndian.AppendUint32(b, uint32(f.Flow))
+		b = binary.LittleEndian.AppendUint64(b, uint64(f.Size))
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(f.Data)))
+		b = append(b, f.Data...)
+	}
+	return b
+}
+
+// decodeWire parses a checkpoint frame, copying flow data out of b (AM
+// payloads do not survive the callback). Anything malformed — short buffer,
+// wrong magic or version, negative sizes, trailing garbage — is an error,
+// never a panic (fuzzed).
+func decodeWire(b []byte) ([]FlowCkpt, Key, error) {
+	var k Key
+	if len(b) < ckptHdrLen {
+		return nil, k, fmt.Errorf("recover: checkpoint truncated: %d bytes, header needs %d", len(b), ckptHdrLen)
+	}
+	if b[0] != ckptMagic0 || b[1] != ckptMagic1 {
+		return nil, k, fmt.Errorf("recover: checkpoint magic %#x%#x", b[0], b[1])
+	}
+	if b[2] != ckptVersion {
+		return nil, k, fmt.Errorf("recover: checkpoint version %d, want %d", b[2], ckptVersion)
+	}
+	k.Class = int32(binary.LittleEndian.Uint32(b[3:7]))
+	k.Index = int64(binary.LittleEndian.Uint64(b[7:15]))
+	nflows := int(binary.LittleEndian.Uint16(b[15:17]))
+	if k.Index < 0 {
+		return nil, k, fmt.Errorf("recover: checkpoint index %d negative", k.Index)
+	}
+	off := ckptHdrLen
+	flows := make([]FlowCkpt, 0, nflows)
+	for i := 0; i < nflows; i++ {
+		if len(b)-off < ckptFlowLen {
+			return nil, k, fmt.Errorf("recover: checkpoint flow %d truncated", i)
+		}
+		var f FlowCkpt
+		f.Flow = int32(binary.LittleEndian.Uint32(b[off : off+4]))
+		f.Size = int64(binary.LittleEndian.Uint64(b[off+4 : off+12]))
+		dlen := int(int32(binary.LittleEndian.Uint32(b[off+12 : off+16])))
+		off += ckptFlowLen
+		if f.Size < 0 || dlen < 0 || dlen > len(b)-off {
+			return nil, k, fmt.Errorf("recover: checkpoint flow %d data length %d invalid", i, dlen)
+		}
+		if dlen > 0 {
+			f.Data = append([]byte(nil), b[off:off+dlen]...)
+		}
+		off += dlen
+		flows = append(flows, f)
+	}
+	if off != len(b) {
+		return nil, k, fmt.Errorf("recover: checkpoint has %d trailing bytes", len(b)-off)
+	}
+	return flows, k, nil
+}

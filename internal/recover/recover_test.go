@@ -1,0 +1,152 @@
+package recover_test
+
+import (
+	"bytes"
+	"testing"
+
+	"amtlci/internal/core/stack"
+	"amtlci/internal/metrics"
+	recov "amtlci/internal/recover"
+)
+
+// buildPair assembles a 2-rank stack with a checkpoint manager on each rank.
+func buildPair(t *testing.T, b stack.Backend) (*stack.Stack, []*recov.Manager) {
+	t.Helper()
+	o := stack.DefaultOptions(b, 2)
+	o.Fabric.Jitter = 0
+	s := stack.Build(o)
+	ms := make([]*recov.Manager, 2)
+	for r := 0; r < 2; r++ {
+		ms[r] = recov.NewManager(s.Engines[r], s.Metrics)
+	}
+	return s, ms
+}
+
+func TestBuddyRing(t *testing.T) {
+	s, ms := buildPair(t, stack.LCI)
+	_ = s
+	if ms[0].Buddy() != 1 || ms[1].Buddy() != 0 {
+		t.Fatalf("buddies = %d, %d; want the ring 1, 0", ms[0].Buddy(), ms[1].Buddy())
+	}
+	ms[0].SetBuddy(0)
+	if ms[0].Buddy() != 0 {
+		t.Fatal("SetBuddy did not take")
+	}
+}
+
+// TestCheckpointReachesBuddy is the protocol's core property on both
+// backends: a checkpoint taken at one rank becomes visible at its buddy,
+// with the data intact and owned by the buddy (not aliased to the wire).
+func TestCheckpointReachesBuddy(t *testing.T) {
+	for _, b := range stack.Backends {
+		b := b
+		t.Run(b.String(), func(t *testing.T) {
+			s, ms := buildPair(t, b)
+			k := recov.Key{Class: 3, Index: 41}
+			tile := bytes.Repeat([]byte{0xC5}, 2048)
+			s.Engines[0].Submit(0, func() {
+				ms[0].Checkpoint(k, []recov.FlowCkpt{
+					{Flow: 0, Size: int64(len(tile)), Data: tile},
+					{Flow: 1, Size: 0, Data: nil}, // virtual control flow
+				})
+			})
+			s.Eng.Run()
+
+			if !ms[0].Has(k) {
+				t.Fatal("checkpoint not recorded locally at the owner")
+			}
+			if !ms[1].Has(k) {
+				t.Fatal("checkpoint did not reach the buddy")
+			}
+			flows, ok := ms[1].Lookup(k)
+			if !ok || len(flows) != 2 {
+				t.Fatalf("buddy lookup = %v, %v; want both flows", flows, ok)
+			}
+			if !bytes.Equal(flows[0].Data, tile) || flows[0].Size != int64(len(tile)) {
+				t.Fatalf("buddy flow 0 corrupted: size %d", flows[0].Size)
+			}
+			if flows[1].Size != 0 || flows[1].Data != nil {
+				t.Fatalf("virtual flow not preserved: %+v", flows[1])
+			}
+			st0, st1 := ms[0].Stats(), ms[1].Stats()
+			if st0.Sent != 1 || st0.Bytes == 0 || st1.Stored != 1 || st1.Bad != 0 {
+				t.Fatalf("stats owner %+v buddy %+v", st0, st1)
+			}
+		})
+	}
+}
+
+// TestSelfBuddyStoresLocally covers the degenerate single-rank job: with
+// buddy == self nothing goes on the wire, but Lookup still works.
+func TestSelfBuddyStoresLocally(t *testing.T) {
+	o := stack.DefaultOptions(stack.LCI, 1)
+	o.Fabric.Jitter = 0
+	s := stack.Build(o)
+	m := recov.NewManager(s.Engines[0], s.Metrics)
+	if m.Buddy() != 0 {
+		t.Fatalf("single-rank buddy = %d, want self", m.Buddy())
+	}
+	k := recov.Key{Class: 1, Index: 7}
+	s.Engines[0].Submit(0, func() {
+		m.Checkpoint(k, []recov.FlowCkpt{{Flow: 0, Size: 4, Data: []byte{1, 2, 3, 4}}})
+	})
+	s.Eng.Run()
+	if !m.Has(k) {
+		t.Fatal("self-buddy checkpoint lost")
+	}
+	if st := m.Stats(); st.Sent != 0 {
+		t.Fatalf("self-buddy shipped %d checkpoints onto the wire", st.Sent)
+	}
+}
+
+// TestCheckpointCopiesCallerBuffer pins the aliasing contract: Checkpoint
+// snapshots the tile, so the caller may keep mutating it afterwards.
+func TestCheckpointCopiesCallerBuffer(t *testing.T) {
+	s, ms := buildPair(t, stack.MPI)
+	k := recov.Key{Class: 0, Index: 0}
+	tile := []byte{10, 20, 30, 40}
+	s.Engines[0].Submit(0, func() {
+		ms[0].Checkpoint(k, []recov.FlowCkpt{{Flow: 0, Size: 4, Data: tile}})
+		tile[0] = 99 // mutate after the call
+	})
+	s.Eng.Run()
+	for who, m := range ms {
+		flows, ok := m.Lookup(k)
+		if !ok {
+			t.Fatalf("rank %d missing checkpoint", who)
+		}
+		if flows[0].Data[0] != 10 {
+			t.Fatalf("rank %d checkpoint aliases the caller's tile", who)
+		}
+	}
+}
+
+func TestCkptStatsStartZero(t *testing.T) {
+	_, ms := buildPair(t, stack.LCI)
+	if st := ms[0].Stats(); st != (recov.Stats{}) {
+		t.Fatalf("fresh manager stats = %+v", st)
+	}
+}
+
+func TestMetricsRegistered(t *testing.T) {
+	reg := metrics.New()
+	o := stack.DefaultOptions(stack.LCI, 2)
+	o.Fabric.Jitter = 0
+	o.Metrics = reg
+	s := stack.Build(o)
+	ms := []*recov.Manager{
+		recov.NewManager(s.Engines[0], reg),
+		recov.NewManager(s.Engines[1], reg),
+	}
+	s.Engines[0].Submit(0, func() {
+		ms[0].Checkpoint(recov.Key{Class: 2, Index: 5},
+			[]recov.FlowCkpt{{Flow: 0, Size: 8, Data: make([]byte, 8)}})
+	})
+	s.Eng.Run()
+	if got := reg.Total("recover", "ckpt_sent"); got != 1 {
+		t.Fatalf("registry total ckpt_sent = %v, want 1", got)
+	}
+	if got := reg.Total("recover", "ckpt_stored"); got != 1 {
+		t.Fatalf("registry total ckpt_stored = %v, want 1", got)
+	}
+}

@@ -1,0 +1,58 @@
+package recover
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestCkptCodecRoundTrip(t *testing.T) {
+	k := Key{Class: 7, Index: 1 << 33}
+	flows := []FlowCkpt{
+		{Flow: 0, Size: 5, Data: []byte{1, 2, 3, 4, 5}},
+		{Flow: 2, Size: 0, Data: nil},
+	}
+	b := encodeCkpt(k, flows)
+	got, gk, err := decodeWire(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gk != k || len(got) != len(flows) {
+		t.Fatalf("decoded key %+v, %d flows", gk, len(got))
+	}
+	for i := range flows {
+		if got[i].Flow != flows[i].Flow || got[i].Size != flows[i].Size ||
+			!bytes.Equal(got[i].Data, flows[i].Data) {
+			t.Fatalf("flow %d: got %+v want %+v", i, got[i], flows[i])
+		}
+	}
+
+	for name, corrupt := range map[string]func([]byte) []byte{
+		"short header": func(b []byte) []byte { return b[:ckptHdrLen-1] },
+		"bad magic":    func(b []byte) []byte { b[0] = 'X'; return b },
+		"bad version":  func(b []byte) []byte { b[2] = 9; return b },
+		"trailing":     func(b []byte) []byte { return append(b, 0) },
+		"cut flow":     func(b []byte) []byte { return b[:len(b)-1] },
+	} {
+		mut := corrupt(bytes.Clone(b))
+		if _, _, err := decodeWire(mut); err == nil {
+			t.Errorf("%s: corrupted checkpoint accepted", name)
+		}
+	}
+}
+
+func FuzzDecodeCheckpoint(f *testing.F) {
+	f.Add(encodeCkpt(Key{Class: 1, Index: 2}, []FlowCkpt{{Flow: 0, Size: 3, Data: []byte{7, 8, 9}}}))
+	f.Add(encodeCkpt(Key{}, nil))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, ckptHdrLen+ckptFlowLen))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		flows, k, err := decodeWire(b)
+		if err != nil {
+			return
+		}
+		// Whatever decodes must re-encode to the identical bytes.
+		if out := encodeCkpt(k, flows); !bytes.Equal(out, b) {
+			t.Fatalf("decode/encode mismatch: in %x out %x", b, out)
+		}
+	})
+}

@@ -1,0 +1,257 @@
+package rel
+
+import (
+	"fmt"
+
+	"amtlci/internal/fabric"
+	"amtlci/internal/sim"
+)
+
+// Heartbeat failure detection. When Config.HeartbeatPeriod is set, every
+// endpoint runs a lease-based failure detector over all of its peers:
+//
+//   - any arrival from a peer — data frame, ACK, or explicit heartbeat —
+//     renews that peer's lease (lastHeard);
+//   - a peer the endpoint has not transmitted anything to for a full period
+//     receives an explicit heartbeat beacon, so the beacons piggyback on
+//     regular protocol traffic and cost nothing on busy links;
+//   - a peer whose lease has been silent for LeaseTimeout is declared dead
+//     with a PeerDead notification — a whole-rank verdict, distinct from the
+//     per-send PeerUnreachable of an exhausted retry budget.
+//
+// Because every endpoint monitors every peer, all survivors of a rank crash
+// converge on the same verdict within LeaseTimeout + HeartbeatPeriod of the
+// failure, whether or not they had traffic in flight toward the dead rank.
+//
+// The detector's tick is an ordinary simulation event, so detection does not
+// depend on application traffic keeping the event loop alive; a recovery
+// orchestrator stops the ticks at quiescence via StopHeartbeats.
+
+// PeerDead reports that From's failure detector declared To dead: nothing
+// has been heard from To for a full lease window.
+type PeerDead struct {
+	From, To int
+	// LastHeard is the last virtual time anything arrived from To.
+	LastHeard sim.Time
+	// Lease is the configured lease timeout that expired.
+	Lease sim.Duration
+}
+
+func (e *PeerDead) Error() string {
+	return fmt.Sprintf("rel: rank %d declared peer %d dead (silent since %v, lease %v)",
+		e.From, e.To, e.LastHeard, e.Lease)
+}
+
+// DeadPeer returns the rank declared dead (core.PeerDeath).
+func (e *PeerDead) DeadPeer() int { return e.To }
+
+// hbMsg marks a fabric message as a heartbeat beacon; the encoded Heartbeat
+// travels in the payload so fault injection can damage real bytes.
+type hbMsg struct{}
+
+// Heartbeat is the wire content of an explicit beacon.
+type Heartbeat struct {
+	// From is the sender's rank (validated against the fabric source on
+	// receipt, so a corrupted beacon cannot renew the wrong lease).
+	From int32
+	// Seq increments per beacon the sender emits.
+	Seq uint64
+	// Sent is the send time in virtual picoseconds.
+	Sent int64
+}
+
+const (
+	hbMagic   = 0x4842 // "HB"
+	hbVersion = 1
+	// HeartbeatBytes is the encoded size of a beacon: magic, version,
+	// sender, sequence number, send time.
+	HeartbeatBytes = 2 + 1 + 4 + 8 + 8
+)
+
+// EncodeHeartbeat serializes a beacon.
+func EncodeHeartbeat(h Heartbeat) []byte {
+	b := make([]byte, HeartbeatBytes)
+	b[0] = byte(hbMagic & 0xFF)
+	b[1] = byte(hbMagic >> 8)
+	b[2] = hbVersion
+	put32 := func(off int, v uint32) {
+		b[off] = byte(v)
+		b[off+1] = byte(v >> 8)
+		b[off+2] = byte(v >> 16)
+		b[off+3] = byte(v >> 24)
+	}
+	put64 := func(off int, v uint64) {
+		put32(off, uint32(v))
+		put32(off+4, uint32(v>>32))
+	}
+	put32(3, uint32(h.From))
+	put64(7, h.Seq)
+	put64(15, uint64(h.Sent))
+	return b
+}
+
+// DecodeHeartbeat parses a beacon, rejecting anything malformed: wrong
+// length, wrong magic, unknown version, or a negative sender rank. It never
+// panics on arbitrary input (fuzzed).
+func DecodeHeartbeat(b []byte) (Heartbeat, error) {
+	var h Heartbeat
+	if len(b) != HeartbeatBytes {
+		return h, fmt.Errorf("rel: heartbeat length %d, want %d", len(b), HeartbeatBytes)
+	}
+	if m := uint16(b[0]) | uint16(b[1])<<8; m != hbMagic {
+		return h, fmt.Errorf("rel: heartbeat magic %#x, want %#x", m, hbMagic)
+	}
+	if b[2] != hbVersion {
+		return h, fmt.Errorf("rel: heartbeat version %d, want %d", b[2], hbVersion)
+	}
+	rd32 := func(off int) uint32 {
+		return uint32(b[off]) | uint32(b[off+1])<<8 | uint32(b[off+2])<<16 | uint32(b[off+3])<<24
+	}
+	rd64 := func(off int) uint64 {
+		return uint64(rd32(off)) | uint64(rd32(off+4))<<32
+	}
+	h.From = int32(rd32(3))
+	h.Seq = rd64(7)
+	h.Sent = int64(rd64(15))
+	if h.From < 0 {
+		return h, fmt.Errorf("rel: heartbeat from negative rank %d", h.From)
+	}
+	return h, nil
+}
+
+// startHeartbeats opens every peer's lease as of now and arms the first
+// detector tick.
+func (ep *endpoint) startHeartbeats() {
+	s := ep.s
+	ep.lastSent = make(map[int]sim.Time, len(s.eps)-1)
+	ep.lastHeard = make(map[int]sim.Time, len(s.eps)-1)
+	now := s.eng.Now()
+	for p := range s.eps {
+		if p != ep.rank {
+			ep.lastHeard[p] = now
+		}
+	}
+	ep.hbTick = s.eng.After(s.cfg.HeartbeatPeriod, ep.tickHeartbeats)
+}
+
+// tickHeartbeats runs once per period: expire silent leases, then beacon to
+// any peer the endpoint has not transmitted to for a full period.
+func (ep *endpoint) tickHeartbeats() {
+	s := ep.s
+	if ep.crashed || s.hbStopped {
+		return
+	}
+	now := s.eng.Now()
+	for p := range s.eps {
+		if p == ep.rank || ep.notified[p] {
+			continue
+		}
+		if now.Sub(ep.lastHeard[p]) > s.cfg.LeaseTimeout {
+			ep.leaseExpired(p)
+			continue
+		}
+		if now.Sub(ep.lastSent[p]) >= s.cfg.HeartbeatPeriod {
+			ep.sendHeartbeat(p)
+		}
+	}
+	// A failure callback above may have stopped the detector for good.
+	if !s.hbStopped && !ep.crashed {
+		ep.hbTick = s.eng.After(s.cfg.HeartbeatPeriod, ep.tickHeartbeats)
+	}
+}
+
+func (ep *endpoint) sendHeartbeat(peer int) {
+	s := ep.s
+	ep.hbSeq++
+	payload := EncodeHeartbeat(Heartbeat{
+		From: int32(ep.rank),
+		Seq:  ep.hbSeq,
+		Sent: int64(s.eng.Now()),
+	})
+	ep.hbSent.Inc()
+	ep.noteSent(peer)
+	s.fab.Send(&fabric.Message{
+		Src:     ep.rank,
+		Dst:     peer,
+		Size:    int64(len(payload)),
+		Payload: payload,
+		Meta:    &hbMsg{},
+	})
+}
+
+// onHeartbeat validates an explicit beacon. The lease itself was already
+// renewed by onArrival (any sign of life counts, even a damaged frame); the
+// decode exists to keep the wire format honest and countable.
+func (ep *endpoint) onHeartbeat(m *fabric.Message) {
+	hb, err := DecodeHeartbeat(m.Payload)
+	if err != nil || int(hb.From) != m.Src {
+		ep.hbBad.Inc()
+		return
+	}
+	ep.hbRecv.Inc()
+}
+
+// leaseExpired converts a silent lease into a PeerDead verdict: the tx side
+// toward the peer is silenced exactly as an exhausted retry budget would,
+// then the (deduplicated) notification fires.
+func (ep *endpoint) leaseExpired(peer int) {
+	s := ep.s
+	ep.silence(ep.txPeerFor(peer))
+	ep.notifyPeerFailure(peer, &PeerDead{
+		From:      ep.rank,
+		To:        peer,
+		LastHeard: ep.lastHeard[peer],
+		Lease:     s.cfg.LeaseTimeout,
+	})
+}
+
+// noteSent records a transmission toward peer, suppressing the next explicit
+// beacon (the traffic itself is the heartbeat). No-op when the detector is
+// off.
+func (ep *endpoint) noteSent(peer int) {
+	if ep.lastSent != nil {
+		ep.lastSent[peer] = ep.s.eng.Now()
+	}
+}
+
+// noteHeard renews peer's lease. No-op when the detector is off.
+func (ep *endpoint) noteHeard(peer int) {
+	if ep.lastHeard != nil {
+		ep.lastHeard[peer] = ep.s.eng.Now()
+	}
+}
+
+// freeze models the failed rank's own side of a crash: the endpoint stops
+// every timer it owns and goes silent, so the dead rank cannot observe its
+// peers "failing" (it is the one that is gone). Registered on the fabric's
+// crash notification.
+func (ep *endpoint) freeze() {
+	s := ep.s
+	ep.crashed = true
+	if ep.hbTick != nil {
+		s.eng.Cancel(ep.hbTick)
+		ep.hbTick = nil
+	}
+	for _, tp := range ep.tx {
+		ep.silence(tp)
+	}
+	for _, rp := range ep.rx {
+		if rp.ackTimer != nil {
+			s.eng.Cancel(rp.ackTimer)
+		}
+	}
+}
+
+// StopHeartbeats cancels every endpoint's detector tick. A recovery
+// orchestrator calls it at quiescence — once the workload has completed
+// everywhere there is nothing left to monitor, and the perpetual ticks would
+// otherwise keep the simulation alive forever.
+func (s *Stack) StopHeartbeats() {
+	s.hbStopped = true
+	for _, ep := range s.eps {
+		if ep.hbTick != nil {
+			s.eng.Cancel(ep.hbTick)
+			ep.hbTick = nil
+		}
+	}
+}

@@ -1,0 +1,277 @@
+package rel
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"amtlci/internal/fabric"
+	"amtlci/internal/sim"
+)
+
+// hbStack builds a stack with the failure detector armed.
+func hbStack(t *testing.T, ranks int, fc *fabric.FaultConfig) (*sim.Engine, *fabric.Fabric, *Stack) {
+	t.Helper()
+	eng := sim.NewEngine()
+	cfg := fabric.DefaultConfig()
+	cfg.Jitter = 0
+	fab, err := fabric.New(eng, ranks, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc != nil {
+		if err := fab.InstallFaults(*fc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rc := DefaultConfig()
+	rc.EnableHeartbeats()
+	s, err := New(fab, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, fab, s
+}
+
+func TestHeartbeatConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	good.EnableHeartbeats()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bads := []func(*Config){
+		func(c *Config) { c.HeartbeatPeriod = -1 },
+		func(c *Config) { c.LeaseTimeout = -1 },
+		func(c *Config) { c.HeartbeatPeriod = sim.Millisecond }, // period without lease
+		func(c *Config) { c.LeaseTimeout = sim.Millisecond },    // lease without period
+		func(c *Config) {
+			c.HeartbeatPeriod = sim.Millisecond
+			c.LeaseTimeout = sim.Millisecond // below two periods
+		},
+	}
+	for i, mod := range bads {
+		c := DefaultConfig()
+		mod(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad heartbeat config %d accepted", i)
+		}
+	}
+}
+
+func TestHeartbeatCodecRoundTrip(t *testing.T) {
+	in := Heartbeat{From: 13, Seq: 1<<40 + 7, Sent: 123456789}
+	b := EncodeHeartbeat(in)
+	if len(b) != HeartbeatBytes {
+		t.Fatalf("encoded %d bytes, want %d", len(b), HeartbeatBytes)
+	}
+	out, err := DecodeHeartbeat(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: got %+v, want %+v", out, in)
+	}
+
+	for name, corrupt := range map[string]func([]byte) []byte{
+		"short":        func(b []byte) []byte { return b[:len(b)-1] },
+		"long":         func(b []byte) []byte { return append(b, 0) },
+		"bad magic":    func(b []byte) []byte { b[0] ^= 0xFF; return b },
+		"bad version":  func(b []byte) []byte { b[2] = 99; return b },
+		"negative src": func(b []byte) []byte { b[6] |= 0x80; return b },
+	} {
+		mut := corrupt(bytes.Clone(b))
+		if _, err := DecodeHeartbeat(mut); err == nil {
+			t.Errorf("%s: corrupted beacon accepted", name)
+		}
+	}
+}
+
+// TestHeartbeatDetectsCrashedPeer is the detector's core property: after a
+// whole-rank crash, every survivor independently converges on the same
+// PeerDead verdict within a bounded window, and the dead rank itself stays
+// silent (its endpoint froze).
+func TestHeartbeatDetectsCrashedPeer(t *testing.T) {
+	const ranks, dead = 4, 2
+	crashAt := sim.Time(0).Add(sim.Millisecond)
+	eng, _, s := hbStack(t, ranks, &fabric.FaultConfig{
+		Crashes: []fabric.NodeCrash{{Rank: dead, At: crashAt}},
+	})
+	type verdict struct {
+		peer int
+		err  error
+		at   sim.Time
+	}
+	verdicts := make(map[int][]verdict)
+	for r := 0; r < ranks; r++ {
+		r := r
+		s.SetHandler(r, func(m *fabric.Message) {})
+		s.SetErrHandler(r, func(peer int, err error) {
+			verdicts[r] = append(verdicts[r], verdict{peer, err, eng.Now()})
+			if len(verdicts) == ranks-1 {
+				s.StopHeartbeats()
+			}
+		})
+	}
+	eng.Run()
+
+	if got := len(verdicts); got != ranks-1 {
+		t.Fatalf("%d ranks produced verdicts, want the %d survivors (map %v)", got, ranks-1, verdicts)
+	}
+	bound := crashAt.Add(s.cfg.LeaseTimeout + 2*s.cfg.HeartbeatPeriod)
+	for r := 0; r < ranks; r++ {
+		vs := verdicts[r]
+		if r == dead {
+			if len(vs) != 0 {
+				t.Fatalf("the crashed rank produced verdicts: %v", vs)
+			}
+			continue
+		}
+		if len(vs) != 1 {
+			t.Fatalf("rank %d produced %d verdicts, want exactly 1: %v", r, len(vs), vs)
+		}
+		v := vs[0]
+		var pd *PeerDead
+		if v.peer != dead || !errors.As(v.err, &pd) || pd.DeadPeer() != dead || pd.From != r {
+			t.Fatalf("rank %d verdict = peer %d err %v, want PeerDead for rank %d", r, v.peer, v.err, dead)
+		}
+		if v.at > bound {
+			t.Fatalf("rank %d converged at %v, after the bound %v", r, v.at, bound)
+		}
+	}
+	if st := s.Stats(); st.PeerDeaths != uint64(ranks-1) || st.HeartbeatsSent == 0 {
+		t.Fatalf("stats = %+v, want %d peer deaths and some beacons", st, ranks-1)
+	}
+}
+
+// TestHeartbeatPiggybacksOnTraffic pins the zero-overhead property: links
+// busy with protocol traffic (data one way, ACKs the other) emit no explicit
+// beacons at all.
+func TestHeartbeatPiggybacksOnTraffic(t *testing.T) {
+	eng, _, s := hbStack(t, 2, nil)
+	for r := 0; r < 2; r++ {
+		s.SetHandler(r, func(m *fabric.Message) {})
+	}
+	// One small message every 100us — under the 250us beacon period — for
+	// the whole run.
+	end := sim.Time(0).Add(3 * sim.Millisecond)
+	var pump func()
+	pump = func() {
+		if eng.Now() > end {
+			s.StopHeartbeats()
+			return
+		}
+		s.Send(&fabric.Message{Src: 0, Dst: 1, Size: 64})
+		eng.After(100*sim.Microsecond, pump)
+	}
+	pump()
+	eng.Run()
+	st := s.Stats()
+	if st.HeartbeatsSent != 0 {
+		t.Fatalf("busy link emitted %d explicit beacons, want 0 (traffic is the heartbeat)", st.HeartbeatsSent)
+	}
+	if st.PeerDeaths != 0 || st.Unreachable != 0 {
+		t.Fatalf("healthy link produced failure verdicts: %+v", st)
+	}
+}
+
+// TestHeartbeatKeepsQuietLinkAlive is the complement: a link with no
+// application traffic at all stays alive on explicit beacons alone.
+func TestHeartbeatKeepsQuietLinkAlive(t *testing.T) {
+	eng, _, s := hbStack(t, 2, nil)
+	for r := 0; r < 2; r++ {
+		s.SetHandler(r, func(m *fabric.Message) {})
+	}
+	eng.At(sim.Time(0).Add(10*sim.Millisecond), s.StopHeartbeats)
+	eng.Run()
+	st := s.Stats()
+	if st.PeerDeaths != 0 {
+		t.Fatalf("idle but healthy link declared %d peers dead", st.PeerDeaths)
+	}
+	if st.HeartbeatsSent == 0 || st.HeartbeatsReceived == 0 {
+		t.Fatalf("stats = %+v, want beacons flowing both ways", st)
+	}
+}
+
+// TestPeerFailureNotifiedOnce is the dedupe regression: a burst of sends
+// into a severed link must surface exactly one PeerUnreachable, no matter
+// how many frames time out.
+func TestPeerFailureNotifiedOnce(t *testing.T) {
+	eng, _, s := pairStack(t, 2, &fabric.FaultConfig{
+		Links: []fabric.LinkFault{{Src: 0, Dst: 1, Sever: true}},
+	})
+	s.SetHandler(0, func(m *fabric.Message) {})
+	s.SetHandler(1, func(m *fabric.Message) {})
+	var calls []error
+	s.SetErrHandler(0, func(peer int, err error) {
+		if peer != 1 {
+			t.Errorf("notified about peer %d, want 1", peer)
+		}
+		calls = append(calls, err)
+	})
+	for i := 0; i < 16; i++ {
+		s.Send(&fabric.Message{Src: 0, Dst: 1, Size: 256})
+	}
+	eng.Run()
+	if len(calls) != 1 {
+		t.Fatalf("error callback fired %d times for one dead peer, want exactly 1", len(calls))
+	}
+	var pu *PeerUnreachable
+	if !errors.As(calls[0], &pu) {
+		t.Fatalf("notification %v is not PeerUnreachable", calls[0])
+	}
+	if st := s.Stats(); st.Unreachable != 1 {
+		t.Fatalf("stats = %+v, want exactly 1 unreachable", st)
+	}
+}
+
+// TestCrashNotifiedOncePerEndpoint covers the race between the two
+// detectors: with traffic in flight toward a rank that crashes, both the
+// retry budget and the lease may condemn it — the upper layer must still
+// hear about the death exactly once.
+func TestCrashNotifiedOncePerEndpoint(t *testing.T) {
+	crashAt := sim.Time(0).Add(500 * sim.Microsecond)
+	eng, _, s := hbStack(t, 2, &fabric.FaultConfig{
+		Crashes: []fabric.NodeCrash{{Rank: 1, At: crashAt}},
+	})
+	s.SetHandler(0, func(m *fabric.Message) {})
+	s.SetHandler(1, func(m *fabric.Message) {})
+	calls := 0
+	s.SetErrHandler(0, func(peer int, err error) {
+		calls++
+		s.StopHeartbeats()
+	})
+	s.SetErrHandler(1, func(peer int, err error) {
+		t.Errorf("the crashed rank reported a failure: peer %d, %v", peer, err)
+	})
+	// Keep traffic in flight across the crash instant so retransmit timers
+	// are armed when the lease expires.
+	var pump func()
+	pump = func() {
+		if eng.Now() > crashAt.Add(sim.Millisecond) {
+			return
+		}
+		s.Send(&fabric.Message{Src: 0, Dst: 1, Size: 64})
+		eng.After(50*sim.Microsecond, pump)
+	}
+	pump()
+	eng.Run()
+	if calls != 1 {
+		t.Fatalf("error callback fired %d times, want exactly 1", calls)
+	}
+}
+
+func FuzzDecodeHeartbeat(f *testing.F) {
+	f.Add(EncodeHeartbeat(Heartbeat{From: 3, Seq: 42, Sent: 1 << 30}))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xA5}, HeartbeatBytes))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		h, err := DecodeHeartbeat(b)
+		if err != nil {
+			return
+		}
+		// Whatever decodes must re-encode to the identical bytes.
+		if out := EncodeHeartbeat(h); !bytes.Equal(out, b) {
+			t.Fatalf("decode/encode mismatch: in %x out %x", b, out)
+		}
+	})
+}

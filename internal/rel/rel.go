@@ -53,6 +53,17 @@ type Config struct {
 	// one frame without an ACK the peer is declared unreachable.
 	MaxRetries int
 
+	// HeartbeatPeriod arms the lease-based failure detector (see
+	// heartbeat.go): each endpoint beacons to every peer it has not
+	// transmitted to for a full period. Zero disables the detector, which
+	// is the default — detection then happens only through per-send retry
+	// exhaustion, as before.
+	HeartbeatPeriod sim.Duration
+	// LeaseTimeout is how long a peer may stay completely silent before it
+	// is declared dead (PeerDead). Must be set together with
+	// HeartbeatPeriod, and at least twice it.
+	LeaseTimeout sim.Duration
+
 	// Metrics is the registry the layer registers its instruments in
 	// (protocol counters per rank, in-flight window depth, an RTO
 	// histogram). Nil gets a private registry; stack.Build shares one
@@ -91,8 +102,24 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("rel: max timeout %v below initial %v", c.MaxRTO, c.RTO)
 	case c.MaxRetries < 1:
 		return fmt.Errorf("rel: retry budget %d must be >= 1", c.MaxRetries)
+	case c.HeartbeatPeriod < 0 || c.LeaseTimeout < 0:
+		return fmt.Errorf("rel: negative heartbeat timing (period=%v lease=%v)", c.HeartbeatPeriod, c.LeaseTimeout)
+	case (c.HeartbeatPeriod > 0) != (c.LeaseTimeout > 0):
+		return fmt.Errorf("rel: heartbeat period (%v) and lease timeout (%v) must be set together", c.HeartbeatPeriod, c.LeaseTimeout)
+	case c.LeaseTimeout > 0 && c.LeaseTimeout < 2*c.HeartbeatPeriod:
+		return fmt.Errorf("rel: lease timeout %v below two heartbeat periods (%v)", c.LeaseTimeout, c.HeartbeatPeriod)
 	}
 	return nil
+}
+
+// EnableHeartbeats arms the failure detector with timings sized for the
+// simulated fabric: the lease (2ms) expires well before a severed peer's
+// retry budget (roughly 4.5ms of backed-off retransmits under
+// DefaultConfig), so a whole-rank crash surfaces as one PeerDead verdict per
+// survivor rather than a scatter of per-send aborts.
+func (c *Config) EnableHeartbeats() {
+	c.HeartbeatPeriod = 250 * sim.Microsecond
+	c.LeaseTimeout = 2 * sim.Millisecond
 }
 
 // PeerUnreachable reports that From exhausted its retry budget toward To.
@@ -119,7 +146,12 @@ type Stats struct {
 	DupDropped     uint64 // duplicate frames discarded
 	CorruptDropped uint64 // corrupted frames discarded
 	OutOfOrder     uint64 // early frames buffered for later delivery
-	Unreachable    uint64 // peers declared dead
+	Unreachable    uint64 // per-send retry budgets exhausted (PeerUnreachable)
+
+	HeartbeatsSent     uint64 // explicit beacons emitted
+	HeartbeatsReceived uint64 // beacons that decoded cleanly
+	HeartbeatsBad      uint64 // beacons dropped by the decoder
+	PeerDeaths         uint64 // leases expired (PeerDead verdicts)
 }
 
 // frame is the reliability header riding in Message.Meta of a data message;
@@ -197,11 +229,25 @@ type endpoint struct {
 	tx    map[int]*txPeer
 	rx    map[int]*rxPeer
 
+	// notified dedupes upper-layer failure notifications: a dead peer
+	// produces exactly one callback per endpoint, whether the verdict came
+	// from retry exhaustion, a lease expiry, or both.
+	notified map[int]bool
+
+	// Failure-detector state (heartbeat.go); the maps stay nil when the
+	// detector is off.
+	crashed   bool
+	hbSeq     uint64
+	hbTick    *sim.Event
+	lastSent  map[int]sim.Time
+	lastHeard map[int]sim.Time
+
 	// Protocol counters (metrics registry, layer "rel", per rank).
 	dataSent, dataDelivered *metrics.Counter
 	retransmits, acksSent   *metrics.Counter
 	dupDropped, corruptDrop *metrics.Counter
 	outOfOrder              *metrics.Counter
+	hbSent, hbRecv, hbBad   *metrics.Counter
 }
 
 // inFlight is the total unacknowledged-frame window across all peers.
@@ -224,7 +270,12 @@ type Stack struct {
 	reg *metrics.Registry
 
 	unreachable *metrics.Counter
+	peerDead    *metrics.Counter
 	rtoHist     *metrics.Histogram
+
+	// hbStopped ends the failure detector permanently (StopHeartbeats); the
+	// flag keeps a tick that is already executing from re-arming itself.
+	hbStopped bool
 }
 
 // New interposes a reliability layer on fab. It takes over the fabric's
@@ -241,12 +292,14 @@ func New(fab *fabric.Fabric, cfg Config) (*Stack, error) {
 	s := &Stack{
 		fab: fab, eng: fab.Engine(), cfg: cfg, reg: reg,
 		unreachable: reg.Counter("rel", "unreachable", metrics.StackRank),
+		peerDead:    reg.Counter("rel", "peer_dead", metrics.StackRank),
 		rtoHist:     reg.Histogram("rel", "rto_ns", metrics.StackRank),
 	}
 	s.eps = make([]*endpoint, fab.Ranks())
 	for i := range s.eps {
 		ep := &endpoint{
 			s: s, rank: i, tx: make(map[int]*txPeer), rx: make(map[int]*rxPeer),
+			notified:      make(map[int]bool),
 			dataSent:      reg.Counter("rel", "data_sent", i),
 			dataDelivered: reg.Counter("rel", "data_delivered", i),
 			retransmits:   reg.Counter("rel", "retransmits", i),
@@ -254,11 +307,20 @@ func New(fab *fabric.Fabric, cfg Config) (*Stack, error) {
 			dupDropped:    reg.Counter("rel", "dup_dropped", i),
 			corruptDrop:   reg.Counter("rel", "corrupt_dropped", i),
 			outOfOrder:    reg.Counter("rel", "out_of_order", i),
+			hbSent:        reg.Counter("rel", "heartbeats_sent", i),
+			hbRecv:        reg.Counter("rel", "heartbeats_received", i),
+			hbBad:         reg.Counter("rel", "heartbeats_bad", i),
 		}
 		reg.Probe("rel", "in_flight", i, false, func() float64 { return float64(ep.inFlight()) })
 		s.eps[i] = ep
 		fab.SetHandler(i, ep.onArrival)
+		if cfg.HeartbeatPeriod > 0 {
+			ep.startHeartbeats()
+		}
 	}
+	// A crashed rank's own endpoint goes silent too: without this, the dead
+	// rank would stop hearing from everyone and "detect" all of its peers.
+	fab.OnCrash(func(r int) { s.eps[r].freeze() })
 	return s, nil
 }
 
@@ -277,6 +339,11 @@ func (s *Stack) Stats() Stats {
 		CorruptDropped: s.reg.Total("rel", "corrupt_dropped"),
 		OutOfOrder:     s.reg.Total("rel", "out_of_order"),
 		Unreachable:    s.unreachable.Value(),
+
+		HeartbeatsSent:     s.reg.Total("rel", "heartbeats_sent"),
+		HeartbeatsReceived: s.reg.Total("rel", "heartbeats_received"),
+		HeartbeatsBad:      s.reg.Total("rel", "heartbeats_bad"),
+		PeerDeaths:         s.peerDead.Value(),
 	}
 }
 
@@ -296,11 +363,14 @@ func (s *Stack) SetErrHandler(rank int, fn func(peer int, err error)) {
 // never faults it. Sends to a peer already declared unreachable are
 // discarded: the error handler has fired and the graph is aborting.
 func (s *Stack) Send(m *fabric.Message) {
+	ep := s.eps[m.Src]
+	if ep.crashed {
+		return
+	}
 	if m.Src == m.Dst {
 		s.fab.Send(m)
 		return
 	}
-	ep := s.eps[m.Src]
 	tp := ep.txPeerFor(m.Dst)
 	if tp.dead {
 		return
@@ -357,6 +427,7 @@ func (ep *endpoint) transmit(tp *txPeer, e *txEntry, first bool) {
 		}
 		e.timer = s.eng.After(e.rto, func() { ep.timeout(tp, e) })
 	}
+	ep.noteSent(tp.peer)
 	s.fab.Send(wm)
 }
 
@@ -380,27 +451,56 @@ func (ep *endpoint) timeout(tp *txPeer, e *txEntry) {
 }
 
 func (ep *endpoint) declareDead(tp *txPeer, e *txEntry) {
-	s := ep.s
+	ep.silence(tp)
+	ep.notifyPeerFailure(tp.peer,
+		&PeerUnreachable{From: ep.rank, To: tp.peer, Attempts: e.retries + 1, LastSeq: e.seq})
+}
+
+// silence marks peer's tx side dead and cancels every pending retransmit
+// timer, discarding the unacknowledged queue. Further sends toward the peer
+// are swallowed.
+func (ep *endpoint) silence(tp *txPeer) {
 	tp.dead = true
 	for _, q := range tp.q {
 		if q.timer != nil {
-			s.eng.Cancel(q.timer)
+			ep.s.eng.Cancel(q.timer)
 		}
 	}
 	tp.q = nil
-	s.unreachable.Inc()
-	err := &PeerUnreachable{From: ep.rank, To: tp.peer, Attempts: e.retries + 1, LastSeq: e.seq}
+}
+
+// notifyPeerFailure surfaces one — exactly one — failure verdict per peer to
+// the upper layer, whichever detector fired first. Without a registered
+// handler the verdict panics: a peer death nobody listens for is a silent
+// hang waiting to happen.
+func (ep *endpoint) notifyPeerFailure(peer int, err error) {
+	if ep.notified[peer] {
+		return
+	}
+	ep.notified[peer] = true
+	switch err.(type) {
+	case *PeerDead:
+		ep.s.peerDead.Inc()
+	default:
+		ep.s.unreachable.Inc()
+	}
 	if ep.errFn == nil {
 		panic(err.Error())
 	}
-	ep.errFn(tp.peer, err)
+	ep.errFn(peer, err)
 }
 
 func (ep *endpoint) onArrival(m *fabric.Message) {
+	if ep.crashed {
+		return
+	}
 	if m.Src == m.Dst {
 		ep.up(m)
 		return
 	}
+	// Any arrival — even a frame damaged in flight — proves the peer's NIC
+	// is alive, so the lease renews before the protocol inspects content.
+	ep.noteHeard(m.Src)
 	switch meta := m.Meta.(type) {
 	case *frame:
 		ep.onFrame(m, meta)
@@ -409,6 +509,8 @@ func (ep *endpoint) onArrival(m *fabric.Message) {
 			return
 		}
 		ep.onAck(m.Src, meta.cum)
+	case *hbMsg:
+		ep.onHeartbeat(m)
 	default:
 		panic(fmt.Sprintf("rel: rank %d: message from %d without reliability framing", ep.rank, m.Src))
 	}
@@ -470,6 +572,7 @@ func (ep *endpoint) scheduleAck(rp *rxPeer, src int) {
 	}
 	rp.ackTimer = s.eng.After(s.cfg.AckDelay, func() {
 		ep.acksSent.Inc()
+		ep.noteSent(src)
 		s.fab.Send(&fabric.Message{
 			Src:  ep.rank,
 			Dst:  src,

@@ -15,10 +15,12 @@ else
 fi
 go test -race ./...
 
-# Chaos smoke behind a time budget: a quick fault-sweep point per backend
-# plus the severed-link abort demonstration (full sweep: `make chaos`).
+# Chaos smoke behind a time budget: a quick fault-sweep point per backend,
+# the severed-link abort demonstration, and the crash-recovery proof
+# (full sweep: `make chaos`; crash demonstration alone: `make chaos-crash`).
 timeout 120 go run ./cmd/chaos -quick
 timeout 120 go run ./cmd/chaos -sever
+timeout 120 go run ./cmd/chaos -crash 1@40% -metrics "$(mktemp -d)"
 
 # Fixed-budget fuzz smoke over the wire-format decoders (one -fuzz pattern
 # per invocation; longer runs: `make fuzz-smoke`).
@@ -26,3 +28,5 @@ timeout 120 go test -run='^$' -fuzz=FuzzUnmarshalPutHeader -fuzztime=2s ./intern
 timeout 120 go test -run='^$' -fuzz=FuzzDecodeActivates -fuzztime=2s ./internal/parsec
 timeout 120 go test -run='^$' -fuzz=FuzzDecodeGetData -fuzztime=2s ./internal/parsec
 timeout 120 go test -run='^$' -fuzz=FuzzDecodePutMeta -fuzztime=2s ./internal/parsec
+timeout 120 go test -run='^$' -fuzz=FuzzDecodeHeartbeat -fuzztime=2s ./internal/rel
+timeout 120 go test -run='^$' -fuzz=FuzzDecodeCheckpoint -fuzztime=2s ./internal/recover
