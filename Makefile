@@ -1,8 +1,16 @@
 # Tier-1 verification: everything a PR must keep green.
-.PHONY: verify build vet test test-race chaos chaos-crash fuzz-smoke
+.PHONY: verify build vet test test-race chaos chaos-crash fuzz-smoke bench-record
 
 verify:
 	./scripts/verify.sh
+
+# Record the simulator's performance envelope (event-queue ns/event and
+# allocs/event vs the retired heap engine, Proc and fabric delivery costs,
+# and a wall-clock HiCMA reference point) into BENCH_sim.json. Compare two
+# records with scripts/benchcmp.sh, which fails on a >10% ns regression or
+# any new steady-state allocation.
+bench-record:
+	go run ./cmd/benchrecord -o BENCH_sim.json
 
 # Chaos demonstration: fault sweep on both backends plus the severed-link
 # abort. verify.sh runs the -quick subset under a time budget.

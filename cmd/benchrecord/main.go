@@ -1,0 +1,107 @@
+// Command benchrecord measures the simulator's performance envelope and
+// writes it to a flat JSON file (default BENCH_sim.json): nanoseconds and
+// allocations per event on the calendar-queue engine and on the heap-backed
+// reference engine it replaced, Proc dispatch and fabric delivery costs, and
+// the wall-clock seconds of a reference HiCMA strong-scaling point.
+//
+// The file is one "key": value pair per line so scripts/benchcmp.sh can diff
+// two records with awk and fail CI on a >10% ns/event regression:
+//
+//	go run ./cmd/benchrecord -o BENCH_sim.json
+//	scripts/benchcmp.sh BENCH_sim.json BENCH_new.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"amtlci/internal/bench"
+	"amtlci/internal/bench/micro"
+	"amtlci/internal/core/stack"
+	"amtlci/internal/stats"
+)
+
+func main() {
+	out := flag.String("o", "BENCH_sim.json", "output file")
+	quick := flag.Bool("quick", false, "smaller HiCMA reference point (CI smoke)")
+	flag.Parse()
+
+	type entry struct {
+		key string
+		val float64
+	}
+	var entries []entry
+	add := func(key string, val float64) { entries = append(entries, entry{key, val}) }
+
+	run := func(name string, f func(*testing.B)) testing.BenchmarkResult {
+		r := testing.Benchmark(f)
+		fmt.Printf("%-24s %12.2f ns/op %8.2f allocs/op\n",
+			name, float64(r.T.Nanoseconds())/float64(r.N), float64(r.AllocsPerOp()))
+		return r
+	}
+	nsPerOp := func(r testing.BenchmarkResult) float64 {
+		return float64(r.T.Nanoseconds()) / float64(r.N)
+	}
+
+	eng := run("engine", micro.EngineScheduleFire)
+	ref := run("refengine(heap)", micro.RefEngineScheduleFire)
+	cancel := run("engine-cancel", micro.EngineScheduleCancel)
+	proc := run("proc", micro.ProcSubmitDispatch)
+	ctl := run("fabric-ctl", micro.FabricDeliveryCtl)
+	bulk := run("fabric-bulk", micro.FabricDeliveryBulk)
+
+	add("engine_ns_per_event", nsPerOp(eng))
+	add("engine_allocs_per_event", float64(eng.AllocsPerOp()))
+	add("engine_events_per_sec", 1e9/nsPerOp(eng))
+	add("refengine_heap_ns_per_event", nsPerOp(ref))
+	add("refengine_heap_allocs_per_event", float64(ref.AllocsPerOp()))
+	add("engine_vs_heap_speedup", nsPerOp(ref)/nsPerOp(eng))
+	add("engine_cancel_ns_per_op", nsPerOp(cancel))
+	add("proc_ns_per_op", nsPerOp(proc))
+	add("fabric_ctl_ns_per_msg", nsPerOp(ctl))
+	add("fabric_ctl_allocs_per_msg", float64(ctl.AllocsPerOp()))
+	add("fabric_bulk_ns_per_msg", nsPerOp(bulk))
+	add("fabric_bulk_allocs_per_msg", float64(bulk.AllocsPerOp()))
+
+	// Wall-clock reference: one HiCMA strong-scaling point, the macro
+	// workload every micro number above feeds into. Virtual seconds pin
+	// model calibration; wall seconds pin simulator throughput.
+	n, nb := 90000, 1200
+	if *quick {
+		n, nb = 36000, 1200
+	}
+	o := bench.DefaultHiCMAOpts(stack.LCI, nb, 4)
+	o.N = n
+	o.Runs = stats.Methodology{Runs: 1, Discard: 0}
+	start := time.Now()
+	r := bench.HiCMA(o)
+	wall := time.Since(start).Seconds()
+	fmt.Printf("%-24s %12.3f s wall %11.3f s virtual (N=%d nb=%d, 4 nodes)\n",
+		"hicma-ref", wall, r.TimeToSolution, n, nb)
+	add("hicma_ref_wall_seconds", wall)
+	add("hicma_ref_virtual_seconds", r.TimeToSolution)
+	add("hicma_ref_n", float64(n))
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchrecord: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(f, "{")
+	for i, e := range entries {
+		comma := ","
+		if i == len(entries)-1 {
+			comma = ""
+		}
+		fmt.Fprintf(f, "  %q: %.4f%s\n", e.key, e.val, comma)
+	}
+	fmt.Fprintln(f, "}")
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchrecord: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

@@ -37,7 +37,9 @@ func main() {
 	sever := flag.Bool("sever", false, "sever link 0->1 and demonstrate the clean PeerUnreachable abort")
 	crash := flag.String("crash", "", "crash-recovery demonstration: rank@time, e.g. 1@3ms or 1@40% (percent of the fault-free makespan)")
 	metricsDir := flag.String("metrics", "", "dump per-run metric summaries as CSV into this directory (e.g. results)")
+	j := flag.Int("j", 1, "parallel sweep workers for the rate sweep (0 = one per CPU); output is identical for every value")
 	flag.Parse()
+	workers := bench.SweepWorkers(*j)
 
 	// The seed is the replay handle for every mode, so it prints before any
 	// branch can exit — a failure without its seed cannot be reproduced.
@@ -63,45 +65,73 @@ func main() {
 	fmt.Printf("%-8s %-9s %6s %10s %9s %6s %6s %6s %7s  %s\n",
 		"backend", "workload", "rate", "makespan", "slowdown",
 		"drop", "dup", "corr", "retrans", "verdict")
-	bad := false
+
+	// One sweep point per (backend, workload): the baseline and each rate
+	// share the point because slowdown is relative to that baseline. Points
+	// run in parallel under -j; each returns its finished output lines, so
+	// the report prints in grid order regardless of scheduling.
+	type point struct {
+		b stack.Backend
+		w chaos.Workload
+	}
+	var grid []point
 	for _, b := range stack.Backends {
 		for _, w := range workloads {
-			base := chaos.Run(chaos.Opts{Backend: b, Workload: w})
-			if base.Err != nil {
-				fmt.Printf("%-8v %-9v fault-free baseline broken: %v\n", b, w, base.Err)
-				bad = true
-				continue
+			grid = append(grid, point{b, w})
+		}
+	}
+	type pointResult struct {
+		lines []string
+		bad   bool
+	}
+	results := bench.Sweep(workers, len(grid), func(i int) pointResult {
+		b, w := grid[i].b, grid[i].w
+		var pr pointResult
+		base := chaos.Run(chaos.Opts{Backend: b, Workload: w})
+		if base.Err != nil {
+			pr.lines = append(pr.lines, fmt.Sprintf("%-8v %-9v fault-free baseline broken: %v", b, w, base.Err))
+			pr.bad = true
+			return pr
+		}
+		for _, r := range rates {
+			rc := rel.DefaultConfig()
+			res := chaos.Run(chaos.Opts{
+				Backend: b, Workload: w,
+				Faults: &fabric.FaultConfig{
+					Drop: r, Duplicate: r, Corrupt: r, Reorder: r, Seed: *seed,
+				},
+				Rel: &rc,
+			})
+			verdict := "verified"
+			if res.Err != nil {
+				verdict = "ABORT: " + res.Err.Error()
+				pr.bad = true
+			} else if !res.Verified {
+				verdict = fmt.Sprintf("WRONG (rel err %g)", res.RelErr)
+				pr.bad = true
 			}
-			for _, r := range rates {
-				rc := rel.DefaultConfig()
-				res := chaos.Run(chaos.Opts{
-					Backend: b, Workload: w,
-					Faults: &fabric.FaultConfig{
-						Drop: r, Duplicate: r, Corrupt: r, Reorder: r, Seed: *seed,
-					},
-					Rel: &rc,
-				})
-				verdict := "verified"
-				if res.Err != nil {
-					verdict = "ABORT: " + res.Err.Error()
-					bad = true
-				} else if !res.Verified {
-					verdict = fmt.Sprintf("WRONG (rel err %g)", res.RelErr)
-					bad = true
-				}
-				slow := float64(res.Makespan) / float64(base.Makespan)
-				fmt.Printf("%-8v %-9v %5.1f%% %10v %8.2fx %6d %6d %6d %7d  %s\n",
-					b, w, r*100, res.Makespan, slow,
-					res.Faults.Dropped, res.Faults.Duplicated, res.Faults.Corrupted,
-					res.Rel.Retransmits, verdict)
-				if *metricsDir != "" {
-					if err := dumpMetrics(*metricsDir, b, w, r, res); err != nil {
-						fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
-						bad = true
-					}
+			slow := float64(res.Makespan) / float64(base.Makespan)
+			pr.lines = append(pr.lines, fmt.Sprintf("%-8v %-9v %5.1f%% %10v %8.2fx %6d %6d %6d %7d  %s",
+				b, w, r*100, res.Makespan, slow,
+				res.Faults.Dropped, res.Faults.Duplicated, res.Faults.Corrupted,
+				res.Rel.Retransmits, verdict))
+			if *metricsDir != "" {
+				if path, err := dumpMetrics(*metricsDir, b, w, r, res); err != nil {
+					pr.lines = append(pr.lines, fmt.Sprintf("chaos: metrics dump failed: %v", err))
+					pr.bad = true
+				} else {
+					pr.lines = append(pr.lines, "  metrics -> "+path)
 				}
 			}
 		}
+		return pr
+	})
+	bad := false
+	for _, pr := range results {
+		for _, l := range pr.lines {
+			fmt.Println(l)
+		}
+		bad = bad || pr.bad
 	}
 	if bad {
 		os.Exit(1)
@@ -109,10 +139,12 @@ func main() {
 }
 
 // dumpMetrics writes the run's full instrument registry as one CSV per
-// (backend, workload, rate) point.
-func dumpMetrics(dir string, b stack.Backend, w chaos.Workload, rate float64, res chaos.Result) error {
+// (backend, workload, rate) point and returns the path. It is called from
+// sweep workers, so it must not print (the caller reports the path in grid
+// order); distinct points write distinct files, so concurrent dumps are safe.
+func dumpMetrics(dir string, b stack.Backend, w chaos.Workload, rate float64, res chaos.Result) (string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
+		return "", err
 	}
 	be := "mpi"
 	if b == stack.LCI {
@@ -122,15 +154,14 @@ func dumpMetrics(dir string, b stack.Backend, w chaos.Workload, rate float64, re
 	path := filepath.Join(dir, name)
 	f, err := os.Create(path)
 	if err != nil {
-		return err
+		return "", err
 	}
 	title := fmt.Sprintf("chaos metrics: %v %v %.1f%% faults", b, w, rate*100)
 	bench.MetricsTable(res.Metrics, title).CSV(f)
 	if err := f.Close(); err != nil {
-		return err
+		return "", err
 	}
-	fmt.Printf("  metrics -> %s\n", path)
-	return nil
+	return path, nil
 }
 
 // parseCrash splits "rank@time": the time is either an absolute virtual

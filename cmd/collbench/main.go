@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	collbench [-ranks 4,16,64] [-iters N] [-csv] [-check] [-quick]
+//	collbench [-ranks 4,16,64] [-iters N] [-j N] [-csv] [-check] [-quick]
 //
 // With -csv the sweep is emitted as one CSV table on stdout (deterministic
 // for a fixed seed); otherwise aligned text tables, one per operation and
@@ -47,7 +47,9 @@ func main() {
 	csv := flag.Bool("csv", false, "emit one CSV table on stdout")
 	check := flag.Bool("check", false, "exit nonzero if the selector picked a slower algorithm")
 	quick := flag.Bool("quick", false, "fast sweep: 2 rank counts, every other size, 1 iteration")
+	j := flag.Int("j", 1, "parallel sweep workers (0 = one per CPU); output is identical for every value")
 	flag.Parse()
+	workers := bench.SweepWorkers(*j)
 
 	ranksList := parseRanks(*ranksFlag)
 	sizes := bench.CollSizes()
@@ -65,15 +67,22 @@ func main() {
 
 	csvTbl := bench.NewTable("collectives sweep — mean completion time",
 		"backend", "op", "ranks", "bytes", "algorithm", "picked", "time_us")
-	misses, extremeMisses := 0, 0
 	smallest, largest := sizes[0], sizes[len(sizes)-1]
 
-	measure := func(b stack.Backend, k coll.Kind, n int, size int64) {
+	// One sweep point per (backend, op, ranks, size); each point returns its
+	// table rows and any selector-miss note so the assembled output — table,
+	// counters, and stderr notes alike — is independent of worker count.
+	type pointResult struct {
+		rows          [][]string
+		miss, extreme bool
+		note          string
+	}
+	measure := func(b stack.Backend, k coll.Kind, n int, size int64) pointResult {
+		var pr pointResult
 		algos := coll.Algorithms(k)
 		times := make(map[coll.Algorithm]sim.Duration, len(algos))
-		var rows [][]string
 		addRow := func(name, picked string, d sim.Duration) {
-			rows = append(rows, []string{
+			pr.rows = append(pr.rows, []string{
 				b.String(), k.String(), fmt.Sprint(n), fmt.Sprint(size),
 				name, picked, fmt.Sprintf("%.3f", d.Seconds()*1e6),
 			})
@@ -98,39 +107,58 @@ func main() {
 			}
 		}
 		if auto.Picked != best {
-			misses++
+			pr.miss = true
 			// The selector must be right at the latency (smallest) and
 			// bandwidth (largest) extremes; mid-range crossover points
 			// within measurement noise of each other are informational.
-			extreme := k != coll.OpBarrier && (size == smallest || size == largest)
-			if extreme {
-				extremeMisses++
+			pr.extreme = k != coll.OpBarrier && (size == smallest || size == largest)
+			severity := "note:"
+			if pr.extreme {
+				severity = "MISS:"
 			}
-			if *check {
-				severity := "note:"
-				if extreme {
-					severity = "MISS:"
-				}
-				fmt.Fprintf(os.Stderr,
-					"collbench: %s selector picked %v for %v/%s n=%d size=%d; %v is faster (%v vs %v)\n",
-					severity, auto.Picked, b, k, n, size, best, times[best], times[auto.Picked])
-			}
+			pr.note = fmt.Sprintf(
+				"collbench: %s selector picked %v for %v/%s n=%d size=%d; %v is faster (%v vs %v)",
+				severity, auto.Picked, b, k, n, size, best, times[best], times[auto.Picked])
 		}
-		for _, r := range rows {
-			csvTbl.AddRow(r...)
-		}
+		return pr
 	}
 
+	type point struct {
+		b    stack.Backend
+		k    coll.Kind
+		n    int
+		size int64
+	}
+	var grid []point
 	for _, b := range []stack.Backend{stack.LCI, stack.MPI} {
 		for _, k := range bench.CollKinds() {
 			for _, n := range ranksList {
 				if k == coll.OpBarrier {
-					measure(b, k, n, 0)
+					grid = append(grid, point{b, k, n, 0})
 					continue
 				}
 				for _, size := range sizes {
-					measure(b, k, n, size)
+					grid = append(grid, point{b, k, n, size})
 				}
+			}
+		}
+	}
+	results := bench.Sweep(workers, len(grid), func(i int) pointResult {
+		g := grid[i]
+		return measure(g.b, g.k, g.n, g.size)
+	})
+	misses, extremeMisses := 0, 0
+	for _, pr := range results {
+		for _, r := range pr.rows {
+			csvTbl.AddRow(r...)
+		}
+		if pr.miss {
+			misses++
+			if pr.extreme {
+				extremeMisses++
+			}
+			if *check {
+				fmt.Fprintln(os.Stderr, pr.note)
 			}
 		}
 	}

@@ -42,7 +42,10 @@ func main() {
 	runsHicma := flag.Int("hicma-runs", 5, "HiCMA executions per configuration")
 	listConfig := flag.Bool("list-config", false, "print the simulated platform configuration (Table 1 analogue) and exit")
 	metricsDir := flag.String("metrics", "", "run one instrumented HiCMA point per backend and dump its metric registry as CSV into this directory, then exit")
+	j := flag.Int("j", 1, "parallel sweep workers (0 = one per CPU); tables and CSVs are byte-identical for every value")
+	csvDir := flag.String("csv", "", "also write each table as a CSV file into this directory")
 	flag.Parse()
+	workers := bench.SweepWorkers(*j)
 
 	if *listConfig {
 		printConfig(os.Stdout)
@@ -62,11 +65,33 @@ func main() {
 		micro = stats.Methodology{Runs: 2, Discard: 1}
 		hicma = stats.Methodology{Runs: 1, Discard: 0}
 	}
-	emit := func(t *bench.Table) {
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	// emit prints the table and, with -csv, writes it as <name>.csv. The
+	// tables are assembled in sweep order after the points complete, so the
+	// files do not depend on -j.
+	emit := func(name string, t *bench.Table) {
 		if *md {
 			t.Markdown(os.Stdout)
 		} else {
 			t.Write(os.Stdout)
+		}
+		if *csvDir == "" {
+			return
+		}
+		f, err := os.Create(filepath.Join(*csvDir, name+".csv"))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		t.CSV(f)
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
 		}
 	}
 	start := time.Now()
@@ -74,52 +99,67 @@ func main() {
 	// ---- Figure 2a ----
 	fig2a := bench.NewTable("Fig 2a: one-stream ping-pong bandwidth (Gbit/s)",
 		"granularity", "LCI", "Open MPI", "NetPIPE")
-	for _, size := range bench.PingPongSizes() {
-		var v []float64
-		for _, b := range []stack.Backend{stack.LCI, stack.MPI} {
-			o := bench.DefaultPingPongOpts(b, size)
+	ppSizes := bench.PingPongSizes()
+	fig2aRows := bench.Sweep(workers, len(ppSizes), func(i int) [3]float64 {
+		var v [3]float64
+		for bi, b := range []stack.Backend{stack.LCI, stack.MPI} {
+			o := bench.DefaultPingPongOpts(b, ppSizes[i])
 			o.Runs = micro
-			v = append(v, bench.PingPong(o).Gbps)
+			v[bi] = bench.PingPong(o).Gbps
 		}
-		np := netpipe.Bandwidth(netpipe.DefaultConfig(), size)
-		fig2a.AddFloats(bench.Bytes(size), "%.1f", v[0], v[1], np)
+		v[2] = netpipe.Bandwidth(netpipe.DefaultConfig(), ppSizes[i])
+		return v
+	})
+	for i, size := range ppSizes {
+		v := fig2aRows[i]
+		fig2a.AddFloats(bench.Bytes(size), "%.1f", v[0], v[1], v[2])
 	}
-	emit(fig2a)
+	emit("fig2a", fig2a)
 
 	// ---- Figure 2b ----
 	fig2b := bench.NewTable("Fig 2b: two-stream ping-pong bandwidth (Gbit/s)",
 		"granularity", "LCI", "Open MPI", "LCI (no sync)", "Open MPI (no sync)")
-	for _, size := range bench.PingPongSizes() {
-		var v []float64
+	fig2bRows := bench.Sweep(workers, len(ppSizes), func(i int) [4]float64 {
+		var v [4]float64
+		k := 0
 		for _, sync := range []bool{true, false} {
 			for _, b := range []stack.Backend{stack.LCI, stack.MPI} {
-				o := bench.DefaultPingPongOpts(b, size)
+				o := bench.DefaultPingPongOpts(b, ppSizes[i])
 				o.Streams = 2
 				o.Sync = sync
 				o.Runs = micro
-				v = append(v, bench.PingPong(o).Gbps)
+				v[k] = bench.PingPong(o).Gbps
+				k++
 			}
 		}
+		return v
+	})
+	for i, size := range ppSizes {
+		v := fig2bRows[i]
 		fig2b.AddFloats(bench.Bytes(size), "%.1f", v[0], v[1], v[2], v[3])
 	}
-	emit(fig2b)
+	emit("fig2b", fig2b)
 
 	// ---- Figure 3 ----
 	fig3 := bench.NewTable("Fig 3: overlap with GEMM-like intensity (GFLOP/s)",
 		"granularity", "LCI", "Open MPI", "Roofline", "No Overlap")
-	for _, size := range bench.OverlapSizes() {
-		var v []float64
-		var roof, noov float64
-		for _, b := range []stack.Backend{stack.LCI, stack.MPI} {
-			o := bench.DefaultOverlapOpts(b, size)
+	ovSizes := bench.OverlapSizes()
+	fig3Rows := bench.Sweep(workers, len(ovSizes), func(i int) [4]float64 {
+		var v [4]float64
+		for bi, b := range []stack.Backend{stack.LCI, stack.MPI} {
+			o := bench.DefaultOverlapOpts(b, ovSizes[i])
 			o.Runs = micro
 			r := bench.Overlap(o)
-			v = append(v, r.GFLOPS)
-			roof, noov = r.Roofline, r.NoOverlap
+			v[bi] = r.GFLOPS
+			v[2], v[3] = r.Roofline, r.NoOverlap
 		}
-		fig3.AddFloats(bench.Bytes(size), "%.0f", v[0], v[1], roof, noov)
+		return v
+	})
+	for i, size := range ovSizes {
+		v := fig3Rows[i]
+		fig3.AddFloats(bench.Bytes(size), "%.0f", v[0], v[1], v[2], v[3])
 	}
-	emit(fig3)
+	emit("fig3", fig3)
 
 	// ---- Figures 4a/4b ----
 	n, tiles := bench.ScaledProblem(*scale, bench.PaperTileSizes)
@@ -133,17 +173,21 @@ func main() {
 		mt bool
 	}
 	ttsAtTile := map[int]map[key]float64{}
-	for _, t := range tiles {
+	fig4Rows := bench.Sweep(workers, len(tiles), func(i int) map[key]bench.HiCMAResult {
 		res := map[key]bench.HiCMAResult{}
 		for _, b := range []stack.Backend{stack.LCI, stack.MPI} {
 			for _, mt := range []bool{false, true} {
-				o := bench.DefaultHiCMAOpts(b, t, 16)
+				o := bench.DefaultHiCMAOpts(b, tiles[i], 16)
 				o.N = n
 				o.MT = mt
 				o.Runs = hicma
 				res[key{b, mt}] = bench.HiCMA(o)
 			}
 		}
+		return res
+	})
+	for i, t := range tiles {
+		res := fig4Rows[i]
 		ttsAtTile[t] = map[key]float64{}
 		for k, r := range res {
 			ttsAtTile[t][k] = r.TimeToSolution
@@ -154,8 +198,8 @@ func main() {
 			res[key{stack.LCI, false}].E2ELatencyMS, res[key{stack.MPI, false}].E2ELatencyMS,
 			res[key{stack.LCI, true}].E2ELatencyMS, res[key{stack.MPI, true}].E2ELatencyMS)
 	}
-	emit(fig4a)
-	emit(fig4b)
+	emit("fig4a", fig4a)
+	emit("fig4b", fig4b)
 
 	// ---- Figures 5a/5b and Table 2 ----
 	n5, tiles5 := n, tiles
@@ -163,7 +207,7 @@ func main() {
 		n5, tiles5 = bench.ScaledProblem(*fig5Scale, bench.PaperTileSizes)
 		fmt.Printf("strong-scaling problem: N=%d (scale %.2f)\n\n", n5, *fig5Scale)
 	}
-	points := bench.StrongScaling(n5, bench.PaperNodeCounts, tiles5, hicma)
+	points := bench.StrongScaling(n5, bench.PaperNodeCounts, tiles5, hicma, workers)
 	fig5a := bench.NewTable("Fig 5a: strong scaling (s)", "nodes", "LCI", "Open MPI", "Open MPI (best)")
 	fig5b := bench.NewTable("Fig 5b: strong-scaling latency (ms)", "nodes", "LCI", "Open MPI", "Open MPI (best)")
 	tbl2 := bench.NewTable("Table 2: tile size with lowest time-to-solution", "nodes", "Open MPI", "LCI")
@@ -174,9 +218,9 @@ func main() {
 			p.LCI.E2ELatencyMS, p.MPIAtLCI.E2ELatencyMS, p.MPIBest.E2ELatencyMS)
 		tbl2.AddRow(fmt.Sprint(p.Nodes), fmt.Sprint(p.MPIBestTile), fmt.Sprint(p.LCITile))
 	}
-	emit(fig5a)
-	emit(fig5b)
-	emit(tbl2)
+	emit("fig5a", fig5a)
+	emit("fig5b", fig5b)
+	emit("table2", tbl2)
 
 	// ---- headline summary (§6.4.3, §7) ----
 	for _, p := range points {

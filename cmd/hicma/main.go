@@ -10,7 +10,8 @@
 //
 // Common flags: -scale F shrinks the N=360,000 problem, -runs N sets the
 // measurement protocol (mean of 5 in the paper), -syncclocks enables the
-// §6.1.3 clock-synchronization epoch over skewed rank clocks.
+// §6.1.3 clock-synchronization epoch over skewed rank clocks, -j N runs N
+// sweep points in parallel (0 = all CPUs) with output identical to -j 1.
 package main
 
 import (
@@ -32,7 +33,9 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "problem-size scale factor in (0,1]; 1 = the paper's N=360,000")
 	runs := flag.Int("runs", 5, "executions per configuration (paper: mean of five)")
 	syncClocks := flag.Bool("syncclocks", false, "synchronize skewed rank clocks before measuring (§6.1.3)")
+	j := flag.Int("j", 1, "parallel sweep workers (0 = one per CPU); output is identical for every value")
 	flag.Parse()
+	workers := bench.SweepWorkers(*j)
 
 	meth := stats.Methodology{Runs: *runs, Discard: 0}
 	n, tiles := bench.ScaledProblem(*scale, bench.PaperTileSizes)
@@ -59,16 +62,27 @@ func main() {
 		if *latency {
 			lat = bench.NewTable(fmt.Sprintf("End-to-end latency, %d nodes (Fig 4b: ms)", *nodes), cols...)
 		}
-		for _, t := range tiles {
-			lci := mk(stack.LCI, t, *nodes, false)
-			mpi := mk(stack.MPI, t, *nodes, false)
-			row := []string{fmt.Sprint(t), f2(lci.TimeToSolution), f2(mpi.TimeToSolution)}
-			latRow := []string{fmt.Sprint(t), f2(lci.E2ELatencyMS), f2(mpi.E2ELatencyMS)}
+		// One sweep point per tile; each point measures every series for its
+		// row, so rows land in tile order no matter how workers interleave.
+		type tileRow struct{ lci, mpi, lciMT, mpiMT bench.HiCMAResult }
+		rows := bench.Sweep(workers, len(tiles), func(i int) tileRow {
+			r := tileRow{
+				lci: mk(stack.LCI, tiles[i], *nodes, false),
+				mpi: mk(stack.MPI, tiles[i], *nodes, false),
+			}
 			if *mt {
-				lciMT := mk(stack.LCI, t, *nodes, true)
-				mpiMT := mk(stack.MPI, t, *nodes, true)
-				row = append(row, f2(lciMT.TimeToSolution), f2(mpiMT.TimeToSolution))
-				latRow = append(latRow, f2(lciMT.E2ELatencyMS), f2(mpiMT.E2ELatencyMS))
+				r.lciMT = mk(stack.LCI, tiles[i], *nodes, true)
+				r.mpiMT = mk(stack.MPI, tiles[i], *nodes, true)
+			}
+			return r
+		})
+		for i, t := range tiles {
+			r := rows[i]
+			row := []string{fmt.Sprint(t), f2(r.lci.TimeToSolution), f2(r.mpi.TimeToSolution)}
+			latRow := []string{fmt.Sprint(t), f2(r.lci.E2ELatencyMS), f2(r.mpi.E2ELatencyMS)}
+			if *mt {
+				row = append(row, f2(r.lciMT.TimeToSolution), f2(r.mpiMT.TimeToSolution))
+				latRow = append(latRow, f2(r.lciMT.E2ELatencyMS), f2(r.mpiMT.E2ELatencyMS))
 			}
 			tts.AddRow(row...)
 			if lat != nil {
@@ -81,7 +95,7 @@ func main() {
 		}
 
 	case "nodes":
-		points := bench.StrongScaling(n, bench.PaperNodeCounts, tiles, meth)
+		points := bench.StrongScaling(n, bench.PaperNodeCounts, tiles, meth, workers)
 		tts := bench.NewTable("TLR Cholesky strong scaling (Fig 5a: seconds)",
 			"nodes", "LCI", "Open MPI", "Open MPI (best)")
 		lat := bench.NewTable("Strong-scaling end-to-end latency (Fig 5b: ms)",
@@ -100,8 +114,10 @@ func main() {
 		tbl2.Write(os.Stdout)
 
 	default:
-		lci := mk(stack.LCI, *nb, *nodes, *mt)
-		mpi := mk(stack.MPI, *nb, *nodes, *mt)
+		both := bench.Sweep(workers, 2, func(i int) bench.HiCMAResult {
+			return mk([]stack.Backend{stack.LCI, stack.MPI}[i], *nb, *nodes, *mt)
+		})
+		lci, mpi := both[0], both[1]
 		fmt.Printf("nb=%d nodes=%d mt=%v\n", *nb, *nodes, *mt)
 		fmt.Printf("  LCI:      %.3f s, e2e %.2f ms, hop %.2f ms (%d tasks, avg rank %.2f)\n",
 			lci.TimeToSolution, lci.E2ELatencyMS, lci.HopLatencyMS, lci.Tasks, lci.AvgRank)

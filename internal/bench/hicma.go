@@ -120,17 +120,16 @@ func hicmaRun(o HiCMAOpts, run uint64) (float64, *parsec.Runtime, *hicma.Pool) {
 }
 
 // TileScaling runs the Figure 4a/4b sweep at a fixed node count for one
-// backend (optionally multithreaded), over the given tile sizes.
-func TileScaling(b stack.Backend, n, nodes int, mt bool, tiles []int, runs stats.Methodology) []HiCMAResult {
-	var out []HiCMAResult
-	for _, nb := range tiles {
-		o := DefaultHiCMAOpts(b, nb, nodes)
+// backend (optionally multithreaded), over the given tile sizes. workers is
+// the sweep parallelism (see Sweep); results are in tile order either way.
+func TileScaling(b stack.Backend, n, nodes int, mt bool, tiles []int, runs stats.Methodology, workers int) []HiCMAResult {
+	return Sweep(workers, len(tiles), func(i int) HiCMAResult {
+		o := DefaultHiCMAOpts(b, tiles[i], nodes)
 		o.N = n
 		o.MT = mt
 		o.Runs = runs
-		out = append(out, HiCMA(o))
-	}
-	return out
+		return HiCMA(o)
+	})
 }
 
 // BestTile returns the result with the lowest time-to-solution (Table 2's
@@ -158,12 +157,37 @@ type StrongScalingPoint struct {
 
 // StrongScaling runs the Figure 5a/5b + Table 2 experiment: for each node
 // count, sweep tile sizes for both backends and report the paper's three
-// series.
-func StrongScaling(n int, nodes []int, tiles []int, runs stats.Methodology) []StrongScalingPoint {
-	var out []StrongScalingPoint
+// series. The full (node x backend x tile) grid is flattened into one sweep
+// so a large -j keeps every worker busy even when a single node count has
+// few tiles; per-point determinism makes the reassembled series identical
+// to the serial nesting.
+func StrongScaling(n int, nodes []int, tiles []int, runs stats.Methodology, workers int) []StrongScalingPoint {
+	type job struct {
+		b  stack.Backend
+		nd int
+		nb int
+	}
+	var jobs []job
 	for _, nd := range nodes {
-		lciAll := TileScaling(stack.LCI, n, nd, false, tiles, runs)
-		mpiAll := TileScaling(stack.MPI, n, nd, false, tiles, runs)
+		for _, b := range []stack.Backend{stack.LCI, stack.MPI} {
+			for _, nb := range tiles {
+				jobs = append(jobs, job{b, nd, nb})
+			}
+		}
+	}
+	res := Sweep(workers, len(jobs), func(i int) HiCMAResult {
+		j := jobs[i]
+		o := DefaultHiCMAOpts(j.b, j.nb, j.nd)
+		o.N = n
+		o.Runs = runs
+		return HiCMA(o)
+	})
+
+	var out []StrongScalingPoint
+	for i := 0; i < len(jobs); i += 2 * len(tiles) {
+		nd := jobs[i].nd
+		lciAll := res[i : i+len(tiles)]
+		mpiAll := res[i+len(tiles) : i+2*len(tiles)]
 		lciBest := BestTile(lciAll)
 		mpiBest := BestTile(mpiAll)
 		var mpiAtLCI HiCMAResult

@@ -1,0 +1,166 @@
+// Package micro holds the simulator's steady-state microbenchmarks: event
+// scheduling on the calendar-queue engine and on the heap-backed reference
+// engine (the before/after pair behind BENCH_sim.json), Proc ring-buffer
+// dispatch, and fabric delivery of virtual-payload messages.
+//
+// The harness bodies are exported funcs so cmd/benchrecord can run them
+// programmatically via testing.Benchmark; micro_test.go wraps the same
+// bodies as ordinary Benchmark* functions for `go test -bench`.
+package micro
+
+import (
+	"testing"
+
+	"amtlci/internal/fabric"
+	"amtlci/internal/sim"
+)
+
+// benchLCG steps a splitmix-style generator; delays must be cheap and
+// deterministic so the benchmark measures the queue, not the RNG.
+func benchLCG(s uint64) uint64 {
+	return s*6364136223846793005 + 1442695040888963407
+}
+
+// tickDelay maps an LCG state to a near-future-dominated delay: mostly
+// within a few dozen calendar buckets (sub-20µs), with one event in 256
+// jumping far enough to land in the overflow tier, matching the delay mix a
+// real run produces (wire latencies and gaps near, timeouts far).
+func tickDelay(s uint64) sim.Duration {
+	d := sim.Duration(s>>40) + 1 // up to ~16.7µs in ps
+	if s&0xFF == 0 {
+		d += sim.Duration(1) << 33 // ~8.6ms: beyond the calendar window
+	}
+	return d
+}
+
+const tickFanout = 512 // concurrently pending events in the schedule loops
+
+// EngineScheduleFire drives the calendar-queue engine with a self-refilling
+// population of events. Steady state should be allocation-free: every fired
+// event's slot goes back to the pool before its callback schedules the next.
+func EngineScheduleFire(b *testing.B) {
+	e := sim.NewEngine()
+	fired := 0
+	rng := uint64(0x9E3779B97F4A7C15)
+	type tick struct{ fire func() }
+	ticks := make([]tick, tickFanout)
+	for i := range ticks {
+		t := &ticks[i]
+		t.fire = func() {
+			fired++
+			if fired < b.N {
+				rng = benchLCG(rng)
+				e.After(tickDelay(rng), t.fire)
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := range ticks {
+		rng = benchLCG(rng)
+		e.After(tickDelay(rng), ticks[i].fire)
+	}
+	e.Run()
+}
+
+// RefEngineScheduleFire is the identical workload on the container/heap
+// reference engine — the baseline the calendar queue is measured against.
+func RefEngineScheduleFire(b *testing.B) {
+	e := sim.NewRefEngine()
+	fired := 0
+	rng := uint64(0x9E3779B97F4A7C15)
+	type tick struct{ fire func() }
+	ticks := make([]tick, tickFanout)
+	for i := range ticks {
+		t := &ticks[i]
+		t.fire = func() {
+			fired++
+			if fired < b.N {
+				rng = benchLCG(rng)
+				e.After(tickDelay(rng), t.fire)
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := range ticks {
+		rng = benchLCG(rng)
+		e.After(tickDelay(rng), ticks[i].fire)
+	}
+	e.Run()
+}
+
+// EngineScheduleCancel measures the schedule-then-cancel cycle (the
+// retransmission-timer pattern: most timers armed by the reliability layer
+// are canceled by an ACK before they fire).
+func EngineScheduleCancel(b *testing.B) {
+	e := sim.NewEngine()
+	nop := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Cancel(e.After(100*sim.Microsecond, nop))
+	}
+}
+
+// ProcSubmitDispatch measures the FIFO engine's ring buffer with a
+// steadily ~32-deep queue, the regime the NIC tx/rx engines run in under
+// many-to-one traffic.
+func ProcSubmitDispatch(b *testing.B) {
+	e := sim.NewEngine()
+	p := sim.NewProc(e)
+	done := 0
+	var fn func()
+	fn = func() {
+		done++
+		if done+32 <= b.N {
+			p.Submit(10, fn)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < 32 && i < b.N; i++ {
+		p.Submit(10, fn)
+	}
+	e.Run()
+	b.StopTimer()
+	if done == 0 && b.N > 0 {
+		b.Fatal("proc dispatched nothing")
+	}
+}
+
+func benchFabric(b *testing.B, size int64) {
+	e := sim.NewEngine()
+	cfg := fabric.DefaultConfig()
+	f, err := fabric.New(e, 2, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := 0
+	m := &fabric.Message{Src: 0, Dst: 1, Size: size}
+	f.SetHandler(0, func(*fabric.Message) {})
+	f.SetHandler(1, func(mm *fabric.Message) {
+		n++
+		if n < b.N {
+			mm.Src, mm.Dst = 0, 1
+			f.Send(mm)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	f.Send(m)
+	e.Run()
+	b.StopTimer()
+	if n < b.N {
+		b.Fatalf("delivered %d of %d messages", n, b.N)
+	}
+}
+
+// FabricDeliveryCtl measures end-to-end delivery of a virtual-payload
+// control-lane message (1 KiB ≤ CtlBypass). With pooled events and pooled
+// transfer state this path must not allocate.
+func FabricDeliveryCtl(b *testing.B) { benchFabric(b, 1024) }
+
+// FabricDeliveryBulk measures the bulk lane (64 KiB > CtlBypass): transmit
+// engine, wire, receive engine — the per-tile path of the HiCMA runs.
+func FabricDeliveryBulk(b *testing.B) { benchFabric(b, 64<<10) }

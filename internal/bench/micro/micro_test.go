@@ -1,0 +1,10 @@
+package micro
+
+import "testing"
+
+func BenchmarkEngineScheduleFire(b *testing.B)    { EngineScheduleFire(b) }
+func BenchmarkRefEngineScheduleFire(b *testing.B) { RefEngineScheduleFire(b) }
+func BenchmarkEngineScheduleCancel(b *testing.B)  { EngineScheduleCancel(b) }
+func BenchmarkProcSubmitDispatch(b *testing.B)    { ProcSubmitDispatch(b) }
+func BenchmarkFabricDeliveryCtl(b *testing.B)     { FabricDeliveryCtl(b) }
+func BenchmarkFabricDeliveryBulk(b *testing.B)    { FabricDeliveryBulk(b) }

@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Experiment sweeps are embarrassingly parallel: every point builds its own
+// simulation engine, fabric, stacks, and seeded RNGs, and nothing in the
+// runtime shares mutable globals. Sweep exploits that — points run on a
+// worker pool, but results land in the output slice at their point's index,
+// so tables, CSVs, and best-tile selections are byte-identical to a serial
+// run regardless of worker count or OS scheduling.
+
+// SweepWorkers normalizes a -j flag value: 0 (or negative) means one worker
+// per CPU, anything else is used as given.
+func SweepWorkers(j int) int {
+	if j <= 0 {
+		return runtime.NumCPU()
+	}
+	return j
+}
+
+// Sweep evaluates point(0..n-1) on up to `workers` goroutines and returns
+// the results in point order. point must be self-contained: it may not
+// touch another point's simulation state (every caller in this package
+// builds a fresh engine per point, which is what makes this sound).
+// workers <= 1 runs serially on the caller's goroutine.
+func Sweep[T any](workers, n int, point func(i int) T) []T {
+	out := make([]T, n)
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = point(i)
+		}
+		return out
+	}
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = point(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

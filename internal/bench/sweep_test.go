@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"amtlci/internal/core/stack"
+	"amtlci/internal/stats"
+)
+
+func TestSweepPreservesPointOrder(t *testing.T) {
+	for _, workers := range []int{1, 3, 8, 100} {
+		got := Sweep(workers, 37, func(i int) int { return i * i })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+	if n := len(Sweep(4, 0, func(i int) int { return i })); n != 0 {
+		t.Fatalf("empty sweep returned %d results", n)
+	}
+}
+
+// TestSweepDeterministicAcrossWorkerCounts is the -j determinism guarantee:
+// a real HiCMA tile sweep rendered as CSV must be byte-identical at -j 1 and
+// -j 8. Every experiment point builds its own engine and seeded RNGs, so
+// worker scheduling must not be able to leak into results; this test (run
+// under -race in verify) is what keeps that property from regressing.
+func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	tiles := []int{1200, 2400, 4800}
+	runs := stats.Methodology{Runs: 1, Discard: 0}
+	render := func(workers int) string {
+		res := TileScaling(stack.LCI, 9600, 2, false, tiles, runs, workers)
+		tbl := NewTable("tile sweep", "tile", "tts", "e2e_ms", "tasks")
+		for _, r := range res {
+			tbl.AddRow(fmt.Sprint(r.NB), fmt.Sprintf("%.6f", r.TimeToSolution),
+				fmt.Sprintf("%.6f", r.E2ELatencyMS), fmt.Sprint(r.Tasks))
+		}
+		var sb strings.Builder
+		tbl.CSV(&sb)
+		return sb.String()
+	}
+	serial := render(1)
+	parallel := render(8)
+	if serial != parallel {
+		t.Fatalf("CSV differs between -j 1 and -j 8:\n--- j=1 ---\n%s--- j=8 ---\n%s", serial, parallel)
+	}
+	if !strings.Contains(serial, "1200") {
+		t.Fatalf("sweep produced no rows:\n%s", serial)
+	}
+}
+
+// TestStrongScalingParallelMatchesSerial pins the flattened-grid reassembly
+// in StrongScaling: best-tile selection per node count must not depend on
+// worker count.
+func TestStrongScalingParallelMatchesSerial(t *testing.T) {
+	tiles := []int{1200, 2400}
+	runs := stats.Methodology{Runs: 1, Discard: 0}
+	serial := StrongScaling(9600, []int{2, 4}, tiles, runs, 1)
+	parallel := StrongScaling(9600, []int{2, 4}, tiles, runs, 8)
+	if len(serial) != len(parallel) {
+		t.Fatalf("point counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("point %d differs:\nserial:   %+v\nparallel: %+v", i, serial[i], parallel[i])
+		}
+	}
+}

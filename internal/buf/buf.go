@@ -58,9 +58,7 @@ func Copy(dst, src Buf) int64 {
 		if src.Bytes != nil {
 			copy(dst.Bytes[:n], src.Bytes[:n])
 		} else {
-			for i := int64(0); i < n; i++ {
-				dst.Bytes[i] = 0
-			}
+			clear(dst.Bytes[:n])
 		}
 	}
 	return n

@@ -94,3 +94,32 @@ func TestCopyNeverOverruns(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// BenchmarkCopyVirtualToRealMiB measures the virtual-to-real zero-fill path
+// at MiB scale — tile-sized staging buffers in the HiCMA runs hit it once per
+// received tile, so a byte loop here was material.
+func BenchmarkCopyVirtualToRealMiB(b *testing.B) {
+	dst := FromBytes(make([]byte, 1<<20))
+	src := Virtual(1 << 20)
+	b.SetBytes(1 << 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if Copy(dst, src) != 1<<20 {
+			b.Fatal("short copy")
+		}
+	}
+}
+
+// BenchmarkCopyRealToRealMiB is the memmove reference point for the fill
+// benchmark above.
+func BenchmarkCopyRealToRealMiB(b *testing.B) {
+	dst := FromBytes(make([]byte, 1<<20))
+	src := FromBytes(make([]byte, 1<<20))
+	b.SetBytes(1 << 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if Copy(dst, src) != 1<<20 {
+			b.Fatal("short copy")
+		}
+	}
+}

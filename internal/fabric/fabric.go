@@ -178,8 +178,16 @@ type Fabric struct {
 	// Crash state (nil slices unless a NodeCrash schedule is installed, so
 	// the fault-free fast path stays branch-cheap).
 	crashed     []bool
-	crashEvents []*sim.Event
+	crashEvents []sim.Event
 	onCrash     []func(rank int)
+
+	// xfree recycles per-message transfer state (xfer) so the steady-state
+	// Send/deliver cycle allocates nothing; see xfer.go.
+	xfree []*xfer
+	// corruptFree recycles the payload copies made for corrupted messages;
+	// a reliability layer that discards a damaged frame hands the buffer
+	// back through RecyclePayload.
+	corruptFree [][]byte
 }
 
 // New builds a fabric with n ranks on eng. It returns a descriptive error
@@ -290,13 +298,11 @@ func (f *Fabric) Send(m *Message) {
 	src.msgsSent.Inc()
 	src.bytesSent.Add(uint64(m.Size))
 
+	x := f.getXfer(m)
+
 	if m.Src == m.Dst {
-		f.eng.After(f.cfg.LoopbackLatency, func() {
-			if m.OnTx != nil {
-				m.OnTx()
-			}
-			f.deliver(m)
-		})
+		x.pending = 1
+		f.eng.After(f.cfg.LoopbackLatency, x.loopback)
 		return
 	}
 
@@ -320,7 +326,11 @@ func (f *Fabric) Send(m *Message) {
 			f.inj.corrupted.Inc()
 			m.Corrupted = true
 			if m.Payload != nil {
-				p := append([]byte(nil), m.Payload...)
+				// Copy before flipping a byte so the sender's buffer stays
+				// intact; the copy comes from (and returns to, via
+				// RecyclePayload) the fabric's scratch pool.
+				p := f.getCorruptBuf(len(m.Payload))
+				copy(p, m.Payload)
 				p[ft.corruptAt%len(p)] ^= 0xA5
 				m.Payload = p
 			}
@@ -339,17 +349,12 @@ func (f *Fabric) Send(m *Message) {
 		}
 	}
 
+	x.wire, x.ser, x.copies, x.dupGap, x.pending = wire, ser, copies, dupGap, copies
+
 	// Control lane: small messages interleave between bulk packets instead
 	// of queueing behind whole transfers (round-robin queue-pair service).
 	if m.Size <= f.cfg.CtlBypass {
-		f.eng.After(f.cfg.MessageGap+ser, func() {
-			if m.OnTx != nil {
-				m.OnTx()
-			}
-			for c := 0; c < copies; c++ {
-				f.eng.After(wire+f.cfg.RxOverhead+sim.Duration(c)*dupGap, func() { f.deliver(m) })
-			}
-		})
+		f.eng.After(f.cfg.MessageGap+ser, x.ctlTx)
 		return
 	}
 
@@ -359,21 +364,7 @@ func (f *Fabric) Send(m *Message) {
 	// ingress serialization time so that converging senders contend for the
 	// port's bandwidth without delaying their own already-arrived bytes.
 	src.txQueuedBytes.Add(m.Size)
-	src.tx.Submit(f.cfg.MessageGap+ser, func() {
-		src.txQueuedBytes.Add(-m.Size)
-		if m.OnTx != nil {
-			m.OnTx()
-		}
-		for c := 0; c < copies; c++ {
-			f.eng.After(wire+sim.Duration(c)*dupGap, func() {
-				dst := f.ports[m.Dst]
-				dst.rx.Submit(f.cfg.RxOverhead, func() { f.deliver(m) })
-				if ser > 0 {
-					dst.rx.Submit(ser, nil)
-				}
-			})
-		}
-	})
+	src.tx.Submit(f.cfg.MessageGap+ser, x.bulkTx)
 }
 
 func (f *Fabric) deliver(m *Message) {

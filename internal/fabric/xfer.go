@@ -1,0 +1,146 @@
+package fabric
+
+import "amtlci/internal/sim"
+
+// xfer is the pooled per-message transfer state. A message in flight needs
+// several deferred steps — egress completion, wire arrival (twice when the
+// injector duplicates), receive-engine completion — and expressing each as a
+// fresh closure made every Send allocate four to six times. An xfer instead
+// carries the message and its timing parameters in reusable fields, with the
+// step callbacks bound ONCE when the object is first constructed: recycling
+// the xfer recycles its closures, so the steady-state delivery path
+// (virtual-payload scheduling in particular) allocates nothing.
+//
+// Lifecycle: Send acquires an xfer, arms pending with the number of delivery
+// callbacks that will run (0 when the injector drops every copy), and the
+// last step releases the object back to the fabric's free list *before*
+// invoking the handler — the handler may re-enter Send and reuse it, which
+// is safe because the finishing callback never touches the xfer again.
+type xfer struct {
+	f       *Fabric
+	m       *Message
+	wire    sim.Duration
+	ser     sim.Duration
+	copies  int
+	dupGap  sim.Duration
+	pending int
+
+	// Step callbacks, bound to this object once at construction.
+	loopback func()
+	ctlTx    func()
+	ctlRx    func()
+	bulkTx   func()
+	bulkWire func()
+	bulkRx   func()
+}
+
+func (f *Fabric) getXfer(m *Message) *xfer {
+	var x *xfer
+	if n := len(f.xfree); n > 0 {
+		x = f.xfree[n-1]
+		f.xfree[n-1] = nil
+		f.xfree = f.xfree[:n-1]
+	} else {
+		x = &xfer{f: f}
+		x.bind()
+	}
+	x.m = m
+	return x
+}
+
+func (f *Fabric) putXfer(x *xfer) {
+	x.m = nil
+	f.xfree = append(f.xfree, x)
+}
+
+// finish retires one delivery copy: the xfer is released before the handler
+// runs so a re-entrant Send can reuse it.
+func (x *xfer) finish() {
+	m := x.m
+	x.pending--
+	if x.pending <= 0 {
+		x.f.putXfer(x)
+	}
+	x.f.deliver(m)
+}
+
+func (x *xfer) bind() {
+	f := x.f
+	x.loopback = func() {
+		if x.m.OnTx != nil {
+			x.m.OnTx()
+		}
+		x.finish()
+	}
+	// Control lane: egress serialization done; schedule each copy's
+	// arrival directly (the control lane bypasses the FIFO engines).
+	x.ctlTx = func() {
+		if x.m.OnTx != nil {
+			x.m.OnTx()
+		}
+		if x.copies == 0 {
+			f.putXfer(x)
+			return
+		}
+		for c := 0; c < x.copies; c++ {
+			f.eng.After(x.wire+f.cfg.RxOverhead+sim.Duration(c)*x.dupGap, x.ctlRx)
+		}
+	}
+	x.ctlRx = func() { x.finish() }
+	// Bulk lane: the transmit engine has drained the message from memory.
+	x.bulkTx = func() {
+		f.ports[x.m.Src].txQueuedBytes.Add(-x.m.Size)
+		if x.m.OnTx != nil {
+			x.m.OnTx()
+		}
+		if x.copies == 0 {
+			f.putXfer(x)
+			return
+		}
+		for c := 0; c < x.copies; c++ {
+			f.eng.After(x.wire+sim.Duration(c)*x.dupGap, x.bulkWire)
+		}
+	}
+	x.bulkWire = func() {
+		rx := f.ports[x.m.Dst].rx
+		rx.Submit(f.cfg.RxOverhead, x.bulkRx)
+		if x.ser > 0 {
+			rx.Submit(x.ser, nil)
+		}
+	}
+	x.bulkRx = func() { x.finish() }
+}
+
+// getCorruptBuf returns an n-byte scratch buffer for a corrupted-payload
+// copy, reusing buffers handed back through RecyclePayload when one is big
+// enough (frame sizes within a run cluster around a few distinct values, so
+// first-fit reuse almost always hits).
+func (f *Fabric) getCorruptBuf(n int) []byte {
+	for i := len(f.corruptFree) - 1; i >= 0; i-- {
+		if cap(f.corruptFree[i]) >= n {
+			b := f.corruptFree[i][:n]
+			last := len(f.corruptFree) - 1
+			f.corruptFree[i] = f.corruptFree[last]
+			f.corruptFree[last] = nil
+			f.corruptFree = f.corruptFree[:last]
+			return b
+		}
+	}
+	return make([]byte, n)
+}
+
+// RecyclePayload returns the payload of a corrupted message to the fabric's
+// scratch pool. Only the private copy the fabric itself made when corrupting
+// a message is eligible — calling it for a pristine message would recycle a
+// sender-owned buffer — so callers must pass messages they are discarding on
+// the Corrupted flag, as the reliability layer does, and must not touch the
+// payload afterwards.
+func (f *Fabric) RecyclePayload(m *Message) {
+	if !m.Corrupted || m.Payload == nil {
+		return
+	}
+	if len(f.corruptFree) < 32 { // cap retained scratch memory
+		f.corruptFree = append(f.corruptFree, m.Payload)
+	}
+	m.Payload = nil
+}

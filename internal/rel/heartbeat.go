@@ -228,17 +228,13 @@ func (ep *endpoint) noteHeard(peer int) {
 func (ep *endpoint) freeze() {
 	s := ep.s
 	ep.crashed = true
-	if ep.hbTick != nil {
-		s.eng.Cancel(ep.hbTick)
-		ep.hbTick = nil
-	}
+	s.eng.Cancel(ep.hbTick)
+	ep.hbTick = sim.Event{}
 	for _, tp := range ep.tx {
 		ep.silence(tp)
 	}
 	for _, rp := range ep.rx {
-		if rp.ackTimer != nil {
-			s.eng.Cancel(rp.ackTimer)
-		}
+		s.eng.Cancel(rp.ackTimer)
 	}
 }
 
@@ -249,9 +245,7 @@ func (ep *endpoint) freeze() {
 func (s *Stack) StopHeartbeats() {
 	s.hbStopped = true
 	for _, ep := range s.eps {
-		if ep.hbTick != nil {
-			s.eng.Cancel(ep.hbTick)
-			ep.hbTick = nil
-		}
+		s.eng.Cancel(ep.hbTick)
+		ep.hbTick = sim.Event{}
 	}
 }

@@ -202,7 +202,7 @@ type txEntry struct {
 	seq     uint64
 	fr      *frame
 	userTx  func()
-	timer   *sim.Event
+	timer   sim.Event
 	rto     sim.Duration
 	retries int
 	acked   bool
@@ -218,7 +218,7 @@ type txPeer struct {
 type rxPeer struct {
 	next     uint64            // next expected seq
 	ooo      map[uint64]*frame // early arrivals
-	ackTimer *sim.Event
+	ackTimer sim.Event
 }
 
 type endpoint struct {
@@ -238,7 +238,7 @@ type endpoint struct {
 	// detector is off.
 	crashed   bool
 	hbSeq     uint64
-	hbTick    *sim.Event
+	hbTick    sim.Event
 	lastSent  map[int]sim.Time
 	lastHeard map[int]sim.Time
 
@@ -462,9 +462,7 @@ func (ep *endpoint) declareDead(tp *txPeer, e *txEntry) {
 func (ep *endpoint) silence(tp *txPeer) {
 	tp.dead = true
 	for _, q := range tp.q {
-		if q.timer != nil {
-			ep.s.eng.Cancel(q.timer)
-		}
+		ep.s.eng.Cancel(q.timer)
 	}
 	tp.q = nil
 }
@@ -519,8 +517,11 @@ func (ep *endpoint) onArrival(m *fabric.Message) {
 func (ep *endpoint) onFrame(m *fabric.Message, fr *frame) {
 	if m.Corrupted || fr.sum != fr.checksum(m.Src, m.Dst) {
 		// Damaged in flight: discard without touching receive state; the
-		// sender's timeout redelivers an intact copy.
+		// sender's timeout redelivers an intact copy. The payload of a
+		// Corrupted message is a private copy the fabric made to flip a byte
+		// in — hand it back for reuse.
 		ep.corruptDrop.Inc()
+		ep.s.fab.RecyclePayload(m)
 		return
 	}
 	rp := ep.rxPeerFor(m.Src)
@@ -567,7 +568,7 @@ func (ep *endpoint) deliverUp(src int, fr *frame) {
 // deliveries is acknowledged once.
 func (ep *endpoint) scheduleAck(rp *rxPeer, src int) {
 	s := ep.s
-	if rp.ackTimer != nil && rp.ackTimer.Pending() {
+	if rp.ackTimer.Pending() {
 		return
 	}
 	rp.ackTimer = s.eng.After(s.cfg.AckDelay, func() {
@@ -591,8 +592,6 @@ func (ep *endpoint) onAck(peer int, cum uint64) {
 		e := tp.q[0]
 		tp.q = tp.q[1:]
 		e.acked = true
-		if e.timer != nil {
-			ep.s.eng.Cancel(e.timer)
-		}
+		ep.s.eng.Cancel(e.timer)
 	}
 }

@@ -1,0 +1,244 @@
+package sim
+
+import "math/bits"
+
+// Two-tier calendar queue.
+//
+// Tier one is a ring of calBuckets buckets, each spanning 2^calShift
+// picoseconds of virtual time; together they cover a sliding window of about
+// a millisecond starting at the scan cursor. A network simulator's event
+// distribution is overwhelmingly near-future — NIC gaps (tens of ns), wire
+// latencies (~µs), receive overheads — so almost every event lands in a
+// bucket close to the cursor: insertion is a bucket-index computation plus an
+// append (the common case; a short memmove when an event arrives out of
+// order within its bucket), and popping the minimum is a bitmap scan to the
+// first non-empty bucket plus a head-index bump. Both are O(1) amortized,
+// against O(log n) for the binary heap this replaced.
+//
+// Tier two is a plain min-heap holding events beyond the window — heartbeat
+// leases, crash scripts, multi-epoch RunUntil horizons. When the window
+// drains, the cursor jumps directly to the heap minimum's epoch and every
+// overflow event inside the new window migrates into buckets, so each
+// far-future event pays one heap push and one heap pop no matter how many
+// epochs pass before it fires.
+//
+// Ordering invariant: buckets hold events with bucket number in
+// [base, base+calBuckets) sorted ascending by (when, seq); the overflow heap
+// holds everything at or beyond base+calBuckets. The global minimum is
+// therefore the front of the first non-empty bucket, and firing order is
+// exactly the (timestamp, scheduling sequence) order of the old heap — the
+// differential test in engine_diff_test.go pins this against refqueue.go.
+const (
+	calShift   = 18   // bucket width 2^18 ps ≈ 262 ns
+	calBuckets = 4096 // window ≈ 1.07 ms
+	calMask    = calBuckets - 1
+)
+
+// bucket is one calendar slot: a slice consumed from head so that popping
+// the front costs an index bump, not a memmove.
+type bucket struct {
+	evs  []*event
+	head int
+}
+
+func eventLess(a, b *event) bool {
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	return a.seq < b.seq
+}
+
+// insert places a newly scheduled event into the calendar or the overflow
+// heap. Callers guarantee ev.when >= e.now, so the event's bucket can never
+// precede the cursor's window.
+func (e *Engine) insert(ev *event) {
+	if int64(ev.when)>>calShift >= e.base+calBuckets {
+		ev.where = whereOver
+		e.overPush(ev)
+		return
+	}
+	e.bucketInsert(ev)
+}
+
+func (e *Engine) bucketInsert(ev *event) {
+	idx := int(int64(ev.when)>>calShift) & calMask
+	ev.where = int32(idx)
+	b := &e.buckets[idx]
+	// Fast path: most events arrive in firing order within their bucket.
+	if n := len(b.evs); n == b.head || eventLess(b.evs[n-1], ev) {
+		b.evs = append(b.evs, ev)
+	} else {
+		lo, hi := b.head, len(b.evs)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if eventLess(b.evs[mid], ev) {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		b.evs = append(b.evs, nil)
+		copy(b.evs[lo+1:], b.evs[lo:])
+		b.evs[lo] = ev
+	}
+	e.words[idx>>6] |= 1 << (idx & 63)
+}
+
+// remove cancels a scheduled event. Bucketed events are cut out of their
+// slot and recycled immediately; overflow events become tombstones (the heap
+// has no cheap random removal) that are swept when their epoch is reached.
+func (e *Engine) remove(ev *event) {
+	switch {
+	case ev.where >= 0:
+		idx := int(ev.where)
+		b := &e.buckets[idx]
+		for i := b.head; i < len(b.evs); i++ {
+			if b.evs[i] == ev {
+				copy(b.evs[i:], b.evs[i+1:])
+				b.evs[len(b.evs)-1] = nil
+				b.evs = b.evs[:len(b.evs)-1]
+				break
+			}
+		}
+		if b.head == len(b.evs) {
+			b.evs, b.head = b.evs[:0], 0
+			e.words[idx>>6] &^= 1 << (idx & 63)
+		}
+		e.n--
+		e.release(ev)
+	case ev.where == whereOver:
+		ev.fn = nil
+		ev.gen++
+		ev.where = whereTomb
+		e.n--
+	}
+}
+
+// peek returns the earliest scheduled timestamp without consuming the event,
+// advancing the cursor (and, if needed, the window) to it. Returns false
+// when no live events remain.
+func (e *Engine) peek() (Time, bool) {
+	for {
+		if b := e.nextBusy(); b >= 0 {
+			e.cur = b
+			bk := &e.buckets[int(b)&calMask]
+			return bk.evs[bk.head].when, true
+		}
+		if !e.advance() {
+			return 0, false
+		}
+	}
+}
+
+// pop removes and returns the earliest event. Callers guarantee e.n > 0.
+func (e *Engine) pop() *event {
+	for {
+		if b := e.nextBusy(); b >= 0 {
+			e.cur = b
+			idx := int(b) & calMask
+			bk := &e.buckets[idx]
+			ev := bk.evs[bk.head]
+			bk.evs[bk.head] = nil
+			bk.head++
+			if bk.head == len(bk.evs) {
+				bk.evs, bk.head = bk.evs[:0], 0
+				e.words[idx>>6] &^= 1 << (idx & 63)
+			}
+			return ev
+		}
+		if !e.advance() {
+			panic("sim: pop from empty event queue")
+		}
+	}
+}
+
+// nextBusy scans the non-empty bitmap from the cursor to the window end and
+// returns the first busy absolute bucket number, or -1. The bitmap makes a
+// sparse window cheap: 64 buckets per word lookup.
+func (e *Engine) nextBusy() int64 {
+	limit := e.base + calBuckets
+	for b := e.cur; b < limit; {
+		idx := int(b) & calMask
+		w := e.words[idx>>6] >> uint(idx&63)
+		if w != 0 {
+			n := b + int64(bits.TrailingZeros64(w))
+			if n < limit {
+				return n
+			}
+			return -1
+		}
+		b += int64(64 - idx&63)
+	}
+	return -1
+}
+
+// advance jumps the window to the overflow heap's earliest epoch and
+// migrates every overflow event that now falls inside it into buckets.
+// Tombstones surfacing at the heap top are swept onto the free list. Returns
+// false when the overflow heap holds no live events.
+func (e *Engine) advance() bool {
+	for len(e.over) > 0 && e.over[0].where == whereTomb {
+		tomb := e.overPop()
+		tomb.where = whereFree
+		e.free = append(e.free, tomb)
+	}
+	if len(e.over) == 0 {
+		return false
+	}
+	e.base = int64(e.over[0].when) >> calShift
+	e.cur = e.base
+	limit := e.base + calBuckets
+	for len(e.over) > 0 && int64(e.over[0].when)>>calShift < limit {
+		ev := e.overPop()
+		if ev.where == whereTomb {
+			ev.where = whereFree
+			e.free = append(e.free, ev)
+			continue
+		}
+		e.bucketInsert(ev)
+	}
+	return true
+}
+
+// Overflow min-heap on (when, seq). Hand-rolled to keep *event elements
+// unboxed; no index maintenance is needed because removal is by tombstone.
+
+func (e *Engine) overPush(ev *event) {
+	e.over = append(e.over, ev)
+	i := len(e.over) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(e.over[i], e.over[parent]) {
+			break
+		}
+		e.over[i], e.over[parent] = e.over[parent], e.over[i]
+		i = parent
+	}
+}
+
+func (e *Engine) overPop() *event {
+	h := e.over
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = nil
+	h = h[:n]
+	e.over = h
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && eventLess(h[l], h[small]) {
+			small = l
+		}
+		if r < n && eventLess(h[r], h[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	return top
+}

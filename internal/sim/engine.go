@@ -1,66 +1,81 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
-// Event is a scheduled callback. The zero value is not useful; events are
-// created through Engine.At and Engine.After.
-type Event struct {
+// event is the pooled internal representation of a scheduled callback.
+// Objects are recycled through the engine's free list; gen increments every
+// time an event leaves the queue (fired or canceled) so stale handles held by
+// callers can never touch a reused slot.
+type event struct {
 	when  Time
 	seq   uint64
 	fn    func()
-	index int // position in the heap, -1 when fired or canceled
+	gen   uint32
+	where int32 // bucket index, or one of the where* sentinels
 }
 
-// When returns the virtual time at which the event will fire.
-func (e *Event) When() Time { return e.when }
+const (
+	whereFree int32 = -1 // on the free list (or never scheduled)
+	whereOver int32 = -2 // in the overflow heap
+	whereTomb int32 = -3 // canceled but still buried in the overflow heap
+)
+
+// Event is a generation-counted handle to a scheduled callback. The zero
+// value is a valid "no event" handle: Pending reports false and Cancel is a
+// no-op. Handles stay safe after the underlying slot is recycled for a new
+// event — operations on a stale handle do nothing.
+type Event struct {
+	ev  *event
+	gen uint32
+}
+
+// When returns the virtual time at which the event will fire, or zero when
+// the event has already fired or been canceled.
+func (e Event) When() Time {
+	if !e.Pending() {
+		return 0
+	}
+	return e.ev.when
+}
 
 // Pending reports whether the event is still scheduled.
-func (e *Event) Pending() bool { return e != nil && e.index >= 0 }
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
-}
+func (e Event) Pending() bool { return e.ev != nil && e.ev.gen == e.gen }
 
 // Engine is a deterministic discrete-event scheduler. Events that share a
 // timestamp fire in the order they were scheduled.
+//
+// The event queue is a two-tier calendar queue (calqueue.go): near-future
+// events — the bulk of a network simulation's schedule — pay O(1) per
+// operation, far-future events (heartbeat leases, crash scripts, RunUntil
+// horizons) overflow into a small binary heap and migrate into the calendar
+// when their epoch comes around. Firing order is exactly (timestamp,
+// scheduling sequence), bit-identical to the container/heap implementation
+// kept in refqueue.go as the differential-test oracle.
 type Engine struct {
 	now     Time
-	queue   eventHeap
 	seq     uint64
 	fired   uint64
 	stopped bool
+	n       int // scheduled events (tombstones excluded)
+
+	// Calendar queue state; see calqueue.go.
+	buckets []bucket
+	words   []uint64 // non-empty bitmap, one bit per bucket
+	base    int64    // absolute bucket number of the window start
+	cur     int64    // scan cursor, base <= cur < base+calBuckets
+	over    []*event // far-future min-heap keyed (when, seq)
+	free    []*event // recycled event objects
 }
 
 // NewEngine returns an engine with the clock at zero.
-func NewEngine() *Engine { return &Engine{} }
+func NewEngine() *Engine {
+	return &Engine{
+		buckets: make([]bucket, calBuckets),
+		words:   make([]uint64, calBuckets/64),
+		base:    0,
+		cur:     0,
+	}
+}
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
@@ -70,39 +85,42 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending returns the number of scheduled events.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.n }
 
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // it always indicates a cost-model bug, and silently clamping would corrupt
 // causality.
-func (e *Engine) At(t Time, fn func()) *Event {
+func (e *Engine) At(t Time, fn func()) Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	if fn == nil {
 		panic("sim: nil event function")
 	}
-	ev := &Event{when: t, seq: e.seq, fn: fn}
+	ev := e.acquire()
+	ev.when, ev.seq, ev.fn = t, e.seq, fn
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return ev
+	e.n++
+	e.insert(ev)
+	return Event{ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d after the current time. Negative d panics.
-func (e *Engine) After(d Duration, fn func()) *Event {
+func (e *Engine) After(d Duration, fn func()) Event {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
 	return e.At(e.now.Add(d), fn)
 }
 
-// Cancel removes a pending event. Canceling a fired or already-canceled
-// event is a no-op.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.index < 0 {
+// Cancel removes a pending event. Canceling a fired, already-canceled, or
+// zero-value event is a no-op.
+func (e *Engine) Cancel(h Event) {
+	ev := h.ev
+	if ev == nil || ev.gen != h.gen {
 		return
 	}
-	heap.Remove(&e.queue, ev.index)
+	e.remove(ev)
 }
 
 // Stop makes Run return after the currently executing event completes.
@@ -112,7 +130,7 @@ func (e *Engine) Stop() { e.stopped = true }
 // the final virtual time.
 func (e *Engine) Run() Time {
 	e.stopped = false
-	for len(e.queue) > 0 && !e.stopped {
+	for e.n > 0 && !e.stopped {
 		e.step()
 	}
 	return e.now
@@ -123,7 +141,11 @@ func (e *Engine) Run() Time {
 // the horizon.
 func (e *Engine) RunUntil(t Time) Time {
 	e.stopped = false
-	for len(e.queue) > 0 && !e.stopped && e.queue[0].when <= t {
+	for e.n > 0 && !e.stopped {
+		w, ok := e.peek()
+		if !ok || w > t {
+			break
+		}
 		e.step()
 	}
 	if !e.stopped && e.now < t {
@@ -133,10 +155,31 @@ func (e *Engine) RunUntil(t Time) Time {
 }
 
 func (e *Engine) step() {
-	ev := heap.Pop(&e.queue).(*Event)
+	ev := e.pop()
+	e.n--
 	e.now = ev.when
 	e.fired++
 	fn := ev.fn
-	ev.fn = nil
+	e.release(ev)
 	fn()
+}
+
+// acquire takes an event object off the free list, or allocates one.
+func (e *Engine) acquire() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &event{where: whereFree}
+}
+
+// release retires an event that has left the queue: the generation bump
+// invalidates every outstanding handle before the object is recycled.
+func (e *Engine) release(ev *event) {
+	ev.fn = nil
+	ev.gen++
+	ev.where = whereFree
+	e.free = append(e.free, ev)
 }

@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The differential test: randomized workloads — schedules at mixed near and
+// far offsets, cancels, cancel-then-reschedules, events scheduled from inside
+// callbacks — driven identically through the calendar-queue Engine and the
+// heap-backed RefEngine, asserting bit-identical firing order. This pins the
+// tentpole invariant: the queue swap must not change a single virtual-time
+// result.
+
+// diffScript is one deterministic workload: opKind selects what each fired
+// event does next, so both engines execute the same decision sequence.
+type diffOp struct {
+	kind   int   // 0: nothing, 1: schedule near, 2: schedule far, 3: cancel a pending event, 4: cancel+reschedule same timestamp
+	delay  int64 // offset for schedules, in ps
+	target int   // index of the event to cancel, modulo live handles
+}
+
+func genScript(rng *rand.Rand, n int) []diffOp {
+	ops := make([]diffOp, n)
+	for i := range ops {
+		kind := rng.Intn(5)
+		var delay int64
+		switch rng.Intn(3) {
+		case 0: // near: within a few buckets
+			delay = rng.Int63n(1 << 20)
+		case 1: // mid: within the window
+			delay = rng.Int63n(1 << 29)
+		default: // far: multiple epochs ahead
+			delay = rng.Int63n(1 << 34)
+		}
+		ops[i] = diffOp{kind: kind, delay: delay, target: rng.Int()}
+	}
+	return ops
+}
+
+func TestEngineMatchesRefEngineOnRandomWorkloads(t *testing.T) {
+	for trial := 0; trial < 25; trial++ {
+		rng := rand.New(rand.NewSource(int64(0xD1FF + trial)))
+		script := genScript(rng, 400)
+
+		var calOrder, refOrder []int
+
+		// Drive the calendar engine.
+		{
+			e := NewEngine()
+			var live []Event
+			var id int
+			var runOp func(op diffOp)
+			schedule := func(at Time) {
+				myID := id
+				id++
+				opIdx := myID % len(script)
+				live = append(live, e.At(at, func() {
+					calOrder = append(calOrder, myID)
+					runOp(script[opIdx])
+				}))
+			}
+			runOp = func(op diffOp) {
+				switch op.kind {
+				case 1, 2:
+					schedule(e.Now().Add(Duration(op.delay)))
+				case 3:
+					if len(live) > 0 {
+						e.Cancel(live[op.target%len(live)])
+					}
+				case 4:
+					if len(live) > 0 {
+						i := op.target % len(live)
+						h := live[i]
+						if h.Pending() {
+							when := h.When()
+							e.Cancel(h)
+							// Reschedule at the identical timestamp: the
+							// replacement must fire in fresh-seq order.
+							schedule(when)
+						}
+					}
+				}
+			}
+			for i := 0; i < 64; i++ {
+				schedule(Time(script[i%len(script)].delay))
+			}
+			e.Run()
+		}
+
+		// Drive the reference heap engine with the same script.
+		{
+			e := NewRefEngine()
+			var live []*RefEvent
+			var id int
+			var runOp func(op diffOp)
+			schedule := func(at Time) {
+				myID := id
+				id++
+				opIdx := myID % len(script)
+				live = append(live, e.At(at, func() {
+					refOrder = append(refOrder, myID)
+					runOp(script[opIdx])
+				}))
+			}
+			runOp = func(op diffOp) {
+				switch op.kind {
+				case 1, 2:
+					schedule(e.Now().Add(Duration(op.delay)))
+				case 3:
+					if len(live) > 0 {
+						e.Cancel(live[op.target%len(live)])
+					}
+				case 4:
+					if len(live) > 0 {
+						i := op.target % len(live)
+						ev := live[i]
+						if ev.Pending() {
+							when := ev.when
+							e.Cancel(ev)
+							schedule(when)
+						}
+					}
+				}
+			}
+			for i := 0; i < 64; i++ {
+				schedule(Time(script[i%len(script)].delay))
+			}
+			e.Run()
+		}
+
+		if len(calOrder) != len(refOrder) {
+			t.Fatalf("trial %d: fired %d events, reference fired %d", trial, len(calOrder), len(refOrder))
+		}
+		for i := range calOrder {
+			if calOrder[i] != refOrder[i] {
+				t.Fatalf("trial %d: firing order diverges at position %d: calendar %d, reference %d",
+					trial, i, calOrder[i], refOrder[i])
+			}
+		}
+	}
+}
+
+// TestEngineMatchesRefEngineRunUntil pins RunUntil horizons — including ones
+// landing between calendar buckets and beyond the current window — to the
+// reference semantics.
+func TestEngineMatchesRefEngineRunUntil(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x5EED))
+	times := make([]Time, 300)
+	for i := range times {
+		times[i] = Time(rng.Int63n(1 << 33))
+	}
+	horizons := []Time{
+		0, 1, 1 << calShift, 1<<calShift + 1, (calBuckets / 2) << calShift,
+		calBuckets << calShift, (calBuckets + 3) << calShift, 1 << 33, 1 << 40,
+	}
+
+	e := NewEngine()
+	r := NewRefEngine()
+	var calOrder, refOrder []int
+	for i, tm := range times {
+		i, tm := i, tm
+		e.At(tm, func() { calOrder = append(calOrder, i) })
+		r.At(tm, func() { refOrder = append(refOrder, i) })
+	}
+	for _, h := range horizons {
+		e.RunUntil(h)
+		r.RunUntil(h)
+		if e.Now() != r.Now() {
+			t.Fatalf("horizon %v: Now() = %v, reference %v", h, e.Now(), r.Now())
+		}
+		if e.Pending() != r.Pending() {
+			t.Fatalf("horizon %v: Pending() = %d, reference %d", h, e.Pending(), r.Pending())
+		}
+		if len(calOrder) != len(refOrder) {
+			t.Fatalf("horizon %v: fired %d, reference %d", h, len(calOrder), len(refOrder))
+		}
+	}
+	e.Run()
+	r.Run()
+	for i := range refOrder {
+		if calOrder[i] != refOrder[i] {
+			t.Fatalf("order diverges at %d: %d vs %d", i, calOrder[i], refOrder[i])
+		}
+	}
+}

@@ -72,7 +72,7 @@ func TestEngineCancel(t *testing.T) {
 func TestEngineCancelMiddleOfHeap(t *testing.T) {
 	e := NewEngine()
 	var got []int
-	var evs []*Event
+	var evs []Event
 	for i := 0; i < 20; i++ {
 		i := i
 		evs = append(evs, e.At(Time(i*10), func() { got = append(got, i) }))

@@ -10,6 +10,11 @@ package sim
 // busy. This models the granularity at which a polling thread notices new
 // work (or, for a "floating" communication thread that shares a core with
 // workers, the wait to be scheduled back in).
+//
+// The wait queue is a power-of-two ring buffer and the engine callback is a
+// single method value created at construction, so steady-state Submit/dispatch
+// cycles allocate nothing: the dequeue is an index bump instead of the O(n)
+// copy-shift it replaced, and the per-item completion closure is gone.
 type Proc struct {
 	eng *Engine
 
@@ -17,7 +22,11 @@ type Proc struct {
 	WakeLatency Duration
 
 	busy      bool
-	queue     []procItem
+	ring      []procItem // power-of-two circular wait queue
+	head      int
+	count     int
+	cur       procItem // item occupying the resource
+	done      func()   // p.complete, bound once
 	busySince Time
 	busyTotal Duration
 	executed  uint64
@@ -29,7 +38,11 @@ type procItem struct {
 }
 
 // NewProc returns an idle processor bound to eng.
-func NewProc(eng *Engine) *Proc { return &Proc{eng: eng} }
+func NewProc(eng *Engine) *Proc {
+	p := &Proc{eng: eng}
+	p.done = p.complete
+	return p
+}
 
 // Engine returns the engine the processor is bound to.
 func (p *Proc) Engine() *Engine { return p.eng }
@@ -38,7 +51,7 @@ func (p *Proc) Engine() *Engine { return p.eng }
 func (p *Proc) Busy() bool { return p.busy }
 
 // QueueLen returns the number of items waiting behind the current one.
-func (p *Proc) QueueLen() int { return len(p.queue) }
+func (p *Proc) QueueLen() int { return p.count }
 
 // BusyTime returns the total virtual time this processor has spent executing
 // work. When called mid-item it includes the elapsed part of that item.
@@ -60,7 +73,7 @@ func (p *Proc) Submit(cost Duration, fn func()) {
 		panic("sim: negative work cost")
 	}
 	if p.busy {
-		p.queue = append(p.queue, procItem{cost, fn})
+		p.push(procItem{cost, fn})
 		return
 	}
 	p.busy = true
@@ -69,22 +82,52 @@ func (p *Proc) Submit(cost Duration, fn func()) {
 }
 
 func (p *Proc) start(it procItem) {
-	p.eng.After(it.cost, func() {
-		p.executed++
-		// Run the completion before dispatching the next item so that work
-		// it submits lands behind already-queued items, exactly as a real
-		// thread returning from one handler and picking up the next.
-		if it.fn != nil {
-			it.fn()
-		}
-		if len(p.queue) > 0 {
-			next := p.queue[0]
-			copy(p.queue, p.queue[1:])
-			p.queue = p.queue[:len(p.queue)-1]
-			p.start(next)
-			return
-		}
-		p.busy = false
-		p.busyTotal += p.eng.Now().Sub(p.busySince)
-	})
+	p.cur = it
+	p.eng.After(it.cost, p.done)
+}
+
+func (p *Proc) complete() {
+	p.executed++
+	fn := p.cur.fn
+	p.cur.fn = nil
+	// Run the completion before dispatching the next item so that work
+	// it submits lands behind already-queued items, exactly as a real
+	// thread returning from one handler and picking up the next.
+	if fn != nil {
+		fn()
+	}
+	if p.count > 0 {
+		p.start(p.popFront())
+		return
+	}
+	p.busy = false
+	p.busyTotal += p.eng.Now().Sub(p.busySince)
+}
+
+func (p *Proc) push(it procItem) {
+	if p.count == len(p.ring) {
+		p.grow()
+	}
+	p.ring[(p.head+p.count)&(len(p.ring)-1)] = it
+	p.count++
+}
+
+func (p *Proc) popFront() procItem {
+	it := p.ring[p.head]
+	p.ring[p.head] = procItem{}
+	p.head = (p.head + 1) & (len(p.ring) - 1)
+	p.count--
+	return it
+}
+
+func (p *Proc) grow() {
+	n := 2 * len(p.ring)
+	if n == 0 {
+		n = 8
+	}
+	ring := make([]procItem, n)
+	for i := 0; i < p.count; i++ {
+		ring[i] = p.ring[(p.head+i)&(len(p.ring)-1)]
+	}
+	p.ring, p.head = ring, 0
 }

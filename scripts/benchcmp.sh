@@ -1,0 +1,47 @@
+#!/bin/sh
+# Compare two BENCH_sim.json records (written by cmd/benchrecord) and fail
+# when a time-per-operation metric regresses by more than 10%.
+#
+#   scripts/benchcmp.sh BASELINE.json NEW.json
+#
+# Keys matching *ns_per* are gated (lower is better, +10% tolerance for
+# machine noise); allocation counts are gated exactly (a new steady-state
+# allocation is a bug, not noise); everything else is informational.
+set -eu
+
+if [ $# -ne 2 ]; then
+    echo "usage: $0 BASELINE.json NEW.json" >&2
+    exit 2
+fi
+old=$1
+new=$2
+[ -f "$old" ] || { echo "benchcmp: no such file: $old" >&2; exit 2; }
+[ -f "$new" ] || { echo "benchcmp: no such file: $new" >&2; exit 2; }
+
+awk -v oldfile="$old" -v newfile="$new" '
+function parse(file, tab,    line, key, val) {
+    while ((getline line < file) > 0) {
+        if (line !~ /":/) continue
+        key = line; sub(/^[ \t]*"/, "", key); sub(/".*$/, "", key)
+        val = line; sub(/^[^:]*:[ \t]*/, "", val); sub(/,[ \t]*$/, "", val)
+        tab[key] = val + 0
+        if (file == newfile && !(key in seen)) { seen[key] = 1; order[++n] = key }
+    }
+    close(file)
+}
+BEGIN {
+    parse(oldfile, a)
+    parse(newfile, b)
+    printf "%-34s %14s %14s %9s\n", "metric", "baseline", "new", "delta"
+    bad = 0
+    for (i = 1; i <= n; i++) {
+        k = order[i]
+        if (!(k in a)) { printf "%-34s %14s %14.4f %9s\n", k, "-", b[k], "new"; continue }
+        delta = (a[k] != 0) ? (b[k] - a[k]) / a[k] * 100 : 0
+        flag = ""
+        if (k ~ /ns_per/ && b[k] > a[k] * 1.10) { flag = "  REGRESSION (>10% slower)"; bad = 1 }
+        if (k ~ /allocs_per/ && b[k] > a[k]) { flag = "  REGRESSION (new allocations)"; bad = 1 }
+        printf "%-34s %14.4f %14.4f %+8.2f%%%s\n", k, a[k], b[k], delta, flag
+    }
+    exit bad
+}'

@@ -22,6 +22,16 @@ timeout 120 go run ./cmd/chaos -quick
 timeout 120 go run ./cmd/chaos -sever
 timeout 120 go run ./cmd/chaos -crash 1@40% -metrics "$(mktemp -d)"
 
+# Bench smoke behind a time budget: the steady-state microbenchmarks must
+# still run (and the fabric/engine paths must still be allocation-free — the
+# harnesses b.Fatal on broken workloads), and a quick benchrecord +
+# self-benchcmp proves the recording pipeline end to end. Full record:
+# `make bench-record`.
+timeout 120 go test -run='^$' -bench=. -benchmem -benchtime=0.1s ./internal/bench/micro
+BENCH_TMP=$(mktemp -d)
+timeout 180 go run ./cmd/benchrecord -quick -o "$BENCH_TMP/bench.json"
+./scripts/benchcmp.sh "$BENCH_TMP/bench.json" "$BENCH_TMP/bench.json"
+
 # Fixed-budget fuzz smoke over the wire-format decoders (one -fuzz pattern
 # per invocation; longer runs: `make fuzz-smoke`).
 timeout 120 go test -run='^$' -fuzz=FuzzUnmarshalPutHeader -fuzztime=2s ./internal/core
