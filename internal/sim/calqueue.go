@@ -49,8 +49,9 @@ func eventLess(a, b *event) bool {
 }
 
 // insert places a newly scheduled event into the calendar or the overflow
-// heap. Callers guarantee ev.when >= e.now, so the event's bucket can never
-// precede the cursor's window.
+// heap. Callers guarantee ev.when >= e.now, and cursor/base only advance in
+// pop() — to the bucket of an event that fires and becomes e.now — so the
+// event's bucket can never precede the cursor or the window start.
 func (e *Engine) insert(ev *event) {
 	if int64(ev.when)>>calShift >= e.base+calBuckets {
 		ev.where = whereOver
@@ -114,23 +115,40 @@ func (e *Engine) remove(ev *event) {
 	}
 }
 
-// peek returns the earliest scheduled timestamp without consuming the event,
-// advancing the cursor (and, if needed, the window) to it. Returns false
-// when no live events remain.
+// peek returns the earliest scheduled timestamp without consuming the event.
+// Returns false when no live events remain.
+//
+// peek must not move the cursor or the window: RunUntil peeks and may then
+// stop at its horizon without consuming anything, and events scheduled
+// afterward — at valid times >= now but in buckets before the peeked one, or
+// before an overflow event's epoch — must still be scannable. Committing
+// cursor and window advances is pop()'s job, where an event at the new
+// position actually fires and pins e.now past everything earlier. The only
+// mutation here is sweeping canceled tombstones off the overflow heap top,
+// which is invisible to firing order and keeps the returned minimum live.
 func (e *Engine) peek() (Time, bool) {
-	for {
-		if b := e.nextBusy(); b >= 0 {
-			e.cur = b
-			bk := &e.buckets[int(b)&calMask]
-			return bk.evs[bk.head].when, true
-		}
-		if !e.advance() {
-			return 0, false
-		}
+	if b := e.nextBusy(); b >= 0 {
+		bk := &e.buckets[int(b)&calMask]
+		return bk.evs[bk.head].when, true
 	}
+	// Window empty: the minimum, if any, tops the overflow heap (the
+	// ordering invariant puts every bucketed event before every overflow
+	// event). Do not migrate it into the window here.
+	for len(e.over) > 0 && e.over[0].where == whereTomb {
+		tomb := e.overPop()
+		tomb.where = whereFree
+		e.free = append(e.free, tomb)
+	}
+	if len(e.over) == 0 {
+		return 0, false
+	}
+	return e.over[0].when, true
 }
 
 // pop removes and returns the earliest event. Callers guarantee e.n > 0.
+// This is the only place the cursor and window advance: the popped event
+// immediately fires and sets e.now to its timestamp, so no later insert
+// (which must be >= now) can land behind the new cursor or window base.
 func (e *Engine) pop() *event {
 	for {
 		if b := e.nextBusy(); b >= 0 {

@@ -140,6 +140,50 @@ func TestRunUntilHorizonBetweenBuckets(t *testing.T) {
 	}
 }
 
+// A RunUntil horizon peeks at the next busy bucket and stops short of it.
+// Scheduling afterward, at a valid time >= now but in a bucket before the
+// peeked one, must still fire in timestamp order: the peek must not strand
+// the scan cursor past the new event's bucket.
+func TestScheduleBeforePeekedBucketAfterRunUntil(t *testing.T) {
+	e := NewEngine()
+	var got []string
+	e.At(3<<calShift, func() { got = append(got, "far") })
+	e.RunUntil(1 << calShift)
+	e.At(1<<calShift+5, func() { got = append(got, "near") })
+	e.Run()
+	if len(got) != 2 || got[0] != "near" || got[1] != "far" {
+		t.Fatalf("firing order %v, want [near far]", got)
+	}
+	if e.Now() != 3<<calShift {
+		t.Fatalf("Now() = %v, want %v", e.Now(), Time(3<<calShift))
+	}
+}
+
+// Same seam, overflow tier: with only a far-future overflow event pending, a
+// RunUntil that stops before its epoch must not jump the window base to it.
+// A later near-time event would otherwise alias into the far window, fire
+// after the far event, and drag the clock backward.
+func TestScheduleBeforeOverflowEpochAfterRunUntil(t *testing.T) {
+	e := NewEngine()
+	farAt := Time(calBuckets*10) << calShift
+	var got []string
+	e.At(farAt, func() { got = append(got, "far") })
+	e.RunUntil(1 << calShift)
+	e.At(2<<calShift, func() {
+		got = append(got, "near")
+		if e.Now() != 2<<calShift {
+			t.Fatalf("near event fired at %v, want %v", e.Now(), Time(2<<calShift))
+		}
+	})
+	e.Run()
+	if len(got) != 2 || got[0] != "near" || got[1] != "far" {
+		t.Fatalf("firing order %v, want [near far]", got)
+	}
+	if e.Now() != farAt {
+		t.Fatalf("Now() = %v, want %v", e.Now(), farAt)
+	}
+}
+
 func TestScheduleAfterRunUntilParksBeyondWindow(t *testing.T) {
 	e := NewEngine()
 	// Park the clock multiple windows ahead with an empty queue, then

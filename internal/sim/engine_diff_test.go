@@ -143,13 +143,13 @@ func TestEngineMatchesRefEngineOnRandomWorkloads(t *testing.T) {
 
 // TestEngineMatchesRefEngineRunUntil pins RunUntil horizons — including ones
 // landing between calendar buckets and beyond the current window — to the
-// reference semantics.
+// reference semantics. Crucially, it also schedules between horizons: after a
+// RunUntil has peeked at (but not consumed) the next event, new events land
+// at times between Now() and that peeked event, in buckets before it, and in
+// the far-future overflow tier — the seam where a peek that moved the cursor
+// or window would reorder firing.
 func TestEngineMatchesRefEngineRunUntil(t *testing.T) {
 	rng := rand.New(rand.NewSource(0x5EED))
-	times := make([]Time, 300)
-	for i := range times {
-		times[i] = Time(rng.Int63n(1 << 33))
-	}
 	horizons := []Time{
 		0, 1, 1 << calShift, 1<<calShift + 1, (calBuckets / 2) << calShift,
 		calBuckets << calShift, (calBuckets + 3) << calShift, 1 << 33, 1 << 40,
@@ -158,11 +158,19 @@ func TestEngineMatchesRefEngineRunUntil(t *testing.T) {
 	e := NewEngine()
 	r := NewRefEngine()
 	var calOrder, refOrder []int
-	for i, tm := range times {
-		i, tm := i, tm
+	id := 0
+	sched := func(tm Time) {
+		i := id
+		id++
 		e.At(tm, func() { calOrder = append(calOrder, i) })
 		r.At(tm, func() { refOrder = append(refOrder, i) })
 	}
+	for i := 0; i < 300; i++ {
+		sched(Time(rng.Int63n(1 << 33)))
+	}
+	// Keep a far-future overflow event pending across every horizon so each
+	// RunUntil's horizon peek sees a populated overflow heap.
+	sched(Time(calBuckets*20) << calShift)
 	for _, h := range horizons {
 		e.RunUntil(h)
 		r.RunUntil(h)
@@ -175,9 +183,21 @@ func TestEngineMatchesRefEngineRunUntil(t *testing.T) {
 		if len(calOrder) != len(refOrder) {
 			t.Fatalf("horizon %v: fired %d, reference %d", h, len(calOrder), len(refOrder))
 		}
+		// Post-peek scheduling, nearest first: at the parked clock, a few ps
+		// later (almost surely before the peeked next event), the adjacent
+		// bucket, a few buckets out, and multiple windows out (overflow).
+		now := e.Now()
+		sched(now)
+		sched(now.Add(Duration(1 + rng.Int63n(8))))
+		sched(now.Add(Duration(1) << calShift))
+		sched(now.Add(Duration(rng.Int63n(1 << 22))))
+		sched(now.Add(Duration(calBuckets*4) << calShift).Add(Duration(rng.Int63n(1 << 20))))
 	}
 	e.Run()
 	r.Run()
+	if len(calOrder) != len(refOrder) {
+		t.Fatalf("fired %d events, reference fired %d", len(calOrder), len(refOrder))
+	}
 	for i := range refOrder {
 		if calOrder[i] != refOrder[i] {
 			t.Fatalf("order diverges at %d: %d vs %d", i, calOrder[i], refOrder[i])
