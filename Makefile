@@ -1,5 +1,5 @@
 # Tier-1 verification: everything a PR must keep green.
-.PHONY: verify build vet test test-race chaos chaos-crash fuzz-smoke bench-record
+.PHONY: verify build vet test test-race chaos chaos-crash fuzz-smoke bench-record simd-smoke
 
 verify:
 	./scripts/verify.sh
@@ -33,6 +33,12 @@ fuzz-smoke:
 	go test -run='^$$' -fuzz=FuzzDecodePutMeta -fuzztime=2s ./internal/parsec
 	go test -run='^$$' -fuzz=FuzzDecodeHeartbeat -fuzztime=2s ./internal/rel
 	go test -run='^$$' -fuzz=FuzzDecodeCheckpoint -fuzztime=2s ./internal/recover
+	go test -run='^$$' -fuzz=FuzzDecodeSpec -fuzztime=2s ./internal/expd
+
+# End-to-end smoke of the simd experiment service: content-addressed cache
+# hits with byte-identical CSV, mid-sweep cancel, and SIGINT checkpointing.
+simd-smoke:
+	./scripts/simd_smoke.sh
 
 build:
 	go build ./...

@@ -39,7 +39,6 @@ func main() {
 	metricsDir := flag.String("metrics", "", "dump per-run metric summaries as CSV into this directory (e.g. results)")
 	j := flag.Int("j", 1, "parallel sweep workers for the rate sweep (0 = one per CPU); output is identical for every value")
 	flag.Parse()
-	workers := bench.SweepWorkers(*j)
 
 	// The seed is the replay handle for every mode, so it prints before any
 	// branch can exit — a failure without its seed cannot be reproduced.
@@ -84,6 +83,7 @@ func main() {
 		lines []string
 		bad   bool
 	}
+	workers := bench.SweepWorkers(*j, len(grid))
 	results := bench.Sweep(workers, len(grid), func(i int) pointResult {
 		b, w := grid[i].b, grid[i].w
 		var pr pointResult

@@ -49,7 +49,6 @@ func main() {
 	quick := flag.Bool("quick", false, "fast sweep: 2 rank counts, every other size, 1 iteration")
 	j := flag.Int("j", 1, "parallel sweep workers (0 = one per CPU); output is identical for every value")
 	flag.Parse()
-	workers := bench.SweepWorkers(*j)
 
 	ranksList := parseRanks(*ranksFlag)
 	sizes := bench.CollSizes()
@@ -143,6 +142,7 @@ func main() {
 			}
 		}
 	}
+	workers := bench.SweepWorkers(*j, len(grid))
 	results := bench.Sweep(workers, len(grid), func(i int) pointResult {
 		g := grid[i]
 		return measure(g.b, g.k, g.n, g.size)

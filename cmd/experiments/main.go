@@ -45,7 +45,9 @@ func main() {
 	j := flag.Int("j", 1, "parallel sweep workers (0 = one per CPU); tables and CSVs are byte-identical for every value")
 	csvDir := flag.String("csv", "", "also write each table as a CSV file into this directory")
 	flag.Parse()
-	workers := bench.SweepWorkers(*j)
+	// Each sweep sizes its worker count against its own point grid, so -j 0
+	// never provisions more workers than a sweep has points.
+	workers := func(n int) int { return bench.SweepWorkers(*j, n) }
 
 	if *listConfig {
 		printConfig(os.Stdout)
@@ -100,7 +102,7 @@ func main() {
 	fig2a := bench.NewTable("Fig 2a: one-stream ping-pong bandwidth (Gbit/s)",
 		"granularity", "LCI", "Open MPI", "NetPIPE")
 	ppSizes := bench.PingPongSizes()
-	fig2aRows := bench.Sweep(workers, len(ppSizes), func(i int) [3]float64 {
+	fig2aRows := bench.Sweep(workers(len(ppSizes)), len(ppSizes), func(i int) [3]float64 {
 		var v [3]float64
 		for bi, b := range []stack.Backend{stack.LCI, stack.MPI} {
 			o := bench.DefaultPingPongOpts(b, ppSizes[i])
@@ -119,7 +121,7 @@ func main() {
 	// ---- Figure 2b ----
 	fig2b := bench.NewTable("Fig 2b: two-stream ping-pong bandwidth (Gbit/s)",
 		"granularity", "LCI", "Open MPI", "LCI (no sync)", "Open MPI (no sync)")
-	fig2bRows := bench.Sweep(workers, len(ppSizes), func(i int) [4]float64 {
+	fig2bRows := bench.Sweep(workers(len(ppSizes)), len(ppSizes), func(i int) [4]float64 {
 		var v [4]float64
 		k := 0
 		for _, sync := range []bool{true, false} {
@@ -144,7 +146,7 @@ func main() {
 	fig3 := bench.NewTable("Fig 3: overlap with GEMM-like intensity (GFLOP/s)",
 		"granularity", "LCI", "Open MPI", "Roofline", "No Overlap")
 	ovSizes := bench.OverlapSizes()
-	fig3Rows := bench.Sweep(workers, len(ovSizes), func(i int) [4]float64 {
+	fig3Rows := bench.Sweep(workers(len(ovSizes)), len(ovSizes), func(i int) [4]float64 {
 		var v [4]float64
 		for bi, b := range []stack.Backend{stack.LCI, stack.MPI} {
 			o := bench.DefaultOverlapOpts(b, ovSizes[i])
@@ -173,7 +175,7 @@ func main() {
 		mt bool
 	}
 	ttsAtTile := map[int]map[key]float64{}
-	fig4Rows := bench.Sweep(workers, len(tiles), func(i int) map[key]bench.HiCMAResult {
+	fig4Rows := bench.Sweep(workers(len(tiles)), len(tiles), func(i int) map[key]bench.HiCMAResult {
 		res := map[key]bench.HiCMAResult{}
 		for _, b := range []stack.Backend{stack.LCI, stack.MPI} {
 			for _, mt := range []bool{false, true} {
@@ -207,7 +209,8 @@ func main() {
 		n5, tiles5 = bench.ScaledProblem(*fig5Scale, bench.PaperTileSizes)
 		fmt.Printf("strong-scaling problem: N=%d (scale %.2f)\n\n", n5, *fig5Scale)
 	}
-	points := bench.StrongScaling(n5, bench.PaperNodeCounts, tiles5, hicma, workers)
+	points := bench.StrongScaling(n5, bench.PaperNodeCounts, tiles5, hicma,
+		workers(2*len(bench.PaperNodeCounts)*len(tiles5)))
 	fig5a := bench.NewTable("Fig 5a: strong scaling (s)", "nodes", "LCI", "Open MPI", "Open MPI (best)")
 	fig5b := bench.NewTable("Fig 5b: strong-scaling latency (ms)", "nodes", "LCI", "Open MPI", "Open MPI (best)")
 	tbl2 := bench.NewTable("Table 2: tile size with lowest time-to-solution", "nodes", "Open MPI", "LCI")

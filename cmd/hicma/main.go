@@ -12,16 +12,23 @@
 // measurement protocol (mean of 5 in the paper), -syncclocks enables the
 // §6.1.3 clock-synchronization epoch over skewed rank clocks, -j N runs N
 // sweep points in parallel (0 = all CPUs) with output identical to -j 1.
+//
+// The sweeps drive the same spec codepath as the simd experiment service
+// (internal/expd): the flags build a canonical spec, the spec expands to
+// content-addressed points, and -cache DIR shares simd's on-disk result
+// cache so a sweep the service already ran (or a re-run of this command)
+// completes without re-simulating.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"log"
 	"os"
 
 	"amtlci/internal/bench"
-	"amtlci/internal/core/stack"
-	"amtlci/internal/stats"
+	"amtlci/internal/expd"
 )
 
 func main() {
@@ -34,24 +41,52 @@ func main() {
 	runs := flag.Int("runs", 5, "executions per configuration (paper: mean of five)")
 	syncClocks := flag.Bool("syncclocks", false, "synchronize skewed rank clocks before measuring (§6.1.3)")
 	j := flag.Int("j", 1, "parallel sweep workers (0 = one per CPU); output is identical for every value")
+	cacheDir := flag.String("cache", "", "content-addressed result cache directory (share simd's state/cache to reuse its points)")
 	flag.Parse()
-	workers := bench.SweepWorkers(*j)
 
-	meth := stats.Methodology{Runs: *runs, Discard: 0}
-	n, tiles := bench.ScaledProblem(*scale, bench.PaperTileSizes)
-	fmt.Printf("problem: N=%d (scale %.2f), tiles %v\n\n", n, *scale, tiles)
-
-	mk := func(b stack.Backend, nb, nodes int, mt bool) bench.HiCMAResult {
-		o := bench.DefaultHiCMAOpts(b, nb, nodes)
-		o.N = n
-		o.MT = mt
-		o.Runs = meth
-		o.SyncClocks = *syncClocks
-		return bench.HiCMA(o)
+	var cache *expd.Cache
+	if *cacheDir != "" {
+		var err error
+		if cache, err = expd.OpenCache(*cacheDir); err != nil {
+			log.Fatalf("hicma: %v", err)
+		}
 	}
+
+	// eval expands a spec built from the flags and evaluates its points,
+	// consulting the shared cache when -cache is set.
+	eval := func(s expd.Spec) (expd.Spec, []expd.PointResult) {
+		canon, err := s.Canonical()
+		if err != nil {
+			log.Fatalf("hicma: %v", err)
+		}
+		pts := canon.Points()
+		results, err := expd.EvalPoints(context.Background(), *j, pts, cache, expd.EvalHooks{})
+		if err != nil {
+			log.Fatalf("hicma: %v", err)
+		}
+		return canon, results
+	}
+
+	base := expd.Spec{Scale: *scale, SyncClocks: *syncClocks, Runs: *runs}
 
 	switch *sweep {
 	case "tile":
+		s := base
+		s.Kind = expd.KindTile
+		s.Nodes = *nodes
+		s.MT = *mt
+		canon, results := eval(s)
+		fmt.Printf("problem: N=%d (scale %.2f), tiles %v\n\n", canon.N, *scale, canon.Tiles)
+
+		// Points are ordered backend (LCI, MPI) > mt (off, on) > tile.
+		mts := 1
+		if *mt {
+			mts = 2
+		}
+		nt := len(canon.Tiles)
+		at := func(backend, mtIdx, tile int) bench.HiCMAResult {
+			return *results[(backend*mts+mtIdx)*nt+tile].HiCMA
+		}
 		title := fmt.Sprintf("TLR Cholesky tile scaling, %d nodes (Fig 4a: seconds)", *nodes)
 		cols := []string{"tile", "LCI", "Open MPI"}
 		if *mt {
@@ -62,27 +97,14 @@ func main() {
 		if *latency {
 			lat = bench.NewTable(fmt.Sprintf("End-to-end latency, %d nodes (Fig 4b: ms)", *nodes), cols...)
 		}
-		// One sweep point per tile; each point measures every series for its
-		// row, so rows land in tile order no matter how workers interleave.
-		type tileRow struct{ lci, mpi, lciMT, mpiMT bench.HiCMAResult }
-		rows := bench.Sweep(workers, len(tiles), func(i int) tileRow {
-			r := tileRow{
-				lci: mk(stack.LCI, tiles[i], *nodes, false),
-				mpi: mk(stack.MPI, tiles[i], *nodes, false),
-			}
+		for ti, t := range canon.Tiles {
+			lci, mpi := at(0, 0, ti), at(1, 0, ti)
+			row := []string{fmt.Sprint(t), f2(lci.TimeToSolution), f2(mpi.TimeToSolution)}
+			latRow := []string{fmt.Sprint(t), f2(lci.E2ELatencyMS), f2(mpi.E2ELatencyMS)}
 			if *mt {
-				r.lciMT = mk(stack.LCI, tiles[i], *nodes, true)
-				r.mpiMT = mk(stack.MPI, tiles[i], *nodes, true)
-			}
-			return r
-		})
-		for i, t := range tiles {
-			r := rows[i]
-			row := []string{fmt.Sprint(t), f2(r.lci.TimeToSolution), f2(r.mpi.TimeToSolution)}
-			latRow := []string{fmt.Sprint(t), f2(r.lci.E2ELatencyMS), f2(r.mpi.E2ELatencyMS)}
-			if *mt {
-				row = append(row, f2(r.lciMT.TimeToSolution), f2(r.mpiMT.TimeToSolution))
-				latRow = append(latRow, f2(r.lciMT.E2ELatencyMS), f2(r.mpiMT.E2ELatencyMS))
+				lciMT, mpiMT := at(0, 1, ti), at(1, 1, ti)
+				row = append(row, f2(lciMT.TimeToSolution), f2(mpiMT.TimeToSolution))
+				latRow = append(latRow, f2(lciMT.E2ELatencyMS), f2(mpiMT.E2ELatencyMS))
 			}
 			tts.AddRow(row...)
 			if lat != nil {
@@ -95,7 +117,14 @@ func main() {
 		}
 
 	case "nodes":
-		points := bench.StrongScaling(n, bench.PaperNodeCounts, tiles, meth, workers)
+		s := base
+		s.Kind = expd.KindNodes
+		canon, results := eval(s)
+		fmt.Printf("problem: N=%d (scale %.2f), tiles %v\n\n", canon.N, *scale, canon.Tiles)
+		points, err := expd.StrongScalingFrom(canon, results)
+		if err != nil {
+			log.Fatalf("hicma: %v", err)
+		}
 		tts := bench.NewTable("TLR Cholesky strong scaling (Fig 5a: seconds)",
 			"nodes", "LCI", "Open MPI", "Open MPI (best)")
 		lat := bench.NewTable("Strong-scaling end-to-end latency (Fig 5b: ms)",
@@ -114,10 +143,23 @@ func main() {
 		tbl2.Write(os.Stdout)
 
 	default:
-		both := bench.Sweep(workers, 2, func(i int) bench.HiCMAResult {
-			return mk([]stack.Backend{stack.LCI, stack.MPI}[i], *nb, *nodes, *mt)
-		})
-		lci, mpi := both[0], both[1]
+		s := base
+		s.Kind = expd.KindTile
+		s.Nodes = *nodes
+		s.MT = *mt
+		s.Tiles = []int{*nb}
+		canon, results := eval(s)
+		// Points: LCI then MPI (MT variants after, when -mt is set — the
+		// single-run report uses the plain pair either way).
+		nmt := 1
+		if *mt {
+			nmt = 2
+		}
+		lci, mpi := *results[0].HiCMA, *results[nmt].HiCMA
+		if *mt {
+			lci, mpi = *results[1].HiCMA, *results[nmt+1].HiCMA
+		}
+		fmt.Printf("problem: N=%d (scale %.2f)\n", canon.N, *scale)
 		fmt.Printf("nb=%d nodes=%d mt=%v\n", *nb, *nodes, *mt)
 		fmt.Printf("  LCI:      %.3f s, e2e %.2f ms, hop %.2f ms (%d tasks, avg rank %.2f)\n",
 			lci.TimeToSolution, lci.E2ELatencyMS, lci.HopLatencyMS, lci.Tasks, lci.AvgRank)

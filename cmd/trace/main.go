@@ -4,129 +4,26 @@
 // counter tracks sampled from the runtime-wide metrics registry (comm-thread
 // busy fraction, queue depths, traffic rates). It is the runtime's visual
 // debugger: worker occupancy, communication stalls, and the panel wavefront
-// are all visible at a glance.
+// are all visible at a glance. The recording machinery lives in
+// internal/ctrace, shared with the experiment service's trace endpoint.
 //
 //	go run ./cmd/trace -o trace.json -n 36000 -nb 1200 -nodes 4
 //	# then load trace.json in chrome://tracing or ui.perfetto.dev
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 
 	"amtlci/internal/core/stack"
+	"amtlci/internal/ctrace"
 	"amtlci/internal/hicma"
 	"amtlci/internal/metrics"
 	"amtlci/internal/parsec"
 	"amtlci/internal/sim"
 )
-
-// traceEvent is one Chrome-trace entry (the JSON array format).
-type traceEvent struct {
-	Name  string         `json:"name"`
-	Phase string         `json:"ph"`
-	TS    float64        `json:"ts"` // microseconds
-	Dur   float64        `json:"dur,omitempty"`
-	PID   int            `json:"pid"`
-	TID   int            `json:"tid"`
-	Args  map[string]any `json:"args,omitempty"`
-}
-
-// recorder implements parsec.Observer by buffering trace events.
-type recorder struct {
-	parsec.NopObserver
-	events []traceEvent
-	starts map[[3]int64]sim.Time // (rank, worker, packed task) -> start
-	names  []string              // class names
-
-	// Anomaly counters, reported once at exit instead of dropped silently.
-	unknownClass int // TaskEnd with a class index outside the name table
-	unmatchedEnd int // TaskEnd with no recorded TaskStart
-}
-
-func key(rank, worker int, t parsec.TaskID) [3]int64 {
-	return [3]int64{int64(rank)<<32 | int64(worker), int64(t.Class), t.Index}
-}
-
-func (r *recorder) TaskStart(rank, worker int, t parsec.TaskID, at sim.Time) {
-	r.starts[key(rank, worker, t)] = at
-}
-
-func (r *recorder) TaskEnd(rank, worker int, t parsec.TaskID, at sim.Time) {
-	k := key(rank, worker, t)
-	start, ok := r.starts[k]
-	if !ok {
-		r.unmatchedEnd++
-		return
-	}
-	delete(r.starts, k)
-	name := fmt.Sprintf("c%d[%d]", t.Class, t.Index)
-	if int(t.Class) < len(r.names) {
-		name = fmt.Sprintf("%s[%d]", r.names[t.Class], t.Index)
-	} else {
-		r.unknownClass++
-	}
-	r.events = append(r.events, traceEvent{
-		Name: name, Phase: "X",
-		TS: float64(start) / 1e6, Dur: float64(at-start) / 1e6,
-		PID: rank, TID: worker + 1,
-	})
-}
-
-func (r *recorder) FetchStart(rank int, p parsec.TaskID, flow int32, size int64, at sim.Time) {
-	r.events = append(r.events, traceEvent{
-		Name: "GET DATA", Phase: "i", TS: float64(at) / 1e6, PID: rank, TID: 0,
-		Args: map[string]any{"producer": p.String(), "bytes": size},
-	})
-}
-
-func (r *recorder) DataArrived(rank int, p parsec.TaskID, flow int32, size int64, at sim.Time) {
-	r.events = append(r.events, traceEvent{
-		Name: "data arrived", Phase: "i", TS: float64(at) / 1e6, PID: rank, TID: 0,
-		Args: map[string]any{"producer": p.String(), "bytes": size},
-	})
-}
-
-func (r *recorder) ActivateSent(rank, dest, entries int, at sim.Time) {
-	r.events = append(r.events, traceEvent{
-		Name: "ACTIVATE", Phase: "i", TS: float64(at) / 1e6, PID: rank, TID: 0,
-		Args: map[string]any{"dest": dest, "entries": entries},
-	})
-}
-
-// counterEvents converts sampled metric tracks into Perfetto counter ("C")
-// events. Runs of identical values are collapsed to their endpoints, so
-// flat tracks cost almost nothing in the output.
-func counterEvents(tracks []metrics.Track) []traceEvent {
-	var out []traceEvent
-	for _, tr := range tracks {
-		name := tr.Desc.Layer + "/" + tr.Desc.Name
-		if tr.Rate {
-			name += " (1/s)"
-		}
-		pid := tr.Desc.Rank
-		if pid == metrics.StackRank {
-			pid = 0
-			name += " [stack]"
-		}
-		prev := 0.0
-		for i, smp := range tr.Samples {
-			last := i == len(tr.Samples)-1
-			if i > 0 && smp.V == prev && !last {
-				continue
-			}
-			prev = smp.V
-			out = append(out, traceEvent{
-				Name: name, Phase: "C", TS: float64(smp.At) / 1e6, PID: pid,
-				Args: map[string]any{"value": smp.V},
-			})
-		}
-	}
-	return out
-}
 
 func main() {
 	out := flag.String("o", "trace.json", "output file")
@@ -150,10 +47,11 @@ func main() {
 	pcfg.Metrics = s.Metrics
 	rt := parsec.New(s.Eng, s.Engines, pool, pcfg)
 
-	rec := &recorder{starts: make(map[[3]int64]sim.Time)}
+	var names []string
 	for _, c := range pool.Classes() {
-		rec.names = append(rec.names, c.Name)
+		names = append(names, c.Name)
 	}
+	rec := ctrace.NewRecorder(names)
 	rt.SetObserver(rec)
 
 	var smp *metrics.Sampler
@@ -167,11 +65,11 @@ func main() {
 		log.Fatal(err)
 	}
 
-	events := rec.events
+	events := rec.Events()
 	counters := 0
 	if smp != nil {
 		smp.Flush()
-		ce := counterEvents(smp.Tracks())
+		ce := ctrace.CounterEvents(smp.Tracks())
 		counters = len(ce)
 		events = append(events, ce...)
 	}
@@ -180,8 +78,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	enc := json.NewEncoder(f)
-	if err := enc.Encode(events); err != nil {
+	if err := ctrace.Write(f, events); err != nil {
 		log.Fatal(err)
 	}
 	if err := f.Close(); err != nil {
@@ -189,10 +86,10 @@ func main() {
 	}
 	fmt.Printf("%v backend: %v virtual time, %d events (%d counter samples) -> %s\n",
 		be, elapsed, len(events), counters, *out)
-	if rec.unknownClass > 0 || rec.unmatchedEnd > 0 {
+	if unknown, unmatched := rec.Anomalies(); unknown > 0 || unmatched > 0 {
 		fmt.Fprintf(os.Stderr,
 			"trace: warning: %d task(s) with class index outside the %d-entry name table, %d TaskEnd(s) without a matching TaskStart\n",
-			rec.unknownClass, len(rec.names), rec.unmatchedEnd)
+			unknown, len(names), unmatched)
 	}
 	fmt.Println("open in chrome://tracing or https://ui.perfetto.dev")
 }

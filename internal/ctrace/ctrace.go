@@ -1,0 +1,147 @@
+// Package ctrace records a parsec execution as a Chrome trace (the JSON
+// array format read by chrome://tracing and ui.perfetto.dev): one duration
+// event per task execution, instant events for GET DATA requests, data
+// arrivals, and ACTIVATE messages, and counter tracks sampled from the
+// runtime-wide metrics registry. cmd/trace writes these traces from the
+// command line; the experiment service (internal/expd) serves them over
+// HTTP for any HiCMA-shaped job.
+package ctrace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"amtlci/internal/metrics"
+	"amtlci/internal/parsec"
+	"amtlci/internal/sim"
+)
+
+// Event is one Chrome-trace entry (the JSON array format).
+type Event struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"` // microseconds
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// Recorder implements parsec.Observer by buffering trace events.
+type Recorder struct {
+	parsec.NopObserver
+	events []Event
+	starts map[[3]int64]sim.Time // (rank, worker, packed task) -> start
+	names  []string              // class names
+
+	// Anomaly counters, reported once at exit instead of dropped silently.
+	unknownClass int // TaskEnd with a class index outside the name table
+	unmatchedEnd int // TaskEnd with no recorded TaskStart
+}
+
+// NewRecorder returns a Recorder naming task classes after names (index ==
+// parsec class index); tasks beyond the table keep a numeric label.
+func NewRecorder(names []string) *Recorder {
+	return &Recorder{starts: make(map[[3]int64]sim.Time), names: names}
+}
+
+func key(rank, worker int, t parsec.TaskID) [3]int64 {
+	return [3]int64{int64(rank)<<32 | int64(worker), int64(t.Class), t.Index}
+}
+
+// TaskStart records the start timestamp of one task execution.
+func (r *Recorder) TaskStart(rank, worker int, t parsec.TaskID, at sim.Time) {
+	r.starts[key(rank, worker, t)] = at
+}
+
+// TaskEnd closes the matching TaskStart into one duration event.
+func (r *Recorder) TaskEnd(rank, worker int, t parsec.TaskID, at sim.Time) {
+	k := key(rank, worker, t)
+	start, ok := r.starts[k]
+	if !ok {
+		r.unmatchedEnd++
+		return
+	}
+	delete(r.starts, k)
+	name := fmt.Sprintf("c%d[%d]", t.Class, t.Index)
+	if int(t.Class) < len(r.names) {
+		name = fmt.Sprintf("%s[%d]", r.names[t.Class], t.Index)
+	} else {
+		r.unknownClass++
+	}
+	r.events = append(r.events, Event{
+		Name: name, Phase: "X",
+		TS: float64(start) / 1e6, Dur: float64(at-start) / 1e6,
+		PID: rank, TID: worker + 1,
+	})
+}
+
+// FetchStart marks a GET DATA request leaving rank.
+func (r *Recorder) FetchStart(rank int, p parsec.TaskID, flow int32, size int64, at sim.Time) {
+	r.events = append(r.events, Event{
+		Name: "GET DATA", Phase: "i", TS: float64(at) / 1e6, PID: rank, TID: 0,
+		Args: map[string]any{"producer": p.String(), "bytes": size},
+	})
+}
+
+// DataArrived marks a tile payload landing on rank.
+func (r *Recorder) DataArrived(rank int, p parsec.TaskID, flow int32, size int64, at sim.Time) {
+	r.events = append(r.events, Event{
+		Name: "data arrived", Phase: "i", TS: float64(at) / 1e6, PID: rank, TID: 0,
+		Args: map[string]any{"producer": p.String(), "bytes": size},
+	})
+}
+
+// ActivateSent marks an ACTIVATE message leaving rank.
+func (r *Recorder) ActivateSent(rank, dest, entries int, at sim.Time) {
+	r.events = append(r.events, Event{
+		Name: "ACTIVATE", Phase: "i", TS: float64(at) / 1e6, PID: rank, TID: 0,
+		Args: map[string]any{"dest": dest, "entries": entries},
+	})
+}
+
+// Events returns the buffered events (the recorder keeps ownership).
+func (r *Recorder) Events() []Event { return r.events }
+
+// Anomalies returns the counts of TaskEnds with an out-of-table class index
+// and of TaskEnds without a matching TaskStart — both zero on a clean run.
+func (r *Recorder) Anomalies() (unknownClass, unmatchedEnd int) {
+	return r.unknownClass, r.unmatchedEnd
+}
+
+// CounterEvents converts sampled metric tracks into Perfetto counter ("C")
+// events. Runs of identical values are collapsed to their endpoints, so
+// flat tracks cost almost nothing in the output.
+func CounterEvents(tracks []metrics.Track) []Event {
+	var out []Event
+	for _, tr := range tracks {
+		name := tr.Desc.Layer + "/" + tr.Desc.Name
+		if tr.Rate {
+			name += " (1/s)"
+		}
+		pid := tr.Desc.Rank
+		if pid == metrics.StackRank {
+			pid = 0
+			name += " [stack]"
+		}
+		prev := 0.0
+		for i, smp := range tr.Samples {
+			last := i == len(tr.Samples)-1
+			if i > 0 && smp.V == prev && !last {
+				continue
+			}
+			prev = smp.V
+			out = append(out, Event{
+				Name: name, Phase: "C", TS: float64(smp.At) / 1e6, PID: pid,
+				Args: map[string]any{"value": smp.V},
+			})
+		}
+	}
+	return out
+}
+
+// Write encodes events as the Chrome-trace JSON array.
+func Write(w io.Writer, events []Event) error {
+	return json.NewEncoder(w).Encode(events)
+}

@@ -1,0 +1,116 @@
+package expd
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Cache is the on-disk content-addressed result store: one JSON file per
+// completed point, named by the point's hash, fanned out over 256
+// two-hex-digit subdirectories. Writes are atomic (temp file + rename in
+// the same directory), so a cache entry either exists completely or not at
+// all — a killed server never leaves a torn result behind, which is what
+// makes restart-resume sound.
+type Cache struct {
+	dir string
+}
+
+// OpenCache opens (creating if needed) a cache rooted at dir.
+func OpenCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("expd: open cache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache root.
+func (c *Cache) Dir() string { return c.dir }
+
+func (c *Cache) path(hash, suffix string) string {
+	return filepath.Join(c.dir, hash[:2], hash+suffix)
+}
+
+// validHash guards path construction against non-hash inputs (an HTTP
+// handler passes client-supplied IDs through lookup, never here, but keep
+// the invariant local).
+func validHash(h string) bool {
+	if len(h) != 64 {
+		return false
+	}
+	return strings.IndexFunc(h, func(r rune) bool {
+		return !(r >= '0' && r <= '9' || r >= 'a' && r <= 'f')
+	}) < 0
+}
+
+// Get returns the cached bytes for hash, or ok=false on a miss.
+func (c *Cache) Get(hash string) ([]byte, bool) {
+	if !validHash(hash) {
+		return nil, false
+	}
+	data, err := os.ReadFile(c.path(hash, ".json"))
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// Has reports whether hash is cached without reading it.
+func (c *Cache) Has(hash string) bool {
+	if !validHash(hash) {
+		return false
+	}
+	_, err := os.Stat(c.path(hash, ".json"))
+	return err == nil
+}
+
+// Put stores data under hash atomically.
+func (c *Cache) Put(hash string, data []byte) error {
+	if !validHash(hash) {
+		return fmt.Errorf("expd: cache put: bad hash %q", hash)
+	}
+	dir := filepath.Join(c.dir, hash[:2])
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, hash+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), c.path(hash, ".json"))
+}
+
+// GetResult decodes a cached PointResult.
+func (c *Cache) GetResult(hash string) (PointResult, bool) {
+	data, ok := c.Get(hash)
+	if !ok {
+		return PointResult{}, false
+	}
+	var r PointResult
+	if err := json.Unmarshal(data, &r); err != nil {
+		// A torn or corrupted entry is treated as a miss; the point will
+		// re-simulate and overwrite it.
+		return PointResult{}, false
+	}
+	return r, true
+}
+
+// PutResult encodes and stores a PointResult.
+func (c *Cache) PutResult(hash string, r PointResult) error {
+	data, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	return c.Put(hash, data)
+}

@@ -1,0 +1,85 @@
+package expd
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// The checkpoint is the server's restart story: jobs.json records every
+// job's canonical spec and coarse state, written atomically on each
+// transition. Per-point progress is deliberately NOT checkpointed — each
+// completed point already lives in the content-addressed cache, so a
+// restarted server re-queues interrupted jobs and the sweep fast-forwards
+// through the cached prefix without re-simulating anything. The checkpoint
+// only needs to remember *what* was asked for, never *how far* it got.
+
+type ckptJob struct {
+	ID    string `json:"id"`
+	Spec  Spec   `json:"spec"`
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+}
+
+type ckptFile struct {
+	Jobs []ckptJob `json:"jobs"`
+}
+
+func (s *Server) checkpointPath() string {
+	return filepath.Join(s.opts.Dir, "jobs.json")
+}
+
+// persist atomically rewrites the checkpoint from the current job table.
+func (s *Server) persist() {
+	s.mu.Lock()
+	ck := ckptFile{Jobs: make([]ckptJob, 0, len(s.order))}
+	for _, id := range s.order {
+		j := s.jobs[id]
+		state := j.state
+		// A running job checkpoints as queued: if this snapshot is the one
+		// a crash leaves behind, the restart should resume it.
+		if state == StateRunning {
+			state = StateQueued
+		}
+		ck.Jobs = append(ck.Jobs, ckptJob{ID: j.ID, Spec: j.Spec, State: state, Error: j.errMsg})
+	}
+	s.mu.Unlock()
+
+	data, err := json.MarshalIndent(ck, "", "  ")
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(s.opts.Dir, "jobs.json.tmp*")
+	if err != nil {
+		return
+	}
+	if _, err := tmp.Write(data); err == nil {
+		err = tmp.Close()
+		if err == nil {
+			os.Rename(tmp.Name(), s.checkpointPath())
+			return
+		}
+	} else {
+		tmp.Close()
+	}
+	os.Remove(tmp.Name())
+}
+
+// loadCheckpoint reads a previous incarnation's job table. A missing file is
+// a fresh start; a torn file is an error (the write is atomic, so torn means
+// something external corrupted it).
+func loadCheckpoint(path string) ([]ckptJob, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var ck ckptFile
+	if err := json.Unmarshal(data, &ck); err != nil {
+		return nil, fmt.Errorf("expd: corrupt checkpoint %s: %w", path, err)
+	}
+	return ck.Jobs, nil
+}

@@ -1,0 +1,186 @@
+package expd
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"time"
+
+	"amtlci/internal/bench"
+)
+
+// EvalHooks observe point evaluation; either hook may be nil. Hooks are
+// called from sweep worker goroutines and must be safe for concurrent use.
+type EvalHooks struct {
+	// Start fires when a point is dispatched to a worker.
+	Start func(i int)
+	// Done fires when a point finishes: cached reports a cache hit (no
+	// simulation ran), elapsed is the wall time spent on the point.
+	Done func(i int, r PointResult, cached bool, err error, elapsed time.Duration)
+}
+
+// EvalPoints evaluates pts on up to `workers` goroutines via bench.SweepCtx,
+// consulting (and populating) cache when non-nil. Results come back in
+// point order. On cancellation the completed prefix is returned with
+// ctx.Err(); if any point fails, evaluation continues (other points stay
+// cacheable) and the first failure is returned alongside the full slice.
+func EvalPoints(ctx context.Context, workers int, pts []Point, cache *Cache, hooks EvalHooks) ([]PointResult, error) {
+	type outcome struct {
+		res PointResult
+		err error
+	}
+	evaluated, err := bench.SweepCtx(ctx, bench.SweepWorkers(workers, len(pts)), len(pts), func(i int) outcome {
+		if hooks.Start != nil {
+			hooks.Start(i)
+		}
+		begin := time.Now()
+		p := pts[i]
+		h := p.Hash()
+		if cache != nil {
+			if r, ok := cache.GetResult(h); ok {
+				if hooks.Done != nil {
+					hooks.Done(i, r, true, nil, time.Since(begin))
+				}
+				return outcome{res: r}
+			}
+		}
+		r, perr := EvalPoint(p)
+		if perr == nil && cache != nil {
+			if cerr := cache.PutResult(h, r); cerr != nil {
+				perr = fmt.Errorf("expd: caching point result: %w", cerr)
+			}
+		}
+		if hooks.Done != nil {
+			hooks.Done(i, r, false, perr, time.Since(begin))
+		}
+		return outcome{res: r, err: perr}
+	})
+	out := make([]PointResult, len(evaluated))
+	var firstErr error
+	for i, o := range evaluated {
+		out[i] = o.res
+		if o.err != nil && firstErr == nil {
+			firstErr = o.err
+		}
+	}
+	if err != nil {
+		return out, err
+	}
+	return out, firstErr
+}
+
+// gf formats a float64 with the shortest representation that round-trips,
+// so assembled CSVs are exact and byte-stable across cache hit and miss.
+func gf(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// AssembleTable renders a completed sweep as its result table, one row per
+// measurement in point order. The layout is long-format (one series column
+// set per kind), so the CSV loads into plotting scripts without reshaping,
+// and the bytes depend only on the results — a cache-served job emits
+// byte-identical output to the run that populated the cache.
+func AssembleTable(s Spec, pts []Point, results []PointResult) (*bench.Table, error) {
+	if len(pts) != len(results) {
+		return nil, fmt.Errorf("expd: %d points but %d results", len(pts), len(results))
+	}
+	switch s.Kind {
+	case KindTile, KindNodes:
+		t := bench.NewTable("expd "+s.Kind+" sweep",
+			"backend", "nodes", "tile", "mt", "tts_s", "e2e_ms", "hop_ms", "tasks", "avg_rank")
+		for i, p := range pts {
+			r := results[i].HiCMA
+			if r == nil {
+				return nil, fmt.Errorf("expd: point %d: missing hicma result", i)
+			}
+			t.AddRow(p.Backend, strconv.Itoa(p.Nodes), strconv.Itoa(p.NB),
+				strconv.FormatBool(p.MT), gf(r.TimeToSolution), gf(r.E2ELatencyMS),
+				gf(r.HopLatencyMS), strconv.FormatInt(r.Tasks, 10), gf(r.AvgRank))
+		}
+		return t, nil
+
+	case KindColl:
+		t := bench.NewTable("expd coll sweep",
+			"backend", "op", "ranks", "bytes", "algorithm", "picked", "time_us")
+		for i, p := range pts {
+			rows := results[i].Coll
+			if rows == nil {
+				return nil, fmt.Errorf("expd: point %d: missing coll result", i)
+			}
+			for _, r := range rows {
+				t.AddRow(p.Backend, p.Op, strconv.Itoa(p.Ranks),
+					strconv.FormatInt(p.Size, 10), r.Algo, r.Picked,
+					fmt.Sprintf("%.3f", r.TimeUS))
+			}
+		}
+		return t, nil
+
+	case KindChaos:
+		t := bench.NewTable("expd chaos sweep",
+			"backend", "workload", "rate_pct", "makespan_ns", "slowdown",
+			"dropped", "duplicated", "corrupted", "retransmits", "verified", "error")
+		for i, p := range pts {
+			r := results[i].Chaos
+			if r == nil {
+				return nil, fmt.Errorf("expd: point %d: missing chaos result", i)
+			}
+			t.AddRow(p.Backend, p.Workload, "0", strconv.FormatInt(r.BaselineNS, 10),
+				"1", "0", "0", "0", "0", "true", "")
+			for _, row := range r.Rows {
+				t.AddRow(p.Backend, p.Workload, gf(row.RatePct),
+					strconv.FormatInt(row.MakespanNS, 10), gf(row.Slowdown),
+					strconv.FormatUint(row.Dropped, 10), strconv.FormatUint(row.Duplicated, 10),
+					strconv.FormatUint(row.Corrupted, 10), strconv.FormatUint(row.Retransmits, 10),
+					strconv.FormatBool(row.Verified), row.Err)
+			}
+		}
+		return t, nil
+	}
+	return nil, fmt.Errorf("expd: unknown spec kind %q", s.Kind)
+}
+
+// StrongScalingFrom reassembles a completed nodes-kind sweep into the
+// Figure 5 / Table 2 series, mirroring bench.StrongScaling's grid layout
+// (node count outer, LCI then MPI, tiles inner — the order Spec.Points
+// emits).
+func StrongScalingFrom(s Spec, results []PointResult) ([]bench.StrongScalingPoint, error) {
+	if s.Kind != KindNodes {
+		return nil, fmt.Errorf("expd: StrongScalingFrom wants a %q spec, got %q", KindNodes, s.Kind)
+	}
+	nt := len(s.Tiles)
+	if want := len(s.NodeCounts) * 2 * nt; len(results) != want {
+		return nil, fmt.Errorf("expd: %d results, want %d", len(results), want)
+	}
+	hicmaAt := func(i int) (bench.HiCMAResult, error) {
+		if results[i].HiCMA == nil {
+			return bench.HiCMAResult{}, fmt.Errorf("expd: point %d: missing hicma result", i)
+		}
+		return *results[i].HiCMA, nil
+	}
+	var out []bench.StrongScalingPoint
+	for ni, nd := range s.NodeCounts {
+		base := ni * 2 * nt
+		lciAll := make([]bench.HiCMAResult, nt)
+		mpiAll := make([]bench.HiCMAResult, nt)
+		for ti := 0; ti < nt; ti++ {
+			var err error
+			if lciAll[ti], err = hicmaAt(base + ti); err != nil {
+				return nil, err
+			}
+			if mpiAll[ti], err = hicmaAt(base + nt + ti); err != nil {
+				return nil, err
+			}
+		}
+		lciBest := bench.BestTile(lciAll)
+		mpiBest := bench.BestTile(mpiAll)
+		var mpiAtLCI bench.HiCMAResult
+		for _, r := range mpiAll {
+			if r.NB == lciBest.NB {
+				mpiAtLCI = r
+			}
+		}
+		out = append(out, bench.StrongScalingPoint{
+			Nodes: nd, LCI: lciBest, MPIAtLCI: mpiAtLCI, MPIBest: mpiBest,
+			LCITile: lciBest.NB, MPIBestTile: mpiBest.NB,
+		})
+	}
+	return out, nil
+}

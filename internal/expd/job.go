@@ -1,0 +1,68 @@
+package expd
+
+// Job lifecycle states. A job is the unit of submission: one canonical spec,
+// expanded to its sweep points. The job ID is the spec's content address, so
+// resubmitting the same experiment (under any equivalent spelling) lands on
+// the same job instead of a duplicate run.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+// Job is the server's record of one submitted sweep. All mutable fields are
+// guarded by the server mutex.
+type Job struct {
+	ID     string
+	Spec   Spec
+	Points []Point
+
+	state  string
+	errMsg string
+	done   int // points completed in the current (or last) run
+	cached int // of those, served from the cache
+
+	cancel func() // non-nil exactly while running
+	// userCancelled distinguishes an explicit cancel (job stays cancelled)
+	// from a server shutdown (job is re-queued in the checkpoint so a
+	// restarted server resumes it).
+	userCancelled bool
+}
+
+// JobStatus is the wire form of a job's state.
+type JobStatus struct {
+	ID     string `json:"id"`
+	Kind   string `json:"kind"`
+	State  string `json:"state"`
+	Points int    `json:"points"`
+	Done   int    `json:"done"`
+	Cached int    `json:"cached"`
+	Error  string `json:"error,omitempty"`
+}
+
+func (j *Job) statusLocked() JobStatus {
+	return JobStatus{
+		ID: j.ID, Kind: j.Spec.Kind, State: j.state,
+		Points: len(j.Points), Done: j.done, Cached: j.cached, Error: j.errMsg,
+	}
+}
+
+func terminal(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateCancelled
+}
+
+// Event is one NDJSON progress record on a job's stream. Type is "state"
+// (lifecycle transition) or "point" (one sweep point finished).
+type Event struct {
+	Type      string `json:"type"`
+	Job       string `json:"job"`
+	State     string `json:"state,omitempty"`
+	Index     int    `json:"index,omitempty"`
+	Total     int    `json:"total"`
+	Done      int    `json:"done"`
+	Cached    bool   `json:"cached,omitempty"`
+	ElapsedUS int64  `json:"elapsed_us,omitempty"`
+	Error     string `json:"error,omitempty"`
+}

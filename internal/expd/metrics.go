@@ -1,0 +1,109 @@
+package expd
+
+import (
+	"sync"
+	"time"
+
+	"amtlci/internal/bench"
+	"amtlci/internal/metrics"
+)
+
+// serviceMetrics wraps a metrics.Registry for the experiment service.
+// Registry itself follows the simulator's single-goroutine discipline, so
+// every touch from HTTP handlers and pool workers goes through mu here.
+type serviceMetrics struct {
+	mu  sync.Mutex
+	reg *metrics.Registry
+
+	cacheHits      *metrics.Counter
+	cacheMisses    *metrics.Counter
+	pointsExecuted *metrics.Counter
+	jobsSubmitted  *metrics.Counter
+	jobsCompleted  *metrics.Counter
+	jobsCancelled  *metrics.Counter
+	jobsFailed     *metrics.Counter
+
+	queueDepth *metrics.Gauge
+	inflight   *metrics.Gauge
+
+	pointUS *metrics.Histogram
+}
+
+func newServiceMetrics() *serviceMetrics {
+	reg := metrics.New()
+	return &serviceMetrics{
+		reg:            reg,
+		cacheHits:      reg.Counter("expd", "cache_hits", 0),
+		cacheMisses:    reg.Counter("expd", "cache_misses", 0),
+		pointsExecuted: reg.Counter("expd", "points_executed", 0),
+		jobsSubmitted:  reg.Counter("expd", "jobs_submitted", 0),
+		jobsCompleted:  reg.Counter("expd", "jobs_completed", 0),
+		jobsCancelled:  reg.Counter("expd", "jobs_cancelled", 0),
+		jobsFailed:     reg.Counter("expd", "jobs_failed", 0),
+		queueDepth:     reg.Gauge("expd", "queue_depth", 0),
+		inflight:       reg.Gauge("expd", "inflight_points", 0),
+		pointUS:        reg.Histogram("expd", "point_us", 0),
+	}
+}
+
+func (m *serviceMetrics) hit() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cacheHits.Inc()
+}
+
+// executed records a simulated (cache-miss) point and its wall time. The
+// points_executed counter is the restart-resume proof: a resumed sweep only
+// increments it for points that were not already cached.
+func (m *serviceMetrics) executed(elapsed time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cacheMisses.Inc()
+	m.pointsExecuted.Inc()
+	m.pointUS.Observe(uint64(elapsed.Microseconds()))
+}
+
+func (m *serviceMetrics) submitted() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.jobsSubmitted.Inc()
+}
+
+func (m *serviceMetrics) jobDone(state string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch state {
+	case StateDone:
+		m.jobsCompleted.Inc()
+	case StateCancelled:
+		m.jobsCancelled.Inc()
+	case StateFailed:
+		m.jobsFailed.Inc()
+	}
+}
+
+func (m *serviceMetrics) queue(delta int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.queueDepth.Add(delta)
+}
+
+func (m *serviceMetrics) pointStart() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.inflight.Add(1)
+}
+
+func (m *serviceMetrics) pointEnd() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.inflight.Add(-1)
+}
+
+// table snapshots the registry as a bench table (rendered to CSV or text by
+// the /metrics handler).
+func (m *serviceMetrics) table() *bench.Table {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return bench.MetricsTable(m.reg, "expd service metrics")
+}

@@ -1,0 +1,198 @@
+package expd
+
+import (
+	"fmt"
+	"math"
+
+	"amtlci/internal/bench"
+	"amtlci/internal/chaos"
+	"amtlci/internal/coll"
+	"amtlci/internal/core/stack"
+	"amtlci/internal/fabric"
+	"amtlci/internal/rel"
+	"amtlci/internal/stats"
+)
+
+// Point kinds. HiCMA points are shared between the tile and nodes sweep
+// families: the same (backend, n, nb, nodes, …) configuration is the same
+// cache entry no matter which spec asked for it.
+const (
+	PointHiCMA = "hicma"
+	PointColl  = "coll"
+	PointChaos = "chaos"
+)
+
+// Point is one self-contained unit of simulation: everything needed to
+// reproduce one sweep point, fully resolved (no defaults left). Its
+// canonical JSON encoding is its cache key (Hash).
+type Point struct {
+	Kind    string `json:"kind"`
+	Backend string `json:"backend"`
+
+	// HiCMA points.
+	N          int  `json:"n,omitempty"`
+	NB         int  `json:"nb,omitempty"`
+	Nodes      int  `json:"nodes,omitempty"`
+	MT         bool `json:"mt,omitempty"`
+	SyncClocks bool `json:"sync_clocks,omitempty"`
+	Runs       int  `json:"runs,omitempty"`
+	Discard    int  `json:"discard,omitempty"`
+
+	// Collective points.
+	Op    string `json:"op,omitempty"`
+	Ranks int    `json:"ranks,omitempty"`
+	Size  int64  `json:"size,omitempty"`
+	Iters int    `json:"iters,omitempty"`
+
+	// Chaos points: one point per (backend, workload) carries the whole
+	// rate sweep, because every rate's slowdown is relative to the same
+	// fault-free baseline measured inside the point.
+	Workload string    `json:"workload,omitempty"`
+	Rates    []float64 `json:"rates,omitempty"` // percent
+
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// CollRow is one algorithm measurement of a collective point: each concrete
+// algorithm plus the selector's "auto" pick.
+type CollRow struct {
+	Algo   string  `json:"algo"`
+	Picked string  `json:"picked"`
+	TimeUS float64 `json:"time_us"`
+}
+
+// ChaosRow is one fault rate of a chaos point.
+type ChaosRow struct {
+	RatePct     float64 `json:"rate_pct"`
+	MakespanNS  int64   `json:"makespan_ns"`
+	Slowdown    float64 `json:"slowdown"`
+	Dropped     uint64  `json:"dropped"`
+	Duplicated  uint64  `json:"duplicated"`
+	Corrupted   uint64  `json:"corrupted"`
+	Retransmits uint64  `json:"retransmits"`
+	Verified    bool    `json:"verified"`
+	Err         string  `json:"err,omitempty"`
+}
+
+// ChaosPointResult is a chaos point's baseline plus its rate sweep.
+type ChaosPointResult struct {
+	BaselineNS int64      `json:"baseline_ns"`
+	Rows       []ChaosRow `json:"rows"`
+}
+
+// PointResult is the outcome of one point, discriminated by which field is
+// set. Its canonical JSON encoding is what the cache stores; because the
+// simulation is deterministic, the cached bytes are byte-identical to what
+// a re-simulation would produce.
+type PointResult struct {
+	HiCMA *bench.HiCMAResult `json:"hicma,omitempty"`
+	Coll  []CollRow          `json:"coll,omitempty"`
+	Chaos *ChaosPointResult  `json:"chaos,omitempty"`
+}
+
+// finite maps NaN and infinities to 0 so results stay JSON-encodable.
+func finite(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}
+
+// EvalPoint simulates one point from scratch. Validation happens at spec
+// canonicalization; a panic out of the simulator (which signals a
+// misconfiguration, not an input error) is converted to an error so a
+// long-running service survives it.
+func EvalPoint(p Point) (res PointResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("expd: point %s: %v", p.Hash()[:12], r)
+		}
+	}()
+	b, perr := stack.ParseBackend(p.Backend)
+	if perr != nil {
+		return PointResult{}, perr
+	}
+	switch p.Kind {
+	case PointHiCMA:
+		o := bench.DefaultHiCMAOpts(b, p.NB, p.Nodes)
+		o.N = p.N
+		o.MT = p.MT
+		o.SyncClocks = p.SyncClocks
+		o.Runs = stats.Methodology{Runs: p.Runs, Discard: p.Discard}
+		if p.Seed != 0 {
+			o.Seed = p.Seed
+		}
+		r := bench.HiCMA(o)
+		// A single-tile problem (nb == n) exchanges no messages, so latency
+		// means come back NaN; JSON cannot carry NaN, so "no samples"
+		// becomes 0 in the cached result.
+		r.TimeToSolution = finite(r.TimeToSolution)
+		r.E2ELatencyMS = finite(r.E2ELatencyMS)
+		r.HopLatencyMS = finite(r.HopLatencyMS)
+		r.AvgRank = finite(r.AvgRank)
+		return PointResult{HiCMA: &r}, nil
+
+	case PointColl:
+		_, k, kerr := parseOp(p.Op)
+		if kerr != nil {
+			return PointResult{}, kerr
+		}
+		rows := make([]CollRow, 0, 4)
+		measure := func(algo coll.Algorithm) bench.CollResult {
+			o := bench.DefaultCollOpts(b, k, p.Ranks, p.Size)
+			o.Algo = algo
+			o.Iters = p.Iters
+			if p.Seed != 0 {
+				o.Seed = p.Seed
+			}
+			return bench.Collective(o)
+		}
+		for _, a := range coll.Algorithms(k) {
+			r := measure(a)
+			rows = append(rows, CollRow{Algo: a.String(), Picked: r.Picked.String(),
+				TimeUS: r.Time.Seconds() * 1e6})
+		}
+		auto := measure(coll.Auto)
+		rows = append(rows, CollRow{Algo: "auto", Picked: auto.Picked.String(),
+			TimeUS: auto.Time.Seconds() * 1e6})
+		return PointResult{Coll: rows}, nil
+
+	case PointChaos:
+		_, w, werr := parseWorkload(p.Workload)
+		if werr != nil {
+			return PointResult{}, werr
+		}
+		base := chaos.Run(chaos.Opts{Backend: b, Workload: w})
+		if base.Err != nil {
+			return PointResult{}, fmt.Errorf("expd: fault-free baseline broken: %w", base.Err)
+		}
+		out := &ChaosPointResult{BaselineNS: int64(base.Makespan)}
+		seed := p.Seed
+		if seed == 0 {
+			seed = 0xC7A05 // cmd/chaos's default schedule seed
+		}
+		for _, pct := range p.Rates {
+			r := pct / 100
+			rc := rel.DefaultConfig()
+			res := chaos.Run(chaos.Opts{
+				Backend: b, Workload: w,
+				Faults: &fabric.FaultConfig{Drop: r, Duplicate: r, Corrupt: r, Reorder: r, Seed: seed},
+				Rel:    &rc,
+			})
+			row := ChaosRow{
+				RatePct:    pct,
+				MakespanNS: int64(res.Makespan),
+				Slowdown:   float64(res.Makespan) / float64(base.Makespan),
+				Dropped:    res.Faults.Dropped, Duplicated: res.Faults.Duplicated,
+				Corrupted: res.Faults.Corrupted, Retransmits: res.Rel.Retransmits,
+				Verified: res.Verified,
+			}
+			if res.Err != nil {
+				row.Err = res.Err.Error()
+			}
+			out.Rows = append(out.Rows, row)
+		}
+		return PointResult{Chaos: out}, nil
+	}
+	return PointResult{}, fmt.Errorf("expd: unknown point kind %q", p.Kind)
+}

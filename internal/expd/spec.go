@@ -1,0 +1,530 @@
+// Package expd is the experiment service: the deterministic simulator
+// exposed as a persistent, cache-fronted HTTP/JSON daemon (cmd/simd).
+//
+// A client submits an experiment Spec — one canonical schema covering the
+// sweeps the batch CLIs (cmd/experiments, cmd/hicma, cmd/collbench,
+// cmd/chaos) parse ad hoc today. The service validates and canonicalizes
+// the spec, decomposes it into self-contained sweep Points, and schedules
+// the points on a bounded worker pool (bench.SweepCtx). Every point is
+// content-addressed by a stable hash of its canonical encoding: because the
+// simulation is deterministic, a cached point result is *exactly* the
+// result a re-simulation would produce, so repeated or overlapping sweeps
+// are served from the on-disk cache instead of re-simulated — a 256-point
+// sweep that shares 200 points with a prior run only simulates the 56 new
+// ones. Job state is checkpointed, so a restarted server resumes
+// half-finished sweeps from their completed-point prefix.
+package expd
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"amtlci/internal/bench"
+	"amtlci/internal/chaos"
+	"amtlci/internal/coll"
+	"amtlci/internal/core/stack"
+)
+
+// Spec kinds: which sweep family a spec describes.
+const (
+	// KindTile is the Figure 4 sweep: HiCMA time-to-solution and latency
+	// over tile sizes at a fixed node count.
+	KindTile = "tile"
+	// KindNodes is the Figure 5 / Table 2 sweep: strong scaling over node
+	// counts, sweeping tiles per node count for the best-tile series.
+	KindNodes = "nodes"
+	// KindColl is the cmd/collbench sweep: collective operation x algorithm
+	// x payload x rank count.
+	KindColl = "coll"
+	// KindChaos is the cmd/chaos fault sweep: workload x fault rate with
+	// the reliability layer interposed, verified numerics.
+	KindChaos = "chaos"
+)
+
+// Size is a byte count that accepts unit spellings on input: a JSON number
+// is taken as bytes, a JSON string is parsed with binary units ("256 B",
+// "4KiB", "1.5 MiB", "2 GiB" — fractions allowed, case per IEC). It always
+// marshals as the plain byte count, so every equivalent spelling
+// canonicalizes to the same encoding and therefore the same content hash.
+type Size int64
+
+// UnmarshalJSON implements the number-or-unit-string decoding.
+func (s *Size) UnmarshalJSON(data []byte) error {
+	if len(data) > 0 && data[0] == '"' {
+		var str string
+		if err := json.Unmarshal(data, &str); err != nil {
+			return err
+		}
+		n, err := ParseSize(str)
+		if err != nil {
+			return err
+		}
+		*s = n
+		return nil
+	}
+	var n int64
+	if err := json.Unmarshal(data, &n); err != nil {
+		return fmt.Errorf("expd: size %s: want a byte count or a unit string", data)
+	}
+	*s = Size(n)
+	return nil
+}
+
+// ParseSize parses a unit-spelled byte size: "<number> <unit>" with unit one
+// of B, KiB, MiB, GiB (binary, per bench.Bytes); the space is optional and
+// the number may be fractional as long as the result is a whole byte count.
+func ParseSize(s string) (Size, error) {
+	t := strings.TrimSpace(s)
+	mult := int64(1)
+	for _, u := range []struct {
+		suffix string
+		mult   int64
+	}{{"GiB", 1 << 30}, {"MiB", 1 << 20}, {"KiB", 1 << 10}, {"B", 1}} {
+		if strings.HasSuffix(t, u.suffix) {
+			t = strings.TrimSpace(strings.TrimSuffix(t, u.suffix))
+			mult = u.mult
+			break
+		}
+	}
+	v, err := strconv.ParseFloat(t, 64)
+	if err != nil {
+		return 0, fmt.Errorf("expd: bad size %q: %v", s, err)
+	}
+	b := v * float64(mult)
+	if b < 0 || b != float64(int64(b)) {
+		return 0, fmt.Errorf("expd: size %q is not a whole byte count", s)
+	}
+	return Size(b), nil
+}
+
+// Spec is one experiment request. Every field is optional except Kind;
+// omitted fields take the documented defaults during canonicalization, so a
+// spec with defaults spelled out hashes identically to one that omits them.
+type Spec struct {
+	Kind string `json:"kind"`
+
+	// HiCMA sweeps (tile, nodes). Scale shrinks the paper's N=360,000
+	// problem (bench.ScaledProblem); N sets the dimension directly and is
+	// mutually exclusive with Scale. Tiles defaults to the paper tile sizes
+	// that divide N.
+	Scale      float64 `json:"scale,omitempty"`
+	N          int     `json:"n,omitempty"`
+	Nodes      int     `json:"nodes,omitempty"`       // tile kind: node count (default 16)
+	NodeCounts []int   `json:"node_counts,omitempty"` // nodes kind: swept counts (default paper)
+	Tiles      []int   `json:"tiles,omitempty"`
+	MT         bool    `json:"mt,omitempty"` // tile kind: also measure multithreaded ACTIVATEs
+	SyncClocks bool    `json:"sync_clocks,omitempty"`
+	Runs       int     `json:"runs,omitempty"` // measurement protocol (default 1)
+	Discard    int     `json:"discard,omitempty"`
+
+	// Backends defaults to both, canonical order LCI then MPI. Accepted
+	// spellings follow stack.ParseBackend.
+	Backends []string `json:"backends,omitempty"`
+	// Seed, when nonzero, overrides each point's default seed.
+	Seed uint64 `json:"seed,omitempty"`
+
+	// Collective sweeps.
+	Ops   []string `json:"ops,omitempty"`   // default: bcast, reduce, allreduce, allgather, barrier
+	Ranks []int    `json:"ranks,omitempty"` // default: 4, 16, 64
+	Sizes []Size   `json:"sizes,omitempty"` // default: bench.CollSizes
+	Iters int      `json:"iters,omitempty"` // default 3
+
+	// Chaos sweeps.
+	Workloads []string  `json:"workloads,omitempty"` // default: cholesky, hicma
+	Rates     []float64 `json:"rates,omitempty"`     // fault rates in percent (default 0.5, 1, 2)
+}
+
+// DecodeSpec parses and canonicalizes a spec from JSON. Unknown fields are
+// rejected — a typo must not silently select a default.
+func DecodeSpec(data []byte) (Spec, error) {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("expd: bad spec: %w", err)
+	}
+	// Trailing garbage after the object is an error, not ignored input.
+	if dec.More() {
+		return Spec{}, fmt.Errorf("expd: bad spec: trailing data after JSON object")
+	}
+	return s.Canonical()
+}
+
+// collOpNames maps canonical op names to kinds, in canonical (report) order.
+var collOpNames = []struct {
+	name string
+	kind coll.Kind
+}{
+	{"bcast", coll.OpBcast},
+	{"reduce", coll.OpReduce},
+	{"allreduce", coll.OpAllreduce},
+	{"allgather", coll.OpAllgather},
+	{"barrier", coll.OpBarrier},
+}
+
+func parseOp(s string) (string, coll.Kind, error) {
+	for _, o := range collOpNames {
+		if strings.EqualFold(s, o.name) {
+			return o.name, o.kind, nil
+		}
+	}
+	return "", 0, fmt.Errorf("expd: unknown collective op %q", s)
+}
+
+func parseWorkload(s string) (string, chaos.Workload, error) {
+	switch strings.ToLower(s) {
+	case "cholesky":
+		return "cholesky", chaos.Cholesky, nil
+	case "hicma":
+		return "hicma", chaos.HiCMA, nil
+	}
+	return "", 0, fmt.Errorf("expd: unknown workload %q", s)
+}
+
+// backendName is the canonical spelling stored in specs and points.
+func backendName(b stack.Backend) string {
+	if b == stack.LCI {
+		return "lci"
+	}
+	return "mpi"
+}
+
+func sortedUniqInts(xs []int) []int {
+	out := append([]int(nil), xs...)
+	sort.Ints(out)
+	j := 0
+	for i, v := range out {
+		if i == 0 || v != out[j-1] {
+			out[j] = v
+			j++
+		}
+	}
+	return out[:j]
+}
+
+func sortedUniqFloats(xs []float64) []float64 {
+	out := append([]float64(nil), xs...)
+	sort.Float64s(out)
+	j := 0
+	for i, v := range out {
+		if i == 0 || v != out[j-1] {
+			out[j] = v
+			j++
+		}
+	}
+	return out[:j]
+}
+
+// Canonical validates s and returns its canonical form: defaults filled in,
+// list fields sorted and deduplicated, backend/op/workload spellings
+// normalized, Scale resolved into an explicit N. Two specs that describe
+// the same experiment canonicalize to the same value and therefore the same
+// Hash. The zero fields of other kinds stay zero, so the canonical JSON
+// encoding is stable.
+func (s Spec) Canonical() (Spec, error) {
+	c := Spec{Kind: s.Kind, Seed: s.Seed}
+
+	// Backends: normalize spellings, dedup, canonical order LCI then MPI.
+	in := s.Backends
+	if len(in) == 0 {
+		in = []string{"lci", "mpi"}
+	}
+	var wantLCI, wantMPI bool
+	for _, bs := range in {
+		b, err := stack.ParseBackend(bs)
+		if err != nil {
+			return Spec{}, fmt.Errorf("expd: %v", err)
+		}
+		if b == stack.LCI {
+			wantLCI = true
+		} else {
+			wantMPI = true
+		}
+	}
+	if wantLCI {
+		c.Backends = append(c.Backends, "lci")
+	}
+	if wantMPI {
+		c.Backends = append(c.Backends, "mpi")
+	}
+
+	reject := func(cond bool, field string) error {
+		if cond {
+			return fmt.Errorf("expd: field %q is not valid for kind %q", field, s.Kind)
+		}
+		return nil
+	}
+
+	switch s.Kind {
+	case KindTile, KindNodes:
+		for _, e := range []error{
+			reject(len(s.Ops) != 0, "ops"), reject(len(s.Ranks) != 0, "ranks"),
+			reject(len(s.Sizes) != 0, "sizes"), reject(s.Iters != 0, "iters"),
+			reject(len(s.Workloads) != 0, "workloads"), reject(len(s.Rates) != 0, "rates"),
+		} {
+			if e != nil {
+				return Spec{}, e
+			}
+		}
+		if s.Kind == KindNodes {
+			if err := reject(s.Nodes != 0, "nodes"); err != nil {
+				return Spec{}, err
+			}
+			if err := reject(s.MT, "mt"); err != nil {
+				return Spec{}, err
+			}
+			c.NodeCounts = sortedUniqInts(s.NodeCounts)
+			if len(c.NodeCounts) == 0 {
+				c.NodeCounts = append([]int(nil), bench.PaperNodeCounts...)
+			}
+			for _, nd := range c.NodeCounts {
+				if nd < 1 {
+					return Spec{}, fmt.Errorf("expd: node count %d < 1", nd)
+				}
+			}
+			if len(c.Backends) != 2 {
+				return Spec{}, fmt.Errorf("expd: the nodes sweep needs both backends (best-tile series compare LCI and MPI)")
+			}
+		} else {
+			if err := reject(len(s.NodeCounts) != 0, "node_counts"); err != nil {
+				return Spec{}, err
+			}
+			c.Nodes = s.Nodes
+			if c.Nodes == 0 {
+				c.Nodes = 16
+			}
+			if c.Nodes < 1 {
+				return Spec{}, fmt.Errorf("expd: nodes %d < 1", c.Nodes)
+			}
+			c.MT = s.MT
+		}
+		// Problem size: explicit N wins, otherwise Scale (default 1).
+		switch {
+		case s.N != 0 && s.Scale != 0:
+			return Spec{}, fmt.Errorf("expd: n and scale are mutually exclusive")
+		case s.N != 0:
+			if s.N < 1 {
+				return Spec{}, fmt.Errorf("expd: n %d < 1", s.N)
+			}
+			c.N = s.N
+		default:
+			scale := s.Scale
+			if scale == 0 {
+				scale = 1
+			}
+			if scale < 0 || scale > 1 {
+				return Spec{}, fmt.Errorf("expd: scale %g outside (0, 1]", scale)
+			}
+			c.N, _ = bench.ScaledProblem(scale, bench.PaperTileSizes)
+		}
+		if len(s.Tiles) != 0 {
+			c.Tiles = sortedUniqInts(s.Tiles)
+			for _, nb := range c.Tiles {
+				if nb < 1 || c.N%nb != 0 {
+					return Spec{}, fmt.Errorf("expd: tile %d does not divide N=%d", nb, c.N)
+				}
+			}
+		} else {
+			for _, nb := range bench.PaperTileSizes {
+				if c.N%nb == 0 {
+					c.Tiles = append(c.Tiles, nb)
+				}
+			}
+			if len(c.Tiles) == 0 {
+				return Spec{}, fmt.Errorf("expd: no paper tile size divides N=%d; set tiles explicitly", c.N)
+			}
+		}
+		c.SyncClocks = s.SyncClocks
+		c.Runs, c.Discard = s.Runs, s.Discard
+		if c.Runs == 0 {
+			c.Runs = 1
+		}
+		if c.Runs < 0 || c.Discard < 0 || c.Runs <= c.Discard {
+			return Spec{}, fmt.Errorf("expd: methodology retains no runs (%d runs, %d discarded)", c.Runs, c.Discard)
+		}
+
+	case KindColl:
+		for _, e := range []error{
+			reject(s.Scale != 0, "scale"), reject(s.N != 0, "n"),
+			reject(s.Nodes != 0, "nodes"), reject(len(s.NodeCounts) != 0, "node_counts"),
+			reject(len(s.Tiles) != 0, "tiles"), reject(s.MT, "mt"),
+			reject(s.SyncClocks, "sync_clocks"), reject(s.Runs != 0, "runs"),
+			reject(s.Discard != 0, "discard"),
+			reject(len(s.Workloads) != 0, "workloads"), reject(len(s.Rates) != 0, "rates"),
+		} {
+			if e != nil {
+				return Spec{}, e
+			}
+		}
+		if len(s.Ops) == 0 {
+			for _, o := range collOpNames {
+				c.Ops = append(c.Ops, o.name)
+			}
+		} else {
+			seen := map[string]bool{}
+			for _, o := range collOpNames { // canonical order, dedup
+				for _, in := range s.Ops {
+					name, _, err := parseOp(in)
+					if err != nil {
+						return Spec{}, err
+					}
+					if name == o.name && !seen[name] {
+						seen[name] = true
+						c.Ops = append(c.Ops, name)
+					}
+				}
+			}
+		}
+		c.Ranks = sortedUniqInts(s.Ranks)
+		if len(c.Ranks) == 0 {
+			c.Ranks = []int{4, 16, 64}
+		}
+		for _, n := range c.Ranks {
+			if n < 2 {
+				return Spec{}, fmt.Errorf("expd: rank count %d < 2", n)
+			}
+		}
+		if len(s.Sizes) == 0 {
+			for _, v := range bench.CollSizes() {
+				c.Sizes = append(c.Sizes, Size(v))
+			}
+		} else {
+			var raw []int
+			for _, v := range s.Sizes {
+				if v < 1 {
+					return Spec{}, fmt.Errorf("expd: payload size %d < 1", v)
+				}
+				raw = append(raw, int(v))
+			}
+			for _, v := range sortedUniqInts(raw) {
+				c.Sizes = append(c.Sizes, Size(v))
+			}
+		}
+		c.Iters = s.Iters
+		if c.Iters == 0 {
+			c.Iters = 3
+		}
+		if c.Iters < 1 {
+			return Spec{}, fmt.Errorf("expd: iters %d < 1", c.Iters)
+		}
+
+	case KindChaos:
+		for _, e := range []error{
+			reject(s.Scale != 0, "scale"), reject(s.N != 0, "n"),
+			reject(s.Nodes != 0, "nodes"), reject(len(s.NodeCounts) != 0, "node_counts"),
+			reject(len(s.Tiles) != 0, "tiles"), reject(s.MT, "mt"),
+			reject(s.SyncClocks, "sync_clocks"), reject(s.Runs != 0, "runs"),
+			reject(s.Discard != 0, "discard"),
+			reject(len(s.Ops) != 0, "ops"), reject(len(s.Ranks) != 0, "ranks"),
+			reject(len(s.Sizes) != 0, "sizes"), reject(s.Iters != 0, "iters"),
+		} {
+			if e != nil {
+				return Spec{}, e
+			}
+		}
+		if len(s.Workloads) == 0 {
+			c.Workloads = []string{"cholesky", "hicma"}
+		} else {
+			seen := map[string]bool{}
+			for _, canon := range []string{"cholesky", "hicma"} {
+				for _, in := range s.Workloads {
+					name, _, err := parseWorkload(in)
+					if err != nil {
+						return Spec{}, err
+					}
+					if name == canon && !seen[name] {
+						seen[name] = true
+						c.Workloads = append(c.Workloads, name)
+					}
+				}
+			}
+		}
+		c.Rates = sortedUniqFloats(s.Rates)
+		if len(c.Rates) == 0 {
+			c.Rates = []float64{0.5, 1, 2}
+		}
+		for _, r := range c.Rates {
+			if r <= 0 || r >= 100 {
+				return Spec{}, fmt.Errorf("expd: fault rate %g%% outside (0, 100)", r)
+			}
+		}
+
+	default:
+		return Spec{}, fmt.Errorf("expd: unknown spec kind %q (want %q, %q, %q, or %q)",
+			s.Kind, KindTile, KindNodes, KindColl, KindChaos)
+	}
+	return c, nil
+}
+
+// Points decomposes a canonical spec into its constituent sweep points, in
+// the deterministic order the result CSV reports them. Point hashes are the
+// cache keys: a HiCMA point is the same point — and the same cache entry —
+// whether a tile sweep or a strong-scaling sweep asked for it.
+func (s Spec) Points() []Point {
+	var pts []Point
+	switch s.Kind {
+	case KindTile:
+		mts := []bool{false}
+		if s.MT {
+			mts = []bool{false, true}
+		}
+		for _, b := range s.Backends {
+			for _, mt := range mts {
+				for _, nb := range s.Tiles {
+					pts = append(pts, Point{
+						Kind: PointHiCMA, Backend: b, N: s.N, NB: nb, Nodes: s.Nodes,
+						MT: mt, SyncClocks: s.SyncClocks,
+						Runs: s.Runs, Discard: s.Discard, Seed: s.Seed,
+					})
+				}
+			}
+		}
+	case KindNodes:
+		// Node count outer, backend next, tile inner — the layout
+		// StrongScalingFrom reassembles into the Figure 5 series.
+		for _, nd := range s.NodeCounts {
+			for _, b := range s.Backends {
+				for _, nb := range s.Tiles {
+					pts = append(pts, Point{
+						Kind: PointHiCMA, Backend: b, N: s.N, NB: nb, Nodes: nd,
+						SyncClocks: s.SyncClocks,
+						Runs:       s.Runs, Discard: s.Discard, Seed: s.Seed,
+					})
+				}
+			}
+		}
+	case KindColl:
+		for _, b := range s.Backends {
+			for _, op := range s.Ops {
+				for _, n := range s.Ranks {
+					if op == "barrier" {
+						pts = append(pts, Point{
+							Kind: PointColl, Backend: b, Op: op, Ranks: n,
+							Iters: s.Iters, Seed: s.Seed,
+						})
+						continue
+					}
+					for _, size := range s.Sizes {
+						pts = append(pts, Point{
+							Kind: PointColl, Backend: b, Op: op, Ranks: n,
+							Size: int64(size), Iters: s.Iters, Seed: s.Seed,
+						})
+					}
+				}
+			}
+		}
+	case KindChaos:
+		for _, b := range s.Backends {
+			for _, w := range s.Workloads {
+				pts = append(pts, Point{
+					Kind: PointChaos, Backend: b, Workload: w,
+					Rates: append([]float64(nil), s.Rates...), Seed: s.Seed,
+				})
+			}
+		}
+	}
+	return pts
+}

@@ -1,0 +1,186 @@
+package expd
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestHashInvariance pins the content-address contract: every spelling of
+// the same experiment hashes to the same address, and materially different
+// experiments never collide. This is what lets overlapping submissions from
+// different clients share cache entries.
+func TestHashInvariance(t *testing.T) {
+	hash := func(t *testing.T, raw string) string {
+		t.Helper()
+		s, err := DecodeSpec([]byte(raw))
+		if err != nil {
+			t.Fatalf("DecodeSpec(%s): %v", raw, err)
+		}
+		return s.Hash()
+	}
+
+	t.Run("field reordering", func(t *testing.T) {
+		a := hash(t, `{"kind":"tile","scale":0.01,"nodes":2,"runs":1}`)
+		b := hash(t, `{"runs":1,"nodes":2,"kind":"tile","scale":0.01}`)
+		if a != b {
+			t.Errorf("reordered fields changed the hash: %s vs %s", a, b)
+		}
+	})
+
+	t.Run("default omission", func(t *testing.T) {
+		// {"kind":"tile"} with every default spelled out explicitly: the
+		// paper problem, both backends, 16 nodes, one run, and the full
+		// paper tile set (all of which divide N=360,000).
+		a := hash(t, `{"kind":"tile"}`)
+		b := hash(t, `{"kind":"tile","n":360000,"nodes":16,"runs":1,
+			"backends":["lci","mpi"],
+			"tiles":[1200,1500,1800,2400,3000,3600,4500,4800,6000]}`)
+		if a != b {
+			t.Errorf("spelled-out defaults changed the hash: %s vs %s", a, b)
+		}
+		// scale:1 resolves to the same explicit N.
+		c := hash(t, `{"kind":"tile","scale":1}`)
+		if a != c {
+			t.Errorf("scale:1 differs from default: %s vs %s", a, c)
+		}
+	})
+
+	t.Run("unit spellings", func(t *testing.T) {
+		// 1.5MiB == 1536KiB == 1572864 bytes (fractional units are fine as
+		// long as they resolve to whole bytes).
+		a := hash(t, `{"kind":"coll","ops":["allreduce"],"ranks":[4],"sizes":[1572864]}`)
+		b := hash(t, `{"kind":"coll","ops":["allreduce"],"ranks":[4],"sizes":["1.5MiB"]}`)
+		c := hash(t, `{"kind":"coll","ops":["allreduce"],"ranks":[4],"sizes":["1536KiB"]}`)
+		if a != b || a != c {
+			t.Errorf("equivalent size spellings diverge: %s / %s / %s", a, b, c)
+		}
+	})
+
+	t.Run("backend spelling and order", func(t *testing.T) {
+		a := hash(t, `{"kind":"chaos"}`)
+		b := hash(t, `{"kind":"chaos","backends":["MPI","LCI"]}`)
+		if a != b {
+			t.Errorf("backend order/case changed the hash: %s vs %s", a, b)
+		}
+	})
+
+	t.Run("distinct specs differ", func(t *testing.T) {
+		seen := map[string]string{}
+		for _, raw := range []string{
+			`{"kind":"tile"}`,
+			`{"kind":"tile","nodes":8}`,
+			`{"kind":"tile","runs":3}`,
+			`{"kind":"tile","mt":true}`,
+			`{"kind":"nodes"}`,
+			`{"kind":"coll"}`,
+			`{"kind":"coll","iters":5}`,
+			`{"kind":"chaos"}`,
+			`{"kind":"chaos","rates":[5]}`,
+		} {
+			h := hash(t, raw)
+			if prev, dup := seen[h]; dup {
+				t.Errorf("collision: %s and %s both hash to %s", prev, raw, h)
+			}
+			seen[h] = raw
+		}
+	})
+
+	t.Run("pinned address", func(t *testing.T) {
+		// The literal hash of the default tile sweep. If this changes, the
+		// Spec encoding changed, which invalidates every on-disk cache and
+		// checkpoint — only update the constant for a deliberate format
+		// break.
+		const want = "848d2aaf5c0f4fc895f1b19f280389e28730ddf798e1b96d8785626b508b15d5"
+		if got := hash(t, `{"kind":"tile"}`); got != want {
+			t.Errorf("canonical encoding drifted: hash %s, want %s", got, want)
+		}
+	})
+}
+
+func TestDecodeSpecRejects(t *testing.T) {
+	for _, tc := range []struct{ raw, frag string }{
+		{`{"kind":"tile","node_counts":[1,2]}`, "not valid"},
+		{`{"kind":"nodes","nodes":4}`, "not valid"},
+		{`{"kind":"tile","typo":1}`, "unknown field"},
+		{`{"kind":"tile","scale":0.5,"n":7200}`, "mutually exclusive"},
+		{`{"kind":"tile","tiles":[7]}`, "divide"},
+		{`{"kind":"coll","ops":["scatter"]}`, "op"},
+		{`{"kind":"chaos","rates":[150]}`, "rate"},
+		{`{"kind":"warp"}`, "kind"},
+		{`{"kind":"tile"} trailing`, "trailing"},
+		{`{"kind":"coll","sizes":["1.0001MiB"]}`, "whole byte"},
+	} {
+		_, err := DecodeSpec([]byte(tc.raw))
+		if err == nil {
+			t.Errorf("DecodeSpec(%s): expected error, got none", tc.raw)
+			continue
+		}
+		if !strings.Contains(strings.ToLower(err.Error()), tc.frag) {
+			t.Errorf("DecodeSpec(%s): error %q does not mention %q", tc.raw, err, tc.frag)
+		}
+	}
+}
+
+func TestPointsShareAcrossKinds(t *testing.T) {
+	// Per-point addressing: a tile sweep at 16 nodes and a nodes sweep
+	// covering 16 nodes produce identical points for the shared
+	// configurations, so their cache entries coincide.
+	tile, err := DecodeSpec([]byte(`{"kind":"tile","nodes":16,"tiles":[1200]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes, err := DecodeSpec([]byte(`{"kind":"nodes","node_counts":[16],"tiles":[1200]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := map[string]bool{}
+	for _, p := range tile.Points() {
+		th[p.Hash()] = true
+	}
+	shared := 0
+	for _, p := range nodes.Points() {
+		if th[p.Hash()] {
+			shared++
+		}
+	}
+	if shared != 2 { // lci + mpi at (n=360000, nb=1200, nodes=16)
+		t.Errorf("tile and nodes sweeps share %d point addresses, want 2", shared)
+	}
+}
+
+// FuzzDecodeSpec exercises the spec decoder with arbitrary input: it must
+// never panic, and any spec it accepts must be a fixed point of
+// canonicalization (decoding the canonical form reproduces the same
+// address — otherwise the cache would fragment).
+func FuzzDecodeSpec(f *testing.F) {
+	for _, seed := range []string{
+		`{"kind":"tile","scale":0.01,"nodes":2,"runs":1}`,
+		`{"kind":"nodes","node_counts":[1,2],"tiles":[1200]}`,
+		`{"kind":"coll","ops":["allreduce"],"ranks":[4],"sizes":["1MiB","0.5KiB"]}`,
+		`{"kind":"chaos","workloads":["hicma"],"rates":[0.5,2]}`,
+		`{"kind":"tile","mt":true,"sync_clocks":true,"seed":7}`,
+		`{"kind":""}`,
+		`[]`,
+		`{"kind":"tile","tiles":[0]}`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeSpec(data)
+		if err != nil {
+			return
+		}
+		enc, merr := json.Marshal(s)
+		if merr != nil {
+			t.Fatalf("canonical spec does not marshal: %v", merr)
+		}
+		again, err := DecodeSpec(enc)
+		if err != nil {
+			t.Fatalf("canonical spec %s does not re-decode: %v", enc, err)
+		}
+		if s.Hash() != again.Hash() {
+			t.Fatalf("canonicalization is not idempotent: %s -> %s", s.Hash(), again.Hash())
+		}
+	})
+}

@@ -1,0 +1,80 @@
+package expd
+
+import (
+	"fmt"
+	"io"
+
+	"amtlci/internal/bench"
+	"amtlci/internal/clocksync"
+	"amtlci/internal/core/stack"
+	"amtlci/internal/ctrace"
+	"amtlci/internal/hicma"
+	"amtlci/internal/metrics"
+	"amtlci/internal/parsec"
+	"amtlci/internal/sim"
+)
+
+// TracePoint re-simulates one HiCMA point with a ctrace.Recorder attached
+// and returns the Chrome-trace events (task slices, message instants, and
+// counter tracks). The stack, seeds, and runtime config mirror what
+// bench.HiCMA uses for the point's first run, so the trace shows the same
+// execution the cached measurement came from — determinism makes the replay
+// free of divergence.
+func TracePoint(p Point) (events []ctrace.Event, err error) {
+	if p.Kind != PointHiCMA {
+		return nil, fmt.Errorf("expd: traces are only available for hicma points, not %q", p.Kind)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("expd: tracing point %s: %v", p.Hash()[:12], r)
+		}
+	}()
+	b, err := stack.ParseBackend(p.Backend)
+	if err != nil {
+		return nil, err
+	}
+	o := bench.DefaultHiCMAOpts(b, p.NB, p.Nodes)
+	o.N = p.N
+	o.MT = p.MT
+	o.SyncClocks = p.SyncClocks
+	if p.Seed != 0 {
+		o.Seed = p.Seed
+	}
+
+	pool := hicma.NewVirtual(hicma.DefaultParams(o.N, o.NB), o.Nodes)
+	so := stack.DefaultOptions(b, o.Nodes)
+	so.Seed = o.Seed // run 0 of the measurement protocol
+	st := stack.Build(so)
+	cfg := parsec.DefaultConfig(bench.WorkersFor(b, o.Nodes))
+	cfg.Seed = o.Seed
+	cfg.FetchCap = o.FetchCap
+	cfg.MTActivate = o.MT
+	cfg.Metrics = st.Metrics
+	rt := parsec.New(st.Eng, st.Engines, pool, cfg)
+
+	var names []string
+	for _, c := range pool.Classes() {
+		names = append(names, c.Name)
+	}
+	rec := ctrace.NewRecorder(names)
+	rt.SetObserver(rec)
+	smp := metrics.NewSampler(st.Eng, st.Metrics, 100*sim.Microsecond)
+	smp.Start()
+
+	if o.SyncClocks {
+		clocks := clocksync.MakeClocks(o.Nodes, 10*sim.Millisecond, 0, o.Seed)
+		res := clocksync.Register(st.Eng, st.Engines, clocks, 8).Run()
+		rt.SetClocks(clocks, res.Offsets)
+	}
+
+	if _, err := rt.Run(); err != nil {
+		return nil, err
+	}
+	smp.Flush()
+	return append(rec.Events(), ctrace.CounterEvents(smp.Tracks())...), nil
+}
+
+// writeTrace serializes events as a Chrome trace JSON array.
+func writeTrace(w io.Writer, events []ctrace.Event) error {
+	return ctrace.Write(w, events)
+}

@@ -1,0 +1,94 @@
+#!/bin/sh
+# Smoke test for the simd experiment service, exercising the acceptance
+# path end to end over HTTP with curl:
+#   1. submit a small tile-scaling spec and wait for it to finish,
+#   2. submit an overlapping subset spec and assert it is served entirely
+#      from the point cache (no new simulations, /metrics proves it),
+#   3. resubmit the original spec under a reordered spelling and assert it
+#      dedups onto the same job with byte-identical CSV,
+#   4. cancel a large sweep mid-run,
+#   5. SIGINT the server and assert a clean checkpoint-and-exit.
+# Run from the repository root: ./scripts/simd_smoke.sh
+set -eu
+
+TMP=$(mktemp -d)
+cleanup() {
+    [ -n "${SIMD_PID:-}" ] && kill "$SIMD_PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+go build -o "$TMP/simd" ./cmd/simd
+
+"$TMP/simd" -addr 127.0.0.1:0 -state "$TMP/state" >"$TMP/simd.log" 2>&1 &
+SIMD_PID=$!
+
+# The first log line announces the bound address.
+i=0
+until grep -q 'listening on' "$TMP/simd.log"; do
+    i=$((i + 1))
+    [ "$i" -gt 50 ] && { echo "simd did not start"; cat "$TMP/simd.log"; exit 1; }
+    sleep 0.1
+done
+ADDR=$(sed -n 's/^simd: listening on \([^ ]*\).*/\1/p' "$TMP/simd.log")
+echo "simd up at $ADDR"
+
+wait_done() { # $1 = job id
+    i=0
+    while :; do
+        state=$(curl -s "http://$ADDR/jobs/$1" | sed -n 's/.*"state": *"\([a-z]*\)".*/\1/p')
+        case "$state" in
+        done) return 0 ;;
+        failed | cancelled) echo "job $1 settled as $state"; exit 1 ;;
+        esac
+        i=$((i + 1))
+        [ "$i" -gt 600 ] && { echo "job $1 stuck in $state"; exit 1; }
+        sleep 0.1
+    done
+}
+
+metric() { # $1 = metric name -> value
+    curl -s "http://$ADDR/metrics?format=csv" | awk -F, -v m="$1" '$2 == m { print $5 }'
+}
+
+# 1. Cold run: a 6-point tile sweep (N=3600, 2 backends x 3 tiles).
+SPEC='{"kind":"tile","scale":0.01,"nodes":2,"runs":1}'
+ID=$(curl -s -X POST "http://$ADDR/jobs" -d "$SPEC" | sed -n 's/.*"id": *"\([0-9a-f]*\)".*/\1/p')
+[ -n "$ID" ] || { echo "submit failed"; exit 1; }
+wait_done "$ID"
+curl -s "http://$ADDR/jobs/$ID/result" >"$TMP/cold.csv"
+[ "$(metric points_executed)" = "6" ] || { echo "cold run executed $(metric points_executed) points, want 6"; exit 1; }
+
+# 2. Overlapping subset sweep: every point already cached, zero simulations.
+SUB=$(curl -s -X POST "http://$ADDR/jobs" -d '{"kind":"tile","scale":0.01,"nodes":2,"runs":1,"tiles":[1200,1800]}' |
+    sed -n 's/.*"id": *"\([0-9a-f]*\)".*/\1/p')
+wait_done "$SUB"
+HITS=$(metric cache_hits)
+[ "$HITS" = "4" ] || { echo "subset sweep hit $HITS cached points, want 4"; exit 1; }
+[ "$(metric points_executed)" = "6" ] || { echo "subset sweep re-simulated cached points"; exit 1; }
+
+# 3. Same spec, reordered spelling: dedups onto the same job, identical CSV.
+AGAIN=$(curl -s -X POST "http://$ADDR/jobs" -d '{"runs":1,"nodes":2,"kind":"tile","scale":0.01}')
+echo "$AGAIN" | grep -q "\"id\": \"$ID\"" || { echo "resubmit did not dedup: $AGAIN"; exit 1; }
+echo "$AGAIN" | grep -q '"fresh": false' || { echo "resubmit claims to be fresh: $AGAIN"; exit 1; }
+curl -s "http://$ADDR/jobs/$ID/result" >"$TMP/warm.csv"
+cmp "$TMP/cold.csv" "$TMP/warm.csv" || { echo "warm CSV differs from cold CSV"; exit 1; }
+
+# 4. Cancel mid-sweep: a strong-scaling sweep far too big to finish.
+BIG=$(curl -s -X POST "http://$ADDR/jobs" -d '{"kind":"nodes","scale":0.5,"runs":5}' |
+    sed -n 's/.*"id": *"\([0-9a-f]*\)".*/\1/p')
+curl -s -X POST "http://$ADDR/jobs/$BIG/cancel" >/dev/null
+i=0
+until curl -s "http://$ADDR/jobs/$BIG" | grep -q '"state": "cancelled"'; do
+    i=$((i + 1))
+    [ "$i" -gt 600 ] && { echo "cancel did not settle"; exit 1; }
+    sleep 0.1
+done
+
+# 5. Graceful shutdown: SIGINT drains, checkpoints, exits 0.
+kill -INT "$SIMD_PID"
+wait "$SIMD_PID" || { echo "simd exited non-zero after SIGINT"; exit 1; }
+SIMD_PID=
+[ -f "$TMP/state/jobs.json" ] || { echo "no checkpoint written"; exit 1; }
+
+echo "simd smoke: OK (cold 6 points, warm subset 4 hits, dedup CSV identical, cancel + SIGINT clean)"

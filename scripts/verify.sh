@@ -40,3 +40,10 @@ timeout 120 go test -run='^$' -fuzz=FuzzDecodeGetData -fuzztime=2s ./internal/pa
 timeout 120 go test -run='^$' -fuzz=FuzzDecodePutMeta -fuzztime=2s ./internal/parsec
 timeout 120 go test -run='^$' -fuzz=FuzzDecodeHeartbeat -fuzztime=2s ./internal/rel
 timeout 120 go test -run='^$' -fuzz=FuzzDecodeCheckpoint -fuzztime=2s ./internal/recover
+timeout 120 go test -run='^$' -fuzz=FuzzDecodeSpec -fuzztime=2s ./internal/expd
+
+# Experiment-service smoke behind a time budget: start simd on a random
+# port, prove the content-addressed cache (cold sweep, warm subset, dedup
+# resubmit with byte-identical CSV), cancel a sweep mid-run, and shut down
+# cleanly on SIGINT (full path: `make simd-smoke`).
+timeout 180 ./scripts/simd_smoke.sh
