@@ -31,9 +31,13 @@ fuzz-smoke:
 	go test -run='^$$' -fuzz=FuzzDecodeActivates -fuzztime=2s ./internal/parsec
 	go test -run='^$$' -fuzz=FuzzDecodeGetData -fuzztime=2s ./internal/parsec
 	go test -run='^$$' -fuzz=FuzzDecodePutMeta -fuzztime=2s ./internal/parsec
+	go test -run='^$$' -fuzz=FuzzDecodeTermMsg -fuzztime=2s ./internal/parsec
 	go test -run='^$$' -fuzz=FuzzDecodeHeartbeat -fuzztime=2s ./internal/rel
 	go test -run='^$$' -fuzz=FuzzDecodeCheckpoint -fuzztime=2s ./internal/recover
 	go test -run='^$$' -fuzz=FuzzDecodeSpec -fuzztime=2s ./internal/expd
+	go test -run='^$$' -fuzz=FuzzDecodeStealRequest -fuzztime=2s ./internal/steal
+	go test -run='^$$' -fuzz=FuzzDecodeStealReply -fuzztime=2s ./internal/steal
+	go test -run='^$$' -fuzz=FuzzDecodeStealRelease -fuzztime=2s ./internal/steal
 
 # End-to-end smoke of the simd experiment service: content-addressed cache
 # hits with byte-identical CSV, mid-sweep cancel, and SIGINT checkpointing.

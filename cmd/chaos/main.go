@@ -36,6 +36,7 @@ func main() {
 	quick := flag.Bool("quick", false, "one 2% point per backend on the Cholesky graph")
 	sever := flag.Bool("sever", false, "sever link 0->1 and demonstrate the clean PeerUnreachable abort")
 	crash := flag.String("crash", "", "crash-recovery demonstration: rank@time, e.g. 1@3ms or 1@40% (percent of the fault-free makespan)")
+	steal := flag.Bool("steal", false, "enable inter-rank work stealing (idle ranks pull ready tasks from loaded peers)")
 	metricsDir := flag.String("metrics", "", "dump per-run metric summaries as CSV into this directory (e.g. results)")
 	j := flag.Int("j", 1, "parallel sweep workers for the rate sweep (0 = one per CPU); output is identical for every value")
 	flag.Parse()
@@ -48,7 +49,7 @@ func main() {
 		os.Exit(runSever(*seed))
 	}
 	if *crash != "" {
-		os.Exit(runCrash(*crash, *metricsDir))
+		os.Exit(runCrash(*crash, *metricsDir, *steal))
 	}
 
 	rates := []float64{0.005, 0.01, 0.02}
@@ -61,9 +62,9 @@ func main() {
 		workloads = []chaos.Workload{chaos.Cholesky}
 	}
 
-	fmt.Printf("%-8s %-9s %6s %10s %9s %6s %6s %6s %7s  %s\n",
+	fmt.Printf("%-8s %-9s %6s %10s %9s %6s %6s %6s %7s %6s  %s\n",
 		"backend", "workload", "rate", "makespan", "slowdown",
-		"drop", "dup", "corr", "retrans", "verdict")
+		"drop", "dup", "corr", "retrans", "steals", "verdict")
 
 	// One sweep point per (backend, workload): the baseline and each rate
 	// share the point because slowdown is relative to that baseline. Points
@@ -100,7 +101,8 @@ func main() {
 				Faults: &fabric.FaultConfig{
 					Drop: r, Duplicate: r, Corrupt: r, Reorder: r, Seed: *seed,
 				},
-				Rel: &rc,
+				Rel:   &rc,
+				Steal: *steal,
 			})
 			verdict := "verified"
 			if res.Err != nil {
@@ -111,10 +113,10 @@ func main() {
 				pr.bad = true
 			}
 			slow := float64(res.Makespan) / float64(base.Makespan)
-			pr.lines = append(pr.lines, fmt.Sprintf("%-8v %-9v %5.1f%% %10v %8.2fx %6d %6d %6d %7d  %s",
+			pr.lines = append(pr.lines, fmt.Sprintf("%-8v %-9v %5.1f%% %10v %8.2fx %6d %6d %6d %7d %6d  %s",
 				b, w, r*100, res.Makespan, slow,
 				res.Faults.Dropped, res.Faults.Duplicated, res.Faults.Corrupted,
-				res.Rel.Retransmits, verdict))
+				res.Rel.Retransmits, res.Steals, verdict))
 			if *metricsDir != "" {
 				if path, err := dumpMetrics(*metricsDir, b, w, r, res); err != nil {
 					pr.lines = append(pr.lines, fmt.Sprintf("chaos: metrics dump failed: %v", err))
@@ -193,8 +195,10 @@ func parseCrash(s string) (rank int, at sim.Duration, pct float64, err error) {
 // runCrash is the crash-recovery proof: for every (backend, workload) point
 // it measures the fault-free baseline, the recovery-armed overhead without a
 // crash, the recovered makespan with the scripted crash, and an exact replay
-// — then writes the whole table as a CSV artifact.
-func runCrash(spec, dir string) int {
+// — then writes the whole table as a CSV artifact. With steal, every run of
+// a point has work stealing enabled, so the recovered makespan shows how an
+// idle survivor drains the dead rank's buddy.
+func runCrash(spec, dir string, steal bool) int {
 	rank, at, pct, err := parseCrash(spec)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
@@ -214,21 +218,21 @@ func runCrash(spec, dir string) int {
 		return 1
 	}
 	defer f.Close()
-	fmt.Fprintln(f, "backend,workload,crash_rank,crash_at,baseline_makespan,armed_makespan,recovered_makespan,armed_overhead,recovered_slowdown,restarts,peer_deaths,ckpt_sent,ckpt_bytes,ckpt_stored,tasks_restored,stale_dropped,rel_err,verified,replay_identical")
+	fmt.Fprintln(f, "backend,workload,crash_rank,crash_at,baseline_makespan,armed_makespan,recovered_makespan,armed_overhead,recovered_slowdown,restarts,peer_deaths,ckpt_sent,ckpt_bytes,ckpt_stored,tasks_restored,stale_dropped,steals,steal_tasks,rel_err,verified,replay_identical")
 
-	fmt.Printf("%-8s %-9s %10s %10s %10s %10s %8s %5s %5s %6s %6s  %s\n",
+	fmt.Printf("%-8s %-9s %10s %10s %10s %10s %8s %5s %5s %6s %6s %6s  %s\n",
 		"backend", "workload", "crash-at", "baseline", "armed", "recovered",
-		"slowdown", "rst", "death", "ckpt", "restor", "verdict")
+		"slowdown", "rst", "death", "ckpt", "restor", "steals", "verdict")
 	bad := false
 	for _, b := range stack.Backends {
 		for _, w := range chaos.Workloads {
-			base := chaos.Run(chaos.Opts{Backend: b, Workload: w})
+			base := chaos.Run(chaos.Opts{Backend: b, Workload: w, Steal: steal})
 			if base.Err != nil || !base.Verified {
 				fmt.Printf("%-8v %-9v fault-free baseline broken: %v\n", b, w, base.Err)
 				bad = true
 				continue
 			}
-			armed := chaos.Run(chaos.Opts{Backend: b, Workload: w, Recover: true})
+			armed := chaos.Run(chaos.Opts{Backend: b, Workload: w, Recover: true, Steal: steal})
 			if armed.Err != nil || !armed.Verified || armed.Restarts != 0 {
 				fmt.Printf("%-8v %-9v recovery-armed healthy run broken: %v (restarts %d)\n",
 					b, w, armed.Err, armed.Restarts)
@@ -240,7 +244,7 @@ func runCrash(spec, dir string) int {
 				crashAt = sim.Duration(float64(base.Makespan) * pct / 100)
 			}
 			cs := chaos.CrashSpec{Rank: rank, At: crashAt}
-			o := chaos.Opts{Backend: b, Workload: w, Crash: &cs, Recover: true}
+			o := chaos.Opts{Backend: b, Workload: w, Crash: &cs, Recover: true, Steal: steal}
 			res := chaos.Run(o)
 			replay := chaos.Run(o)
 
@@ -259,16 +263,18 @@ func runCrash(spec, dir string) int {
 				verdict = fmt.Sprintf("REPLAY DIVERGED (%v vs %v)", replay.Makespan, res.Makespan)
 				bad = true
 			}
-			fmt.Printf("%-8v %-9v %10v %10v %10v %10v %7.2fx %5d %5d %6d %6d  %s\n",
+			fmt.Printf("%-8v %-9v %10v %10v %10v %10v %7.2fx %5d %5d %6d %6d %6d  %s\n",
 				b, w, crashAt, base.Makespan, armed.Makespan, res.Makespan,
 				float64(res.Makespan)/float64(base.Makespan),
-				res.Restarts, res.PeerDeaths, res.CkptSent, res.TasksRestored, verdict)
-			fmt.Fprintf(f, "%v,%v,%d,%v,%v,%v,%v,%.4f,%.4f,%d,%d,%d,%d,%d,%d,%d,%g,%t,%t\n",
+				res.Restarts, res.PeerDeaths, res.CkptSent, res.TasksRestored,
+				res.Steals, verdict)
+			fmt.Fprintf(f, "%v,%v,%d,%v,%v,%v,%v,%.4f,%.4f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%g,%t,%t\n",
 				b, w, rank, crashAt, base.Makespan, armed.Makespan, res.Makespan,
 				float64(armed.Makespan)/float64(base.Makespan),
 				float64(res.Makespan)/float64(base.Makespan),
 				res.Restarts, res.PeerDeaths, res.CkptSent, res.CkptBytes,
 				res.CkptStored, res.TasksRestored, res.StaleDropped,
+				res.Steals, res.StealTasks,
 				res.RelErr, res.Verified, replay.Makespan == res.Makespan)
 		}
 	}

@@ -43,6 +43,7 @@ func main() {
 	listConfig := flag.Bool("list-config", false, "print the simulated platform configuration (Table 1 analogue) and exit")
 	metricsDir := flag.String("metrics", "", "run one instrumented HiCMA point per backend and dump its metric registry as CSV into this directory, then exit")
 	j := flag.Int("j", 1, "parallel sweep workers (0 = one per CPU); tables and CSVs are byte-identical for every value")
+	steal := flag.Bool("steal", false, "enable inter-rank work stealing in the HiCMA tile sweep (Figs 4a/4b)")
 	csvDir := flag.String("csv", "", "also write each table as a CSV file into this directory")
 	flag.Parse()
 	// Each sweep sizes its worker count against its own point grid, so -j 0
@@ -182,6 +183,7 @@ func main() {
 				o := bench.DefaultHiCMAOpts(b, tiles[i], 16)
 				o.N = n
 				o.MT = mt
+				o.Steal = *steal
 				o.Runs = hicma
 				res[key{b, mt}] = bench.HiCMA(o)
 			}

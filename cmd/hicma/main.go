@@ -10,8 +10,9 @@
 //
 // Common flags: -scale F shrinks the N=360,000 problem, -runs N sets the
 // measurement protocol (mean of 5 in the paper), -syncclocks enables the
-// §6.1.3 clock-synchronization epoch over skewed rank clocks, -j N runs N
-// sweep points in parallel (0 = all CPUs) with output identical to -j 1.
+// §6.1.3 clock-synchronization epoch over skewed rank clocks, -steal turns
+// on inter-rank work stealing, -j N runs N sweep points in parallel (0 =
+// all CPUs) with output identical to -j 1.
 //
 // The sweeps drive the same spec codepath as the simd experiment service
 // (internal/expd): the flags build a canonical spec, the spec expands to
@@ -40,6 +41,7 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "problem-size scale factor in (0,1]; 1 = the paper's N=360,000")
 	runs := flag.Int("runs", 5, "executions per configuration (paper: mean of five)")
 	syncClocks := flag.Bool("syncclocks", false, "synchronize skewed rank clocks before measuring (§6.1.3)")
+	steal := flag.Bool("steal", false, "enable inter-rank work stealing (idle ranks pull ready tasks from loaded peers)")
 	j := flag.Int("j", 1, "parallel sweep workers (0 = one per CPU); output is identical for every value")
 	cacheDir := flag.String("cache", "", "content-addressed result cache directory (share simd's state/cache to reuse its points)")
 	flag.Parse()
@@ -67,7 +69,7 @@ func main() {
 		return canon, results
 	}
 
-	base := expd.Spec{Scale: *scale, SyncClocks: *syncClocks, Runs: *runs}
+	base := expd.Spec{Scale: *scale, SyncClocks: *syncClocks, Steal: *steal, Runs: *runs}
 
 	switch *sweep {
 	case "tile":

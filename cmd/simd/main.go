@@ -35,9 +35,10 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an OS-assigned port)")
 	state := flag.String("state", "simd-state", "state directory (result cache + job checkpoint)")
 	j := flag.Int("j", 0, "sweep worker pool size (0 = one per CPU)")
+	cacheMax := flag.Int("cache-max", 0, "bound the result cache to this many point entries, LRU-evicted (0 = unbounded)")
 	flag.Parse()
 
-	srv, err := expd.NewServer(expd.Options{Dir: *state, Workers: *j})
+	srv, err := expd.NewServer(expd.Options{Dir: *state, Workers: *j, CacheMax: *cacheMax})
 	if err != nil {
 		log.Fatalf("simd: %v", err)
 	}

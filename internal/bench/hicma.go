@@ -38,7 +38,10 @@ type HiCMAOpts struct {
 	// rank clocks before the factorization and corrects latencies with the
 	// estimated offsets; otherwise clocks are perfect.
 	SyncClocks bool
-	Seed       uint64
+	// Steal enables inter-rank work stealing (idle ranks pull ready tasks
+	// and their input tiles from loaded peers).
+	Steal bool
+	Seed  uint64
 }
 
 // DefaultHiCMAOpts mirrors the paper's configuration.
@@ -103,6 +106,7 @@ func hicmaRun(o HiCMAOpts, run uint64) (float64, *parsec.Runtime, *hicma.Pool) {
 	cfg.Seed = o.Seed + run
 	cfg.FetchCap = o.FetchCap
 	cfg.MTActivate = o.MT
+	cfg.Steal = o.Steal
 	cfg.Metrics = s.Metrics
 	rt := parsec.New(s.Eng, s.Engines, pool, cfg)
 

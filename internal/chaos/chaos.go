@@ -75,6 +75,29 @@ type Opts struct {
 	// completed tasks' outputs, and the parsec runtime re-executes the dead
 	// rank's work on its buddy.
 	Recover bool
+
+	// Steal enables inter-rank work stealing in the runtime: idle ranks
+	// probe loaded ones and migrate ready tasks, which is what flattens the
+	// post-crash imbalance a restart dumps on one buddy.
+	Steal bool
+
+	// TaskScale multiplies every task's simulated compute cost (values <= 1
+	// mean 1, i.e. unscaled). The chaos mini-problems shrink the matrices so
+	// the numerics verify quickly, which leaves their runs network-latency
+	// bound; scaling compute back up restores the paper's regime, where
+	// worker busy time dominates and a post-crash imbalance is visible in
+	// the makespan. Numerics are unaffected — only simulated durations grow.
+	TaskScale float64
+}
+
+// scaledPool wraps a Taskpool, multiplying task costs by a constant.
+type scaledPool struct {
+	parsec.Taskpool
+	scale float64
+}
+
+func (p scaledPool) Cost(t parsec.TaskID) sim.Duration {
+	return sim.Duration(float64(p.Taskpool.Cost(t)) * p.scale)
 }
 
 // CrashSpec schedules one rank's fail-stop crash.
@@ -109,6 +132,16 @@ type Result struct {
 	CkptStored    uint64 // checkpoint frames retained for a buddy
 	TasksRestored uint64 // done tasks rebuilt from checkpoints at restart
 	StaleDropped  uint64 // pre-crash messages dropped by the epoch guard
+	// Work-stealing and termination-detection counters (steals are all zero
+	// when Opts.Steal was off; the detector always runs).
+	Steals        uint64 // successful steal exchanges (thief side)
+	StealTasks    uint64 // tasks migrated to thieves
+	StealGranted  uint64 // tasks granted by victims
+	TermRounds    uint64 // detector rounds initiated
+	TermAnnounced bool   // the detector proved and announced termination
+	// WorkerBusy is each rank's total worker-core busy time: the per-rank
+	// idle/busy split that demonstrates a post-crash rebalance.
+	WorkerBusy []sim.Duration
 	// Metrics is the deployment's shared instrument registry, for
 	// end-of-run dumps (cmd/chaos -metrics).
 	Metrics *metrics.Registry
@@ -205,10 +238,14 @@ func Run(o Opts) Result {
 	default:
 		panic(fmt.Sprintf("chaos: unknown workload %d", int(o.Workload)))
 	}
+	if o.TaskScale > 1 {
+		tp = scaledPool{Taskpool: tp, scale: o.TaskScale}
+	}
 
 	cfg := parsec.DefaultConfig(o.Workers)
 	cfg.Jitter = 0
 	cfg.Metrics = s.Metrics
+	cfg.Steal = o.Steal
 	rt := parsec.New(s.Eng, s.Engines, tp, cfg)
 	if o.Recover {
 		mgrs := make([]*recov.Manager, len(s.Engines))
@@ -224,8 +261,10 @@ func Run(o Opts) Result {
 		// from the survivors' failure detectors.
 		s.Fab.OnCrash(rt.KillRank)
 		// Heartbeats are the one event source that outlives the workload;
-		// stop them when every task has run, so the simulation can drain.
-		rt.OnQuiesce(s.Rel.StopHeartbeats)
+		// they stop when the termination detector *proves* the computation
+		// over (global quiet + no counted message in flight), so the
+		// simulation can drain — detection, not orchestrator fiat.
+		rt.OnTerminate(s.Rel.StopHeartbeats)
 	}
 
 	var res Result
@@ -238,6 +277,15 @@ func Run(o Opts) Result {
 	res.CkptStored = s.Metrics.Total("recover", "ckpt_stored")
 	res.TasksRestored = s.Metrics.Total("parsec", "tasks_restored")
 	res.StaleDropped = s.Metrics.Total("parsec", "stale_drops")
+	res.Steals = s.Metrics.Total("parsec", "steals")
+	res.StealTasks = s.Metrics.Total("parsec", "steal_tasks")
+	res.StealGranted = s.Metrics.Total("parsec", "steal_granted")
+	res.TermRounds = s.Metrics.Total("parsec", "term_rounds")
+	res.TermAnnounced = rt.Terminated()
+	res.WorkerBusy = make([]sim.Duration, o.Ranks)
+	for r := 0; r < o.Ranks; r++ {
+		res.WorkerBusy[r] = rt.Stats(r).WorkerBusy
+	}
 	if so.Faults != nil {
 		res.Faults = s.Fab.FaultStats()
 	}

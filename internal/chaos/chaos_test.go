@@ -109,8 +109,12 @@ func TestSeveredLinkAbortsCleanly(t *testing.T) {
 			if !errors.As(res.Err, &pu) {
 				t.Fatalf("abort error does not carry PeerUnreachable: %v", res.Err)
 			}
-			if pu.From != 0 || pu.To != 1 {
-				t.Fatalf("unreachable pair (%d,%d), want (0,1)", pu.From, pu.To)
+			// Either endpoint may detect: rank 0's sends to 1 are dropped
+			// outright, and rank 1's sends to 0 are delivered but lose their
+			// ACKs on the severed return direction. The termination detector's
+			// t=0 control traffic means rank 1 often races ahead.
+			if !(pu.From == 0 && pu.To == 1) && !(pu.From == 1 && pu.To == 0) {
+				t.Fatalf("unreachable pair (%d,%d), want the severed pair {0,1}", pu.From, pu.To)
 			}
 			if res.Rel.Unreachable == 0 {
 				t.Fatalf("rel stats show no unreachable peer: %+v", res.Rel)

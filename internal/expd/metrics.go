@@ -100,6 +100,18 @@ func (m *serviceMetrics) pointEnd() {
 	m.inflight.Add(-1)
 }
 
+// trackEvictions exposes a bounded cache's eviction count as the cumulative
+// cache_evictions metric (reads zero forever on an unbounded cache). A probe
+// rather than a counter: the cache keeps the authoritative count under its
+// own lock, and the registry samples it at snapshot time.
+func (m *serviceMetrics) trackEvictions(c *Cache) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.reg.Probe("expd", "cache_evictions", 0, true, func() float64 {
+		return float64(c.Evictions())
+	})
+}
+
 // table snapshots the registry as a bench table (rendered to CSV or text by
 // the /metrics handler).
 func (m *serviceMetrics) table() *bench.Table {

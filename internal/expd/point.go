@@ -35,6 +35,7 @@ type Point struct {
 	Nodes      int  `json:"nodes,omitempty"`
 	MT         bool `json:"mt,omitempty"`
 	SyncClocks bool `json:"sync_clocks,omitempty"`
+	Steal      bool `json:"steal,omitempty"`
 	Runs       int  `json:"runs,omitempty"`
 	Discard    int  `json:"discard,omitempty"`
 
@@ -118,6 +119,7 @@ func EvalPoint(p Point) (res PointResult, err error) {
 		o.N = p.N
 		o.MT = p.MT
 		o.SyncClocks = p.SyncClocks
+		o.Steal = p.Steal
 		o.Runs = stats.Methodology{Runs: p.Runs, Discard: p.Discard}
 		if p.Seed != 0 {
 			o.Seed = p.Seed

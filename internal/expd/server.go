@@ -20,6 +20,9 @@ type Options struct {
 	Dir string
 	// Workers bounds the sweep worker pool; <=0 selects GOMAXPROCS.
 	Workers int
+	// CacheMax bounds the result cache to this many point entries with LRU
+	// eviction; <=0 leaves it unbounded.
+	CacheMax int
 }
 
 // Server is the experiment service: it accepts specs, expands them to
@@ -51,14 +54,16 @@ func NewServer(opts Options) (*Server, error) {
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
-	cache, err := OpenCache(filepath.Join(opts.Dir, "cache"))
+	cache, err := OpenCacheBounded(filepath.Join(opts.Dir, "cache"), opts.CacheMax)
 	if err != nil {
 		return nil, err
 	}
+	met := newServiceMetrics()
+	met.trackEvictions(cache)
 	s := &Server{
 		opts:  opts,
 		cache: cache,
-		met:   newServiceMetrics(),
+		met:   met,
 		jobs:  make(map[string]*Job),
 		subs:  make(map[string]map[chan Event]bool),
 		wake:  make(chan struct{}, 1),

@@ -117,6 +117,7 @@ type Spec struct {
 	Tiles      []int   `json:"tiles,omitempty"`
 	MT         bool    `json:"mt,omitempty"` // tile kind: also measure multithreaded ACTIVATEs
 	SyncClocks bool    `json:"sync_clocks,omitempty"`
+	Steal      bool    `json:"steal,omitempty"` // enable inter-rank work stealing
 	Runs       int     `json:"runs,omitempty"` // measurement protocol (default 1)
 	Discard    int     `json:"discard,omitempty"`
 
@@ -338,6 +339,7 @@ func (s Spec) Canonical() (Spec, error) {
 			}
 		}
 		c.SyncClocks = s.SyncClocks
+		c.Steal = s.Steal
 		c.Runs, c.Discard = s.Runs, s.Discard
 		if c.Runs == 0 {
 			c.Runs = 1
@@ -351,8 +353,8 @@ func (s Spec) Canonical() (Spec, error) {
 			reject(s.Scale != 0, "scale"), reject(s.N != 0, "n"),
 			reject(s.Nodes != 0, "nodes"), reject(len(s.NodeCounts) != 0, "node_counts"),
 			reject(len(s.Tiles) != 0, "tiles"), reject(s.MT, "mt"),
-			reject(s.SyncClocks, "sync_clocks"), reject(s.Runs != 0, "runs"),
-			reject(s.Discard != 0, "discard"),
+			reject(s.SyncClocks, "sync_clocks"), reject(s.Steal, "steal"),
+			reject(s.Runs != 0, "runs"), reject(s.Discard != 0, "discard"),
 			reject(len(s.Workloads) != 0, "workloads"), reject(len(s.Rates) != 0, "rates"),
 		} {
 			if e != nil {
@@ -416,8 +418,8 @@ func (s Spec) Canonical() (Spec, error) {
 			reject(s.Scale != 0, "scale"), reject(s.N != 0, "n"),
 			reject(s.Nodes != 0, "nodes"), reject(len(s.NodeCounts) != 0, "node_counts"),
 			reject(len(s.Tiles) != 0, "tiles"), reject(s.MT, "mt"),
-			reject(s.SyncClocks, "sync_clocks"), reject(s.Runs != 0, "runs"),
-			reject(s.Discard != 0, "discard"),
+			reject(s.SyncClocks, "sync_clocks"), reject(s.Steal, "steal"),
+			reject(s.Runs != 0, "runs"), reject(s.Discard != 0, "discard"),
 			reject(len(s.Ops) != 0, "ops"), reject(len(s.Ranks) != 0, "ranks"),
 			reject(len(s.Sizes) != 0, "sizes"), reject(s.Iters != 0, "iters"),
 		} {
@@ -476,7 +478,7 @@ func (s Spec) Points() []Point {
 				for _, nb := range s.Tiles {
 					pts = append(pts, Point{
 						Kind: PointHiCMA, Backend: b, N: s.N, NB: nb, Nodes: s.Nodes,
-						MT: mt, SyncClocks: s.SyncClocks,
+						MT: mt, SyncClocks: s.SyncClocks, Steal: s.Steal,
 						Runs: s.Runs, Discard: s.Discard, Seed: s.Seed,
 					})
 				}
@@ -490,8 +492,8 @@ func (s Spec) Points() []Point {
 				for _, nb := range s.Tiles {
 					pts = append(pts, Point{
 						Kind: PointHiCMA, Backend: b, N: s.N, NB: nb, Nodes: nd,
-						SyncClocks: s.SyncClocks,
-						Runs:       s.Runs, Discard: s.Discard, Seed: s.Seed,
+						SyncClocks: s.SyncClocks, Steal: s.Steal,
+						Runs: s.Runs, Discard: s.Discard, Seed: s.Seed,
 					})
 				}
 			}

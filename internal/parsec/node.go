@@ -7,6 +7,7 @@ import (
 	"amtlci/internal/core"
 	"amtlci/internal/metrics"
 	"amtlci/internal/sim"
+	"amtlci/internal/steal"
 )
 
 // node is one rank's runtime instance: scheduler state, worker cores, the
@@ -47,10 +48,35 @@ type node struct {
 	pendingAct  map[int][]activation
 	flushQueued map[int]bool
 
+	// Termination-detection state (term.go). csent/crecv count the dataflow
+	// protocol messages this rank sent and accepted; the imbalance, summed
+	// by the circulating token, is what lets in-flight sends veto a
+	// termination verdict. pendingOps counts deferred communication-thread
+	// operations so the quiet predicate covers the window between scheduling
+	// and execution.
+	csent, crecv int64
+	black        bool
+	dirty        bool
+	heldToken    *termMsg
+	pendingOps   int
+
+	// Work-stealing state (steal_node.go); rot is nil unless cfg.Steal.
+	// starving records thieves whose probes this rank denied: when new local
+	// work appears, the victim pushes a grant instead of making the thief
+	// poll — the event-driven answer to retry timers, which would keep the
+	// simulation (and the termination detector) churning forever.
+	starving       map[int]bool
+	stealSvcQueued bool
+	rot            *steal.Rotation
+	probeOut       bool
+	probeSentAt    sim.Time
+
 	// Runtime counters (metrics registry, layer "parsec", per rank).
 	tasksRun, activatesSent, activations  *metrics.Counter
 	getsSent, fetchDeferred, bytesFetched *metrics.Counter
 	staleDrops, tasksRestored             *metrics.Counter
+	stealsC, stealTasksC, stealGrantedC   *metrics.Counter
+	stealLat                              *metrics.Histogram
 
 	inputScratch []Dep
 	succScratch  []Dep
@@ -75,6 +101,10 @@ type flowData struct {
 	pendingGets  []getReq
 	waiters      []TaskID
 	localRefs    int
+	// stolen marks an entry created by adopting a stolen task before any
+	// activation for the flow reached this rank; a real activation merges
+	// into it (mergeActivation) rather than colliding.
+	stolen bool
 	// Tracing/forwarding metadata, valid away from the root.
 	meta activation
 }
@@ -105,6 +135,13 @@ func newNode(rt *Runtime, rank int, ce core.Engine, cfg Config) *node {
 	n.bytesFetched = reg.Counter("parsec", "bytes_fetched", rank)
 	n.staleDrops = reg.Counter("parsec", "stale_drops", rank)
 	n.tasksRestored = reg.Counter("parsec", "tasks_restored", rank)
+	n.stealsC = reg.Counter("parsec", "steals", rank)
+	n.stealTasksC = reg.Counter("parsec", "steal_tasks", rank)
+	n.stealGrantedC = reg.Counter("parsec", "steal_granted", rank)
+	n.stealLat = reg.Histogram("parsec", "steal_latency_ns", rank)
+	// The dirty flag starts armed so a rank that is quiet from the outset
+	// (no local tasks, no traffic) still introduces itself to the detector.
+	n.dirty = true
 	reg.Probe("parsec", "ready_queue_depth", rank, false, func() float64 { return float64(n.ready.Len()) })
 	reg.Probe("parsec", "fetch_queue_depth", rank, false, func() float64 { return float64(n.fetchQ.Len()) })
 	reg.Probe("parsec", "active_fetches", rank, false, func() float64 { return float64(n.activeFetches) })
@@ -118,6 +155,13 @@ func newNode(rt *Runtime, rank int, ce core.Engine, cfg Config) *node {
 	ce.TagReg(tagActivate, n.onActivate, int64(cfg.AMCap))
 	ce.TagReg(tagGetData, n.onGetData, 256)
 	ce.TagReg(tagPutDone, n.onPutDone, 256)
+	ce.TagReg(tagTerm, n.onTerm, 256)
+	ce.TagReg(tagStealReq, n.onStealReq, 256)
+	ce.TagReg(tagStealRep, n.onStealRep, 16<<10)
+	ce.TagReg(tagStealRel, n.onStealRel, 256)
+	if cfg.Steal {
+		n.rot = steal.NewRotation(rank, rt.ranks())
+	}
 	return n
 }
 
@@ -171,6 +215,16 @@ func (n *node) launchLazy(st *taskState) {
 }
 
 func (n *node) makeReady(t TaskID) {
+	// Fresh local work re-arms the steal rotation: a dormant thief should
+	// try the ring again once its situation has changed. It also wakes the
+	// victim side: thieves whose probes were denied get a pushed grant.
+	if n.rot != nil {
+		n.rot.Reset()
+		if len(n.starving) > 0 && !n.stealSvcQueued {
+			n.stealSvcQueued = true
+			n.submit(0, n.serveStarving)
+		}
+	}
 	n.ready.Push(n.rt.tp.Priority(t), t, nil)
 	n.dispatch()
 }
@@ -213,12 +267,16 @@ func (n *node) runTask(t TaskID, w int) {
 		if n.rt.obs != nil {
 			n.rt.obs.TaskEnd(n.rank, w, t, n.rt.eng.Now())
 		}
-		// The worker picks up the next ready task or goes idle.
+		// The worker picks up the next ready task or goes idle. Idling is a
+		// quiet-transition point: the last worker to idle may complete the
+		// rank's termination-detection obligations (and go looking for work
+		// to steal).
 		if n.ready.Len() > 0 {
 			it := n.ready.Pop()
 			n.runTask(it.task, w)
 		} else {
 			n.idle = append(n.idle, w)
+			n.pollQuiet()
 		}
 	})
 }
@@ -320,7 +378,6 @@ func (n *node) complete(t TaskID, w int) {
 			n.sendActivate(int(sub[0]), act, w)
 		}
 	}
-	n.rt.maybeQuiesce()
 }
 
 // sendActivate routes one activation entry: funneled through the
@@ -332,20 +389,21 @@ func (n *node) sendActivate(dest int, act activation, w int) {
 		payload := encodeActivates([]activation{act})
 		n.activatesSent.Inc()
 		n.activations.Inc()
+		n.csent++
 		if n.rt.obs != nil {
 			n.rt.obs.ActivateSent(n.rank, dest, 1, n.rt.eng.Now())
 		}
 		n.ce.SendAMMT(n.workers[w], tagActivate, dest, payload, nil)
 		return
 	}
-	n.ce.Submit(n.cfg.AggregationCost, func() {
+	n.submit(n.cfg.AggregationCost, func() {
 		n.pendingAct[dest] = append(n.pendingAct[dest], act)
 		if !n.flushQueued[dest] {
 			n.flushQueued[dest] = true
 			// The flush runs when the communication thread next gets to it;
 			// everything queued for dest in the meantime aggregates into
 			// one ACTIVATE message (§4.3 duty 1).
-			n.ce.Submit(0, func() { n.flushActivates(dest) })
+			n.submit(0, func() { n.flushActivates(dest) })
 		}
 	})
 }
@@ -376,6 +434,7 @@ func (n *node) flushActivates(dest int) {
 		entries = entries[cut:]
 		n.activatesSent.Inc()
 		n.activations.Add(uint64(len(chunk)))
+		n.csent++
 		if n.rt.obs != nil {
 			n.rt.obs.ActivateSent(n.rank, dest, len(chunk), n.rt.eng.Now())
 		}
@@ -404,6 +463,13 @@ func (n *node) onActivate(_ core.Engine, _ core.Tag, data []byte, src int) {
 		n.wireFail("parsec: rank %d: bad ACTIVATE from %d: %w", n.rank, src, err)
 		return
 	}
+	// Message-count accounting is per AM, matching the sender's per-message
+	// csent; all entries of one aggregated message share the sender's epoch,
+	// so the first entry decides whether the message counts. Stale messages
+	// stay uncounted on both ends: the restart zeroed the sender's counter.
+	if len(entries) > 0 && entries[0].epoch == n.epoch {
+		n.countRecv()
+	}
 	for _, act := range entries {
 		act := act
 		// Epoch check first: an activation sent before a crash restart
@@ -424,7 +490,7 @@ func (n *node) onActivate(_ core.Engine, _ core.Tag, data []byte, src int) {
 			}
 		}
 		cost := n.cfg.ActivateCost + sim.Duration(desc)*n.cfg.ActivateDesc
-		n.ce.Submit(cost, func() { n.processActivation(act) })
+		n.submit(cost, func() { n.processActivation(act) })
 	}
 }
 
@@ -436,7 +502,14 @@ func (n *node) processActivation(act activation) {
 		return
 	}
 	key := flowKey{act.task, act.flow}
-	if _, dup := n.store[key]; dup {
+	if fd, dup := n.store[key]; dup {
+		if fd.stolen {
+			// A steal adopted this flow before our own activation arrived:
+			// merge the real activation into the steal-created entry instead
+			// of treating it as a protocol violation (steal_node.go).
+			n.mergeActivation(key, fd, act)
+			return
+		}
 		n.wireFail("parsec: duplicate activation for %v at rank %d", key, n.rank)
 		return
 	}
@@ -473,6 +546,7 @@ func (n *node) processActivation(act activation) {
 			n.ce.SendAM(tagActivate, int(sub[0]), encodeActivates([]activation{fwd}))
 			n.activatesSent.Inc()
 			n.activations.Inc()
+			n.csent++
 		}
 	}
 
@@ -554,6 +628,7 @@ func (n *node) startFetch(key flowKey, fd *flowData) {
 	fd.registered = true
 	g := getData{task: key.task, flow: key.flow, epoch: n.epoch, rreg: fd.lreg}
 	n.getsSent.Inc()
+	n.csent++
 	n.ce.SendAM(tagGetData, int(fd.meta.hopRank), g.encode())
 }
 
@@ -575,6 +650,7 @@ func (n *node) onGetData(_ core.Engine, _ core.Tag, data []byte, src int) {
 		n.staleDrops.Inc()
 		return
 	}
+	n.countRecv()
 	key := flowKey{g.task, g.flow}
 	fd, ok := n.store[key]
 	if !ok {
@@ -587,7 +663,7 @@ func (n *node) onGetData(_ core.Engine, _ core.Tag, data []byte, src int) {
 		fd.pendingGets = append(fd.pendingGets, req)
 		return
 	}
-	n.ce.Submit(n.cfg.GetDataCost, func() { n.servePut(key, fd, req) })
+	n.submit(n.cfg.GetDataCost, func() { n.servePut(key, fd, req) })
 }
 
 // servePut starts the put that answers one GET DATA.
@@ -604,6 +680,9 @@ func (n *node) servePut(key flowKey, fd *flowData, req getReq) {
 		root: fd.meta.root, rootSend: fd.meta.rootSend,
 		hopRank: int32(n.rank), hopSend: int64(n.clock.Read(n.rt.eng.Now())),
 	}
+	// The put's remote completion is the counted message: until the
+	// requester accepts it, this send vetoes termination.
+	n.csent++
 	n.ce.Put(core.PutArgs{
 		LReg: fd.lreg, RReg: req.rreg, Size: fd.size, Remote: req.requester,
 		LocalCB: func() {
@@ -632,6 +711,7 @@ func (n *node) onPutDone(_ core.Engine, _ core.Tag, data []byte, src int) {
 		n.staleDrops.Inc()
 		return
 	}
+	n.countRecv()
 	key := flowKey{m.task, m.flow}
 	fd, ok := n.store[key]
 	if !ok || fd.state != flowFetching {
@@ -639,7 +719,7 @@ func (n *node) onPutDone(_ core.Engine, _ core.Tag, data []byte, src int) {
 		return
 	}
 	epoch := n.epoch
-	n.ce.Submit(n.cfg.DeliverCost, func() {
+	n.submit(n.cfg.DeliverCost, func() {
 		if n.dead || epoch != n.epoch {
 			n.staleDrops.Inc()
 			return
@@ -661,7 +741,7 @@ func (n *node) onPutDone(_ core.Engine, _ core.Tag, data []byte, src int) {
 		fd.pendingGets = nil
 		for _, req := range pending {
 			req := req
-			n.ce.Submit(n.cfg.GetDataCost, func() { n.servePut(key, fd, req) })
+			n.submit(n.cfg.GetDataCost, func() { n.servePut(key, fd, req) })
 		}
 
 		n.activeFetches--

@@ -132,6 +132,18 @@ type Config struct {
 	// AMCap bounds one aggregated ACTIVATE message's payload bytes.
 	AMCap int
 
+	// Steal enables inter-rank work stealing: a rank whose workers have all
+	// gone idle probes the others in ring order and migrates up to half of a
+	// loaded victim's eligible ready tasks, together with their input tiles
+	// (fetched over the ordinary GET DATA path). Off by default — a no-steal
+	// run sends not a single steal message, keeping the calibrated wire
+	// traffic byte-identical to the paper's.
+	Steal bool
+
+	// StealMax caps the tasks migrated by one steal exchange; 0 means
+	// DefaultStealMax.
+	StealMax int
+
 	// Jitter is the relative sigma of task-duration noise; Seed seeds it.
 	Jitter float64
 	Seed   uint64
@@ -152,6 +164,10 @@ type Config struct {
 	// every layer.
 	Metrics *metrics.Registry
 }
+
+// DefaultStealMax is the per-exchange migration cap when Config.StealMax is
+// zero. It matches the steal package's per-reply frame budget.
+const DefaultStealMax = 64
 
 // DefaultConfig mirrors the paper's runtime setup for w workers.
 func DefaultConfig(w int) Config {

@@ -86,25 +86,6 @@ func (rt *Runtime) KillRank(rank int) {
 	n.paused = true
 }
 
-// OnQuiesce registers fn to run once, when every rank has executed all of
-// its tasks. A crash-recovery harness uses it to stop the heartbeat detector
-// — the one event source that would otherwise keep the simulation alive
-// forever after the workload completes.
-func (rt *Runtime) OnQuiesce(fn func()) { rt.quiesceFn = fn }
-
-func (rt *Runtime) maybeQuiesce() {
-	if rt.quiesceFn == nil || rt.quiesced {
-		return
-	}
-	for _, n := range rt.nodes {
-		if n.executed != n.total {
-			return
-		}
-	}
-	rt.quiesced = true
-	rt.quiesceFn()
-}
-
 // rankOf resolves t's executing rank through the recovery remap.
 func (rt *Runtime) rankOf(t TaskID) int {
 	r := rt.tp.RankOf(t)
@@ -129,7 +110,18 @@ func (rt *Runtime) checkpointTask(n *node, t TaskID, outputs []DataRef) {
 	for i, o := range outputs {
 		flows[i] = recov.FlowCkpt{Flow: int32(i), Size: o.Buf.Size, Data: o.Buf.Bytes}
 	}
-	rt.rec.cfg.Managers[n.rank].Checkpoint(recov.Key{Class: t.Class, Index: t.Index}, flows)
+	k := recov.Key{Class: t.Class, Index: t.Index}
+	m := rt.rec.cfg.Managers[n.rank]
+	if owner := rt.rankOf(t); owner != n.rank {
+		// A stolen task: the restart's done-set scan looks at the owner, so
+		// the completion marker must land there (and at the owner's buddy,
+		// covering the owner itself crashing) — not at this thief's buddy.
+		// The buddy index is static ring knowledge; reading the owner's
+		// manager for it is a simulator convenience, not a protocol channel.
+		m.CheckpointFor(k, flows, owner, rt.rec.cfg.Managers[owner].Buddy())
+		return
+	}
+	m.Checkpoint(k, flows)
 }
 
 // commError is the engines' error handler once recovery is armed.
@@ -142,9 +134,12 @@ func (rt *Runtime) commError(observer int, err error) {
 	rt.fail(err)
 }
 
-// peerDead collects one survivor's death verdict. The observer pauses (its
-// pre-crash dataflow state is about to be wiped); when every survivor has
-// reported, the restart is scheduled.
+// peerDead handles one survivor's death verdict: the observer pauses (its
+// pre-crash dataflow state is about to be wiped) and casts a DEADVOTE on
+// the termination-detection control channel to the lowest live rank, which
+// schedules the restart once every survivor has voted. Convergence is thus
+// a wire-level consensus, not a direct-call barrier: a vote travels with
+// real latency and the collector is a rank, not the orchestrator.
 func (rt *Runtime) peerDead(observer, dead int, err error) {
 	rec := rt.rec
 	if rt.failed != nil {
@@ -155,25 +150,26 @@ func (rt *Runtime) peerDead(observer, dead int, err error) {
 		return
 	}
 	rt.KillRank(dead) // idempotent; normally already done via fab.OnCrash
-	if rec.verdicts[dead] == nil {
-		rec.verdicts[dead] = make(map[int]bool)
-	}
-	if rec.verdicts[dead][observer] {
-		return
-	}
-	rec.verdicts[dead][observer] = true
-	rt.nodes[observer].paused = true
+	on := rt.nodes[observer]
+	on.paused = true
 
-	survivors := 0
-	for _, n := range rt.nodes {
+	collector := -1
+	for r, n := range rt.nodes {
 		if !n.dead {
-			survivors++
+			collector = r
+			break
 		}
 	}
-	if len(rec.verdicts[dead]) == survivors && !rec.scheduled[dead] {
-		rec.scheduled[dead] = true
-		rt.eng.After(rec.cfg.RestartDelay, func() { rt.restart(dead) })
+	if collector < 0 {
+		rt.fail(err) // no survivors at all
+		return
 	}
+	if collector == observer {
+		rt.recordDeadvote(dead, observer)
+		return
+	}
+	vote := termMsg{kind: termDeadvote, epoch: on.epoch, rank: int32(dead)}
+	on.ce.SendAM(tagTerm, collector, encodeTermMsg(vote))
 }
 
 // FlowCounter is an optional Taskpool extension: how many output flows a
@@ -297,8 +293,19 @@ func (rt *Runtime) restart(dead int) {
 		})
 	}
 
-	// Resume. If everything was already done the graph is complete and the
-	// quiescence hook (if any) fires right here.
+	// The dead rank leaves the termination-detection ring only now: until
+	// this point its unexecuted work kept any token parked at the inert
+	// rank, which is what made a false announcement between crash and
+	// restart impossible. The restart is one atomic simulation event, so
+	// every rank's counters were zeroed in lockstep above and the detector's
+	// round state starts clean.
+	rt.term.members[dead] = false
+	rt.term.outstanding = false
+	rt.term.lastValid = false
+
+	// Resume. Each rank re-evaluates its quiet state: idle survivors nudge
+	// the (possibly new) coordinator and go probing for work to steal; if
+	// everything was already done, the detector proves it and announces.
 	for _, n := range rt.nodes {
 		if n.dead {
 			continue
@@ -306,7 +313,11 @@ func (rt *Runtime) restart(dead int) {
 		n.paused = false
 		n.dispatch()
 	}
-	rt.maybeQuiesce()
+	for _, n := range rt.nodes {
+		if !n.dead {
+			n.pollQuiet()
+		}
+	}
 }
 
 // resetForRecovery wipes one rank's dataflow state for a restart. Old memory
@@ -330,6 +341,26 @@ func (n *node) resetForRecovery() {
 		n.idle = append(n.idle, i)
 	}
 	n.paused = true
+	// Termination-detection reset: counters restart from zero in the new
+	// epoch (stale cross-epoch messages are dropped uncounted on receive, so
+	// the books stay balanced), any parked token is void, and the dirty flag
+	// re-arms so every rank reintroduces itself to the detector. Stealing
+	// state resets alongside: an in-flight probe or grant died with the old
+	// epoch.
+	n.csent, n.crecv = 0, 0
+	n.black = false
+	n.dirty = true
+	n.heldToken = nil
+	// pendingOps is NOT zeroed: closures already on the communication thread
+	// still fire (their bodies drop stale work by epoch) and each decrements
+	// the counter; zeroing here would double-count them negative and wedge
+	// the quiet predicate.
+	n.probeOut = false
+	n.starving = nil
+	n.stealSvcQueued = false
+	if n.rot != nil {
+		n.rot.Reset()
+	}
 }
 
 // restoreTask re-creates a done task's output flows from its checkpoint: the

@@ -7,6 +7,7 @@ import (
 	"amtlci/internal/core"
 	"amtlci/internal/metrics"
 	"amtlci/internal/sim"
+	"amtlci/internal/steal"
 )
 
 // Runtime drives a distributed taskpool execution over a set of
@@ -28,8 +29,9 @@ type Runtime struct {
 	// restarts counts completed recovery restarts (whole-runtime metric).
 	restarts *metrics.Counter
 
-	quiesceFn func()
-	quiesced  bool
+	// term is the distributed termination detector (term.go); always on.
+	term   *termState
+	nranks int
 }
 
 // New builds a runtime. engines must all live on eng and have ranks 0..n-1
@@ -45,8 +47,16 @@ func New(eng *sim.Engine, engines []core.Engine, tp Taskpool, cfg Config) *Runti
 	if reg == nil {
 		reg = metrics.New()
 	}
+	if cfg.Steal && cfg.StealMax <= 0 {
+		cfg.StealMax = DefaultStealMax
+	}
+	if cfg.StealMax > steal.MaxTasksPerReply {
+		cfg.StealMax = steal.MaxTasksPerReply
+	}
 	rt := &Runtime{eng: eng, tp: tp, cfg: cfg, tracer: NewTracer(len(engines)), reg: reg}
+	rt.nranks = len(engines)
 	rt.restarts = reg.Counter("parsec", "restarts", metrics.StackRank)
+	rt.term = newTermState(len(engines), reg)
 	for i, ce := range engines {
 		if ce.Rank() != i {
 			panic(fmt.Sprintf("parsec: engine %d reports rank %d", i, ce.Rank()))
@@ -112,10 +122,20 @@ func (rt *Runtime) Stats(r int) Stats {
 // Run releases the root tasks and executes the graph to completion,
 // returning the virtual makespan. It fails loudly on deadlock: if the event
 // queue drains while tasks remain, something violated the taskpool contract.
+// A successful run additionally requires the termination detector to have
+// announced — completion is proven by consensus, never assumed from the
+// event queue draining.
 func (rt *Runtime) Run() (sim.Duration, error) {
 	start := rt.eng.Now()
 	for _, n := range rt.nodes {
 		n.start()
+	}
+	// Seed every rank's quiet machinery: a rank with no local work at release
+	// time would otherwise never hit a quiet *transition* — the coordinator
+	// would never start a round, and an idle rank would never send its first
+	// steal probe.
+	for _, n := range rt.nodes {
+		n.pollQuiet()
 	}
 	end := rt.eng.Run()
 
@@ -129,10 +149,19 @@ func (rt *Runtime) Run() (sim.Duration, error) {
 		return 0, fmt.Errorf("parsec: task graph aborted: %w", rt.failed)
 	}
 	if len(stuck) > 0 {
+		// The detector announces here too — a deadlocked graph has genuinely
+		// terminated (nothing will ever run again) — but execution is
+		// incomplete, which is the more specific verdict.
 		return 0, fmt.Errorf("parsec: deadlock, %s", strings.Join(stuck, "; "))
+	}
+	if !rt.term.announced {
+		return 0, fmt.Errorf("parsec: completed without a termination announcement")
 	}
 	return end.Sub(start), nil
 }
+
+// ranks returns the runtime's rank count.
+func (rt *Runtime) ranks() int { return rt.nranks }
 
 // TotalTasks sums LocalTasks over all ranks.
 func (rt *Runtime) TotalTasks() int64 {

@@ -1,0 +1,178 @@
+package parsec_test
+
+import (
+	"testing"
+
+	"amtlci/internal/core/stack"
+	"amtlci/internal/parsec"
+	"amtlci/internal/sim"
+)
+
+// rootFarm builds an embarrassingly imbalanced graph: n independent root
+// tasks, every one placed on rank 0.
+func rootFarm(n int, cost sim.Duration) *parsec.GraphPool {
+	g := parsec.NewGraphPool("farm", 4, false)
+	for i := 0; i < n; i++ {
+		g.AddTask(int64(i), 0, cost, 0)
+	}
+	return g
+}
+
+// TestStealRebalancesRootFarm: with stealing on, idle ranks drain rank 0's
+// ready queue and the makespan drops well below the serial pile-up; with
+// stealing off not a single steal counter moves.
+func TestStealRebalancesRootFarm(t *testing.T) {
+	forBackends(t, func(t *testing.T, b stack.Backend) {
+		run := func(stealOn bool) (sim.Duration, map[parsec.TaskID]int, *parsec.Runtime) {
+			g := rootFarm(16, 50*sim.Microsecond)
+			runs := make(map[parsec.TaskID]int)
+			g.ExecuteFn = func(tk parsec.TaskID, _, _ []parsec.DataRef) { runs[tk]++ }
+			_, rt := build(t, b, 4, 1, g, func(c *parsec.Config) { c.Steal = stealOn })
+			d, err := rt.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d, runs, rt
+		}
+
+		dOff, runsOff, rtOff := run(false)
+		dOn, runsOn, rtOn := run(true)
+
+		for _, runs := range []map[parsec.TaskID]int{runsOff, runsOn} {
+			if len(runs) != 16 {
+				t.Fatalf("ran %d distinct tasks, want 16", len(runs))
+			}
+			for tk, c := range runs {
+				if c != 1 {
+					t.Fatalf("task %v ran %d times", tk, c)
+				}
+			}
+		}
+		if got := rtOff.Metrics().Total("parsec", "steals"); got != 0 {
+			t.Fatalf("no-steal run recorded %d steals", got)
+		}
+		if got := rtOff.Metrics().Total("parsec", "steal_granted"); got != 0 {
+			t.Fatalf("no-steal run granted %d tasks", got)
+		}
+		if got := rtOn.Metrics().Total("parsec", "steals"); got == 0 {
+			t.Fatal("steal run recorded zero steals on a 16-task single-rank pile-up")
+		}
+		if dOn >= dOff {
+			t.Fatalf("stealing did not help: makespan %v (on) vs %v (off)", dOn, dOff)
+		}
+		if !rtOn.Terminated() || !rtOff.Terminated() {
+			t.Fatal("a run completed without a termination announcement")
+		}
+	})
+}
+
+// TestStealMigratesInputTiles: stolen tasks carry real payload dependences —
+// the thief must fetch the producer's tile over the ordinary GET DATA path
+// and execute with the correct bytes.
+func TestStealMigratesInputTiles(t *testing.T) {
+	forBackends(t, func(t *testing.T, b stack.Backend) {
+		const consumers = 8
+		const size = 4096
+		g := parsec.NewGraphPool("tiles", 2, true)
+		prod := g.AddTask(0, 0, 5*sim.Microsecond, 0, size)
+		var cons []parsec.TaskID
+		for i := 0; i < consumers; i++ {
+			cons = append(cons, g.AddTask(int64(i+1), 0, 30*sim.Microsecond, 0))
+			g.Link(prod, 0, cons[i])
+		}
+		seen := make(map[parsec.TaskID]byte)
+		g.ExecuteFn = func(tk parsec.TaskID, in, out []parsec.DataRef) {
+			if tk == prod {
+				for i := range out[0].Buf.Bytes {
+					out[0].Buf.Bytes[i] = 0xA7
+				}
+				return
+			}
+			seen[tk] = in[0].Buf.Bytes[size-1]
+		}
+		_, rt := build(t, b, 2, 1, g, func(c *parsec.Config) { c.Steal = true })
+		if _, err := rt.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if len(seen) != consumers {
+			t.Fatalf("%d consumers ran, want %d", len(seen), consumers)
+		}
+		for tk, v := range seen {
+			if v != 0xA7 {
+				t.Fatalf("consumer %v saw byte %#x, want 0xA7", tk, v)
+			}
+		}
+		// Rank 1 probed at t=0, was denied (the producer had not finished),
+		// and must have been fed later through the starving push path.
+		if got := rt.Metrics().Total("parsec", "steals"); got == 0 {
+			t.Fatal("idle rank was never fed: the starving push path did not fire")
+		}
+		if got := rt.Metrics().Total("parsec", "steal_tasks"); got == 0 {
+			t.Fatal("steals recorded but zero tasks migrated")
+		}
+	})
+}
+
+// TestStealDifferentialDeterminism: the same stealing configuration must
+// replay to the identical makespan, and stealing must not change the
+// computed results relative to a no-steal run.
+func TestStealDifferentialDeterminism(t *testing.T) {
+	run := func(stealOn bool) (sim.Duration, uint64) {
+		g := parsec.NewGraphPool("det", 3, true)
+		const size = 1024
+		prod := g.AddTask(0, 0, 2*sim.Microsecond, 0, size)
+		var sum uint64
+		for i := 0; i < 9; i++ {
+			c := g.AddTask(int64(i+1), 0, 20*sim.Microsecond, int64(i))
+			g.Link(prod, 0, c)
+		}
+		g.ExecuteFn = func(tk parsec.TaskID, in, out []parsec.DataRef) {
+			if tk.Index == 0 {
+				for i := range out[0].Buf.Bytes {
+					out[0].Buf.Bytes[i] = byte(i)
+				}
+				return
+			}
+			for _, x := range in[0].Buf.Bytes {
+				sum += uint64(x) * uint64(tk.Index)
+			}
+		}
+		_, rt := build(t, stack.LCI, 3, 1, g, func(c *parsec.Config) { c.Steal = stealOn })
+		d, err := rt.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d, sum
+	}
+
+	dOn1, sumOn1 := run(true)
+	dOn2, sumOn2 := run(true)
+	_, sumOff := run(false)
+	if dOn1 != dOn2 || sumOn1 != sumOn2 {
+		t.Fatalf("steal replay diverged: (%v,%d) vs (%v,%d)", dOn1, sumOn1, dOn2, sumOn2)
+	}
+	if sumOn1 != sumOff {
+		t.Fatalf("stealing changed the numerics: %d (on) vs %d (off)", sumOn1, sumOff)
+	}
+}
+
+// TestStealRespectsStealMax: one exchange never migrates more than the cap.
+func TestStealRespectsStealMax(t *testing.T) {
+	g := rootFarm(16, 50*sim.Microsecond)
+	g.ExecuteFn = func(parsec.TaskID, []parsec.DataRef, []parsec.DataRef) {}
+	_, rt := build(t, stack.LCI, 4, 1, g, func(c *parsec.Config) {
+		c.Steal = true
+		c.StealMax = 1
+	})
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	steals := rt.Metrics().Total("parsec", "steals")
+	tasks := rt.Metrics().Total("parsec", "steal_tasks")
+	if steals == 0 {
+		t.Fatal("no steals with StealMax=1")
+	}
+	if tasks > steals {
+		t.Fatalf("%d tasks over %d exchanges violates StealMax=1", tasks, steals)
+	}
+}

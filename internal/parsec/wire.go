@@ -13,6 +13,10 @@ const (
 	tagActivate core.Tag = 1 // task completed; activates remote descendants
 	tagGetData  core.Tag = 2 // request the data of a completed task's flow
 	tagPutDone  core.Tag = 3 // put remote-completion notifications
+	tagTerm     core.Tag = 4 // termination-detection control (term.go)
+	tagStealReq core.Tag = 5 // work-stealing probe (steal_node.go)
+	tagStealRep core.Tag = 6 // work-stealing grant / denial
+	tagStealRel core.Tag = 7 // work-stealing input-pin release
 )
 
 type regHandle = core.MemHandle

@@ -121,6 +121,35 @@ func (m *Manager) Checkpoint(k Key, flows []FlowCkpt) {
 	}
 }
 
+// CheckpointFor records a completion executed away from its owner (work
+// stealing): the frame ships to the given destinations — conventionally the
+// owner and the owner's buddy, the same two places a home execution would
+// have left it — so a restart's done-set scan finds the completion no matter
+// which of them survives. A destination equal to this rank stores the copy
+// directly. Must be called on the communication thread.
+func (m *Manager) CheckpointFor(k Key, flows []FlowCkpt, dsts ...int) {
+	frame := encodeCkpt(k, flows)
+	dec, _, err := decodeWire(frame)
+	if err != nil {
+		panic(fmt.Sprintf("recover: self-encoded checkpoint undecodable: %v", err))
+	}
+	seen := make(map[int]bool, len(dsts))
+	for _, d := range dsts {
+		if seen[d] {
+			continue
+		}
+		seen[d] = true
+		if d == m.eng.Rank() {
+			m.stored[k] = dec
+			m.stored_.Inc()
+			continue
+		}
+		m.sent.Inc()
+		m.bytes.Add(uint64(len(frame)))
+		m.eng.SendAM(TagCkpt, d, frame)
+	}
+}
+
 // Has reports whether k completed here or is stored on behalf of the peer.
 func (m *Manager) Has(k Key) bool {
 	_, okL := m.local[k]

@@ -238,11 +238,16 @@ func (ep *endpoint) freeze() {
 	}
 }
 
-// StopHeartbeats cancels every endpoint's detector tick. A recovery
-// orchestrator calls it at quiescence — once the workload has completed
-// everywhere there is nothing left to monitor, and the perpetual ticks would
-// otherwise keep the simulation alive forever.
+// StopHeartbeats cancels every endpoint's detector tick. The termination
+// detector calls it when it *proves* the computation over — once the
+// workload has completed everywhere there is nothing left to monitor, and
+// the perpetual ticks would otherwise keep the simulation alive forever.
+// Idempotent: the detector may announce once per recovery epoch, and crashed
+// endpoints have already frozen their own timers.
 func (s *Stack) StopHeartbeats() {
+	if s.hbStopped {
+		return
+	}
 	s.hbStopped = true
 	for _, ep := range s.eps {
 		s.eng.Cancel(ep.hbTick)

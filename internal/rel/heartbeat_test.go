@@ -275,3 +275,50 @@ func FuzzDecodeHeartbeat(f *testing.F) {
 		}
 	})
 }
+
+// TestStopHeartbeatsIdempotent: the termination detector may fire its
+// listeners once per recovery epoch, so a second StopHeartbeats must be a
+// harmless no-op — and beacons must stay stopped.
+func TestStopHeartbeatsIdempotent(t *testing.T) {
+	eng, _, s := hbStack(t, 2, nil)
+	for r := 0; r < 2; r++ {
+		s.SetHandler(r, func(m *fabric.Message) {})
+	}
+	eng.At(sim.Time(0).Add(5*sim.Millisecond), s.StopHeartbeats)
+	eng.At(sim.Time(0).Add(5*sim.Millisecond), s.StopHeartbeats) // double stop, same instant
+	eng.At(sim.Time(0).Add(6*sim.Millisecond), s.StopHeartbeats) // and again later
+	end := eng.Run()
+	if st := s.Stats(); st.PeerDeaths != 0 {
+		t.Fatalf("healthy pair declared %d peers dead across a double stop", st.PeerDeaths)
+	}
+	if end.Sub(sim.Time(0)) > 7*sim.Millisecond {
+		t.Fatalf("simulation ran to %v: a stopped detector kept scheduling ticks", end)
+	}
+}
+
+// TestStopHeartbeatsAfterPeerDead: stopping after a crash verdict (the
+// detector announces once the survivors' work drains) must not panic on the
+// frozen endpoint's already-cancelled timers, and must let the simulation
+// drain.
+func TestStopHeartbeatsAfterPeerDead(t *testing.T) {
+	const ranks, dead = 3, 1
+	crashAt := sim.Time(0).Add(sim.Millisecond)
+	eng, _, s := hbStack(t, ranks, &fabric.FaultConfig{
+		Crashes: []fabric.NodeCrash{{Rank: dead, At: crashAt}},
+	})
+	verdicts := 0
+	for r := 0; r < ranks; r++ {
+		s.SetHandler(r, func(m *fabric.Message) {})
+		s.SetErrHandler(r, func(peer int, err error) {
+			verdicts++
+			if verdicts == ranks-1 {
+				s.StopHeartbeats()
+				s.StopHeartbeats() // idempotent even right after the verdict
+			}
+		})
+	}
+	eng.Run()
+	if verdicts != ranks-1 {
+		t.Fatalf("%d verdicts, want %d", verdicts, ranks-1)
+	}
+}

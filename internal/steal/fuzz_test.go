@@ -1,0 +1,79 @@
+package steal
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeStealRequest checks that arbitrary bytes never panic the
+// request decoder and that accepted frames re-encode byte-identically.
+func FuzzDecodeStealRequest(f *testing.F) {
+	f.Add(EncodeRequest(Request{Epoch: 1, Max: 32}))
+	f.Add([]byte{})
+	f.Add(make([]byte, RequestBytes))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		r, err := DecodeRequest(b)
+		if err != nil {
+			return
+		}
+		if r.Max == 0 {
+			t.Fatal("decoder accepted a zero task budget")
+		}
+		if !bytes.Equal(EncodeRequest(r), b) {
+			t.Fatalf("accepted frame does not re-encode identically: %x", b)
+		}
+	})
+}
+
+// FuzzDecodeStealReply checks that arbitrary bytes never panic the reply
+// decoder and that accepted frames re-encode byte-identically (no trailing
+// garbage, no negative sizes, count within protocol cap).
+func FuzzDecodeStealReply(f *testing.F) {
+	f.Add(EncodeReply(Reply{Epoch: 2, Tasks: []TaskFrame{
+		{Class: 1, Index: 3, InputSizes: []int64{64, 0}},
+	}}))
+	f.Add([]byte{})
+	f.Add(make([]byte, replyHdrBytes))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		r, err := DecodeReply(b)
+		if err != nil {
+			return
+		}
+		if len(r.Tasks) > MaxTasksPerReply {
+			t.Fatalf("decoder accepted %d tasks, cap is %d", len(r.Tasks), MaxTasksPerReply)
+		}
+		for _, tf := range r.Tasks {
+			if tf.Index < 0 {
+				t.Fatal("decoder accepted a negative task index")
+			}
+			for _, s := range tf.InputSizes {
+				if s < 0 {
+					t.Fatal("decoder accepted a negative input size")
+				}
+			}
+		}
+		if !bytes.Equal(EncodeReply(r), b) {
+			t.Fatalf("accepted frame does not re-encode identically: %x", b)
+		}
+	})
+}
+
+// FuzzDecodeStealRelease checks that arbitrary bytes never panic the
+// release decoder and that accepted frames re-encode byte-identically.
+func FuzzDecodeStealRelease(f *testing.F) {
+	f.Add(EncodeRelease(Release{Class: 1, Index: 2, Flow: 3, Epoch: 4}))
+	f.Add([]byte{})
+	f.Add(make([]byte, ReleaseBytes))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		r, err := DecodeRelease(b)
+		if err != nil {
+			return
+		}
+		if r.Index < 0 {
+			t.Fatal("decoder accepted a negative index")
+		}
+		if !bytes.Equal(EncodeRelease(r), b) {
+			t.Fatalf("accepted frame does not re-encode identically: %x", b)
+		}
+	})
+}

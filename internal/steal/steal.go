@@ -1,0 +1,245 @@
+// Package steal defines the inter-rank work-stealing protocol: the wire
+// formats of the three steal messages (request, reply, release) and the
+// thief-side policy helpers (victim rotation, steal-half split). The heavy
+// integration — migrating ready tasks and their input flows between ranks —
+// lives in internal/parsec, which owns the scheduler state; this package is
+// the protocol's self-contained, fuzzable core.
+//
+// The shape follows the rma-async idiom: a stolen task travels as a packed
+// frame naming the task and the sizes of its input flows, and the thief
+// pulls the actual tiles with the runtime's existing GET DATA / put
+// machinery, so data movement for stolen work is byte-identical to ordinary
+// dataflow traffic. Runs with stealing disabled send none of these messages.
+package steal
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Request asks a victim for ready tasks. Epoch is the thief's recovery
+// epoch: a request that raced a restart is recognizably stale. Max bounds
+// how many tasks the thief will accept in one reply.
+type Request struct {
+	Epoch int32
+	Max   uint16
+}
+
+// RequestBytes is the encoded size of a Request.
+const RequestBytes = 4 + 2
+
+// EncodeRequest serializes a steal request.
+func EncodeRequest(r Request) []byte {
+	b := make([]byte, RequestBytes)
+	binary.LittleEndian.PutUint32(b[0:4], uint32(r.Epoch))
+	binary.LittleEndian.PutUint16(b[4:6], r.Max)
+	return b
+}
+
+// DecodeRequest parses a steal request, rejecting anything but the exact
+// frame: wrong length or a zero task budget is an error, never a panic
+// (fuzzed).
+func DecodeRequest(b []byte) (Request, error) {
+	var r Request
+	if len(b) != RequestBytes {
+		return r, fmt.Errorf("steal: request is %d bytes, want %d", len(b), RequestBytes)
+	}
+	r.Epoch = int32(binary.LittleEndian.Uint32(b[0:4]))
+	r.Max = binary.LittleEndian.Uint16(b[4:6])
+	if r.Max == 0 {
+		return r, fmt.Errorf("steal: request with zero task budget")
+	}
+	return r, nil
+}
+
+// TaskFrame is one migrated task in a steal reply: the task's identity plus
+// the sizes of its input flows, in the taskpool's deterministic Inputs
+// order. The thief recomputes the flow keys from that order; only the sizes
+// (which may be data-dependent, e.g. TLR tile ranks) need the wire.
+type TaskFrame struct {
+	Class      int32
+	Index      int64
+	InputSizes []int64
+}
+
+// Reply answers a steal request with zero or more task frames. An empty
+// reply is a denial: the victim had no surplus eligible work.
+type Reply struct {
+	Epoch int32
+	Tasks []TaskFrame
+}
+
+const (
+	replyHdrBytes  = 4 + 2     // epoch, task count
+	frameHdrBytes  = 4 + 8 + 2 // class, index, input count
+	frameSizeBytes = 8         // one input size
+)
+
+// MaxTasksPerReply bounds one reply frame; a victim never grants more in a
+// single exchange, so reply sizes stay well under any AM payload cap.
+const MaxTasksPerReply = 64
+
+// EncodeReply serializes a steal reply.
+func EncodeReply(r Reply) []byte {
+	n := replyHdrBytes
+	for _, t := range r.Tasks {
+		n += frameHdrBytes + frameSizeBytes*len(t.InputSizes)
+	}
+	b := make([]byte, 0, n)
+	b = binary.LittleEndian.AppendUint32(b, uint32(r.Epoch))
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(r.Tasks)))
+	for _, t := range r.Tasks {
+		b = binary.LittleEndian.AppendUint32(b, uint32(t.Class))
+		b = binary.LittleEndian.AppendUint64(b, uint64(t.Index))
+		b = binary.LittleEndian.AppendUint16(b, uint16(len(t.InputSizes)))
+		for _, s := range t.InputSizes {
+			b = binary.LittleEndian.AppendUint64(b, uint64(s))
+		}
+	}
+	return b
+}
+
+// DecodeReply parses a steal reply. Anything malformed — truncation,
+// trailing bytes, a count past the frame budget, negative sizes or indices —
+// is an error, never a panic (fuzzed).
+func DecodeReply(b []byte) (Reply, error) {
+	var r Reply
+	if len(b) < replyHdrBytes {
+		return r, fmt.Errorf("steal: reply truncated: %d bytes, header needs %d", len(b), replyHdrBytes)
+	}
+	r.Epoch = int32(binary.LittleEndian.Uint32(b[0:4]))
+	count := int(binary.LittleEndian.Uint16(b[4:6]))
+	if count > MaxTasksPerReply {
+		return r, fmt.Errorf("steal: reply carries %d tasks, cap is %d", count, MaxTasksPerReply)
+	}
+	off := replyHdrBytes
+	r.Tasks = make([]TaskFrame, 0, count)
+	for i := 0; i < count; i++ {
+		if len(b)-off < frameHdrBytes {
+			return r, fmt.Errorf("steal: reply task %d truncated", i)
+		}
+		var t TaskFrame
+		t.Class = int32(binary.LittleEndian.Uint32(b[off : off+4]))
+		t.Index = int64(binary.LittleEndian.Uint64(b[off+4 : off+12]))
+		nin := int(binary.LittleEndian.Uint16(b[off+12 : off+14]))
+		off += frameHdrBytes
+		if t.Index < 0 {
+			return r, fmt.Errorf("steal: reply task %d has negative index %d", i, t.Index)
+		}
+		if nin*frameSizeBytes > len(b)-off {
+			return r, fmt.Errorf("steal: reply task %d input sizes truncated", i)
+		}
+		if nin > 0 {
+			t.InputSizes = make([]int64, nin)
+			for j := range t.InputSizes {
+				s := int64(binary.LittleEndian.Uint64(b[off : off+8]))
+				off += 8
+				if s < 0 {
+					return r, fmt.Errorf("steal: reply task %d input %d has negative size %d", i, j, s)
+				}
+				t.InputSizes[j] = s
+			}
+		}
+		r.Tasks = append(r.Tasks, t)
+	}
+	if off != len(b) {
+		return r, fmt.Errorf("steal: reply has %d trailing bytes", len(b)-off)
+	}
+	return r, nil
+}
+
+// Release tells the victim that the thief will not fetch one pinned input
+// flow (it already holds, or is already fetching, its own copy), so the
+// victim can retire the pin it took at grant time.
+type Release struct {
+	Class int32 // producing task
+	Index int64
+	Flow  int32
+	Epoch int32
+}
+
+// ReleaseBytes is the encoded size of a Release.
+const ReleaseBytes = 4 + 8 + 4 + 4
+
+// EncodeRelease serializes a pin release.
+func EncodeRelease(r Release) []byte {
+	b := make([]byte, ReleaseBytes)
+	binary.LittleEndian.PutUint32(b[0:4], uint32(r.Class))
+	binary.LittleEndian.PutUint64(b[4:12], uint64(r.Index))
+	binary.LittleEndian.PutUint32(b[12:16], uint32(r.Flow))
+	binary.LittleEndian.PutUint32(b[16:20], uint32(r.Epoch))
+	return b
+}
+
+// DecodeRelease parses a pin release; exact length only (fuzzed).
+func DecodeRelease(b []byte) (Release, error) {
+	var r Release
+	if len(b) != ReleaseBytes {
+		return r, fmt.Errorf("steal: release is %d bytes, want %d", len(b), ReleaseBytes)
+	}
+	r.Class = int32(binary.LittleEndian.Uint32(b[0:4]))
+	r.Index = int64(binary.LittleEndian.Uint64(b[4:12]))
+	r.Flow = int32(binary.LittleEndian.Uint32(b[12:16]))
+	r.Epoch = int32(binary.LittleEndian.Uint32(b[16:20]))
+	if r.Index < 0 {
+		return r, fmt.Errorf("steal: release with negative index %d", r.Index)
+	}
+	return r, nil
+}
+
+// Half is the steal-half policy: how many of n ready tasks a victim grants.
+// The victim always keeps at least half (rounded up), so a loaded rank sheds
+// surplus without starving itself; below two tasks nothing moves.
+func Half(n int) int {
+	if n < 2 {
+		return 0
+	}
+	return n / 2
+}
+
+// Rotation is a thief's victim iterator: candidates are visited in ring
+// order starting after the thief's own rank, and the rotation goes dormant
+// after a full unsuccessful cycle. Re-arm (Reset) when new local work
+// appears or a probe succeeds — never on probe traffic itself, which is what
+// keeps two idle ranks from probing each other forever.
+type Rotation struct {
+	self, size int
+	next       int
+	left       int
+}
+
+// NewRotation builds a rotation for self among size ranks.
+func NewRotation(self, size int) *Rotation {
+	r := &Rotation{self: self, size: size}
+	r.Reset()
+	return r
+}
+
+// Reset re-arms the rotation with a full cycle budget, continuing from the
+// current cursor (a victim that just fed us is retried before its peers).
+func (r *Rotation) Reset() {
+	if r.next == 0 && r.left == 0 {
+		r.next = (r.self + 1) % r.size
+	}
+	r.left = r.size - 1
+}
+
+// Next returns the next victim candidate for which alive reports true, or
+// ok=false when the cycle budget is exhausted (dormant until Reset).
+func (r *Rotation) Next(alive func(int) bool) (int, bool) {
+	for r.left > 0 {
+		v := r.next
+		r.next = (r.next + 1) % r.size
+		if r.next == r.self {
+			r.next = (r.next + 1) % r.size
+		}
+		r.left--
+		if v != r.self && alive(v) {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// Dormant reports whether the rotation has exhausted its cycle budget.
+func (r *Rotation) Dormant() bool { return r.left <= 0 }

@@ -1,0 +1,179 @@
+package steal
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	for _, r := range []Request{
+		{Epoch: 0, Max: 1},
+		{Epoch: 7, Max: 64},
+		{Epoch: 1 << 20, Max: 65535},
+	} {
+		b := EncodeRequest(r)
+		if len(b) != RequestBytes {
+			t.Fatalf("encoded request is %d bytes, want %d", len(b), RequestBytes)
+		}
+		got, err := DecodeRequest(b)
+		if err != nil {
+			t.Fatalf("decode %+v: %v", r, err)
+		}
+		if got != r {
+			t.Fatalf("round trip: got %+v want %+v", got, r)
+		}
+	}
+}
+
+func TestRequestRejectsMalformed(t *testing.T) {
+	good := EncodeRequest(Request{Epoch: 3, Max: 8})
+	if _, err := DecodeRequest(good[:len(good)-1]); err == nil {
+		t.Fatal("truncated request accepted")
+	}
+	if _, err := DecodeRequest(append(append([]byte(nil), good...), 0)); err == nil {
+		t.Fatal("oversized request accepted")
+	}
+	if _, err := DecodeRequest(EncodeRequest(Request{Epoch: 3, Max: 0})); err == nil {
+		t.Fatal("zero-budget request accepted")
+	}
+}
+
+func TestReplyRoundTrip(t *testing.T) {
+	for _, r := range []Reply{
+		{Epoch: 0},
+		{Epoch: 2, Tasks: []TaskFrame{{Class: 1, Index: 42}}},
+		{Epoch: 5, Tasks: []TaskFrame{
+			{Class: 0, Index: 0, InputSizes: []int64{128}},
+			{Class: 3, Index: 9001, InputSizes: []int64{0, 4096, 17}},
+		}},
+	} {
+		b := EncodeReply(r)
+		got, err := DecodeReply(b)
+		if err != nil {
+			t.Fatalf("decode %+v: %v", r, err)
+		}
+		if got.Epoch != r.Epoch || len(got.Tasks) != len(r.Tasks) {
+			t.Fatalf("round trip: got %+v want %+v", got, r)
+		}
+		for i := range r.Tasks {
+			w, g := r.Tasks[i], got.Tasks[i]
+			if g.Class != w.Class || g.Index != w.Index || len(g.InputSizes) != len(w.InputSizes) {
+				t.Fatalf("task %d: got %+v want %+v", i, g, w)
+			}
+			for j := range w.InputSizes {
+				if g.InputSizes[j] != w.InputSizes[j] {
+					t.Fatalf("task %d size %d: got %d want %d", i, j, g.InputSizes[j], w.InputSizes[j])
+				}
+			}
+		}
+	}
+}
+
+func TestReplyRejectsMalformed(t *testing.T) {
+	good := EncodeReply(Reply{Epoch: 1, Tasks: []TaskFrame{
+		{Class: 2, Index: 5, InputSizes: []int64{64, 32}},
+	}})
+	for cut := 1; cut < len(good); cut++ {
+		if _, err := DecodeReply(good[:len(good)-cut]); err == nil {
+			t.Fatalf("reply truncated by %d bytes accepted", cut)
+		}
+	}
+	if _, err := DecodeReply(append(append([]byte(nil), good...), 0xFF)); err == nil {
+		t.Fatal("reply with trailing byte accepted")
+	}
+	// Task count above the protocol cap.
+	overflow := append([]byte(nil), good...)
+	overflow[4], overflow[5] = 0xFF, 0xFF
+	if _, err := DecodeReply(overflow); err == nil {
+		t.Fatal("reply with absurd task count accepted")
+	}
+}
+
+func TestReleaseRoundTrip(t *testing.T) {
+	r := Release{Class: 4, Index: 77, Flow: 2, Epoch: 1}
+	b := EncodeRelease(r)
+	if len(b) != ReleaseBytes {
+		t.Fatalf("encoded release is %d bytes, want %d", len(b), ReleaseBytes)
+	}
+	got, err := DecodeRelease(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != r {
+		t.Fatalf("round trip: got %+v want %+v", got, r)
+	}
+	if _, err := DecodeRelease(b[:ReleaseBytes-1]); err == nil {
+		t.Fatal("truncated release accepted")
+	}
+}
+
+func TestHalf(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 0, 2: 1, 3: 1, 4: 2, 9: 4, 64: 32}
+	for n, want := range cases {
+		if got := Half(n); got != want {
+			t.Fatalf("Half(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestRotationVisitsAllPeersOnce(t *testing.T) {
+	r := NewRotation(2, 5)
+	var seen []int
+	for {
+		v, ok := r.Next(func(int) bool { return true })
+		if !ok {
+			break
+		}
+		seen = append(seen, v)
+	}
+	want := []int{3, 4, 0, 1}
+	if len(seen) != len(want) {
+		t.Fatalf("visited %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("visited %v, want %v", seen, want)
+		}
+	}
+	if !r.Dormant() {
+		t.Fatal("rotation should be dormant after a full cycle")
+	}
+	if _, ok := r.Next(func(int) bool { return true }); ok {
+		t.Fatal("dormant rotation still yielded a victim")
+	}
+}
+
+func TestRotationSkipsDeadAndResumesAfterReset(t *testing.T) {
+	r := NewRotation(0, 4)
+	alive := func(v int) bool { return v != 2 }
+	var seen []int
+	for {
+		v, ok := r.Next(alive)
+		if !ok {
+			break
+		}
+		seen = append(seen, v)
+	}
+	if len(seen) != 2 || seen[0] != 1 || seen[1] != 3 {
+		t.Fatalf("visited %v, want [1 3]", seen)
+	}
+	r.Reset()
+	v, ok := r.Next(alive)
+	if !ok || v != 1 {
+		t.Fatalf("after reset got (%d,%v), want (1,true)", v, ok)
+	}
+}
+
+func TestRotationSingleRankNeverYields(t *testing.T) {
+	r := NewRotation(0, 1)
+	if _, ok := r.Next(func(int) bool { return true }); ok {
+		t.Fatal("single-rank rotation yielded a victim")
+	}
+}
+
+func TestEncodeReplyDeterministic(t *testing.T) {
+	r := Reply{Epoch: 9, Tasks: []TaskFrame{{Class: 1, Index: 2, InputSizes: []int64{3}}}}
+	if !bytes.Equal(EncodeReply(r), EncodeReply(r)) {
+		t.Fatal("encoding is not deterministic")
+	}
+}

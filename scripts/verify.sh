@@ -15,10 +15,12 @@ else
 fi
 go test -race ./...
 
-# Chaos smoke behind a time budget: a quick fault-sweep point per backend,
-# the severed-link abort demonstration, and the crash-recovery proof
-# (full sweep: `make chaos`; crash demonstration alone: `make chaos-crash`).
+# Chaos smoke behind a time budget: a quick fault-sweep point per backend
+# (with and without work stealing), the severed-link abort demonstration,
+# and the crash-recovery proof (full sweep: `make chaos`; crash
+# demonstration alone: `make chaos-crash`).
 timeout 120 go run ./cmd/chaos -quick
+timeout 120 go run ./cmd/chaos -quick -steal
 timeout 120 go run ./cmd/chaos -sever
 timeout 120 go run ./cmd/chaos -crash 1@40% -metrics "$(mktemp -d)"
 
@@ -31,6 +33,10 @@ timeout 120 go test -run='^$' -bench=. -benchmem -benchtime=0.1s ./internal/benc
 BENCH_TMP=$(mktemp -d)
 timeout 180 go run ./cmd/benchrecord -quick -o "$BENCH_TMP/bench.json"
 ./scripts/benchcmp.sh "$BENCH_TMP/bench.json" "$BENCH_TMP/bench.json"
+# Allocation gate against the committed envelope: allocs/op is deterministic
+# (unlike ns/op, which depends on the machine), so any new steady-state
+# allocation fails here even on a different host.
+./scripts/benchcmp.sh -allocs-only BENCH_sim.json "$BENCH_TMP/bench.json"
 
 # Fixed-budget fuzz smoke over the wire-format decoders (one -fuzz pattern
 # per invocation; longer runs: `make fuzz-smoke`).
@@ -38,9 +44,13 @@ timeout 120 go test -run='^$' -fuzz=FuzzUnmarshalPutHeader -fuzztime=2s ./intern
 timeout 120 go test -run='^$' -fuzz=FuzzDecodeActivates -fuzztime=2s ./internal/parsec
 timeout 120 go test -run='^$' -fuzz=FuzzDecodeGetData -fuzztime=2s ./internal/parsec
 timeout 120 go test -run='^$' -fuzz=FuzzDecodePutMeta -fuzztime=2s ./internal/parsec
+timeout 120 go test -run='^$' -fuzz=FuzzDecodeTermMsg -fuzztime=2s ./internal/parsec
 timeout 120 go test -run='^$' -fuzz=FuzzDecodeHeartbeat -fuzztime=2s ./internal/rel
 timeout 120 go test -run='^$' -fuzz=FuzzDecodeCheckpoint -fuzztime=2s ./internal/recover
 timeout 120 go test -run='^$' -fuzz=FuzzDecodeSpec -fuzztime=2s ./internal/expd
+timeout 120 go test -run='^$' -fuzz=FuzzDecodeStealRequest -fuzztime=2s ./internal/steal
+timeout 120 go test -run='^$' -fuzz=FuzzDecodeStealReply -fuzztime=2s ./internal/steal
+timeout 120 go test -run='^$' -fuzz=FuzzDecodeStealRelease -fuzztime=2s ./internal/steal
 
 # Experiment-service smoke behind a time budget: start simd on a random
 # port, prove the content-addressed cache (cold sweep, warm subset, dedup
