@@ -171,7 +171,7 @@ func BenchmarkFig5aStrongScaling(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				n, ok := bench.ScaledProblem(0.25, tiles)
 				pt = bench.StrongScaling(n, []int{nodes}, ok,
-					stats.Methodology{Runs: 1, Discard: 0}, 1)[0]
+					stats.Methodology{Runs: 1, Discard: 0}, 1, 1)[0]
 			}
 			b.ReportMetric(pt.LCI.TimeToSolution, "s-LCI")
 			b.ReportMetric(pt.MPIBest.TimeToSolution, "s-MPI-best")
@@ -200,7 +200,7 @@ func BenchmarkTable2BestTile(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		meth := stats.Methodology{Runs: 1, Discard: 0}
 		n, ok := bench.ScaledProblem(0.25, tiles)
-		pt := bench.StrongScaling(n, []int{4}, ok, meth, 1)[0]
+		pt := bench.StrongScaling(n, []int{4}, ok, meth, 1, 1)[0]
 		lciTile, mpiTile = pt.LCITile, pt.MPIBestTile
 	}
 	b.ReportMetric(float64(lciTile), "nb-LCI")

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"testing"
 	"time"
 
@@ -66,6 +67,23 @@ func main() {
 	add("fabric_bulk_ns_per_msg", nsPerOp(bulk))
 	add("fabric_bulk_allocs_per_msg", float64(bulk.AllocsPerOp()))
 
+	// Sharded-domain series: the same synthetic event mix on sim.Parallel at
+	// 1, 4, and 8 shards. These are wall-clock numbers, so they only show a
+	// speedup when the host grants the process that many cores; sim_cores
+	// records what this run actually had, making a 1-core record (where the
+	// sharded lines measure barrier overhead alone) self-describing.
+	add("sim_cores", float64(runtime.NumCPU()))
+	ps1 := run("psim-shards1", micro.ParallelDomainThroughput(1))
+	ps4 := run("psim-shards4", micro.ParallelDomainThroughput(4))
+	ps8 := run("psim-shards8", micro.ParallelDomainThroughput(8))
+	add("psim_ns_per_event_shards1", nsPerOp(ps1))
+	add("psim_ns_per_event_shards4", nsPerOp(ps4))
+	add("psim_ns_per_event_shards8", nsPerOp(ps8))
+	add("psim_events_per_sec_shards1", 1e9/nsPerOp(ps1))
+	add("psim_events_per_sec_shards4", 1e9/nsPerOp(ps4))
+	add("psim_events_per_sec_shards8", 1e9/nsPerOp(ps8))
+	add("psim_shard8_speedup", nsPerOp(ps1)/nsPerOp(ps8))
+
 	// Wall-clock reference: one HiCMA strong-scaling point, the macro
 	// workload every micro number above feeds into. Virtual seconds pin
 	// model calibration; wall seconds pin simulator throughput.
@@ -84,6 +102,39 @@ func main() {
 	add("hicma_ref_wall_seconds", wall)
 	add("hicma_ref_virtual_seconds", r.TimeToSolution)
 	add("hicma_ref_n", float64(n))
+
+	// Large-node shard-speedup point: the biggest strong-scaling
+	// configuration, simulated serially and on 8 shards. The two runs model
+	// the identical system (the differential tests pin bit-equality), so the
+	// wall-clock ratio isolates what sharding buys; interpret it against
+	// sim_cores above — ≥8 cores is required for the sharded run to actually
+	// go faster.
+	nodes, sn := 1024, 115200
+	if *quick {
+		nodes, sn = 256, 28800
+	}
+	so := bench.DefaultHiCMAOpts(stack.LCI, nb, nodes)
+	so.N = sn
+	so.Runs = stats.Methodology{Runs: 1, Discard: 0}
+	start = time.Now()
+	sr := bench.HiCMA(so)
+	serialWall := time.Since(start).Seconds()
+	so.Shards = 8
+	start = time.Now()
+	pr := bench.HiCMA(so)
+	shardWall := time.Since(start).Seconds()
+	if sr.TimeToSolution != pr.TimeToSolution {
+		fmt.Fprintf(os.Stderr, "benchrecord: sharded run diverged from serial (%v vs %v)\n",
+			pr.TimeToSolution, sr.TimeToSolution)
+		os.Exit(1)
+	}
+	fmt.Printf("%-24s %12.3f s serial %10.3f s shards=8 (N=%d nb=%d, %d nodes)\n",
+		"hicma-scale", serialWall, shardWall, sn, nb, nodes)
+	add("hicma_scale_nodes", float64(nodes))
+	add("hicma_scale_n", float64(sn))
+	add("hicma_scale_wall_seconds_serial", serialWall)
+	add("hicma_scale_wall_seconds_shards8", shardWall)
+	add("hicma_scale_shard_speedup", serialWall/shardWall)
 
 	f, err := os.Create(*out)
 	if err != nil {

@@ -44,6 +44,7 @@ func main() {
 	metricsDir := flag.String("metrics", "", "run one instrumented HiCMA point per backend and dump its metric registry as CSV into this directory, then exit")
 	j := flag.Int("j", 1, "parallel sweep workers (0 = one per CPU); tables and CSVs are byte-identical for every value")
 	steal := flag.Bool("steal", false, "enable inter-rank work stealing in the HiCMA tile sweep (Figs 4a/4b)")
+	shards := flag.Int("shards", 1, "simulation shards per HiCMA point (>1 uses that many cores per simulation; results identical)")
 	csvDir := flag.String("csv", "", "also write each table as a CSV file into this directory")
 	flag.Parse()
 	// Each sweep sizes its worker count against its own point grid, so -j 0
@@ -184,6 +185,7 @@ func main() {
 				o.N = n
 				o.MT = mt
 				o.Steal = *steal
+				o.Shards = *shards
 				o.Runs = hicma
 				res[key{b, mt}] = bench.HiCMA(o)
 			}
@@ -212,7 +214,7 @@ func main() {
 		fmt.Printf("strong-scaling problem: N=%d (scale %.2f)\n\n", n5, *fig5Scale)
 	}
 	points := bench.StrongScaling(n5, bench.PaperNodeCounts, tiles5, hicma,
-		workers(2*len(bench.PaperNodeCounts)*len(tiles5)))
+		workers(2*len(bench.PaperNodeCounts)*len(tiles5)), *shards)
 	fig5a := bench.NewTable("Fig 5a: strong scaling (s)", "nodes", "LCI", "Open MPI", "Open MPI (best)")
 	fig5b := bench.NewTable("Fig 5b: strong-scaling latency (ms)", "nodes", "LCI", "Open MPI", "Open MPI (best)")
 	tbl2 := bench.NewTable("Table 2: tile size with lowest time-to-solution", "nodes", "Open MPI", "LCI")

@@ -19,6 +19,11 @@ var PaperTileSizes = []int{1200, 1500, 1800, 2400, 3000, 3600, 4500, 4800, 6000}
 // PaperNodeCounts is the strong-scaling sweep of Figure 5 / Table 2.
 var PaperNodeCounts = []int{1, 2, 4, 8, 16, 32}
 
+// LargeNodeCounts extends the strong-scaling sweep past the paper's 32
+// nodes, into the regime where the serial simulator itself becomes the
+// bottleneck and a sharded domain (HiCMAOpts.Shards) pays off.
+var LargeNodeCounts = []int{256, 512, 1024}
+
 // HiCMAOpts parameterizes one HiCMA TLR Cholesky measurement (§6.4).
 type HiCMAOpts struct {
 	Backend stack.Backend
@@ -41,7 +46,14 @@ type HiCMAOpts struct {
 	// Steal enables inter-rank work stealing (idle ranks pull ready tasks
 	// and their input tiles from loaded peers).
 	Steal bool
-	Seed  uint64
+	// Shards > 1 runs the simulation itself on a sharded parallel domain:
+	// ranks are partitioned into Shards groups, each advanced by its own
+	// goroutine under the fabric's conservative lookahead window. The
+	// simulated system is identical; only wall-clock time changes (on a
+	// multi-core host). Incompatible with SyncClocks, whose measurement
+	// epoch needs the serial engine.
+	Shards int
+	Seed   uint64
 }
 
 // DefaultHiCMAOpts mirrors the paper's configuration.
@@ -96,10 +108,14 @@ func HiCMA(o HiCMAOpts) HiCMAResult {
 }
 
 func hicmaRun(o HiCMAOpts, run uint64) (float64, *parsec.Runtime, *hicma.Pool) {
+	if o.SyncClocks && o.Shards > 1 {
+		panic("bench: SyncClocks requires a serial simulation (Shards <= 1)")
+	}
 	par := hicma.DefaultParams(o.N, o.NB)
 	pool := hicma.NewVirtual(par, o.Nodes)
 	so := stack.DefaultOptions(o.Backend, o.Nodes)
 	so.Seed = o.Seed + run*0x51ED
+	so.Shards = o.Shards
 	s := stack.Build(so)
 
 	cfg := parsec.DefaultConfig(o.Workers)
@@ -108,7 +124,7 @@ func hicmaRun(o HiCMAOpts, run uint64) (float64, *parsec.Runtime, *hicma.Pool) {
 	cfg.MTActivate = o.MT
 	cfg.Steal = o.Steal
 	cfg.Metrics = s.Metrics
-	rt := parsec.New(s.Eng, s.Engines, pool, cfg)
+	rt := parsec.New(s.Dom, s.Engines, pool, cfg)
 
 	if o.SyncClocks {
 		clocks := clocksync.MakeClocks(o.Nodes, 10*sim.Millisecond, 0, o.Seed+run)
@@ -126,12 +142,14 @@ func hicmaRun(o HiCMAOpts, run uint64) (float64, *parsec.Runtime, *hicma.Pool) {
 // TileScaling runs the Figure 4a/4b sweep at a fixed node count for one
 // backend (optionally multithreaded), over the given tile sizes. workers is
 // the sweep parallelism (see Sweep); results are in tile order either way.
-func TileScaling(b stack.Backend, n, nodes int, mt bool, tiles []int, runs stats.Methodology, workers int) []HiCMAResult {
+// Points simulate on shards simulation shards each (1 = serial).
+func TileScaling(b stack.Backend, n, nodes int, mt bool, tiles []int, runs stats.Methodology, workers, shards int) []HiCMAResult {
 	return Sweep(workers, len(tiles), func(i int) HiCMAResult {
 		o := DefaultHiCMAOpts(b, tiles[i], nodes)
 		o.N = n
 		o.MT = mt
 		o.Runs = runs
+		o.Shards = shards
 		return HiCMA(o)
 	})
 }
@@ -165,7 +183,10 @@ type StrongScalingPoint struct {
 // so a large -j keeps every worker busy even when a single node count has
 // few tiles; per-point determinism makes the reassembled series identical
 // to the serial nesting.
-func StrongScaling(n int, nodes []int, tiles []int, runs stats.Methodology, workers int) []StrongScalingPoint {
+// Each point simulates on shards simulation shards (1 = serial); sharding
+// matters most at the large node counts, where one simulated step fans out
+// to hundreds of rank calendars.
+func StrongScaling(n int, nodes []int, tiles []int, runs stats.Methodology, workers, shards int) []StrongScalingPoint {
 	type job struct {
 		b  stack.Backend
 		nd int
@@ -184,6 +205,7 @@ func StrongScaling(n int, nodes []int, tiles []int, runs stats.Methodology, work
 		o := DefaultHiCMAOpts(j.b, j.nb, j.nd)
 		o.N = n
 		o.Runs = runs
+		o.Shards = shards
 		return HiCMA(o)
 	})
 

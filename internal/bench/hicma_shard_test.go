@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"amtlci/internal/core/stack"
+	"amtlci/internal/fabric"
+	"amtlci/internal/sim"
+	"amtlci/internal/stats"
+)
+
+// hicmaAt runs one small HiCMA point on the given shard count.
+func hicmaAt(b stack.Backend, shards int) HiCMAResult {
+	o := DefaultHiCMAOpts(b, 1200, 16)
+	o.N = 19200
+	o.Runs = stats.Methodology{Runs: 1, Discard: 0}
+	o.Shards = shards
+	return HiCMA(o)
+}
+
+// TestHiCMAShardedMatchesSerial is the stack-level differential proof: the
+// full deployment — fabric, backend runtime, communication engines, parsec —
+// simulated on 2, 4, and 8 shards must reproduce the serial run bit for bit
+// (makespan, latency means, task counts), for both backends. Per-rank event
+// streams are identical by the conservative-window argument (DESIGN §5.12);
+// this pins that the whole stack actually honors the shard-safety rules the
+// argument depends on.
+func TestHiCMAShardedMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second differential")
+	}
+	for _, b := range stack.Backends {
+		b := b
+		t.Run(b.String(), func(t *testing.T) {
+			serial := hicmaAt(b, 1)
+			for _, shards := range []int{2, 3, 4, 8} {
+				if got := hicmaAt(b, shards); got != serial {
+					t.Errorf("shards=%d diverges from serial:\nserial:  %+v\nsharded: %+v",
+						shards, serial, got)
+				}
+			}
+		})
+	}
+}
+
+// TestTileScalingCSVIdenticalSharded pins the experiment pipeline end to
+// end: the rendered sweep CSV — what cmd/hicma and the simd cache
+// ultimately serve — must be byte-identical whether the points simulate
+// serially or on 4 shards.
+func TestTileScalingCSVIdenticalSharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second differential")
+	}
+	render := func(shards int) string {
+		res := TileScaling(stack.LCI, 9600, 4, false, []int{1200, 2400}, stats.Methodology{Runs: 1}, 1, shards)
+		tbl := NewTable("tile sweep", "tile", "tts", "e2e_ms", "hop_ms", "tasks")
+		for _, r := range res {
+			tbl.AddRow(fmt.Sprint(r.NB), fmt.Sprintf("%.9f", r.TimeToSolution),
+				fmt.Sprintf("%.9f", r.E2ELatencyMS), fmt.Sprintf("%.9f", r.HopLatencyMS),
+				fmt.Sprint(r.Tasks))
+		}
+		var sb strings.Builder
+		tbl.CSV(&sb)
+		return sb.String()
+	}
+	serial := render(1)
+	sharded := render(4)
+	if serial != sharded {
+		t.Fatalf("CSV differs between shards=1 and shards=4:\n--- serial ---\n%s--- sharded ---\n%s",
+			serial, sharded)
+	}
+	if !strings.Contains(serial, "1200") {
+		t.Fatalf("sweep produced no rows:\n%s", serial)
+	}
+}
+
+// TestHiCMAShardedStealMatchesSerial repeats the differential with
+// inter-rank work stealing on: the steal protocol (probes, grants, task +
+// tile transfer) is the most timing-entangled cross-rank machinery in the
+// runtime, so it gets its own sharded × serial matrix under -race.
+func TestHiCMAShardedStealMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second differential")
+	}
+	run := func(b stack.Backend, shards int) HiCMAResult {
+		o := DefaultHiCMAOpts(b, 1200, 8)
+		o.N = 9600
+		o.Runs = stats.Methodology{Runs: 1, Discard: 0}
+		o.Steal = true
+		o.Shards = shards
+		return HiCMA(o)
+	}
+	for _, b := range stack.Backends {
+		b := b
+		t.Run(b.String(), func(t *testing.T) {
+			serial := run(b, 1)
+			for _, shards := range []int{2, 4} {
+				if got := run(b, shards); got != serial {
+					t.Errorf("steal shards=%d diverges from serial:\nserial:  %+v\nsharded: %+v",
+						shards, serial, got)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedCrashConfigRejected pins the serial-only gate for crash
+// scripts: scheduling a NodeCrash on a sharded domain must fail loudly at
+// build time, not corrupt a run.
+func TestShardedCrashConfigRejected(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Build accepted a crash schedule on a sharded domain")
+		}
+		msg := fmt.Sprint(r)
+		if !strings.Contains(msg, "single-shard domain") {
+			t.Fatalf("panic %q does not name the single-shard requirement", msg)
+		}
+	}()
+	o := stack.DefaultOptions(stack.LCI, 8)
+	o.Shards = 4
+	o.Faults = &fabric.FaultConfig{
+		Crashes: []fabric.NodeCrash{{Rank: 1, At: sim.Time(50 * sim.Microsecond)}},
+	}
+	stack.Build(o)
+}

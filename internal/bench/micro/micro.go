@@ -9,6 +9,7 @@
 package micro
 
 import (
+	"sync/atomic"
 	"testing"
 
 	"amtlci/internal/fabric"
@@ -88,6 +89,61 @@ func RefEngineScheduleFire(b *testing.B) {
 		e.After(tickDelay(rng), ticks[i].fire)
 	}
 	e.Run()
+}
+
+// ParallelDomainThroughput returns a harness measuring event throughput on
+// a sharded sim.Parallel domain with the given shard count: 32 rank
+// calendars, each self-refilling with local events, with every eighth event
+// sending a cross-rank event one lookahead ahead — the access mix the
+// sharded stack produces (mostly shard-local work, a steady trickle of
+// conservative cross-shard traffic). ns/op includes the window-barrier
+// overhead, so shards=1 vs shards=N is exactly the serial-vs-sharded
+// simulator comparison BENCH_sim.json records. Wall-clock speedup needs
+// GOMAXPROCS >= shards; on fewer cores the sharded numbers measure barrier
+// overhead alone.
+func ParallelDomainThroughput(shards int) func(*testing.B) {
+	return func(b *testing.B) {
+		const ranks = 32
+		const lookahead = sim.Duration(1) << 20 // ~1.05µs in ns units
+		dom := sim.NewParallel(ranks, shards, lookahead)
+		var fired atomic.Int64
+		type tick struct {
+			rank int
+			rng  uint64
+			fire func()
+		}
+		ticks := make([]tick, ranks)
+		for i := range ticks {
+			t := &ticks[i]
+			t.rank = i
+			t.rng = benchLCG(uint64(i+1) * 0x9E3779B97F4A7C15)
+			eng := dom.RankEngine(t.rank)
+			t.fire = func() {
+				n := fired.Add(1)
+				if n >= int64(b.N) {
+					dom.Stop()
+					return
+				}
+				t.rng = benchLCG(t.rng)
+				if t.rng&7 == 0 {
+					dst := (t.rank + 1) % ranks
+					dom.CrossAt(t.rank, dst, eng.Now().Add(lookahead+tickDelay(t.rng)),
+						ticks[dst].fire)
+					return
+				}
+				eng.After(tickDelay(t.rng), t.fire)
+			}
+		}
+		b.ResetTimer()
+		for i := range ticks {
+			dom.RankEngine(i).After(tickDelay(ticks[i].rng), ticks[i].fire)
+		}
+		dom.Run()
+		b.StopTimer()
+		if fired.Load() == 0 && b.N > 0 {
+			b.Fatal("parallel domain fired nothing")
+		}
+	}
 }
 
 // EngineScheduleCancel measures the schedule-then-cancel cycle (the

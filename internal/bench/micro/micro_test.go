@@ -8,3 +8,6 @@ func BenchmarkEngineScheduleCancel(b *testing.B)  { EngineScheduleCancel(b) }
 func BenchmarkProcSubmitDispatch(b *testing.B)    { ProcSubmitDispatch(b) }
 func BenchmarkFabricDeliveryCtl(b *testing.B)     { FabricDeliveryCtl(b) }
 func BenchmarkFabricDeliveryBulk(b *testing.B)    { FabricDeliveryBulk(b) }
+func BenchmarkParallelDomainShards1(b *testing.B) { ParallelDomainThroughput(1)(b) }
+func BenchmarkParallelDomainShards4(b *testing.B) { ParallelDomainThroughput(4)(b) }
+func BenchmarkParallelDomainShards8(b *testing.B) { ParallelDomainThroughput(8)(b) }

@@ -124,7 +124,7 @@ func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
 	tiles := []int{1200, 2400, 4800}
 	runs := stats.Methodology{Runs: 1, Discard: 0}
 	render := func(workers int) string {
-		res := TileScaling(stack.LCI, 9600, 2, false, tiles, runs, workers)
+		res := TileScaling(stack.LCI, 9600, 2, false, tiles, runs, workers, 1)
 		tbl := NewTable("tile sweep", "tile", "tts", "e2e_ms", "tasks")
 		for _, r := range res {
 			tbl.AddRow(fmt.Sprint(r.NB), fmt.Sprintf("%.6f", r.TimeToSolution),
@@ -150,8 +150,8 @@ func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
 func TestStrongScalingParallelMatchesSerial(t *testing.T) {
 	tiles := []int{1200, 2400}
 	runs := stats.Methodology{Runs: 1, Discard: 0}
-	serial := StrongScaling(9600, []int{2, 4}, tiles, runs, 1)
-	parallel := StrongScaling(9600, []int{2, 4}, tiles, runs, 8)
+	serial := StrongScaling(9600, []int{2, 4}, tiles, runs, 1, 1)
+	parallel := StrongScaling(9600, []int{2, 4}, tiles, runs, 8, 1)
 	if len(serial) != len(parallel) {
 		t.Fatalf("point counts differ: %d vs %d", len(serial), len(parallel))
 	}

@@ -85,6 +85,14 @@ type Options struct {
 	// shared registry is exposed as Stack.Metrics. Per-layer Metrics fields
 	// left nil inherit it; a non-nil per-layer field wins.
 	Metrics *metrics.Registry
+
+	// Shards, when > 1, runs the simulation on a sharded parallel domain
+	// (sim.Parallel): ranks are partitioned into Shards contiguous blocks,
+	// each advanced by its own goroutine under a conservative time-window
+	// barrier whose lookahead is the fabric's wire-latency floor. 0 or 1
+	// builds the serial engine. Crash-script fault injection requires the
+	// serial engine (fabric.InstallFaults enforces this).
+	Shards int
 }
 
 // DefaultOptions returns the paper-calibrated configuration for n ranks.
@@ -105,6 +113,12 @@ func DefaultOptions(b Backend, n int) Options {
 
 // Stack is one assembled deployment.
 type Stack struct {
+	// Dom is the simulation domain every layer schedules on: the serial
+	// engine, or a sim.Parallel when Options.Shards > 1. Always non-nil.
+	Dom sim.Domain
+	// Eng is the serial engine, nil when the domain is sharded — code that
+	// genuinely needs one engine must go through Dom.RankEngine and fail
+	// loudly rather than silently serialize a sharded deployment.
 	Eng     *sim.Engine
 	Fab     *fabric.Fabric
 	Backend Backend
@@ -132,7 +146,6 @@ func Build(o Options) *Stack {
 	if o.Ranks <= 0 {
 		panic("stack: Ranks must be positive")
 	}
-	eng := sim.NewEngine()
 	reg := o.Metrics
 	if reg == nil {
 		reg = metrics.New()
@@ -156,7 +169,20 @@ func Build(o Options) *Stack {
 	if o.LCICE.Metrics == nil {
 		o.LCICE.Metrics = reg
 	}
-	fab, err := fabric.New(eng, o.Ranks, fc)
+	var dom sim.Domain
+	var eng *sim.Engine
+	if o.Shards > 1 {
+		la := fabric.Lookahead(fc)
+		if la <= 0 {
+			panic(fmt.Sprintf("stack: Shards=%d needs a positive fabric latency floor (latency %v, jitter %g)",
+				o.Shards, fc.Latency, fc.Jitter))
+		}
+		dom = sim.NewParallel(o.Ranks, o.Shards, la)
+	} else {
+		eng = sim.NewEngine()
+		dom = eng
+	}
+	fab, err := fabric.New(dom, o.Ranks, fc)
 	if err != nil {
 		panic(err)
 	}
@@ -165,7 +191,7 @@ func Build(o Options) *Stack {
 			panic(err)
 		}
 	}
-	s := &Stack{Eng: eng, Fab: fab, Backend: o.Backend, Metrics: reg}
+	s := &Stack{Dom: dom, Eng: eng, Fab: fab, Backend: o.Backend, Metrics: reg}
 	var net fabric.Network = fab
 	if o.Rel != nil {
 		rc := *o.Rel
@@ -183,14 +209,14 @@ func Build(o Options) *Stack {
 	s.Engines = make([]core.Engine, o.Ranks)
 	switch o.Backend {
 	case MPI:
-		s.MPIWorld = mpi.NewWorld(eng, net, o.MPI)
+		s.MPIWorld = mpi.NewWorld(dom, net, o.MPI)
 		for r := 0; r < o.Ranks; r++ {
-			s.Engines[r] = mpice.New(eng, s.MPIWorld, r, o.MPICE)
+			s.Engines[r] = mpice.New(dom.RankEngine(r), s.MPIWorld, r, o.MPICE)
 		}
 	case LCI:
-		s.LCIRuntime = lci.NewRuntime(eng, net, o.LCI)
+		s.LCIRuntime = lci.NewRuntime(dom, net, o.LCI)
 		for r := 0; r < o.Ranks; r++ {
-			s.Engines[r] = lcice.New(eng, s.LCIRuntime, r, o.LCICE)
+			s.Engines[r] = lcice.New(dom.RankEngine(r), s.LCIRuntime, r, o.LCICE)
 		}
 	default:
 		panic(fmt.Sprintf("stack: unknown backend %d", o.Backend))

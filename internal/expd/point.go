@@ -36,6 +36,11 @@ type Point struct {
 	MT         bool `json:"mt,omitempty"`
 	SyncClocks bool `json:"sync_clocks,omitempty"`
 	Steal      bool `json:"steal,omitempty"`
+	// Shards > 1 simulates the point on a sharded parallel domain. The
+	// result is identical to serial, but the field still participates in
+	// the cache key: a hash that ignored it could not prove that, and
+	// differential tests deliberately compare across shard counts.
+	Shards int `json:"shards,omitempty"`
 	Runs       int  `json:"runs,omitempty"`
 	Discard    int  `json:"discard,omitempty"`
 
@@ -120,6 +125,7 @@ func EvalPoint(p Point) (res PointResult, err error) {
 		o.MT = p.MT
 		o.SyncClocks = p.SyncClocks
 		o.Steal = p.Steal
+		o.Shards = p.Shards
 		o.Runs = stats.Methodology{Runs: p.Runs, Discard: p.Discard}
 		if p.Seed != 0 {
 			o.Seed = p.Seed

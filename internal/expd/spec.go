@@ -118,7 +118,12 @@ type Spec struct {
 	MT         bool    `json:"mt,omitempty"` // tile kind: also measure multithreaded ACTIVATEs
 	SyncClocks bool    `json:"sync_clocks,omitempty"`
 	Steal      bool    `json:"steal,omitempty"` // enable inter-rank work stealing
-	Runs       int     `json:"runs,omitempty"` // measurement protocol (default 1)
+	// Shards > 1 simulates each point on a sharded parallel domain
+	// (identical results, less wall clock on multi-core hosts). 0 and 1
+	// both mean serial and canonicalize to 0, so pre-existing cache
+	// entries keep their hashes.
+	Shards int `json:"shards,omitempty"`
+	Runs       int     `json:"runs,omitempty"`  // measurement protocol (default 1)
 	Discard    int     `json:"discard,omitempty"`
 
 	// Backends defaults to both, canonical order LCI then MPI. Accepted
@@ -270,6 +275,15 @@ func (s Spec) Canonical() (Spec, error) {
 				return Spec{}, e
 			}
 		}
+		if s.Shards < 0 {
+			return Spec{}, fmt.Errorf("expd: shards %d < 0", s.Shards)
+		}
+		if s.Shards > 1 {
+			if s.SyncClocks {
+				return Spec{}, fmt.Errorf("expd: sync_clocks needs a serial simulation (shards <= 1)")
+			}
+			c.Shards = s.Shards
+		}
 		if s.Kind == KindNodes {
 			if err := reject(s.Nodes != 0, "nodes"); err != nil {
 				return Spec{}, err
@@ -356,6 +370,7 @@ func (s Spec) Canonical() (Spec, error) {
 			reject(s.SyncClocks, "sync_clocks"), reject(s.Steal, "steal"),
 			reject(s.Runs != 0, "runs"), reject(s.Discard != 0, "discard"),
 			reject(len(s.Workloads) != 0, "workloads"), reject(len(s.Rates) != 0, "rates"),
+			reject(s.Shards != 0, "shards"),
 		} {
 			if e != nil {
 				return Spec{}, e
@@ -422,6 +437,7 @@ func (s Spec) Canonical() (Spec, error) {
 			reject(s.Runs != 0, "runs"), reject(s.Discard != 0, "discard"),
 			reject(len(s.Ops) != 0, "ops"), reject(len(s.Ranks) != 0, "ranks"),
 			reject(len(s.Sizes) != 0, "sizes"), reject(s.Iters != 0, "iters"),
+			reject(s.Shards != 0, "shards"),
 		} {
 			if e != nil {
 				return Spec{}, e
@@ -479,7 +495,7 @@ func (s Spec) Points() []Point {
 					pts = append(pts, Point{
 						Kind: PointHiCMA, Backend: b, N: s.N, NB: nb, Nodes: s.Nodes,
 						MT: mt, SyncClocks: s.SyncClocks, Steal: s.Steal,
-						Runs: s.Runs, Discard: s.Discard, Seed: s.Seed,
+						Shards: s.Shards, Runs: s.Runs, Discard: s.Discard, Seed: s.Seed,
 					})
 				}
 			}
@@ -493,7 +509,7 @@ func (s Spec) Points() []Point {
 					pts = append(pts, Point{
 						Kind: PointHiCMA, Backend: b, N: s.N, NB: nb, Nodes: nd,
 						SyncClocks: s.SyncClocks, Steal: s.Steal,
-						Runs: s.Runs, Discard: s.Discard, Seed: s.Seed,
+						Shards: s.Shards, Runs: s.Runs, Discard: s.Discard, Seed: s.Seed,
 					})
 				}
 			}

@@ -155,8 +155,25 @@ type PortStats struct {
 }
 
 type port struct {
+	eng     *sim.Engine // owning shard engine: all of this rank's NIC events
 	tx, rx  *sim.Proc
 	handler Handler
+
+	// rng drives this rank's egress jitter and is drawn in the rank's own
+	// send order: per-source streams keep the noise identical no matter how
+	// ranks are sharded, where a single fabric-wide stream would entangle
+	// every rank's draws through global send interleaving.
+	rng *sim.RNG
+
+	// xfree recycles per-message transfer state (xfer) for intra-shard
+	// traffic so the steady-state Send/deliver cycle allocates nothing;
+	// see xfer.go. Cross-shard xfers are released on the destination shard
+	// and deliberately not recycled.
+	xfree []*xfer
+	// corruptFree recycles the payload copies made for corrupted messages
+	// addressed to this rank; a reliability layer that discards a damaged
+	// frame hands the buffer back through RecyclePayload.
+	corruptFree [][]byte
 
 	msgsSent, msgsRecv   *metrics.Counter
 	bytesSent, bytesRecv *metrics.Counter
@@ -165,50 +182,51 @@ type port struct {
 	txQueuedBytes *metrics.Gauge
 }
 
-// Fabric connects a fixed set of ranks. All methods must be called from the
-// owning engine's goroutine.
+// Fabric connects a fixed set of ranks across the shards of a sim.Domain.
+// Rank-addressed methods (Send, SetHandler at runtime) must be called from
+// the owning rank's shard; whole-fabric methods (InstallFaults, Stats
+// readers) belong to setup and teardown, outside Run.
 type Fabric struct {
-	eng   *sim.Engine
+	dom   sim.Domain
 	cfg   Config
 	ports []*port
-	rng   *sim.RNG
 	inj   *injector
 	reg   *metrics.Registry
 
 	// Crash state (nil slices unless a NodeCrash schedule is installed, so
-	// the fault-free fast path stays branch-cheap).
+	// the fault-free fast path stays branch-cheap). Crash schedules are
+	// serial-only: a crash flips state every rank's Send consults.
 	crashed     []bool
 	crashEvents []sim.Event
 	onCrash     []func(rank int)
-
-	// xfree recycles per-message transfer state (xfer) so the steady-state
-	// Send/deliver cycle allocates nothing; see xfer.go.
-	xfree []*xfer
-	// corruptFree recycles the payload copies made for corrupted messages;
-	// a reliability layer that discards a damaged frame hands the buffer
-	// back through RecyclePayload.
-	corruptFree [][]byte
 }
 
-// New builds a fabric with n ranks on eng. It returns a descriptive error
-// for n <= 0 or an invalid Config.
-func New(eng *sim.Engine, n int, cfg Config) (*Fabric, error) {
+// New builds a fabric with n ranks on dom — a serial *sim.Engine or a
+// sharded *sim.Parallel. It returns a descriptive error for n <= 0 or an
+// invalid Config.
+func New(dom sim.Domain, n int, cfg Config) (*Fabric, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("fabric: need at least one rank, got %d", n)
 	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if dom.Shards() > 1 && Lookahead(cfg) <= 0 {
+		return nil, fmt.Errorf("fabric: sharded domain needs a positive wire latency floor (latency %v, jitter %g)", cfg.Latency, cfg.Jitter)
+	}
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = metrics.New()
 	}
-	f := &Fabric{eng: eng, cfg: cfg, rng: sim.NewRNG(cfg.Seed), reg: reg}
+	f := &Fabric{dom: dom, cfg: cfg, reg: reg}
 	f.ports = make([]*port, n)
 	for i := range f.ports {
+		eng := dom.RankEngine(i)
 		p := &port{
+			eng:           eng,
 			tx:            sim.NewProc(eng),
 			rx:            sim.NewProc(eng),
+			rng:           sim.NewRNG(cfg.Seed + uint64(i)*0x9E3779B97F4A7C15),
 			msgsSent:      reg.Counter("fabric", "msgs_sent", i),
 			msgsRecv:      reg.Counter("fabric", "msgs_received", i),
 			bytesSent:     reg.Counter("fabric", "bytes_sent", i),
@@ -223,6 +241,15 @@ func New(eng *sim.Engine, n int, cfg Config) (*Fabric, error) {
 	return f, nil
 }
 
+// Lookahead returns the guaranteed minimum cross-rank delivery distance of a
+// fabric with this config: the jitter floor of the wire latency. Every
+// inter-rank path pays at least one wire hop, and the hop's jitter factor is
+// hard-bounded below by sim.JitterFloor, so this is a sound conservative
+// lookahead for sharded execution.
+func Lookahead(cfg Config) sim.Duration {
+	return sim.JitterFloor(cfg.Latency, cfg.Jitter)
+}
+
 // Metrics returns the registry the fabric's instruments live in.
 func (f *Fabric) Metrics() *metrics.Registry { return f.reg }
 
@@ -232,8 +259,21 @@ func (f *Fabric) Ranks() int { return len(f.ports) }
 // Config returns the fabric's configuration.
 func (f *Fabric) Config() Config { return f.cfg }
 
-// Engine returns the simulation engine.
-func (f *Fabric) Engine() *sim.Engine { return f.eng }
+// Engine returns the simulation engine of a single-shard fabric. It exists
+// for the serial tooling written before domains; sharded fabrics have no
+// single engine, so it panics loudly rather than handing back a wrong one.
+func (f *Fabric) Engine() *sim.Engine {
+	if f.dom.Shards() != 1 {
+		panic("fabric: Engine() on a sharded domain; use Domain() or RankEngine(rank)")
+	}
+	return f.dom.RankEngine(0)
+}
+
+// Domain returns the simulation domain the fabric schedules on.
+func (f *Fabric) Domain() sim.Domain { return f.dom }
+
+// RankEngine returns the shard engine owning rank.
+func (f *Fabric) RankEngine(rank int) *sim.Engine { return f.ports[rank].eng }
 
 // SetHandler installs the delivery handler for rank. Messages arriving at a
 // rank without a handler panic: dropped traffic always indicates a bug in a
@@ -282,7 +322,8 @@ func (f *Fabric) Send(m *Message) {
 	if m.Size < 0 {
 		panic("fabric: negative message size")
 	}
-	m.Sent = f.eng.Now()
+	src := f.ports[m.Src]
+	m.Sent = src.eng.Now()
 	if DebugSend != nil {
 		DebugSend(m)
 	}
@@ -294,7 +335,6 @@ func (f *Fabric) Send(m *Message) {
 		f.inj.crashDropped.Inc()
 		return
 	}
-	src := f.ports[m.Src]
 	src.msgsSent.Inc()
 	src.bytesSent.Add(uint64(m.Size))
 
@@ -302,11 +342,11 @@ func (f *Fabric) Send(m *Message) {
 
 	if m.Src == m.Dst {
 		x.pending = 1
-		f.eng.After(f.cfg.LoopbackLatency, x.loopback)
+		src.eng.After(f.cfg.LoopbackLatency, x.loopback)
 		return
 	}
 
-	wire := f.rng.Jitter(f.cfg.Latency, f.cfg.Jitter)
+	wire := src.rng.Jitter(f.cfg.Latency, f.cfg.Jitter)
 	ser := f.SerializeTime(m.Size)
 
 	// Fault injection. A dropped message still charges the transmit engine
@@ -314,7 +354,7 @@ func (f *Fabric) Send(m *Message) {
 	copies := 1
 	var dupGap sim.Duration
 	if f.inj != nil {
-		ft := f.inj.judge(m.Src, m.Dst, f.eng.Now())
+		ft := f.inj.judge(m.Src, m.Dst, src.eng.Now())
 		if ft.bwFactor < 1 {
 			ser = sim.Duration(float64(ser) / ft.bwFactor)
 		}
@@ -329,7 +369,7 @@ func (f *Fabric) Send(m *Message) {
 				// Copy before flipping a byte so the sender's buffer stays
 				// intact; the copy comes from (and returns to, via
 				// RecyclePayload) the fabric's scratch pool.
-				p := f.getCorruptBuf(len(m.Payload))
+				p := src.getCorruptBuf(len(m.Payload))
 				copy(p, m.Payload)
 				p[ft.corruptAt%len(p)] ^= 0xA5
 				m.Payload = p
@@ -354,7 +394,7 @@ func (f *Fabric) Send(m *Message) {
 	// Control lane: small messages interleave between bulk packets instead
 	// of queueing behind whole transfers (round-robin queue-pair service).
 	if m.Size <= f.cfg.CtlBypass {
-		f.eng.After(f.cfg.MessageGap+ser, x.ctlTx)
+		src.eng.After(f.cfg.MessageGap+ser, x.ctlTx)
 		return
 	}
 

@@ -154,13 +154,16 @@ type FaultStats struct {
 }
 
 // injector implements the fault schedule. One RNG per directed link keeps
-// every link's fault stream independent of traffic elsewhere. Fault counters
-// live in the fabric's metrics registry under layer "fabric", rank
-// metrics.StackRank (faults describe the wire, not one port).
+// every link's fault stream independent of traffic elsewhere; the lazy
+// per-link maps are partitioned by source rank, because judge always runs on
+// the sending rank's shard and a single shared map would race under a
+// sharded domain. Fault counters live in the fabric's metrics registry under
+// layer "fabric", rank metrics.StackRank (faults describe the wire, not one
+// port).
 type injector struct {
 	cfg          FaultConfig
 	n            int
-	rngs         map[int]*sim.RNG
+	rngs         []map[int]*sim.RNG // indexed by src rank, touched only by its shard
 	reorderDelay sim.Duration
 	dupDelay     sim.Duration
 
@@ -170,7 +173,7 @@ type injector struct {
 
 func newInjector(cfg FaultConfig, n int, base Config, reg *metrics.Registry) *injector {
 	in := &injector{
-		cfg: cfg, n: n, rngs: make(map[int]*sim.RNG),
+		cfg: cfg, n: n, rngs: make([]map[int]*sim.RNG, n),
 		dropped:    reg.Counter("fabric", "faults_dropped", metrics.StackRank),
 		severed:    reg.Counter("fabric", "faults_severed", metrics.StackRank),
 		duplicated: reg.Counter("fabric", "faults_duplicated", metrics.StackRank),
@@ -192,11 +195,16 @@ func newInjector(cfg FaultConfig, n int, base Config, reg *metrics.Registry) *in
 }
 
 func (in *injector) linkRNG(src, dst int) *sim.RNG {
-	key := src*in.n + dst
-	r := in.rngs[key]
+	m := in.rngs[src]
+	if m == nil {
+		m = make(map[int]*sim.RNG)
+		in.rngs[src] = m
+	}
+	r := m[dst]
 	if r == nil {
+		key := src*in.n + dst
 		r = sim.NewRNG(in.cfg.Seed ^ (uint64(key)+1)*0x9E3779B97F4A7C15)
-		in.rngs[key] = r
+		m[dst] = r
 	}
 	return r
 }
@@ -259,17 +267,26 @@ func (f *Fabric) InstallFaults(cfg FaultConfig) error {
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
+	if len(cfg.Crashes) > 0 && f.dom.Shards() > 1 {
+		// A crash flips shared state (f.crashed) that every rank's Send
+		// consults, and OnCrash listeners freeze cross-rank protocol state
+		// directly — simulator conveniences that have no race-free sharded
+		// form. Crash chaos stays a serial-engine feature.
+		return fmt.Errorf("fabric: NodeCrash schedules require a single-shard domain (have %d shards)", f.dom.Shards())
+	}
 	for _, cr := range cfg.Crashes {
 		if cr.Rank >= len(f.ports) {
 			return fmt.Errorf("fabric: crash rank %d out of range (have %d ranks)", cr.Rank, len(f.ports))
 		}
-		if cr.At < f.eng.Now() {
-			return fmt.Errorf("fabric: crash of rank %d scheduled in the past (%v < %v)", cr.Rank, cr.At, f.eng.Now())
+		if now := f.ports[cr.Rank].eng.Now(); cr.At < now {
+			return fmt.Errorf("fabric: crash of rank %d scheduled in the past (%v < %v)", cr.Rank, cr.At, now)
 		}
 	}
 	f.inj = newInjector(cfg, len(f.ports), f.cfg, f.reg)
+	// Pending crash events can only exist on a single-shard domain (the gate
+	// above has always held), so every one lives on shard 0's engine.
 	for _, ev := range f.crashEvents {
-		f.eng.Cancel(ev)
+		f.dom.RankEngine(0).Cancel(ev)
 	}
 	f.crashEvents = f.crashEvents[:0]
 	if len(cfg.Crashes) > 0 && f.crashed == nil {
@@ -277,7 +294,7 @@ func (f *Fabric) InstallFaults(cfg FaultConfig) error {
 	}
 	for _, cr := range cfg.Crashes {
 		rank := cr.Rank
-		f.crashEvents = append(f.crashEvents, f.eng.At(cr.At, func() { f.crash(rank) }))
+		f.crashEvents = append(f.crashEvents, f.ports[rank].eng.At(cr.At, func() { f.crash(rank) }))
 	}
 	return nil
 }

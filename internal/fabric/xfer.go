@@ -11,14 +11,24 @@ import "amtlci/internal/sim"
 // the xfer recycles its closures, so the steady-state delivery path
 // (virtual-payload scheduling in particular) allocates nothing.
 //
+// Sharding: the early steps (loopback, ctlTx, bulkTx) run on the source
+// rank's shard; the wire hop crosses to the destination shard, where the
+// remaining steps (ctlRx, bulkWire, bulkRx) and the final release run. An
+// xfer whose endpoints share a shard is recycled through the source port's
+// free list as before; a cross-shard xfer is released on the destination
+// shard, where touching the source pool would race, so it is simply dropped
+// for the GC. remote caches that decision at acquisition time.
+//
 // Lifecycle: Send acquires an xfer, arms pending with the number of delivery
 // callbacks that will run (0 when the injector drops every copy), and the
-// last step releases the object back to the fabric's free list *before*
+// last step releases the object back to the source port's free list *before*
 // invoking the handler — the handler may re-enter Send and reuse it, which
 // is safe because the finishing callback never touches the xfer again.
 type xfer struct {
 	f       *Fabric
 	m       *Message
+	src     *port
+	remote  bool // endpoints on different shards: do not recycle
 	wire    sim.Duration
 	ser     sim.Duration
 	copies  int
@@ -35,22 +45,29 @@ type xfer struct {
 }
 
 func (f *Fabric) getXfer(m *Message) *xfer {
+	src := f.ports[m.Src]
 	var x *xfer
-	if n := len(f.xfree); n > 0 {
-		x = f.xfree[n-1]
-		f.xfree[n-1] = nil
-		f.xfree = f.xfree[:n-1]
+	if n := len(src.xfree); n > 0 {
+		x = src.xfree[n-1]
+		src.xfree[n-1] = nil
+		src.xfree = src.xfree[:n-1]
 	} else {
 		x = &xfer{f: f}
 		x.bind()
 	}
 	x.m = m
+	x.src = src
+	x.remote = f.dom.ShardOf(m.Src) != f.dom.ShardOf(m.Dst)
 	return x
 }
 
 func (f *Fabric) putXfer(x *xfer) {
+	src := x.src
 	x.m = nil
-	f.xfree = append(f.xfree, x)
+	x.src = nil
+	if !x.remote {
+		src.xfree = append(src.xfree, x)
+	}
 }
 
 // finish retires one delivery copy: the xfer is released before the handler
@@ -64,6 +81,18 @@ func (x *xfer) finish() {
 	x.f.deliver(m)
 }
 
+// hop schedules fn on the destination rank's shard after delay, measured
+// from the source shard's clock. delay always includes one wire latency, so
+// cross-shard hops satisfy the domain's lookahead by construction.
+func (x *xfer) hop(delay sim.Duration, fn func()) {
+	at := x.src.eng.Now().Add(delay)
+	if x.remote {
+		x.f.dom.CrossAt(x.m.Src, x.m.Dst, at, fn)
+	} else {
+		x.src.eng.At(at, fn)
+	}
+}
+
 func (x *xfer) bind() {
 	f := x.f
 	x.loopback = func() {
@@ -72,8 +101,8 @@ func (x *xfer) bind() {
 		}
 		x.finish()
 	}
-	// Control lane: egress serialization done; schedule each copy's
-	// arrival directly (the control lane bypasses the FIFO engines).
+	// Control lane: egress serialization done (source shard); schedule each
+	// copy's arrival directly (the control lane bypasses the FIFO engines).
 	x.ctlTx = func() {
 		if x.m.OnTx != nil {
 			x.m.OnTx()
@@ -83,13 +112,14 @@ func (x *xfer) bind() {
 			return
 		}
 		for c := 0; c < x.copies; c++ {
-			f.eng.After(x.wire+f.cfg.RxOverhead+sim.Duration(c)*x.dupGap, x.ctlRx)
+			x.hop(x.wire+f.cfg.RxOverhead+sim.Duration(c)*x.dupGap, x.ctlRx)
 		}
 	}
 	x.ctlRx = func() { x.finish() }
-	// Bulk lane: the transmit engine has drained the message from memory.
+	// Bulk lane: the transmit engine has drained the message from memory
+	// (source shard).
 	x.bulkTx = func() {
-		f.ports[x.m.Src].txQueuedBytes.Add(-x.m.Size)
+		x.src.txQueuedBytes.Add(-x.m.Size)
 		if x.m.OnTx != nil {
 			x.m.OnTx()
 		}
@@ -98,9 +128,10 @@ func (x *xfer) bind() {
 			return
 		}
 		for c := 0; c < x.copies; c++ {
-			f.eng.After(x.wire+sim.Duration(c)*x.dupGap, x.bulkWire)
+			x.hop(x.wire+sim.Duration(c)*x.dupGap, x.bulkWire)
 		}
 	}
+	// bulkWire onward runs on the destination shard.
 	x.bulkWire = func() {
 		rx := f.ports[x.m.Dst].rx
 		rx.Submit(f.cfg.RxOverhead, x.bulkRx)
@@ -114,33 +145,39 @@ func (x *xfer) bind() {
 // getCorruptBuf returns an n-byte scratch buffer for a corrupted-payload
 // copy, reusing buffers handed back through RecyclePayload when one is big
 // enough (frame sizes within a run cluster around a few distinct values, so
-// first-fit reuse almost always hits).
-func (f *Fabric) getCorruptBuf(n int) []byte {
-	for i := len(f.corruptFree) - 1; i >= 0; i-- {
-		if cap(f.corruptFree[i]) >= n {
-			b := f.corruptFree[i][:n]
-			last := len(f.corruptFree) - 1
-			f.corruptFree[i] = f.corruptFree[last]
-			f.corruptFree[last] = nil
-			f.corruptFree = f.corruptFree[:last]
+// first-fit reuse almost always hits). The pool is per source port;
+// RecyclePayload only refills it for intra-shard messages.
+func (p *port) getCorruptBuf(n int) []byte {
+	for i := len(p.corruptFree) - 1; i >= 0; i-- {
+		if cap(p.corruptFree[i]) >= n {
+			b := p.corruptFree[i][:n]
+			last := len(p.corruptFree) - 1
+			p.corruptFree[i] = p.corruptFree[last]
+			p.corruptFree[last] = nil
+			p.corruptFree = p.corruptFree[:last]
 			return b
 		}
 	}
 	return make([]byte, n)
 }
 
-// RecyclePayload returns the payload of a corrupted message to the fabric's
-// scratch pool. Only the private copy the fabric itself made when corrupting
-// a message is eligible — calling it for a pristine message would recycle a
-// sender-owned buffer — so callers must pass messages they are discarding on
-// the Corrupted flag, as the reliability layer does, and must not touch the
-// payload afterwards.
+// RecyclePayload returns the payload of a corrupted message to the source
+// port's scratch pool. Only the private copy the fabric itself made when
+// corrupting a message is eligible — calling it for a pristine message would
+// recycle a sender-owned buffer — so callers must pass messages they are
+// discarding on the Corrupted flag, as the reliability layer does, and must
+// not touch the payload afterwards. Cross-shard payloads are dropped for the
+// GC: the recycle runs on the destination shard, where the source pool is
+// off-limits.
 func (f *Fabric) RecyclePayload(m *Message) {
 	if !m.Corrupted || m.Payload == nil {
 		return
 	}
-	if len(f.corruptFree) < 32 { // cap retained scratch memory
-		f.corruptFree = append(f.corruptFree, m.Payload)
+	if f.dom.ShardOf(m.Src) == f.dom.ShardOf(m.Dst) {
+		src := f.ports[m.Src]
+		if len(src.corruptFree) < 32 { // cap retained scratch memory
+			src.corruptFree = append(src.corruptFree, m.Payload)
+		}
 	}
 	m.Payload = nil
 }

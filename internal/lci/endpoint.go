@@ -11,7 +11,7 @@ import (
 
 // Runtime is an LCI deployment over a fabric: one Endpoint per rank.
 type Runtime struct {
-	eng *sim.Engine
+	dom sim.Domain
 	fab fabric.Network
 	cfg Config
 	eps []*Endpoint
@@ -22,12 +22,12 @@ type Runtime struct {
 // fabric or a reliability layer; when it can report peer failures
 // (fabric.ErrNotifier), those are forwarded to each endpoint's error
 // handler.
-func NewRuntime(eng *sim.Engine, fab fabric.Network, cfg Config) *Runtime {
+func NewRuntime(dom sim.Domain, fab fabric.Network, cfg Config) *Runtime {
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = metrics.New()
 	}
-	rt := &Runtime{eng: eng, fab: fab, cfg: cfg, reg: reg}
+	rt := &Runtime{dom: dom, fab: fab, cfg: cfg, reg: reg}
 	rt.eps = make([]*Endpoint, fab.Ranks())
 	for i := range rt.eps {
 		ep := &Endpoint{

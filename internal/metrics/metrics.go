@@ -9,10 +9,14 @@
 // registry into per-metric time series suitable for Perfetto counter tracks,
 // and bench.MetricsTable renders an end-of-run summary as a CSV table.
 //
-// Concurrency: a Registry is bound to one simulation engine and follows the
-// same single-goroutine discipline as everything else built on internal/sim.
-// Instruments are plain fields with no atomics — an increment is one add on
-// the hot path, which is what makes always-on affordable.
+// Concurrency: a Registry is bound to one simulation domain. With a serial
+// engine everything runs on one goroutine; with a sharded domain
+// (sim.Parallel) ranks owned by different shards update instruments
+// concurrently — per-rank instruments are naturally shard-local, but
+// StackRank instruments (fault injection, rel's shared stack) and lazy
+// first-use registration cross shards. Instruments therefore use atomics
+// and registration takes a mutex: an increment is one uncontended atomic
+// add on the hot path, which keeps always-on affordable.
 package metrics
 
 import (
@@ -20,6 +24,8 @@ import (
 	"math"
 	"math/bits"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Kind discriminates instrument types in snapshots.
@@ -57,87 +63,100 @@ func (k Kind) String() string {
 const StackRank = -1
 
 // Counter is a monotonically increasing event count.
-type Counter struct{ n uint64 }
+type Counter struct{ n atomic.Uint64 }
 
 // Inc adds one.
-func (c *Counter) Inc() { c.n++ }
+func (c *Counter) Inc() { c.n.Add(1) }
 
 // Add adds d.
-func (c *Counter) Add(d uint64) { c.n += d }
+func (c *Counter) Add(d uint64) { c.n.Add(d) }
 
 // Value returns the current count.
-func (c *Counter) Value() uint64 { return c.n }
+func (c *Counter) Value() uint64 { return c.n.Load() }
 
 // Gauge is an instantaneous level (queue depth, in-flight window) with a
 // high-water mark.
-type Gauge struct{ v, max int64 }
+type Gauge struct{ v, max atomic.Int64 }
 
-// Add moves the level by d (negative to decrease).
-func (g *Gauge) Add(d int64) {
-	g.v += d
-	if g.v > g.max {
-		g.max = g.v
+func (g *Gauge) raiseMax(v int64) {
+	for {
+		m := g.max.Load()
+		if v <= m || g.max.CompareAndSwap(m, v) {
+			return
+		}
 	}
 }
+
+// Add moves the level by d (negative to decrease).
+func (g *Gauge) Add(d int64) { g.raiseMax(g.v.Add(d)) }
 
 // Set replaces the level.
 func (g *Gauge) Set(v int64) {
-	g.v = v
-	if v > g.max {
-		g.max = v
-	}
+	g.v.Store(v)
+	g.raiseMax(v)
 }
 
 // Value returns the current level.
-func (g *Gauge) Value() int64 { return g.v }
+func (g *Gauge) Value() int64 { return g.v.Load() }
 
 // Max returns the high-water mark.
-func (g *Gauge) Max() int64 { return g.max }
+func (g *Gauge) Max() int64 { return g.max.Load() }
 
 // Histogram buckets observations by log2 magnitude: bucket i counts values v
 // with bits.Len64(v) == i, i.e. v in [2^(i-1), 2^i). Fixed 65 buckets cover
-// the whole uint64 range with no configuration and O(1) observation.
+// the whole uint64 range with no configuration and O(1) observation. The sum
+// is kept as float64 bits behind a CAS loop; observations from different
+// shards commute because float addition of same-magnitude latencies is
+// order-insensitive at snapshot precision.
 type Histogram struct {
-	count   uint64
-	sum     float64
-	buckets [65]uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64 // math.Float64bits of the running sum
+	buckets [65]atomic.Uint64
 }
 
 // Observe records one value.
 func (h *Histogram) Observe(v uint64) {
-	h.count++
-	h.sum += float64(v)
-	h.buckets[bits.Len64(v)]++
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + float64(v))
+		if h.sum.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	h.buckets[bits.Len64(v)].Add(1)
 }
 
 // Count returns the number of observations.
-func (h *Histogram) Count() uint64 { return h.count }
+func (h *Histogram) Count() uint64 { return h.count.Load() }
 
 // Sum returns the sum of all observed values.
-func (h *Histogram) Sum() float64 { return h.sum }
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 
 // Mean returns the average observed value, or 0 with no observations.
 func (h *Histogram) Mean() float64 {
-	if h.count == 0 {
+	n := h.Count()
+	if n == 0 {
 		return 0
 	}
-	return h.sum / float64(h.count)
+	return h.Sum() / float64(n)
 }
 
 // Quantile returns an upper bound on the q-quantile (0 <= q <= 1): the upper
 // edge of the first bucket whose cumulative count reaches q. Resolution is a
 // factor of two, which is what a log2 histogram buys.
 func (h *Histogram) Quantile(q float64) float64 {
-	if h.count == 0 {
+	total := h.Count()
+	if total == 0 {
 		return 0
 	}
-	need := uint64(math.Ceil(q * float64(h.count)))
+	need := uint64(math.Ceil(q * float64(total)))
 	if need == 0 {
 		need = 1
 	}
 	var cum uint64
-	for i, n := range h.buckets {
-		cum += n
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
 		if cum >= need {
 			if i == 0 {
 				return 0
@@ -175,7 +194,11 @@ type entry struct {
 }
 
 // Registry holds every instrument of one deployment, in registration order.
+// Lookup and registration are mutex-protected: under a sharded domain,
+// first-use creation can race between shards. The instruments themselves are
+// returned by pointer and used lock-free.
 type Registry struct {
+	mu      sync.Mutex
 	entries []*entry
 	index   map[Desc]*entry
 }
@@ -184,6 +207,8 @@ type Registry struct {
 func New() *Registry { return &Registry{index: make(map[Desc]*entry)} }
 
 func (r *Registry) get(layer, name string, rank int, kind Kind) *entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	d := Desc{Layer: layer, Name: name, Rank: rank}
 	if e, ok := r.index[d]; ok {
 		if e.kind != kind {
@@ -193,6 +218,16 @@ func (r *Registry) get(layer, name string, rank int, kind Kind) *entry {
 		return e
 	}
 	e := &entry{desc: d, kind: kind}
+	// Allocate the instrument under the lock: letting the caller fill it in
+	// lazily would let two shards observe a half-initialized entry.
+	switch kind {
+	case KindCounter:
+		e.c = &Counter{}
+	case KindGauge:
+		e.g = &Gauge{}
+	case KindHistogram:
+		e.h = &Histogram{}
+	}
 	r.entries = append(r.entries, e)
 	r.index[d] = e
 	return e
@@ -202,30 +237,18 @@ func (r *Registry) get(layer, name string, rank int, kind Kind) *entry {
 // use. Requesting an existing name as a different kind panics: a metric name
 // collision is a programming error.
 func (r *Registry) Counter(layer, name string, rank int) *Counter {
-	e := r.get(layer, name, rank, KindCounter)
-	if e.c == nil {
-		e.c = &Counter{}
-	}
-	return e.c
+	return r.get(layer, name, rank, KindCounter).c
 }
 
 // Gauge returns the gauge for (layer, name, rank), creating it on first use.
 func (r *Registry) Gauge(layer, name string, rank int) *Gauge {
-	e := r.get(layer, name, rank, KindGauge)
-	if e.g == nil {
-		e.g = &Gauge{}
-	}
-	return e.g
+	return r.get(layer, name, rank, KindGauge).g
 }
 
 // Histogram returns the histogram for (layer, name, rank), creating it on
 // first use.
 func (r *Registry) Histogram(layer, name string, rank int) *Histogram {
-	e := r.get(layer, name, rank, KindHistogram)
-	if e.h == nil {
-		e.h = &Histogram{}
-	}
-	return e.h
+	return r.get(layer, name, rank, KindHistogram).h
 }
 
 // Probe registers fn as the sampling callback for (layer, name, rank). A
@@ -239,7 +262,34 @@ func (r *Registry) Probe(layer, name string, rank int, cumulative bool, fn func(
 }
 
 // Len returns the number of registered instruments.
-func (r *Registry) Len() int { return len(r.entries) }
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries)
+}
+
+// entriesFrom returns the entries registered at index i onward, copied under
+// the lock; the sampler uses it to adopt instruments created after Start.
+func (r *Registry) entriesFrom(i int) []*entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i >= len(r.entries) {
+		return nil
+	}
+	out := make([]*entry, len(r.entries)-i)
+	copy(out, r.entries[i:])
+	return out
+}
+
+// snapshotEntries copies the entry list under the lock; the instruments
+// themselves are read lock-free.
+func (r *Registry) snapshotEntries() []*entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*entry, len(r.entries))
+	copy(out, r.entries)
+	return out
+}
 
 // Snapshot is the current state of one instrument.
 type Snapshot struct {
@@ -261,8 +311,9 @@ type Snapshot struct {
 // Snapshots returns the state of every instrument, sorted by layer, name,
 // rank, for stable tables.
 func (r *Registry) Snapshots() []Snapshot {
-	out := make([]Snapshot, 0, len(r.entries))
-	for _, e := range r.entries {
+	entries := r.snapshotEntries()
+	out := make([]Snapshot, 0, len(entries))
+	for _, e := range entries {
 		s := Snapshot{Desc: e.desc, Kind: e.kind}
 		switch e.kind {
 		case KindCounter:
@@ -301,7 +352,7 @@ func (r *Registry) Snapshots() []Snapshot {
 // StackRank entries). Missing metrics total zero.
 func (r *Registry) Total(layer, name string) uint64 {
 	var t uint64
-	for _, e := range r.entries {
+	for _, e := range r.snapshotEntries() {
 		if e.kind == KindCounter && e.desc.Layer == layer && e.desc.Name == name {
 			t += e.c.Value()
 		}

@@ -45,6 +45,11 @@ type Sampler struct {
 
 // NewSampler prepares a sampler reading reg every period of virtual time.
 // Instruments registered after Start are picked up on the next tick.
+//
+// The sampler requires a serial simulation: its probes read per-rank state
+// owned by whichever shard the rank lives on, which is only safe when every
+// rank shares one engine. Sharded deployments expose no single engine
+// (stack.Stack.Eng is nil), so there is nothing valid to pass here.
 func NewSampler(eng *sim.Engine, reg *Registry, period sim.Duration) *Sampler {
 	if period <= 0 {
 		panic("metrics: sampler period must be positive")
@@ -65,8 +70,9 @@ func (s *Sampler) Start() {
 
 // refresh adopts registry entries added since the last tick.
 func (s *Sampler) refresh() {
-	for ; s.seen < len(s.reg.entries); s.seen++ {
-		e := s.reg.entries[s.seen]
+	fresh := s.reg.entriesFrom(s.seen)
+	s.seen += len(fresh)
+	for _, e := range fresh {
 		if e.kind == KindHistogram {
 			continue
 		}

@@ -153,7 +153,7 @@ func (c Config) TestCost(nreq int) sim.Duration {
 
 // World is the set of communicating ranks (MPI_COMM_WORLD).
 type World struct {
-	eng   *sim.Engine
+	dom   sim.Domain
 	fab   fabric.Network
 	cfg   Config
 	ranks []*Rank
@@ -164,16 +164,16 @@ type World struct {
 // fab may be the raw fabric or a reliability layer; when it can report peer
 // failures (fabric.ErrNotifier), those are forwarded to each rank's error
 // handler.
-func NewWorld(eng *sim.Engine, fab fabric.Network, cfg Config) *World {
+func NewWorld(dom sim.Domain, fab fabric.Network, cfg Config) *World {
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = metrics.New()
 	}
-	w := &World{eng: eng, fab: fab, cfg: cfg, reg: reg}
+	w := &World{dom: dom, fab: fab, cfg: cfg, reg: reg}
 	w.ranks = make([]*Rank, fab.Ranks())
 	for i := range w.ranks {
 		r := &Rank{
-			w: w, me: i, lock: sim.NewProc(eng),
+			w: w, me: i, lock: sim.NewProc(dom.RankEngine(i)),
 			sent:           reg.Counter("mpi", "sent", i),
 			received:       reg.Counter("mpi", "received", i),
 			unexpectedHits: reg.Counter("mpi", "unexpected_hits", i),

@@ -16,8 +16,11 @@ import (
 type node struct {
 	rt   *Runtime
 	rank int
-	ce   core.Engine
-	cfg  Config
+	// eng is the engine of the shard that owns this rank; every event and
+	// clock read of this node goes through it, never through another rank's.
+	eng *sim.Engine
+	ce  core.Engine
+	cfg Config
 
 	workers []*sim.Proc
 	idle    []int // indices of idle workers, LIFO
@@ -113,6 +116,7 @@ func newNode(rt *Runtime, rank int, ce core.Engine, cfg Config) *node {
 	n := &node{
 		rt:          rt,
 		rank:        rank,
+		eng:         rt.dom.RankEngine(rank),
 		ce:          ce,
 		cfg:         cfg,
 		tasks:       make(map[TaskID]*taskState),
@@ -123,7 +127,7 @@ func newNode(rt *Runtime, rank int, ce core.Engine, cfg Config) *node {
 	}
 	n.workers = make([]*sim.Proc, cfg.Workers)
 	for i := range n.workers {
-		n.workers[i] = sim.NewProc(rt.eng)
+		n.workers[i] = sim.NewProc(n.eng)
 		n.idle = append(n.idle, i)
 	}
 	reg := rt.reg
@@ -252,7 +256,7 @@ func (n *node) runTask(t TaskID, w int) {
 	cost := n.cfg.SchedCost + n.rng.Jitter(n.rt.tp.Cost(t), n.cfg.Jitter) + n.cfg.CompleteCost
 	proc := n.workers[w]
 	if n.rt.obs != nil {
-		n.rt.obs.TaskStart(n.rank, w, t, n.rt.eng.Now())
+		n.rt.obs.TaskStart(n.rank, w, t, n.eng.Now())
 	}
 	epoch := n.epoch
 	proc.Submit(cost, func() {
@@ -265,7 +269,7 @@ func (n *node) runTask(t TaskID, w int) {
 		n.execute(t, w)
 		n.complete(t, w)
 		if n.rt.obs != nil {
-			n.rt.obs.TaskEnd(n.rank, w, t, n.rt.eng.Now())
+			n.rt.obs.TaskEnd(n.rank, w, t, n.eng.Now())
 		}
 		// The worker picks up the next ready task or goes idle. Idling is a
 		// quiet-transition point: the last worker to idle may complete the
@@ -323,7 +327,7 @@ func (n *node) complete(t TaskID, w int) {
 		n.succScratch = n.rt.tp.Successors(t, flow, n.succScratch[:0])
 
 		fd := &flowData{state: flowReady, ref: outputs[f], size: size}
-		now := int64(n.clock.Read(n.rt.eng.Now()))
+		now := int64(n.clock.Read(n.eng.Now()))
 		fd.meta = activation{task: t, flow: flow, size: size,
 			root: int32(n.rank), rootSend: now, hopRank: int32(n.rank), hopSend: now,
 			epoch: n.epoch}
@@ -391,7 +395,7 @@ func (n *node) sendActivate(dest int, act activation, w int) {
 		n.activations.Inc()
 		n.csent++
 		if n.rt.obs != nil {
-			n.rt.obs.ActivateSent(n.rank, dest, 1, n.rt.eng.Now())
+			n.rt.obs.ActivateSent(n.rank, dest, 1, n.eng.Now())
 		}
 		n.ce.SendAMMT(n.workers[w], tagActivate, dest, payload, nil)
 		return
@@ -436,7 +440,7 @@ func (n *node) flushActivates(dest int) {
 		n.activations.Add(uint64(len(chunk)))
 		n.csent++
 		if n.rt.obs != nil {
-			n.rt.obs.ActivateSent(n.rank, dest, len(chunk), n.rt.eng.Now())
+			n.rt.obs.ActivateSent(n.rank, dest, len(chunk), n.eng.Now())
 		}
 		n.ce.SendAM(tagActivate, dest, encodeActivates(chunk))
 	}
@@ -537,7 +541,7 @@ func (n *node) processActivation(act activation) {
 		tree := append([]int32{int32(n.rank)}, act.subtree...)
 		children := treeSplit(tree)
 		fd.expectedGets = len(children)
-		now := int64(n.clock.Read(n.rt.eng.Now()))
+		now := int64(n.clock.Read(n.eng.Now()))
 		for _, sub := range children {
 			fwd := act
 			fwd.hopRank = int32(n.rank)
@@ -619,7 +623,7 @@ func (n *node) requestFetch(key flowKey, fd *flowData, prio int64) {
 // rank) with our registered landing buffer.
 func (n *node) startFetch(key flowKey, fd *flowData) {
 	if n.rt.obs != nil {
-		n.rt.obs.FetchStart(n.rank, key.task, key.flow, fd.size, n.rt.eng.Now())
+		n.rt.obs.FetchStart(n.rank, key.task, key.flow, fd.size, n.eng.Now())
 	}
 	n.activeFetches++
 	fd.state = flowFetching
@@ -678,7 +682,7 @@ func (n *node) servePut(key flowKey, fd *flowData, req getReq) {
 	meta := putMeta{
 		task: key.task, flow: key.flow, epoch: req.epoch,
 		root: fd.meta.root, rootSend: fd.meta.rootSend,
-		hopRank: int32(n.rank), hopSend: int64(n.clock.Read(n.rt.eng.Now())),
+		hopRank: int32(n.rank), hopSend: int64(n.clock.Read(n.eng.Now())),
 	}
 	// The put's remote completion is the counted message: until the
 	// requester accepts it, this send vetoes termination.
@@ -727,10 +731,10 @@ func (n *node) onPutDone(_ core.Engine, _ core.Tag, data []byte, src int) {
 		fd.state = flowReady
 		n.bytesFetched.Add(uint64(fd.size))
 		if n.rt.obs != nil {
-			n.rt.obs.DataArrived(n.rank, key.task, key.flow, fd.size, n.rt.eng.Now())
+			n.rt.obs.DataArrived(n.rank, key.task, key.flow, fd.size, n.eng.Now())
 		}
 		n.rt.tracer.Sample(int(m.root), m.rootSend, int(m.hopRank), m.hopSend,
-			n.rank, n.clock.Read(n.rt.eng.Now()))
+			n.rank, n.clock.Read(n.eng.Now()))
 
 		for _, t := range fd.waiters {
 			n.satisfy(t)

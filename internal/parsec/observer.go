@@ -39,4 +39,12 @@ func (NopObserver) DataArrived(int, TaskID, int32, int64, sim.Time) {}
 func (NopObserver) ActivateSent(int, int, int, sim.Time) {}
 
 // SetObserver installs an observer; nil removes it. Install before Run.
-func (rt *Runtime) SetObserver(o Observer) { rt.obs = o }
+// Observers require a serial simulation: callbacks fire from every rank, and
+// under a sharded domain they would run concurrently from several goroutines
+// against one observer value.
+func (rt *Runtime) SetObserver(o Observer) {
+	if o != nil && rt.dom.Shards() > 1 {
+		panic("parsec: observers require a single-shard domain")
+	}
+	rt.obs = o
+}

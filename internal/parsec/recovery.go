@@ -59,6 +59,12 @@ type recoveryState struct {
 // takes over the engines' error routing: peer-death verdicts feed the
 // recovery protocol, anything else still aborts the graph.
 func (rt *Runtime) EnableRecovery(rc RecoveryConfig) {
+	// Recovery restarts mutate every rank's state in one atomic simulation
+	// event, which only a serial engine provides (crash injection is gated
+	// the same way in fabric.InstallFaults).
+	if rt.dom.Shards() > 1 {
+		panic("parsec: crash recovery requires a single-shard domain")
+	}
 	if len(rc.Managers) != len(rt.nodes) {
 		panic(fmt.Sprintf("parsec: %d checkpoint managers for %d ranks",
 			len(rc.Managers), len(rt.nodes)))
@@ -398,7 +404,7 @@ func (n *node) restoreTask(t TaskID, flows []recov.FlowCkpt) {
 		if f.Data != nil {
 			buf.Copy(ref.Buf, buf.FromBytes(f.Data))
 		}
-		now := int64(n.clock.Read(n.rt.eng.Now()))
+		now := int64(n.clock.Read(n.eng.Now()))
 		fd := &flowData{state: flowReady, ref: ref, size: f.Size}
 		fd.meta = activation{task: t, flow: f.Flow, size: f.Size,
 			root: int32(n.rank), rootSend: now, hopRank: int32(n.rank), hopSend: now,

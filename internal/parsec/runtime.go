@@ -3,6 +3,7 @@ package parsec
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"amtlci/internal/core"
 	"amtlci/internal/metrics"
@@ -11,15 +12,21 @@ import (
 )
 
 // Runtime drives a distributed taskpool execution over a set of
-// communication engines (one per rank) on a shared simulation engine.
+// communication engines (one per rank) on a shared simulation domain —
+// the serial engine, or a sharded sim.Parallel where each rank's node runs
+// on its owning shard's goroutine.
 type Runtime struct {
-	eng    *sim.Engine
+	dom    sim.Domain
 	tp     Taskpool
 	cfg    Config
 	nodes  []*node
 	tracer *Tracer
 	obs    Observer
 	reg    *metrics.Registry
+
+	// failMu guards failed: under a sharded domain any shard's engine can
+	// report the first unrecoverable error concurrently.
+	failMu sync.Mutex
 	failed error
 
 	// Crash-recovery state (recovery.go); nil until EnableRecovery.
@@ -34,9 +41,9 @@ type Runtime struct {
 	nranks int
 }
 
-// New builds a runtime. engines must all live on eng and have ranks 0..n-1
-// in order; it panics otherwise.
-func New(eng *sim.Engine, engines []core.Engine, tp Taskpool, cfg Config) *Runtime {
+// New builds a runtime. engines must live on dom's per-rank engines and have
+// ranks 0..n-1 in order; it panics otherwise.
+func New(dom sim.Domain, engines []core.Engine, tp Taskpool, cfg Config) *Runtime {
 	if cfg.Workers <= 0 {
 		panic("parsec: need at least one worker per rank")
 	}
@@ -53,7 +60,7 @@ func New(eng *sim.Engine, engines []core.Engine, tp Taskpool, cfg Config) *Runti
 	if cfg.StealMax > steal.MaxTasksPerReply {
 		cfg.StealMax = steal.MaxTasksPerReply
 	}
-	rt := &Runtime{eng: eng, tp: tp, cfg: cfg, tracer: NewTracer(len(engines)), reg: reg}
+	rt := &Runtime{dom: dom, tp: tp, cfg: cfg, tracer: NewTracer(len(engines)), reg: reg}
 	rt.nranks = len(engines)
 	rt.restarts = reg.Counter("parsec", "restarts", metrics.StackRank)
 	rt.term = newTermState(len(engines), reg)
@@ -71,17 +78,26 @@ func New(eng *sim.Engine, engines []core.Engine, tp Taskpool, cfg Config) *Runti
 }
 
 // fail records the first unrecoverable failure and stops the simulation so
-// Run can report it instead of spinning until the retry budgets drain.
+// Run can report it instead of spinning until the retry budgets drain. Safe
+// to call from any shard.
 func (rt *Runtime) fail(err error) {
-	if rt.failed != nil {
-		return
+	rt.failMu.Lock()
+	first := rt.failed == nil
+	if first {
+		rt.failed = err
 	}
-	rt.failed = err
-	rt.eng.Stop()
+	rt.failMu.Unlock()
+	if first {
+		rt.dom.Stop()
+	}
 }
 
 // Err returns the first unrecoverable failure, or nil.
-func (rt *Runtime) Err() error { return rt.failed }
+func (rt *Runtime) Err() error {
+	rt.failMu.Lock()
+	defer rt.failMu.Unlock()
+	return rt.failed
+}
 
 // Tracer returns the latency tracer.
 func (rt *Runtime) Tracer() *Tracer { return rt.tracer }
@@ -126,7 +142,7 @@ func (rt *Runtime) Stats(r int) Stats {
 // announced — completion is proven by consensus, never assumed from the
 // event queue draining.
 func (rt *Runtime) Run() (sim.Duration, error) {
-	start := rt.eng.Now()
+	start := rt.dom.Now()
 	for _, n := range rt.nodes {
 		n.start()
 	}
@@ -137,7 +153,7 @@ func (rt *Runtime) Run() (sim.Duration, error) {
 	for _, n := range rt.nodes {
 		n.pollQuiet()
 	}
-	end := rt.eng.Run()
+	end := rt.dom.Run()
 
 	var stuck []string
 	for _, n := range rt.nodes {
@@ -145,8 +161,8 @@ func (rt *Runtime) Run() (sim.Duration, error) {
 			stuck = append(stuck, fmt.Sprintf("rank %d: %d/%d tasks", n.rank, n.executed, n.total))
 		}
 	}
-	if rt.failed != nil {
-		return 0, fmt.Errorf("parsec: task graph aborted: %w", rt.failed)
+	if err := rt.Err(); err != nil {
+		return 0, fmt.Errorf("parsec: task graph aborted: %w", err)
 	}
 	if len(stuck) > 0 {
 		// The detector announces here too — a deadlocked graph has genuinely

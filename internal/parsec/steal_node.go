@@ -49,7 +49,7 @@ func (n *node) maybeProbe() {
 		return
 	}
 	n.probeOut = true
-	n.probeSentAt = n.rt.eng.Now()
+	n.probeSentAt = n.eng.Now()
 	req := steal.Request{Epoch: n.epoch, Max: uint16(n.cfg.StealMax)}
 	n.csent++
 	n.ce.SendAM(tagStealReq, v, steal.EncodeRequest(req))
@@ -256,7 +256,7 @@ func (n *node) adoptStolen(victim int, rep steal.Reply) {
 		// registration arrives with no probe outstanding and no latency to
 		// attribute.)
 		n.probeOut = false
-		n.stealLat.Observe(uint64(n.rt.eng.Now().Sub(n.probeSentAt) / sim.Nanosecond))
+		n.stealLat.Observe(uint64(n.eng.Now().Sub(n.probeSentAt) / sim.Nanosecond))
 	}
 	if len(rep.Tasks) == 0 {
 		// Denial: the victim has registered us as starving. The submit
@@ -365,7 +365,7 @@ func (n *node) mergeActivation(key flowKey, fd *flowData, act activation) {
 			// the entry.
 			fd.expectedGets += len(children)
 		}
-		now := int64(n.clock.Read(n.rt.eng.Now()))
+		now := int64(n.clock.Read(n.eng.Now()))
 		for _, sub := range children {
 			fwd := act
 			fwd.hopRank = int32(n.rank)

@@ -184,7 +184,7 @@ func (rt *Runtime) TermRounds() int64 { return int64(rt.term.rounds.Value()) }
 // rounds never spin while the coordinator has work.
 func (rt *Runtime) tryInitiate() {
 	ts := rt.term
-	if ts.announced || ts.outstanding || rt.failed != nil {
+	if ts.announced || ts.outstanding || rt.Err() != nil {
 		return
 	}
 	coord := ts.coordinator()
@@ -384,7 +384,7 @@ func (n *node) countRecv() {
 // detector's control channel.
 func (rt *Runtime) recordDeadvote(dead, voter int) {
 	rec := rt.rec
-	if rec == nil || rt.failed != nil {
+	if rec == nil || rt.Err() != nil {
 		return
 	}
 	if rec.verdicts[dead] == nil {
@@ -403,6 +403,8 @@ func (rt *Runtime) recordDeadvote(dead, voter int) {
 	}
 	if len(rec.verdicts[dead]) == survivors && !rec.scheduled[dead] {
 		rec.scheduled[dead] = true
-		rt.eng.After(rec.cfg.RestartDelay, func() { rt.restart(dead) })
+		// Recovery is serial-only (EnableRecovery enforces it), so rank 0's
+		// engine is THE engine.
+		rt.dom.RankEngine(0).After(rec.cfg.RestartDelay, func() { rt.restart(dead) })
 	}
 }

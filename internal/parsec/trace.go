@@ -28,12 +28,22 @@ type Tracer struct {
 	// perfect clocks (all zero) measurements are exact.
 	corrections []sim.Duration
 
+	// lanes[r] accumulates samples whose RECEIVER is rank r. Samples are
+	// recorded on the receiving rank's shard, so per-rank lanes make the
+	// tracer safe under a sharded domain with no locking; readers merge the
+	// lanes in rank order, which is deterministic.
+	lanes []traceLane
+}
+
+type traceLane struct {
 	e2e stats.Online
 	hop stats.Online
 }
 
 // NewTracer builds a tracer for n ranks with perfect clock corrections.
-func NewTracer(n int) *Tracer { return &Tracer{corrections: make([]sim.Duration, n)} }
+func NewTracer(n int) *Tracer {
+	return &Tracer{corrections: make([]sim.Duration, n), lanes: make([]traceLane, n)}
+}
 
 // SetCorrections installs per-rank clock-offset estimates (from
 // internal/clocksync).
@@ -48,12 +58,28 @@ func (tr *Tracer) corrected(local sim.Time, rank int) float64 {
 // reading.
 func (tr *Tracer) Sample(root int, rootSend int64, hopRank int, hopSend int64, me int, arrival sim.Time) {
 	a := tr.corrected(arrival, me)
-	tr.e2e.Add((a - tr.corrected(sim.Time(rootSend), root)) / float64(sim.Microsecond))
-	tr.hop.Add((a - tr.corrected(sim.Time(hopSend), hopRank)) / float64(sim.Microsecond))
+	l := &tr.lanes[me]
+	l.e2e.Add((a - tr.corrected(sim.Time(rootSend), root)) / float64(sim.Microsecond))
+	l.hop.Add((a - tr.corrected(sim.Time(hopSend), hopRank)) / float64(sim.Microsecond))
 }
 
-// EndToEnd returns summary statistics of end-to-end latency in microseconds.
-func (tr *Tracer) EndToEnd() *stats.Online { return &tr.e2e }
+// EndToEnd returns summary statistics of end-to-end latency in microseconds,
+// merged across receiving ranks. Call it after the run: merging while shards
+// are still sampling would race.
+func (tr *Tracer) EndToEnd() *stats.Online {
+	var o stats.Online
+	for i := range tr.lanes {
+		o.Merge(&tr.lanes[i].e2e)
+	}
+	return &o
+}
 
-// Hop returns summary statistics of single-hop latency in microseconds.
-func (tr *Tracer) Hop() *stats.Online { return &tr.hop }
+// Hop returns summary statistics of single-hop latency in microseconds,
+// merged across receiving ranks (same post-run caveat as EndToEnd).
+func (tr *Tracer) Hop() *stats.Online {
+	var o stats.Online
+	for i := range tr.lanes {
+		o.Merge(&tr.lanes[i].hop)
+	}
+	return &o
+}

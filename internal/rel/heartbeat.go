@@ -125,23 +125,23 @@ func (ep *endpoint) startHeartbeats() {
 	s := ep.s
 	ep.lastSent = make(map[int]sim.Time, len(s.eps)-1)
 	ep.lastHeard = make(map[int]sim.Time, len(s.eps)-1)
-	now := s.eng.Now()
+	now := ep.eng.Now()
 	for p := range s.eps {
 		if p != ep.rank {
 			ep.lastHeard[p] = now
 		}
 	}
-	ep.hbTick = s.eng.After(s.cfg.HeartbeatPeriod, ep.tickHeartbeats)
+	ep.hbTick = ep.eng.After(s.cfg.HeartbeatPeriod, ep.tickHeartbeats)
 }
 
 // tickHeartbeats runs once per period: expire silent leases, then beacon to
 // any peer the endpoint has not transmitted to for a full period.
 func (ep *endpoint) tickHeartbeats() {
 	s := ep.s
-	if ep.crashed || s.hbStopped {
+	if ep.crashed || s.hbStopped.Load() {
 		return
 	}
-	now := s.eng.Now()
+	now := ep.eng.Now()
 	for p := range s.eps {
 		if p == ep.rank || ep.notified[p] {
 			continue
@@ -155,8 +155,8 @@ func (ep *endpoint) tickHeartbeats() {
 		}
 	}
 	// A failure callback above may have stopped the detector for good.
-	if !s.hbStopped && !ep.crashed {
-		ep.hbTick = s.eng.After(s.cfg.HeartbeatPeriod, ep.tickHeartbeats)
+	if !s.hbStopped.Load() && !ep.crashed {
+		ep.hbTick = ep.eng.After(s.cfg.HeartbeatPeriod, ep.tickHeartbeats)
 	}
 }
 
@@ -166,7 +166,7 @@ func (ep *endpoint) sendHeartbeat(peer int) {
 	payload := EncodeHeartbeat(Heartbeat{
 		From: int32(ep.rank),
 		Seq:  ep.hbSeq,
-		Sent: int64(s.eng.Now()),
+		Sent: int64(ep.eng.Now()),
 	})
 	ep.hbSent.Inc()
 	ep.noteSent(peer)
@@ -210,14 +210,14 @@ func (ep *endpoint) leaseExpired(peer int) {
 // off.
 func (ep *endpoint) noteSent(peer int) {
 	if ep.lastSent != nil {
-		ep.lastSent[peer] = ep.s.eng.Now()
+		ep.lastSent[peer] = ep.eng.Now()
 	}
 }
 
 // noteHeard renews peer's lease. No-op when the detector is off.
 func (ep *endpoint) noteHeard(peer int) {
 	if ep.lastHeard != nil {
-		ep.lastHeard[peer] = ep.s.eng.Now()
+		ep.lastHeard[peer] = ep.eng.Now()
 	}
 }
 
@@ -226,15 +226,14 @@ func (ep *endpoint) noteHeard(peer int) {
 // peers "failing" (it is the one that is gone). Registered on the fabric's
 // crash notification.
 func (ep *endpoint) freeze() {
-	s := ep.s
 	ep.crashed = true
-	s.eng.Cancel(ep.hbTick)
+	ep.eng.Cancel(ep.hbTick)
 	ep.hbTick = sim.Event{}
 	for _, tp := range ep.tx {
 		ep.silence(tp)
 	}
 	for _, rp := range ep.rx {
-		s.eng.Cancel(rp.ackTimer)
+		ep.eng.Cancel(rp.ackTimer)
 	}
 }
 
@@ -245,12 +244,19 @@ func (ep *endpoint) freeze() {
 // Idempotent: the detector may announce once per recovery epoch, and crashed
 // endpoints have already frozen their own timers.
 func (s *Stack) StopHeartbeats() {
-	if s.hbStopped {
+	if !s.hbStopped.CompareAndSwap(false, true) {
 		return
 	}
-	s.hbStopped = true
-	for _, ep := range s.eps {
-		s.eng.Cancel(ep.hbTick)
-		ep.hbTick = sim.Event{}
+	if s.fab.Domain().Shards() == 1 {
+		// Serial: cancel eagerly so the simulation ends at the announcement.
+		for _, ep := range s.eps {
+			ep.eng.Cancel(ep.hbTick)
+			ep.hbTick = sim.Event{}
+		}
+		return
 	}
+	// Sharded: canceling another shard's timer would race. Each endpoint's
+	// next tick observes the flag and declines to re-arm, so the detector
+	// winds down within one heartbeat period instead of instantly — the
+	// simulation tail grows by at most one period.
 }

@@ -24,6 +24,7 @@ package rel
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"amtlci/internal/fabric"
 	"amtlci/internal/metrics"
@@ -224,6 +225,7 @@ type rxPeer struct {
 type endpoint struct {
 	s     *Stack
 	rank  int
+	eng   *sim.Engine // owning shard engine: every timer this endpoint arms
 	up    fabric.Handler
 	errFn func(peer int, err error)
 	tx    map[int]*txPeer
@@ -264,7 +266,6 @@ func (ep *endpoint) inFlight() int {
 // fabric) and fabric.ErrNotifier.
 type Stack struct {
 	fab *fabric.Fabric
-	eng *sim.Engine
 	cfg Config
 	eps []*endpoint
 	reg *metrics.Registry
@@ -275,7 +276,9 @@ type Stack struct {
 
 	// hbStopped ends the failure detector permanently (StopHeartbeats); the
 	// flag keeps a tick that is already executing from re-arming itself.
-	hbStopped bool
+	// Atomic because the termination detector announces from one rank while
+	// other shards' ticks read it.
+	hbStopped atomic.Bool
 }
 
 // New interposes a reliability layer on fab. It takes over the fabric's
@@ -290,7 +293,7 @@ func New(fab *fabric.Fabric, cfg Config) (*Stack, error) {
 		reg = metrics.New()
 	}
 	s := &Stack{
-		fab: fab, eng: fab.Engine(), cfg: cfg, reg: reg,
+		fab: fab, cfg: cfg, reg: reg,
 		unreachable: reg.Counter("rel", "unreachable", metrics.StackRank),
 		peerDead:    reg.Counter("rel", "peer_dead", metrics.StackRank),
 		rtoHist:     reg.Histogram("rel", "rto_ns", metrics.StackRank),
@@ -298,7 +301,8 @@ func New(fab *fabric.Fabric, cfg Config) (*Stack, error) {
 	s.eps = make([]*endpoint, fab.Ranks())
 	for i := range s.eps {
 		ep := &endpoint{
-			s: s, rank: i, tx: make(map[int]*txPeer), rx: make(map[int]*rxPeer),
+			s: s, rank: i, eng: fab.RankEngine(i),
+			tx: make(map[int]*txPeer), rx: make(map[int]*rxPeer),
 			notified:      make(map[int]bool),
 			dataSent:      reg.Counter("rel", "data_sent", i),
 			dataDelivered: reg.Counter("rel", "data_delivered", i),
@@ -375,7 +379,7 @@ func (s *Stack) Send(m *fabric.Message) {
 	if tp.dead {
 		return
 	}
-	fr := &frame{seq: tp.nextSeq, size: m.Size, meta: m.Meta, sent: s.eng.Now()}
+	fr := &frame{seq: tp.nextSeq, size: m.Size, meta: m.Meta, sent: ep.eng.Now()}
 	tp.nextSeq++
 	if m.Payload != nil {
 		fr.payload = append([]byte(nil), m.Payload...)
@@ -425,7 +429,7 @@ func (ep *endpoint) transmit(tp *txPeer, e *txEntry, first bool) {
 		if e.acked || tp.dead {
 			return
 		}
-		e.timer = s.eng.After(e.rto, func() { ep.timeout(tp, e) })
+		e.timer = ep.eng.After(e.rto, func() { ep.timeout(tp, e) })
 	}
 	ep.noteSent(tp.peer)
 	s.fab.Send(wm)
@@ -462,7 +466,7 @@ func (ep *endpoint) declareDead(tp *txPeer, e *txEntry) {
 func (ep *endpoint) silence(tp *txPeer) {
 	tp.dead = true
 	for _, q := range tp.q {
-		ep.s.eng.Cancel(q.timer)
+		ep.eng.Cancel(q.timer)
 	}
 	tp.q = nil
 }
@@ -571,7 +575,7 @@ func (ep *endpoint) scheduleAck(rp *rxPeer, src int) {
 	if rp.ackTimer.Pending() {
 		return
 	}
-	rp.ackTimer = s.eng.After(s.cfg.AckDelay, func() {
+	rp.ackTimer = ep.eng.After(s.cfg.AckDelay, func() {
 		ep.acksSent.Inc()
 		ep.noteSent(src)
 		s.fab.Send(&fabric.Message{
@@ -592,6 +596,6 @@ func (ep *endpoint) onAck(peer int, cum uint64) {
 		e := tp.q[0]
 		tp.q = tp.q[1:]
 		e.acked = true
-		ep.s.eng.Cancel(e.timer)
+		ep.eng.Cancel(e.timer)
 	}
 }

@@ -1,6 +1,9 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // event is the pooled internal representation of a scheduled callback.
 // Objects are recycled through the engine's free list; gen increments every
@@ -29,13 +32,16 @@ type Event struct {
 	gen uint32
 }
 
-// When returns the virtual time at which the event will fire, or zero when
-// the event has already fired or been canceled.
-func (e Event) When() Time {
+// When returns the virtual time at which the event will fire. The boolean is
+// false when the event has already fired or been canceled (including the
+// zero-value handle); a true result with a zero Time is a legitimate event
+// scheduled at time zero, which the old single-value signature could not
+// distinguish from a dead handle.
+func (e Event) When() (Time, bool) {
 	if !e.Pending() {
-		return 0
+		return 0, false
 	}
-	return e.ev.when
+	return e.ev.when, true
 }
 
 // Pending reports whether the event is still scheduled.
@@ -123,35 +129,75 @@ func (e *Engine) Cancel(h Event) {
 	e.remove(ev)
 }
 
-// Stop makes Run return after the currently executing event completes.
+// Stop arms the engine's stop flag. A stop armed while Run or RunUntil is
+// executing makes it return after the currently executing event completes; a
+// stop armed while the engine is idle makes the NEXT Run or RunUntil return
+// immediately at the current clock, firing nothing. Each run consumes the
+// flag on return, so a stop never leaks into the run after the one it ended.
 func (e *Engine) Stop() { e.stopped = true }
 
+// Stopping reports whether a stop is armed (set by Stop and not yet consumed
+// by a run). The parallel coordinator uses it to tell "stopped" from "queue
+// drained" at a window boundary.
+func (e *Engine) Stopping() bool { return e.stopped }
+
 // Run executes events until the queue drains or Stop is called. It returns
-// the final virtual time.
+// the final virtual time. A stop armed before the call makes it return
+// immediately at the current clock; either way the stop is consumed.
 func (e *Engine) Run() Time {
-	e.stopped = false
 	for e.n > 0 && !e.stopped {
 		e.step()
 	}
+	e.stopped = false
 	return e.now
 }
 
 // RunUntil executes events with timestamps <= t and then advances the clock
 // to t. Events scheduled during execution are honored if they fall within
 // the horizon.
+//
+// Stop interaction: when an event calls Stop mid-horizon — or a stop was
+// armed before the call — RunUntil returns with the clock left at the last
+// fired event (the entry clock for a pre-armed stop), NOT advanced to t. The
+// horizon advance is a statement that "nothing happens until t", which a
+// stop explicitly revokes: the caller stopped the run precisely because it
+// no longer wants the remaining virtual time to pass. Like Run, RunUntil
+// consumes the stop flag on return.
 func (e *Engine) RunUntil(t Time) Time {
-	e.stopped = false
-	for e.n > 0 && !e.stopped {
+	stopped := e.stopped
+	for e.n > 0 && !stopped {
 		w, ok := e.peek()
 		if !ok || w > t {
 			break
 		}
 		e.step()
+		stopped = e.stopped
 	}
-	if !e.stopped && e.now < t {
+	if !stopped && e.now < t {
 		e.now = t
 	}
+	e.stopped = false
 	return e.now
+}
+
+// runBefore executes events with timestamps strictly below t, leaving the
+// clock at the last fired event. It honors the engine's own stop flag and,
+// when halt is non-nil, a domain-wide stop shared across shards — but unlike
+// Run it consumes neither: the parallel coordinator owns both flags'
+// lifecycles across window boundaries. This is the per-window body of the
+// sharded engine (psim.go); events exactly at t belong to the next window,
+// where freshly staged cross-shard arrivals can still order ahead of them.
+func (e *Engine) runBefore(t Time, halt *atomic.Bool) {
+	for e.n > 0 && !e.stopped {
+		w, ok := e.peek()
+		if !ok || w >= t {
+			return
+		}
+		if halt != nil && halt.Load() {
+			return
+		}
+		e.step()
+	}
 }
 
 func (e *Engine) step() {

@@ -73,7 +73,7 @@ func TestEngineMatchesRefEngineOnRandomWorkloads(t *testing.T) {
 						i := op.target % len(live)
 						h := live[i]
 						if h.Pending() {
-							when := h.When()
+							when, _ := h.When()
 							e.Cancel(h)
 							// Reschedule at the identical timestamp: the
 							// replacement must fire in fresh-seq order.

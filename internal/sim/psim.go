@@ -1,0 +1,386 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync/atomic"
+)
+
+// Parallel is a sharded discrete-event domain: ranks are partitioned into
+// contiguous blocks, each block owns a private Engine (calendar queue,
+// event pool, clock), and the blocks advance conservatively in lockstep
+// windows of one lookahead.
+//
+// # Synchronization protocol (time-window barrier)
+//
+// Each round, the coordinator computes the global minimum pending timestamp
+// T — over every shard's calendar AND every staged-but-unadmitted inbox
+// event — and opens the window [T, T+L), L the lookahead. Every shard then,
+// in parallel: (1) admits the staged cross-shard arrivals with timestamps
+// inside the window into its calendar, in (timestamp, source shard, source
+// sequence) order, and (2) fires its local events with timestamps strictly
+// below T+L. A barrier separates rounds.
+//
+// # Exactness
+//
+// Firing order within a shard is exactly the engine's (timestamp, seq)
+// order, and the seq assignment is deterministic: local events are numbered
+// in execution order (deterministic given a deterministic workload), and
+// staged arrivals are admitted at a deterministic round in a deterministic
+// sort order. The conservative window makes the staged set per round
+// execution-independent: a cross-shard event generated in round k targets a
+// time >= T_k + L (CrossAt enforces the lookahead distance against the
+// source clock, and the source clock is >= T_k), so it is never admissible
+// in round k itself — by the time a round opens, every event that can land
+// in its window is already in the inbox, no matter how the previous rounds'
+// shards interleaved in real time. Per-rank event sequences are therefore
+// bit-identical across shard counts and to the serial engine; the
+// differential tests in psim_test.go and internal/bench pin this.
+//
+// # Inbox bound
+//
+// Inboxes are append-only slices drained every round, so their occupancy is
+// naturally bounded by one round's cross-shard traffic: a staged event needs
+// a fired source event with a timestamp inside a single lookahead window,
+// and the arrival lands at most one serialization + fault delay past the
+// window after next. There is no artificial capacity that could block a
+// mid-window sender (a block inside a window would deadlock the barrier);
+// InboxHighWater exposes the realized bound for monitoring.
+type Parallel struct {
+	shards    []*pshard
+	owner     []int // rank -> shard index
+	lookahead Duration
+
+	// halt is the domain-wide stop flag: checked by every shard before
+	// every event, armed by Stop from any goroutine.
+	halt atomic.Bool
+
+	// Round barrier. horizon and quit are published by the coordinator
+	// before the round counter bump (atomic round/done establish the
+	// happens-before edges both ways).
+	round   atomic.Uint64
+	done    atomic.Int64
+	horizon Time
+	quit    bool
+
+	rounds uint64 // windows executed (stats)
+}
+
+// pshard is one shard: a private engine plus the cross-shard inbox.
+type pshard struct {
+	id  int
+	eng *Engine
+	par *Parallel
+
+	// crossSeq stamps outgoing cross-shard events from this shard, in
+	// execution order; the (when, src shard, seq) triple is the
+	// deterministic admission order at the destination. Only this shard's
+	// goroutine touches it.
+	crossSeq uint64
+
+	mu      chan struct{} // 1-slot semaphore guarding inbox (see lock())
+	inbox   []crossEvent
+	inboxHW int
+
+	batch []crossEvent // drain scratch, owner-goroutine only
+}
+
+type crossEvent struct {
+	when Time
+	src  int32
+	seq  uint64
+	fn   func()
+}
+
+func (sh *pshard) lock()   { sh.mu <- struct{}{} }
+func (sh *pshard) unlock() { <-sh.mu }
+
+// NewParallel builds a domain of `shards` engines over `ranks` ranks with
+// the given conservative lookahead. shards is clamped to ranks; a single
+// shard degenerates to exactly the serial engine (no goroutines, no
+// windows). lookahead must be positive when shards > 1 — with zero
+// lookahead no window can admit parallelism conservatively.
+func NewParallel(ranks, shards int, lookahead Duration) *Parallel {
+	if ranks <= 0 {
+		panic("sim: NewParallel needs at least one rank")
+	}
+	if shards <= 0 {
+		panic("sim: NewParallel needs at least one shard")
+	}
+	if shards > ranks {
+		shards = ranks
+	}
+	if shards > 1 && lookahead <= 0 {
+		panic("sim: sharded execution needs a positive lookahead")
+	}
+	p := &Parallel{lookahead: lookahead, owner: make([]int, ranks)}
+	for r := range p.owner {
+		p.owner[r] = blockOwner(r, ranks, shards)
+	}
+	p.shards = make([]*pshard, shards)
+	for s := range p.shards {
+		p.shards[s] = &pshard{id: s, eng: NewEngine(), par: p, mu: make(chan struct{}, 1)}
+	}
+	return p
+}
+
+// RankEngine returns the engine owning rank's events.
+func (p *Parallel) RankEngine(rank int) *Engine { return p.shards[p.owner[rank]].eng }
+
+// Shards returns the shard count.
+func (p *Parallel) Shards() int { return len(p.shards) }
+
+// ShardOf returns the shard index owning rank.
+func (p *Parallel) ShardOf(rank int) int { return p.owner[rank] }
+
+// Lookahead returns the conservative window length.
+func (p *Parallel) Lookahead() Duration { return p.lookahead }
+
+// Rounds returns how many synchronization windows Run has executed.
+func (p *Parallel) Rounds() uint64 { return p.rounds }
+
+// InboxHighWater returns the largest staged-event backlog any shard's inbox
+// reached — the realized bound of the handoff queues.
+func (p *Parallel) InboxHighWater() int {
+	hw := 0
+	for _, sh := range p.shards {
+		if sh.inboxHW > hw {
+			hw = sh.inboxHW
+		}
+	}
+	return hw
+}
+
+// Fired sums the event counts of every shard.
+func (p *Parallel) Fired() uint64 {
+	var n uint64
+	for _, sh := range p.shards {
+		n += sh.eng.Fired()
+	}
+	return n
+}
+
+// Pending sums the scheduled events of every shard, including staged
+// cross-shard events not yet admitted.
+func (p *Parallel) Pending() int {
+	n := 0
+	for _, sh := range p.shards {
+		n += sh.eng.Pending()
+		sh.lock()
+		n += len(sh.inbox)
+		sh.unlock()
+	}
+	return n
+}
+
+// Now returns the maximum shard clock: the time of the last fired event once
+// Run has returned. Mid-run it is only a lower bound on global progress.
+func (p *Parallel) Now() Time {
+	var t Time
+	for _, sh := range p.shards {
+		if n := sh.eng.Now(); n > t {
+			t = n
+		}
+	}
+	return t
+}
+
+// Stop arms a domain-wide stop: every shard halts before its next event and
+// Run returns at the current window boundary. Safe to call from any shard's
+// execution (a communication-engine failure handler, typically) or from
+// outside the domain entirely. Like Engine.Stop, the armed stop is consumed
+// by the run it ends — or by the next Run when armed while idle.
+func (p *Parallel) Stop() { p.halt.Store(true) }
+
+// CrossAt schedules fn at absolute time t on dst's engine from within src's
+// execution. Cross-shard calls must respect the lookahead distance measured
+// against the source shard's clock; violations panic, because admitting such
+// an event could require rewinding a destination shard that already advanced
+// past t.
+func (p *Parallel) CrossAt(src, dst int, t Time, fn func()) {
+	s, d := p.owner[src], p.owner[dst]
+	if s == d {
+		p.shards[d].eng.At(t, fn)
+		return
+	}
+	se := p.shards[s].eng
+	if t < se.now.Add(p.lookahead) {
+		panic(fmt.Sprintf("sim: cross-shard event at %v from rank %d (clock %v) violates lookahead %v",
+			t, src, se.now, p.lookahead))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	ssh := p.shards[s]
+	seq := ssh.crossSeq
+	ssh.crossSeq++
+	dsh := p.shards[d]
+	dsh.lock()
+	dsh.inbox = append(dsh.inbox, crossEvent{when: t, src: int32(s), seq: seq, fn: fn})
+	if len(dsh.inbox) > dsh.inboxHW {
+		dsh.inboxHW = len(dsh.inbox)
+	}
+	dsh.unlock()
+}
+
+// Run executes the sharded simulation until every calendar and inbox drains
+// or a stop is armed, and returns the time of the last fired event. One
+// worker goroutine per extra shard lives for the duration of the call; the
+// caller's goroutine drives shard 0 and the window barrier.
+func (p *Parallel) Run() Time {
+	n := len(p.shards)
+	if n == 1 {
+		// Degenerate case: the serial engine IS the one shard (CrossAt
+		// never stages), so serial semantics apply verbatim.
+		return p.shards[0].eng.Run()
+	}
+
+	p.quit = false
+	// Capture the round baseline before the workers start: only this
+	// goroutine bumps the counter, so a worker that begins after the first
+	// window opens still sees the bump relative to this value.
+	base := p.round.Load()
+	for _, sh := range p.shards[1:] {
+		go p.work(sh, base)
+	}
+
+	for !p.halt.Load() {
+		T, ok := p.nextTime()
+		if !ok {
+			break
+		}
+		p.openWindow(T.Add(p.lookahead))
+		p.rounds++
+		if p.anyShardStopped() {
+			break
+		}
+	}
+
+	// Dismiss the workers through one final round.
+	p.quit = true
+	p.openWindow(0)
+
+	// Consume stop flags, mirroring Engine.Run.
+	p.halt.Store(false)
+	for _, sh := range p.shards {
+		sh.eng.stopped = false
+	}
+	return p.Now()
+}
+
+// openWindow publishes the horizon, releases every shard for one round, runs
+// shard 0 on the calling goroutine, and waits for the barrier.
+func (p *Parallel) openWindow(w Time) {
+	p.horizon = w
+	p.done.Store(0)
+	p.round.Add(1)
+	if !p.quit {
+		p.shards[0].runWindow(w)
+	}
+	workers := int64(len(p.shards) - 1)
+	for p.done.Load() < workers {
+		runtime.Gosched()
+	}
+}
+
+// work is the per-shard worker loop: spin (yielding) on the round counter,
+// run the published window, signal the barrier. The atomic round/done pair
+// carries the happens-before edges that make the coordinator's pre-round
+// writes (horizon, quit, staged inboxes, engine state from its own shard-0
+// window) visible here and this shard's effects visible back.
+func (p *Parallel) work(sh *pshard, last uint64) {
+	for {
+		r := p.round.Load()
+		if r == last {
+			runtime.Gosched()
+			continue
+		}
+		last = r
+		if p.quit {
+			p.done.Add(1)
+			return
+		}
+		sh.runWindow(p.horizon)
+		p.done.Add(1)
+	}
+}
+
+// nextTime returns the global minimum pending timestamp across calendars and
+// inboxes. Called at the barrier, so the uncontended inbox locks are for the
+// race detector's benefit more than for exclusion.
+func (p *Parallel) nextTime() (Time, bool) {
+	var best Time
+	found := false
+	for _, sh := range p.shards {
+		if w, ok := sh.eng.peek(); ok && (!found || w < best) {
+			best, found = w, true
+		}
+		sh.lock()
+		for i := range sh.inbox {
+			if w := sh.inbox[i].when; !found || w < best {
+				best, found = w, true
+			}
+		}
+		sh.unlock()
+	}
+	return best, found
+}
+
+func (p *Parallel) anyShardStopped() bool {
+	for _, sh := range p.shards {
+		if sh.eng.stopped {
+			return true
+		}
+	}
+	return false
+}
+
+// runWindow admits this shard's staged arrivals below the horizon and fires
+// its local events below the horizon.
+func (sh *pshard) runWindow(w Time) {
+	sh.drainInbox(w)
+	sh.eng.runBefore(w, &sh.par.halt)
+}
+
+// drainInbox moves staged events with timestamps inside the window into the
+// calendar, in (when, source shard, source seq) order. The order is the
+// whole point: engine seq numbers are assigned at insertion, so a
+// deterministic insertion order makes tie-breaking among same-timestamp
+// arrivals — and against local events scheduled later in the window —
+// independent of real-time arrival interleaving.
+func (sh *pshard) drainInbox(w Time) {
+	sh.lock()
+	for i := 0; i < len(sh.inbox); {
+		if sh.inbox[i].when < w {
+			sh.batch = append(sh.batch, sh.inbox[i])
+			last := len(sh.inbox) - 1
+			sh.inbox[i] = sh.inbox[last]
+			sh.inbox[last] = crossEvent{}
+			sh.inbox = sh.inbox[:last]
+		} else {
+			i++
+		}
+	}
+	sh.unlock()
+	if len(sh.batch) == 0 {
+		return
+	}
+	sort.Slice(sh.batch, func(i, j int) bool {
+		a, b := sh.batch[i], sh.batch[j]
+		if a.when != b.when {
+			return a.when < b.when
+		}
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		return a.seq < b.seq
+	})
+	for _, ce := range sh.batch {
+		sh.eng.At(ce.when, ce.fn)
+	}
+	for i := range sh.batch {
+		sh.batch[i] = crossEvent{}
+	}
+	sh.batch = sh.batch[:0]
+}

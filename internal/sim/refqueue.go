@@ -101,28 +101,34 @@ func (e *RefEngine) Cancel(ev *RefEvent) {
 	heap.Remove(&e.queue, ev.index)
 }
 
-// Stop makes Run return after the currently executing event completes.
+// Stop arms the stop flag; see Engine.Stop for the arming semantics the
+// reference implementation mirrors.
 func (e *RefEngine) Stop() { e.stopped = true }
 
-// Run executes events until the queue drains or Stop is called.
+// Run executes events until the queue drains or Stop is called. A pre-armed
+// stop returns immediately; the flag is consumed on return.
 func (e *RefEngine) Run() Time {
-	e.stopped = false
 	for len(e.queue) > 0 && !e.stopped {
 		e.step()
 	}
+	e.stopped = false
 	return e.now
 }
 
 // RunUntil executes events with timestamps <= t and then advances the clock
-// to t.
+// to t. A stop — pre-armed or fired mid-horizon — leaves the clock at the
+// last fired event instead of advancing it to t, exactly as Engine.RunUntil
+// documents.
 func (e *RefEngine) RunUntil(t Time) Time {
-	e.stopped = false
-	for len(e.queue) > 0 && !e.stopped && e.queue[0].when <= t {
+	stopped := e.stopped
+	for len(e.queue) > 0 && !stopped && e.queue[0].when <= t {
 		e.step()
+		stopped = e.stopped
 	}
-	if !e.stopped && e.now < t {
+	if !stopped && e.now < t {
 		e.now = t
 	}
+	e.stopped = false
 	return e.now
 }
 

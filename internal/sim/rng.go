@@ -49,14 +49,40 @@ func (r *RNG) Norm() float64 {
 	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
 }
 
+// jitterClamp bounds the normal variate feeding Jitter to ±4 standard
+// deviations. The truncation is statistically invisible (P(|z|>4) ≈ 6e-5,
+// and the affected tail mass moves by < 1e-4 of the mean) but it makes the
+// jitter factor hard-bounded: a jittered duration d is always within
+// [d·e^(-4σ), d·e^(+4σ)]. The sharded engine depends on the lower bound —
+// the conservative lookahead is derived as wire latency · e^(-4σ), and an
+// unbounded normal would make any fixed lookahead unsound.
+const jitterClamp = 4.0
+
+// JitterFloor returns the guaranteed minimum value Jitter can produce for d
+// at the given sigma: d scaled by the worst-case clamped factor.
+func JitterFloor(d Duration, sigma float64) Duration {
+	if sigma <= 0 || d == 0 {
+		return d
+	}
+	return Duration(float64(d) * math.Exp(-jitterClamp*sigma))
+}
+
 // Jitter scales d by a log-normal factor with the given relative standard
 // deviation (e.g. 0.03 for ~3% noise). sigma <= 0 returns d unchanged.
 // The factor's distribution has median 1, so jitter never biases means by
-// more than the (second-order) log-normal mean shift.
+// more than the (second-order) log-normal mean shift. The underlying normal
+// draw is clamped to ±jitterClamp sigmas, so the result is guaranteed to be
+// at least JitterFloor(d, sigma) (and at most the symmetric ceiling).
 func (r *RNG) Jitter(d Duration, sigma float64) Duration {
 	if sigma <= 0 || d == 0 {
 		return d
 	}
-	f := math.Exp(r.Norm() * sigma)
+	z := r.Norm()
+	if z > jitterClamp {
+		z = jitterClamp
+	} else if z < -jitterClamp {
+		z = -jitterClamp
+	}
+	f := math.Exp(z * sigma)
 	return Duration(float64(d) * f)
 }

@@ -158,6 +158,31 @@ func (o *Online) Add(x float64) {
 	o.hasExtrema = true
 }
 
+// Merge folds another accumulator into this one (Chan et al. parallel
+// Welford combine), as if every sample of b had been Added here. Merging the
+// same accumulators in the same order is deterministic; different orders
+// differ only in float rounding.
+func (o *Online) Merge(b *Online) {
+	if b.n == 0 {
+		return
+	}
+	if o.n == 0 {
+		*o = *b
+		return
+	}
+	n := o.n + b.n
+	d := b.mean - o.mean
+	o.m2 += b.m2 + d*d*float64(o.n)*float64(b.n)/float64(n)
+	o.mean += d * float64(b.n) / float64(n)
+	o.n = n
+	if b.min < o.min {
+		o.min = b.min
+	}
+	if b.max > o.max {
+		o.max = b.max
+	}
+}
+
 // N returns the count of samples.
 func (o *Online) N() int { return o.n }
 

@@ -24,6 +24,13 @@ timeout 120 go run ./cmd/chaos -quick -steal
 timeout 120 go run ./cmd/chaos -sever
 timeout 120 go run ./cmd/chaos -crash 1@40% -metrics "$(mktemp -d)"
 
+# Sharded-simulation smoke behind a time budget: one HiCMA configuration on a
+# 4-shard conservative domain, exercising the full cross-shard path (fabric
+# wire hops, window barrier, inbox admission) from the CLI. Bit-equality with
+# serial runs is pinned by the differential tests in internal/bench and
+# internal/sim; this proves the -shards flag wiring end to end.
+timeout 120 go run ./cmd/hicma -scale 0.05 -nodes 16 -nb 1200 -runs 1 -shards 4
+
 # Bench smoke behind a time budget: the steady-state microbenchmarks must
 # still run (and the fabric/engine paths must still be allocation-free — the
 # harnesses b.Fatal on broken workloads), and a quick benchrecord +
@@ -51,6 +58,7 @@ timeout 120 go test -run='^$' -fuzz=FuzzDecodeSpec -fuzztime=2s ./internal/expd
 timeout 120 go test -run='^$' -fuzz=FuzzDecodeStealRequest -fuzztime=2s ./internal/steal
 timeout 120 go test -run='^$' -fuzz=FuzzDecodeStealReply -fuzztime=2s ./internal/steal
 timeout 120 go test -run='^$' -fuzz=FuzzDecodeStealRelease -fuzztime=2s ./internal/steal
+timeout 120 go test -run='^$' -fuzz=FuzzInboxOrder -fuzztime=2s ./internal/sim
 
 # Experiment-service smoke behind a time budget: start simd on a random
 # port, prove the content-addressed cache (cold sweep, warm subset, dedup
