@@ -1,5 +1,5 @@
 # Tier-1 verification: everything a PR must keep green.
-.PHONY: verify build vet test test-race chaos chaos-crash fuzz-smoke bench-record simd-smoke
+.PHONY: verify build vet test test-race chaos chaos-crash chaos-multicrash fuzz-smoke bench-record simd-smoke
 
 verify:
 	./scripts/verify.sh
@@ -24,6 +24,13 @@ chaos:
 chaos-crash:
 	go run ./cmd/chaos -crash 1@40%
 
+# Multi-crash demonstration: a staggered two-crash cascade and a seeded
+# three-crash storm on distinct random ranks, each recovered, verified, and
+# replayed on both backends and both workloads.
+chaos-multicrash:
+	go run ./cmd/chaos -crash 1@40%,2@3ms
+	go run ./cmd/chaos -crash-storm 3
+
 # Short, fixed-budget fuzz passes over the wire-format decoders (Go allows
 # one -fuzz pattern per invocation).
 fuzz-smoke:
@@ -34,6 +41,7 @@ fuzz-smoke:
 	go test -run='^$$' -fuzz=FuzzDecodeTermMsg -fuzztime=2s ./internal/parsec
 	go test -run='^$$' -fuzz=FuzzDecodeHeartbeat -fuzztime=2s ./internal/rel
 	go test -run='^$$' -fuzz=FuzzDecodeCheckpoint -fuzztime=2s ./internal/recover
+	go test -run='^$$' -fuzz=FuzzDecodeRereplicate -fuzztime=2s ./internal/recover
 	go test -run='^$$' -fuzz=FuzzDecodeSpec -fuzztime=2s ./internal/expd
 	go test -run='^$$' -fuzz=FuzzDecodeStealRequest -fuzztime=2s ./internal/steal
 	go test -run='^$$' -fuzz=FuzzDecodeStealReply -fuzztime=2s ./internal/steal

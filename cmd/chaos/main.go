@@ -10,6 +10,8 @@
 //	go run ./cmd/chaos -seed 7 -rate 2  # a specific reproduction
 //	go run ./cmd/chaos -sever           # severed-link abort demonstration
 //	go run ./cmd/chaos -crash 1@40%     # crash rank 1 mid-run, recover, replay
+//	go run ./cmd/chaos -crash 1@40%,2@3ms  # cascade: rank 1 mid-run, rank 2 at 3ms
+//	go run ./cmd/chaos -crash-storm 3   # seeded 3-crash cascade on random ranks
 package main
 
 import (
@@ -35,7 +37,8 @@ func main() {
 	rate := flag.Float64("rate", -1, "single fault rate in percent for drop/dup/corrupt/reorder (-1 sweeps 0.5,1,2)")
 	quick := flag.Bool("quick", false, "one 2% point per backend on the Cholesky graph")
 	sever := flag.Bool("sever", false, "sever link 0->1 and demonstrate the clean PeerUnreachable abort")
-	crash := flag.String("crash", "", "crash-recovery demonstration: rank@time, e.g. 1@3ms or 1@40% (percent of the fault-free makespan)")
+	crash := flag.String("crash", "", "crash-recovery demonstration: comma-separated rank@time list, e.g. 1@3ms, 1@40% (percent of the fault-free makespan), or 1@40%,2@3ms for a cascade")
+	storm := flag.Int("crash-storm", 0, "crash-recovery demonstration: seeded cascade of this many crashes on distinct random ranks (uses -seed)")
 	steal := flag.Bool("steal", false, "enable inter-rank work stealing (idle ranks pull ready tasks from loaded peers)")
 	metricsDir := flag.String("metrics", "", "dump per-run metric summaries as CSV into this directory (e.g. results)")
 	j := flag.Int("j", 1, "parallel sweep workers for the rate sweep (0 = one per CPU); output is identical for every value")
@@ -48,8 +51,8 @@ func main() {
 	if *sever {
 		os.Exit(runSever(*seed))
 	}
-	if *crash != "" {
-		os.Exit(runCrash(*crash, *metricsDir, *steal))
+	if *crash != "" || *storm > 0 {
+		os.Exit(runCrash(*crash, *storm, *seed, *metricsDir, *steal))
 	}
 
 	rates := []float64{0.005, 0.01, 0.02}
@@ -166,43 +169,102 @@ func dumpMetrics(dir string, b stack.Backend, w chaos.Workload, rate float64, re
 	return path, nil
 }
 
-// parseCrash splits "rank@time": the time is either an absolute virtual
-// duration ("3ms") or a percentage of the fault-free baseline makespan
-// ("40%"), resolved per (backend, workload) point.
-func parseCrash(s string) (rank int, at sim.Duration, pct float64, err error) {
+// crashPoint is one parsed "rank@time" entry: the time is either an
+// absolute virtual duration (at) or a percentage of the fault-free
+// baseline makespan (pct), resolved per (backend, workload) point.
+type crashPoint struct {
+	rank int
+	at   sim.Duration
+	pct  float64
+}
+
+// parseCrash splits one "rank@time" entry.
+func parseCrash(s string) (crashPoint, error) {
+	var c crashPoint
 	rankStr, atStr, ok := strings.Cut(s, "@")
 	if !ok {
-		return 0, 0, 0, fmt.Errorf("crash spec %q: want rank@time", s)
+		return c, fmt.Errorf("crash spec %q: want rank@time", s)
 	}
-	rank, err = strconv.Atoi(rankStr)
+	rank, err := strconv.Atoi(rankStr)
 	if err != nil || rank < 0 {
-		return 0, 0, 0, fmt.Errorf("crash spec %q: bad rank", s)
+		return c, fmt.Errorf("crash spec %q: bad rank", s)
 	}
+	c.rank = rank
 	if p, found := strings.CutSuffix(atStr, "%"); found {
-		pct, err = strconv.ParseFloat(p, 64)
-		if err != nil || pct <= 0 || pct >= 100 {
-			return 0, 0, 0, fmt.Errorf("crash spec %q: percentage must be in (0,100)", s)
+		c.pct, err = strconv.ParseFloat(p, 64)
+		if err != nil || c.pct <= 0 || c.pct >= 100 {
+			return c, fmt.Errorf("crash spec %q: percentage must be in (0,100)", s)
 		}
-		return rank, 0, pct, nil
+		return c, nil
 	}
 	d, err := time.ParseDuration(atStr)
 	if err != nil || d <= 0 {
-		return 0, 0, 0, fmt.Errorf("crash spec %q: bad time: %v", s, err)
+		return c, fmt.Errorf("crash spec %q: bad time: %v", s, err)
 	}
-	return rank, sim.Duration(d.Nanoseconds()) * sim.Nanosecond, 0, nil
+	c.at = sim.Duration(d.Nanoseconds()) * sim.Nanosecond
+	return c, nil
+}
+
+// parseCrashList splits a comma-separated cascade of rank@time entries,
+// rejecting duplicate ranks (a rank fails at most once).
+func parseCrashList(s string) ([]crashPoint, error) {
+	var pts []crashPoint
+	seen := map[int]bool{}
+	for _, part := range strings.Split(s, ",") {
+		c, err := parseCrash(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		if seen[c.rank] {
+			return nil, fmt.Errorf("crash spec %q: rank %d crashes twice", s, c.rank)
+		}
+		seen[c.rank] = true
+		pts = append(pts, c)
+	}
+	return pts, nil
+}
+
+// resolveCascade turns the parsed entries (or, for a storm, the seeded
+// generator) into concrete crash times against this point's baseline.
+func resolveCascade(pts []crashPoint, storm int, seed uint64, base sim.Duration) []chaos.CrashSpec {
+	if storm > 0 {
+		return chaos.Storm(seed, storm, 4, base)
+	}
+	cs := make([]chaos.CrashSpec, 0, len(pts))
+	for _, p := range pts {
+		at := p.at
+		if p.pct > 0 {
+			at = sim.Duration(float64(base) * p.pct / 100)
+		}
+		cs = append(cs, chaos.CrashSpec{Rank: p.rank, At: at})
+	}
+	return cs
+}
+
+// fmtCascade renders a resolved cascade for the report table and CSV.
+func fmtCascade(cs []chaos.CrashSpec) string {
+	parts := make([]string, len(cs))
+	for i, c := range cs {
+		parts[i] = fmt.Sprintf("%d@%v", c.Rank, c.At)
+	}
+	return strings.Join(parts, ";")
 }
 
 // runCrash is the crash-recovery proof: for every (backend, workload) point
 // it measures the fault-free baseline, the recovery-armed overhead without a
-// crash, the recovered makespan with the scripted crash, and an exact replay
-// — then writes the whole table as a CSV artifact. With steal, every run of
+// crash, the recovered makespan with the scripted crash cascade (one crash,
+// a comma-separated list, or a seeded -crash-storm), and an exact replay —
+// then writes the whole table as a CSV artifact. With steal, every run of
 // a point has work stealing enabled, so the recovered makespan shows how an
-// idle survivor drains the dead rank's buddy.
-func runCrash(spec, dir string, steal bool) int {
-	rank, at, pct, err := parseCrash(spec)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
-		return 1
+// idle survivor drains the dead rank's heir.
+func runCrash(spec string, storm int, seed uint64, dir string, steal bool) int {
+	var pts []crashPoint
+	if storm <= 0 {
+		var err error
+		if pts, err = parseCrashList(spec); err != nil {
+			fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+			return 1
+		}
 	}
 	if dir == "" {
 		dir = "results"
@@ -218,11 +280,11 @@ func runCrash(spec, dir string, steal bool) int {
 		return 1
 	}
 	defer f.Close()
-	fmt.Fprintln(f, "backend,workload,crash_rank,crash_at,baseline_makespan,armed_makespan,recovered_makespan,armed_overhead,recovered_slowdown,restarts,peer_deaths,ckpt_sent,ckpt_bytes,ckpt_stored,tasks_restored,stale_dropped,steals,steal_tasks,rel_err,verified,replay_identical")
+	fmt.Fprintln(f, "backend,workload,crashes,baseline_makespan,armed_makespan,recovered_makespan,armed_overhead,recovered_slowdown,restarts,rounds_aborted,peer_deaths,ckpt_sent,ckpt_bytes,ckpt_stored,rereplicated,orphaned,tasks_restored,stale_dropped,steals,steal_tasks,rel_err,verified,replay_identical")
 
-	fmt.Printf("%-8s %-9s %10s %10s %10s %10s %8s %5s %5s %6s %6s %6s  %s\n",
-		"backend", "workload", "crash-at", "baseline", "armed", "recovered",
-		"slowdown", "rst", "death", "ckpt", "restor", "steals", "verdict")
+	fmt.Printf("%-8s %-9s %-22s %10s %10s %10s %8s %4s %4s %5s %6s %6s %6s  %s\n",
+		"backend", "workload", "crashes", "baseline", "armed", "recovered",
+		"slowdown", "rst", "abrt", "death", "ckpt", "restor", "steals", "verdict")
 	bad := false
 	for _, b := range stack.Backends {
 		for _, w := range chaos.Workloads {
@@ -239,12 +301,8 @@ func runCrash(spec, dir string, steal bool) int {
 				bad = true
 				continue
 			}
-			crashAt := at
-			if pct > 0 {
-				crashAt = sim.Duration(float64(base.Makespan) * pct / 100)
-			}
-			cs := chaos.CrashSpec{Rank: rank, At: crashAt}
-			o := chaos.Opts{Backend: b, Workload: w, Crash: &cs, Recover: true, Steal: steal}
+			cascade := resolveCascade(pts, storm, seed, base.Makespan)
+			o := chaos.Opts{Backend: b, Workload: w, Crashes: cascade, Recover: true, Steal: steal}
 			res := chaos.Run(o)
 			replay := chaos.Run(o)
 
@@ -256,25 +314,27 @@ func runCrash(spec, dir string, steal bool) int {
 			case !res.Verified:
 				verdict = fmt.Sprintf("WRONG (rel err %g)", res.RelErr)
 				bad = true
-			case res.Restarts != 1:
-				verdict = fmt.Sprintf("restarts %d, want 1", res.Restarts)
+			case res.Restarts < 1 || res.Restarts > uint64(len(cascade)):
+				// A round can absorb several deaths, so restarts ranges from
+				// 1 (everything folded) to one per crash.
+				verdict = fmt.Sprintf("restarts %d, want 1..%d", res.Restarts, len(cascade))
 				bad = true
-			case replay.Makespan != res.Makespan:
+			case replay.Makespan != res.Makespan || replay.Restarts != res.Restarts:
 				verdict = fmt.Sprintf("REPLAY DIVERGED (%v vs %v)", replay.Makespan, res.Makespan)
 				bad = true
 			}
-			fmt.Printf("%-8v %-9v %10v %10v %10v %10v %7.2fx %5d %5d %6d %6d %6d  %s\n",
-				b, w, crashAt, base.Makespan, armed.Makespan, res.Makespan,
+			fmt.Printf("%-8v %-9v %-22s %10v %10v %10v %7.2fx %4d %4d %5d %6d %6d %6d  %s\n",
+				b, w, fmtCascade(cascade), base.Makespan, armed.Makespan, res.Makespan,
 				float64(res.Makespan)/float64(base.Makespan),
-				res.Restarts, res.PeerDeaths, res.CkptSent, res.TasksRestored,
-				res.Steals, verdict)
-			fmt.Fprintf(f, "%v,%v,%d,%v,%v,%v,%v,%.4f,%.4f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%g,%t,%t\n",
-				b, w, rank, crashAt, base.Makespan, armed.Makespan, res.Makespan,
+				res.Restarts, res.RoundsAborted, res.PeerDeaths, res.CkptSent,
+				res.TasksRestored, res.Steals, verdict)
+			fmt.Fprintf(f, "%v,%v,%s,%v,%v,%v,%.4f,%.4f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%g,%t,%t\n",
+				b, w, fmtCascade(cascade), base.Makespan, armed.Makespan, res.Makespan,
 				float64(armed.Makespan)/float64(base.Makespan),
 				float64(res.Makespan)/float64(base.Makespan),
-				res.Restarts, res.PeerDeaths, res.CkptSent, res.CkptBytes,
-				res.CkptStored, res.TasksRestored, res.StaleDropped,
-				res.Steals, res.StealTasks,
+				res.Restarts, res.RoundsAborted, res.PeerDeaths, res.CkptSent,
+				res.CkptBytes, res.CkptStored, res.Rereplicated, res.Orphaned,
+				res.TasksRestored, res.StaleDropped, res.Steals, res.StealTasks,
 				res.RelErr, res.Verified, replay.Makespan == res.Makespan)
 		}
 	}

@@ -70,10 +70,16 @@ type Opts struct {
 	// Crash, when non-nil, scripts one rank's fail-stop failure on the
 	// fabric. Without Recover the run aborts with a peer-death error.
 	Crash *CrashSpec
+	// Crashes scripts a cascade of fail-stop failures (distinct ranks, any
+	// times — including a buddy pair dying together or a crash landing
+	// inside an earlier crash's recovery window). Combined with Crash when
+	// both are set.
+	Crashes []CrashSpec
 	// Recover arms crash recovery: the reliability layer (forced on) runs
 	// the heartbeat failure detector, every rank buddy-checkpoints its
-	// completed tasks' outputs, and the parsec runtime re-executes the dead
-	// rank's work on its buddy.
+	// completed tasks' outputs, and the parsec runtime re-executes each dead
+	// rank's work on the rank holding its checkpoints. The recovery budget
+	// is sized to the scripted cascade (every scripted crash is absorbed).
 	Recover bool
 
 	// Steal enables inter-rank work stealing in the runtime: idle ranks
@@ -107,6 +113,64 @@ type CrashSpec struct {
 	At sim.Duration
 }
 
+// Storm stride and jitter: consecutive storm crashes land one detection
+// lease apart, give or take a seeded jitter, so a cascade mixes every
+// regime — crashes folding into an in-flight recovery round, crashes
+// landing mid-re-execution, and cleanly sequential rounds.
+const (
+	stormStride = 1500 * sim.Microsecond
+	stormJitter = 1000 * sim.Microsecond
+)
+
+// Storm derives a seeded cascade of k fail-stop crashes on distinct ranks.
+// The first crash lands at ~40% of the given fault-free makespan; each
+// subsequent one follows a stride plus seeded jitter, which keeps the
+// cascade inside the (ever-extending) recovery tail. At least one rank
+// always survives: k is clamped to ranks-1. The same (seed, k, ranks,
+// base) reproduces the same schedule.
+func Storm(seed uint64, k, ranks int, base sim.Duration) []CrashSpec {
+	if ranks <= 1 || k <= 0 {
+		return nil
+	}
+	if k > ranks-1 {
+		k = ranks - 1
+	}
+	// splitmix64: tiny, seedable, deterministic — no global rand state.
+	s := seed
+	next := func() uint64 {
+		s += 0x9E3779B97F4A7C15
+		z := s
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		return z ^ (z >> 31)
+	}
+	// Seeded Fisher-Yates over all ranks; the first k entries crash.
+	perm := make([]int, ranks)
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := ranks - 1; i > 0; i-- {
+		j := int(next() % uint64(i+1))
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	at := base * 2 / 5
+	cs := make([]CrashSpec, 0, k)
+	for i := 0; i < k; i++ {
+		cs = append(cs, CrashSpec{Rank: perm[i], At: at})
+		at += stormStride + sim.Duration(next()%uint64(stormJitter))
+	}
+	return cs
+}
+
+// crashSpecs merges the single-crash and cascade fields into one schedule.
+func (o *Opts) crashSpecs() []CrashSpec {
+	var cs []CrashSpec
+	if o.Crash != nil {
+		cs = append(cs, *o.Crash)
+	}
+	return append(cs, o.Crashes...)
+}
+
 // Result reports one execution.
 type Result struct {
 	// Makespan is the virtual time from release to completion (zero when
@@ -125,11 +189,14 @@ type Result struct {
 	Rel    rel.Stats
 	// Recovery counters, summed across ranks from the metrics registry
 	// (all zero when Opts.Recover was off).
-	Restarts      uint64 // completed recovery restarts
+	Restarts      uint64 // completed recovery restarts (one can absorb several deaths)
+	RoundsAborted uint64 // recovery rounds interrupted by a fresh death verdict
 	PeerDeaths    uint64 // lease-expiry verdicts raised by the detector
 	CkptSent      uint64 // checkpoint frames streamed to buddies
 	CkptBytes     uint64 // checkpoint bytes streamed to buddies
 	CkptStored    uint64 // checkpoint frames retained for a buddy
+	Rereplicated  uint64 // checkpoints re-shipped to a new buddy after a death
+	Orphaned      uint64 // checkpoints adopted from dead owners by their heirs
 	TasksRestored uint64 // done tasks rebuilt from checkpoints at restart
 	StaleDropped  uint64 // pre-crash messages dropped by the epoch guard
 	// Work-stealing and termination-detection counters (steals are all zero
@@ -169,15 +236,18 @@ func Run(o Opts) Result {
 	so.Fabric.Jitter = 0
 	so.Faults = o.Faults
 	so.Rel = o.Rel
-	if o.Crash != nil {
+	crashes := o.crashSpecs()
+	if len(crashes) > 0 {
 		// Copy the fault config before appending: the caller's value (often
-		// shared across a sweep) must not grow a crash per run.
+		// shared across a sweep) must not grow crashes per run.
 		var fc fabric.FaultConfig
 		if o.Faults != nil {
 			fc = *o.Faults
 		}
-		fc.Crashes = append(append([]fabric.NodeCrash(nil), fc.Crashes...),
-			fabric.NodeCrash{Rank: o.Crash.Rank, At: sim.Time(o.Crash.At)})
+		fc.Crashes = append([]fabric.NodeCrash(nil), fc.Crashes...)
+		for _, c := range crashes {
+			fc.Crashes = append(fc.Crashes, fabric.NodeCrash{Rank: c.Rank, At: sim.Time(c.At)})
+		}
 		so.Faults = &fc
 	}
 	if o.Recover {
@@ -252,9 +322,18 @@ func Run(o Opts) Result {
 		for i, ce := range s.Engines {
 			mgrs[i] = recov.NewManager(ce, s.Metrics)
 		}
+		// The recovery budget covers exactly the scripted cascade: every
+		// scripted crash is absorbed, one more is an abort — and a crashless
+		// recovered run still tolerates a single surprise, preserving the
+		// pre-cascade default.
+		budget := len(crashes)
+		if budget < 1 {
+			budget = 1
+		}
 		rt.EnableRecovery(parsec.RecoveryConfig{
-			Managers:     mgrs,
-			RestartDelay: 100 * sim.Microsecond,
+			Managers:      mgrs,
+			RestartDelay:  100 * sim.Microsecond,
+			MaxRecoveries: budget,
 		})
 		// The runtime learns of a crash the instant the fabric scripts it
 		// (handlers and workers go inert); the death *verdicts* still come
@@ -271,10 +350,13 @@ func Run(o Opts) Result {
 	res.Metrics = s.Metrics
 	res.Makespan, res.Err = rt.Run()
 	res.Restarts = s.Metrics.Total("parsec", "restarts")
+	res.RoundsAborted = s.Metrics.Total("parsec", "recovery_rounds_aborted")
 	res.PeerDeaths = s.Metrics.Total("rel", "peer_dead")
 	res.CkptSent = s.Metrics.Total("recover", "ckpt_sent")
 	res.CkptBytes = s.Metrics.Total("recover", "ckpt_bytes")
 	res.CkptStored = s.Metrics.Total("recover", "ckpt_stored")
+	res.Rereplicated = s.Metrics.Total("recover", "ckpt_rereplicated")
+	res.Orphaned = s.Metrics.Total("recover", "ckpt_orphaned")
 	res.TasksRestored = s.Metrics.Total("parsec", "tasks_restored")
 	res.StaleDropped = s.Metrics.Total("parsec", "stale_drops")
 	res.Steals = s.Metrics.Total("parsec", "steals")

@@ -7,52 +7,78 @@ import (
 
 	"amtlci/internal/buf"
 	"amtlci/internal/core"
+	"amtlci/internal/metrics"
 	recov "amtlci/internal/recover"
 	"amtlci/internal/sim"
 )
 
-// Crash recovery. With EnableRecovery armed, the runtime survives the crash
-// of one rank instead of aborting:
+// Crash recovery. With EnableRecovery armed, the runtime survives rank
+// crashes — including cascades: a second crash during an in-flight recovery,
+// or the simultaneous loss of a buddy pair — instead of aborting:
 //
 //  1. every completed task checkpoints its outputs to the rank's buddy
 //     (internal/recover) before its successors are released;
 //  2. when the transport declares a rank dead (a core.PeerDeath verdict from
-//     the reliable layer's failure detector), each survivor's engine evicts
-//     the dead peer and reports here; the runtime pauses reporting ranks and
-//     waits until every survivor has converged on the verdict;
-//  3. the restart then re-maps the dead rank's tasks onto its buddy, wipes
-//     all live dataflow state, advances the epoch (so in-flight pre-crash
-//     traffic is recognized as stale and dropped), restores checkpointed
-//     outputs, re-issues activations for the work that was lost, and
-//     resumes.
+//     the reliable layer's failure detector), each survivor pauses and casts
+//     a DEADVOTE for it on the termination-detection control channel; the
+//     lowest live rank collects votes over the whole *dead-set*, and a
+//     restart arms only when every live survivor has voted for every member
+//     of the set;
+//  3. recovery rounds are generation-fenced and interruptible: a new verdict
+//     arriving while a restart is armed (or an unconverged crash discovered
+//     as the round fires) grows the dead-set, bumps the generation, and
+//     aborts the stale round — convergence then re-forms over the larger set
+//     and one combined restart absorbs all of it;
+//  4. the restart re-maps each dead rank's tasks onto the rank holding its
+//     checkpoints (the next live ring member when the buddy died too),
+//     repairs checkpoint protection — heirs adopt the orphaned copies they
+//     hold for the dead, survivors whose buddy died re-replicate their set
+//     to a freshly assigned live buddy — wipes all live dataflow state,
+//     advances the epoch (so in-flight pre-crash traffic is recognized as
+//     stale and dropped), restores checkpointed outputs, re-issues
+//     activations for the work that was lost, and resumes.
 //
 // A task is "done" exactly when its post-remap owner holds a checkpoint for
-// it; everything else re-executes. Checkpoints lost in flight with the crash
-// therefore cost one re-execution, never correctness.
+// it; everything else re-executes. Checkpoints lost with a crash (including
+// a whole buddy pair dying, which loses the pair's copies outright)
+// therefore cost re-execution, never correctness.
 
 // RecoveryConfig arms crash recovery.
 type RecoveryConfig struct {
 	// Managers holds one checkpoint manager per rank, built over the same
 	// engines the runtime runs on.
 	Managers []*recov.Manager
-	// RestartDelay separates the last survivor's death verdict from the
-	// restart, giving in-flight traffic time to drain (stale traffic is
-	// dropped by epoch anyway; the delay just reduces churn).
+	// RestartDelay separates a converged dead-set from its restart, giving
+	// in-flight traffic time to drain (stale traffic is dropped by epoch
+	// anyway; the delay just reduces churn). It is also the interruption
+	// window: a verdict landing inside it aborts the round.
 	RestartDelay sim.Duration
-	// MaxRecoveries bounds how many rank deaths the runtime will absorb
-	// before aborting like an unprotected run; 0 means 1.
+	// MaxRecoveries bounds how many distinct rank deaths the runtime will
+	// absorb before aborting like an unprotected run; 0 means 1. A
+	// buddy-pair crash absorbed by one restart round still spends two.
 	MaxRecoveries int
 }
 
 type recoveryState struct {
 	cfg RecoveryConfig
-	// verdicts[dead] is the set of survivor ranks whose transport has
-	// declared dead gone.
-	verdicts map[int]map[int]bool
+	// votes[dead] is the set of survivor ranks whose transport has declared
+	// dead gone. Only votes from currently-live voters count toward
+	// convergence — a voter that dies takes its vote's weight with it.
+	votes map[int]map[int]bool
+	// deadSet holds the ranks the current (unfinished) recovery round must
+	// absorb; recovered the ranks already absorbed by completed rounds;
+	// everDead every distinct rank ever declared dead (the budget).
+	deadSet   map[int]bool
+	recovered map[int]bool
+	everDead  map[int]bool
 	// done marks tasks that will not re-execute after the latest restart.
-	done       map[TaskID]bool
-	recoveries int
-	scheduled  map[int]bool
+	done map[TaskID]bool
+	// gen fences armed restarts: it bumps whenever the dead-set grows, so a
+	// restart scheduled for an older, smaller set aborts instead of firing
+	// against membership it no longer describes.
+	gen     int
+	armed   bool
+	aborted *metrics.Counter
 }
 
 // EnableRecovery arms crash recovery; call it after New and before Run. It
@@ -74,8 +100,11 @@ func (rt *Runtime) EnableRecovery(rc RecoveryConfig) {
 	}
 	rt.rec = &recoveryState{
 		cfg:       rc,
-		verdicts:  make(map[int]map[int]bool),
-		scheduled: make(map[int]bool),
+		votes:     make(map[int]map[int]bool),
+		deadSet:   make(map[int]bool),
+		recovered: make(map[int]bool),
+		everDead:  make(map[int]bool),
+		aborted:   rt.reg.Counter("parsec", "recovery_rounds_aborted", metrics.StackRank),
 	}
 	for i, n := range rt.nodes {
 		i := i
@@ -92,13 +121,19 @@ func (rt *Runtime) KillRank(rank int) {
 	n.paused = true
 }
 
-// rankOf resolves t's executing rank through the recovery remap.
+// rankOf resolves t's executing rank through the recovery remap. Remap
+// entries chain across rounds — rank 1's heir may itself die and be
+// re-mapped — so resolution follows the chain to the live end (each entry
+// pointed to a then-live rank when it was created, and dead ranks never
+// revive, so the chain is acyclic and at most nranks long).
 func (rt *Runtime) rankOf(t TaskID) int {
 	r := rt.tp.RankOf(t)
-	if rt.remap != nil {
-		if nr, ok := rt.remap[r]; ok {
-			return nr
+	for i := 0; i < len(rt.nodes); i++ {
+		nr, ok := rt.remap[r]
+		if !ok {
+			return r
 		}
+		r = nr
 	}
 	return r
 }
@@ -122,9 +157,13 @@ func (rt *Runtime) checkpointTask(n *node, t TaskID, outputs []DataRef) {
 		// A stolen task: the restart's done-set scan looks at the owner, so
 		// the completion marker must land there (and at the owner's buddy,
 		// covering the owner itself crashing) — not at this thief's buddy.
-		// The buddy index is static ring knowledge; reading the owner's
-		// manager for it is a simulator convenience, not a protocol channel.
-		m.CheckpointFor(k, flows, owner, rt.rec.cfg.Managers[owner].Buddy())
+		// The frame is stamped with the owner's rank so that whoever stores
+		// it re-homes it when the OWNER dies, not when this thief does. The
+		// buddy index is static ring knowledge; reading the owner's manager
+		// for it is a simulator convenience, not a protocol channel.
+		// Destinations the thief's detector knows dead are skipped inside
+		// CheckpointFor; losing both merely re-executes the task later.
+		m.CheckpointFor(k, flows, owner, owner, rt.rec.cfg.Managers[owner].Buddy())
 		return
 	}
 	m.Checkpoint(k, flows)
@@ -140,23 +179,42 @@ func (rt *Runtime) commError(observer int, err error) {
 	rt.fail(err)
 }
 
-// peerDead handles one survivor's death verdict: the observer pauses (its
-// pre-crash dataflow state is about to be wiped) and casts a DEADVOTE on
-// the termination-detection control channel to the lowest live rank, which
-// schedules the restart once every survivor has voted. Convergence is thus
-// a wire-level consensus, not a direct-call barrier: a vote travels with
-// real latency and the collector is a rank, not the orchestrator.
+// peerDead handles one survivor's death verdict: the observer stops
+// checkpointing to the dead rank, pauses (its pre-crash dataflow state is
+// about to be wiped), and re-casts every DEADVOTE it holds on the
+// termination-detection control channel to the lowest live rank, which arms
+// the restart once the whole dead-set has converged. Convergence is thus a
+// wire-level consensus, not a direct-call barrier: a vote travels with real
+// latency and the collector is a rank, not the orchestrator.
+//
+// Re-casting the full vote set — not just the new verdict — is what makes
+// the consensus survive the death of its own collector: votes in flight to a
+// rank that dies are dropped at the NIC, but the verdict about that rank
+// reaches every survivor, and each re-cast replays the lost votes at the new
+// collector. Duplicates dedup in the vote book.
 func (rt *Runtime) peerDead(observer, dead int, err error) {
 	rec := rt.rec
 	if rt.failed != nil {
 		return
 	}
-	if rec.recoveries >= rec.cfg.MaxRecoveries {
-		rt.fail(err)
-		return
+	// Budget check on distinct dead ranks, not restart rounds.
+	if !rec.everDead[dead] {
+		if len(rec.everDead) >= rec.cfg.MaxRecoveries {
+			rt.fail(err)
+			return
+		}
+		rec.everDead[dead] = true
 	}
 	rt.KillRank(dead) // idempotent; normally already done via fab.OnCrash
+	rec.cfg.Managers[observer].MarkDead(dead)
 	on := rt.nodes[observer]
+	if on.deadVotes[dead] {
+		return // duplicate verdict (rel dedups per endpoint; this is belt)
+	}
+	if on.deadVotes == nil {
+		on.deadVotes = make(map[int]bool)
+	}
+	on.deadVotes[dead] = true
 	on.paused = true
 
 	collector := -1
@@ -170,12 +228,55 @@ func (rt *Runtime) peerDead(observer, dead int, err error) {
 		rt.fail(err) // no survivors at all
 		return
 	}
-	if collector == observer {
-		rt.recordDeadvote(dead, observer)
+	votes := make([]int, 0, len(on.deadVotes))
+	for d := range on.deadVotes {
+		votes = append(votes, d)
+	}
+	sort.Ints(votes)
+	for _, d := range votes {
+		if collector == observer {
+			rt.recordDeadvote(d, observer)
+			continue
+		}
+		vote := termMsg{kind: termDeadvote, epoch: on.epoch, rank: int32(d)}
+		on.ce.SendAM(tagTerm, collector, encodeTermMsg(vote))
+	}
+}
+
+// maybeScheduleRestart arms the restart once every live survivor has voted
+// for every member of the dead-set. The armed event carries the generation
+// it converged for: a verdict landing inside the RestartDelay window bumps
+// the generation and the stale event aborts instead of restarting.
+func (rt *Runtime) maybeScheduleRestart() {
+	rec := rt.rec
+	if rec.armed || len(rec.deadSet) == 0 {
 		return
 	}
-	vote := termMsg{kind: termDeadvote, epoch: on.epoch, rank: int32(dead)}
-	on.ce.SendAM(tagTerm, collector, encodeTermMsg(vote))
+	survivors := 0
+	for _, n := range rt.nodes {
+		if !n.dead {
+			survivors++
+		}
+	}
+	if survivors == 0 {
+		return
+	}
+	for d := range rec.deadSet {
+		live := 0
+		for v := range rec.votes[d] {
+			if !rt.nodes[v].dead {
+				live++
+			}
+		}
+		if live < survivors {
+			return
+		}
+	}
+	rec.armed = true
+	gen := rec.gen
+	// Recovery is serial-only (EnableRecovery enforces it), so rank 0's
+	// engine is THE engine.
+	rt.dom.RankEngine(0).After(rec.cfg.RestartDelay, func() { rt.restartRound(gen) })
 }
 
 // FlowCounter is an optional Taskpool extension: how many output flows a
@@ -221,32 +322,106 @@ func (rt *Runtime) enumerateTasks() []TaskID {
 	return all
 }
 
-// restart rebuilds the runtime around the dead rank's absence.
-func (rt *Runtime) restart(dead int) {
+// nextLive returns the first live rank after r on the ring, or -1 when no
+// other rank is alive.
+func (rt *Runtime) nextLive(r int) int {
+	for i := 1; i < len(rt.nodes); i++ {
+		c := (r + i) % len(rt.nodes)
+		if !rt.nodes[c].dead {
+			return c
+		}
+	}
+	return -1
+}
+
+// restartRound rebuilds the runtime around the converged dead-set's absence.
+// gen fences it: a round armed for an older generation is stale and aborts.
+func (rt *Runtime) restartRound(gen int) {
 	rec := rt.rec
 	if rt.failed != nil {
 		return
 	}
-	rec.recoveries++
+	if gen != rec.gen {
+		return // aborted: the dead-set grew while armed; counted at the bump
+	}
+	rec.armed = false
+	// A crash can land inside the RestartDelay window without its verdicts
+	// having reached the collector yet (the fabric marks the node dead at
+	// the crash instant; the lease expiries are still pending). Restarting
+	// now would rebuild state around a rank that is already gone — abort the
+	// round and let the pending verdicts re-converge with it included.
+	for x, n := range rt.nodes {
+		if n.dead && !rec.recovered[x] && !rec.deadSet[x] {
+			rec.aborted.Inc()
+			return
+		}
+	}
+	deads := make([]int, 0, len(rec.deadSet))
+	for d := range rec.deadSet {
+		deads = append(deads, d)
+	}
+	sort.Ints(deads)
 	rt.restarts.Inc()
 
-	// Re-map ownership: the dead rank's tasks move to its buddy, and
-	// survivors who were checkpointing TO the dead rank re-aim at the same
-	// place (falling back to local-only when that is themselves).
-	buddy := rec.cfg.Managers[dead].Buddy()
+	// Every survivor's manager hears about every death (the observers' own
+	// verdicts already did this; this is the orchestrator's belt) so nobody
+	// ships checkpoint frames into the void.
+	for r, m := range rec.cfg.Managers {
+		if rt.nodes[r].dead {
+			continue
+		}
+		for _, d := range deads {
+			m.MarkDead(d)
+		}
+	}
+
+	// Re-map ownership: each dead rank's tasks move to the rank holding its
+	// checkpoints — its buddy — unless the buddy died in the same cascade
+	// (a buddy-pair crash), in which case the next live ring member inherits
+	// and the pair's checkpoints are lost: those tasks simply re-execute.
 	if rt.remap == nil {
 		rt.remap = make(map[int]int)
 	}
-	rt.remap[dead] = buddy
+	for _, d := range deads {
+		heir := rec.cfg.Managers[d].Buddy()
+		if rt.nodes[heir].dead {
+			heir = rt.nextLive(d)
+		}
+		rt.remap[d] = heir
+	}
+
+	// Repair checkpoint protection: each heir adopts the orphaned copies it
+	// stored for its dead rank (they join its own protected set), survivors
+	// whose buddy died get the next live rank as a fresh buddy and
+	// re-replicate their whole set to it, and heirs whose pairing survived
+	// re-replicate just the adopted keys. Re-replication frames travel on
+	// the ordinary checkpoint tag and are uncounted by the termination
+	// detector; ones lost to yet another crash cost re-execution only.
 	for r, m := range rec.cfg.Managers {
-		if r != dead && !rt.nodes[r].dead && m.Buddy() == dead {
-			m.SetBuddy(buddy)
+		if rt.nodes[r].dead {
+			continue
+		}
+		var adopted []recov.Key
+		for _, d := range deads {
+			if rt.remap[d] == r {
+				adopted = append(adopted, m.AdoptOrphans(d)...)
+			}
+		}
+		if rt.nodes[m.Buddy()].dead || m.Buddy() == r {
+			if nb := rt.nextLive(r); nb >= 0 {
+				m.SetBuddy(nb)
+				m.RereplicateAll()
+			} else {
+				m.SetBuddy(r) // ring collapsed to one: local-only from here
+			}
+		} else if len(adopted) > 0 {
+			m.Rereplicate(adopted)
 		}
 	}
 
 	// A task is done exactly when its post-remap owner holds a checkpoint:
-	// the owner's own completions are stored locally, and the dead rank's
-	// are the copies its buddy received.
+	// the owner's own completions are stored locally, and a dead rank's are
+	// the copies its heir adopted.
 	all := rt.enumerateTasks()
 	rec.done = make(map[TaskID]bool)
 	for _, t := range all {
@@ -299,15 +474,29 @@ func (rt *Runtime) restart(dead int) {
 		})
 	}
 
-	// The dead rank leaves the termination-detection ring only now: until
-	// this point its unexecuted work kept any token parked at the inert
+	// The dead ranks leave the termination-detection ring only now: until
+	// this point their unexecuted work kept any token parked at an inert
 	// rank, which is what made a false announcement between crash and
 	// restart impossible. The restart is one atomic simulation event, so
 	// every rank's counters were zeroed in lockstep above and the detector's
 	// round state starts clean.
-	rt.term.members[dead] = false
+	for _, d := range deads {
+		rt.term.members[d] = false
+	}
 	rt.term.outstanding = false
 	rt.term.lastValid = false
+
+	// Retire the round: the absorbed ranks move to recovered, their vote
+	// books close, and survivors drop the votes they were retaining for
+	// re-cast (late duplicates are ignored against recovered ranks).
+	for _, d := range deads {
+		rec.recovered[d] = true
+		delete(rec.deadSet, d)
+		delete(rec.votes, d)
+		for _, n := range rt.nodes {
+			delete(n.deadVotes, d)
+		}
+	}
 
 	// Resume. Each rank re-evaluates its quiet state: idle survivors nudge
 	// the (possibly new) coordinator and go probing for work to steal; if
@@ -352,7 +541,9 @@ func (n *node) resetForRecovery() {
 	// the books stay balanced), any parked token is void, and the dirty flag
 	// re-arms so every rank reintroduces itself to the detector. Stealing
 	// state resets alongside: an in-flight probe or grant died with the old
-	// epoch.
+	// epoch. deadVotes is NOT cleared — death verdicts are permanent and a
+	// survivor must be able to re-cast them across restarts; the restart
+	// prunes only the ranks it just absorbed.
 	n.csent, n.crecv = 0, 0
 	n.black = false
 	n.dirty = true

@@ -298,8 +298,13 @@ func (n *node) onTerm(_ core.Engine, _ core.Tag, data []byte, src int) {
 		return
 	}
 	// Control traffic from before a restart describes a detector epoch that
-	// no longer exists.
-	if m.epoch != n.epoch {
+	// no longer exists. Death verdicts are exempt: a death is permanent and
+	// epoch-independent, and a vote crossing a restart (sent pre-bump,
+	// arriving post-bump) must still count — its caster will not re-cast
+	// until its own next verdict, so dropping it could wedge convergence on
+	// the next crash. Late votes for already-recovered ranks are ignored in
+	// recordDeadvote instead.
+	if m.epoch != n.epoch && m.kind != termDeadvote {
 		n.staleDrops.Inc()
 		return
 	}
@@ -379,32 +384,32 @@ func (n *node) countRecv() {
 }
 
 // recordDeadvote collects one survivor's death verdict at the lowest live
-// rank. When every survivor has voted, the restart is scheduled — the same
-// convergence the old direct-call barrier provided, now carried by the
-// detector's control channel.
+// rank, growing the dead-set the current recovery round must absorb. A rank
+// newly joining the set bumps the generation, which aborts any restart armed
+// for the older, smaller set — the interruption that lets a crash landing
+// mid-convergence fold into one combined round instead of corrupting the
+// in-flight one. When every live survivor has voted for every member of the
+// set, the restart is scheduled — the same convergence the old direct-call
+// barrier provided, now carried by the detector's control channel.
 func (rt *Runtime) recordDeadvote(dead, voter int) {
 	rec := rt.rec
 	if rec == nil || rt.Err() != nil {
 		return
 	}
-	if rec.verdicts[dead] == nil {
-		rec.verdicts[dead] = make(map[int]bool)
+	if rec.recovered[dead] {
+		return // late duplicate from before the round that absorbed it
 	}
-	if rec.verdicts[dead][voter] {
-		return
-	}
-	rec.verdicts[dead][voter] = true
-
-	survivors := 0
-	for _, n := range rt.nodes {
-		if !n.dead {
-			survivors++
+	if !rec.deadSet[dead] {
+		rec.deadSet[dead] = true
+		rec.gen++
+		if rec.armed {
+			rec.armed = false
+			rec.aborted.Inc()
 		}
 	}
-	if len(rec.verdicts[dead]) == survivors && !rec.scheduled[dead] {
-		rec.scheduled[dead] = true
-		// Recovery is serial-only (EnableRecovery enforces it), so rank 0's
-		// engine is THE engine.
-		rt.dom.RankEngine(0).After(rec.cfg.RestartDelay, func() { rt.restart(dead) })
+	if rec.votes[dead] == nil {
+		rec.votes[dead] = make(map[int]bool)
 	}
+	rec.votes[dead][voter] = true
+	rt.maybeScheduleRestart()
 }

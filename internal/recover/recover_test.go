@@ -128,6 +128,165 @@ func TestCkptStatsStartZero(t *testing.T) {
 	}
 }
 
+// buildRing assembles an n-rank stack with a checkpoint manager per rank.
+func buildRing(t *testing.T, b stack.Backend, n int) (*stack.Stack, []*recov.Manager) {
+	t.Helper()
+	o := stack.DefaultOptions(b, n)
+	o.Fabric.Jitter = 0
+	s := stack.Build(o)
+	ms := make([]*recov.Manager, n)
+	for r := 0; r < n; r++ {
+		ms[r] = recov.NewManager(s.Engines[r], s.Metrics)
+	}
+	return s, ms
+}
+
+// TestCheckpointSkipsDeadBuddy is the regression test for the metrics leak:
+// before MarkDead existed, a rank kept shipping checkpoint frames to a
+// crashed buddy until the restart called SetBuddy, and ckpt_sent/ckpt_bytes
+// counted frames the NIC was dropping. The counters must freeze at the
+// moment of the death verdict.
+func TestCheckpointSkipsDeadBuddy(t *testing.T) {
+	s, ms := buildPair(t, stack.LCI)
+	k1 := recov.Key{Class: 0, Index: 1}
+	k2 := recov.Key{Class: 0, Index: 2}
+	tile := bytes.Repeat([]byte{7}, 512)
+	flows := []recov.FlowCkpt{{Flow: 0, Size: int64(len(tile)), Data: tile}}
+
+	s.Engines[0].Submit(0, func() { ms[0].Checkpoint(k1, flows) })
+	s.Eng.Run()
+	before := ms[0].Stats()
+	if before.Sent != 1 || before.Bytes == 0 {
+		t.Fatalf("live-buddy checkpoint not booked: %+v", before)
+	}
+
+	// The failure detector declares the buddy dead; the next checkpoint must
+	// stay local and leave the wire books untouched.
+	ms[0].MarkDead(1)
+	s.Engines[0].Submit(0, func() { ms[0].Checkpoint(k2, flows) })
+	s.Eng.Run()
+	after := ms[0].Stats()
+	if after.Sent != before.Sent || after.Bytes != before.Bytes {
+		t.Fatalf("checkpoint to dead buddy counted: before %+v after %+v", before, after)
+	}
+	if !ms[0].Has(k2) {
+		t.Fatal("local copy lost when the buddy is dead")
+	}
+	if !ms[0].PeerDead(1) || ms[0].PeerDead(0) {
+		t.Fatal("PeerDead view wrong")
+	}
+
+	// CheckpointFor skips dead destinations the same way.
+	s.Engines[0].Submit(0, func() {
+		ms[0].CheckpointFor(recov.Key{Class: 0, Index: 3}, flows, 1, 1)
+	})
+	s.Eng.Run()
+	if st := ms[0].Stats(); st.Sent != after.Sent {
+		t.Fatalf("CheckpointFor to dead destination counted: %+v", st)
+	}
+}
+
+// TestAdoptAndRereplicate walks the repair protocol on a 4-rank ring: rank 1
+// checkpoints to its buddy 2, rank 1 "dies", rank 2 adopts the orphans and
+// re-replicates them (now owner-stamped as rank 2's) to its buddy 3.
+func TestAdoptAndRereplicate(t *testing.T) {
+	for _, b := range stack.Backends {
+		b := b
+		t.Run(b.String(), func(t *testing.T) {
+			s, ms := buildRing(t, b, 4)
+			k := recov.Key{Class: 2, Index: 17}
+			tile := bytes.Repeat([]byte{0xAB}, 256)
+			flows := []recov.FlowCkpt{{Flow: 0, Size: int64(len(tile)), Data: tile}}
+
+			s.Engines[1].Submit(0, func() { ms[1].Checkpoint(k, flows) })
+			s.Eng.Run()
+			if !ms[2].Has(k) {
+				t.Fatal("checkpoint did not reach the buddy")
+			}
+
+			// Rank 1 dies; rank 2 inherits its work.
+			for _, m := range ms {
+				m.MarkDead(1)
+			}
+			var adopted []recov.Key
+			s.Engines[2].Submit(0, func() {
+				adopted = ms[2].AdoptOrphans(1)
+				if n := ms[2].Rereplicate(adopted); n != len(adopted) {
+					t.Errorf("re-replicated %d of %d adopted checkpoints", n, len(adopted))
+				}
+			})
+			s.Eng.Run()
+
+			if len(adopted) != 1 || adopted[0] != k {
+				t.Fatalf("adopted %v, want [%v]", adopted, k)
+			}
+			st2 := ms[2].Stats()
+			if st2.Orphaned != 1 || st2.Rereplicated != 1 {
+				t.Fatalf("rank 2 stats %+v, want 1 orphaned + 1 rereplicated", st2)
+			}
+			// The copy now lives at rank 3, owned by rank 2: if rank 2 dies
+			// next, rank 3 can adopt it in turn (the cascade case).
+			if !ms[3].Has(k) {
+				t.Fatal("re-replicated checkpoint did not reach the new buddy")
+			}
+			if got, ok := ms[3].Lookup(k); !ok || !bytes.Equal(got[0].Data, tile) {
+				t.Fatal("re-replicated payload corrupted")
+			}
+			for _, m := range ms {
+				m.MarkDead(2)
+			}
+			var chained []recov.Key
+			s.Engines[3].Submit(0, func() { chained = ms[3].AdoptOrphans(2) })
+			s.Eng.Run()
+			if len(chained) != 1 || chained[0] != k {
+				t.Fatalf("chained adoption %v, want [%v]", chained, k)
+			}
+		})
+	}
+}
+
+// TestCheckpointForCarriesOwner pins the v2 provenance: a stolen completion
+// shipped by a thief lands at the owner's buddy tagged with the OWNER, not
+// the thief — so the buddy re-homes it when the owner (not the thief) dies.
+func TestCheckpointForCarriesOwner(t *testing.T) {
+	s, ms := buildRing(t, stack.LCI, 4)
+	k := recov.Key{Class: 5, Index: 8}
+	flows := []recov.FlowCkpt{{Flow: 0, Size: 2, Data: []byte{1, 2}}}
+
+	// Rank 3 (the thief) executed a task owned by rank 1; buddy of 1 is 2.
+	s.Engines[3].Submit(0, func() { ms[3].CheckpointFor(k, flows, 1, 1, 2) })
+	s.Eng.Run()
+	if !ms[1].Has(k) || !ms[2].Has(k) {
+		t.Fatal("stolen completion missing at owner or owner's buddy")
+	}
+
+	// The thief dying must orphan nothing at rank 2...
+	s.Engines[2].Submit(0, func() {
+		if got := ms[2].AdoptOrphans(3); len(got) != 0 {
+			t.Errorf("thief death orphaned %v at the owner's buddy", got)
+		}
+		// ...while the owner dying orphans exactly the stolen completion.
+		if got := ms[2].AdoptOrphans(1); len(got) != 1 || got[0] != k {
+			t.Errorf("owner death adoption = %v, want [%v]", got, k)
+		}
+	})
+	s.Eng.Run()
+
+	// At the owner itself the completion joined the LOCAL set (it is the
+	// owner's own task), so a buddy-death repair re-replicates it.
+	s.Engines[1].Submit(0, func() {
+		ms[1].MarkDead(2)
+		ms[1].SetBuddy(3)
+		if n := ms[1].RereplicateAll(); n != 1 {
+			t.Errorf("owner re-replicated %d checkpoints, want 1", n)
+		}
+	})
+	s.Eng.Run()
+	if !ms[3].Has(k) {
+		t.Fatal("owner's repair did not reach the new buddy")
+	}
+}
+
 func TestMetricsRegistered(t *testing.T) {
 	reg := metrics.New()
 	o := stack.DefaultOptions(stack.LCI, 2)

@@ -12,12 +12,15 @@ func TestCkptCodecRoundTrip(t *testing.T) {
 		{Flow: 2, Size: 0, Data: nil},
 	}
 	b := encodeCkpt(k, flows)
-	got, gk, err := decodeWire(b)
+	got, gk, owner, err := decodeWire(b)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if gk != k || len(got) != len(flows) {
 		t.Fatalf("decoded key %+v, %d flows", gk, len(got))
+	}
+	if owner != -1 {
+		t.Fatalf("v1 frame decoded owner %d, want -1 (implied by sender)", owner)
 	}
 	for i := range flows {
 		if got[i].Flow != flows[i].Flow || got[i].Size != flows[i].Size ||
@@ -34,10 +37,53 @@ func TestCkptCodecRoundTrip(t *testing.T) {
 		"cut flow":     func(b []byte) []byte { return b[:len(b)-1] },
 	} {
 		mut := corrupt(bytes.Clone(b))
-		if _, _, err := decodeWire(mut); err == nil {
+		if _, _, _, err := decodeWire(mut); err == nil {
 			t.Errorf("%s: corrupted checkpoint accepted", name)
 		}
 	}
+}
+
+func TestRereplicateCodecRoundTrip(t *testing.T) {
+	k := Key{Class: 3, Index: 99}
+	flows := []FlowCkpt{
+		{Flow: 1, Size: 4, Data: []byte{9, 8, 7, 6}},
+		{Flow: 5, Size: 0, Data: nil},
+	}
+	b := encodeRereplicate(k, flows, 6)
+	got, gk, owner, err := decodeWire(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gk != k || owner != 6 || len(got) != len(flows) {
+		t.Fatalf("decoded key %+v owner %d, %d flows", gk, owner, len(got))
+	}
+	for i := range flows {
+		if got[i].Flow != flows[i].Flow || got[i].Size != flows[i].Size ||
+			!bytes.Equal(got[i].Data, flows[i].Data) {
+			t.Fatalf("flow %d: got %+v want %+v", i, got[i], flows[i])
+		}
+	}
+
+	for name, corrupt := range map[string]func([]byte) []byte{
+		"short v2 header": func(b []byte) []byte { return b[:ckptHdrLen2-1] },
+		"negative owner":  func(b []byte) []byte { b[6] = 0x80; return b },
+		"trailing":        func(b []byte) []byte { return append(b, 0) },
+		"cut flow":        func(b []byte) []byte { return b[:len(b)-1] },
+	} {
+		mut := corrupt(bytes.Clone(b))
+		if _, _, _, err := decodeWire(mut); err == nil {
+			t.Errorf("%s: corrupted v2 checkpoint accepted", name)
+		}
+	}
+}
+
+// reencode rebuilds the frame a successful decode came from, choosing the
+// codec by the version byte — the shared invariant both fuzzers check.
+func reencode(b []byte, k Key, flows []FlowCkpt, owner int) []byte {
+	if b[2] == ckptVersion2 {
+		return encodeRereplicate(k, flows, owner)
+	}
+	return encodeCkpt(k, flows)
 }
 
 func FuzzDecodeCheckpoint(f *testing.F) {
@@ -46,12 +92,32 @@ func FuzzDecodeCheckpoint(f *testing.F) {
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0xFF}, ckptHdrLen+ckptFlowLen))
 	f.Fuzz(func(t *testing.T, b []byte) {
-		flows, k, err := decodeWire(b)
+		flows, k, owner, err := decodeWire(b)
 		if err != nil {
 			return
 		}
 		// Whatever decodes must re-encode to the identical bytes.
-		if out := encodeCkpt(k, flows); !bytes.Equal(out, b) {
+		if out := reencode(b, k, flows, owner); !bytes.Equal(out, b) {
+			t.Fatalf("decode/encode mismatch: in %x out %x", b, out)
+		}
+	})
+}
+
+func FuzzDecodeRereplicate(f *testing.F) {
+	f.Add(encodeRereplicate(Key{Class: 1, Index: 2}, []FlowCkpt{{Flow: 0, Size: 3, Data: []byte{7, 8, 9}}}, 4))
+	f.Add(encodeRereplicate(Key{}, nil, 0))
+	f.Add(encodeRereplicate(Key{Class: -1, Index: 1 << 40}, []FlowCkpt{{Flow: 2, Size: 0}}, 1<<20))
+	f.Add([]byte{'C', 'K', ckptVersion2})
+	f.Add(bytes.Repeat([]byte{0xFF}, ckptHdrLen2+ckptFlowLen))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		flows, k, owner, err := decodeWire(b)
+		if err != nil {
+			return
+		}
+		if b[2] == ckptVersion2 && owner < 0 {
+			t.Fatalf("v2 frame decoded with owner %d", owner)
+		}
+		if out := reencode(b, k, flows, owner); !bytes.Equal(out, b) {
 			t.Fatalf("decode/encode mismatch: in %x out %x", b, out)
 		}
 	})

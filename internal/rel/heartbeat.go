@@ -143,7 +143,7 @@ func (ep *endpoint) tickHeartbeats() {
 	}
 	now := ep.eng.Now()
 	for p := range s.eps {
-		if p == ep.rank || ep.notified[p] {
+		if p == ep.rank || ep.alreadyNotified(p) {
 			continue
 		}
 		if now.Sub(ep.lastHeard[p]) > s.cfg.LeaseTimeout {

@@ -3,6 +3,8 @@ package rel
 import (
 	"bytes"
 	"errors"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"amtlci/internal/fabric"
@@ -257,6 +259,93 @@ func TestCrashNotifiedOncePerEndpoint(t *testing.T) {
 	eng.Run()
 	if calls != 1 {
 		t.Fatalf("error callback fired %d times, want exactly 1", calls)
+	}
+}
+
+// TestNotifyPeerFailureConcurrentIdempotent pins the delivery contract under
+// concurrent detector firings: however many detectors declare the same peer
+// dead at once (a lease expiry racing a retry exhaustion), the upper layer
+// hears exactly one verdict per endpoint-pair. The goroutines here model the
+// sharded-domain worst case; run with -race.
+func TestNotifyPeerFailureConcurrentIdempotent(t *testing.T) {
+	_, _, s := hbStack(t, 3, nil)
+	ep := s.eps[0]
+	var calls, forPeer1 atomic.Int64
+	s.SetErrHandler(0, func(peer int, err error) {
+		calls.Add(1)
+		if peer == 1 {
+			forPeer1.Add(1)
+		}
+	})
+
+	const firings = 64
+	var wg sync.WaitGroup
+	for i := 0; i < firings; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if i%2 == 0 {
+				ep.notifyPeerFailure(1, &PeerDead{From: 0, To: 1, Lease: s.cfg.LeaseTimeout})
+			} else {
+				ep.notifyPeerFailure(1, &PeerUnreachable{From: 0, To: 1, Attempts: 1})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := forPeer1.Load(); got != 1 {
+		t.Fatalf("concurrent firings for one peer delivered %d verdicts, want exactly 1", got)
+	}
+	// The claim is per endpoint-PAIR: a verdict about a different peer still
+	// gets through afterwards.
+	ep.notifyPeerFailure(2, &PeerDead{From: 0, To: 2, Lease: s.cfg.LeaseTimeout})
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("verdicts across two peers = %d, want 2", got)
+	}
+}
+
+// TestMultiCrashOneVerdictPerDeadPeer drives two staggered real crashes
+// through the detector: every survivor endpoint must raise exactly one
+// PeerDead per dead rank — two verdicts, two distinct peers, no
+// double-eviction fodder — and the crashed ranks must raise none.
+func TestMultiCrashOneVerdictPerDeadPeer(t *testing.T) {
+	const ranks = 4
+	crash1 := sim.Time(0).Add(sim.Millisecond)
+	crash2 := sim.Time(0).Add(4 * sim.Millisecond)
+	eng, _, s := hbStack(t, ranks, &fabric.FaultConfig{
+		Crashes: []fabric.NodeCrash{{Rank: 1, At: crash1}, {Rank: 2, At: crash2}},
+	})
+	verdicts := make(map[int][]int) // observer -> dead peers, in order
+	total := 0
+	for r := 0; r < ranks; r++ {
+		r := r
+		s.SetHandler(r, func(m *fabric.Message) {})
+		s.SetErrHandler(r, func(peer int, err error) {
+			var pd *PeerDead
+			if !errors.As(err, &pd) {
+				t.Errorf("rank %d: verdict %v is not PeerDead", r, err)
+			}
+			verdicts[r] = append(verdicts[r], peer)
+			total++
+			// Survivors 0 and 3 each see both deaths; rank 2 sees only the
+			// first before dying itself.
+			if total == 2*2+1 {
+				s.StopHeartbeats()
+			}
+		})
+	}
+	eng.Run()
+
+	for _, r := range []int{0, 3} {
+		if got := verdicts[r]; len(got) != 2 || got[0] != 1 || got[1] != 2 {
+			t.Fatalf("survivor %d verdicts = %v, want [1 2]", r, got)
+		}
+	}
+	if got := verdicts[2]; len(got) != 1 || got[0] != 1 {
+		t.Fatalf("rank 2 (dead second) verdicts = %v, want [1] before its own crash", got)
+	}
+	if got := verdicts[1]; len(got) != 0 {
+		t.Fatalf("crashed rank 1 raised verdicts %v", got)
 	}
 }
 

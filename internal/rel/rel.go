@@ -24,6 +24,7 @@ package rel
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"amtlci/internal/fabric"
@@ -233,7 +234,13 @@ type endpoint struct {
 
 	// notified dedupes upper-layer failure notifications: a dead peer
 	// produces exactly one callback per endpoint, whether the verdict came
-	// from retry exhaustion, a lease expiry, or both.
+	// from retry exhaustion, a lease expiry, or both — and no matter how
+	// many detectors fire concurrently. notifyMu guards the check-and-set
+	// (and every other read of the map): under a sharded domain a retry
+	// exhaustion on this endpoint's shard can race a lease expiry observed
+	// through state another shard published, and the winner of the lock is
+	// the one verdict the upper layer hears.
+	notifyMu sync.Mutex
 	notified map[int]bool
 
 	// Failure-detector state (heartbeat.go); the maps stay nil when the
@@ -472,14 +479,27 @@ func (ep *endpoint) silence(tp *txPeer) {
 }
 
 // notifyPeerFailure surfaces one — exactly one — failure verdict per peer to
-// the upper layer, whichever detector fired first. Without a registered
-// handler the verdict panics: a peer death nobody listens for is a silent
-// hang waiting to happen.
+// the upper layer, whichever detector fired first; concurrent firings race
+// for the claim under notifyMu and every loser returns silently. The
+// callback itself runs outside the lock (it re-enters the stack: recovery
+// casts deadvotes through rel). Without a registered handler the verdict
+// panics: a peer death nobody listens for is a silent hang waiting to
+// happen.
+// alreadyNotified reports whether a failure verdict for peer has fired.
+func (ep *endpoint) alreadyNotified(peer int) bool {
+	ep.notifyMu.Lock()
+	defer ep.notifyMu.Unlock()
+	return ep.notified[peer]
+}
+
 func (ep *endpoint) notifyPeerFailure(peer int, err error) {
+	ep.notifyMu.Lock()
 	if ep.notified[peer] {
+		ep.notifyMu.Unlock()
 		return
 	}
 	ep.notified[peer] = true
+	ep.notifyMu.Unlock()
 	switch err.(type) {
 	case *PeerDead:
 		ep.s.peerDead.Inc()

@@ -23,6 +23,9 @@ timeout 120 go run ./cmd/chaos -quick
 timeout 120 go run ./cmd/chaos -quick -steal
 timeout 120 go run ./cmd/chaos -sever
 timeout 120 go run ./cmd/chaos -crash 1@40% -metrics "$(mktemp -d)"
+# Multi-crash smoke: a staggered two-crash cascade, recovered and replayed
+# on both backends (full cascade + seeded storm: `make chaos-multicrash`).
+timeout 120 go run ./cmd/chaos -crash 1@40%,2@3ms -metrics "$(mktemp -d)"
 
 # Sharded-simulation smoke behind a time budget: one HiCMA configuration on a
 # 4-shard conservative domain, exercising the full cross-shard path (fabric
@@ -54,6 +57,7 @@ timeout 120 go test -run='^$' -fuzz=FuzzDecodePutMeta -fuzztime=2s ./internal/pa
 timeout 120 go test -run='^$' -fuzz=FuzzDecodeTermMsg -fuzztime=2s ./internal/parsec
 timeout 120 go test -run='^$' -fuzz=FuzzDecodeHeartbeat -fuzztime=2s ./internal/rel
 timeout 120 go test -run='^$' -fuzz=FuzzDecodeCheckpoint -fuzztime=2s ./internal/recover
+timeout 120 go test -run='^$' -fuzz=FuzzDecodeRereplicate -fuzztime=2s ./internal/recover
 timeout 120 go test -run='^$' -fuzz=FuzzDecodeSpec -fuzztime=2s ./internal/expd
 timeout 120 go test -run='^$' -fuzz=FuzzDecodeStealRequest -fuzztime=2s ./internal/steal
 timeout 120 go test -run='^$' -fuzz=FuzzDecodeStealReply -fuzztime=2s ./internal/steal
