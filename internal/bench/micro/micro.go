@@ -146,6 +146,48 @@ func ParallelDomainThroughput(shards int) func(*testing.B) {
 	}
 }
 
+// ParallelRoundOverhead returns a harness measuring the sharded domain's
+// round-coordination cost in isolation: ranks == shards, every shard holds
+// exactly one self-refilling event scheduled one lookahead window ahead, so
+// each round admits one event per shard and ns/op is dominated by the
+// protocol itself — the lock-free nextTime scan, window computation, and
+// barrier — not by event execution. The steady state must be allocation
+// free (the zero-alloc test in this package pins it), and the harness
+// reports rounds/op so callers can convert per-event numbers to per-round.
+func ParallelRoundOverhead(shards int) func(*testing.B) {
+	return func(b *testing.B) {
+		const lookahead = sim.Duration(1) << 20
+		dom := sim.NewParallel(shards, shards, lookahead)
+		var fired atomic.Int64
+		type tick struct{ fire func() }
+		ticks := make([]tick, shards)
+		for i := range ticks {
+			t := &ticks[i]
+			eng := dom.RankEngine(i)
+			t.fire = func() {
+				if fired.Add(1) >= int64(b.N) {
+					dom.Stop()
+					return
+				}
+				eng.After(lookahead, t.fire)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := range ticks {
+			dom.RankEngine(i).After(lookahead, ticks[i].fire)
+		}
+		dom.Run()
+		b.StopTimer()
+		if fired.Load() == 0 && b.N > 0 {
+			b.Fatal("parallel domain fired nothing")
+		}
+		if r := dom.Rounds(); r > 0 && b.N > 0 {
+			b.ReportMetric(float64(r)/float64(b.N), "rounds/op")
+		}
+	}
+}
+
 // EngineScheduleCancel measures the schedule-then-cancel cycle (the
 // retransmission-timer pattern: most timers armed by the reliability layer
 // are canceled by an ACK before they fire).

@@ -11,3 +11,24 @@ func BenchmarkFabricDeliveryBulk(b *testing.B)    { FabricDeliveryBulk(b) }
 func BenchmarkParallelDomainShards1(b *testing.B) { ParallelDomainThroughput(1)(b) }
 func BenchmarkParallelDomainShards4(b *testing.B) { ParallelDomainThroughput(4)(b) }
 func BenchmarkParallelDomainShards8(b *testing.B) { ParallelDomainThroughput(8)(b) }
+func BenchmarkParallelRoundShards2(b *testing.B)  { ParallelRoundOverhead(2)(b) }
+func BenchmarkParallelRoundShards4(b *testing.B)  { ParallelRoundOverhead(4)(b) }
+func BenchmarkParallelRoundShards8(b *testing.B)  { ParallelRoundOverhead(8)(b) }
+
+// TestParallelRoundHotPathZeroAlloc pins the round protocol's steady state
+// at zero allocations per event: the nextTime scan, window computation,
+// barrier, and pooled engine events must all reuse memory. The one-time
+// Run-entry setup (worker goroutines, parker channels) amortizes away over
+// the benchmark's iteration count.
+func TestParallelRoundHotPathZeroAlloc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-backed test")
+	}
+	for _, shards := range []int{2, 4} {
+		r := testing.Benchmark(ParallelRoundOverhead(shards))
+		if allocs := r.AllocsPerOp(); allocs != 0 {
+			t.Errorf("shards=%d: %d allocs/op in the round hot path, want 0 (%d bytes/op)",
+				shards, allocs, r.AllocedBytesPerOp())
+		}
+	}
+}

@@ -13,15 +13,23 @@ import (
 // build assembles a runtime over a fresh stack.
 func build(t *testing.T, b stack.Backend, ranks, workers int, tp parsec.Taskpool, mod func(*parsec.Config)) (*stack.Stack, *parsec.Runtime) {
 	t.Helper()
+	return buildSharded(t, b, ranks, 1, workers, tp, mod)
+}
+
+// buildSharded is build on a sharded simulation domain (shards 0 or 1 is
+// the serial engine).
+func buildSharded(t *testing.T, b stack.Backend, ranks, shards, workers int, tp parsec.Taskpool, mod func(*parsec.Config)) (*stack.Stack, *parsec.Runtime) {
+	t.Helper()
 	o := stack.DefaultOptions(b, ranks)
 	o.Fabric.Jitter = 0
+	o.Shards = shards
 	s := stack.Build(o)
 	cfg := parsec.DefaultConfig(workers)
 	cfg.Jitter = 0
 	if mod != nil {
 		mod(&cfg)
 	}
-	return s, parsec.New(s.Eng, s.Engines, tp, cfg)
+	return s, parsec.New(s.Dom, s.Engines, tp, cfg)
 }
 
 func forBackends(t *testing.T, f func(t *testing.T, b stack.Backend)) {
@@ -589,6 +597,50 @@ func (o *sequenceObserver) ActivateSent(rank, dest, entries int, at sim.Time) {
 // runtime's own Activations counter — identically on both backends.
 func TestObserverSequence(t *testing.T) {
 	forBackends(t, func(t *testing.T, b stack.Backend) {
+		serial := observerSeqRun(t, b, 1)
+		// The contract holds under sharded simulation too, and each rank's
+		// subsequence of callbacks is identical to serial delivery — the
+		// merged replay only normalizes cross-rank ties.
+		for _, shards := range []int{2, 4} {
+			got := observerSeqRun(t, b, shards)
+			diffRankStreams(t, shards, serial, got)
+		}
+	})
+}
+
+// diffRankStreams asserts that each rank's callback subsequence in got
+// matches serial exactly (kinds, arguments, and timestamps).
+func diffRankStreams(t *testing.T, shards int, serial, got []seqEvent) {
+	t.Helper()
+	perRank := func(evs []seqEvent) map[int][]seqEvent {
+		m := map[int][]seqEvent{}
+		for _, e := range evs {
+			m[e.rank] = append(m[e.rank], e)
+		}
+		return m
+	}
+	ws, wg := perRank(serial), perRank(got)
+	if len(ws) != len(wg) {
+		t.Fatalf("shards=%d: observer streams cover %d ranks, serial %d", shards, len(wg), len(ws))
+	}
+	for r, want := range ws {
+		have := wg[r]
+		if len(have) != len(want) {
+			t.Fatalf("shards=%d rank %d: %d events, serial %d", shards, r, len(have), len(want))
+		}
+		for i := range want {
+			if have[i] != want[i] {
+				t.Fatalf("shards=%d rank %d event %d = %+v, serial %+v", shards, r, i, have[i], want[i])
+			}
+		}
+	}
+}
+
+// observerSeqRun executes the two-producer graph under the given shard
+// count, checks every observer invariant, and returns the callback stream.
+func observerSeqRun(t *testing.T, b stack.Backend, shards int) []seqEvent {
+	t.Helper()
+	{
 		// Two producers on rank 0 feed one consumer each on rank 1, with
 		// rendezvous-sized flows so both GET DATA paths are exercised.
 		g := parsec.NewGraphPool("seq", 2, false)
@@ -598,7 +650,7 @@ func TestObserverSequence(t *testing.T) {
 		c1 := g.AddTask(3, 1, sim.Microsecond, 0)
 		g.Link(p0, 0, c0)
 		g.Link(p1, 0, c1)
-		_, rt := build(t, b, 2, 2, g, nil)
+		_, rt := buildSharded(t, b, 2, shards, 2, g, nil)
 		obs := &sequenceObserver{}
 		rt.SetObserver(obs)
 		if _, err := rt.Run(); err != nil {
@@ -697,6 +749,53 @@ func TestObserverSequence(t *testing.T) {
 		}
 		if entries != 2 {
 			t.Fatalf("activation entries = %d, want 2 (one per remote flow)", entries)
+		}
+		return obs.events
+	}
+}
+
+// TestObserverSequenceShardedWideGraph runs the sharded observer over a
+// four-rank pipeline so four genuinely distinct shards each record a
+// stream, and checks the merged replay against serial rank by rank.
+func TestObserverSequenceShardedWideGraph(t *testing.T) {
+	forBackends(t, func(t *testing.T, b stack.Backend) {
+		run := func(shards int) []seqEvent {
+			g := parsec.NewGraphPool("wide", 4, false)
+			// Rank r's task feeds rank r+1's, plus a second local task per
+			// rank, so every rank both computes and communicates.
+			var prev parsec.TaskID
+			id := int64(0)
+			for r := 0; r < 4; r++ {
+				tk := g.AddTask(id, r, 2*sim.Microsecond, 0, 64<<10)
+				id++
+				if r > 0 {
+					g.Link(prev, 0, tk)
+				}
+				prev = tk
+				local := g.AddTask(id, r, sim.Microsecond, 0)
+				id++
+				g.Link(tk, 0, local)
+			}
+			_, rt := buildSharded(t, b, 4, shards, 2, g, nil)
+			obs := &sequenceObserver{}
+			rt.SetObserver(obs)
+			if _, err := rt.Run(); err != nil {
+				t.Fatal(err)
+			}
+			for i := 1; i < len(obs.events); i++ {
+				if obs.events[i].at < obs.events[i-1].at {
+					t.Fatalf("shards=%d: event %d at %v precedes event %d at %v",
+						shards, i, obs.events[i].at, i-1, obs.events[i-1].at)
+				}
+			}
+			return obs.events
+		}
+		serial := run(1)
+		if len(serial) == 0 {
+			t.Fatal("serial run produced no observer events")
+		}
+		for _, shards := range []int{2, 4} {
+			diffRankStreams(t, shards, serial, run(shards))
 		}
 	})
 }

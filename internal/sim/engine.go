@@ -180,17 +180,28 @@ func (e *Engine) RunUntil(t Time) Time {
 	return e.now
 }
 
-// runBefore executes events with timestamps strictly below t, leaving the
-// clock at the last fired event. It honors the engine's own stop flag and,
-// when halt is non-nil, a domain-wide stop shared across shards — but unlike
-// Run it consumes neither: the parallel coordinator owns both flags'
-// lifecycles across window boundaries. This is the per-window body of the
-// sharded engine (psim.go); events exactly at t belong to the next window,
+// runGuarded executes events with timestamps strictly below both t and the
+// dynamic guard, leaving the clock at the last fired event. The guard is
+// re-read before every event: the sharded engine lowers it mid-window when
+// an event stages a cross-shard send whose reflection could return earlier
+// than the static horizon assumed (psim.go). A bound equal to the maximum
+// representable Time means unbounded — the window where every other shard
+// is drained runs to completion instead of stranding events at the limit.
+// runGuarded honors the engine's own stop flag and, when halt is non-nil, a
+// domain-wide stop shared across shards — but unlike Run it consumes
+// neither: the parallel coordinator owns both flags' lifecycles across
+// window boundaries. Events exactly at the bound belong to the next window,
 // where freshly staged cross-shard arrivals can still order ahead of them.
-func (e *Engine) runBefore(t Time, halt *atomic.Bool) {
+func (e *Engine) runGuarded(t Time, halt *atomic.Bool, guard *Time) {
 	for e.n > 0 && !e.stopped {
 		w, ok := e.peek()
-		if !ok || w >= t {
+		if !ok {
+			return
+		}
+		if w >= t && t != timeUnbounded {
+			return
+		}
+		if g := *guard; w >= g && g != timeUnbounded {
 			return
 		}
 		if halt != nil && halt.Load() {

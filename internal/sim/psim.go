@@ -3,24 +3,59 @@ package sim
 import (
 	"fmt"
 	"runtime"
-	"sort"
 	"sync/atomic"
 )
 
 // Parallel is a sharded discrete-event domain: ranks are partitioned into
 // contiguous blocks, each block owns a private Engine (calendar queue,
-// event pool, clock), and the blocks advance conservatively in lockstep
-// windows of one lookahead.
+// event pool, clock), and the blocks advance conservatively in rounds
+// bounded by pairwise lookahead.
 //
-// # Synchronization protocol (time-window barrier)
+// # Synchronization protocol (v2: published slots, pairwise horizons)
 //
-// Each round, the coordinator computes the global minimum pending timestamp
-// T — over every shard's calendar AND every staged-but-unadmitted inbox
-// event — and opens the window [T, T+L), L the lookahead. Every shard then,
-// in parallel: (1) admits the staged cross-shard arrivals with timestamps
-// inside the window into its calendar, in (timestamp, source shard, source
-// sequence) order, and (2) fires its local events with timestamps strictly
-// below T+L. A barrier separates rounds.
+// Every shard j publishes its earliest pending timestamp E_j — the minimum
+// over its calendar and its staged-but-unadmitted inbox — into a padded
+// atomic slot. Each round, the coordinator scans the slots lock-free and
+// computes a per-shard horizon
+//
+//	H_i = min over j != i of (E_j + L[j][i])
+//
+// where D[j][i] is the pairwise distance: the min-plus closure of the
+// lookahead matrix installed by SetLookahead (without one every entry is
+// the global lookahead). The closure matters: an event pending at shard j
+// can reach shard i through relays, and the shortest path bounds the
+// earliest possible arrival. Shards whose earliest event lies below their
+// horizon run the round in parallel: each admits staged arrivals strictly
+// below H_i into its calendar in (timestamp, source shard, source
+// sequence) order, fires local events strictly below H_i, republishes its
+// slot, and arrives at the barrier. Shards with nothing below their
+// horizon are elided — no wakeup, no barrier arrival.
+//
+// The static horizon alone is not safe: it bounds arrivals seeded by
+// events pending at OTHER shards, but a shard's own window can seed a
+// reflection — fire an event, stage a cross send, and have the chain
+// relay back below a clock that advanced too far. The reflection bound is
+// enforced dynamically instead of pessimistically: a window starts with no
+// self-bound, and the moment it stages a cross event at time t toward
+// shard j, its bound clamps to t + D[j][i] (the earliest any chain seeded
+// by that send can return). Until the first send, any local event below
+// H_i is safe — a future send happens at or after the current clock, so
+// its reflection lands strictly later. A round that stages nothing
+// therefore keeps its full horizon; when only one shard has events at all,
+// H_i is unbounded and a communication-free stretch drains in a single
+// round (window coalescing). Once the round ends, the staged send is
+// visible in the destination's published slot and the static term takes
+// over the protection.
+//
+// The protocol takes no locks on the happy path: the slot scan, the
+// horizon computation, the work-queue dispatch, and the barrier are all
+// plain atomics. Runner goroutines are capped at GOMAXPROCS (shard
+// semantics are unchanged — one goroutine just runs several shards'
+// windows per round), and barrier waits spin briefly before parking on a
+// per-waiter channel, so idle cores are released instead of burned.
+// Tuning gates each optimization independently for differential testing;
+// with every gate off the horizons collapse to the v1 protocol's single
+// global window [T, T+L).
 //
 // # Exactness
 //
@@ -28,44 +63,147 @@ import (
 // order, and the seq assignment is deterministic: local events are numbered
 // in execution order (deterministic given a deterministic workload), and
 // staged arrivals are admitted at a deterministic round in a deterministic
-// sort order. The conservative window makes the staged set per round
-// execution-independent: a cross-shard event generated in round k targets a
-// time >= T_k + L (CrossAt enforces the lookahead distance against the
-// source clock, and the source clock is >= T_k), so it is never admissible
-// in round k itself — by the time a round opens, every event that can land
-// in its window is already in the inbox, no matter how the previous rounds'
-// shards interleaved in real time. Per-rank event sequences are therefore
-// bit-identical across shard counts and to the serial engine; the
-// differential tests in psim_test.go and internal/bench pin this.
+// sort order. The conservative horizon makes the admissible staged set
+// execution-independent: a cross event staged by shard j during a round
+// targets a time >= E_j + L[j][i] >= E_j + D[j][i] >= H_i (CrossAt
+// enforces the raw pair distance against the source clock, and the closure
+// entry is never larger), so it is never admissible in the round that
+// stages it — by the time a round opens, every event that can land below
+// any shard's horizon is already in that shard's inbox, no matter how
+// previous rounds' shards interleaved in real time. Admission batches are
+// therefore disjoint, consecutive timestamp bands: shrinking horizons
+// (disabling optimizations) only splits a batch, never reorders across
+// batches, so every Tuning combination yields the same per-rank event
+// sequences; the differential tests in psim_test.go and internal/bench pin
+// this against the serial engine and RefEngine.
 //
 // # Inbox bound
 //
-// Inboxes are append-only slices drained every round, so their occupancy is
-// naturally bounded by one round's cross-shard traffic: a staged event needs
-// a fired source event with a timestamp inside a single lookahead window,
-// and the arrival lands at most one serialization + fault delay past the
-// window after next. There is no artificial capacity that could block a
-// mid-window sender (a block inside a window would deadlock the barrier);
+// Inboxes are append-only slices drained every round a shard runs, so
+// occupancy is bounded by the cross traffic of the rounds since the shard
+// last ran. There is no artificial capacity that could block a mid-window
+// sender (a block inside a window would deadlock the barrier);
 // InboxHighWater exposes the realized bound for monitoring.
 type Parallel struct {
 	shards    []*pshard
 	owner     []int // rank -> shard index
 	lookahead Duration
+	look      [][]Duration // raw pairwise lookahead matrix, nil = uniform
+	dist      [][]Duration // min-plus closure of look (horizon distances)
+	tune      Tuning
 
 	// halt is the domain-wide stop flag: checked by every shard before
 	// every event, armed by Stop from any goroutine.
 	halt atomic.Bool
 
-	// Round barrier. horizon and quit are published by the coordinator
-	// before the round counter bump (atomic round/done establish the
-	// happens-before edges both ways).
-	round   atomic.Uint64
-	done    atomic.Int64
-	horizon Time
-	quit    bool
+	// slots[i] is shard i's published state, read lock-free by the
+	// coordinator's scan. One cache line per shard.
+	slots []pslot
 
-	rounds uint64 // windows executed (stats)
+	// Round coordination. The coordinator writes the round plan (horizons,
+	// active set, nActive), then resets arrived and cursor, then bumps
+	// round — the bump is the release fence runners synchronize on.
+	round   paddedUint64
+	cursor  paddedInt64 // work-queue index into active[:nActive]
+	arrived paddedInt64 // barrier arrivals this round
+	nActive paddedInt64
+	quit    atomic.Bool
+	quitAck atomic.Int64
+
+	active  []*pshard // round plan: the shards that run, coordinator-written
+	workers []parker  // runner goroutines beyond the coordinator
+	nw      int       // runners actually spawned by this Run
+	coord   parker
+
+	eMin []uint64 // scratch: per-shard earliest pending, coordinator-only
+
+	rounds uint64 // rounds executed (stats)
+	elided uint64 // shard-rounds skipped by idle elision (stats)
 }
+
+// Tuning gates the protocol's optimizations independently. Every
+// combination is conservative (each gate can only shrink horizons or run
+// more shards per round than strictly needed), so all eight produce
+// bit-identical event sequences — the differential tests run the matrix.
+// The zero value is the v1 protocol; NewParallel defaults to
+// AllOptimizations. Set before Run; not safe to change mid-run.
+type Tuning struct {
+	// PairwiseLookahead uses the per-shard-pair distance matrix installed
+	// by SetLookahead for horizons and CrossAt validation. Off (or with no
+	// matrix installed), every pair uses the single global lookahead.
+	PairwiseLookahead bool
+
+	// ElideIdleShards skips shards with no calendar or inbox event below
+	// their horizon: no wakeup, no barrier arrival.
+	ElideIdleShards bool
+
+	// CoalesceWindows lets each shard's horizon be purely data-driven
+	// (min_j E_j + D[j][i], clamped mid-window by the reflection guard).
+	// Off, horizons are additionally capped at one lookahead past the
+	// global minimum — the v1 window [T, T+L) — forcing one round per
+	// lookahead quantum. The cap makes the guard vacuous: any send's
+	// reflection lands at least two lookaheads past the global minimum.
+	CoalesceWindows bool
+}
+
+// AllOptimizations is the default Tuning: every fast path on.
+func AllOptimizations() Tuning {
+	return Tuning{PairwiseLookahead: true, ElideIdleShards: true, CoalesceWindows: true}
+}
+
+// noTime is the published-slot encoding of "no pending event". Time is a
+// non-negative int64, so uint64(t) preserves order and leaves ^0 free.
+const noTime = ^uint64(0)
+
+// timeUnbounded marks a horizon beyond every representable timestamp: the
+// shard drains its calendar completely instead of running a bounded
+// window.
+const timeUnbounded = Time(1<<63 - 1)
+
+// pslot is one shard's published state: next is the shard's calendar
+// minimum as of its last window, inboxMin the minimum staged-but-unadmitted
+// inbox timestamp (maintained under the inbox lock by senders and drains).
+// Padded to its own cache line so neighbor publishes don't false-share.
+type pslot struct {
+	next     atomic.Uint64
+	inboxMin atomic.Uint64
+	_        [112]byte
+}
+
+type paddedUint64 struct {
+	atomic.Uint64
+	_ [56]byte
+}
+
+type paddedInt64 struct {
+	atomic.Int64
+	_ [56]byte
+}
+
+// parker is one waiter's parking slot for the bounded-spin-then-park
+// barrier. state is the CAS handshake (awake/parked); wake carries at most
+// one token. The invariant — a token is sent only after a successful
+// parked->awake CAS and consumed by exactly one receive — keeps the
+// channel empty whenever its owner is not parked.
+type parker struct {
+	state atomic.Int32
+	wake  chan struct{}
+	_     [52]byte
+}
+
+const (
+	pkAwake  = 0
+	pkParked = 1
+)
+
+// Barrier spin budget: pure loads first (a window on another core usually
+// ends within a microsecond), then yielding spins, then park. On a host
+// with fewer cores than waiters the pure spins fail fast and the Gosched
+// phase hands the CPU to whoever holds the work.
+const (
+	spinPure  = 4096
+	spinYield = 64
+)
 
 // pshard is one shard: a private engine plus the cross-shard inbox.
 type pshard struct {
@@ -73,17 +211,28 @@ type pshard struct {
 	eng *Engine
 	par *Parallel
 
+	// horizon is this round's static bound, written by the coordinator
+	// during planning (before the round bump that releases runners).
+	horizon Time
+
+	// guard is the dynamic reflection bound: reset to unbounded at window
+	// start, clamped by CrossAt to staged-time + return-distance on the
+	// first (earliest) cross send of the window. Only the goroutine
+	// executing this shard's window touches it; the engine re-reads it
+	// before every event.
+	guard Time
+
 	// crossSeq stamps outgoing cross-shard events from this shard, in
 	// execution order; the (when, src shard, seq) triple is the
 	// deterministic admission order at the destination. Only this shard's
-	// goroutine touches it.
+	// window execution touches it.
 	crossSeq uint64
 
 	mu      chan struct{} // 1-slot semaphore guarding inbox (see lock())
 	inbox   []crossEvent
 	inboxHW int
 
-	batch []crossEvent // drain scratch, owner-goroutine only
+	batch []crossEvent // drain scratch, window-execution only
 }
 
 type crossEvent struct {
@@ -100,7 +249,8 @@ func (sh *pshard) unlock() { <-sh.mu }
 // the given conservative lookahead. shards is clamped to ranks; a single
 // shard degenerates to exactly the serial engine (no goroutines, no
 // windows). lookahead must be positive when shards > 1 — with zero
-// lookahead no window can admit parallelism conservatively.
+// lookahead no window can admit parallelism conservatively. All protocol
+// optimizations default on (AllOptimizations); SetTuning overrides.
 func NewParallel(ranks, shards int, lookahead Duration) *Parallel {
 	if ranks <= 0 {
 		panic("sim: NewParallel needs at least one rank")
@@ -114,7 +264,11 @@ func NewParallel(ranks, shards int, lookahead Duration) *Parallel {
 	if shards > 1 && lookahead <= 0 {
 		panic("sim: sharded execution needs a positive lookahead")
 	}
-	p := &Parallel{lookahead: lookahead, owner: make([]int, ranks)}
+	p := &Parallel{
+		lookahead: lookahead,
+		owner:     make([]int, ranks),
+		tune:      AllOptimizations(),
+	}
 	for r := range p.owner {
 		p.owner[r] = blockOwner(r, ranks, shards)
 	}
@@ -122,7 +276,99 @@ func NewParallel(ranks, shards int, lookahead Duration) *Parallel {
 	for s := range p.shards {
 		p.shards[s] = &pshard{id: s, eng: NewEngine(), par: p, mu: make(chan struct{}, 1)}
 	}
+	p.slots = make([]pslot, shards)
+	p.eMin = make([]uint64, shards)
+	p.active = make([]*pshard, shards)
+	p.workers = make([]parker, shards-1)
+	for i := range p.workers {
+		p.workers[i].wake = make(chan struct{}, 1)
+	}
+	p.coord.wake = make(chan struct{}, 1)
 	return p
+}
+
+// SetTuning replaces the optimization gates. Call before Run.
+func (p *Parallel) SetTuning(t Tuning) { p.tune = t }
+
+// Tuning returns the active optimization gates.
+func (p *Parallel) Tuning() Tuning { return p.tune }
+
+// SetLookahead installs a per-shard-pair lookahead matrix: m[j][i] is the
+// guaranteed minimum distance of any cross event from a rank in shard j to
+// a rank in shard i, measured against the source clock. Off-diagonal
+// entries must be positive; the diagonal is ignored (same-shard scheduling
+// is direct). The global lookahead becomes the matrix's off-diagonal
+// minimum, so the uniform bound stays available as the conservative
+// fallback when Tuning.PairwiseLookahead is off. Horizon math uses the
+// matrix's min-plus closure (shortest relay path), computed here once; the
+// raw entries remain the CrossAt validation bound. The matrix is retained,
+// not copied. Call before Run; a 1-shard domain ignores it.
+func (p *Parallel) SetLookahead(m [][]Duration) {
+	n := len(p.shards)
+	if n == 1 {
+		return
+	}
+	if len(m) != n {
+		panic(fmt.Sprintf("sim: lookahead matrix is %dx?, want %dx%d", len(m), n, n))
+	}
+	min := Duration(0)
+	for i := range m {
+		if len(m[i]) != n {
+			panic(fmt.Sprintf("sim: lookahead matrix row %d has %d entries, want %d", i, len(m[i]), n))
+		}
+		for j, d := range m[i] {
+			if i == j {
+				continue
+			}
+			if d <= 0 {
+				panic(fmt.Sprintf("sim: lookahead matrix entry [%d][%d] = %v must be positive", i, j, d))
+			}
+			if min == 0 || d < min {
+				min = d
+			}
+		}
+	}
+	// Floyd–Warshall min-plus closure over the off-diagonal entries, with
+	// a zero diagonal so a "path through yourself" is a no-op.
+	dist := make([][]Duration, n)
+	for i := range dist {
+		dist[i] = make([]Duration, n)
+		copy(dist[i], m[i])
+		dist[i][i] = 0
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if v := dist[i][k] + dist[k][j]; v < dist[i][j] {
+					dist[i][j] = v
+				}
+			}
+		}
+	}
+	p.look = m
+	p.dist = dist
+	p.lookahead = min
+}
+
+// pairLookahead returns the enforced minimum distance for cross events
+// from shard s to shard d — the raw matrix entry when one is installed and
+// the pairwise gate is on, the global floor otherwise.
+func (p *Parallel) pairLookahead(s, d int) Duration {
+	if p.look != nil && p.tune.PairwiseLookahead {
+		return p.look[s][d]
+	}
+	return p.lookahead
+}
+
+// pairDist returns the horizon distance from shard s to shard d: the
+// min-plus closure entry (the earliest any chain seeded at s can reach d),
+// or the global floor without a matrix. closure <= raw, so horizons from
+// pairDist are never wider than CrossAt's validation admits.
+func (p *Parallel) pairDist(s, d int) Duration {
+	if p.dist != nil && p.tune.PairwiseLookahead {
+		return p.dist[s][d]
+	}
+	return p.lookahead
 }
 
 // RankEngine returns the engine owning rank's events.
@@ -134,11 +380,17 @@ func (p *Parallel) Shards() int { return len(p.shards) }
 // ShardOf returns the shard index owning rank.
 func (p *Parallel) ShardOf(rank int) int { return p.owner[rank] }
 
-// Lookahead returns the conservative window length.
+// Lookahead returns the global conservative window floor (the minimum
+// pairwise distance when a matrix is installed).
 func (p *Parallel) Lookahead() Duration { return p.lookahead }
 
-// Rounds returns how many synchronization windows Run has executed.
+// Rounds returns how many synchronization rounds Run has executed.
 func (p *Parallel) Rounds() uint64 { return p.rounds }
+
+// ElidedShardRounds returns how many shard-rounds idle elision skipped:
+// shards that were not woken for a round because they had nothing below
+// their horizon.
+func (p *Parallel) ElidedShardRounds() uint64 { return p.elided }
 
 // InboxHighWater returns the largest staged-event backlog any shard's inbox
 // reached — the realized bound of the handoff queues.
@@ -187,17 +439,17 @@ func (p *Parallel) Now() Time {
 }
 
 // Stop arms a domain-wide stop: every shard halts before its next event and
-// Run returns at the current window boundary. Safe to call from any shard's
+// Run returns at the current round boundary. Safe to call from any shard's
 // execution (a communication-engine failure handler, typically) or from
 // outside the domain entirely. Like Engine.Stop, the armed stop is consumed
 // by the run it ends — or by the next Run when armed while idle.
 func (p *Parallel) Stop() { p.halt.Store(true) }
 
 // CrossAt schedules fn at absolute time t on dst's engine from within src's
-// execution. Cross-shard calls must respect the lookahead distance measured
-// against the source shard's clock; violations panic, because admitting such
-// an event could require rewinding a destination shard that already advanced
-// past t.
+// execution. Cross-shard calls must respect the pairwise lookahead distance
+// measured against the source shard's clock; violations panic, because
+// admitting such an event could require rewinding a destination shard that
+// already advanced past t.
 func (p *Parallel) CrossAt(src, dst int, t Time, fn func()) {
 	s, d := p.owner[src], p.owner[dst]
 	if s == d {
@@ -205,9 +457,9 @@ func (p *Parallel) CrossAt(src, dst int, t Time, fn func()) {
 		return
 	}
 	se := p.shards[s].eng
-	if t < se.now.Add(p.lookahead) {
+	if la := p.pairLookahead(s, d); t < se.now.Add(la) {
 		panic(fmt.Sprintf("sim: cross-shard event at %v from rank %d (clock %v) violates lookahead %v",
-			t, src, se.now, p.lookahead))
+			t, src, se.now, la))
 	}
 	if fn == nil {
 		panic("sim: nil event function")
@@ -215,19 +467,30 @@ func (p *Parallel) CrossAt(src, dst int, t Time, fn func()) {
 	ssh := p.shards[s]
 	seq := ssh.crossSeq
 	ssh.crossSeq++
+	// Clamp the source window's reflection guard: a chain seeded by this
+	// send can return no earlier than the staged time plus the shortest
+	// path back.
+	if g := t.Add(p.pairDist(d, s)); g < ssh.guard {
+		ssh.guard = g
+	}
 	dsh := p.shards[d]
 	dsh.lock()
 	dsh.inbox = append(dsh.inbox, crossEvent{when: t, src: int32(s), seq: seq, fn: fn})
 	if len(dsh.inbox) > dsh.inboxHW {
 		dsh.inboxHW = len(dsh.inbox)
 	}
+	if w := uint64(t); w < p.slots[d].inboxMin.Load() {
+		p.slots[d].inboxMin.Store(w)
+	}
 	dsh.unlock()
 }
 
 // Run executes the sharded simulation until every calendar and inbox drains
-// or a stop is armed, and returns the time of the last fired event. One
-// worker goroutine per extra shard lives for the duration of the call; the
-// caller's goroutine drives shard 0 and the window barrier.
+// or a stop is armed, and returns the time of the last fired event. Runner
+// goroutines are capped at GOMAXPROCS-1 beyond the caller's (running more
+// runnable goroutines than cores would only add scheduler churn to the
+// barrier); the caller's goroutine plans rounds, runs shard windows off the
+// same work queue as the runners, and coordinates the barrier.
 func (p *Parallel) Run() Time {
 	n := len(p.shards)
 	if n == 1 {
@@ -236,30 +499,60 @@ func (p *Parallel) Run() Time {
 		return p.shards[0].eng.Run()
 	}
 
-	p.quit = false
-	// Capture the round baseline before the workers start: only this
-	// goroutine bumps the counter, so a worker that begins after the first
-	// window opens still sees the bump relative to this value.
+	// Seed the published slots from current state: events scheduled since
+	// the last Run (setup, or a stopped run's leftovers) predate any
+	// publishing window.
+	for i, sh := range p.shards {
+		if w, ok := sh.eng.peek(); ok {
+			p.slots[i].next.Store(uint64(w))
+		} else {
+			p.slots[i].next.Store(noTime)
+		}
+		sh.lock()
+		min := noTime
+		for j := range sh.inbox {
+			if w := uint64(sh.inbox[j].when); w < min {
+				min = w
+			}
+		}
+		p.slots[i].inboxMin.Store(min)
+		sh.unlock()
+	}
+
+	nw := runtime.GOMAXPROCS(0)
+	if nw > n {
+		nw = n
+	}
+	nw-- // the calling goroutine is runner zero
+	p.nw = nw
+	p.quit.Store(false)
+	p.quitAck.Store(0)
 	base := p.round.Load()
-	for _, sh := range p.shards[1:] {
-		go p.work(sh, base)
+	for i := 0; i < nw; i++ {
+		go p.work(&p.workers[i], base)
 	}
 
 	for !p.halt.Load() {
-		T, ok := p.nextTime()
-		if !ok {
+		if !p.openRound() {
 			break
 		}
-		p.openWindow(T.Add(p.lookahead))
-		p.rounds++
 		if p.anyShardStopped() {
 			break
 		}
 	}
 
-	// Dismiss the workers through one final round.
-	p.quit = true
-	p.openWindow(0)
+	// Dismiss the runners through one final empty round.
+	p.quit.Store(true)
+	p.nActive.Store(0)
+	p.arrived.Store(0)
+	p.cursor.Store(0)
+	p.round.Add(1)
+	for i := 0; i < nw; i++ {
+		p.unpark(&p.workers[i])
+	}
+	for p.quitAck.Load() < int64(nw) {
+		runtime.Gosched()
+	}
 
 	// Consume stop flags, mirroring Engine.Run.
 	p.halt.Store(false)
@@ -269,62 +562,201 @@ func (p *Parallel) Run() Time {
 	return p.Now()
 }
 
-// openWindow publishes the horizon, releases every shard for one round, runs
-// shard 0 on the calling goroutine, and waits for the barrier.
-func (p *Parallel) openWindow(w Time) {
-	p.horizon = w
-	p.done.Store(0)
-	p.round.Add(1)
-	if !p.quit {
-		p.shards[0].runWindow(w)
-	}
-	workers := int64(len(p.shards) - 1)
-	for p.done.Load() < workers {
-		runtime.Gosched()
-	}
-}
-
-// work is the per-shard worker loop: spin (yielding) on the round counter,
-// run the published window, signal the barrier. The atomic round/done pair
-// carries the happens-before edges that make the coordinator's pre-round
-// writes (horizon, quit, staged inboxes, engine state from its own shard-0
-// window) visible here and this shard's effects visible back.
-func (p *Parallel) work(sh *pshard, last uint64) {
-	for {
-		r := p.round.Load()
-		if r == last {
-			runtime.Gosched()
-			continue
-		}
-		last = r
-		if p.quit {
-			p.done.Add(1)
-			return
-		}
-		sh.runWindow(p.horizon)
-		p.done.Add(1)
-	}
-}
-
-// nextTime returns the global minimum pending timestamp across calendars and
-// inboxes. Called at the barrier, so the uncontended inbox locks are for the
-// race detector's benefit more than for exclusion.
-func (p *Parallel) nextTime() (Time, bool) {
-	var best Time
+// openRound plans one round from the published slots, releases the
+// runners, executes shard windows off the shared work queue, and waits out
+// the barrier. Returns false when no shard has anything pending. The whole
+// happy path is lock-free and allocation-free: a slot scan, the horizon
+// arithmetic, atomic plan publication, and the spin-then-park barrier.
+func (p *Parallel) openRound() bool {
+	// Scan the published slots: E_i = min(calendar next, staged inbox min).
 	found := false
-	for _, sh := range p.shards {
-		if w, ok := sh.eng.peek(); ok && (!found || w < best) {
-			best, found = w, true
+	for i := range p.slots {
+		e := p.slots[i].next.Load()
+		if im := p.slots[i].inboxMin.Load(); im < e {
+			e = im
 		}
-		sh.lock()
-		for i := range sh.inbox {
-			if w := sh.inbox[i].when; !found || w < best {
-				best, found = w, true
+		p.eMin[i] = e
+		if e != noTime {
+			found = true
+		}
+	}
+	if !found {
+		return false
+	}
+
+	// Horizons. With coalescing off, cap every horizon one lookahead past
+	// the global minimum — the v1 fixed window.
+	cap := noTime
+	if !p.tune.CoalesceWindows {
+		g := noTime
+		for _, e := range p.eMin {
+			if e < g {
+				g = e
 			}
 		}
-		sh.unlock()
+		cap = satAdd(g, p.lookahead)
 	}
-	return best, found
+	nact := 0
+	for i, sh := range p.shards {
+		h := cap
+		for j := range p.shards {
+			if j == i || p.eMin[j] == noTime {
+				continue
+			}
+			if b := satAdd(p.eMin[j], p.pairDist(j, i)); b < h {
+				h = b
+			}
+		}
+		if h > uint64(timeUnbounded) {
+			sh.horizon = timeUnbounded
+		} else {
+			sh.horizon = Time(h)
+		}
+		if p.tune.ElideIdleShards && p.eMin[i] >= h {
+			p.elided++
+			continue
+		}
+		p.active[nact] = sh
+		nact++
+	}
+	p.rounds++
+
+	// Publish the plan, then release. Order matters: horizons and the
+	// active set are plain writes made visible by the seq-cst stores that
+	// follow; a straggling runner from the previous round sees either the
+	// old exhausted cursor or the new plan in full, never a mix.
+	p.nActive.Store(int64(nact))
+	p.arrived.Store(0)
+	p.cursor.Store(0)
+	p.round.Add(1)
+	need := nact - 1 // this goroutine takes a share
+	for i := 0; i < p.nw && need > 0; i++ {
+		p.unpark(&p.workers[i])
+		need--
+	}
+
+	p.runActive()
+	p.awaitArrivals(int64(nact))
+	return true
+}
+
+// satAdd is saturating horizon arithmetic: any bound past the largest
+// representable timestamp is unbounded (no event can exist beyond it).
+func satAdd(t uint64, d Duration) uint64 {
+	if t == noTime {
+		return noTime
+	}
+	s := t + uint64(d)
+	if s < t {
+		return noTime
+	}
+	return s
+}
+
+// runActive pulls shard windows off the round's work queue until it is
+// exhausted. Shared by the coordinator and every runner; the atomic cursor
+// is the only coordination.
+func (p *Parallel) runActive() {
+	for {
+		i := p.cursor.Add(1) - 1
+		if i >= p.nActive.Load() {
+			return
+		}
+		sh := p.active[i]
+		sh.runWindow(sh.horizon)
+		p.arrive()
+	}
+}
+
+// arrive signals one shard window's completion; the last arrival of the
+// round wakes the coordinator if it parked.
+func (p *Parallel) arrive() {
+	if p.arrived.Add(1) == p.nActive.Load() {
+		if p.coord.state.CompareAndSwap(pkParked, pkAwake) {
+			p.coord.wake <- struct{}{}
+		}
+	}
+}
+
+// awaitArrivals is the coordinator's barrier wait: bounded spin, then park
+// on the coordinator channel. The arrival counter's final increment (or the
+// wake token sent after it) carries the happens-before edge that makes
+// every shard's window effects visible before the next plan.
+func (p *Parallel) awaitArrivals(target int64) {
+	for i := 0; i < spinPure; i++ {
+		if p.arrived.Load() >= target {
+			return
+		}
+	}
+	for i := 0; i < spinYield; i++ {
+		runtime.Gosched()
+		if p.arrived.Load() >= target {
+			return
+		}
+	}
+	c := &p.coord
+	c.state.Store(pkParked)
+	// Recheck after declaring the park: the last arrival may have read
+	// pkAwake just before the store, in which case no token is coming.
+	if p.arrived.Load() >= target {
+		if c.state.CompareAndSwap(pkParked, pkAwake) {
+			return
+		}
+		<-c.wake // a racing arrival won the CAS; consume its token
+		return
+	}
+	<-c.wake
+}
+
+// unpark wakes a parked runner; a no-op if it is spinning or already awake
+// (it will observe the round bump on its own).
+func (p *Parallel) unpark(w *parker) {
+	if w.state.CompareAndSwap(pkParked, pkAwake) {
+		w.wake <- struct{}{}
+	}
+}
+
+// work is the runner loop: await a round bump, pull shard windows off the
+// work queue, repeat — until the quit round. The round counter load that
+// observes a bump synchronizes with the coordinator's plan writes; this
+// runner's window effects travel back through its barrier arrivals.
+func (p *Parallel) work(w *parker, last uint64) {
+	for {
+		last = p.awaitRound(w, last)
+		if p.quit.Load() {
+			p.quitAck.Add(1)
+			return
+		}
+		p.runActive()
+	}
+}
+
+// awaitRound blocks until the round counter moves past last: bounded spin,
+// then park until the coordinator's unpark. Returns the new round value.
+func (p *Parallel) awaitRound(w *parker, last uint64) uint64 {
+	for i := 0; i < spinPure; i++ {
+		if r := p.round.Load(); r != last {
+			return r
+		}
+	}
+	for i := 0; i < spinYield; i++ {
+		runtime.Gosched()
+		if r := p.round.Load(); r != last {
+			return r
+		}
+	}
+	w.state.Store(pkParked)
+	// Recheck after declaring the park: the coordinator may have bumped
+	// the round just before the store and skipped the unpark.
+	if r := p.round.Load(); r != last {
+		if w.state.CompareAndSwap(pkParked, pkAwake) {
+			return r
+		}
+		<-w.wake // a racing unpark won the CAS; consume its token
+		return p.round.Load()
+	}
+	<-w.wake
+	return p.round.Load()
 }
 
 func (p *Parallel) anyShardStopped() bool {
@@ -336,46 +768,57 @@ func (p *Parallel) anyShardStopped() bool {
 	return false
 }
 
-// runWindow admits this shard's staged arrivals below the horizon and fires
-// its local events below the horizon.
+// runWindow admits this shard's staged arrivals below the static horizon,
+// fires its local events below the horizon and the dynamic reflection
+// guard, and republishes the shard's slot.
 func (sh *pshard) runWindow(w Time) {
 	sh.drainInbox(w)
-	sh.eng.runBefore(w, &sh.par.halt)
+	sh.guard = timeUnbounded
+	sh.eng.runGuarded(w, &sh.par.halt, &sh.guard)
+	slot := &sh.par.slots[sh.id]
+	if t, ok := sh.eng.peek(); ok {
+		slot.next.Store(uint64(t))
+	} else {
+		slot.next.Store(noTime)
+	}
 }
 
 // drainInbox moves staged events with timestamps inside the window into the
-// calendar, in (when, source shard, source seq) order. The order is the
-// whole point: engine seq numbers are assigned at insertion, so a
-// deterministic insertion order makes tie-breaking among same-timestamp
-// arrivals — and against local events scheduled later in the window —
-// independent of real-time arrival interleaving.
+// calendar, in (when, source shard, source seq) order, and republishes the
+// minimum of what remains staged. The order is the whole point: engine seq
+// numbers are assigned at insertion, so a deterministic insertion order
+// makes tie-breaking among same-timestamp arrivals — and against local
+// events scheduled later in the window — independent of real-time arrival
+// interleaving.
 func (sh *pshard) drainInbox(w Time) {
+	unbounded := w == timeUnbounded
+	slot := &sh.par.slots[sh.id]
 	sh.lock()
+	if len(sh.inbox) == 0 {
+		sh.unlock()
+		return
+	}
+	rest := noTime
 	for i := 0; i < len(sh.inbox); {
-		if sh.inbox[i].when < w {
+		if unbounded || sh.inbox[i].when < w {
 			sh.batch = append(sh.batch, sh.inbox[i])
 			last := len(sh.inbox) - 1
 			sh.inbox[i] = sh.inbox[last]
 			sh.inbox[last] = crossEvent{}
 			sh.inbox = sh.inbox[:last]
 		} else {
+			if t := uint64(sh.inbox[i].when); t < rest {
+				rest = t
+			}
 			i++
 		}
 	}
+	slot.inboxMin.Store(rest)
 	sh.unlock()
 	if len(sh.batch) == 0 {
 		return
 	}
-	sort.Slice(sh.batch, func(i, j int) bool {
-		a, b := sh.batch[i], sh.batch[j]
-		if a.when != b.when {
-			return a.when < b.when
-		}
-		if a.src != b.src {
-			return a.src < b.src
-		}
-		return a.seq < b.seq
-	})
+	sortCross(sh.batch)
 	for _, ce := range sh.batch {
 		sh.eng.At(ce.when, ce.fn)
 	}
@@ -383,4 +826,31 @@ func (sh *pshard) drainInbox(w Time) {
 		sh.batch[i] = crossEvent{}
 	}
 	sh.batch = sh.batch[:0]
+}
+
+// sortCross is an allocation-free insertion sort by (when, src, seq).
+// Batches are small (one round's traffic into one shard) and near-sorted
+// (senders stage in execution order), the regime where insertion sort beats
+// sort.Slice — and sort.Slice's closure allocates, which the round hot
+// path must not.
+func sortCross(b []crossEvent) {
+	for i := 1; i < len(b); i++ {
+		e := b[i]
+		j := i - 1
+		for j >= 0 && crossAfter(b[j], e) {
+			b[j+1] = b[j]
+			j--
+		}
+		b[j+1] = e
+	}
+}
+
+func crossAfter(a, b crossEvent) bool {
+	if a.when != b.when {
+		return a.when > b.when
+	}
+	if a.src != b.src {
+		return a.src > b.src
+	}
+	return a.seq > b.seq
 }

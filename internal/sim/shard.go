@@ -13,8 +13,11 @@ package sim
 //     threads) is built on RankEngine(rank) and is only ever touched from
 //     that engine's callbacks;
 //   - the ONLY cross-rank channel is CrossAt, and a cross-shard CrossAt must
-//     target a time at least Lookahead() past the source rank's clock — in
-//     this codebase that is the fabric's wire latency floor, which every
+//     target a time at least the shard pair's lookahead past the source
+//     rank's clock — Lookahead() in the uniform case, or the tighter
+//     per-pair bound when a distance matrix is installed
+//     (Parallel.SetLookahead with fabric.LookaheadMatrix). In this codebase
+//     that is the fabric's wire latency floor for the pair, which every
 //     inter-rank message pays before it can touch the destination.
 //
 // Violating the second rule panics rather than silently reordering events.
@@ -35,8 +38,9 @@ type Domain interface {
 	// ShardOf returns the shard index owning rank.
 	ShardOf(rank int) int
 
-	// Lookahead returns the minimum cross-shard scheduling distance
-	// (zero for a serial engine, where any distance is legal).
+	// Lookahead returns the minimum cross-shard scheduling distance over
+	// all shard pairs (zero for a serial engine, where any distance is
+	// legal). Individual pairs may allow more; see Parallel.SetLookahead.
 	Lookahead() Duration
 
 	// Now returns the domain clock: the serial engine's clock, or the

@@ -8,6 +8,14 @@
 # machine noise); allocation counts are gated exactly (a new steady-state
 # allocation is a bug, not noise); everything else is informational.
 #
+# Sharded-simulator keys carry an implied core requirement: a *_shardsN
+# wall-clock number measured with fewer than N scheduler cores (sim_cores,
+# i.e. GOMAXPROCS at record time) reflects barrier overhead, not
+# performance, so their ns gates — and the shard-speedup floors (new must
+# keep >= 90% of the recorded speedup) — only engage when BOTH records were
+# taken with sim_cores >= N. Allocation gates stay unconditional: allocs/op
+# is a deterministic property of the code on any core count.
+#
 # With -allocs-only the ns gates are disabled and only allocation counts
 # fail the comparison. That mode is safe against a baseline recorded on a
 # different machine: allocs/op is a deterministic property of the code,
@@ -41,19 +49,40 @@ function parse(file, tab,    line, key, val) {
     }
     close(file)
 }
+function shardreq(k,    m) {
+    # Core count a key needs before its wall-clock value means anything:
+    # N for *_shardsN and *_shardN_* keys, 8 for the hicma shard speedup
+    # (recorded at 8 shards), 0 for core-independent keys.
+    if (k == "hicma_scale_shard_speedup") return 8
+    if (match(k, /_shards?[0-9]+/)) {
+        m = substr(k, RSTART, RLENGTH)
+        gsub(/[^0-9]/, "", m)
+        return m + 0
+    }
+    return 0
+}
 BEGIN {
     parse(oldfile, a)
     parse(newfile, b)
-    printf "%-34s %14s %14s %9s\n", "metric", "baseline", "new", "delta"
+    printf "%-40s %14s %14s %9s\n", "metric", "baseline", "new", "delta"
     bad = 0
     for (i = 1; i <= n; i++) {
         k = order[i]
-        if (!(k in a)) { printf "%-34s %14s %14.4f %9s\n", k, "-", b[k], "new"; continue }
+        if (!(k in a)) { printf "%-40s %14s %14.4f %9s\n", k, "-", b[k], "new"; continue }
         delta = (a[k] != 0) ? (b[k] - a[k]) / a[k] * 100 : 0
         flag = ""
-        if (!allocsonly && k ~ /ns_per/ && b[k] > a[k] * 1.10) { flag = "  REGRESSION (>10% slower)"; bad = 1 }
+        req = shardreq(k)
+        coresok = (req == 0) || (a["sim_cores"] >= req && b["sim_cores"] >= req)
+        if (k ~ /ns_per/ && !allocsonly) {
+            if (!coresok) flag = "  (ungated: sim_cores < " req ")"
+            else if (b[k] > a[k] * 1.10) { flag = "  REGRESSION (>10% slower)"; bad = 1 }
+        }
+        if (k ~ /speedup/ && k !~ /invalid/ && req > 0 && !allocsonly) {
+            if (!coresok) flag = "  (ungated: sim_cores < " req ")"
+            else if (b[k] < a[k] * 0.90) { flag = "  REGRESSION (shard speedup lost)"; bad = 1 }
+        }
         if (k ~ /allocs_per/ && b[k] > a[k]) { flag = "  REGRESSION (new allocations)"; bad = 1 }
-        printf "%-34s %14.4f %14.4f %+8.2f%%%s\n", k, a[k], b[k], delta, flag
+        printf "%-40s %14.4f %14.4f %+8.2f%%%s\n", k, a[k], b[k], delta, flag
     }
     exit bad
 }'
