@@ -101,11 +101,16 @@ type Parallel struct {
 	slots []pslot
 
 	// Round coordination. The coordinator writes the round plan (horizons,
-	// active set, nActive), then resets arrived and cursor, then bumps
-	// round — the bump is the release fence runners synchronize on.
+	// active set), then resets arrived, then cursor and nActive — in that
+	// order — then bumps round; the bump is the release fence runners
+	// synchronize on. The cursor packs the round's low 32 bits into its
+	// high half and the work-queue index into its low half, and claims are
+	// CAS increments that carry the expected tag, so a straggler still
+	// inside runActive when the next plan is published can never claim a
+	// slot against the new plan with a stale index (see runActive).
 	round   paddedUint64
-	cursor  paddedInt64 // work-queue index into active[:nActive]
-	arrived paddedInt64 // barrier arrivals this round
+	cursor  paddedUint64 // (round tag << 32) | work-queue index into active[:nActive]
+	arrived paddedInt64  // barrier arrivals this round
 	nActive paddedInt64
 	quit    atomic.Bool
 	quitAck atomic.Int64
@@ -339,7 +344,11 @@ func (p *Parallel) SetLookahead(m [][]Duration) {
 	for k := 0; k < n; k++ {
 		for i := 0; i < n; i++ {
 			for j := 0; j < n; j++ {
-				if v := dist[i][k] + dist[k][j]; v < dist[i][j] {
+				// Entries are non-negative, so the sum overflows iff it
+				// wraps below an operand; an overflowed relay path is
+				// effectively infinite and can never be the shorter one.
+				v := dist[i][k] + dist[k][j]
+				if v >= dist[i][k] && v < dist[i][j] {
 					dist[i][j] = v
 				}
 			}
@@ -541,12 +550,14 @@ func (p *Parallel) Run() Time {
 		}
 	}
 
-	// Dismiss the runners through one final empty round.
+	// Dismiss the runners through one final empty round, using the same
+	// publish sequence as openRound so stragglers cannot misread the plan.
 	p.quit.Store(true)
-	p.nActive.Store(0)
+	r := p.round.Load() + 1
 	p.arrived.Store(0)
-	p.cursor.Store(0)
-	p.round.Add(1)
+	p.cursor.Store(cursorTag(r))
+	p.nActive.Store(0)
+	p.round.Store(r)
 	for i := 0; i < nw; i++ {
 		p.unpark(&p.workers[i])
 	}
@@ -621,21 +632,34 @@ func (p *Parallel) openRound() bool {
 	}
 	p.rounds++
 
-	// Publish the plan, then release. Order matters: horizons and the
-	// active set are plain writes made visible by the seq-cst stores that
-	// follow; a straggling runner from the previous round sees either the
-	// old exhausted cursor or the new plan in full, never a mix.
-	p.nActive.Store(int64(nact))
+	// Publish the plan, then release. Order matters twice over. Horizons
+	// and the active set are plain writes made visible by the seq-cst
+	// stores that follow. And the cursor's round tag must be rewritten
+	// BEFORE nActive: a straggler still in runActive (awaitArrivals only
+	// waits for window arrivals, not for runners to exit the claim loop)
+	// validates its exhausted cursor against nActive, so nActive may only
+	// grow after the cursor already carries the new tag — then the
+	// straggler's claim CAS is doomed to fail and it retires. With the old
+	// order a straggler could pair the old exhausted index with the new,
+	// larger nActive and claim a slot of the new plan, double-running one
+	// shard's window.
+	r := p.round.Load() + 1
 	p.arrived.Store(0)
-	p.cursor.Store(0)
-	p.round.Add(1)
+	p.cursor.Store(cursorTag(r))
+	p.nActive.Store(int64(nact))
+	p.round.Store(r)
+	// Wake parked runners until the plan is staffed; only a successful
+	// wake counts, because a worker that is already awake (spinning, or
+	// straggling out of the previous round) joins via the round bump on
+	// its own and must not absorb a wake meant for a parked one.
 	need := nact - 1 // this goroutine takes a share
 	for i := 0; i < p.nw && need > 0; i++ {
-		p.unpark(&p.workers[i])
-		need--
+		if p.unpark(&p.workers[i]) {
+			need--
+		}
 	}
 
-	p.runActive()
+	p.runActive(r)
 	p.awaitArrivals(int64(nact))
 	return true
 }
@@ -653,14 +677,35 @@ func satAdd(t uint64, d Duration) uint64 {
 	return s
 }
 
-// runActive pulls shard windows off the round's work queue until it is
-// exhausted. Shared by the coordinator and every runner; the atomic cursor
-// is the only coordination.
-func (p *Parallel) runActive() {
+// cursorTag is the round-tagged cursor base: the round's low 32 bits in
+// the high half, index zero in the low half. Truncation to 32 bits leaves
+// a theoretical ABA only if one goroutine stalls mid-claim for 2^32
+// consecutive rounds — impossible for a runnable goroutine in practice.
+func cursorTag(r uint64) uint64 { return r << 32 }
+
+// runActive pulls shard windows off round r's work queue until it is
+// exhausted. Shared by the coordinator and every runner; the tagged atomic
+// cursor is the only coordination. A claim is a CAS increment that carries
+// the caller's round tag, so it can only succeed against the plan the
+// caller was released for: once the coordinator rewrites the cursor for
+// the next round, every in-flight claim fails its CAS, observes the
+// foreign tag on reload, and retires. Exhaustion is checked against
+// nActive, which is safe because the coordinator re-tags the cursor before
+// enlarging nActive — a CAS that succeeds proves the cursor (and hence
+// nActive) was still this round's when the index was read.
+func (p *Parallel) runActive(r uint64) {
+	tag := cursorTag(r)
 	for {
-		i := p.cursor.Add(1) - 1
+		c := p.cursor.Load()
+		if c&^uint64(1<<32-1) != tag {
+			return // the plan this cursor indexes is no longer ours
+		}
+		i := int64(c & (1<<32 - 1))
 		if i >= p.nActive.Load() {
 			return
+		}
+		if !p.cursor.CompareAndSwap(c, c+1) {
+			continue
 		}
 		sh := p.active[i]
 		sh.runWindow(sh.horizon)
@@ -708,12 +753,15 @@ func (p *Parallel) awaitArrivals(target int64) {
 	<-c.wake
 }
 
-// unpark wakes a parked runner; a no-op if it is spinning or already awake
-// (it will observe the round bump on its own).
-func (p *Parallel) unpark(w *parker) {
+// unpark wakes a parked runner and reports whether it actually woke one; a
+// no-op returning false if the runner is spinning or already awake (it
+// will observe the round bump on its own).
+func (p *Parallel) unpark(w *parker) bool {
 	if w.state.CompareAndSwap(pkParked, pkAwake) {
 		w.wake <- struct{}{}
+		return true
 	}
+	return false
 }
 
 // work is the runner loop: await a round bump, pull shard windows off the
@@ -727,7 +775,7 @@ func (p *Parallel) work(w *parker, last uint64) {
 			p.quitAck.Add(1)
 			return
 		}
-		p.runActive()
+		p.runActive(last)
 	}
 }
 

@@ -257,6 +257,26 @@ func TestParallelSetLookaheadValidation(t *testing.T) {
 	if !ok {
 		t.Fatal("legal pair-distance send did not fire")
 	}
+	// Near-MaxInt64 entries must not overflow the min-plus closure into
+	// negative distances: relay sums that wrap are discarded, so every
+	// closure entry stays positive (bounded by its raw matrix entry).
+	huge := Duration(1<<63 - 2)
+	p3 := NewParallel(6, 3, quantum)
+	p3.SetLookahead([][]Duration{
+		{0, huge, huge},
+		{huge, 0, huge},
+		{huge, huge, 0},
+	})
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if i == j {
+				continue
+			}
+			if d := p3.pairDist(i, j); d <= 0 || d > huge {
+				t.Fatalf("closure[%d][%d] = %v corrupted by overflow", i, j, d)
+			}
+		}
+	}
 }
 
 // Idle-shard elision in isolation: with work confined to one shard, the
@@ -380,6 +400,84 @@ func TestParallelReflectionGuard(t *testing.T) {
 	for i := range serial {
 		if serial[i] != got[i] {
 			t.Fatalf("event %d = %+v, serial %+v", i, got[i], serial[i])
+		}
+	}
+}
+
+// runPulseWorkload drives a pulse-shaped workload: rank 0 runs a quiet
+// local chain (every other shard elided), then broadcasts to all ranks at
+// the lookahead floor (regrowing the active set to every shard at once),
+// and the replies converge back onto shard 0 to seed the next pulse. Every
+// timestamp is unique by construction, so the firing order is a pure
+// function of virtual time.
+func runPulseWorkload(dom Domain, ranks, pulses, quiet int) [][]traceRec {
+	lookahead := quantum
+	traces := make([][]traceRec, ranks)
+	q := Time(quantum)
+	rec := func(rank int, tag uint64) {
+		traces[rank] = append(traces[rank], traceRec{at: dom.RankEngine(rank).Now(), tag: tag})
+	}
+	replies := 0 // touched only by shard 0's execution
+	var pulse func(p int)
+	pulse = func(p int) {
+		if p >= pulses {
+			return
+		}
+		e0 := dom.RankEngine(0)
+		base := (e0.Now()/q + 1) * q
+		for i := 0; i < quiet; i++ {
+			tag := uint64(p)<<16 | uint64(i)
+			e0.At(base+Time(i)*q, func() { rec(0, tag) })
+		}
+		bcast := base + Time(quiet)*q
+		for d := 1; d < ranks; d++ {
+			dst := d
+			tag := uint64(p)<<16 | 0x100 | uint64(dst)
+			rtag := uint64(p)<<16 | 0x200 | uint64(dst)
+			dom.CrossAt(0, dst, bcast.Add(lookahead)+Time(dst), func() {
+				rec(dst, tag)
+				dom.CrossAt(dst, 0, dom.RankEngine(dst).Now().Add(lookahead), func() {
+					rec(0, rtag)
+					replies++
+					if replies == ranks-1 {
+						replies = 0
+						pulse(p + 1)
+					}
+				})
+			})
+		}
+	}
+	dom.RankEngine(0).At(q, func() { pulse(0) })
+	dom.Run()
+	return traces
+}
+
+// The per-round active set oscillating between one shard and every shard —
+// elision shrinks one round's plan, the following broadcast regrows it — is
+// the regime where a runner straggling out of a small round could once pair
+// its stale, exhausted work-queue cursor with the next, larger plan and
+// claim (hence double-run) one of its windows. Many pulses under the race
+// detector pin the round-tagged claim protocol; the trace must stay
+// bit-identical to serial throughout.
+func TestParallelActiveSetOscillationStress(t *testing.T) {
+	const ranks, pulses, quiet = 8, 150, 3
+	serial := runPulseWorkload(NewEngine(), ranks, pulses, quiet)
+	for _, shards := range []int{4, 8} {
+		for _, tn := range []Tuning{
+			AllOptimizations(),
+			{ElideIdleShards: true}, // coalescing off: one round per quantum, more transitions
+		} {
+			p := NewParallel(ranks, shards, quantum)
+			p.SetTuning(tn)
+			got := runPulseWorkload(p, ranks, pulses, quiet)
+			diffTraces(t, fmt.Sprintf("shards=%d %s", shards, tuningLabel(tn)), serial, got)
+			if p.Pending() != 0 {
+				t.Fatalf("shards=%d %s: %d events still pending", shards, tuningLabel(tn), p.Pending())
+			}
+			if p.ElidedShardRounds() == 0 {
+				t.Fatalf("shards=%d %s: quiet phases elided nothing across %d rounds; workload does not oscillate",
+					shards, tuningLabel(tn), p.Rounds())
+			}
 		}
 	}
 }
